@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared experiment-harness implementation.
+ */
+
+#include "bench/benchlib.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gwc::bench
+{
+
+SuiteData
+runFullSuite(bool verbose)
+{
+    workloads::SuiteOptions opts;
+    opts.verify = true;
+    opts.verbose = verbose;
+    if (const char *s = std::getenv("GWC_SCALE")) {
+        int v = std::atoi(s);
+        if (v >= 1)
+            opts.scale = uint32_t(v);
+    }
+
+    SuiteData data;
+    data.runs = workloads::runSuite({}, opts);
+    data.profiles = workloads::allProfiles(data.runs);
+    data.metricsMat = workloads::metricMatrix(data.profiles);
+    data.labels = workloads::profileLabels(data.profiles);
+    data.pca = stats::pca(data.metricsMat);
+    return data;
+}
+
+size_t
+retainedPcs(const SuiteData &data, double coverage)
+{
+    return data.pca.numPcsFor(coverage);
+}
+
+stats::Matrix
+clusteringSpace(const SuiteData &data, double coverage)
+{
+    return data.pca.truncatedScores(retainedPcs(data, coverage));
+}
+
+} // namespace gwc::bench

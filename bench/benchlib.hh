@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared harness of the experiment binaries: runs the full workload
+ * suite under the profiler once, and exposes the characteristic
+ * matrix, labels and PCA space that the individual table/figure
+ * reproductions consume.
+ */
+
+#ifndef GWC_BENCH_BENCHLIB_HH
+#define GWC_BENCH_BENCHLIB_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/pca.hh"
+#include "workloads/suite.hh"
+
+namespace gwc::bench
+{
+
+/** Everything the figure reproductions need from one suite run. */
+struct SuiteData
+{
+    std::vector<workloads::WorkloadRun> runs;
+    std::vector<metrics::KernelProfile> profiles;
+    stats::Matrix metricsMat;          ///< kernels x characteristics
+    std::vector<std::string> labels;   ///< "WL.kernel"
+    stats::PcaResult pca;              ///< over metricsMat
+};
+
+/**
+ * Run the whole registered suite (verification on) and build the
+ * shared analysis inputs. Honors GWC_SCALE (integer input-size
+ * multiplier) from the environment.
+ */
+SuiteData runFullSuite(bool verbose = true);
+
+/** Number of PCs covering @p coverage of variance (paper uses 0.9). */
+size_t retainedPcs(const SuiteData &data, double coverage = 0.90);
+
+/** Scores truncated to the retained PCs (the clustering space). */
+stats::Matrix clusteringSpace(const SuiteData &data,
+                              double coverage = 0.90);
+
+} // namespace gwc::bench
+
+#endif // GWC_BENCH_BENCHLIB_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10 — per-functional-block stress ranking.
+ *
+ * The paper's architect-facing use case: for every characteristic
+ * subspace (a proxy for one functional block of the GPU), rank the
+ * workloads that stress it hardest, so a design study of that block
+ * can pick its kernels deliberately.
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "common/table.hh"
+#include "evalmetrics/evalmetrics.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    using metrics::Subspace;
+
+    auto data = bench::runFullSuite(false);
+
+    std::cout << "=== Figure 10: per-block stress ranking ===\n\n";
+    for (uint8_t s = 0; s < uint8_t(Subspace::NumSubspaces); ++s) {
+        Subspace sub = Subspace(s);
+        auto rank = evalmetrics::stressRanking(data.metricsMat, sub);
+        std::cout << "--- " << metrics::subspaceName(sub)
+                  << " (top 5) ---\n";
+        Table t({"rank", "kernel", "z-distance"});
+        for (size_t k = 0; k < rank.size() && k < 5; ++k)
+            t.addRow({Table::integer(int64_t(k + 1)),
+                      data.labels[rank[k].kernel],
+                      Table::num(rank[k].score, 3)});
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "--- CSV (all subspaces, all kernels) ---\n";
+    std::cout << "subspace,kernel,score\n";
+    for (uint8_t s = 0; s < uint8_t(Subspace::NumSubspaces); ++s) {
+        Subspace sub = Subspace(s);
+        for (const auto &e :
+             evalmetrics::stressRanking(data.metricsMat, sub))
+            std::cout << metrics::subspaceName(sub) << ","
+                      << data.labels[e.kernel] << ","
+                      << Table::num(e.score, 4) << "\n";
+    }
+    return 0;
+}

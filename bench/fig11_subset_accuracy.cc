@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Figure 11 — design-space evaluation with representative subsets.
+ *
+ * The paper's headline implication: simulating only the cluster
+ * representatives (weighted by cluster size) predicts full-suite
+ * behaviour across microarchitecture design points far better than
+ * arbitrary subsets of the same size.
+ *
+ * This harness (1) traces every kernel once, (2) simulates the whole
+ * suite on 8 design points with the timing model, (3) builds the
+ * per-kernel speedup matrix, and (4) compares the cluster-medoid
+ * estimator against random subsets.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench/benchlib.hh"
+#include "cluster/kmeans.hh"
+#include "common/table.hh"
+#include "evalmetrics/evalmetrics.hh"
+#include "report/plot.hh"
+#include "timing/gpu.hh"
+
+namespace
+{
+
+using namespace gwc;
+
+/** Per-kernel launch traces of one workload, in kernel order. */
+struct KernelCycles
+{
+    std::string label;
+    std::vector<double> ipc;     ///< per config
+    std::vector<uint64_t> cycles;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    auto data = bench::runFullSuite(false);
+    auto cfgs = timing::designSpace();
+
+    std::cout << "=== Figure 11: representative-subset accuracy ===\n";
+    std::cout << "\nsimulating " << data.labels.size()
+              << " kernels on " << cfgs.size()
+              << " design points...\n\n";
+
+    // Re-run each workload under trace capture and simulate each
+    // kernel (all launches of it) on every design point.
+    std::vector<KernelCycles> cyc;
+    for (const auto &run : data.runs) {
+        simt::Engine engine;
+        timing::TraceCapture cap;
+        auto wl = workloads::makeWorkload(run.desc.abbrev);
+        wl->setup(engine, 1);
+        engine.addHook(&cap);
+        wl->run(engine);
+        engine.clearHooks();
+
+        // Group launch traces by kernel name, preserving order.
+        std::vector<std::string> order;
+        std::map<std::string, std::vector<timing::KernelTrace>> byName;
+        for (auto &t : cap.traces()) {
+            if (!byName.count(t.name))
+                order.push_back(t.name);
+            byName[t.name].push_back(std::move(t));
+        }
+        for (const auto &name : order) {
+            KernelCycles kc;
+            kc.label = run.desc.abbrev + "." + name;
+            for (const auto &cfg : cfgs) {
+                auto r = timing::simulateAll(byName[name], cfg);
+                kc.cycles.push_back(r.cycles);
+                kc.ipc.push_back(r.ipc);
+            }
+            cyc.push_back(std::move(kc));
+        }
+    }
+
+    // Speedup of each config vs the baseline C0, per kernel.
+    stats::Matrix speedups(cfgs.size(), cyc.size());
+    for (size_t k = 0; k < cyc.size(); ++k)
+        for (size_t c = 0; c < cfgs.size(); ++c)
+            speedups(c, k) =
+                double(cyc[k].cycles[0]) / double(cyc[k].cycles[c]);
+
+    std::cout << "--- per-kernel IPC on the baseline, speedups per "
+                 "config ---\n";
+    std::vector<std::string> hdr{"kernel", "ipc@C0"};
+    for (const auto &cfg : cfgs)
+        hdr.push_back(cfg.name);
+    Table t(hdr);
+    for (size_t k = 0; k < cyc.size(); ++k) {
+        std::vector<std::string> row{cyc[k].label,
+                                     Table::num(cyc[k].ipc[0], 2)};
+        for (size_t c = 0; c < cfgs.size(); ++c)
+            row.push_back(Table::num(speedups(c, k), 3));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    // Representative subset from the characteristic space.
+    stats::Matrix space = bench::clusteringSpace(data);
+    Rng rng(0xF16);
+    uint32_t k = cluster::selectKByBic(
+        space, uint32_t(space.rows()) / 2, rng);
+    auto km = cluster::kmeans(space, k, rng);
+    auto reps = cluster::medoids(space, km.labels, k);
+
+    auto est = evalmetrics::subsetEstimate(speedups, km.labels, reps);
+    auto truth = evalmetrics::suiteMeans(speedups);
+    double repErr = evalmetrics::meanAbsRelError(est, truth);
+    Rng rng2(0xD1CE);
+    double rndErr =
+        evalmetrics::randomSubsetError(speedups, k, 500, rng2);
+
+    std::cout << "\n--- suite-mean speedup estimation (k=" << k
+              << " kernels simulated instead of " << cyc.size()
+              << ") ---\n";
+    Table e({"config", "true mean", "subset estimate", "error"});
+    for (size_t c = 0; c < cfgs.size(); ++c)
+        e.addRow({cfgs[c].name, Table::num(truth[c], 3),
+                  Table::num(est[c], 3),
+                  Table::pct(std::fabs(est[c] - truth[c]) /
+                             truth[c])});
+    e.print(std::cout);
+
+    std::cout << "\nrepresentative subset (medoids):";
+    for (uint32_t r : reps)
+        std::cout << " " << cyc[r].label;
+    std::cout << "\n\nmean abs error, representative subset: "
+              << Table::pct(repErr)
+              << "\nmean abs error, random subsets (500 draws): "
+              << Table::pct(rndErr) << "\n";
+    std::cout << "paper-shape check: representative subset "
+              << (repErr < rndErr ? "BEATS" : "does NOT beat")
+              << " random subsets of the same size\n\n";
+
+    // Error vs subset size: the representative estimator averaged
+    // over k-means seeds (clustering has seed noise at small n)
+    // against the expected error of random subsets.
+    report::AsciiBars curve("mean estimation error by subset size "
+                            "(R=representative, X=random)");
+    uint32_t repWins = 0, points = 0;
+    for (uint32_t kk = 2;
+         kk <= std::min<uint32_t>(10, uint32_t(cyc.size())); kk += 2) {
+        double eRep = 0.0;
+        const uint32_t seeds = 20;
+        for (uint32_t s = 0; s < seeds; ++s) {
+            Rng r1(1000 + 131 * kk + s);
+            auto kmK = cluster::kmeans(space, kk, r1);
+            auto repsK = cluster::medoids(space, kmK.labels, kk);
+            eRep += evalmetrics::meanAbsRelError(
+                evalmetrics::subsetEstimate(speedups, kmK.labels,
+                                            repsK),
+                truth);
+        }
+        eRep /= seeds;
+        Rng r2(2000 + kk);
+        double eRnd =
+            evalmetrics::randomSubsetError(speedups, kk, 500, r2);
+        curve.add(strfmt("R k=%u", kk), eRep);
+        curve.add(strfmt("X k=%u", kk), eRnd);
+        ++points;
+        if (eRep < eRnd)
+            ++repWins;
+    }
+    std::cout << curve.render() << "\n";
+    std::cout << "representative beats random at " << repWins << "/"
+              << points << " subset sizes\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 15 (extension) — workload-space growth across suites.
+ *
+ * The paper's motivation is the growing number of GPGPU workloads:
+ * as suites accumulate, does the workload space keep expanding, or
+ * do new benchmarks fall into existing clusters? This experiment
+ * adds the suites one by one (SDK -> +Parboil -> +Rodinia) and
+ * tracks space coverage: the number of distinct behaviour clusters
+ * at a fixed granularity (dendrogram cut at a constant distance),
+ * the mean pairwise distance, and the fraction of kernels that are
+ * redundant (nearest neighbour much closer than the mean spacing).
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "common/table.hh"
+#include "stats/pca.hh"
+
+int
+main()
+{
+    using namespace gwc;
+
+    auto data = bench::runFullSuite(false);
+    // The PCA basis of the FULL space keeps the geometry comparable
+    // across the growth steps.
+    auto space = bench::clusteringSpace(data);
+
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        steps = {
+            {"SDK", {"SDK"}},
+            {"SDK+Parboil", {"SDK", "Parboil"}},
+            {"SDK+Parboil+Rodinia", {"SDK", "Parboil", "Rodinia"}},
+        };
+
+    std::cout << "=== Figure 15 (extension): workload-space growth "
+                 "===\n\n";
+    // Fixed cluster granularity: 35% of the full space's tallest
+    // merge. Constant across steps, so counts are comparable.
+    auto fullDendro =
+        cluster::agglomerate(space, cluster::Linkage::Ward);
+    double thr = 0.35 * fullDendro.merges().back().dist;
+
+    Table t({"suites", "kernels", "clusters @ fixed radius",
+             "mean pairwise dist", "redundant kernels"});
+    for (const auto &[label, suites] : steps) {
+        // Select rows belonging to the step's suites.
+        std::vector<uint32_t> rows;
+        for (size_t r = 0; r < data.profiles.size(); ++r) {
+            // Find this kernel's suite through its workload.
+            const auto &wl = data.profiles[r].workload;
+            for (const auto &run : data.runs) {
+                if (run.desc.abbrev != wl)
+                    continue;
+                for (const auto &s : suites)
+                    if (run.desc.suite == s)
+                        rows.push_back(uint32_t(r));
+                break;
+            }
+        }
+        stats::Matrix sub(rows.size(), space.cols());
+        for (size_t i = 0; i < rows.size(); ++i)
+            for (size_t c = 0; c < space.cols(); ++c)
+                sub(i, c) = space(rows[i], c);
+
+        auto dendro =
+            cluster::agglomerate(sub, cluster::Linkage::Ward);
+        uint32_t merged = 0;
+        for (const auto &m : dendro.merges())
+            merged += m.dist <= thr ? 1 : 0;
+        uint32_t k = uint32_t(sub.rows()) - merged;
+
+        auto dist = stats::pairwiseDistances(sub);
+        double mean = 0.0;
+        std::vector<double> nn(rows.size(),
+                               std::numeric_limits<double>::max());
+        size_t pairs = 0;
+        for (size_t i = 0; i < rows.size(); ++i)
+            for (size_t j = 0; j < rows.size(); ++j) {
+                if (i == j)
+                    continue;
+                nn[i] = std::min(nn[i], dist(i, j));
+                if (j > i) {
+                    mean += dist(i, j);
+                    ++pairs;
+                }
+            }
+        mean /= double(pairs);
+
+        // Redundant: nearest neighbour within 25% of the mean
+        // spacing (an almost-duplicate kernel).
+        uint32_t redundant = 0;
+        for (double d : nn)
+            redundant += d < 0.25 * mean ? 1 : 0;
+
+        t.addRow({label, Table::integer(int64_t(rows.size())),
+                  Table::integer(k), Table::num(mean, 3),
+                  strfmt("%u (%.0f%%)", redundant,
+                         100.0 * redundant / double(rows.size()))});
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nReading: at constant behavioural granularity the "
+           "number of distinct clusters\ngrows with every added "
+           "suite while near-duplicate kernels stay rare — the\n"
+           "space genuinely expands, which is why a systematic "
+           "selection methodology\n(rather than grab-bag "
+           "benchmarking) pays off as suites accumulate.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 3 — correlation analysis of the characteristic set.
+ *
+ * Reproduces the motivation for the paper's "correlated
+ * dimensionality reduction": many characteristics are strongly
+ * correlated across the suite, so the raw space over-weights
+ * redundant dimensions. Prints the correlation matrix and the
+ * strongly-correlated pairs.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    using namespace gwc::metrics;
+
+    auto data = bench::runFullSuite(false);
+    stats::Matrix corr = stats::correlationMatrix(data.metricsMat);
+
+    std::cout << "=== Figure 3: characteristic correlation ===\n\n";
+    std::cout << "--- strongly correlated pairs (|r| >= 0.7) ---\n";
+    Table t({"a", "b", "r"});
+    uint32_t strong = 0;
+    for (uint32_t a = 0; a < kNumCharacteristics; ++a) {
+        for (uint32_t b = a + 1; b < kNumCharacteristics; ++b) {
+            double r = corr(a, b);
+            if (std::fabs(r) >= 0.7) {
+                t.addRow({characteristicName(a),
+                          characteristicName(b), Table::num(r, 2)});
+                ++strong;
+            }
+        }
+    }
+    t.print(std::cout);
+    uint32_t pairs =
+        kNumCharacteristics * (kNumCharacteristics - 1) / 2;
+    std::cout << "\n" << strong << " of " << pairs
+              << " characteristic pairs have |r| >= 0.7 -> the space "
+                 "is redundant;\nPCA (Figure 4) removes the "
+                 "correlated dimensions.\n\n";
+
+    std::cout << "--- full correlation matrix (CSV) ---\n";
+    std::cout << "char";
+    for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+        std::cout << "," << characteristicName(c);
+    std::cout << "\n";
+    for (uint32_t a = 0; a < kNumCharacteristics; ++a) {
+        std::cout << characteristicName(a);
+        for (uint32_t b = 0; b < kNumCharacteristics; ++b)
+            std::cout << "," << Table::num(corr(a, b), 3);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 4 — PCA variance explained (scree) and top loadings.
+ *
+ * Shows how few principal components capture most of the suite's
+ * variance, and which characteristics load the leading PCs — the
+ * paper's justification for clustering in the reduced space.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "common/table.hh"
+#include "report/plot.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    using namespace gwc::metrics;
+
+    auto data = bench::runFullSuite(false);
+    const auto &pca = data.pca;
+
+    std::cout << "=== Figure 4: PCA variance explained ===\n\n";
+    report::AsciiBars scree("scree plot (fraction of variance)");
+    double cum = 0.0;
+    Table t({"PC", "eigenvalue", "variance", "cumulative"});
+    for (size_t i = 0; i < pca.eigenvalues.size() && i < 12; ++i) {
+        cum += pca.varExplained[i];
+        scree.add(strfmt("PC%zu", i + 1), pca.varExplained[i]);
+        t.addRow({strfmt("PC%zu", i + 1),
+                  Table::num(pca.eigenvalues[i], 2),
+                  Table::pct(pca.varExplained[i]),
+                  Table::pct(cum)});
+    }
+    t.print(std::cout);
+    std::cout << "\n" << scree.render() << "\n";
+
+    std::cout << "PCs for 85% variance: " << pca.numPcsFor(0.85)
+              << "\nPCs for 90% variance: " << pca.numPcsFor(0.90)
+              << "\nPCs for 95% variance: " << pca.numPcsFor(0.95)
+              << "\n(from " << int(kNumCharacteristics)
+              << " raw characteristics)\n\n";
+
+    std::cout << "--- dominant loadings of the leading PCs ---\n";
+    for (size_t pc = 0; pc < 4 && pc < pca.loadings.cols(); ++pc) {
+        std::cout << "PC" << pc + 1 << ":";
+        // Top 4 |loading| characteristics.
+        std::vector<std::pair<double, uint32_t>> mags;
+        for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+            mags.push_back(
+                {std::fabs(pca.loadings(c, pc)), c});
+        std::sort(mags.rbegin(), mags.rend());
+        for (int k = 0; k < 4; ++k)
+            std::cout << strfmt("  %s(%.2f)",
+                                characteristicName(mags[k].second),
+                                pca.loadings(mags[k].second, pc));
+        std::cout << "\n";
+    }
+    return 0;
+}

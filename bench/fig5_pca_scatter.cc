@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 5 — kernels scattered in PC space.
+ *
+ * The paper's workload-space maps: PC1 vs PC2 and PC3 vs PC4
+ * scatter plots of every kernel, with the named diverse workloads
+ * (SS, RD, SLA) expected away from the main cloud.
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "report/plot.hh"
+
+int
+main()
+{
+    using namespace gwc;
+
+    auto data = bench::runFullSuite(false);
+    const auto &scores = data.pca.scores;
+
+    std::cout << "=== Figure 5: workload space (PC scatter) ===\n\n";
+    report::AsciiScatter p12("PC1 vs PC2", "PC1", "PC2");
+    for (size_t r = 0; r < scores.rows(); ++r)
+        p12.add(scores(r, 0), scores(r, 1), data.labels[r]);
+    std::cout << p12.render() << "\n";
+
+    if (scores.cols() >= 4) {
+        report::AsciiScatter p34("PC3 vs PC4", "PC3", "PC4");
+        for (size_t r = 0; r < scores.rows(); ++r)
+            p34.add(scores(r, 2), scores(r, 3), data.labels[r]);
+        std::cout << p34.render() << "\n";
+    }
+
+    std::cout << "--- CSV (first 4 PCs) ---\n";
+    std::cout << "kernel,pc1,pc2,pc3,pc4\n";
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        std::cout << data.labels[r];
+        for (size_t c = 0; c < 4 && c < scores.cols(); ++c)
+            std::cout << strfmt(",%.4f", scores(r, c));
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 6 — hierarchical-clustering dendrogram of the kernels.
+ *
+ * Ward-linkage agglomeration in the retained-PC space, rendered as a
+ * tree with merge distances, plus the flat clusterings obtained by
+ * cutting at a few representative counts.
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "cluster/hierarchical.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    using cluster::Dendrogram;
+    using cluster::Linkage;
+
+    auto data = bench::runFullSuite(false);
+    stats::Matrix space = bench::clusteringSpace(data);
+    std::cout << "=== Figure 6: dendrogram (ward linkage, "
+              << space.cols() << " PCs) ===\n\n";
+
+    Dendrogram d = cluster::agglomerate(space, Linkage::Ward);
+    std::cout << d.render(data.labels) << "\n";
+
+    for (uint32_t k : {4u, 6u, 8u}) {
+        auto labels = d.cut(k);
+        std::cout << "--- cut at k=" << k << " ---\n";
+        for (uint32_t c = 0; c < k; ++c) {
+            std::cout << "  cluster " << c << ":";
+            for (size_t i = 0; i < labels.size(); ++i)
+                if (labels[i] == int(c))
+                    std::cout << " " << data.labels[i];
+            std::cout << "\n";
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "--- merge schedule (CSV) ---\n";
+    std::cout << "step,a,b,distance,size\n";
+    const auto &merges = d.merges();
+    for (size_t i = 0; i < merges.size(); ++i)
+        std::cout << strfmt("%zu,%u,%u,%.4f,%u\n", i, merges[i].a,
+                            merges[i].b, merges[i].dist,
+                            merges[i].size);
+    return 0;
+}

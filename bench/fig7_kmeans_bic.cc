@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 7 — k-means with BIC model selection and representative
+ * workloads.
+ *
+ * Sweeps the cluster count, picks k by BIC, reports the clustering
+ * quality (silhouette) and extracts the per-cluster medoids: the
+ * paper's representative-workload selection.
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "cluster/kmeans.hh"
+#include "common/table.hh"
+#include "report/plot.hh"
+
+int
+main()
+{
+    using namespace gwc;
+
+    auto data = bench::runFullSuite(false);
+    stats::Matrix space = bench::clusteringSpace(data);
+
+    std::cout << "=== Figure 7: k-means + BIC model selection ===\n\n";
+    Rng rng(0xB1C);
+    std::vector<double> bics;
+    uint32_t kMax = uint32_t(space.rows()) / 2;
+    uint32_t bestK = cluster::selectKByBic(space, kMax, rng, &bics);
+
+    report::AsciiBars bars("BIC by cluster count (higher is better)");
+    Table t({"k", "BIC"});
+    for (size_t k = 1; k <= bics.size(); ++k) {
+        bars.add(strfmt("k=%zu", k), bics[k - 1]);
+        t.addRow({Table::integer(int64_t(k)),
+                  Table::num(bics[k - 1], 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nselected k = " << bestK << "\n\n";
+
+    Rng rng2(0x5EED);
+    auto res = cluster::kmeans(space, bestK, rng2);
+    double sil = cluster::silhouette(space, res.labels);
+    auto meds = cluster::medoids(space, res.labels, bestK);
+
+    std::cout << "silhouette = " << Table::num(sil, 3) << "\n\n";
+    std::cout << "--- clusters and representatives (medoids) ---\n";
+    for (uint32_t c = 0; c < bestK; ++c) {
+        std::cout << "cluster " << c << " [rep: "
+                  << data.labels[meds[c]] << "]:";
+        for (size_t i = 0; i < res.labels.size(); ++i)
+            if (res.labels[i] == int(c))
+                std::cout << " " << data.labels[i];
+        std::cout << "\n";
+    }
+
+    std::cout << "\n--- CSV ---\nkernel,cluster,isRepresentative\n";
+    for (size_t i = 0; i < res.labels.size(); ++i) {
+        bool rep = false;
+        for (uint32_t m : meds)
+            rep = rep || m == i;
+        std::cout << data.labels[i] << "," << res.labels[i] << ","
+                  << (rep ? 1 : 0) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Microbenchmarks of the framework itself (google-benchmark):
+ * engine interpretation throughput, profiler overhead, the
+ * reuse-distance analyzer and the clustering kernels. These guard
+ * against performance regressions of the tooling, not the paper's
+ * results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.hh"
+#include "metrics/profiler.hh"
+#include "metrics/reuse.hh"
+#include "simt/engine.hh"
+#include "stats/pca.hh"
+
+namespace
+{
+
+using namespace gwc;
+using simt::Dim3;
+using simt::Engine;
+using simt::KernelParams;
+using simt::Reg;
+using simt::Warp;
+using simt::WarpTask;
+
+WarpTask
+saxpyKernel(Warp &w)
+{
+    uint64_t x = w.param<uint64_t>(0);
+    uint64_t y = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> xv = w.ldg<float>(x, i);
+    Reg<float> yv = w.ldg<float>(y, i);
+    w.stg<float>(y, i, w.fma(xv, w.imm(2.0f), yv));
+    co_return;
+}
+
+void
+BM_EngineSaxpy(benchmark::State &state)
+{
+    Engine e;
+    const uint32_t n = 32768;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    KernelParams p;
+    p.push(x.addr()).push(y.addr());
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st =
+            e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineSaxpy);
+
+void
+BM_EngineSaxpyProfiled(benchmark::State &state)
+{
+    Engine e;
+    const uint32_t n = 32768;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    KernelParams p;
+    p.push(x.addr()).push(y.addr());
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st =
+            e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineSaxpyProfiled);
+
+void
+BM_ReuseDistance(benchmark::State &state)
+{
+    const uint64_t lines = 4096;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        metrics::ReuseDistanceAnalyzer r;
+        for (uint64_t a = 0; a < 100000; ++a)
+            r.access((i++ * 2654435761u) % lines);
+        benchmark::DoNotOptimize(r.shortFrac());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 100000);
+}
+BENCHMARK(BM_ReuseDistance);
+
+void
+BM_KmeansSuiteSized(benchmark::State &state)
+{
+    Rng gen(42);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 40; ++i) {
+        std::vector<double> r;
+        for (int c = 0; c < 8; ++c)
+            r.push_back(gen.nextDouble());
+        rows.push_back(r);
+    }
+    auto m = stats::Matrix::fromRows(rows);
+    for (auto _ : state) {
+        Rng rng(7);
+        auto res = cluster::kmeans(m, 6, rng);
+        benchmark::DoNotOptimize(res.inertia);
+    }
+}
+BENCHMARK(BM_KmeansSuiteSized);
+
+void
+BM_PcaSuiteSized(benchmark::State &state)
+{
+    Rng gen(43);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 40; ++i) {
+        std::vector<double> r;
+        for (int c = 0; c < 31; ++c)
+            r.push_back(gen.nextDouble());
+        rows.push_back(r);
+    }
+    auto m = stats::Matrix::fromRows(rows);
+    for (auto _ : state) {
+        auto res = stats::pca(m);
+        benchmark::DoNotOptimize(res.eigenvalues);
+    }
+}
+BENCHMARK(BM_PcaSuiteSized);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

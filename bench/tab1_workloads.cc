@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 1 — workload inventory.
+ *
+ * Reproduces the paper's workload table: suite, abbreviation, name,
+ * kernel count, launch geometry, dynamic warp instructions and
+ * verification status of every bundled benchmark.
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    auto data = bench::runFullSuite(false);
+
+    std::cout << "=== Table 1: GPGPU workload inventory ===\n\n";
+    Table t({"suite", "abbrev", "workload", "kernels", "launches",
+             "warp-instrs", "verified"});
+    uint64_t totalInstrs = 0;
+    uint32_t totalKernels = 0;
+    for (const auto &run : data.runs) {
+        uint32_t launches = 0;
+        for (const auto &p : run.profiles)
+            launches += p.launches;
+        t.addRow({run.desc.suite, run.desc.abbrev, run.desc.name,
+                  Table::integer(int64_t(run.profiles.size())),
+                  Table::integer(launches),
+                  Table::integer(int64_t(run.totals.warpInstrs)),
+                  run.verified ? "yes" : "NO"});
+        totalInstrs += run.totals.warpInstrs;
+        totalKernels += uint32_t(run.profiles.size());
+    }
+    t.print(std::cout);
+    std::cout << "\nworkloads: " << data.runs.size()
+              << "  kernels: " << totalKernels
+              << "  total dynamic warp instructions: " << totalInstrs
+              << "\n\n";
+
+    std::cout << "--- per-kernel geometry ---\n";
+    Table g({"kernel", "grid", "cta", "launches", "warp-instrs"});
+    for (const auto &p : data.profiles) {
+        g.addRow({p.label(),
+                  strfmt("%ux%ux%u", p.grid.x, p.grid.y, p.grid.z),
+                  strfmt("%ux%u", p.cta.x, p.cta.y),
+                  Table::integer(p.launches),
+                  Table::integer(int64_t(p.warpInstrs))});
+    }
+    g.print(std::cout);
+    return 0;
+}

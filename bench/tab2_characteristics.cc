@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 2 — the microarchitecture-independent characteristic set and
+ * its per-kernel values.
+ *
+ * Prints the characteristic definitions (name, subspace,
+ * description) and the full kernels x characteristics matrix, both
+ * human-readable (grouped) and as CSV for downstream tooling.
+ */
+
+#include <iostream>
+
+#include "bench/benchlib.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    using namespace gwc::metrics;
+
+    std::cout << "=== Table 2: microarchitecture-independent "
+                 "characteristics ===\n\n";
+    Table defs({"#", "name", "subspace", "description"});
+    for (const auto &info : characteristicTable())
+        defs.addRow({Table::integer(info.id), info.name,
+                     subspaceName(info.subspace), info.desc});
+    defs.print(std::cout);
+
+    auto data = bench::runFullSuite(false);
+
+    std::cout << "\n--- per-kernel values (key columns) ---\n";
+    Table t({"kernel", "frac_fp", "frac_sfu", "frac_br", "ilp16",
+             "div_frac", "simd_act", "tx_per_acc", "coal_eff",
+             "bank_conf", "reuse_short", "sync_pki", "cta_share"});
+    for (size_t r = 0; r < data.profiles.size(); ++r) {
+        const auto &m = data.profiles[r].metrics;
+        t.addRow({data.labels[r], Table::num(m[kFracFpAlu]),
+                  Table::num(m[kFracSfu]), Table::num(m[kFracBranch]),
+                  Table::num(m[kIlp16], 2),
+                  Table::num(m[kDivBranchFrac]),
+                  Table::num(m[kSimdActivity]),
+                  Table::num(m[kTxPerGmemAccess], 2),
+                  Table::num(m[kCoalescingEff]),
+                  Table::num(m[kBankConflictDeg], 2),
+                  Table::num(m[kReuseShortFrac]),
+                  Table::num(m[kBarriersPerKiloInstr], 2),
+                  Table::num(m[kInterCtaSharedFrac])});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n--- full matrix (CSV) ---\n";
+    std::cout << "kernel";
+    for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+        std::cout << "," << characteristicName(c);
+    std::cout << "\n";
+    for (size_t r = 0; r < data.profiles.size(); ++r) {
+        std::cout << data.labels[r];
+        for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+            std::cout << "," << Table::num(data.metricsMat(r, c), 5);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+# Experiment binaries: one per reproduced table/figure, plus the
+# framework microbenchmarks. Included from the top-level CMakeLists
+# (not add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains ONLY
+# executables and `for b in build/bench/*; do $b; done` just works.
+
+add_library(gwc_benchlib STATIC bench/benchlib.cc)
+target_include_directories(gwc_benchlib PUBLIC ${CMAKE_SOURCE_DIR})
+target_link_libraries(gwc_benchlib PUBLIC gwc_workloads gwc_stats)
+
+function(gwc_add_bench name)
+    add_executable(${name} bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE gwc_benchlib gwc_cluster
+        gwc_evalmetrics gwc_timing gwc_report)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+gwc_add_bench(tab1_workloads)
+gwc_add_bench(tab2_characteristics)
+gwc_add_bench(fig3_correlation)
+gwc_add_bench(fig4_pca_variance)
+gwc_add_bench(fig5_pca_scatter)
+gwc_add_bench(fig6_dendrogram)
+gwc_add_bench(fig7_kmeans_bic)
+gwc_add_bench(fig8_branch_subspace)
+gwc_add_bench(fig9_coalescing_subspace)
+gwc_add_bench(fig10_stress_ranking)
+gwc_add_bench(fig11_subset_accuracy)
+gwc_add_bench(fig12_ablation)
+gwc_add_bench(fig13_sampling)
+gwc_add_bench(fig14_scheduler)
+gwc_add_bench(fig15_suite_growth)
+gwc_add_bench(fig16_scale_sensitivity)
+gwc_add_bench(fig17_phase_behavior)
+
+add_executable(micro_bench bench/micro_bench.cc)
+target_link_libraries(micro_bench PRIVATE gwc_metrics gwc_cluster
+    gwc_stats benchmark::benchmark)
+set_target_properties(micro_bench PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * GKS front-end scenario: ship kernels as text, characterize them
+ * without recompiling. Assembles a divergence-heavy string-search
+ * kernel from source at runtime and prints its characteristics next
+ * to the equivalent C++ kernel.
+ *
+ *   $ ./examples/asm_frontend
+ */
+
+#include <iostream>
+
+#include "common/rng.hh"
+#include "metrics/profiler.hh"
+#include "simt/asm.hh"
+#include "simt/engine.hh"
+
+using namespace gwc;
+using namespace gwc::simt;
+
+static const char *kSource = R"(
+    ; first-match scan: each thread walks a haystack slice until it
+    ; sees its needle byte -> data-dependent trip counts, divergence
+    .kernel firstmatch
+    .param ptr haystack
+    .param ptr out
+    .param u32 slice
+
+    gid %i
+    mul.u32 %base, %i, $slice
+    mov.u32 %k, 0
+    rem.u32 %needle, %i, 251
+    mov.u32 %found, 0xffffffff
+    while.lt.u32 %k, $slice
+      add.u32 %pos, %base, %k
+      ld.u32 %v, $haystack[%pos]
+      if.eq.u32 %v, %needle
+        min.u32 %found, %found, %k
+        mov.u32 %k, $slice          ; break
+      else
+        add.u32 %k, %k, 1
+      endif
+    endwhile
+    st.u32 $out[%i], %found
+)";
+
+int
+main()
+{
+    AsmKernel kernel = assembleKernel(kSource);
+    std::cout << "assembled kernel '" << kernel.name() << "': "
+              << kernel.instructionCount() << " static instrs, "
+              << kernel.registerCount() << " registers\n\n";
+
+    Engine e;
+    const uint32_t threads = 2048, slice = 64;
+    auto hay = e.alloc<uint32_t>(threads * slice);
+    auto out = e.alloc<uint32_t>(threads);
+    Rng rng(99);
+    for (uint32_t i = 0; i < threads * slice; ++i)
+        hay.set(i, uint32_t(rng.nextBelow(256)));
+
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    KernelParams p;
+    p.push(hay.addr()).push(out.addr()).push(slice);
+    auto stats = e.launch(kernel.name(), kernel.entry(),
+                          Dim3(threads / 128), Dim3(128), 0, p);
+    auto profile = prof.finalize("GKS")[0];
+
+    // Host check of the first few results.
+    uint32_t mismatches = 0;
+    for (uint32_t i = 0; i < threads; ++i) {
+        uint32_t found = 0xffffffff;
+        for (uint32_t k = 0; k < slice; ++k)
+            if (hay[i * slice + k] == i % 251) {
+                found = k;
+                break;
+            }
+        if (out[i] != found)
+            ++mismatches;
+    }
+
+    std::cout << "executed " << stats.warpInstrs
+              << " warp instructions; " << mismatches
+              << " mismatches vs host reference\n\n";
+    std::cout << "divergence signature of the assembled kernel:\n";
+    std::cout << "  divergent-branch fraction: "
+              << profile.metrics[metrics::kDivBranchFrac] << "\n";
+    std::cout << "  SIMD activity:             "
+              << profile.metrics[metrics::kSimdActivity] << "\n";
+    std::cout << "  tx per global access:      "
+              << profile.metrics[metrics::kTxPerGmemAccess] << "\n";
+    return mismatches == 0 ? 0 : 1;
+}

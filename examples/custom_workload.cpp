@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Custom-workload scenario: characterize *your* kernel against the
+ * bundled suites and find where it lands in the workload space —
+ * which benchmark it resembles and which functional blocks it
+ * stresses.
+ *
+ * The custom kernel here is a toy molecular-dynamics force loop with
+ * a cutoff test: mixed coalescing and moderate divergence.
+ *
+ *   $ ./examples/custom_workload
+ */
+
+#include <iostream>
+
+#include "evalmetrics/evalmetrics.hh"
+#include "metrics/profiler.hh"
+#include "stats/pca.hh"
+#include "workloads/suite.hh"
+
+using namespace gwc;
+using namespace gwc::simt;
+
+/** Cutoff-based pairwise force accumulation (one thread per atom). */
+static WarpTask
+forceKernel(Warp &w)
+{
+    uint64_t px = w.param<uint64_t>(0);
+    uint64_t py = w.param<uint64_t>(1);
+    uint64_t fx = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+    float cutoff2 = w.param<float>(4);
+
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> xi = w.ldg<float>(px, i);
+    Reg<float> yi = w.ldg<float>(py, i);
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t j = 0; w.uniform(j < n); j += 16) {
+        Reg<float> xj = w.ldg<float>(px, w.imm(j));
+        Reg<float> yj = w.ldg<float>(py, w.imm(j));
+        Reg<float> dx = xi - xj;
+        Reg<float> dy = yi - yj;
+        Reg<float> r2 = w.fma(dx, dx, dy * dy);
+        // Divergent cutoff: only nearby pairs pay the rsqrt.
+        w.If(r2 < cutoff2, [&] {
+            Reg<float> inv = w.rsqrt(r2 + 0.01f);
+            acc = w.fma(inv, inv, acc);
+        });
+    }
+    w.stg<float>(fx, i, acc);
+    co_return;
+}
+
+int
+main()
+{
+    // 1. Characterize the custom kernel.
+    Engine e;
+    const uint32_t n = 4096;
+    auto px = e.alloc<float>(n);
+    auto py = e.alloc<float>(n);
+    auto fx = e.alloc<float>(n);
+    Rng rng(7);
+    for (uint32_t i = 0; i < n; ++i) {
+        px.set(i, rng.nextRange(0.0f, 50.0f));
+        py.set(i, rng.nextRange(0.0f, 50.0f));
+    }
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    KernelParams p;
+    p.push(px.addr()).push(py.addr()).push(fx.addr()).push(n)
+        .push(25.0f);
+    e.launch("force", forceKernel, Dim3(n / 128), Dim3(128), 0, p);
+    auto mine = prof.finalize("MYMD");
+
+    // 2. Characterize the reference suites.
+    workloads::SuiteOptions opts;
+    auto runs = workloads::runSuite({}, opts);
+    auto profiles = workloads::allProfiles(runs);
+    profiles.push_back(mine[0]);
+    auto matrix = workloads::metricMatrix(profiles);
+    auto labels = workloads::profileLabels(profiles);
+
+    // 3. Locate the custom kernel in PCA space.
+    auto pca = stats::pca(matrix);
+    size_t self = profiles.size() - 1;
+    auto space = pca.truncatedScores(pca.numPcsFor(0.90));
+    std::cout << "nearest benchmark kernels to "
+              << labels[self] << ":\n";
+    std::vector<std::pair<double, size_t>> near;
+    for (size_t i = 0; i + 1 < profiles.size(); ++i)
+        near.push_back({stats::rowDistance(space, self, i), i});
+    std::sort(near.begin(), near.end());
+    for (int k = 0; k < 5; ++k)
+        std::cout << "  " << labels[near[k].second]
+                  << "  (distance " << near[k].first << ")\n";
+
+    // 4. Which blocks does it stress more than the median kernel?
+    std::cout << "\nsubspace stress percentile of " << labels[self]
+              << ":\n";
+    for (uint8_t s = 0;
+         s < uint8_t(metrics::Subspace::NumSubspaces); ++s) {
+        auto rank = evalmetrics::stressRanking(
+            matrix, metrics::Subspace(s));
+        size_t pos = 0;
+        for (size_t i = 0; i < rank.size(); ++i)
+            if (rank[i].kernel == self)
+                pos = i;
+        std::cout << "  "
+                  << metrics::subspaceName(metrics::Subspace(s))
+                  << ": rank " << pos + 1 << " of " << rank.size()
+                  << "\n";
+    }
+    return 0;
+}

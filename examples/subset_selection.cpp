@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Architect scenario: evaluate a cache-size design change using only
+ * the representative workloads, then validate the estimate against
+ * the full-suite simulation.
+ *
+ *   $ ./examples/subset_selection
+ */
+
+#include <iostream>
+#include <map>
+
+#include "cluster/kmeans.hh"
+#include "evalmetrics/evalmetrics.hh"
+#include "stats/pca.hh"
+#include "timing/gpu.hh"
+#include "workloads/suite.hh"
+
+using namespace gwc;
+
+int
+main()
+{
+    // Characterize the suite and pick representatives.
+    workloads::SuiteOptions opts;
+    auto runs = workloads::runSuite({}, opts);
+    auto profiles = workloads::allProfiles(runs);
+    auto matrix = workloads::metricMatrix(profiles);
+    auto labels = workloads::profileLabels(profiles);
+    auto pca = stats::pca(matrix);
+    auto space = pca.truncatedScores(pca.numPcsFor(0.90));
+
+    Rng rng(11);
+    const uint32_t k = 5;
+    auto km = cluster::kmeans(space, k, rng);
+    auto reps = cluster::medoids(space, km.labels, k);
+    std::cout << "representatives:";
+    for (uint32_t r : reps)
+        std::cout << " " << labels[r];
+    std::cout << "\n\n";
+
+    // Design question: does quadrupling the L1 pay off?
+    timing::GpuConfig base;
+    timing::GpuConfig bigL1 = base;
+    bigL1.name = "bigL1";
+    bigL1.l1KB = 64;
+
+    // Trace and simulate every kernel on both designs.
+    std::vector<double> speedup(labels.size());
+    size_t idx = 0;
+    for (const auto &run : runs) {
+        simt::Engine engine;
+        timing::TraceCapture cap;
+        auto wl = workloads::makeWorkload(run.desc.abbrev);
+        wl->setup(engine, 1);
+        engine.addHook(&cap);
+        wl->run(engine);
+        engine.clearHooks();
+
+        std::map<std::string, std::vector<timing::KernelTrace>> by;
+        std::vector<std::string> order;
+        for (auto &t : cap.traces()) {
+            if (!by.count(t.name))
+                order.push_back(t.name);
+            by[t.name].push_back(std::move(t));
+        }
+        for (const auto &name : order) {
+            auto a = timing::simulateAll(by[name], base);
+            auto b = timing::simulateAll(by[name], bigL1);
+            speedup[idx++] = double(a.cycles) / double(b.cycles);
+        }
+    }
+
+    // Full-suite truth vs representative estimate.
+    double truth = 0.0;
+    for (double s : speedup)
+        truth += s;
+    truth /= double(speedup.size());
+
+    double est = 0.0;
+    std::vector<double> weight(k, 0.0);
+    for (int l : km.labels)
+        weight[size_t(l)] += 1.0 / double(km.labels.size());
+    for (uint32_t c = 0; c < k; ++c)
+        est += weight[c] * speedup[reps[c]];
+
+    std::cout << "L1 16KB -> 64KB geometric effect on the suite:\n";
+    std::cout << "  full-suite mean speedup (36 kernels simulated): "
+              << truth << "\n";
+    std::cout << "  representative estimate (" << k
+              << " kernels simulated): " << est << "\n";
+    std::cout << "  error: "
+              << 100.0 * std::fabs(est - truth) / truth << "%\n\n";
+    std::cout << "kernels that love the bigger L1:\n";
+    for (size_t i = 0; i < speedup.size(); ++i)
+        if (speedup[i] > 1.03)
+            std::cout << "  " << labels[i] << "  " << speedup[i]
+                      << "x\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Suite analysis: the paper's full methodology in ~60 lines of
+ * library calls — run the bundled benchmark suites, characterize
+ * every kernel, reduce dimensions with PCA, cluster, and report the
+ * representative workloads.
+ *
+ *   $ ./examples/suite_analysis [workload...]
+ */
+
+#include <iostream>
+
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "stats/pca.hh"
+#include "workloads/suite.hh"
+
+using namespace gwc;
+
+int
+main(int argc, char **argv)
+{
+    // Pick workloads from the command line, or run everything.
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.push_back(argv[i]);
+
+    workloads::SuiteOptions opts;
+    opts.verbose = true;
+    auto runs = workloads::runSuite(names, opts);
+    auto profiles = workloads::allProfiles(runs);
+    auto matrix = workloads::metricMatrix(profiles);
+    auto labels = workloads::profileLabels(profiles);
+    std::cout << "\ncharacterized " << profiles.size()
+              << " kernels\n\n";
+
+    // Correlated dimensionality reduction.
+    auto pca = stats::pca(matrix);
+    size_t pcs = pca.numPcsFor(0.90);
+    std::cout << pcs << " PCs cover 90% of the variance\n\n";
+    auto space = pca.truncatedScores(pcs);
+
+    // Hierarchical view of the workload space.
+    auto dendro = cluster::agglomerate(space,
+                                       cluster::Linkage::Ward);
+    std::cout << dendro.render(labels) << "\n";
+
+    // Flat clustering with BIC-selected k, and representatives.
+    Rng rng(42);
+    uint32_t k = cluster::selectKByBic(
+        space, uint32_t(space.rows()) / 2, rng);
+    auto km = cluster::kmeans(space, k, rng);
+    auto reps = cluster::medoids(space, km.labels, k);
+    std::cout << "k = " << k << " clusters (BIC), silhouette = "
+              << cluster::silhouette(space, km.labels) << "\n";
+    for (uint32_t c = 0; c < k; ++c) {
+        std::cout << "cluster " << c << " (rep "
+                  << labels[reps[c]] << "):";
+        for (size_t i = 0; i < labels.size(); ++i)
+            if (km.labels[i] == int(c))
+                std::cout << " " << labels[i];
+        std::cout << "\n";
+    }
+    std::cout << "\nSimulate only the representatives to explore a "
+                 "design space cheaply\n(see "
+                 "bench/fig11_subset_accuracy for the accuracy "
+                 "study).\n";
+    return 0;
+}

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Agglomerative clustering implementation (Lance-Williams updates).
+ */
+
+#include "cluster/hierarchical.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+#include "common/logging.hh"
+#include "stats/pca.hh"
+
+namespace gwc::cluster
+{
+
+using stats::Matrix;
+
+const char *
+linkageName(Linkage l)
+{
+    switch (l) {
+      case Linkage::Single: return "single";
+      case Linkage::Complete: return "complete";
+      case Linkage::Average: return "average";
+      case Linkage::Ward: return "ward";
+      default: return "?";
+    }
+}
+
+Dendrogram
+agglomerate(const Matrix &points, Linkage link)
+{
+    return agglomerateDistances(stats::pairwiseDistances(points),
+                                link);
+}
+
+Dendrogram
+agglomerateDistances(Matrix dist, Linkage link)
+{
+    const uint32_t n = static_cast<uint32_t>(dist.rows());
+    GWC_ASSERT(dist.rows() == dist.cols(), "distance matrix square");
+    if (n == 0)
+        return Dendrogram(0, {});
+
+    // Ward's criterion updates squared Euclidean distances.
+    if (link == Linkage::Ward)
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                dist(i, j) = dist(i, j) * dist(i, j);
+
+    std::vector<bool> alive(n, true);
+    std::vector<uint32_t> size(n, 1);
+    std::vector<uint32_t> nodeId(n);
+    for (uint32_t i = 0; i < n; ++i)
+        nodeId[i] = i;
+
+    std::vector<Merge> merges;
+    merges.reserve(n > 0 ? n - 1 : 0);
+
+    for (uint32_t step = 0; step + 1 < n; ++step) {
+        // Find the closest live pair.
+        double best = std::numeric_limits<double>::infinity();
+        uint32_t bi = 0, bj = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            for (uint32_t j = i + 1; j < n; ++j) {
+                if (!alive[j])
+                    continue;
+                if (dist(i, j) < best) {
+                    best = dist(i, j);
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        double ni = size[bi], nj = size[bj];
+        // Lance-Williams update of distances from the merged cluster
+        // (stored in slot bi) to every other live cluster k.
+        for (uint32_t k = 0; k < n; ++k) {
+            if (!alive[k] || k == bi || k == bj)
+                continue;
+            double dik = dist(bi, k), djk = dist(bj, k);
+            double d = 0.0;
+            switch (link) {
+              case Linkage::Single:
+                d = std::min(dik, djk);
+                break;
+              case Linkage::Complete:
+                d = std::max(dik, djk);
+                break;
+              case Linkage::Average:
+                d = (ni * dik + nj * djk) / (ni + nj);
+                break;
+              case Linkage::Ward: {
+                double nk = size[k];
+                double tot = ni + nj + nk;
+                d = ((ni + nk) * dik + (nj + nk) * djk -
+                     nk * best) / tot;
+                break;
+              }
+            }
+            dist(bi, k) = d;
+            dist(k, bi) = d;
+        }
+
+        alive[bj] = false;
+        size[bi] += size[bj];
+
+        Merge m;
+        m.a = nodeId[bi];
+        m.b = nodeId[bj];
+        m.dist = link == Linkage::Ward ? std::sqrt(best) : best;
+        m.size = size[bi];
+        merges.push_back(m);
+        nodeId[bi] = n + step;
+    }
+
+    return Dendrogram(n, std::move(merges));
+}
+
+std::vector<int>
+Dendrogram::cut(uint32_t k) const
+{
+    uint32_t n = leaves_;
+    if (n == 0)
+        return {};
+    k = std::max<uint32_t>(1, std::min(k, n));
+
+    // Apply the first n-k merges with a union-find over node ids.
+    std::vector<uint32_t> parent(n + merges_.size());
+    for (uint32_t i = 0; i < parent.size(); ++i)
+        parent[i] = i;
+    std::function<uint32_t(uint32_t)> find =
+        [&](uint32_t x) -> uint32_t {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    uint32_t toApply = n - k;
+    for (uint32_t i = 0; i < toApply && i < merges_.size(); ++i) {
+        uint32_t node = n + i;
+        parent[find(merges_[i].a)] = node;
+        parent[find(merges_[i].b)] = node;
+    }
+
+    std::vector<int> labels(n, -1);
+    std::vector<int64_t> rootLabel(parent.size(), -1);
+    int next = 0;
+    for (uint32_t leaf = 0; leaf < n; ++leaf) {
+        uint32_t r = find(leaf);
+        if (rootLabel[r] < 0)
+            rootLabel[r] = next++;
+        labels[leaf] = static_cast<int>(rootLabel[r]);
+    }
+    return labels;
+}
+
+double
+Dendrogram::copheneticDistance(uint32_t a, uint32_t b) const
+{
+    if (a == b)
+        return 0.0;
+    std::vector<uint32_t> parent(leaves_ + merges_.size());
+    for (uint32_t i = 0; i < parent.size(); ++i)
+        parent[i] = i;
+    std::function<uint32_t(uint32_t)> find =
+        [&](uint32_t x) -> uint32_t {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (uint32_t i = 0; i < merges_.size(); ++i) {
+        uint32_t node = leaves_ + i;
+        parent[find(merges_[i].a)] = node;
+        parent[find(merges_[i].b)] = node;
+        if (find(a) == find(b))
+            return merges_[i].dist;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+namespace
+{
+
+struct Node
+{
+    int left = -1;   ///< node id or -1
+    int right = -1;
+    double dist = 0.0;
+};
+
+void
+renderNode(const std::vector<Node> &nodes, uint32_t leaves,
+           uint32_t id, const std::vector<std::string> &labels,
+           const std::string &prefix, bool last, std::string &out)
+{
+    out += prefix;
+    out += last ? "`-" : "|-";
+    if (id < leaves) {
+        out += " " + labels[id] + "\n";
+        return;
+    }
+    const Node &nd = nodes[id - leaves];
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "+ d=%.3f\n", nd.dist);
+    out += buf;
+    std::string childPrefix = prefix + (last ? "   " : "|  ");
+    renderNode(nodes, leaves, nd.left, labels, childPrefix, false,
+               out);
+    renderNode(nodes, leaves, nd.right, labels, childPrefix, true,
+               out);
+}
+
+} // anonymous namespace
+
+std::string
+Dendrogram::render(const std::vector<std::string> &labels) const
+{
+    GWC_ASSERT(labels.size() == leaves_, "label count mismatch");
+    if (leaves_ == 0)
+        return "";
+    if (merges_.empty())
+        return labels[0] + "\n";
+
+    std::vector<Node> nodes(merges_.size());
+    for (size_t i = 0; i < merges_.size(); ++i) {
+        nodes[i].left = static_cast<int>(merges_[i].a);
+        nodes[i].right = static_cast<int>(merges_[i].b);
+        nodes[i].dist = merges_[i].dist;
+    }
+    std::string out;
+    renderNode(nodes, leaves_,
+               leaves_ + static_cast<uint32_t>(merges_.size()) - 1,
+               labels, "", true, out);
+    return out;
+}
+
+} // namespace gwc::cluster

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering with Lance-Williams linkage
+ * updates and an ASCII dendrogram renderer — the paper's Figure-6
+ * style workload-similarity analysis.
+ */
+
+#ifndef GWC_CLUSTER_HIERARCHICAL_HH
+#define GWC_CLUSTER_HIERARCHICAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace gwc::cluster
+{
+
+/** Inter-cluster distance definition. */
+enum class Linkage : uint8_t { Single, Complete, Average, Ward };
+
+/** Linkage name for reports. */
+const char *linkageName(Linkage l);
+
+/**
+ * One agglomeration step. Node ids follow the scipy convention:
+ * 0..n-1 are leaves; the i-th merge creates node n+i.
+ */
+struct Merge
+{
+    uint32_t a;      ///< first child node id
+    uint32_t b;      ///< second child node id
+    double dist;     ///< linkage distance at the merge
+    uint32_t size;   ///< leaves under the new node
+};
+
+/**
+ * Full merge tree of one clustering run.
+ */
+class Dendrogram
+{
+  public:
+    Dendrogram(uint32_t leaves, std::vector<Merge> merges)
+        : leaves_(leaves), merges_(std::move(merges))
+    {}
+
+    uint32_t leaves() const { return leaves_; }
+    const std::vector<Merge> &merges() const { return merges_; }
+
+    /**
+     * Cut the tree into @p k clusters; returns a label in [0, k) per
+     * leaf. k is clamped to [1, leaves].
+     */
+    std::vector<int> cut(uint32_t k) const;
+
+    /**
+     * Render as an indented ASCII tree with merge distances, leaves
+     * named by @p labels.
+     */
+    std::string render(const std::vector<std::string> &labels) const;
+
+    /** Cophenetic distance between two leaves (merge height). */
+    double copheneticDistance(uint32_t a, uint32_t b) const;
+
+  private:
+    uint32_t leaves_;
+    std::vector<Merge> merges_;
+};
+
+/**
+ * Cluster the rows of @p points (Euclidean metric) bottom-up.
+ */
+Dendrogram agglomerate(const stats::Matrix &points, Linkage link);
+
+/**
+ * Cluster from a precomputed symmetric distance matrix.
+ */
+Dendrogram agglomerateDistances(stats::Matrix dist, Linkage link);
+
+} // namespace gwc::cluster
+
+#endif // GWC_CLUSTER_HIERARCHICAL_HH

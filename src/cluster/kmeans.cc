@@ -1,0 +1,278 @@
+/**
+ * @file
+ * K-means, BIC model selection and silhouette implementation.
+ */
+
+#include "cluster/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "stats/pca.hh"
+
+namespace gwc::cluster
+{
+
+using stats::Matrix;
+
+std::vector<uint32_t>
+KmeansResult::sizes() const
+{
+    std::vector<uint32_t> s(k, 0);
+    for (int l : labels)
+        if (l >= 0)
+            ++s[static_cast<size_t>(l)];
+    return s;
+}
+
+namespace
+{
+
+double
+pointCentroidDist2(const Matrix &x, size_t row, const Matrix &cent,
+                   size_t c)
+{
+    double s = 0.0;
+    for (size_t d = 0; d < x.cols(); ++d) {
+        double diff = x(row, d) - cent(c, d);
+        s += diff * diff;
+    }
+    return s;
+}
+
+/** k-means++ seeding. */
+Matrix
+seed(const Matrix &x, uint32_t k, Rng &rng)
+{
+    size_t n = x.rows(), d = x.cols();
+    Matrix cent(k, d);
+    size_t first = rng.nextBelow(n);
+    for (size_t c = 0; c < d; ++c)
+        cent(0, c) = x(first, c);
+
+    std::vector<double> dist2(n);
+    for (uint32_t ci = 1; ci < k; ++ci) {
+        double total = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double best = std::numeric_limits<double>::infinity();
+            for (uint32_t cj = 0; cj < ci; ++cj)
+                best = std::min(best,
+                                pointCentroidDist2(x, r, cent, cj));
+            dist2[r] = best;
+            total += best;
+        }
+        size_t pick;
+        if (total <= 0) {
+            pick = rng.nextBelow(n);
+        } else {
+            double target = rng.nextDouble() * total;
+            pick = n - 1;
+            double acc = 0.0;
+            for (size_t r = 0; r < n; ++r) {
+                acc += dist2[r];
+                if (acc >= target) {
+                    pick = r;
+                    break;
+                }
+            }
+        }
+        for (size_t c = 0; c < d; ++c)
+            cent(ci, c) = x(pick, c);
+    }
+    return cent;
+}
+
+KmeansResult
+lloyd(const Matrix &x, uint32_t k, Rng &rng, uint32_t iters)
+{
+    size_t n = x.rows(), d = x.cols();
+    KmeansResult res;
+    res.k = k;
+    res.centroids = seed(x, k, rng);
+    res.labels.assign(n, 0);
+
+    for (uint32_t it = 0; it < iters; ++it) {
+        bool changed = false;
+        for (size_t r = 0; r < n; ++r) {
+            double best = std::numeric_limits<double>::infinity();
+            int bi = 0;
+            for (uint32_t c = 0; c < k; ++c) {
+                double dd =
+                    pointCentroidDist2(x, r, res.centroids, c);
+                if (dd < best) {
+                    best = dd;
+                    bi = static_cast<int>(c);
+                }
+            }
+            if (res.labels[r] != bi) {
+                res.labels[r] = bi;
+                changed = true;
+            }
+        }
+
+        Matrix sum(k, d);
+        std::vector<uint32_t> cnt(k, 0);
+        for (size_t r = 0; r < n; ++r) {
+            uint32_t c = static_cast<uint32_t>(res.labels[r]);
+            ++cnt[c];
+            for (size_t dd = 0; dd < d; ++dd)
+                sum(c, dd) += x(r, dd);
+        }
+        for (uint32_t c = 0; c < k; ++c) {
+            if (cnt[c] == 0) {
+                // Re-seed an empty cluster on a random point.
+                size_t r = rng.nextBelow(n);
+                for (size_t dd = 0; dd < d; ++dd)
+                    sum(c, dd) = x(r, dd);
+                cnt[c] = 1;
+                changed = true;
+            }
+            for (size_t dd = 0; dd < d; ++dd)
+                res.centroids(c, dd) = sum(c, dd) / cnt[c];
+        }
+        if (!changed)
+            break;
+    }
+
+    res.inertia = 0.0;
+    for (size_t r = 0; r < n; ++r)
+        res.inertia += pointCentroidDist2(
+            x, r, res.centroids,
+            static_cast<uint32_t>(res.labels[r]));
+    return res;
+}
+
+} // anonymous namespace
+
+KmeansResult
+kmeans(const Matrix &x, uint32_t k, Rng &rng, uint32_t iters,
+       uint32_t restarts)
+{
+    GWC_ASSERT(x.rows() > 0, "kmeans on empty data");
+    k = std::max<uint32_t>(
+        1, std::min<uint32_t>(k, static_cast<uint32_t>(x.rows())));
+    KmeansResult best;
+    best.inertia = std::numeric_limits<double>::infinity();
+    for (uint32_t t = 0; t < restarts; ++t) {
+        KmeansResult r = lloyd(x, k, rng, iters);
+        if (r.inertia < best.inertia)
+            best = std::move(r);
+    }
+    return best;
+}
+
+double
+bic(const Matrix &x, const KmeansResult &r)
+{
+    // x-means (Pelleg & Moore) spherical-Gaussian BIC.
+    double n = static_cast<double>(x.rows());
+    double d = static_cast<double>(x.cols());
+    double k = static_cast<double>(r.k);
+    if (n <= k)
+        return -std::numeric_limits<double>::infinity();
+
+    double var = r.inertia / (d * (n - k));
+    var = std::max(var, 1e-12);
+
+    auto sizes = r.sizes();
+    double loglik = 0.0;
+    for (uint32_t c = 0; c < r.k; ++c) {
+        double nc = sizes[c];
+        if (nc > 0)
+            loglik += nc * std::log(nc) - nc * std::log(n);
+    }
+    loglik -= n * d / 2.0 * std::log(2.0 * M_PI * var);
+    loglik -= (n - k) * d / 2.0;
+    double params = k * (d + 1.0);
+    return loglik - params / 2.0 * std::log(n);
+}
+
+uint32_t
+selectKByBic(const Matrix &x, uint32_t kMax, Rng &rng,
+             std::vector<double> *bicsOut)
+{
+    kMax = std::max<uint32_t>(
+        1, std::min<uint32_t>(kMax, static_cast<uint32_t>(x.rows())));
+    double best = -std::numeric_limits<double>::infinity();
+    uint32_t bestK = 1;
+    std::vector<double> bics;
+    for (uint32_t k = 1; k <= kMax; ++k) {
+        KmeansResult r = kmeans(x, k, rng);
+        double b = bic(x, r);
+        bics.push_back(b);
+        if (b > best) {
+            best = b;
+            bestK = k;
+        }
+    }
+    if (bicsOut)
+        *bicsOut = std::move(bics);
+    return bestK;
+}
+
+double
+silhouette(const Matrix &x, const std::vector<int> &labels)
+{
+    size_t n = x.rows();
+    GWC_ASSERT(labels.size() == n, "label count mismatch");
+    int k = 0;
+    for (int l : labels)
+        k = std::max(k, l + 1);
+    if (k < 2)
+        return 0.0;
+
+    Matrix dist = stats::pairwiseDistances(x);
+    double total = 0.0;
+    size_t counted = 0;
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> sum(k, 0.0);
+        std::vector<uint32_t> cnt(k, 0);
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            sum[labels[j]] += dist(i, j);
+            ++cnt[labels[j]];
+        }
+        int own = labels[i];
+        if (cnt[own] == 0)
+            continue; // singleton cluster: silhouette undefined -> 0
+        double a = sum[own] / cnt[own];
+        double b = std::numeric_limits<double>::infinity();
+        for (int c = 0; c < k; ++c) {
+            if (c == own || cnt[c] == 0)
+                continue;
+            b = std::min(b, sum[c] / cnt[c]);
+        }
+        if (!std::isfinite(b))
+            continue;
+        total += (b - a) / std::max(a, b);
+        ++counted;
+    }
+    return counted ? total / counted : 0.0;
+}
+
+std::vector<uint32_t>
+medoids(const Matrix &x, const std::vector<int> &labels, uint32_t k)
+{
+    Matrix dist = stats::pairwiseDistances(x);
+    std::vector<uint32_t> out(k, 0);
+    std::vector<double> best(k, std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < x.rows(); ++i) {
+        int c = labels[i];
+        if (c < 0 || static_cast<uint32_t>(c) >= k)
+            continue;
+        double s = 0.0;
+        for (size_t j = 0; j < x.rows(); ++j)
+            if (labels[j] == c)
+                s += dist(i, j);
+        if (s < best[c]) {
+            best[c] = s;
+            out[c] = static_cast<uint32_t>(i);
+        }
+    }
+    return out;
+}
+
+} // namespace gwc::cluster

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * K-means clustering with k-means++ seeding, BIC-based model
+ * selection (x-means style), silhouette scoring and medoid
+ * extraction — the machinery behind the paper's cluster-count choice
+ * and representative-workload selection.
+ */
+
+#ifndef GWC_CLUSTER_KMEANS_HH
+#define GWC_CLUSTER_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/matrix.hh"
+
+namespace gwc::cluster
+{
+
+/** Outcome of one k-means run. */
+struct KmeansResult
+{
+    uint32_t k = 0;                 ///< clusters requested
+    std::vector<int> labels;        ///< per-row cluster in [0, k)
+    stats::Matrix centroids;        ///< k x dims
+    double inertia = 0.0;           ///< sum of squared distances
+    /** Rows per cluster. */
+    std::vector<uint32_t> sizes() const;
+};
+
+/**
+ * Lloyd's algorithm with k-means++ seeding; the best of
+ * @p restarts independent runs (by inertia) is returned.
+ */
+KmeansResult kmeans(const stats::Matrix &x, uint32_t k, Rng &rng,
+                    uint32_t iters = 100, uint32_t restarts = 6);
+
+/**
+ * Bayesian information criterion of a clustering under the x-means
+ * spherical-Gaussian model. Larger is better.
+ */
+double bic(const stats::Matrix &x, const KmeansResult &r);
+
+/**
+ * Pick the cluster count in [1, kMax] maximizing BIC.
+ *
+ * @param bicsOut optional per-k BIC values (index 0 -> k=1)
+ */
+uint32_t selectKByBic(const stats::Matrix &x, uint32_t kMax, Rng &rng,
+                      std::vector<double> *bicsOut = nullptr);
+
+/** Mean silhouette coefficient of a labeling (needs k >= 2). */
+double silhouette(const stats::Matrix &x,
+                  const std::vector<int> &labels);
+
+/**
+ * Medoid row index of every cluster: the member minimizing the summed
+ * distance to its co-members. These are the paper's "representative
+ * workloads".
+ */
+std::vector<uint32_t> medoids(const stats::Matrix &x,
+                              const std::vector<int> &labels,
+                              uint32_t k);
+
+} // namespace gwc::cluster
+
+#endif // GWC_CLUSTER_KMEANS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Status-message and error-handling helpers for the gwc library.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (library bugs), fatal() is for user errors that make
+ * continuing impossible, warn()/inform() are advisory.
+ */
+
+#ifndef GWC_COMMON_LOGGING_HH
+#define GWC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace gwc
+{
+
+/**
+ * Abort with a formatted message. Call when an internal invariant is
+ * violated, i.e. a bug in the library itself. Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with a formatted message. Call when the simulation cannot
+ * continue due to a user error (bad configuration, invalid argument).
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (warnings always print). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like helper that survives NDEBUG builds.  Used for invariants
+ * whose violation should abort even in release mode.
+ */
+#define GWC_ASSERT(cond, msg)                                           \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::gwc::panic("assertion '%s' failed at %s:%d: %s",          \
+                         #cond, __FILE__, __LINE__, (msg));             \
+    } while (0)
+
+} // namespace gwc
+
+#endif // GWC_COMMON_LOGGING_HH

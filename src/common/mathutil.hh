@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules.
+ */
+
+#ifndef GWC_COMMON_MATHUTIL_HH
+#define GWC_COMMON_MATHUTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gwc
+{
+
+/** Integer ceiling division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v >= 1. */
+constexpr uint32_t
+floorLog2(uint64_t v)
+{
+    uint32_t l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Smallest power of two >= v (v >= 1). */
+constexpr uint64_t
+nextPow2(uint64_t v)
+{
+    uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Arithmetic mean of a vector; 0 for empty input. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Population standard deviation; 0 for fewer than two samples. */
+inline double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+/** Relative-error-tolerant float comparison for verification. */
+inline bool
+nearlyEqual(double a, double b, double relTol = 1e-4,
+            double absTol = 1e-5)
+{
+    double diff = std::fabs(a - b);
+    if (diff <= absTol)
+        return true;
+    return diff <= relTol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+} // namespace gwc
+
+#endif // GWC_COMMON_MATHUTIL_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload inputs.
+ *
+ * All workload input generators use this xoshiro256** implementation so
+ * that characterization results are bit-reproducible across platforms,
+ * independent of the C++ standard library's distributions.
+ */
+
+#ifndef GWC_COMMON_RNG_HH
+#define GWC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace gwc
+{
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna). Deterministic, seedable and
+ * fast; used for all synthetic workload inputs.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        // Simple modulo; bias is negligible for the bounds we use and
+        // determinism matters more than perfect uniformity here.
+        return next() % bound;
+    }
+
+    /** Uniform 32-bit value. */
+    uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) *
+               (1.0f / 16777216.0f);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Approximately standard-normal float (sum of uniforms, CLT). */
+    float
+    nextGaussian()
+    {
+        float s = 0.0f;
+        for (int i = 0; i < 12; ++i)
+            s += nextFloat();
+        return s - 6.0f;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace gwc
+
+#endif // GWC_COMMON_RNG_HH

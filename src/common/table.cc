@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the table builder.
+ */
+
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace gwc
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GWC_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("table row has %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emitRow(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strfmt("%.*f", precision, v);
+}
+
+std::string
+Table::pct(double frac, int precision)
+{
+    return strfmt("%.*f%%", precision, frac * 100.0);
+}
+
+std::string
+Table::integer(int64_t v)
+{
+    return strfmt("%lld", static_cast<long long>(v));
+}
+
+} // namespace gwc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Aligned text tables and CSV emission.
+ *
+ * Every benchmark binary that reproduces one of the paper's tables or
+ * figures formats its rows through this class so the terminal output
+ * and the CSV series stay consistent.
+ */
+
+#ifndef GWC_COMMON_TABLE_HH
+#define GWC_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gwc
+{
+
+/**
+ * A simple column-aligned table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"kernel", "ipc", "divergence"});
+ *   t.addRow({"RD.k0", Table::num(1.23), Table::pct(0.31)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a fraction as a percentage string. */
+    static std::string pct(double frac, int precision = 1);
+
+    /** Format an integer. */
+    static std::string integer(int64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gwc
+
+#endif // GWC_COMMON_TABLE_HH

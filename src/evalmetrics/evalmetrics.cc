@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Implementation of the design-space evaluation metrics.
+ */
+
+#include "evalmetrics/evalmetrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/pca.hh"
+
+namespace gwc::evalmetrics
+{
+
+using stats::Matrix;
+
+std::vector<double>
+subsetEstimate(const Matrix &speedups, const std::vector<int> &labels,
+               const std::vector<uint32_t> &reps)
+{
+    size_t n = speedups.cols();
+    GWC_ASSERT(labels.size() == n, "label count mismatch");
+    std::vector<double> weight(reps.size(), 0.0);
+    for (int l : labels) {
+        GWC_ASSERT(l >= 0 && size_t(l) < reps.size(),
+                   "label out of range");
+        weight[size_t(l)] += 1.0 / double(n);
+    }
+
+    std::vector<double> out(speedups.rows(), 0.0);
+    for (size_t cfg = 0; cfg < speedups.rows(); ++cfg) {
+        double est = 0.0;
+        for (size_t c = 0; c < reps.size(); ++c)
+            est += weight[c] * speedups(cfg, reps[c]);
+        out[cfg] = est;
+    }
+    return out;
+}
+
+std::vector<double>
+suiteMeans(const Matrix &speedups)
+{
+    std::vector<double> out(speedups.rows(), 0.0);
+    for (size_t cfg = 0; cfg < speedups.rows(); ++cfg) {
+        double s = 0.0;
+        for (size_t k = 0; k < speedups.cols(); ++k)
+            s += speedups(cfg, k);
+        out[cfg] = speedups.cols() ? s / double(speedups.cols()) : 0.0;
+    }
+    return out;
+}
+
+double
+meanAbsRelError(const std::vector<double> &estimate,
+                const std::vector<double> &truth)
+{
+    GWC_ASSERT(estimate.size() == truth.size(), "size mismatch");
+    if (estimate.empty())
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < estimate.size(); ++i) {
+        double denom = std::fabs(truth[i]) > 1e-12 ? truth[i] : 1.0;
+        s += std::fabs((estimate[i] - truth[i]) / denom);
+    }
+    return s / double(estimate.size());
+}
+
+double
+randomSubsetError(const Matrix &speedups, uint32_t k, uint32_t draws,
+                  Rng &rng)
+{
+    size_t n = speedups.cols();
+    k = std::max<uint32_t>(1, std::min<uint32_t>(k, uint32_t(n)));
+    auto truth = suiteMeans(speedups);
+
+    double total = 0.0;
+    std::vector<uint32_t> pool(n);
+    for (uint32_t d = 0; d < draws; ++d) {
+        // Partial Fisher-Yates draw of k distinct kernels.
+        for (size_t i = 0; i < n; ++i)
+            pool[i] = uint32_t(i);
+        for (uint32_t i = 0; i < k; ++i) {
+            size_t j = i + size_t(rng.nextBelow(n - i));
+            std::swap(pool[i], pool[j]);
+        }
+        std::vector<double> est(speedups.rows(), 0.0);
+        for (size_t cfg = 0; cfg < speedups.rows(); ++cfg) {
+            double s = 0.0;
+            for (uint32_t i = 0; i < k; ++i)
+                s += speedups(cfg, pool[i]);
+            est[cfg] = s / double(k);
+        }
+        total += meanAbsRelError(est, truth);
+    }
+    return draws ? total / double(draws) : 0.0;
+}
+
+namespace
+{
+
+/** Z-scored subspace slice of the metric matrix. */
+Matrix
+subspaceZ(const Matrix &metricsMat, metrics::Subspace subspace)
+{
+    auto idx = metrics::subspaceIndices(subspace);
+    return stats::zscore(metricsMat.selectColumns(idx));
+}
+
+} // anonymous namespace
+
+std::vector<StressEntry>
+stressRanking(const Matrix &metricsMat, metrics::Subspace subspace)
+{
+    Matrix z = subspaceZ(metricsMat, subspace);
+    std::vector<StressEntry> out;
+    out.reserve(z.rows());
+    for (size_t r = 0; r < z.rows(); ++r) {
+        double s = 0.0;
+        for (size_t c = 0; c < z.cols(); ++c)
+            s += z(r, c) * z(r, c);
+        out.push_back({uint32_t(r), std::sqrt(s)});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StressEntry &a, const StressEntry &b) {
+                  return a.score > b.score;
+              });
+    return out;
+}
+
+double
+subspaceDiversity(const Matrix &metricsMat, metrics::Subspace subspace)
+{
+    Matrix z = subspaceZ(metricsMat, subspace);
+    size_t n = z.rows();
+    if (n < 2)
+        return 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j)
+            total += stats::rowDistance(z, i, j);
+    return total / (double(n) * double(n - 1) / 2.0);
+}
+
+std::vector<double>
+perKernelDiversity(const Matrix &metricsMat, metrics::Subspace subspace)
+{
+    Matrix z = subspaceZ(metricsMat, subspace);
+    size_t n = z.rows();
+    std::vector<double> out(n, 0.0);
+    if (n < 2)
+        return out;
+    for (size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (size_t j = 0; j < n; ++j)
+            if (j != i)
+                s += stats::rowDistance(z, i, j);
+        out[i] = s / double(n - 1);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+intraWorkloadSpread(
+    const Matrix &metricsMat,
+    const std::vector<gwc::metrics::KernelProfile> &profiles,
+    gwc::metrics::Subspace subspace)
+{
+    GWC_ASSERT(profiles.size() == metricsMat.rows(),
+               "profile count mismatch");
+    Matrix z = subspaceZ(metricsMat, subspace);
+
+    // Group row indices by workload, preserving first-seen order.
+    std::vector<std::string> order;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t r = 0; r < profiles.size(); ++r) {
+        const std::string &wl = profiles[r].workload;
+        size_t g = 0;
+        for (; g < order.size(); ++g)
+            if (order[g] == wl)
+                break;
+        if (g == order.size()) {
+            order.push_back(wl);
+            groups.emplace_back();
+        }
+        groups[g].push_back(r);
+    }
+
+    std::vector<std::pair<std::string, double>> out;
+    for (size_t g = 0; g < order.size(); ++g) {
+        const auto &rows = groups[g];
+        // Max pairwise kernel distance within the workload.
+        double spread = 0.0;
+        for (size_t a = 0; a < rows.size(); ++a)
+            for (size_t b = a + 1; b < rows.size(); ++b)
+                spread = std::max(
+                    spread, stats::rowDistance(z, rows[a], rows[b]));
+        // Distance of the workload centroid from the suite centroid
+        // (the z-space origin).
+        double cent = 0.0;
+        for (size_t c = 0; c < z.cols(); ++c) {
+            double m = 0.0;
+            for (size_t r : rows)
+                m += z(r, c);
+            m /= double(rows.size());
+            cent += m * m;
+        }
+        out.emplace_back(order[g], spread + std::sqrt(cent));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return out;
+}
+
+} // namespace gwc::evalmetrics

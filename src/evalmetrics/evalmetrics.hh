@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's proposed GPGPU design-space evaluation metrics.
+ *
+ * Given the characteristic space, a clustering, and per-kernel
+ * speedups across microarchitecture design points, these routines
+ * quantify how well a representative subset predicts full-suite
+ * behaviour, rank workloads by how hard they stress each functional
+ * block (subspace), and score suite diversity.
+ */
+
+#ifndef GWC_EVALMETRICS_EVALMETRICS_HH
+#define GWC_EVALMETRICS_EVALMETRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "metrics/characteristics.hh"
+#include "metrics/profiler.hh"
+#include "stats/matrix.hh"
+
+namespace gwc::evalmetrics
+{
+
+/**
+ * Estimate suite-wide means from cluster representatives.
+ *
+ * @param speedups   configs x kernels matrix of per-kernel speedups
+ * @param labels     per-kernel cluster label in [0, k)
+ * @param reps       representative kernel index per cluster
+ * @return per-config estimate: sum_c (n_c / n) * speedup[rep_c]
+ */
+std::vector<double> subsetEstimate(const stats::Matrix &speedups,
+                                   const std::vector<int> &labels,
+                                   const std::vector<uint32_t> &reps);
+
+/** Per-config true means over all kernels. */
+std::vector<double> suiteMeans(const stats::Matrix &speedups);
+
+/** Mean absolute relative error between two per-config series. */
+double meanAbsRelError(const std::vector<double> &estimate,
+                       const std::vector<double> &truth);
+
+/**
+ * Baseline: mean error of @p draws random subsets of size @p k
+ * (unweighted subset mean) against the full-suite means.
+ */
+double randomSubsetError(const stats::Matrix &speedups, uint32_t k,
+                         uint32_t draws, Rng &rng);
+
+/** One entry of a stress ranking. */
+struct StressEntry
+{
+    uint32_t kernel;   ///< row index into the profile list
+    double score;      ///< z-space distance from the suite centroid
+};
+
+/**
+ * Rank kernels by how far they sit from the suite centroid within
+ * one characteristic subspace — the paper's "pick workloads that
+ * stress functional block X" use case. Sorted descending.
+ */
+std::vector<StressEntry> stressRanking(const stats::Matrix &metrics,
+                                       metrics::Subspace subspace);
+
+/**
+ * Diversity of a kernel set within a subspace: mean pairwise
+ * Euclidean distance between z-scored subspace vectors.
+ */
+double subspaceDiversity(const stats::Matrix &metrics,
+                         metrics::Subspace subspace);
+
+/**
+ * Per-kernel contribution to subspace diversity: the kernel's mean
+ * distance to all others in the z-scored subspace.
+ */
+std::vector<double> perKernelDiversity(const stats::Matrix &metrics,
+                                       metrics::Subspace subspace);
+
+/**
+ * Per-workload variation within a subspace: the maximum pairwise
+ * distance among a workload's kernels (how much its kernels disagree)
+ * plus the distance of its kernel centroid from the suite centroid
+ * (how unusual the workload is). Sorted descending by score.
+ */
+std::vector<std::pair<std::string, double>> intraWorkloadSpread(
+    const stats::Matrix &metrics,
+    const std::vector<gwc::metrics::KernelProfile> &profiles,
+    gwc::metrics::Subspace subspace);
+
+} // namespace gwc::evalmetrics
+
+#endif // GWC_EVALMETRICS_EVALMETRICS_HH

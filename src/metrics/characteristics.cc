@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Static metadata of the characteristic set.
+ */
+
+#include "metrics/characteristics.hh"
+
+#include "common/logging.hh"
+
+namespace gwc::metrics
+{
+
+const char *
+subspaceName(Subspace s)
+{
+    switch (s) {
+      case Subspace::InstructionMix: return "instruction-mix";
+      case Subspace::Ilp: return "ilp";
+      case Subspace::Parallelism: return "parallelism";
+      case Subspace::Divergence: return "branch-divergence";
+      case Subspace::Coalescing: return "memory-coalescing";
+      case Subspace::SharedMemory: return "shared-memory";
+      case Subspace::Locality: return "locality";
+      case Subspace::Synchronization: return "synchronization";
+      case Subspace::Sharing: return "inter-cta-sharing";
+      default: return "?";
+    }
+}
+
+const std::array<CharacteristicInfo, kNumCharacteristics> &
+characteristicTable()
+{
+    static const std::array<CharacteristicInfo, kNumCharacteristics>
+        table = {{
+            {kFracIntAlu, "frac_int",
+             "integer-ALU fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracFpAlu, "frac_fp",
+             "floating-point fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracSfu, "frac_sfu",
+             "special-function fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracGmemLd, "frac_gld",
+             "global-load fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracGmemSt, "frac_gst",
+             "global-store fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracSmem, "frac_smem",
+             "shared-memory fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracAtomic, "frac_atom",
+             "atomic fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracBranch, "frac_br",
+             "branch fraction of dynamic instructions",
+             Subspace::InstructionMix},
+            {kFracSync, "frac_sync",
+             "barrier fraction of dynamic instructions",
+             Subspace::InstructionMix},
+
+            {kIlp8, "ilp8", "per-thread ILP, window 8", Subspace::Ilp},
+            {kIlp16, "ilp16", "per-thread ILP, window 16",
+             Subspace::Ilp},
+            {kIlp32, "ilp32", "per-thread ILP, window 32",
+             Subspace::Ilp},
+            {kIlp64, "ilp64", "per-thread ILP, window 64",
+             Subspace::Ilp},
+
+            {kLog2Threads, "log2_threads",
+             "log2 of total launched threads", Subspace::Parallelism},
+            {kLog2Ctas, "log2_ctas", "log2 of launched CTAs",
+             Subspace::Parallelism},
+            {kThreadsPerCta, "cta_size", "threads per CTA",
+             Subspace::Parallelism},
+
+            {kDivBranchFrac, "div_frac",
+             "divergent branches / all branches",
+             Subspace::Divergence},
+            {kSimdActivity, "simd_act",
+             "mean active-lane fraction per instruction",
+             Subspace::Divergence},
+            {kDivPerKiloInstr, "div_pki",
+             "divergent branches per kilo-instruction",
+             Subspace::Divergence},
+
+            {kTxPerGmemAccess, "tx_per_acc",
+             "128B transactions per global warp access",
+             Subspace::Coalescing},
+            {kCoalescingEff, "coal_eff",
+             "useful bytes / transferred bytes",
+             Subspace::Coalescing},
+            {kStrideUniformFrac, "stride0",
+             "adjacent-lane pairs with stride 0",
+             Subspace::Coalescing},
+            {kStrideUnitFrac, "stride1",
+             "adjacent-lane pairs with unit stride",
+             Subspace::Coalescing},
+            {kStrideIrregFrac, "stride_x",
+             "adjacent-lane pairs with irregular stride",
+             Subspace::Coalescing},
+
+            {kBankConflictDeg, "bank_conf",
+             "mean shared-memory bank-conflict degree",
+             Subspace::SharedMemory},
+
+            {kReuseShortFrac, "reuse_short",
+             "reuse distances <= 32 lines", Subspace::Locality},
+            {kReuseMedFrac, "reuse_med",
+             "reuse distances <= 1024 lines", Subspace::Locality},
+            {kLog2Footprint, "log2_fp",
+             "log2 of touched global bytes", Subspace::Locality},
+            {kMemIntensity, "mem_int",
+             "DRAM bytes per warp instruction", Subspace::Locality},
+
+            {kBarriersPerKiloInstr, "sync_pki",
+             "barriers per kilo-instruction",
+             Subspace::Synchronization},
+
+            {kInterCtaSharedFrac, "cta_share",
+             "lines touched by more than one CTA", Subspace::Sharing},
+        }};
+    return table;
+}
+
+const char *
+characteristicName(uint32_t c)
+{
+    GWC_ASSERT(c < kNumCharacteristics, "characteristic out of range");
+    return characteristicTable()[c].name;
+}
+
+std::vector<uint32_t>
+subspaceIndices(Subspace s)
+{
+    std::vector<uint32_t> out;
+    for (const auto &info : characteristicTable())
+        if (info.subspace == s)
+            out.push_back(info.id);
+    return out;
+}
+
+} // namespace gwc::metrics

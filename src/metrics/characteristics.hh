@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The microarchitecture-independent GPGPU workload characteristics.
+ *
+ * This is the paper's Table-2 equivalent: a fixed, ordered vector of
+ * characteristics computed purely from the dynamic instruction and
+ * address stream of a kernel, independent of cache sizes, scheduler
+ * policies or core counts. Each characteristic belongs to one
+ * subspace; the paper's branch-divergence and memory-coalescing
+ * subspace analyses slice the vector by these tags.
+ */
+
+#ifndef GWC_METRICS_CHARACTERISTICS_HH
+#define GWC_METRICS_CHARACTERISTICS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gwc::metrics
+{
+
+/** Characteristic groups; also the subspaces of the diversity study. */
+enum class Subspace : uint8_t
+{
+    InstructionMix,
+    Ilp,
+    Parallelism,
+    Divergence,
+    Coalescing,
+    SharedMemory,
+    Locality,
+    Synchronization,
+    Sharing,
+    NumSubspaces
+};
+
+/** Human-readable subspace name. */
+const char *subspaceName(Subspace s);
+
+/**
+ * The ordered characteristic set. Keep in sync with
+ * characteristicInfo() in characteristics.cc.
+ */
+enum Characteristic : uint32_t
+{
+    // --- instruction mix (fractions of dynamic warp instructions) ---
+    kFracIntAlu = 0,   ///< integer arithmetic
+    kFracFpAlu,        ///< floating-point arithmetic
+    kFracSfu,          ///< transcendental / special function
+    kFracGmemLd,       ///< global loads
+    kFracGmemSt,       ///< global stores
+    kFracSmem,         ///< shared-memory accesses
+    kFracAtomic,       ///< atomic RMW
+    kFracBranch,       ///< control-flow instructions
+    kFracSync,         ///< barriers
+
+    // --- per-thread instruction-level parallelism ---
+    kIlp8,             ///< ILP with an 8-instruction window
+    kIlp16,            ///< ILP with a 16-instruction window
+    kIlp32,            ///< ILP with a 32-instruction window
+    kIlp64,            ///< ILP with a 64-instruction window
+
+    // --- thread-level parallelism ---
+    kLog2Threads,      ///< log2 of total threads in the launch
+    kLog2Ctas,         ///< log2 of CTAs in the launch
+    kThreadsPerCta,    ///< CTA size (threads)
+
+    // --- branch divergence ---
+    kDivBranchFrac,    ///< divergent branches / all branches
+    kSimdActivity,     ///< mean active-lane fraction per instruction
+    kDivPerKiloInstr,  ///< divergent branches per 1000 instructions
+
+    // --- memory coalescing ---
+    kTxPerGmemAccess,  ///< 128B transactions per global warp access
+    kCoalescingEff,    ///< useful bytes / transferred bytes
+    kStrideUniformFrac,///< adjacent-lane address pairs with stride 0
+    kStrideUnitFrac,   ///< adjacent-lane pairs with unit stride
+    kStrideIrregFrac,  ///< adjacent-lane pairs with other strides
+
+    // --- shared memory behaviour ---
+    kBankConflictDeg,  ///< mean max-per-bank degree per shared access
+
+    // --- locality / footprint ---
+    kReuseShortFrac,   ///< line reuse distances <= 32 lines
+    kReuseMedFrac,     ///< line reuse distances <= 1024 lines
+    kLog2Footprint,    ///< log2 of touched global bytes
+    kMemIntensity,     ///< DRAM bytes moved per warp instruction
+
+    // --- synchronization ---
+    kBarriersPerKiloInstr, ///< barriers per 1000 instructions
+
+    // --- inter-CTA data sharing ---
+    kInterCtaSharedFrac,   ///< lines touched by more than one CTA
+
+    kNumCharacteristics
+};
+
+/** Fixed-size characteristic vector of one kernel. */
+using MetricVector = std::array<double, kNumCharacteristics>;
+
+/** Static description of one characteristic. */
+struct CharacteristicInfo
+{
+    Characteristic id;     ///< enum value
+    const char *name;      ///< short name, e.g. "ilp16"
+    const char *desc;      ///< one-line description
+    Subspace subspace;     ///< owning subspace
+};
+
+/** Table of all characteristics, indexed by Characteristic. */
+const std::array<CharacteristicInfo, kNumCharacteristics> &
+characteristicTable();
+
+/** Short name of characteristic @p c. */
+const char *characteristicName(uint32_t c);
+
+/** Indices of the characteristics belonging to subspace @p s. */
+std::vector<uint32_t> subspaceIndices(Subspace s);
+
+} // namespace gwc::metrics
+
+#endif // GWC_METRICS_CHARACTERISTICS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-thread instruction-level-parallelism estimation.
+ *
+ * MICA-style model: an idealized processor with unit-latency
+ * execution, unlimited issue width within a scheduling window of W
+ * instructions, and perfect branch prediction/caches. Only true
+ * register dependences and the window bound limit issue. ILP_W is
+ * the achieved IPC of that machine over a thread's dynamic stream.
+ */
+
+#ifndef GWC_METRICS_ILP_HH
+#define GWC_METRICS_ILP_HH
+
+#include <array>
+#include <cstdint>
+
+namespace gwc::metrics
+{
+
+/** Window sizes evaluated, matching the characteristic set. */
+constexpr std::array<uint32_t, 4> kIlpWindows = {8, 16, 32, 64};
+
+/**
+ * Tracks one thread's dynamic stream. Feed the producer distance of
+ * each instruction (0 = no register producer); read back ILP per
+ * window at the end.
+ */
+class IlpTracker
+{
+  public:
+    static constexpr uint32_t kMaxWindow = 64;
+
+    IlpTracker()
+    {
+        for (auto &ring : ring_)
+            ring.fill(0);
+    }
+
+    /**
+     * Record one instruction whose youngest producer is @p depDist
+     * dynamic instructions in the past (0 for none).
+     */
+    void
+    record(uint16_t depDist)
+    {
+        for (size_t wi = 0; wi < kIlpWindows.size(); ++wi) {
+            const uint32_t W = kIlpWindows[wi];
+            auto &ring = ring_[wi];
+            // Issue time of instruction n (0-based): bounded below by
+            // the producer's completion and by the retirement of
+            // instruction n-W, which frees its window slot.
+            uint64_t t = 0;
+            if (n_ >= W)
+                t = ring[(n_ - W) % kMaxWindow] + 1;
+            if (depDist != 0) {
+                uint32_t d = depDist;
+                if (d > n_)
+                    d = static_cast<uint32_t>(n_);
+                if (d <= kMaxWindow && d > 0) {
+                    uint64_t tDep = ring[(n_ - d) % kMaxWindow] + 1;
+                    if (tDep > t)
+                        t = tDep;
+                }
+                // Producers older than kMaxWindow completed at or
+                // before the window head; no extra constraint.
+            }
+            last_[wi] = t;
+            ring[n_ % kMaxWindow] = t;
+        }
+        ++n_;
+    }
+
+    /** Instructions recorded. */
+    uint64_t count() const { return n_; }
+
+    /** Achieved ILP for window index @p wi (into kIlpWindows). */
+    double
+    ilp(size_t wi) const
+    {
+        if (n_ == 0)
+            return 0.0;
+        return static_cast<double>(n_) /
+               static_cast<double>(last_[wi] + 1);
+    }
+
+  private:
+    // One ring of issue times per window size. Entry (n % 64) holds
+    // the issue time of dynamic instruction n.
+    std::array<std::array<uint64_t, kMaxWindow>, 4> ring_;
+    std::array<uint64_t, 4> last_ = {0, 0, 0, 0};
+    uint64_t n_ = 0;
+};
+
+} // namespace gwc::metrics
+
+#endif // GWC_METRICS_ILP_HH

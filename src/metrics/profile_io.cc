@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CSV persistence of kernel profiles.
+ */
+
+#include "metrics/profile_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gwc::metrics
+{
+
+namespace
+{
+
+const char *kFixedColumns =
+    "workload,kernel,grid_x,grid_y,grid_z,cta_x,cta_y,launches,"
+    "warp_instrs";
+
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else if (c != '\r') {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+} // anonymous namespace
+
+void
+writeProfilesCsv(std::ostream &os,
+                 const std::vector<KernelProfile> &profiles)
+{
+    os << kFixedColumns;
+    for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+        os << ',' << characteristicName(c);
+    os << '\n';
+    for (const auto &p : profiles) {
+        os << p.workload << ',' << p.kernel << ',' << p.grid.x << ','
+           << p.grid.y << ',' << p.grid.z << ',' << p.cta.x << ','
+           << p.cta.y << ',' << p.launches << ',' << p.warpInstrs;
+        char buf[32];
+        for (uint32_t c = 0; c < kNumCharacteristics; ++c) {
+            std::snprintf(buf, sizeof(buf), ",%.9g", p.metrics[c]);
+            os << buf;
+        }
+        os << '\n';
+    }
+}
+
+std::vector<KernelProfile>
+readProfilesCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("profile CSV is empty");
+    auto header = splitCsv(line);
+    auto expected = splitCsv(kFixedColumns);
+    for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+        expected.push_back(characteristicName(c));
+    if (header != expected)
+        fatal("profile CSV header does not match this build's "
+              "characteristic set");
+
+    std::vector<KernelProfile> out;
+    size_t lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        auto cells = splitCsv(line);
+        if (cells.size() != expected.size())
+            fatal("profile CSV line %zu has %zu cells, expected %zu",
+                  lineNo, cells.size(), expected.size());
+        KernelProfile p;
+        try {
+            p.workload = cells[0];
+            p.kernel = cells[1];
+            p.grid.x = uint32_t(std::stoul(cells[2]));
+            p.grid.y = uint32_t(std::stoul(cells[3]));
+            p.grid.z = uint32_t(std::stoul(cells[4]));
+            p.cta.x = uint32_t(std::stoul(cells[5]));
+            p.cta.y = uint32_t(std::stoul(cells[6]));
+            p.launches = uint32_t(std::stoul(cells[7]));
+            p.warpInstrs = std::stoull(cells[8]);
+            for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+                p.metrics[c] = std::stod(cells[9 + c]);
+        } catch (const std::exception &e) {
+            fatal("profile CSV line %zu: %s", lineNo, e.what());
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+void
+saveProfiles(const std::string &path,
+             const std::vector<KernelProfile> &profiles)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeProfilesCsv(os, profiles);
+    if (!os)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+std::vector<KernelProfile>
+loadProfiles(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    return readProfilesCsv(is);
+}
+
+} // namespace gwc::metrics

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Persistence of kernel profiles.
+ *
+ * Characterization runs are the expensive half of the methodology;
+ * saving profiles lets the analysis side (PCA/clustering/subset
+ * selection) iterate without re-running the engine. The format is a
+ * plain CSV with a header naming every characteristic, so it loads
+ * into any downstream tooling as well.
+ */
+
+#ifndef GWC_METRICS_PROFILE_IO_HH
+#define GWC_METRICS_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/profiler.hh"
+
+namespace gwc::metrics
+{
+
+/** Serialize profiles as CSV (header + one row per kernel). */
+void writeProfilesCsv(std::ostream &os,
+                      const std::vector<KernelProfile> &profiles);
+
+/**
+ * Parse profiles written by writeProfilesCsv.
+ *
+ * Fatal on malformed input or on a header whose characteristic set
+ * does not match this build (the set is versioned by its names).
+ */
+std::vector<KernelProfile> readProfilesCsv(std::istream &is);
+
+/** Convenience file wrappers (fatal on I/O errors). */
+void saveProfiles(const std::string &path,
+                  const std::vector<KernelProfile> &profiles);
+std::vector<KernelProfile> loadProfiles(const std::string &path);
+
+} // namespace gwc::metrics
+
+#endif // GWC_METRICS_PROFILE_IO_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Implementation of the characterization profiler.
+ */
+
+#include "metrics/profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gwc::metrics
+{
+
+using simt::kSegmentBytes;
+using simt::kSmemBanks;
+using simt::kWarpSize;
+using simt::LaneMask;
+using simt::OpClass;
+
+Profiler::Profiler() : Profiler(Config{}) {}
+
+Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {}
+
+void
+Profiler::kernelBegin(const simt::KernelInfo &info)
+{
+    std::string key = info.name;
+    if (cfg_.perLaunch)
+        key += strfmt("#%u", launchSeq_[info.name]++);
+    auto it = kernels_.find(key);
+    if (it == kernels_.end()) {
+        auto acc = std::make_unique<KernelAcc>(cfg_.reuseCap);
+        acc->info = info;
+        acc->info.name = key;
+        it = kernels_.emplace(key, std::move(acc)).first;
+        order_.push_back(key);
+    }
+    cur_ = it->second.get();
+    // Keep the most recent geometry but the (possibly #-suffixed)
+    // profile key as the name.
+    std::string keep = cur_->info.name;
+    cur_->info = info;
+    cur_->info.name = keep;
+    ++cur_->launches;
+    cur_->totalThreads += info.grid.count() * info.cta.count();
+    cur_->totalCtas += info.grid.count();
+}
+
+void
+Profiler::kernelEnd()
+{
+    cur_ = nullptr;
+    ctaSampled_ = true;
+}
+
+void
+Profiler::ctaBegin(uint32_t ctaLinear)
+{
+    ctaSampled_ =
+        cfg_.ctaSampleStride <= 1 ||
+        ctaLinear % cfg_.ctaSampleStride == 0;
+}
+
+void
+Profiler::instr(const simt::InstrEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    KernelAcc &a = *cur_;
+    ++a.perClass[size_t(ev.cls)];
+    ++a.instrs;
+    a.activeLanes += simt::laneCount(ev.active);
+    a.validLaneSlots += kWarpSize;
+
+    // ILP sampling: adopt new warps until the cap, then track the
+    // configured lanes of each adopted warp.
+    bool tracked = a.ilpWarps.count(ev.warpId) != 0;
+    if (!tracked && a.ilpWarps.size() < cfg_.ilpWarpCap) {
+        a.ilpWarps.insert(ev.warpId);
+        tracked = true;
+    }
+    if (tracked) {
+        for (uint32_t lane : cfg_.ilpLanes) {
+            if (!(ev.active & (1u << lane)))
+                continue;
+            uint64_t key =
+                (uint64_t(ev.warpId) << 8) | lane;
+            a.ilp[key].record(ev.depDist[lane]);
+        }
+    }
+}
+
+void
+Profiler::mem(const simt::MemEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    KernelAcc &a = *cur_;
+
+    if (ev.space == simt::MemSpace::Shared) {
+        ++a.smemAccesses;
+        // Conflict degree: maximum number of distinct 4-byte words
+        // mapped to the same bank among active lanes.
+        std::array<uint64_t, kSmemBanks> word{};
+        std::array<uint8_t, kSmemBanks> cnt{};
+        uint32_t deg = 1;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(ev.active & (1u << l)))
+                continue;
+            uint64_t w = ev.addr[l] / 4;
+            uint32_t b = static_cast<uint32_t>(w % kSmemBanks);
+            if (cnt[b] == 0) {
+                cnt[b] = 1;
+                word[b] = w;
+            } else if (word[b] != w) {
+                // Distinct word in an occupied bank: serialized.
+                ++cnt[b];
+                deg = std::max<uint32_t>(deg, cnt[b]);
+            }
+        }
+        a.smemConflictDegree += deg;
+        return;
+    }
+
+    // --- Global memory ---
+    ++a.gmemAccesses;
+    if (!ev.store)
+        ++a.gmemLoads;
+
+    // Coalescing: distinct 128B segments among active lanes.
+    std::array<uint64_t, kWarpSize> segs;
+    uint32_t nsegs = 0;
+    uint32_t active = 0;
+    int prevLane = -1;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!(ev.active & (1u << l)))
+            continue;
+        ++active;
+        uint64_t seg = ev.addr[l] / kSegmentBytes;
+        bool found = false;
+        for (uint32_t s = 0; s < nsegs; ++s) {
+            if (segs[s] == seg) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            segs[nsegs++] = seg;
+
+        // Stride classification over adjacent active lanes.
+        if (prevLane >= 0) {
+            ++a.stridePairs;
+            uint64_t prev = ev.addr[prevLane];
+            uint64_t curAddr = ev.addr[l];
+            uint64_t delta =
+                curAddr >= prev ? curAddr - prev : prev - curAddr;
+            if (delta == 0)
+                ++a.strideUniform;
+            else if (delta == ev.accessSize)
+                ++a.strideUnit;
+        }
+        prevLane = static_cast<int>(l);
+    }
+    a.gmemTransactions += nsegs;
+    a.gmemUsefulBytes += uint64_t(active) * ev.accessSize;
+
+    // Locality + inter-CTA sharing, at transaction granularity.
+    for (uint32_t s = 0; s < nsegs; ++s) {
+        a.reuse.access(segs[s]);
+        auto [it, inserted] =
+            a.lineOwner.emplace(segs[s], ev.ctaLinear);
+        if (!inserted && it->second != ev.ctaLinear &&
+            it->second != UINT32_MAX) {
+            it->second = UINT32_MAX; // mark shared exactly once
+            ++a.sharedLines;
+        }
+    }
+}
+
+void
+Profiler::branch(const simt::BranchEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    ++cur_->branches;
+    if (!simt::isUniform(ev.taken, ev.active))
+        ++cur_->divergentBranches;
+}
+
+void
+Profiler::barrier(uint32_t)
+{
+    if (cur_ && ctaSampled_)
+        ++cur_->barriers;
+}
+
+KernelProfile
+Profiler::finish(KernelAcc &a) const
+{
+    KernelProfile p;
+    p.kernel = a.info.name;
+    p.grid = a.info.grid;
+    p.cta = a.info.cta;
+    p.launches = a.launches;
+    p.warpInstrs = a.instrs;
+
+    MetricVector &m = p.metrics;
+    m.fill(0.0);
+    double instrs = std::max<double>(1.0, double(a.instrs));
+
+    m[kFracIntAlu] = a.perClass[size_t(OpClass::IntAlu)] / instrs;
+    m[kFracFpAlu] = a.perClass[size_t(OpClass::FpAlu)] / instrs;
+    m[kFracSfu] = a.perClass[size_t(OpClass::Sfu)] / instrs;
+    // Global loads vs stores are split using the access counters; the
+    // instruction counter has the total.
+    double gmemInstr = a.perClass[size_t(OpClass::MemGlobal)];
+    double ldFrac = 0.5;
+    if (a.gmemAccesses > 0) {
+        // gmemAccesses counts both, with atomics flagged separately.
+        uint64_t loads = a.gmemLoads;
+        ldFrac = double(loads) / double(a.gmemAccesses);
+    }
+    m[kFracGmemLd] = gmemInstr * ldFrac / instrs;
+    m[kFracGmemSt] = gmemInstr * (1.0 - ldFrac) / instrs;
+    m[kFracSmem] = a.perClass[size_t(OpClass::MemShared)] / instrs;
+    m[kFracAtomic] = a.perClass[size_t(OpClass::Atomic)] / instrs;
+    m[kFracBranch] = a.perClass[size_t(OpClass::Branch)] / instrs;
+    m[kFracSync] = a.perClass[size_t(OpClass::Sync)] / instrs;
+
+    // ILP: instruction-weighted mean over the sampled threads.
+    for (size_t wi = 0; wi < kIlpWindows.size(); ++wi) {
+        double num = 0.0, den = 0.0;
+        for (const auto &[key, trk] : a.ilp) {
+            (void)key;
+            if (trk.count() == 0)
+                continue;
+            num += trk.ilp(wi) * double(trk.count());
+            den += double(trk.count());
+        }
+        m[kIlp8 + wi] = den > 0 ? num / den : 1.0;
+    }
+
+    m[kLog2Threads] = std::log2(std::max<double>(1, a.totalThreads));
+    m[kLog2Ctas] = std::log2(std::max<double>(1, a.totalCtas));
+    m[kThreadsPerCta] = double(a.info.cta.count());
+
+    m[kDivBranchFrac] =
+        a.branches ? double(a.divergentBranches) / double(a.branches)
+                   : 0.0;
+    m[kSimdActivity] =
+        a.validLaneSlots
+            ? double(a.activeLanes) / double(a.validLaneSlots)
+            : 0.0;
+    m[kDivPerKiloInstr] = 1000.0 * double(a.divergentBranches) / instrs;
+
+    if (a.gmemAccesses) {
+        m[kTxPerGmemAccess] =
+            double(a.gmemTransactions) / double(a.gmemAccesses);
+        double moved = double(a.gmemTransactions) * kSegmentBytes;
+        m[kCoalescingEff] =
+            moved > 0 ? double(a.gmemUsefulBytes) / moved : 0.0;
+    } else {
+        m[kTxPerGmemAccess] = 0.0;
+        m[kCoalescingEff] = 0.0;
+    }
+    if (a.stridePairs) {
+        m[kStrideUniformFrac] =
+            double(a.strideUniform) / double(a.stridePairs);
+        m[kStrideUnitFrac] =
+            double(a.strideUnit) / double(a.stridePairs);
+        m[kStrideIrregFrac] = 1.0 - m[kStrideUniformFrac] -
+                              m[kStrideUnitFrac];
+    }
+
+    m[kBankConflictDeg] =
+        a.smemAccesses
+            ? double(a.smemConflictDegree) / double(a.smemAccesses)
+            : 1.0;
+
+    m[kReuseShortFrac] = a.reuse.shortFrac();
+    m[kReuseMedFrac] = a.reuse.mediumFrac();
+    m[kLog2Footprint] = std::log2(
+        std::max<double>(1.0, double(a.lineOwner.size()) *
+                                  kSegmentBytes));
+    m[kMemIntensity] =
+        double(a.gmemTransactions) * kSegmentBytes / instrs;
+
+    m[kBarriersPerKiloInstr] = 1000.0 * double(a.barriers) / instrs;
+
+    m[kInterCtaSharedFrac] =
+        a.lineOwner.empty()
+            ? 0.0
+            : double(a.sharedLines) / double(a.lineOwner.size());
+
+    return p;
+}
+
+std::vector<KernelProfile>
+Profiler::finalize(const std::string &workload)
+{
+    std::vector<KernelProfile> out;
+    out.reserve(order_.size());
+    for (const auto &name : order_) {
+        KernelProfile p = finish(*kernels_.at(name));
+        p.workload = workload;
+        out.push_back(std::move(p));
+    }
+    kernels_.clear();
+    order_.clear();
+    cur_ = nullptr;
+    return out;
+}
+
+} // namespace gwc::metrics

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The characterization profiler: computes the full
+ * microarchitecture-independent characteristic vector of every kernel
+ * executed on the SIMT engine.
+ *
+ * Repeated launches of a kernel with the same name (e.g. iterative
+ * solvers) accumulate into one profile, matching how the paper
+ * characterizes a "kernel" across its whole application run.
+ */
+
+#ifndef GWC_METRICS_PROFILER_HH
+#define GWC_METRICS_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/characteristics.hh"
+#include "metrics/ilp.hh"
+#include "metrics/reuse.hh"
+#include "simt/hooks.hh"
+
+namespace gwc::metrics
+{
+
+/** Finalized characterization of one kernel. */
+struct KernelProfile
+{
+    std::string workload;     ///< owning workload abbreviation
+    std::string kernel;       ///< kernel name
+    simt::Dim3 grid;          ///< geometry of the (last) launch
+    simt::Dim3 cta;
+    uint32_t launches = 0;    ///< number of launches merged
+    uint64_t warpInstrs = 0;  ///< dynamic warp instructions
+    MetricVector metrics{};   ///< the characteristic vector
+
+    /** "workload.kernel" label used in tables and figures. */
+    std::string label() const { return workload + "." + kernel; }
+};
+
+/**
+ * ProfilerHook implementation computing KernelProfiles. Attach to an
+ * Engine, run workloads, then call finalize() to harvest the
+ * profiles in execution order.
+ */
+class Profiler : public simt::ProfilerHook
+{
+  public:
+    /** Tuning knobs; defaults suit the bundled workloads. */
+    struct Config
+    {
+        /** Max warps whose lanes feed the ILP model (sampled). */
+        uint32_t ilpWarpCap = 48;
+        /** Lanes tracked per sampled warp. */
+        std::vector<uint32_t> ilpLanes = {0, 13};
+        /** Reuse-distance access cap per kernel. */
+        uint32_t reuseCap = 1u << 21;
+        /**
+         * CTA sampling stride: only CTAs with linear index divisible
+         * by this feed the collectors. 1 = full characterization.
+         * Larger strides trade accuracy for speed (see the
+         * fig13_sampling experiment).
+         */
+        uint32_t ctaSampleStride = 1;
+        /**
+         * Phase mode: keep every launch separate instead of merging
+         * repeat launches of a kernel. Profiles are then named
+         * "kernel#<launch>", exposing how iterative kernels (BFS
+         * levels, solver sweeps) evolve over time.
+         */
+        bool perLaunch = false;
+    };
+
+    Profiler();
+    explicit Profiler(Config cfg);
+
+    // ProfilerHook interface.
+    void kernelBegin(const simt::KernelInfo &info) override;
+    void kernelEnd() override;
+    void ctaBegin(uint32_t ctaLinear) override;
+    void instr(const simt::InstrEvent &ev) override;
+    void mem(const simt::MemEvent &ev) override;
+    void branch(const simt::BranchEvent &ev) override;
+    void barrier(uint32_t warpId) override;
+
+    /**
+     * Finish all kernels and return their profiles in first-launch
+     * order, stamping @p workload into each.
+     */
+    std::vector<KernelProfile> finalize(const std::string &workload);
+
+  private:
+    /** Accumulated raw counters of one kernel (across launches). */
+    struct KernelAcc
+    {
+        simt::KernelInfo info;
+        uint32_t launches = 0;
+        uint64_t totalThreads = 0;
+        uint64_t totalCtas = 0;
+
+        // Instruction mix.
+        std::array<uint64_t,
+                   size_t(simt::OpClass::NumClasses)> perClass{};
+        uint64_t instrs = 0;
+        uint64_t activeLanes = 0;
+        uint64_t validLaneSlots = 0;
+
+        // Branch behaviour.
+        uint64_t branches = 0;
+        uint64_t divergentBranches = 0;
+
+        // Global-memory behaviour.
+        uint64_t gmemAccesses = 0;
+        uint64_t gmemLoads = 0;
+        uint64_t gmemTransactions = 0;
+        uint64_t gmemUsefulBytes = 0;
+        uint64_t stridePairs = 0;
+        uint64_t strideUniform = 0;
+        uint64_t strideUnit = 0;
+
+        // Shared-memory behaviour.
+        uint64_t smemAccesses = 0;
+        uint64_t smemConflictDegree = 0;
+
+        // Synchronization.
+        uint64_t barriers = 0;
+
+        // Locality and sharing.
+        ReuseDistanceAnalyzer reuse;
+        std::unordered_map<uint64_t, uint32_t> lineOwner;
+        uint64_t sharedLines = 0;
+
+        // Per-thread ILP sampling.
+        std::unordered_map<uint64_t, IlpTracker> ilp;
+        std::unordered_set<uint32_t> ilpWarps;
+
+        explicit KernelAcc(uint32_t reuseCap) : reuse(reuseCap) {}
+    };
+
+    KernelProfile finish(KernelAcc &acc) const;
+
+    Config cfg_;
+    std::map<std::string, std::unique_ptr<KernelAcc>> kernels_;
+    std::vector<std::string> order_;
+    KernelAcc *cur_ = nullptr;
+    bool ctaSampled_ = true;
+    std::map<std::string, uint32_t> launchSeq_;
+};
+
+} // namespace gwc::metrics
+
+#endif // GWC_METRICS_PROFILER_HH

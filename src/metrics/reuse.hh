@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Exact LRU stack-distance (reuse-distance) analysis.
+ *
+ * Implements the classic Fenwick-tree formulation of Olken's
+ * algorithm: maintain one mark per "most recent access time" of every
+ * live line; the reuse distance of an access is the number of marks
+ * strictly newer than the line's previous access. O(log n) per access.
+ */
+
+#ifndef GWC_METRICS_REUSE_HH
+#define GWC_METRICS_REUSE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gwc::metrics
+{
+
+/**
+ * Streaming reuse-distance analyzer over cache-line granularity
+ * addresses. Accesses beyond @p maxAccesses are ignored to bound
+ * memory (the workloads in this repo stay below the cap).
+ */
+class ReuseDistanceAnalyzer
+{
+  public:
+    /** Distances <= this count as "short" (32 lines = 4 KiB). */
+    static constexpr uint64_t kShort = 32;
+    /** Distances <= this count as "medium" (1024 lines = 128 KiB). */
+    static constexpr uint64_t kMedium = 1024;
+
+    explicit ReuseDistanceAnalyzer(uint32_t maxAccesses = 1u << 21)
+        : cap_(maxAccesses)
+    {}
+
+    /** Feed one line-granular access. */
+    void
+    access(uint64_t line)
+    {
+        if (now_ >= cap_)
+            return;
+        ensureTree();
+        uint32_t t = ++now_;
+        auto it = last_.find(line);
+        if (it == last_.end()) {
+            ++cold_;
+            last_.emplace(line, t);
+        } else {
+            uint32_t prev = it->second;
+            // Lines marked strictly after prev were touched since.
+            uint64_t dist = prefix(t - 1) - prefix(prev);
+            addDistance(dist);
+            add(prev, -1);
+            it->second = t;
+        }
+        add(t, +1);
+    }
+
+    /** Accesses observed (within the cap). */
+    uint64_t total() const { return now_; }
+
+    /** First-touch (cold) accesses. */
+    uint64_t coldMisses() const { return cold_; }
+
+    /** Reuses with distance <= kShort. */
+    uint64_t shortReuses() const { return shortCnt_; }
+
+    /** Reuses with distance <= kMedium (includes short). */
+    uint64_t mediumReuses() const { return medCnt_; }
+
+    /** Fraction of all accesses with distance <= kShort. */
+    double
+    shortFrac() const
+    {
+        return now_ ? double(shortCnt_) / double(now_) : 0.0;
+    }
+
+    /** Fraction of all accesses with distance <= kMedium. */
+    double
+    mediumFrac() const
+    {
+        return now_ ? double(medCnt_) / double(now_) : 0.0;
+    }
+
+    /** Release the O(cap) tree storage (analysis finished). */
+    void
+    releaseStorage()
+    {
+        bit_.clear();
+        bit_.shrink_to_fit();
+        last_.clear();
+    }
+
+  private:
+    void
+    ensureTree()
+    {
+        if (bit_.empty())
+            bit_.assign(cap_ + 1, 0);
+    }
+
+    void
+    add(uint32_t i, int32_t delta)
+    {
+        for (; i <= cap_; i += i & (~i + 1))
+            bit_[i] = static_cast<uint32_t>(
+                static_cast<int64_t>(bit_[i]) + delta);
+    }
+
+    uint64_t
+    prefix(uint32_t i) const
+    {
+        uint64_t s = 0;
+        for (; i > 0; i -= i & (~i + 1))
+            s += bit_[i];
+        return s;
+    }
+
+    void
+    addDistance(uint64_t dist)
+    {
+        if (dist <= kShort)
+            ++shortCnt_;
+        if (dist <= kMedium)
+            ++medCnt_;
+    }
+
+    uint32_t cap_;
+    uint32_t now_ = 0;
+    uint64_t cold_ = 0;
+    uint64_t shortCnt_ = 0;
+    uint64_t medCnt_ = 0;
+    std::vector<uint32_t> bit_;
+    std::unordered_map<uint64_t, uint32_t> last_;
+};
+
+} // namespace gwc::metrics
+
+#endif // GWC_METRICS_REUSE_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ASCII plotting implementation.
+ */
+
+#include "report/plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace gwc::report
+{
+
+namespace
+{
+
+/** Marker alphabet: points beyond it wrap around. */
+const char kMarkers[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+} // anonymous namespace
+
+AsciiScatter::AsciiScatter(std::string title, std::string xLabel,
+                           std::string yLabel)
+    : title_(std::move(title)), xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel))
+{}
+
+void
+AsciiScatter::add(double x, double y, const std::string &label)
+{
+    points_.push_back({x, y, label});
+}
+
+std::string
+AsciiScatter::render(uint32_t width, uint32_t height) const
+{
+    std::string out = title_ + "\n";
+    if (points_.empty())
+        return out + "  (no points)\n";
+
+    double xMin = points_[0].x, xMax = points_[0].x;
+    double yMin = points_[0].y, yMax = points_[0].y;
+    for (const auto &p : points_) {
+        xMin = std::min(xMin, p.x);
+        xMax = std::max(xMax, p.x);
+        yMin = std::min(yMin, p.y);
+        yMax = std::max(yMax, p.y);
+    }
+    double xSpan = xMax - xMin, ySpan = yMax - yMin;
+    if (xSpan <= 0)
+        xSpan = 1;
+    if (ySpan <= 0)
+        ySpan = 1;
+    // Pad 5% so extreme points stay inside the frame.
+    xMin -= 0.05 * xSpan;
+    xSpan *= 1.1;
+    yMin -= 0.05 * ySpan;
+    ySpan *= 1.1;
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    size_t nMarkers = sizeof(kMarkers) - 1;
+    for (size_t i = 0; i < points_.size(); ++i) {
+        const auto &p = points_[i];
+        uint32_t cx = static_cast<uint32_t>(
+            (p.x - xMin) / xSpan * (width - 1));
+        uint32_t cy = static_cast<uint32_t>(
+            (p.y - yMin) / ySpan * (height - 1));
+        cx = std::min(cx, width - 1);
+        cy = std::min(cy, height - 1);
+        char &cell = grid[height - 1 - cy][cx];
+        char mark = kMarkers[i % nMarkers];
+        cell = (cell == ' ') ? mark : '*';
+    }
+
+    out += strfmt("  %s\n", yLabel_.c_str());
+    for (uint32_t r = 0; r < height; ++r)
+        out += "  |" + grid[r] + "\n";
+    out += "  +" + std::string(width, '-') + "> " + xLabel_ + "\n";
+    out += strfmt("  x: [%.2f, %.2f]  y: [%.2f, %.2f]\n",
+                  points_.empty() ? 0.0 : xMin, xMin + xSpan, yMin,
+                  yMin + ySpan);
+    out += "  legend:\n";
+    for (size_t i = 0; i < points_.size(); ++i)
+        out += strfmt("    %c %s (%.2f, %.2f)\n",
+                      kMarkers[i % nMarkers],
+                      points_[i].label.c_str(), points_[i].x,
+                      points_[i].y);
+    return out;
+}
+
+std::string
+AsciiScatter::csv() const
+{
+    std::string out = "label,x,y\n";
+    for (const auto &p : points_)
+        out += strfmt("%s,%.6f,%.6f\n", p.label.c_str(), p.x, p.y);
+    return out;
+}
+
+AsciiBars::AsciiBars(std::string title) : title_(std::move(title)) {}
+
+void
+AsciiBars::add(const std::string &label, double value)
+{
+    bars_.push_back({label, value});
+}
+
+std::string
+AsciiBars::render(uint32_t width) const
+{
+    std::string out = title_ + "\n";
+    if (bars_.empty())
+        return out + "  (no bars)\n";
+    double maxV = 0.0;
+    size_t maxLabel = 0;
+    for (const auto &b : bars_) {
+        maxV = std::max(maxV, std::fabs(b.value));
+        maxLabel = std::max(maxLabel, b.label.size());
+    }
+    if (maxV <= 0)
+        maxV = 1;
+    for (const auto &b : bars_) {
+        uint32_t len = static_cast<uint32_t>(
+            std::round(std::fabs(b.value) / maxV * width));
+        out += "  " + b.label +
+               std::string(maxLabel - b.label.size() + 1, ' ') + "|" +
+               std::string(len, '#') +
+               strfmt(" %.4g\n", b.value);
+    }
+    return out;
+}
+
+std::string
+AsciiBars::csv() const
+{
+    std::string out = "label,value\n";
+    for (const auto &b : bars_)
+        out += strfmt("%s,%.6f\n", b.label.c_str(), b.value);
+    return out;
+}
+
+} // namespace gwc::report

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Terminal figure rendering: scatter plots and bar charts used by the
+ * benchmark binaries to reproduce the paper's figures, plus CSV
+ * emission of the same series.
+ */
+
+#ifndef GWC_REPORT_PLOT_HH
+#define GWC_REPORT_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace gwc::report
+{
+
+/**
+ * A labelled 2D scatter plot rendered as ASCII. Points get marker
+ * letters in insertion order; a legend maps markers to labels.
+ */
+class AsciiScatter
+{
+  public:
+    /**
+     * @param title  plot title
+     * @param xLabel x-axis caption
+     * @param yLabel y-axis caption
+     */
+    AsciiScatter(std::string title, std::string xLabel,
+                 std::string yLabel);
+
+    /** Add point (x, y) labelled @p label. */
+    void add(double x, double y, const std::string &label);
+
+    /** Render the plot grid plus legend. */
+    std::string render(uint32_t width = 68, uint32_t height = 22) const;
+
+    /** Emit "label,x,y" CSV rows. */
+    std::string csv() const;
+
+  private:
+    struct Point
+    {
+        double x, y;
+        std::string label;
+    };
+
+    std::string title_, xLabel_, yLabel_;
+    std::vector<Point> points_;
+};
+
+/**
+ * Horizontal bar chart of labelled values (used for scree plots,
+ * stress rankings and error summaries).
+ */
+class AsciiBars
+{
+  public:
+    explicit AsciiBars(std::string title);
+
+    /** Add one bar. */
+    void add(const std::string &label, double value);
+
+    /** Render with bars scaled to @p width characters. */
+    std::string render(uint32_t width = 50) const;
+
+    /** Emit "label,value" CSV rows. */
+    std::string csv() const;
+
+  private:
+    struct Bar
+    {
+        std::string label;
+        double value;
+    };
+
+    std::string title_;
+    std::vector<Bar> bars_;
+};
+
+} // namespace gwc::report
+
+#endif // GWC_REPORT_PLOT_HH

@@ -1,0 +1,947 @@
+/**
+ * @file
+ * GKS assembler and executor.
+ */
+
+#include "simt/asm.hh"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gwc::simt
+{
+
+namespace
+{
+
+enum class Op : uint8_t
+{
+    Mov, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max,
+    Neg, Abs, Fma, Sqrt, Rsqrt, Exp, Log, Sin, Cos, Cvt,
+    Ld, St, Lds, Sts, AtomAdd, AtomAddShared,
+    Gid, GidY, Tid, Lane, CtaId
+};
+
+enum class Ty : uint8_t { U32, S32, F32 };
+
+enum class Cc : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Operand
+{
+    enum class K : uint8_t { None, Reg, Imm, Param };
+    K k = K::None;
+    uint32_t idx = 0;   ///< register or parameter index
+    uint32_t bits = 0;  ///< immediate bit pattern
+};
+
+struct Instr
+{
+    Op op = Op::Mov;
+    Ty ty = Ty::U32;
+    Ty srcTy = Ty::U32; ///< cvt source type
+    uint32_t dst = 0;
+    Operand a, b, c;
+    uint32_t param = 0; ///< base parameter of memory ops
+};
+
+struct Node;
+using Block = std::vector<Node>;
+
+struct Node
+{
+    enum class K : uint8_t { Plain, If, While, Bar };
+    K k = K::Plain;
+    Instr ins;     ///< Plain payload, or the If/While comparison
+    Cc cc = Cc::Eq;
+    Block thenB;   ///< If-then / While-body
+    Block elseB;
+};
+
+float
+asF(uint32_t b)
+{
+    float f;
+    std::memcpy(&f, &b, 4);
+    return f;
+}
+
+uint32_t
+asB(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, 4);
+    return b;
+}
+
+int32_t
+asS(uint32_t b)
+{
+    int32_t s;
+    std::memcpy(&s, &b, 4);
+    return s;
+}
+
+uint32_t
+asBs(int32_t s)
+{
+    uint32_t b;
+    std::memcpy(&b, &s, 4);
+    return b;
+}
+
+} // anonymous namespace
+
+/** Parsed program plus its executor state factory. */
+class AsmProgramImpl
+{
+  public:
+    std::string name;
+    std::vector<AsmParam> params;
+    Block body;
+    uint32_t numRegs = 0;
+    uint32_t staticInstrs = 0;
+
+    KernelFn makeEntry(std::shared_ptr<AsmProgramImpl> self) const;
+};
+
+namespace
+{
+
+// ----------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : src_(src) {}
+
+    std::shared_ptr<AsmProgramImpl>
+    parse()
+    {
+        auto prog = std::make_shared<AsmProgramImpl>();
+        prog_ = prog.get();
+        blockStack_.push_back(&prog->body);
+
+        std::istringstream is(src_);
+        std::string line;
+        while (std::getline(is, line)) {
+            ++lineNo_;
+            parseLine(line);
+        }
+        if (prog_->name.empty())
+            die("missing .kernel directive");
+        if (blockStack_.size() != 1)
+            die("unterminated if/while block");
+        prog_->numRegs = uint32_t(regs_.size());
+        return prog;
+    }
+
+  private:
+    [[noreturn]] void
+    die(const std::string &msg)
+    {
+        fatal("GKS line %u: %s", lineNo_, msg.c_str());
+    }
+
+    static std::vector<std::string>
+    tokenize(const std::string &line)
+    {
+        std::string clean;
+        for (char c : line) {
+            if (c == ';' || c == '#')
+                break;
+            clean.push_back(c == ',' ? ' ' : c);
+        }
+        std::vector<std::string> toks;
+        std::istringstream is(clean);
+        std::string t;
+        while (is >> t)
+            toks.push_back(t);
+        return toks;
+    }
+
+    uint32_t
+    regIndex(const std::string &tok, bool define)
+    {
+        if (tok.size() < 2 || tok[0] != '%')
+            die("expected register, got '" + tok + "'");
+        std::string name = tok.substr(1);
+        auto it = regs_.find(name);
+        if (it == regs_.end()) {
+            if (!define)
+                die("register %" + name + " read before write");
+            uint32_t idx = uint32_t(regs_.size());
+            regs_.emplace(name, idx);
+            return idx;
+        }
+        return it->second;
+    }
+
+    uint32_t
+    paramIndex(const std::string &name)
+    {
+        for (uint32_t i = 0; i < prog_->params.size(); ++i)
+            if (prog_->params[i].name == name)
+                return i;
+        die("unknown parameter $" + name);
+    }
+
+    Operand
+    operand(const std::string &tok, Ty ty)
+    {
+        Operand o;
+        if (tok[0] == '%') {
+            o.k = Operand::K::Reg;
+            o.idx = regIndex(tok, false);
+        } else if (tok[0] == '$') {
+            o.k = Operand::K::Param;
+            o.idx = paramIndex(tok.substr(1));
+            if (prog_->params[o.idx].kind == AsmParam::Kind::Ptr)
+                die("pointer parameter $" + tok.substr(1) +
+                    " used as a scalar operand");
+        } else {
+            o.k = Operand::K::Imm;
+            try {
+                if (ty == Ty::F32)
+                    o.bits = asB(std::stof(tok));
+                else if (ty == Ty::S32)
+                    o.bits = asBs(int32_t(std::stol(tok, nullptr, 0)));
+                else
+                    o.bits =
+                        uint32_t(std::stoul(tok, nullptr, 0));
+            } catch (const std::exception &) {
+                die("bad immediate '" + tok + "'");
+            }
+        }
+        return o;
+    }
+
+    /** Parse "$p[%i]" into (param, index register). */
+    void
+    memRef(const std::string &tok, uint32_t &param, Operand &idx,
+           bool shared)
+    {
+        size_t lb = tok.find('[');
+        size_t rb = tok.find(']');
+        if (lb == std::string::npos || rb != tok.size() - 1)
+            die("expected memory reference, got '" + tok + "'");
+        std::string base = tok.substr(0, lb);
+        std::string inner = tok.substr(lb + 1, rb - lb - 1);
+        if (shared) {
+            if (base != "sm")
+                die("shared reference must be sm[...], got '" + tok +
+                    "'");
+            param = 0;
+        } else {
+            if (base.empty() || base[0] != '$')
+                die("global reference needs a $pointer base");
+            param = paramIndex(base.substr(1));
+            if (prog_->params[param].kind != AsmParam::Kind::Ptr)
+                die("memory base $" + base.substr(1) +
+                    " is not a ptr parameter");
+        }
+        idx = operand(inner, Ty::U32);
+    }
+
+    Ty
+    tyOf(const std::string &s)
+    {
+        if (s == "u32")
+            return Ty::U32;
+        if (s == "s32")
+            return Ty::S32;
+        if (s == "f32")
+            return Ty::F32;
+        die("unknown type suffix '." + s + "'");
+    }
+
+    Cc
+    ccOf(const std::string &s)
+    {
+        if (s == "eq")
+            return Cc::Eq;
+        if (s == "ne")
+            return Cc::Ne;
+        if (s == "lt")
+            return Cc::Lt;
+        if (s == "le")
+            return Cc::Le;
+        if (s == "gt")
+            return Cc::Gt;
+        if (s == "ge")
+            return Cc::Ge;
+        die("unknown condition '." + s + "'");
+    }
+
+    void
+    push(Node node)
+    {
+        if (node.k == Node::K::Plain)
+            ++prog_->staticInstrs;
+        blockStack_.back()->push_back(std::move(node));
+    }
+
+    void
+    parseLine(const std::string &line)
+    {
+        auto toks = tokenize(line);
+        if (toks.empty())
+            return;
+        const std::string &head = toks[0];
+
+        // Directives.
+        if (head == ".kernel") {
+            if (toks.size() != 2)
+                die(".kernel needs a name");
+            prog_->name = toks[1];
+            return;
+        }
+        if (head == ".param") {
+            if (toks.size() != 3)
+                die(".param needs: kind name");
+            AsmParam p;
+            if (toks[1] == "ptr")
+                p.kind = AsmParam::Kind::Ptr;
+            else if (toks[1] == "u32")
+                p.kind = AsmParam::Kind::U32;
+            else if (toks[1] == "f32")
+                p.kind = AsmParam::Kind::F32;
+            else
+                die("unknown param kind '" + toks[1] + "'");
+            p.name = toks[2];
+            prog_->params.push_back(p);
+            return;
+        }
+
+        // Mnemonic with dot-suffixes.
+        std::vector<std::string> parts;
+        {
+            std::string cur;
+            for (char c : head) {
+                if (c == '.') {
+                    parts.push_back(cur);
+                    cur.clear();
+                } else {
+                    cur.push_back(c);
+                }
+            }
+            parts.push_back(cur);
+        }
+        const std::string &m = parts[0];
+
+        // Control structure.
+        if (m == "if" || m == "while") {
+            if (parts.size() != 3 || toks.size() != 3)
+                die(m + " needs: " + m + ".<cc>.<type> a, b");
+            Node n;
+            n.k = m == "if" ? Node::K::If : Node::K::While;
+            n.cc = ccOf(parts[1]);
+            n.ins.ty = tyOf(parts[2]);
+            n.ins.a = operand(toks[1], n.ins.ty);
+            n.ins.b = operand(toks[2], n.ins.ty);
+            ++prog_->staticInstrs;
+            blockStack_.back()->push_back(std::move(n));
+            Node &placed = blockStack_.back()->back();
+            blockStack_.push_back(&placed.thenB);
+            kindStack_.push_back(placed.k);
+            inElse_.push_back(false);
+            return;
+        }
+        if (m == "else") {
+            if (kindStack_.empty() || kindStack_.back() != Node::K::If ||
+                inElse_.back())
+                die("else without matching if");
+            blockStack_.pop_back();
+            Node &owner = blockStack_.back()->back();
+            blockStack_.push_back(&owner.elseB);
+            inElse_.back() = true;
+            return;
+        }
+        if (m == "endif") {
+            if (kindStack_.empty() || kindStack_.back() != Node::K::If)
+                die("endif without matching if");
+            blockStack_.pop_back();
+            kindStack_.pop_back();
+            inElse_.pop_back();
+            return;
+        }
+        if (m == "endwhile") {
+            if (kindStack_.empty() ||
+                kindStack_.back() != Node::K::While)
+                die("endwhile without matching while");
+            blockStack_.pop_back();
+            kindStack_.pop_back();
+            inElse_.pop_back();
+            return;
+        }
+        if (m == "bar") {
+            if (blockStack_.size() != 1)
+                die("bar inside divergent control flow");
+            Node n;
+            n.k = Node::K::Bar;
+            push(std::move(n));
+            return;
+        }
+
+        // Regular instructions.
+        Node n;
+        n.ins = parseInstr(m, parts, toks);
+        push(std::move(n));
+    }
+
+    Instr
+    parseInstr(const std::string &m,
+               const std::vector<std::string> &parts,
+               const std::vector<std::string> &toks)
+    {
+        Instr ins;
+        auto needTy = [&](size_t at) {
+            if (parts.size() <= at)
+                die("missing type suffix on '" + m + "'");
+            return tyOf(parts[at]);
+        };
+        auto dst = [&](size_t tok) {
+            if (toks.size() <= tok)
+                die("missing destination register");
+            return regIndex(toks[tok], true);
+        };
+        auto src = [&](size_t tok, Ty ty) {
+            if (toks.size() <= tok)
+                die("missing operand");
+            return operand(toks[tok], ty);
+        };
+
+        static const std::map<std::string, Op> binops = {
+            {"add", Op::Add}, {"sub", Op::Sub}, {"mul", Op::Mul},
+            {"div", Op::Div}, {"rem", Op::Rem}, {"and", Op::And},
+            {"or", Op::Or},   {"xor", Op::Xor}, {"min", Op::Min},
+            {"max", Op::Max}, {"shl", Op::Shl}, {"shr", Op::Shr},
+        };
+        static const std::map<std::string, Op> unops = {
+            {"mov", Op::Mov},   {"neg", Op::Neg},
+            {"abs", Op::Abs},   {"sqrt", Op::Sqrt},
+            {"rsqrt", Op::Rsqrt}, {"exp", Op::Exp},
+            {"log", Op::Log},   {"sin", Op::Sin},
+            {"cos", Op::Cos},
+        };
+        static const std::map<std::string, Op> specials = {
+            {"gid", Op::Gid},   {"gidy", Op::GidY},
+            {"tid", Op::Tid},   {"lane", Op::Lane},
+            {"ctaid", Op::CtaId},
+        };
+
+        if (auto it = specials.find(m); it != specials.end()) {
+            ins.op = it->second;
+            ins.dst = dst(1);
+            return ins;
+        }
+        if (auto it = binops.find(m); it != binops.end()) {
+            ins.op = it->second;
+            ins.ty = needTy(1);
+            ins.dst = dst(1);
+            ins.a = src(2, ins.ty);
+            ins.b = src(3, ins.ty);
+            return ins;
+        }
+        if (auto it = unops.find(m); it != unops.end()) {
+            ins.op = it->second;
+            ins.ty = needTy(1);
+            ins.dst = dst(1);
+            ins.a = src(2, ins.ty);
+            return ins;
+        }
+        if (m == "fma") {
+            ins.op = Op::Fma;
+            ins.ty = needTy(1);
+            if (ins.ty != Ty::F32)
+                die("fma supports .f32 only");
+            ins.dst = dst(1);
+            ins.a = src(2, ins.ty);
+            ins.b = src(3, ins.ty);
+            ins.c = src(4, ins.ty);
+            return ins;
+        }
+        if (m == "cvt") {
+            // cvt.<dstTy>.<srcTy> %d, src
+            if (parts.size() != 3)
+                die("cvt needs cvt.<dstTy>.<srcTy>");
+            ins.op = Op::Cvt;
+            ins.ty = tyOf(parts[1]);
+            ins.srcTy = tyOf(parts[2]);
+            ins.dst = dst(1);
+            ins.a = src(2, ins.srcTy);
+            return ins;
+        }
+        if (m == "ld" || m == "lds") {
+            ins.op = m == "ld" ? Op::Ld : Op::Lds;
+            ins.ty = needTy(1);
+            ins.dst = dst(1);
+            if (toks.size() <= 2)
+                die("missing memory reference");
+            memRef(toks[2], ins.param, ins.a, m == "lds");
+            return ins;
+        }
+        if (m == "st" || m == "sts") {
+            ins.op = m == "st" ? Op::St : Op::Sts;
+            ins.ty = needTy(1);
+            if (toks.size() <= 2)
+                die("st needs: st.<t> ref, src");
+            memRef(toks[1], ins.param, ins.a, m == "sts");
+            ins.b = src(2, ins.ty);
+            return ins;
+        }
+        if (m == "atom" || m == "atoms") {
+            // atom.add.u32 %d, $p[%i], src
+            if (parts.size() != 3 || parts[1] != "add")
+                die("only atom.add is supported");
+            ins.op = m == "atom" ? Op::AtomAdd : Op::AtomAddShared;
+            ins.ty = tyOf(parts[2]);
+            if (ins.ty == Ty::F32)
+                die("atom.add supports integer types only");
+            ins.dst = dst(1);
+            if (toks.size() <= 2)
+                die("missing memory reference");
+            memRef(toks[2], ins.param, ins.a, m == "atoms");
+            ins.b = src(3, ins.ty);
+            return ins;
+        }
+        die("unknown instruction '" + m + "'");
+    }
+
+    const std::string &src_;
+    AsmProgramImpl *prog_ = nullptr;
+    uint32_t lineNo_ = 0;
+    std::map<std::string, uint32_t> regs_;
+    std::vector<Block *> blockStack_;
+    std::vector<Node::K> kindStack_;
+    std::vector<bool> inElse_;
+};
+
+// ----------------------------------------------------------------
+// Executor
+// ----------------------------------------------------------------
+
+struct Frame
+{
+    Warp &w;
+    const AsmProgramImpl &prog;
+    std::vector<Reg<uint32_t>> regs;
+
+    Reg<uint32_t>
+    value(const Operand &o)
+    {
+        switch (o.k) {
+          case Operand::K::Reg:
+            return regs[o.idx];
+          case Operand::K::Imm:
+            return w.imm(o.bits);
+          case Operand::K::Param: {
+            // Scalar parameters broadcast like a constant bank.
+            return w.imm(w.param<uint32_t>(o.idx));
+          }
+          default:
+            panic("GKS: empty operand evaluated");
+        }
+    }
+};
+
+Reg<uint32_t>
+execBinary(Frame &f, const Instr &ins)
+{
+    Warp &w = f.w;
+    Reg<uint32_t> A = f.value(ins.a);
+    Reg<uint32_t> B = f.value(ins.b);
+    Ty ty = ins.ty;
+
+    auto emitF = [&](auto fn) {
+        return w.emitBin<uint32_t>(
+            OpClass::FpAlu,
+            [fn](uint32_t x, uint32_t y) {
+                return asB(fn(asF(x), asF(y)));
+            },
+            A, B);
+    };
+    auto emitU = [&](auto fn) {
+        return w.emitBin<uint32_t>(OpClass::IntAlu, fn, A, B);
+    };
+    auto emitS = [&](auto fn) {
+        return w.emitBin<uint32_t>(
+            OpClass::IntAlu,
+            [fn](uint32_t x, uint32_t y) {
+                return asBs(fn(asS(x), asS(y)));
+            },
+            A, B);
+    };
+
+    switch (ins.op) {
+      case Op::Add:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x + y; });
+        return emitU([](uint32_t x, uint32_t y) { return x + y; });
+      case Op::Sub:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x - y; });
+        return emitU([](uint32_t x, uint32_t y) { return x - y; });
+      case Op::Mul:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x * y; });
+        return emitU([](uint32_t x, uint32_t y) { return x * y; });
+      case Op::Div:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x / y; });
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return y ? x / y : 0;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return y ? x / y : 0u;
+        });
+      case Op::Rem:
+        if (ty == Ty::F32)
+            panic("GKS: rem.f32 is not defined");
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return y ? x % y : 0;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return y ? x % y : 0u;
+        });
+      case Op::And:
+        return emitU([](uint32_t x, uint32_t y) { return x & y; });
+      case Op::Or:
+        return emitU([](uint32_t x, uint32_t y) { return x | y; });
+      case Op::Xor:
+        return emitU([](uint32_t x, uint32_t y) { return x ^ y; });
+      case Op::Shl:
+        return emitU([](uint32_t x, uint32_t y) {
+            return y >= 32 ? 0u : x << y;
+        });
+      case Op::Shr:
+        return emitU([](uint32_t x, uint32_t y) {
+            return y >= 32 ? 0u : x >> y;
+        });
+      case Op::Min:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) {
+                return x < y ? x : y;
+            });
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return x < y ? x : y;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return x < y ? x : y;
+        });
+      case Op::Max:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) {
+                return x > y ? x : y;
+            });
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return x > y ? x : y;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return x > y ? x : y;
+        });
+      default:
+        panic("GKS: not a binary op");
+    }
+}
+
+Reg<uint32_t>
+execUnary(Frame &f, const Instr &ins)
+{
+    Warp &w = f.w;
+    Reg<uint32_t> A = f.value(ins.a);
+    auto sfu = [&](auto fn) {
+        return w.emitUn<uint32_t>(
+            OpClass::Sfu,
+            [fn](uint32_t x) { return asB(fn(asF(x))); }, A);
+    };
+    switch (ins.op) {
+      case Op::Mov:
+        return w.emitUn<uint32_t>(OpClass::IntAlu,
+                                  [](uint32_t x) { return x; }, A);
+      case Op::Neg:
+        if (ins.ty == Ty::F32)
+            return w.emitUn<uint32_t>(
+                OpClass::FpAlu,
+                [](uint32_t x) { return asB(-asF(x)); }, A);
+        return w.emitUn<uint32_t>(
+            OpClass::IntAlu,
+            [](uint32_t x) { return asBs(-asS(x)); }, A);
+      case Op::Abs:
+        if (ins.ty == Ty::F32)
+            return w.emitUn<uint32_t>(
+                OpClass::FpAlu,
+                [](uint32_t x) { return asB(std::fabs(asF(x))); },
+                A);
+        return w.emitUn<uint32_t>(
+            OpClass::IntAlu,
+            [](uint32_t x) {
+                int32_t s = asS(x);
+                return asBs(s < 0 ? -s : s);
+            },
+            A);
+      case Op::Sqrt:
+        return sfu([](float x) { return std::sqrt(x); });
+      case Op::Rsqrt:
+        return sfu([](float x) { return 1.0f / std::sqrt(x); });
+      case Op::Exp:
+        return sfu([](float x) { return std::exp(x); });
+      case Op::Log:
+        return sfu([](float x) { return std::log(x); });
+      case Op::Sin:
+        return sfu([](float x) { return std::sin(x); });
+      case Op::Cos:
+        return sfu([](float x) { return std::cos(x); });
+      case Op::Cvt: {
+        Ty to = ins.ty, from = ins.srcTy;
+        return w.emitUn<uint32_t>(
+            OpClass::Other,
+            [to, from](uint32_t x) -> uint32_t {
+                double v;
+                if (from == Ty::F32)
+                    v = asF(x);
+                else if (from == Ty::S32)
+                    v = asS(x);
+                else
+                    v = x;
+                if (to == Ty::F32)
+                    return asB(float(v));
+                if (to == Ty::S32)
+                    return asBs(int32_t(v));
+                return uint32_t(int64_t(v));
+            },
+            A);
+      }
+      default:
+        panic("GKS: not a unary op");
+    }
+}
+
+Pred
+execCompare(Frame &f, Cc cc, Ty ty, const Operand &a,
+            const Operand &b)
+{
+    Warp &w = f.w;
+    Reg<uint32_t> A = f.value(a);
+    Reg<uint32_t> B = f.value(b);
+    OpClass cls = ty == Ty::F32 ? OpClass::FpAlu : OpClass::IntAlu;
+    auto cmp = [cc](auto x, auto y) {
+        switch (cc) {
+          case Cc::Eq: return x == y;
+          case Cc::Ne: return x != y;
+          case Cc::Lt: return x < y;
+          case Cc::Le: return x <= y;
+          case Cc::Gt: return x > y;
+          case Cc::Ge: return x >= y;
+        }
+        return false;
+    };
+    if (ty == Ty::F32)
+        return w.emitCmp(cls,
+                         [cmp](uint32_t x, uint32_t y) {
+                             return cmp(asF(x), asF(y));
+                         },
+                         A, B);
+    if (ty == Ty::S32)
+        return w.emitCmp(cls,
+                         [cmp](uint32_t x, uint32_t y) {
+                             return cmp(asS(x), asS(y));
+                         },
+                         A, B);
+    return w.emitCmp(cls,
+                     [cmp](uint32_t x, uint32_t y) {
+                         return cmp(x, y);
+                     },
+                     A, B);
+}
+
+void execBlock(Frame &f, const Block &block);
+
+void
+execInstr(Frame &f, const Instr &ins)
+{
+    Warp &w = f.w;
+    switch (ins.op) {
+      case Op::Gid:
+        f.regs[ins.dst] = w.globalIdX();
+        return;
+      case Op::GidY:
+        f.regs[ins.dst] = w.globalIdY();
+        return;
+      case Op::Tid:
+        f.regs[ins.dst] = w.tidLinear();
+        return;
+      case Op::Lane:
+        f.regs[ins.dst] = w.laneId();
+        return;
+      case Op::CtaId:
+        f.regs[ins.dst] = w.imm(w.ctaId().x);
+        return;
+      case Op::Ld: {
+        uint64_t base = w.param<uint64_t>(ins.param);
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(base, f.value(ins.a));
+        f.regs[ins.dst] = w.ldGlobal<uint32_t>(addr);
+        return;
+      }
+      case Op::St: {
+        uint64_t base = w.param<uint64_t>(ins.param);
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(base, f.value(ins.a));
+        w.stGlobal<uint32_t>(addr, f.value(ins.b));
+        return;
+      }
+      case Op::Lds: {
+        Reg<uint32_t> off =
+            w.saddr<uint32_t>(0, f.value(ins.a));
+        f.regs[ins.dst] = w.ldShared<uint32_t>(off);
+        return;
+      }
+      case Op::Sts: {
+        Reg<uint32_t> off =
+            w.saddr<uint32_t>(0, f.value(ins.a));
+        w.stShared<uint32_t>(off, f.value(ins.b));
+        return;
+      }
+      case Op::AtomAdd: {
+        uint64_t base = w.param<uint64_t>(ins.param);
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(base, f.value(ins.a));
+        f.regs[ins.dst] =
+            w.atomicAddGlobal<uint32_t>(addr, f.value(ins.b));
+        return;
+      }
+      case Op::AtomAddShared: {
+        Reg<uint32_t> off =
+            w.saddr<uint32_t>(0, f.value(ins.a));
+        f.regs[ins.dst] =
+            w.atomicAddShared<uint32_t>(off, f.value(ins.b));
+        return;
+      }
+      case Op::Fma: {
+        Reg<uint32_t> A = f.value(ins.a);
+        Reg<uint32_t> B = f.value(ins.b);
+        Reg<uint32_t> C = f.value(ins.c);
+        f.regs[ins.dst] = w.emitTri<uint32_t>(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y, uint32_t z) {
+                return asB(asF(x) * asF(y) + asF(z));
+            },
+            A, B, C);
+        return;
+      }
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr: case Op::Min: case Op::Max:
+        f.regs[ins.dst] = execBinary(f, ins);
+        return;
+      default:
+        f.regs[ins.dst] = execUnary(f, ins);
+        return;
+    }
+}
+
+void
+execNode(Frame &f, const Node &node)
+{
+    switch (node.k) {
+      case Node::K::Plain:
+        execInstr(f, node.ins);
+        return;
+      case Node::K::If:
+        f.w.IfElse(
+            execCompare(f, node.cc, node.ins.ty, node.ins.a,
+                        node.ins.b),
+            [&] { execBlock(f, node.thenB); },
+            [&] { execBlock(f, node.elseB); });
+        return;
+      case Node::K::While:
+        f.w.While(
+            [&] {
+                return execCompare(f, node.cc, node.ins.ty,
+                                   node.ins.a, node.ins.b);
+            },
+            [&] { execBlock(f, node.thenB); });
+        return;
+      case Node::K::Bar:
+        panic("GKS: barrier below the top level escaped the parser");
+    }
+}
+
+void
+execBlock(Frame &f, const Block &block)
+{
+    for (const auto &node : block)
+        execNode(f, node);
+}
+
+} // anonymous namespace
+
+KernelFn
+AsmProgramImpl::makeEntry(std::shared_ptr<AsmProgramImpl> self) const
+{
+    return [self](Warp &w) -> WarpTask {
+        Frame f{w, *self, {}};
+        f.regs.resize(self->numRegs);
+        for (auto &r : f.regs)
+            r.w = &w;
+        for (const auto &node : self->body) {
+            if (node.k == Node::K::Bar)
+                co_await w.barrier();
+            else
+                execNode(f, node);
+        }
+        co_return;
+    };
+}
+
+AsmKernel::AsmKernel(std::shared_ptr<AsmProgramImpl> impl)
+    : impl_(std::move(impl))
+{}
+
+const std::string &
+AsmKernel::name() const
+{
+    return impl_->name;
+}
+
+const std::vector<AsmParam> &
+AsmKernel::params() const
+{
+    return impl_->params;
+}
+
+uint32_t
+AsmKernel::registerCount() const
+{
+    return impl_->numRegs;
+}
+
+uint32_t
+AsmKernel::instructionCount() const
+{
+    return impl_->staticInstrs;
+}
+
+KernelFn
+AsmKernel::entry() const
+{
+    return impl_->makeEntry(impl_);
+}
+
+AsmKernel
+assembleKernel(const std::string &source)
+{
+    Parser parser(source);
+    return AsmKernel(parser.parse());
+}
+
+} // namespace gwc::simt

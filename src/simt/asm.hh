@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GKS — a small PTX-like textual kernel language for the SIMT
+ * engine.
+ *
+ * The original study characterizes CUDA binaries through a PTX front
+ * end; GKS plays that role here: kernels can be written as text,
+ * assembled at runtime, and executed with exactly the same
+ * instrumentation as the C++ DSL. Control flow is structured
+ * (if/else/endif, while/endwhile), which maps 1:1 onto the engine's
+ * reconvergence model.
+ *
+ * Example:
+ * @code
+ *   .kernel vecadd
+ *   .param ptr a
+ *   .param ptr b
+ *   .param ptr c
+ *   .param u32 n
+ *
+ *   gid %i
+ *   if.lt.u32 %i, $n
+ *     ld.f32 %x, $a[%i]
+ *     ld.f32 %y, $b[%i]
+ *     add.f32 %z, %x, %y
+ *     st.f32 $c[%i], %z
+ *   endif
+ * @endcode
+ *
+ * Registers (%name) are untyped 32-bit lane values; the instruction
+ * suffix (.u32/.s32/.f32) selects the interpretation, as in PTX.
+ * Operands are registers, immediates (integer or float per the
+ * suffix) or scalar parameters ($name). `bar` synchronizes the CTA
+ * and must appear at the top level (the CUDA rule). Shared memory is
+ * addressed as typed elements: `lds.f32 %d, sm[%i]`.
+ */
+
+#ifndef GWC_SIMT_ASM_HH
+#define GWC_SIMT_ASM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/warp.hh"
+
+namespace gwc::simt
+{
+
+/** Parameter declaration of an assembled kernel. */
+struct AsmParam
+{
+    enum class Kind : uint8_t { Ptr, U32, F32 };
+    Kind kind;
+    std::string name;
+};
+
+class AsmProgramImpl;
+
+/** A parsed, executable GKS kernel. */
+class AsmKernel
+{
+  public:
+    /** Kernel name from the .kernel directive. */
+    const std::string &name() const;
+
+    /** Declared parameters, in KernelParams order. */
+    const std::vector<AsmParam> &params() const;
+
+    /** Number of distinct registers the kernel uses. */
+    uint32_t registerCount() const;
+
+    /** Static instruction count (all blocks). */
+    uint32_t instructionCount() const;
+
+    /**
+     * Entry point usable with Engine::launch. The returned functor
+     * shares ownership of the program, so it stays valid after the
+     * AsmKernel goes out of scope.
+     */
+    KernelFn entry() const;
+
+  private:
+    friend AsmKernel assembleKernel(const std::string &);
+    explicit AsmKernel(std::shared_ptr<AsmProgramImpl> impl);
+
+    std::shared_ptr<AsmProgramImpl> impl_;
+};
+
+/**
+ * Assemble GKS source into an executable kernel. Fatal on syntax
+ * errors, with the offending line number in the message.
+ */
+AsmKernel assembleKernel(const std::string &source);
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_ASM_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CTA/warp scheduler of the SIMT engine.
+ */
+
+#include "simt/engine.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gwc::simt
+{
+
+LaunchStats
+Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
+               Dim3 cta, uint32_t sharedBytes,
+               const KernelParams &params)
+{
+    if (cta.z != 1)
+        fatal("3D CTAs are not supported (cta.z = %u)", cta.z);
+    uint64_t ctaThreads = cta.count();
+    if (ctaThreads == 0 || ctaThreads > 1024)
+        fatal("CTA size %llu out of range [1, 1024]",
+              static_cast<unsigned long long>(ctaThreads));
+    if (grid.count() == 0)
+        fatal("empty launch grid");
+
+    KernelInfo info{name, grid, cta, sharedBytes};
+    hooks_.kernelBegin(info);
+
+    LaunchStats stats;
+    uint32_t warpsPerCta =
+        static_cast<uint32_t>(ceilDiv(ctaThreads, kWarpSize));
+    uint32_t numCtas = static_cast<uint32_t>(grid.count());
+
+    std::vector<uint8_t> smem;
+    for (uint32_t ctaLin = 0; ctaLin < numCtas; ++ctaLin) {
+        hooks_.ctaBegin(ctaLin);
+        smem.assign(sharedBytes, 0);
+
+        // Warps live in a deque so coroutine frames can hold stable
+        // references across suspensions.
+        std::deque<Warp> warps;
+        std::vector<WarpTask> tasks;
+        for (uint32_t wi = 0; wi < warpsPerCta; ++wi) {
+            uint64_t first = uint64_t(wi) * kWarpSize;
+            uint32_t lanes = static_cast<uint32_t>(
+                std::min<uint64_t>(kWarpSize, ctaThreads - first));
+            LaneMask valid =
+                lanes == kWarpSize ? kFullMask : ((1u << lanes) - 1);
+            warps.emplace_back(mem_, smem, hooks_, info, params, ctaLin,
+                               wi, valid, &stats.warpInstrs);
+        }
+        tasks.reserve(warpsPerCta);
+        for (auto &w : warps)
+            tasks.push_back(fn(w));
+
+        // Round-robin the warps; a pass resumes every runnable warp
+        // once (it runs until its next barrier or completion). When a
+        // pass makes no progress, either all unfinished warps sit at
+        // the barrier (release them) or the kernel deadlocked.
+        while (true) {
+            bool progressed = false;
+            bool anyUnfinished = false;
+            for (uint32_t wi = 0; wi < warpsPerCta; ++wi) {
+                if (tasks[wi].done())
+                    continue;
+                anyUnfinished = true;
+                if (warps[wi].state() == WarpState::Running) {
+                    tasks[wi].resume();
+                    tasks[wi].rethrowIfFailed();
+                    progressed = true;
+                }
+            }
+            if (!anyUnfinished)
+                break;
+            if (!progressed) {
+                bool allAtBarrier = true;
+                for (uint32_t wi = 0; wi < warpsPerCta; ++wi) {
+                    if (!tasks[wi].done() &&
+                        warps[wi].state() != WarpState::AtBarrier) {
+                        allAtBarrier = false;
+                    }
+                }
+                if (!allAtBarrier)
+                    panic("kernel %s: scheduler stuck in CTA %u",
+                          name.c_str(), ctaLin);
+                for (uint32_t wi = 0; wi < warpsPerCta; ++wi)
+                    if (!tasks[wi].done())
+                        warps[wi].release();
+            }
+        }
+
+        stats.warps += warpsPerCta;
+        hooks_.ctaEnd(ctaLin);
+    }
+
+    stats.ctas = numCtas;
+    stats.threads = ctaThreads * numCtas;
+    hooks_.kernelEnd();
+    return stats;
+}
+
+} // namespace gwc::simt

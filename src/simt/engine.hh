@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Kernel launcher of the SIMT engine.
+ *
+ * The engine executes a launch grid CTA-by-CTA. Within a CTA, warps
+ * run as coroutines under a deterministic round-robin scheduler;
+ * barriers release once every unfinished warp has arrived. This
+ * functional model is the substrate on which all characterization
+ * metrics are collected.
+ */
+
+#ifndef GWC_SIMT_ENGINE_HH
+#define GWC_SIMT_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/hooks.hh"
+#include "simt/memory.hh"
+#include "simt/task.hh"
+#include "simt/types.hh"
+#include "simt/warp.hh"
+
+namespace gwc::simt
+{
+
+/** Aggregate counters for one launch. */
+struct LaunchStats
+{
+    uint64_t warpInstrs = 0;   ///< dynamic warp instructions
+    uint64_t ctas = 0;         ///< CTAs executed
+    uint64_t warps = 0;        ///< warps executed
+    uint64_t threads = 0;      ///< logical threads
+};
+
+/**
+ * The device: global memory plus a kernel launcher with an
+ * instrumentation bus. One Engine corresponds to one simulated GPU;
+ * workloads allocate buffers, upload inputs, launch kernels and read
+ * results back through it.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+
+    /** Device global memory. */
+    GlobalMemory &mem() { return mem_; }
+
+    /** Allocate a typed device buffer of @p count elements. */
+    template <typename T>
+    Buffer<T>
+    alloc(size_t count)
+    {
+        uint64_t base = mem_.allocBytes(count * sizeof(T));
+        return Buffer<T>(&mem_, base, count);
+    }
+
+    /** Register an instrumentation hook (not owned). */
+    void addHook(ProfilerHook *hook) { hooks_.add(hook); }
+
+    /** Remove all instrumentation hooks. */
+    void clearHooks() { hooks_.clear(); }
+
+    /**
+     * Launch @p fn over @p grid x @p cta threads.
+     *
+     * @param name        kernel identifier reported to the hooks
+     * @param fn          kernel coroutine
+     * @param grid        CTAs per grid
+     * @param cta         threads per CTA (z must be 1)
+     * @param sharedBytes shared memory per CTA
+     * @param params      kernel arguments
+     * @return aggregate execution counters
+     */
+    LaunchStats launch(const std::string &name, const KernelFn &fn,
+                       Dim3 grid, Dim3 cta, uint32_t sharedBytes,
+                       const KernelParams &params);
+
+  private:
+    GlobalMemory mem_;
+    HookList hooks_;
+};
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_ENGINE_HH

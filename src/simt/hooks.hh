@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Instrumentation interface of the SIMT engine.
+ *
+ * The engine publishes every architectural event of a kernel launch
+ * through ProfilerHook. This is the observation boundary the paper's
+ * methodology relies on: all characterization metrics are computed
+ * from these microarchitecture-independent events, never from timing.
+ */
+
+#ifndef GWC_SIMT_HOOKS_HH
+#define GWC_SIMT_HOOKS_HH
+
+#include <vector>
+
+#include "simt/types.hh"
+
+namespace gwc::simt
+{
+
+/** Sentinel meaning "this lane's value has no producer instruction". */
+constexpr uint16_t kNoDep = 0;
+
+/**
+ * One dynamic warp instruction.
+ *
+ * @c depDist[lane] is the distance, in dynamic warp instructions, from
+ * this instruction back to the youngest producer of any of its
+ * operands for that lane (kNoDep when the operands are constants or
+ * parameters). The per-thread ILP metrics are derived from it.
+ */
+struct InstrEvent
+{
+    OpClass cls;                ///< instruction class
+    LaneMask active;            ///< lanes executing the instruction
+    uint32_t warpId;            ///< launch-unique warp id
+    uint32_t ctaLinear;         ///< linear CTA index
+    Lanes<uint16_t> depDist;    ///< per-lane producer distance
+};
+
+/** Address payload of a memory instruction (follows its InstrEvent). */
+struct MemEvent
+{
+    MemSpace space;             ///< global or shared
+    bool store;                 ///< true for stores
+    bool atomic;                ///< true for atomic RMW
+    uint8_t accessSize;         ///< bytes accessed per lane
+    LaneMask active;            ///< lanes participating
+    uint32_t warpId;            ///< launch-unique warp id
+    uint32_t ctaLinear;         ///< linear CTA index
+    Lanes<uint64_t> addr;       ///< per-lane byte address (or offset)
+};
+
+/** Control-flow payload of a branch instruction. */
+struct BranchEvent
+{
+    LaneMask active;            ///< lanes evaluating the branch
+    LaneMask taken;             ///< subset of active lanes taking it
+    uint32_t warpId;            ///< launch-unique warp id
+};
+
+/**
+ * Observer of engine events. All callbacks default to no-ops so a
+ * hook only overrides what it needs. Events of one launch are
+ * bracketed by kernelBegin/kernelEnd; a launch executes CTAs serially
+ * and warps of one CTA in a deterministic round-robin order.
+ */
+class ProfilerHook
+{
+  public:
+    virtual ~ProfilerHook() = default;
+
+    /** A kernel launch is starting. */
+    virtual void kernelBegin(const KernelInfo &info) { (void)info; }
+
+    /** The current kernel launch finished. */
+    virtual void kernelEnd() {}
+
+    /** CTA @p ctaLinear starts executing. */
+    virtual void ctaBegin(uint32_t ctaLinear) { (void)ctaLinear; }
+
+    /** CTA @p ctaLinear finished. */
+    virtual void ctaEnd(uint32_t ctaLinear) { (void)ctaLinear; }
+
+    /** One dynamic warp instruction was executed. */
+    virtual void instr(const InstrEvent &ev) { (void)ev; }
+
+    /** Address payload for the memory instruction just reported. */
+    virtual void mem(const MemEvent &ev) { (void)ev; }
+
+    /** Outcome of the branch instruction just reported. */
+    virtual void branch(const BranchEvent &ev) { (void)ev; }
+
+    /** A warp arrived at a CTA barrier. */
+    virtual void barrier(uint32_t warpId) { (void)warpId; }
+};
+
+/**
+ * Fan-out dispatcher: forwards every event to all registered hooks in
+ * registration order. Hooks are not owned.
+ */
+class HookList : public ProfilerHook
+{
+  public:
+    /** Register @p hook (not owned, must outlive the engine). */
+    void add(ProfilerHook *hook) { hooks_.push_back(hook); }
+
+    /** Remove all hooks. */
+    void clear() { hooks_.clear(); }
+
+    /** True if no hooks are registered (events can be skipped). */
+    bool empty() const { return hooks_.empty(); }
+
+    void
+    kernelBegin(const KernelInfo &info) override
+    {
+        for (auto *h : hooks_)
+            h->kernelBegin(info);
+    }
+
+    void
+    kernelEnd() override
+    {
+        for (auto *h : hooks_)
+            h->kernelEnd();
+    }
+
+    void
+    ctaBegin(uint32_t cta) override
+    {
+        for (auto *h : hooks_)
+            h->ctaBegin(cta);
+    }
+
+    void
+    ctaEnd(uint32_t cta) override
+    {
+        for (auto *h : hooks_)
+            h->ctaEnd(cta);
+    }
+
+    void
+    instr(const InstrEvent &ev) override
+    {
+        for (auto *h : hooks_)
+            h->instr(ev);
+    }
+
+    void
+    mem(const MemEvent &ev) override
+    {
+        for (auto *h : hooks_)
+            h->mem(ev);
+    }
+
+    void
+    branch(const BranchEvent &ev) override
+    {
+        for (auto *h : hooks_)
+            h->branch(ev);
+    }
+
+    void
+    barrier(uint32_t warpId) override
+    {
+        for (auto *h : hooks_)
+            h->barrier(warpId);
+    }
+
+  private:
+    std::vector<ProfilerHook *> hooks_;
+};
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_HOOKS_HH

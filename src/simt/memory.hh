@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Global-memory model of the SIMT engine.
+ *
+ * A flat, bounds-checked byte heap with a bump allocator. Addresses
+ * start above a guard region so that address 0 behaves like a null
+ * pointer and stray accesses panic instead of silently corrupting
+ * neighbouring buffers.
+ */
+
+#ifndef GWC_SIMT_MEMORY_HH
+#define GWC_SIMT_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gwc::simt
+{
+
+/**
+ * Device global memory. All kernel loads and stores are routed and
+ * bounds-checked here; the host reads and writes buffers through the
+ * typed helpers.
+ */
+class GlobalMemory
+{
+  public:
+    /** Lowest valid device address (guard region below). */
+    static constexpr uint64_t kBase = 0x1000;
+
+    GlobalMemory() = default;
+
+    /**
+     * Allocate @p bytes of device memory, 256-byte aligned.
+     * @return the device base address of the allocation.
+     */
+    uint64_t
+    allocBytes(uint64_t bytes)
+    {
+        uint64_t addr = kBase + ((data_.size() + 255) & ~uint64_t{255});
+        uint64_t end = addr - kBase + bytes;
+        data_.resize(end, 0);
+        return addr;
+    }
+
+    /** Total allocated bytes. */
+    uint64_t allocatedBytes() const { return data_.size(); }
+
+    /** Load a T from device address @p addr. */
+    template <typename T>
+    T
+    read(uint64_t addr) const
+    {
+        checkRange(addr, sizeof(T));
+        T v;
+        std::memcpy(&v, data_.data() + (addr - kBase), sizeof(T));
+        return v;
+    }
+
+    /** Store @p v at device address @p addr. */
+    template <typename T>
+    void
+    write(uint64_t addr, T v)
+    {
+        checkRange(addr, sizeof(T));
+        std::memcpy(data_.data() + (addr - kBase), &v, sizeof(T));
+    }
+
+    /** Zero-fill [addr, addr+bytes). */
+    void
+    zero(uint64_t addr, uint64_t bytes)
+    {
+        checkRange(addr, bytes);
+        std::memset(data_.data() + (addr - kBase), 0, bytes);
+    }
+
+  private:
+    void
+    checkRange(uint64_t addr, uint64_t bytes) const
+    {
+        if (addr < kBase || addr - kBase + bytes > data_.size()) {
+            panic("global memory access [0x%llx, +%llu) out of bounds "
+                  "(%llu bytes allocated)",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(data_.size()));
+        }
+    }
+
+    std::vector<uint8_t> data_;
+};
+
+/**
+ * Typed host-side view of a device allocation. Thin handle: copies
+ * share the same underlying device memory.
+ */
+template <typename T>
+class Buffer
+{
+  public:
+    Buffer() = default;
+    Buffer(GlobalMemory *mem, uint64_t base, size_t count)
+        : mem_(mem), base_(base), count_(count)
+    {}
+
+    /** Device base address, suitable for KernelParams::push. */
+    uint64_t addr() const { return base_; }
+
+    /** Element count. */
+    size_t size() const { return count_; }
+
+    /** Host read of element @p i. */
+    T
+    operator[](size_t i) const
+    {
+        GWC_ASSERT(i < count_, "buffer index out of range");
+        return mem_->read<T>(base_ + i * sizeof(T));
+    }
+
+    /** Host write of element @p i. */
+    void
+    set(size_t i, T v)
+    {
+        GWC_ASSERT(i < count_, "buffer index out of range");
+        mem_->write<T>(base_ + i * sizeof(T), v);
+    }
+
+    /** Copy the whole buffer to the host. */
+    std::vector<T>
+    toHost() const
+    {
+        std::vector<T> out(count_);
+        for (size_t i = 0; i < count_; ++i)
+            out[i] = (*this)[i];
+        return out;
+    }
+
+    /** Copy @p src into the buffer (sizes must match). */
+    void
+    fromHost(const std::vector<T> &src)
+    {
+        GWC_ASSERT(src.size() == count_, "host size mismatch");
+        for (size_t i = 0; i < count_; ++i)
+            set(i, src[i]);
+    }
+
+    /** Fill all elements with @p v. */
+    void
+    fill(T v)
+    {
+        for (size_t i = 0; i < count_; ++i)
+            set(i, v);
+    }
+
+  private:
+    GlobalMemory *mem_ = nullptr;
+    uint64_t base_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_MEMORY_HH

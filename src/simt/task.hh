@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Coroutine task type used to run one warp.
+ *
+ * Kernels are written as C++20 coroutines with signature
+ * @c WarpTask kernel(Warp &w). A warp suspends only at CTA barriers
+ * (@c co_await w.barrier()); the engine's scheduler interleaves the
+ * warps of a CTA so producer/consumer patterns through shared memory
+ * behave exactly as on hardware.
+ */
+
+#ifndef GWC_SIMT_TASK_HH
+#define GWC_SIMT_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace gwc::simt
+{
+
+/**
+ * Move-only owning handle for a warp coroutine. Created suspended;
+ * the engine resumes it until completion.
+ */
+class WarpTask
+{
+  public:
+    struct promise_type
+    {
+        std::exception_ptr exception;
+
+        WarpTask
+        get_return_object()
+        {
+            return WarpTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    WarpTask() = default;
+    explicit WarpTask(Handle h) : handle_(h) {}
+
+    WarpTask(WarpTask &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    WarpTask &
+    operator=(WarpTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    WarpTask(const WarpTask &) = delete;
+    WarpTask &operator=(const WarpTask &) = delete;
+
+    ~WarpTask() { destroy(); }
+
+    /** True once the coroutine ran to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Resume execution until the next suspension point. */
+    void resume() { handle_.resume(); }
+
+    /** Rethrow an exception captured inside the coroutine, if any. */
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_;
+};
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_TASK_HH

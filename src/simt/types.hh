@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fundamental types shared across the SIMT execution engine.
+ *
+ * The engine models a CUDA-like execution hierarchy: a kernel launch is
+ * a grid of cooperative thread arrays (CTAs); each CTA is executed as a
+ * set of 32-lane warps in lockstep with an active mask.
+ */
+
+#ifndef GWC_SIMT_TYPES_HH
+#define GWC_SIMT_TYPES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gwc::simt
+{
+
+/** Number of lanes executed in lockstep per warp. */
+constexpr uint32_t kWarpSize = 32;
+
+/** Coalescing segment size in bytes (one memory transaction). */
+constexpr uint32_t kSegmentBytes = 128;
+
+/** Number of shared-memory banks (4-byte interleaved). */
+constexpr uint32_t kSmemBanks = 32;
+
+/** One bit per lane; bit i set means lane i is active. */
+using LaneMask = uint32_t;
+
+/** Mask with every lane active. */
+constexpr LaneMask kFullMask = 0xFFFFFFFFu;
+
+/** Per-lane value container. */
+template <typename T>
+using Lanes = std::array<T, kWarpSize>;
+
+/** 3-component launch geometry, CUDA dim3 style. */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+    uint32_t z = 1;
+
+    constexpr Dim3() = default;
+    constexpr Dim3(uint32_t xx, uint32_t yy = 1, uint32_t zz = 1)
+        : x(xx), y(yy), z(zz)
+    {}
+
+    /** Total element count. */
+    constexpr uint64_t
+    count() const
+    {
+        return static_cast<uint64_t>(x) * y * z;
+    }
+};
+
+/**
+ * Dynamic-instruction classification used by the characterization
+ * metrics. One event of exactly one class is emitted per dynamic
+ * warp instruction.
+ */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< integer arithmetic / logic / comparisons
+    FpAlu,      ///< single-precision floating point arithmetic
+    Sfu,        ///< special-function (transcendental) operations
+    MemGlobal,  ///< global-memory load/store
+    MemShared,  ///< shared-memory load/store
+    Atomic,     ///< atomic read-modify-write
+    Branch,     ///< (potentially divergent) control flow
+    Sync,       ///< CTA-wide barrier
+    Other,      ///< shuffles, votes, conversions and misc ops
+    NumClasses
+};
+
+/** Human-readable name of an op class. */
+const char *opClassName(OpClass cls);
+
+/** Address space of a memory access. */
+enum class MemSpace : uint8_t { Global, Shared };
+
+/**
+ * Kernel launch parameters. Values are stored as raw 64-bit words;
+ * buffer base addresses, scalars and bit-cast floats all pack into
+ * one word each, mirroring the CUDA kernel-argument buffer.
+ */
+class KernelParams
+{
+  public:
+    /** Append a parameter word. Returns *this for chaining. */
+    template <typename T>
+    KernelParams &
+    push(T v)
+    {
+        static_assert(sizeof(T) <= 8, "parameter wider than one word");
+        uint64_t w = 0;
+        std::memcpy(&w, &v, sizeof(T));
+        words_.push_back(w);
+        return *this;
+    }
+
+    /** Read back parameter @p i as type T. */
+    template <typename T>
+    T
+    get(size_t i) const
+    {
+        if (i >= words_.size())
+            panic("kernel parameter %zu out of range (%zu)", i,
+                  words_.size());
+        T v{};
+        std::memcpy(&v, &words_[i], sizeof(T));
+        return v;
+    }
+
+    /** Number of parameter words. */
+    size_t size() const { return words_.size(); }
+
+  private:
+    std::vector<uint64_t> words_;
+};
+
+/** Static description of one kernel launch. */
+struct KernelInfo
+{
+    std::string name;       ///< kernel identifier, e.g. "RD.reduce"
+    Dim3 grid;              ///< CTAs per grid
+    Dim3 cta;               ///< threads per CTA
+    uint32_t sharedBytes;   ///< shared memory per CTA
+};
+
+/** Population count over a lane mask. */
+inline uint32_t
+laneCount(LaneMask m)
+{
+    return static_cast<uint32_t>(__builtin_popcount(m));
+}
+
+/** True if the mask has exactly zero or all of @p within set. */
+inline bool
+isUniform(LaneMask taken, LaneMask within)
+{
+    taken &= within;
+    return taken == 0 || taken == within;
+}
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_TYPES_HH

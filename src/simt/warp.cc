@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Non-template parts of the warp execution context.
+ */
+
+#include "simt/warp.hh"
+
+namespace gwc::simt
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::Sfu: return "Sfu";
+      case OpClass::MemGlobal: return "MemGlobal";
+      case OpClass::MemShared: return "MemShared";
+      case OpClass::Atomic: return "Atomic";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Sync: return "Sync";
+      case OpClass::Other: return "Other";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+Dim3
+linearToCta(uint32_t linear, const Dim3 &grid)
+{
+    Dim3 id;
+    id.x = linear % grid.x;
+    id.y = (linear / grid.x) % grid.y;
+    id.z = linear / (grid.x * grid.y);
+    return id;
+}
+
+} // anonymous namespace
+
+Warp::Warp(GlobalMemory &gmem, std::vector<uint8_t> &smem,
+           HookList &hooks, const KernelInfo &info,
+           const KernelParams &params, uint32_t ctaLinear,
+           uint32_t warpInCta, LaneMask valid, uint64_t *launchInstrs)
+    : gmem_(gmem), smem_(smem), hooks_(hooks), info_(info),
+      params_(params), ctaLinear_(ctaLinear),
+      ctaId_(linearToCta(ctaLinear, info.grid)), warpInCta_(warpInCta),
+      valid_(valid), active_(valid), launchInstrs_(launchInstrs)
+{
+    uint32_t warpsPerCta = static_cast<uint32_t>(
+        (info.cta.count() + kWarpSize - 1) / kWarpSize);
+    warpId_ = ctaLinear * warpsPerCta + warpInCta;
+}
+
+Reg<uint32_t>
+Warp::tidLinear()
+{
+    Reg<uint32_t> r;
+    r.w = this;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        r.v[l] = warpInCta_ * kWarpSize + l;
+    r.def.fill(0);
+    return r;
+}
+
+Reg<uint32_t>
+Warp::tidX()
+{
+    Reg<uint32_t> r;
+    r.w = this;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        r.v[l] = (warpInCta_ * kWarpSize + l) % info_.cta.x;
+    r.def.fill(0);
+    return r;
+}
+
+Reg<uint32_t>
+Warp::tidY()
+{
+    Reg<uint32_t> r;
+    r.w = this;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        r.v[l] = (warpInCta_ * kWarpSize + l) / info_.cta.x;
+    r.def.fill(0);
+    return r;
+}
+
+Reg<uint32_t>
+Warp::laneId()
+{
+    Reg<uint32_t> r;
+    r.w = this;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        r.v[l] = l;
+    r.def.fill(0);
+    return r;
+}
+
+Reg<uint32_t>
+Warp::globalIdX()
+{
+    Reg<uint32_t> tid = tidX();
+    uint32_t base = ctaId_.x * info_.cta.x;
+    return emitUn<uint32_t>(OpClass::IntAlu,
+                            [base](uint32_t t) { return base + t; }, tid);
+}
+
+Reg<uint32_t>
+Warp::globalIdY()
+{
+    Reg<uint32_t> tid = tidY();
+    uint32_t base = ctaId_.y * info_.cta.y;
+    return emitUn<uint32_t>(OpClass::IntAlu,
+                            [base](uint32_t t) { return base + t; }, tid);
+}
+
+void
+Warp::recordInstr(OpClass cls, uint32_t idx,
+                  const Lanes<uint32_t> &depSeq)
+{
+    if (hooks_.empty())
+        return;
+    InstrEvent ev;
+    ev.cls = cls;
+    ev.active = active_;
+    ev.warpId = warpId_;
+    ev.ctaLinear = ctaLinear_;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if ((active_ & (1u << l)) && depSeq[l] != 0) {
+            uint32_t d = idx - depSeq[l];
+            ev.depDist[l] =
+                d > 0xFFFF ? uint16_t(0xFFFF) : uint16_t(d);
+        } else {
+            ev.depDist[l] = kNoDep;
+        }
+    }
+    hooks_.instr(ev);
+}
+
+void
+Warp::recordMem(MemSpace space, bool store, bool atomic,
+                uint8_t accessSize, const Lanes<uint64_t> &addr)
+{
+    if (hooks_.empty())
+        return;
+    MemEvent ev;
+    ev.space = space;
+    ev.store = store;
+    ev.atomic = atomic;
+    ev.accessSize = accessSize;
+    ev.active = active_;
+    ev.warpId = warpId_;
+    ev.ctaLinear = ctaLinear_;
+    ev.addr = addr;
+    hooks_.mem(ev);
+}
+
+void
+Warp::recordMemOff(MemSpace space, bool store, bool atomic,
+                   uint8_t accessSize, const Lanes<uint32_t> &off)
+{
+    if (hooks_.empty())
+        return;
+    Lanes<uint64_t> addr;
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        addr[l] = off[l];
+    recordMem(space, store, atomic, accessSize, addr);
+}
+
+void
+Warp::recordBranch(LaneMask active, LaneMask taken,
+                   const Lanes<uint32_t> &depSeq)
+{
+    LaneMask saved = active_;
+    active_ = active;
+    uint32_t idx = nextIndex();
+    recordInstr(OpClass::Branch, idx, depSeq);
+    active_ = saved;
+    if (hooks_.empty())
+        return;
+    BranchEvent ev;
+    ev.active = active;
+    ev.taken = taken;
+    ev.warpId = warpId_;
+    hooks_.branch(ev);
+}
+
+void
+Warp::If(const Pred &p, const std::function<void()> &then)
+{
+    LaneMask outer = active_;
+    LaneMask taken = p.mask & outer;
+    recordBranch(outer, taken, p.def);
+    if (taken) {
+        active_ = taken;
+        then();
+    }
+    active_ = outer;
+}
+
+void
+Warp::IfElse(const Pred &p, const std::function<void()> &then,
+             const std::function<void()> &els)
+{
+    LaneMask outer = active_;
+    LaneMask taken = p.mask & outer;
+    LaneMask fall = outer & ~taken;
+    recordBranch(outer, taken, p.def);
+    if (taken) {
+        active_ = taken;
+        then();
+    }
+    if (fall) {
+        active_ = fall;
+        els();
+    }
+    active_ = outer;
+}
+
+void
+Warp::While(const std::function<Pred()> &cond,
+            const std::function<void()> &body)
+{
+    LaneMask outer = active_;
+    LaneMask live = outer;
+    while (true) {
+        active_ = live;
+        Pred p = cond();
+        LaneMask taken = p.mask & live;
+        recordBranch(live, taken, p.def);
+        if (taken == 0)
+            break;
+        live = taken;
+        active_ = live;
+        body();
+    }
+    active_ = outer;
+}
+
+bool
+Warp::uniform(bool cond)
+{
+    Lanes<uint32_t> noDep{};
+    recordBranch(active_, cond ? active_ : 0, noDep);
+    return cond;
+}
+
+Pred
+Warp::predAnd(const Pred &a, const Pred &b)
+{
+    Pred r;
+    r.w = this;
+    uint32_t idx = nextIndex();
+    Lanes<uint32_t> dep;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        dep[l] = std::max(a.def[l], b.def[l]);
+        r.def[l] = idx;
+    }
+    r.mask = a.mask & b.mask;
+    recordInstr(OpClass::IntAlu, idx, dep);
+    return r;
+}
+
+Pred
+Warp::predOr(const Pred &a, const Pred &b)
+{
+    Pred r;
+    r.w = this;
+    uint32_t idx = nextIndex();
+    Lanes<uint32_t> dep;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        dep[l] = std::max(a.def[l], b.def[l]);
+        r.def[l] = idx;
+    }
+    r.mask = a.mask | b.mask;
+    recordInstr(OpClass::IntAlu, idx, dep);
+    return r;
+}
+
+Pred
+Warp::predNot(const Pred &a)
+{
+    Pred r;
+    r.w = this;
+    uint32_t idx = nextIndex();
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        r.def[l] = idx;
+    r.mask = ~a.mask;
+    recordInstr(OpClass::IntAlu, idx, a.def);
+    return r;
+}
+
+bool
+Warp::any(const Pred &p)
+{
+    Lanes<uint32_t> dep = p.def;
+    uint32_t idx = nextIndex();
+    recordInstr(OpClass::Other, idx, dep);
+    return (p.mask & active_) != 0;
+}
+
+bool
+Warp::all(const Pred &p)
+{
+    Lanes<uint32_t> dep = p.def;
+    uint32_t idx = nextIndex();
+    recordInstr(OpClass::Other, idx, dep);
+    return (p.mask & active_) == active_;
+}
+
+LaneMask
+Warp::ballot(const Pred &p)
+{
+    Lanes<uint32_t> dep = p.def;
+    uint32_t idx = nextIndex();
+    recordInstr(OpClass::Other, idx, dep);
+    return p.mask & active_;
+}
+
+Warp::BarrierAwaiter
+Warp::barrier()
+{
+    if (active_ != valid_)
+        panic("CTA barrier reached with divergent control flow "
+              "(warp %u, active 0x%08x, valid 0x%08x)",
+              warpId_, active_, valid_);
+    Lanes<uint32_t> noDep{};
+    uint32_t idx = nextIndex();
+    recordInstr(OpClass::Sync, idx, noDep);
+    hooks_.barrier(warpId_);
+    state_ = WarpState::AtBarrier;
+    return BarrierAwaiter{};
+}
+
+} // namespace gwc::simt

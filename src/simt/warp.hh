@@ -1,0 +1,927 @@
+/**
+ * @file
+ * Warp execution context: the kernel-authoring API of the engine.
+ *
+ * A Warp executes 32 lanes in lockstep under an active mask. Kernels
+ * manipulate Reg<T> values (one element per lane); every operation on
+ * them emits exactly one dynamic warp instruction to the profiler
+ * hooks, with per-lane producer distances for the ILP metrics.
+ *
+ * Control flow comes in two forms, mirroring CUDA semantics:
+ *  - warp-uniform loops/ifs are plain C++ on scalar values, optionally
+ *    ticking a non-divergent branch via Warp::uniform();
+ *  - potentially divergent control flow uses the structured
+ *    combinators Warp::If / Warp::IfElse / Warp::While, which maintain
+ *    the active mask and publish divergence to the profiler.
+ *
+ * CTA barriers are coroutine suspension points: co_await w.barrier().
+ */
+
+#ifndef GWC_SIMT_WARP_HH
+#define GWC_SIMT_WARP_HH
+
+#include <cmath>
+#include <functional>
+#include <type_traits>
+
+#include "simt/hooks.hh"
+#include "simt/memory.hh"
+#include "simt/task.hh"
+#include "simt/types.hh"
+
+namespace gwc::simt
+{
+
+class Warp;
+
+/**
+ * A per-lane SIMT value. @c v holds the lane values, @c def the
+ * dynamic index of the producing instruction per lane (0 = constant).
+ */
+template <typename T>
+class Reg
+{
+  public:
+    Lanes<T> v{};
+    Lanes<uint32_t> def{};
+    Warp *w = nullptr;
+
+    Reg() = default;
+    Reg(const Reg &) = default;
+
+    /**
+     * SIMT register write: under divergence, only the currently
+     * active lanes are updated; inactive lanes keep their old value,
+     * exactly as a hardware register write under a mask. (Copy
+     * *initialization* still copies all lanes.) Defined after Warp.
+     */
+    Reg &operator=(const Reg &o);
+
+    /** Host-side read of one lane's value. */
+    T at(uint32_t lane) const { return v[lane]; }
+};
+
+/**
+ * A per-lane predicate (comparison result). Feeds the divergence
+ * combinators and select().
+ */
+class Pred
+{
+  public:
+    LaneMask mask = 0;
+    Lanes<uint32_t> def{};
+    Warp *w = nullptr;
+};
+
+/** Warp scheduling state, managed by the engine. */
+enum class WarpState : uint8_t { Running, AtBarrier };
+
+/**
+ * Execution context of one warp. Constructed by the engine; kernels
+ * receive it by reference and must not copy it.
+ */
+class Warp
+{
+  public:
+    Warp(GlobalMemory &gmem, std::vector<uint8_t> &smem, HookList &hooks,
+         const KernelInfo &info, const KernelParams &params,
+         uint32_t ctaLinear, uint32_t warpInCta, LaneMask valid,
+         uint64_t *launchInstrs);
+
+    Warp(const Warp &) = delete;
+    Warp &operator=(const Warp &) = delete;
+
+    /// @name Identity and geometry
+    /// @{
+    uint32_t warpId() const { return warpId_; }
+    uint32_t ctaLinear() const { return ctaLinear_; }
+    Dim3 ctaId() const { return ctaId_; }
+    Dim3 ctaDim() const { return info_.cta; }
+    Dim3 gridDim() const { return info_.grid; }
+    LaneMask validMask() const { return valid_; }
+    LaneMask activeMask() const { return active_; }
+
+    /** CTA-linear thread index per lane (special register, free). */
+    Reg<uint32_t> tidLinear();
+    /** Thread x-index within the CTA (special register, free). */
+    Reg<uint32_t> tidX();
+    /** Thread y-index within the CTA (special register, free). */
+    Reg<uint32_t> tidY();
+    /** Lane index 0..31 (special register, free). */
+    Reg<uint32_t> laneId();
+    /** ctaId.x * ctaDim.x + tidX; emits one integer MAD. */
+    Reg<uint32_t> globalIdX();
+    /** ctaId.y * ctaDim.y + tidY; emits one integer MAD. */
+    Reg<uint32_t> globalIdY();
+    /// @}
+
+    /** Kernel parameter word @p i as T (free, like constant bank). */
+    template <typename T>
+    T
+    param(size_t i) const
+    {
+        return params_.get<T>(i);
+    }
+
+    /** Broadcast an immediate into all lanes (free). */
+    template <typename T>
+    Reg<T>
+    imm(T value)
+    {
+        Reg<T> r;
+        r.w = this;
+        r.v.fill(value);
+        r.def.fill(0);
+        return r;
+    }
+
+    /// @name Generic instruction emission (used by the operators)
+    /// @{
+    template <typename R, typename F, typename A>
+    Reg<R>
+    emitUn(OpClass cls, F fn, const Reg<A> &a)
+    {
+        Reg<R> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = fn(a.v[l]);
+            r.def[l] = idx;
+        }
+        recordInstr(cls, idx, a.def);
+        return r;
+    }
+
+    template <typename R, typename F, typename A, typename B>
+    Reg<R>
+    emitBin(OpClass cls, F fn, const Reg<A> &a, const Reg<B> &b)
+    {
+        Reg<R> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max(a.def[l], b.def[l]);
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = fn(a.v[l], b.v[l]);
+            r.def[l] = idx;
+        }
+        recordInstr(cls, idx, dep);
+        return r;
+    }
+
+    template <typename R, typename F, typename A, typename B, typename C>
+    Reg<R>
+    emitTri(OpClass cls, F fn, const Reg<A> &a, const Reg<B> &b,
+            const Reg<C> &c)
+    {
+        Reg<R> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+            r.def[l] = idx;
+        }
+        recordInstr(cls, idx, dep);
+        return r;
+    }
+
+    template <typename F, typename A, typename B>
+    Pred
+    emitCmp(OpClass cls, F fn, const Reg<A> &a, const Reg<B> &b)
+    {
+        Pred p;
+        p.w = this;
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max(a.def[l], b.def[l]);
+            p.def[l] = idx;
+            if ((active_ & (1u << l)) && fn(a.v[l], b.v[l]))
+                p.mask |= 1u << l;
+        }
+        recordInstr(cls, idx, dep);
+        return p;
+    }
+    /// @}
+
+    /// @name Math helpers
+    /// @{
+    template <typename T>
+    Reg<T>
+    min(const Reg<T> &a, const Reg<T> &b)
+    {
+        constexpr OpClass cls = std::is_floating_point_v<T>
+                                    ? OpClass::FpAlu : OpClass::IntAlu;
+        return emitBin<T>(cls, [](T x, T y) { return x < y ? x : y; },
+                          a, b);
+    }
+
+    template <typename T>
+    Reg<T>
+    max(const Reg<T> &a, const Reg<T> &b)
+    {
+        constexpr OpClass cls = std::is_floating_point_v<T>
+                                    ? OpClass::FpAlu : OpClass::IntAlu;
+        return emitBin<T>(cls, [](T x, T y) { return x > y ? x : y; },
+                          a, b);
+    }
+
+    Reg<float>
+    abs(const Reg<float> &a)
+    {
+        return emitUn<float>(OpClass::FpAlu,
+                             [](float x) { return std::fabs(x); }, a);
+    }
+
+    /** Fused multiply-add a*b + c (one FP instruction). */
+    Reg<float>
+    fma(const Reg<float> &a, const Reg<float> &b, const Reg<float> &c)
+    {
+        return emitTri<float>(
+            OpClass::FpAlu,
+            [](float x, float y, float z) { return x * y + z; }, a, b, c);
+    }
+
+    Reg<float>
+    sqrt(const Reg<float> &a)
+    {
+        return emitUn<float>(OpClass::Sfu,
+                             [](float x) { return std::sqrt(x); }, a);
+    }
+
+    Reg<float>
+    rsqrt(const Reg<float> &a)
+    {
+        return emitUn<float>(
+            OpClass::Sfu, [](float x) { return 1.0f / std::sqrt(x); }, a);
+    }
+
+    Reg<float>
+    exp(const Reg<float> &a)
+    {
+        return emitUn<float>(OpClass::Sfu,
+                             [](float x) { return std::exp(x); }, a);
+    }
+
+    Reg<float>
+    log(const Reg<float> &a)
+    {
+        return emitUn<float>(OpClass::Sfu,
+                             [](float x) { return std::log(x); }, a);
+    }
+
+    Reg<float>
+    sin(const Reg<float> &a)
+    {
+        return emitUn<float>(OpClass::Sfu,
+                             [](float x) { return std::sin(x); }, a);
+    }
+
+    Reg<float>
+    cos(const Reg<float> &a)
+    {
+        return emitUn<float>(OpClass::Sfu,
+                             [](float x) { return std::cos(x); }, a);
+    }
+
+    /** Lane-wise type conversion (conversion op, class Other). */
+    template <typename To, typename From>
+    Reg<To>
+    cast(const Reg<From> &a)
+    {
+        return emitUn<To>(OpClass::Other,
+                          [](From x) { return static_cast<To>(x); }, a);
+    }
+
+    /** Lane-wise select: p ? a : b (predicated move, IntAlu-class). */
+    template <typename T>
+    Reg<T>
+    select(const Pred &p, const Reg<T> &a, const Reg<T> &b)
+    {
+        Reg<T> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max({p.def[l], a.def[l], b.def[l]});
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = (p.mask & (1u << l)) ? a.v[l] : b.v[l];
+            r.def[l] = idx;
+        }
+        recordInstr(OpClass::IntAlu, idx, dep);
+        return r;
+    }
+
+    /** Read value of lane @p srcLane+laneId (shfl.down, class Other). */
+    template <typename T>
+    Reg<T>
+    shflDown(const Reg<T> &a, uint32_t delta)
+    {
+        return emitUnIndexed<T>(
+            OpClass::Other, [&](uint32_t l) {
+                uint32_t src = l + delta;
+                return src < kWarpSize ? a.v[src] : a.v[l];
+            },
+            a.def);
+    }
+
+    /** Broadcast lane @p srcLane to all lanes (shfl.idx). */
+    template <typename T>
+    Reg<T>
+    broadcast(const Reg<T> &a, uint32_t srcLane)
+    {
+        return emitUnIndexed<T>(
+            OpClass::Other, [&](uint32_t) { return a.v[srcLane]; },
+            a.def);
+    }
+    /// @}
+
+    /// @name Memory operations
+    /// @{
+    /** Compute base + idx*sizeof(T) as a per-lane global address. */
+    template <typename T>
+    Reg<uint64_t>
+    gaddr(uint64_t base, const Reg<uint32_t> &idx)
+    {
+        return emitUn<uint64_t>(
+            OpClass::IntAlu,
+            [base](uint32_t i) {
+                return base + static_cast<uint64_t>(i) * sizeof(T);
+            },
+            idx);
+    }
+
+    /** Compute byteBase + idx*sizeof(T) as a shared-memory offset. */
+    template <typename T>
+    Reg<uint32_t>
+    saddr(uint32_t byteBase, const Reg<uint32_t> &idx)
+    {
+        return emitUn<uint32_t>(
+            OpClass::IntAlu,
+            [byteBase](uint32_t i) {
+                return byteBase + i * uint32_t(sizeof(T));
+            },
+            idx);
+    }
+
+    /** Global load from per-lane addresses. */
+    template <typename T>
+    Reg<T>
+    ldGlobal(const Reg<uint64_t> &addr)
+    {
+        Reg<T> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = gmem_.read<T>(addr.v[l]);
+            r.def[l] = idx;
+        }
+        recordInstr(OpClass::MemGlobal, idx, addr.def);
+        recordMem(MemSpace::Global, false, false, sizeof(T), addr.v);
+        return r;
+    }
+
+    /** Global store to per-lane addresses. */
+    template <typename T>
+    void
+    stGlobal(const Reg<uint64_t> &addr, const Reg<T> &val)
+    {
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max(addr.def[l], val.def[l]);
+            if (!(active_ & (1u << l)))
+                continue;
+            gmem_.write<T>(addr.v[l], val.v[l]);
+        }
+        recordInstr(OpClass::MemGlobal, idx, dep);
+        recordMem(MemSpace::Global, true, false, sizeof(T), addr.v);
+    }
+
+    /** Sugar: load element idx of a T array at @p base (addr + load). */
+    template <typename T>
+    Reg<T>
+    ldg(uint64_t base, const Reg<uint32_t> &idx)
+    {
+        return ldGlobal<T>(gaddr<T>(base, idx));
+    }
+
+    /** Sugar: store element idx of a T array at @p base. */
+    template <typename T>
+    void
+    stg(uint64_t base, const Reg<uint32_t> &idx, const Reg<T> &val)
+    {
+        stGlobal<T>(gaddr<T>(base, idx), val);
+    }
+
+    /** Shared-memory load from per-lane byte offsets. */
+    template <typename T>
+    Reg<T>
+    ldShared(const Reg<uint32_t> &off)
+    {
+        Reg<T> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = smemRead<T>(off.v[l]);
+            r.def[l] = idx;
+        }
+        recordInstr(OpClass::MemShared, idx, off.def);
+        recordMemOff(MemSpace::Shared, false, false, sizeof(T), off.v);
+        return r;
+    }
+
+    /** Shared-memory store to per-lane byte offsets. */
+    template <typename T>
+    void
+    stShared(const Reg<uint32_t> &off, const Reg<T> &val)
+    {
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max(off.def[l], val.def[l]);
+            if (!(active_ & (1u << l)))
+                continue;
+            smemWrite<T>(off.v[l], val.v[l]);
+        }
+        recordInstr(OpClass::MemShared, idx, dep);
+        recordMemOff(MemSpace::Shared, true, false, sizeof(T), off.v);
+    }
+
+    /** Sugar: shared load of element idx of a T array at byteBase. */
+    template <typename T>
+    Reg<T>
+    ldsE(uint32_t byteBase, const Reg<uint32_t> &idx)
+    {
+        return ldShared<T>(saddr<T>(byteBase, idx));
+    }
+
+    /** Sugar: shared store of element idx of a T array at byteBase. */
+    template <typename T>
+    void
+    stsE(uint32_t byteBase, const Reg<uint32_t> &idx, const Reg<T> &val)
+    {
+        stShared<T>(saddr<T>(byteBase, idx), val);
+    }
+
+    /** Atomic add on global memory; returns the old values. */
+    template <typename T>
+    Reg<T>
+    atomicAddGlobal(const Reg<uint64_t> &addr, const Reg<T> &val)
+    {
+        return atomicGlobal<T>(addr, val,
+                               [](T o, T x) { return o + x; });
+    }
+
+    /** Atomic max on global memory; returns the old values. */
+    template <typename T>
+    Reg<T>
+    atomicMaxGlobal(const Reg<uint64_t> &addr, const Reg<T> &val)
+    {
+        return atomicGlobal<T>(addr, val,
+                               [](T o, T x) { return o > x ? o : x; });
+    }
+
+    /** Atomic add on shared memory; returns the old values. */
+    template <typename T>
+    Reg<T>
+    atomicAddShared(const Reg<uint32_t> &off, const Reg<T> &val)
+    {
+        Reg<T> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max(off.def[l], val.def[l]);
+            if (!(active_ & (1u << l)))
+                continue;
+            T old = smemRead<T>(off.v[l]);
+            smemWrite<T>(off.v[l], old + val.v[l]);
+            r.v[l] = old;
+            r.def[l] = idx;
+        }
+        recordInstr(OpClass::Atomic, idx, dep);
+        recordMemOff(MemSpace::Shared, true, true, sizeof(T), off.v);
+        return r;
+    }
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    /** Execute @p then for the lanes where @p p holds. */
+    void If(const Pred &p, const std::function<void()> &then);
+
+    /** Two-sided divergent branch. */
+    void IfElse(const Pred &p, const std::function<void()> &then,
+                const std::function<void()> &els);
+
+    /**
+     * Divergent loop: re-evaluates @p cond over the still-live lanes
+     * and runs @p body until no lane remains. Lanes leave the loop
+     * individually, modeling SIMT loop divergence.
+     */
+    void While(const std::function<Pred()> &cond,
+               const std::function<void()> &body);
+
+    /**
+     * Tick a warp-uniform branch (e.g. a scalar loop condition) and
+     * return @p cond. Never diverges.
+     */
+    bool uniform(bool cond);
+
+    /** Lane-wise predicate AND (one IntAlu instruction). */
+    Pred predAnd(const Pred &a, const Pred &b);
+
+    /** Lane-wise predicate OR (one IntAlu instruction). */
+    Pred predOr(const Pred &a, const Pred &b);
+
+    /** Lane-wise predicate NOT (one IntAlu instruction). */
+    Pred predNot(const Pred &a);
+
+    /** True if p holds on any active lane (vote.any). */
+    bool any(const Pred &p);
+
+    /** True if p holds on all active lanes (vote.all). */
+    bool all(const Pred &p);
+
+    /** Mask of active lanes where p holds (vote.ballot). */
+    LaneMask ballot(const Pred &p);
+    /// @}
+
+    /** Awaitable for co_await w.barrier(): CTA-wide synchronization. */
+    struct BarrierAwaiter
+    {
+        constexpr bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<>) const noexcept {}
+        void await_resume() const noexcept {}
+    };
+
+    /**
+     * Arrive at the CTA barrier. Must be called with all valid lanes
+     * active (no divergence), like CUDA __syncthreads().
+     */
+    BarrierAwaiter barrier();
+
+    /** Scheduling state, managed by the engine. */
+    WarpState state() const { return state_; }
+    /** Engine only: mark the warp runnable again after a barrier. */
+    void release() { state_ = WarpState::Running; }
+
+    /** Dynamic warp instructions executed so far by this warp. */
+    uint64_t instrCount() const { return instrIdx_; }
+
+  private:
+    template <typename T, typename F>
+    Reg<T>
+    emitUnIndexed(OpClass cls, F laneFn, const Lanes<uint32_t> &srcDef)
+    {
+        Reg<T> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(active_ & (1u << l)))
+                continue;
+            r.v[l] = laneFn(l);
+            r.def[l] = idx;
+        }
+        recordInstr(cls, idx, srcDef);
+        return r;
+    }
+
+    template <typename T, typename F>
+    Reg<T>
+    atomicGlobal(const Reg<uint64_t> &addr, const Reg<T> &val, F rmw)
+    {
+        Reg<T> r;
+        r.w = this;
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            dep[l] = std::max(addr.def[l], val.def[l]);
+            if (!(active_ & (1u << l)))
+                continue;
+            T old = gmem_.read<T>(addr.v[l]);
+            gmem_.write<T>(addr.v[l], rmw(old, val.v[l]));
+            r.v[l] = old;
+            r.def[l] = idx;
+        }
+        recordInstr(OpClass::Atomic, idx, dep);
+        recordMem(MemSpace::Global, true, true, sizeof(T), addr.v);
+        return r;
+    }
+
+    template <typename T>
+    T
+    smemRead(uint32_t off) const
+    {
+        if (off + sizeof(T) > smem_.size())
+            panic("shared memory read at %u exceeds %zu bytes", off,
+                  smem_.size());
+        T v;
+        std::memcpy(&v, smem_.data() + off, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    smemWrite(uint32_t off, T v)
+    {
+        if (off + sizeof(T) > smem_.size())
+            panic("shared memory write at %u exceeds %zu bytes", off,
+                  smem_.size());
+        std::memcpy(smem_.data() + off, &v, sizeof(T));
+    }
+
+    /** Advance the dynamic warp instruction counter. */
+    uint32_t
+    nextIndex()
+    {
+        ++*launchInstrs_;
+        return ++instrIdx_;
+    }
+
+    void recordInstr(OpClass cls, uint32_t idx,
+                     const Lanes<uint32_t> &depSeq);
+    void recordMem(MemSpace space, bool store, bool atomic,
+                   uint8_t accessSize, const Lanes<uint64_t> &addr);
+    void recordMemOff(MemSpace space, bool store, bool atomic,
+                      uint8_t accessSize, const Lanes<uint32_t> &off);
+    void recordBranch(LaneMask active, LaneMask taken,
+                      const Lanes<uint32_t> &depSeq);
+
+    GlobalMemory &gmem_;
+    std::vector<uint8_t> &smem_;
+    HookList &hooks_;
+    const KernelInfo &info_;
+    const KernelParams &params_;
+    uint32_t ctaLinear_;
+    Dim3 ctaId_;
+    uint32_t warpInCta_;
+    uint32_t warpId_;
+    LaneMask valid_;
+    LaneMask active_;
+    WarpState state_ = WarpState::Running;
+    uint32_t instrIdx_ = 0;
+    uint64_t *launchInstrs_;
+};
+
+template <typename T>
+Reg<T> &
+Reg<T>::operator=(const Reg &o)
+{
+    if (this == &o)
+        return *this;
+    if (w == nullptr) {
+        v = o.v;
+        def = o.def;
+        w = o.w;
+        return *this;
+    }
+    LaneMask m = w->activeMask();
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (m & (1u << l)) {
+            v[l] = o.v[l];
+            def[l] = o.def[l];
+        }
+    }
+    return *this;
+}
+
+/** Kernel entry point type. */
+using KernelFn = std::function<WarpTask(Warp &)>;
+
+/// @name Lane-wise operators on Reg<T>
+/// Every operator emits one dynamic instruction of the appropriate
+/// class (IntAlu for integral T, FpAlu for floating T).
+/// @{
+namespace detail
+{
+
+template <typename T>
+constexpr OpClass
+aluClass()
+{
+    return std::is_floating_point_v<T> ? OpClass::FpAlu
+                                       : OpClass::IntAlu;
+}
+
+} // namespace detail
+
+template <typename T>
+Reg<T>
+operator+(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(detail::aluClass<T>(),
+                                    [](T x, T y) { return x + y; }, a, b);
+}
+
+template <typename T>
+Reg<T>
+operator-(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(detail::aluClass<T>(),
+                                    [](T x, T y) { return x - y; }, a, b);
+}
+
+template <typename T>
+Reg<T>
+operator*(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(detail::aluClass<T>(),
+                                    [](T x, T y) { return x * y; }, a, b);
+}
+
+template <typename T>
+Reg<T>
+operator/(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(detail::aluClass<T>(),
+                                    [](T x, T y) { return x / y; }, a, b);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator%(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(OpClass::IntAlu,
+                                    [](T x, T y) { return x % y; }, a, b);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator&(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(OpClass::IntAlu,
+                                    [](T x, T y) { return x & y; }, a, b);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator|(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(OpClass::IntAlu,
+                                    [](T x, T y) { return x | y; }, a, b);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator^(const Reg<T> &a, const Reg<T> &b)
+{
+    return a.w->template emitBin<T>(OpClass::IntAlu,
+                                    [](T x, T y) { return x ^ y; }, a, b);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator<<(const Reg<T> &a, uint32_t sh)
+{
+    return a.w->template emitUn<T>(OpClass::IntAlu,
+                                   [sh](T x) { return T(x << sh); }, a);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator>>(const Reg<T> &a, uint32_t sh)
+{
+    return a.w->template emitUn<T>(OpClass::IntAlu,
+                                   [sh](T x) { return T(x >> sh); }, a);
+}
+
+template <typename T>
+Reg<T>
+operator-(const Reg<T> &a)
+{
+    return a.w->template emitUn<T>(detail::aluClass<T>(),
+                                   [](T x) { return -x; }, a);
+}
+
+// Scalar right-hand-side overloads: the scalar is an immediate.
+template <typename T>
+Reg<T>
+operator+(const Reg<T> &a, T s)
+{
+    return a + a.w->imm(s);
+}
+
+template <typename T>
+Reg<T>
+operator-(const Reg<T> &a, T s)
+{
+    return a - a.w->imm(s);
+}
+
+template <typename T>
+Reg<T>
+operator*(const Reg<T> &a, T s)
+{
+    return a * a.w->imm(s);
+}
+
+template <typename T>
+Reg<T>
+operator/(const Reg<T> &a, T s)
+{
+    return a / a.w->imm(s);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator%(const Reg<T> &a, T s)
+{
+    return a % a.w->imm(s);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+Reg<T>
+operator&(const Reg<T> &a, T s)
+{
+    return a & a.w->imm(s);
+}
+
+template <typename T>
+Reg<T>
+operator+(T s, const Reg<T> &a)
+{
+    return a.w->imm(s) + a;
+}
+
+template <typename T>
+Reg<T>
+operator-(T s, const Reg<T> &a)
+{
+    return a.w->imm(s) - a;
+}
+
+template <typename T>
+Reg<T>
+operator*(T s, const Reg<T> &a)
+{
+    return a.w->imm(s) * a;
+}
+
+/// Comparisons produce predicates.
+#define GWC_DEFINE_CMP(op)                                              \
+    template <typename T>                                               \
+    Pred operator op(const Reg<T> &a, const Reg<T> &b)                  \
+    {                                                                   \
+        return a.w->emitCmp(detail::aluClass<T>(),                      \
+                            [](T x, T y) { return x op y; }, a, b);     \
+    }                                                                   \
+    template <typename T>                                               \
+    Pred operator op(const Reg<T> &a, T s)                              \
+    {                                                                   \
+        return a op a.w->imm(s);                                        \
+    }
+
+GWC_DEFINE_CMP(<)
+GWC_DEFINE_CMP(<=)
+GWC_DEFINE_CMP(>)
+GWC_DEFINE_CMP(>=)
+GWC_DEFINE_CMP(==)
+GWC_DEFINE_CMP(!=)
+#undef GWC_DEFINE_CMP
+
+/// Predicate combinators (lane-wise, not short-circuiting).
+inline Pred
+operator&&(const Pred &a, const Pred &b)
+{
+    return a.w->predAnd(a, b);
+}
+
+inline Pred
+operator||(const Pred &a, const Pred &b)
+{
+    return a.w->predOr(a, b);
+}
+
+inline Pred
+operator!(const Pred &a)
+{
+    return a.w->predNot(a);
+}
+/// @}
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_WARP_HH

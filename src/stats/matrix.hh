@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Small dense row-major matrix used by the PCA and clustering code.
+ *
+ * The statistical workloads here are tiny (tens of kernels by ~30
+ * characteristics), so clarity beats blocking/vectorization.
+ */
+
+#ifndef GWC_STATS_MATRIX_HH
+#define GWC_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gwc::stats
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols, zero-initialized. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    /** Build from nested initializer data (rows of equal length). */
+    static Matrix
+    fromRows(const std::vector<std::vector<double>> &rows)
+    {
+        if (rows.empty())
+            return Matrix();
+        Matrix m(rows.size(), rows[0].size());
+        for (size_t r = 0; r < rows.size(); ++r) {
+            GWC_ASSERT(rows[r].size() == m.cols_, "ragged rows");
+            for (size_t c = 0; c < m.cols_; ++c)
+                m(r, c) = rows[r][c];
+        }
+        return m;
+    }
+
+    /** n x n identity. */
+    static Matrix
+    identity(size_t n)
+    {
+        Matrix m(n, n);
+        for (size_t i = 0; i < n; ++i)
+            m(i, i) = 1.0;
+        return m;
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double &
+    operator()(size_t r, size_t c)
+    {
+        GWC_ASSERT(r < rows_ && c < cols_, "matrix index");
+        return data_[r * cols_ + c];
+    }
+
+    double
+    operator()(size_t r, size_t c) const
+    {
+        GWC_ASSERT(r < rows_ && c < cols_, "matrix index");
+        return data_[r * cols_ + c];
+    }
+
+    /** Copy of row @p r. */
+    std::vector<double>
+    row(size_t r) const
+    {
+        std::vector<double> out(cols_);
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] = (*this)(r, c);
+        return out;
+    }
+
+    /** Copy of column @p c. */
+    std::vector<double>
+    col(size_t c) const
+    {
+        std::vector<double> out(rows_);
+        for (size_t r = 0; r < rows_; ++r)
+            out[r] = (*this)(r, c);
+        return out;
+    }
+
+    /** Transposed copy. */
+    Matrix
+    transposed() const
+    {
+        Matrix t(cols_, rows_);
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t c = 0; c < cols_; ++c)
+                t(c, r) = (*this)(r, c);
+        return t;
+    }
+
+    /** Matrix product this * other. */
+    Matrix
+    multiply(const Matrix &o) const
+    {
+        GWC_ASSERT(cols_ == o.rows_, "dimension mismatch");
+        Matrix out(rows_, o.cols_);
+        for (size_t r = 0; r < rows_; ++r) {
+            for (size_t k = 0; k < cols_; ++k) {
+                double v = (*this)(r, k);
+                if (v == 0.0)
+                    continue;
+                for (size_t c = 0; c < o.cols_; ++c)
+                    out(r, c) += v * o(k, c);
+            }
+        }
+        return out;
+    }
+
+    /** Keep only the listed columns, in the given order. */
+    Matrix
+    selectColumns(const std::vector<uint32_t> &idx) const
+    {
+        Matrix out(rows_, idx.size());
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t c = 0; c < idx.size(); ++c)
+                out(r, c) = (*this)(r, idx[c]);
+        return out;
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Squared Euclidean distance between rows @p a and @p b of @p m. */
+double rowDistance2(const Matrix &m, size_t a, size_t b);
+
+/** Euclidean distance between rows. */
+double rowDistance(const Matrix &m, size_t a, size_t b);
+
+/** Full pairwise Euclidean distance matrix of the rows of @p m. */
+Matrix pairwiseDistances(const Matrix &m);
+
+} // namespace gwc::stats
+
+#endif // GWC_STATS_MATRIX_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * PCA and eigensolver implementation.
+ */
+
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gwc::stats
+{
+
+double
+rowDistance2(const Matrix &m, size_t a, size_t b)
+{
+    double s = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) {
+        double d = m(a, c) - m(b, c);
+        s += d * d;
+    }
+    return s;
+}
+
+double
+rowDistance(const Matrix &m, size_t a, size_t b)
+{
+    return std::sqrt(rowDistance2(m, a, b));
+}
+
+Matrix
+pairwiseDistances(const Matrix &m)
+{
+    Matrix d(m.rows(), m.rows());
+    for (size_t i = 0; i < m.rows(); ++i) {
+        for (size_t j = i + 1; j < m.rows(); ++j) {
+            double v = rowDistance(m, i, j);
+            d(i, j) = v;
+            d(j, i) = v;
+        }
+    }
+    return d;
+}
+
+Matrix
+zscore(const Matrix &x, std::vector<double> *meanOut,
+       std::vector<double> *stdOut)
+{
+    size_t n = x.rows(), d = x.cols();
+    std::vector<double> mu(d, 0.0), sd(d, 0.0);
+    for (size_t c = 0; c < d; ++c) {
+        double s = 0.0;
+        for (size_t r = 0; r < n; ++r)
+            s += x(r, c);
+        mu[c] = n ? s / double(n) : 0.0;
+        double v = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double dd = x(r, c) - mu[c];
+            v += dd * dd;
+        }
+        sd[c] = n ? std::sqrt(v / double(n)) : 0.0;
+    }
+    Matrix z(n, d);
+    for (size_t c = 0; c < d; ++c) {
+        double div = sd[c] > 1e-12 ? sd[c] : 0.0;
+        for (size_t r = 0; r < n; ++r)
+            z(r, c) = div > 0 ? (x(r, c) - mu[c]) / div : 0.0;
+    }
+    if (meanOut)
+        *meanOut = std::move(mu);
+    if (stdOut)
+        *stdOut = std::move(sd);
+    return z;
+}
+
+Matrix
+correlationMatrix(const Matrix &x)
+{
+    Matrix z = zscore(x);
+    size_t n = z.rows(), d = z.cols();
+    Matrix corr(d, d);
+    for (size_t a = 0; a < d; ++a) {
+        for (size_t b = a; b < d; ++b) {
+            double s = 0.0;
+            for (size_t r = 0; r < n; ++r)
+                s += z(r, a) * z(r, b);
+            double v = n ? s / double(n) : 0.0;
+            corr(a, b) = v;
+            corr(b, a) = v;
+        }
+    }
+    // Exact unit diagonal; constant columns (all-zero z) also get 1
+    // so the matrix stays a valid correlation matrix.
+    for (size_t a = 0; a < d; ++a)
+        corr(a, a) = 1.0;
+    return corr;
+}
+
+void
+jacobiEigen(const Matrix &a, std::vector<double> &evals, Matrix &evecs)
+{
+    GWC_ASSERT(a.rows() == a.cols(), "eigen needs a square matrix");
+    size_t n = a.rows();
+    Matrix m = a;
+    evecs = Matrix::identity(n);
+
+    auto offDiagNorm = [&]() {
+        double s = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                s += m(i, j) * m(i, j);
+        return s;
+    };
+
+    for (int sweep = 0; sweep < 128 && offDiagNorm() > 1e-20; ++sweep) {
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = m(p, q);
+                if (std::fabs(apq) < 1e-15)
+                    continue;
+                double app = m(p, p), aqq = m(q, q);
+                double theta = (aqq - app) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::fabs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double mkp = m(k, p), mkq = m(k, q);
+                    m(k, p) = c * mkp - s * mkq;
+                    m(k, q) = s * mkp + c * mkq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double mpk = m(p, k), mqk = m(q, k);
+                    m(p, k) = c * mpk - s * mqk;
+                    m(q, k) = s * mpk + c * mqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = evecs(k, p), vkq = evecs(k, q);
+                    evecs(k, p) = c * vkp - s * vkq;
+                    evecs(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return m(x, x) > m(y, y);
+    });
+    evals.resize(n);
+    Matrix sorted(n, n);
+    for (size_t c = 0; c < n; ++c) {
+        evals[c] = m(order[c], order[c]);
+        for (size_t r = 0; r < n; ++r)
+            sorted(r, c) = evecs(r, order[c]);
+    }
+    evecs = sorted;
+}
+
+size_t
+PcaResult::numPcsFor(double coverage) const
+{
+    double cum = 0.0;
+    for (size_t i = 0; i < varExplained.size(); ++i) {
+        cum += varExplained[i];
+        if (cum >= coverage - 1e-12)
+            return i + 1;
+    }
+    return varExplained.size();
+}
+
+Matrix
+PcaResult::truncatedScores(size_t k) const
+{
+    k = std::min(k, scores.cols());
+    std::vector<uint32_t> idx(k);
+    std::iota(idx.begin(), idx.end(), 0);
+    return scores.selectColumns(idx);
+}
+
+PcaResult
+pca(const Matrix &x)
+{
+    PcaResult res;
+    Matrix z = zscore(x, &res.mean, &res.stddev);
+    Matrix corr = correlationMatrix(x);
+    jacobiEigen(corr, res.eigenvalues, res.loadings);
+
+    // Numerical guard: tiny negative eigenvalues clamp to 0.
+    double total = 0.0;
+    for (double &ev : res.eigenvalues) {
+        if (ev < 0 && ev > -1e-9)
+            ev = 0.0;
+        total += ev;
+    }
+    res.varExplained.resize(res.eigenvalues.size());
+    for (size_t i = 0; i < res.eigenvalues.size(); ++i)
+        res.varExplained[i] =
+            total > 0 ? res.eigenvalues[i] / total : 0.0;
+
+    res.scores = z.multiply(res.loadings);
+    return res;
+}
+
+} // namespace gwc::stats

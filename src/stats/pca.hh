@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Principal component analysis: the paper's "correlated
+ * dimensionality reduction" step.
+ *
+ * The characteristic matrix (kernels x characteristics) is z-score
+ * normalized per characteristic; PCA is computed on the correlation
+ * matrix via a cyclic Jacobi eigensolver (exact for symmetric
+ * matrices of this size). Retaining the leading PCs removes the
+ * correlated dimensions before clustering.
+ */
+
+#ifndef GWC_STATS_PCA_HH
+#define GWC_STATS_PCA_HH
+
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace gwc::stats
+{
+
+/**
+ * Column-wise z-score normalization.
+ *
+ * Constant columns (zero variance) normalize to all-zeros instead of
+ * NaN; their recorded stddev is 0.
+ *
+ * @param x       input data, rows = observations
+ * @param meanOut optional per-column means
+ * @param stdOut  optional per-column standard deviations
+ */
+Matrix zscore(const Matrix &x, std::vector<double> *meanOut = nullptr,
+              std::vector<double> *stdOut = nullptr);
+
+/**
+ * Pearson correlation matrix of the columns of @p x (computed by
+ * z-scoring internally). Constant columns correlate 0 with everything
+ * and 1 with themselves.
+ */
+Matrix correlationMatrix(const Matrix &x);
+
+/**
+ * Eigen-decomposition of a symmetric matrix via cyclic Jacobi
+ * rotations.
+ *
+ * @param a      symmetric input
+ * @param evals  out: eigenvalues, sorted descending
+ * @param evecs  out: matching eigenvectors in the columns
+ */
+void jacobiEigen(const Matrix &a, std::vector<double> &evals,
+                 Matrix &evecs);
+
+/** Result of a PCA run. */
+struct PcaResult
+{
+    std::vector<double> eigenvalues;   ///< descending
+    std::vector<double> varExplained;  ///< fraction per PC
+    Matrix loadings;   ///< characteristics x PCs (eigenvectors)
+    Matrix scores;     ///< observations x PCs (z-scored projections)
+    std::vector<double> mean;  ///< per-column mean used
+    std::vector<double> stddev;///< per-column stddev used
+
+    /** Smallest #PCs whose cumulative variance reaches coverage. */
+    size_t numPcsFor(double coverage) const;
+
+    /** Scores truncated to the first @p k PCs. */
+    Matrix truncatedScores(size_t k) const;
+};
+
+/** Run PCA on the correlation matrix of @p x. */
+PcaResult pca(const Matrix &x);
+
+} // namespace gwc::stats
+
+#endif // GWC_STATS_PCA_HH

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Trace-driven GPU timing simulator implementation.
+ */
+
+#include "timing/gpu.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace gwc::timing
+{
+
+namespace
+{
+
+/** Set-associative LRU cache over 128B line ids. */
+class Cache
+{
+  public:
+    Cache(uint32_t kb, uint32_t assoc)
+    {
+        uint32_t lines = std::max<uint32_t>(assoc, kb * 1024 / 128);
+        sets_ = std::max<uint32_t>(1, lines / assoc);
+        assoc_ = assoc;
+        tags_.assign(size_t(sets_) * assoc_, kInvalid);
+        age_.assign(size_t(sets_) * assoc_, 0);
+    }
+
+    /** Access @p line; returns true on hit. Fills on miss. */
+    bool
+    access(uint32_t line)
+    {
+        size_t base = size_t(line % sets_) * assoc_;
+        ++tick_;
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            if (tags_[base + w] == line) {
+                age_[base + w] = tick_;
+                return true;
+            }
+        }
+        // Miss: replace LRU way.
+        uint32_t victim = 0;
+        uint64_t oldest = std::numeric_limits<uint64_t>::max();
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            if (age_[base + w] < oldest) {
+                oldest = age_[base + w];
+                victim = w;
+            }
+        }
+        tags_[base + victim] = line;
+        age_[base + victim] = tick_;
+        return false;
+    }
+
+  private:
+    static constexpr uint64_t kInvalid = ~0ull;
+
+    uint32_t sets_ = 1;
+    uint32_t assoc_ = 1;
+    uint64_t tick_ = 0;
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> age_;
+};
+
+struct WarpState
+{
+    const WarpTrace *trace = nullptr;
+    size_t opIdx = 0;
+    uint64_t ready = 0;
+    bool atBarrier = false;
+    bool done = false;
+};
+
+struct CtaState
+{
+    uint32_t cta = 0;
+    std::vector<uint32_t> warps; ///< indices into the warp array
+    uint32_t unfinished = 0;
+    uint32_t arrived = 0;
+};
+
+/** Simulates the CTAs assigned to one core. */
+class CoreSim
+{
+  public:
+    CoreSim(const KernelTrace &trace, const GpuConfig &cfg,
+            std::vector<uint32_t> ctas)
+        : trace_(trace), cfg_(cfg), pending_(std::move(ctas)),
+          l1_(cfg.l1KB, cfg.l1Assoc),
+          l2_(std::max<uint32_t>(1, cfg.l2KB / cfg.numCores),
+              cfg.l2Assoc),
+          dramShare_(cfg.dramBytesPerCycle / cfg.numCores)
+    {}
+
+    uint64_t l1Misses = 0;
+    uint64_t l1Accesses = 0;
+
+    /** Run to completion; returns total cycles. */
+    uint64_t
+    run()
+    {
+        std::reverse(pending_.begin(), pending_.end());
+        admit();
+        while (!active_.empty()) {
+            int wi = pickWarp();
+            if (wi < 0) {
+                // Nothing ready: jump to the earliest wakeup.
+                uint64_t next = std::numeric_limits<uint64_t>::max();
+                for (size_t i = 0; i < warps_.size(); ++i) {
+                    const WarpState &w = warps_[i];
+                    if (!w.done && !w.atBarrier)
+                        next = std::min(next, w.ready);
+                }
+                if (next == std::numeric_limits<uint64_t>::max())
+                    panic("timing deadlock in kernel %s",
+                          trace_.name.c_str());
+                now_ = next;
+                continue;
+            }
+            issue(uint32_t(wi));
+        }
+        return now_;
+    }
+
+  private:
+    void
+    admit()
+    {
+        while (active_.size() < cfg_.maxCtasPerCore &&
+               !pending_.empty()) {
+            uint32_t cta = pending_.back();
+            pending_.pop_back();
+            CtaState cs;
+            cs.cta = cta;
+            for (uint32_t w = 0; w < trace_.warpsPerCta; ++w) {
+                uint32_t gw = cta * trace_.warpsPerCta + w;
+                WarpState ws;
+                ws.trace = &trace_.warps[gw];
+                ws.ready = now_;
+                ws.done = ws.trace->ops.empty();
+                uint32_t idx = uint32_t(warps_.size());
+                warps_.push_back(ws);
+                if (!warps_.back().done) {
+                    cs.warps.push_back(idx);
+                    ++cs.unfinished;
+                } else {
+                    cs.warps.push_back(idx);
+                }
+            }
+            if (cs.unfinished == 0)
+                continue; // degenerate: nothing to run
+            active_.push_back(cs);
+        }
+    }
+
+    int
+    pickWarp()
+    {
+        // GTO: stick with the last warp while it stays ready.
+        if (cfg_.sched == SchedPolicy::Gto && lastWarp_ >= 0) {
+            WarpState &w = warps_[size_t(lastWarp_)];
+            if (!w.done && !w.atBarrier && w.ready <= now_)
+                return lastWarp_;
+        }
+        size_t n = warps_.size();
+        if (n == 0)
+            return -1;
+        size_t start = cfg_.sched == SchedPolicy::RoundRobin
+                           ? rrPtr_ % n
+                           : 0;
+        for (size_t k = 0; k < n; ++k) {
+            size_t i = (start + k) % n;
+            WarpState &w = warps_[i];
+            if (!w.done && !w.atBarrier && w.ready <= now_) {
+                rrPtr_ = i + 1;
+                return int(i);
+            }
+        }
+        return -1;
+    }
+
+    CtaState *
+    ctaOf(uint32_t warpIdx)
+    {
+        for (auto &cs : active_)
+            for (uint32_t w : cs.warps)
+                if (w == warpIdx)
+                    return &cs;
+        return nullptr;
+    }
+
+    void
+    issue(uint32_t wi)
+    {
+        WarpState &w = warps_[wi];
+        const TraceOp &op = w.trace->ops[w.opIdx];
+        lastWarp_ = int(wi);
+
+        if (op.cls == simt::OpClass::Sync) {
+            CtaState *cs = ctaOf(wi);
+            GWC_ASSERT(cs, "warp without CTA");
+            w.atBarrier = true;
+            ++w.opIdx;
+            ++cs->arrived;
+            ++now_;
+            maybeRelease(*cs);
+            return;
+        }
+
+        uint64_t lat = latency(op);
+        w.ready = now_ + lat;
+        ++w.opIdx;
+        ++now_;
+        if (w.opIdx >= w.trace->ops.size()) {
+            w.done = true;
+            finishWarp(wi);
+        }
+    }
+
+    void
+    maybeRelease(CtaState &cs)
+    {
+        if (cs.arrived < cs.unfinished)
+            return;
+        cs.arrived = 0;
+        // finishWarp below may retire the CTA and reallocate
+        // active_, so iterate over a copy and defer the finishes.
+        std::vector<uint32_t> warpsCopy = cs.warps;
+        std::vector<uint32_t> toFinish;
+        for (uint32_t wIdx : warpsCopy) {
+            WarpState &w = warps_[wIdx];
+            if (w.atBarrier) {
+                w.atBarrier = false;
+                w.ready = now_ + cfg_.branchLat;
+                if (w.opIdx >= w.trace->ops.size()) {
+                    w.done = true;
+                    toFinish.push_back(wIdx);
+                }
+            }
+        }
+        for (uint32_t wIdx : toFinish)
+            finishWarp(wIdx);
+    }
+
+    void
+    finishWarp(uint32_t wi)
+    {
+        CtaState *cs = ctaOf(wi);
+        if (!cs)
+            return;
+        if (cs->unfinished > 0)
+            --cs->unfinished;
+        if (cs->unfinished == 0) {
+            // Retire the CTA and admit the next one.
+            for (size_t i = 0; i < active_.size(); ++i) {
+                if (&active_[i] == cs) {
+                    active_.erase(active_.begin() +
+                                  std::ptrdiff_t(i));
+                    break;
+                }
+            }
+            admit();
+        } else {
+            maybeRelease(*cs);
+        }
+    }
+
+    uint64_t
+    latency(const TraceOp &op)
+    {
+        using simt::OpClass;
+        switch (op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::Other:
+            return cfg_.intLat;
+          case OpClass::FpAlu:
+            return cfg_.fpLat;
+          case OpClass::Sfu:
+            return cfg_.sfuLat;
+          case OpClass::Branch:
+            return cfg_.branchLat;
+          case OpClass::MemShared: {
+            uint32_t deg = std::max<uint16_t>(1, op.extra);
+            return cfg_.smemLat + uint64_t(deg - 1) * 2;
+          }
+          case OpClass::Atomic:
+          case OpClass::MemGlobal:
+            return memLatency(op);
+          default:
+            return cfg_.intLat;
+        }
+    }
+
+    uint64_t
+    memLatency(const TraceOp &op)
+    {
+        uint64_t worst = cfg_.l1HitLat;
+        for (uint32_t i = 0; i < op.lineCount; ++i) {
+            uint32_t line = trace_.linePool[op.lineStart + i];
+            ++l1Accesses;
+            uint64_t lineLat;
+            if (l1_.access(line)) {
+                lineLat = cfg_.l1HitLat;
+            } else {
+                ++l1Misses;
+                if (l2_.access(line)) {
+                    lineLat = cfg_.l2HitLat;
+                } else {
+                    // DRAM: latency plus bandwidth-share queueing.
+                    dramFree_ = std::max(dramFree_, now_);
+                    uint64_t queue = dramFree_ - now_;
+                    dramFree_ += uint64_t(128.0 / dramShare_);
+                    lineLat = cfg_.dramLat + queue;
+                }
+            }
+            worst = std::max(worst, lineLat);
+        }
+        uint64_t serial =
+            op.lineCount > 1
+                ? uint64_t(op.lineCount - 1) * cfg_.txSerializeLat
+                : 0;
+        uint64_t base = worst + serial;
+        if (op.cls == simt::OpClass::Atomic)
+            base += cfg_.atomicLat;
+        // Stores retire through the write buffer faster.
+        if (op.store && op.cls == simt::OpClass::MemGlobal)
+            base = cfg_.l1HitLat + serial;
+        return base;
+    }
+
+    const KernelTrace &trace_;
+    const GpuConfig &cfg_;
+    std::vector<uint32_t> pending_;
+    std::vector<WarpState> warps_;
+    std::vector<CtaState> active_;
+    Cache l1_, l2_;
+    double dramShare_;
+    uint64_t dramFree_ = 0;
+    uint64_t now_ = 0;
+    size_t rrPtr_ = 0;
+    int lastWarp_ = -1;
+};
+
+} // anonymous namespace
+
+SimResult
+simulate(const KernelTrace &trace, const GpuConfig &cfg)
+{
+    SimResult res;
+    res.instrs = trace.totalOps;
+    uint64_t worst = 0;
+    for (uint32_t core = 0; core < cfg.numCores; ++core) {
+        std::vector<uint32_t> ctas;
+        for (uint32_t c = core; c < trace.numCtas; c += cfg.numCores)
+            ctas.push_back(c);
+        if (ctas.empty())
+            continue;
+        CoreSim sim(trace, cfg, std::move(ctas));
+        uint64_t cycles = sim.run();
+        worst = std::max(worst, cycles);
+        res.l1Misses += sim.l1Misses;
+        res.l1Accesses += sim.l1Accesses;
+    }
+    res.cycles = std::max<uint64_t>(1, worst);
+    res.ipc = double(res.instrs) / double(res.cycles);
+    return res;
+}
+
+SimResult
+simulateAll(const std::vector<KernelTrace> &traces,
+            const GpuConfig &cfg)
+{
+    SimResult total;
+    for (const auto &t : traces) {
+        SimResult r = simulate(t, cfg);
+        total.cycles += r.cycles;
+        total.instrs += r.instrs;
+        total.l1Misses += r.l1Misses;
+        total.l1Accesses += r.l1Accesses;
+    }
+    total.ipc = total.cycles
+                    ? double(total.instrs) / double(total.cycles)
+                    : 0.0;
+    return total;
+}
+
+std::vector<GpuConfig>
+designSpace()
+{
+    std::vector<GpuConfig> cfgs;
+
+    GpuConfig base;
+    base.name = "C0-base";
+    cfgs.push_back(base);
+
+    GpuConfig bigL1 = base;
+    bigL1.name = "C1-bigL1";
+    bigL1.l1KB = 64;
+    cfgs.push_back(bigL1);
+
+    GpuConfig tinyL1 = base;
+    tinyL1.name = "C2-tinyL1";
+    tinyL1.l1KB = 4;
+    cfgs.push_back(tinyL1);
+
+    GpuConfig moreCores = base;
+    moreCores.name = "C3-16core";
+    moreCores.numCores = 16;
+    cfgs.push_back(moreCores);
+
+    GpuConfig fatDram = base;
+    fatDram.name = "C4-2xBW";
+    fatDram.dramBytesPerCycle = 48.0;
+    cfgs.push_back(fatDram);
+
+    GpuConfig slowDram = base;
+    slowDram.name = "C5-halfBW";
+    slowDram.dramBytesPerCycle = 12.0;
+    slowDram.dramLat = 330;
+    cfgs.push_back(slowDram);
+
+    GpuConfig rr = base;
+    rr.name = "C6-rrSched";
+    rr.sched = SchedPolicy::RoundRobin;
+    cfgs.push_back(rr);
+
+    GpuConfig fewerCtas = base;
+    fewerCtas.name = "C7-1cta";
+    fewerCtas.maxCtasPerCore = 1;
+    cfgs.push_back(fewerCtas);
+
+    return cfgs;
+}
+
+} // namespace gwc::timing

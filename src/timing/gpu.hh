@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cycle-approximate GPU timing model.
+ *
+ * A first-order trace-driven simulator: SIMT cores execute warp
+ * traces under a round-robin or greedy-then-oldest scheduler with a
+ * per-core L1, a (capacity-partitioned) L2 slice and a shared-
+ * bandwidth DRAM model. Cores are simulated independently and the
+ * kernel time is the slowest core — adequate for the relative
+ * design-space comparisons the paper's evaluation metrics need, and
+ * documented as such in DESIGN.md.
+ */
+
+#ifndef GWC_TIMING_GPU_HH
+#define GWC_TIMING_GPU_HH
+
+#include <string>
+#include <vector>
+
+#include "timing/trace.hh"
+
+namespace gwc::timing
+{
+
+/** Warp scheduling policy. */
+enum class SchedPolicy : uint8_t { RoundRobin, Gto };
+
+/** One microarchitecture design point. */
+struct GpuConfig
+{
+    std::string name = "base";
+    uint32_t numCores = 8;        ///< SIMT cores
+    uint32_t maxCtasPerCore = 4;  ///< concurrent CTAs per core
+    SchedPolicy sched = SchedPolicy::Gto;
+
+    // Execution latencies (cycles, warp blocked until complete).
+    uint32_t intLat = 2;
+    uint32_t fpLat = 4;
+    uint32_t sfuLat = 16;
+    uint32_t smemLat = 4;
+    uint32_t branchLat = 2;
+    uint32_t atomicLat = 24;
+
+    // Memory hierarchy.
+    uint32_t l1KB = 16;
+    uint32_t l1Assoc = 4;
+    uint32_t l1HitLat = 6;
+    uint32_t l2KB = 512;          ///< total, partitioned across cores
+    uint32_t l2Assoc = 8;
+    uint32_t l2HitLat = 60;
+    uint32_t dramLat = 220;
+    double dramBytesPerCycle = 24.0; ///< total, shared by cores
+    uint32_t txSerializeLat = 4;  ///< extra cycles per added line
+};
+
+/** Simulation outcome for one kernel trace. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l1Accesses = 0;
+    double ipc = 0.0;
+};
+
+/** Simulate one kernel trace on @p cfg. */
+SimResult simulate(const KernelTrace &trace, const GpuConfig &cfg);
+
+/** Simulate a whole launch sequence; cycles and instrs accumulate. */
+SimResult simulateAll(const std::vector<KernelTrace> &traces,
+                      const GpuConfig &cfg);
+
+/** The design points used by the evaluation-metrics experiments. */
+std::vector<GpuConfig> designSpace();
+
+} // namespace gwc::timing
+
+#endif // GWC_TIMING_GPU_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace capture implementation.
+ */
+
+#include "timing/trace.hh"
+
+#include <algorithm>
+
+#include "common/mathutil.hh"
+
+namespace gwc::timing
+{
+
+using simt::kSegmentBytes;
+using simt::kWarpSize;
+
+void
+TraceCapture::kernelBegin(const simt::KernelInfo &info)
+{
+    traces_.emplace_back();
+    cur_ = &traces_.back();
+    cur_->name = info.name;
+    cur_->warpsPerCta = uint32_t(
+        ceilDiv(info.cta.count(), kWarpSize));
+    cur_->numCtas = uint32_t(info.grid.count());
+    cur_->warps.resize(uint64_t(cur_->warpsPerCta) * cur_->numCtas);
+    for (uint32_t c = 0; c < cur_->numCtas; ++c)
+        for (uint32_t w = 0; w < cur_->warpsPerCta; ++w)
+            cur_->warps[uint64_t(c) * cur_->warpsPerCta + w].cta = c;
+}
+
+void
+TraceCapture::kernelEnd()
+{
+    cur_ = nullptr;
+}
+
+void
+TraceCapture::instr(const simt::InstrEvent &ev)
+{
+    if (!cur_)
+        return;
+    if (cur_->totalOps >= opCap_) {
+        truncated_ = true;
+        return;
+    }
+    ++cur_->totalOps;
+    TraceOp op;
+    op.cls = ev.cls;
+    op.store = 0;
+    op.extra = 0;
+    op.lineStart = 0;
+    op.lineCount = 0;
+    cur_->warps[ev.warpId].ops.push_back(op);
+}
+
+void
+TraceCapture::mem(const simt::MemEvent &ev)
+{
+    if (!cur_ || cur_->warps[ev.warpId].ops.empty())
+        return;
+    TraceOp &op = cur_->warps[ev.warpId].ops.back();
+    // Guard against the cap having dropped the matching instr event.
+    if (op.cls != simt::OpClass::MemGlobal &&
+        op.cls != simt::OpClass::MemShared &&
+        op.cls != simt::OpClass::Atomic)
+        return;
+
+    if (ev.space == simt::MemSpace::Shared) {
+        // Conflict degree: max distinct words per bank.
+        std::array<uint64_t, simt::kSmemBanks> word{};
+        std::array<uint8_t, simt::kSmemBanks> cnt{};
+        uint32_t deg = 1;
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(ev.active & (1u << l)))
+                continue;
+            uint64_t wd = ev.addr[l] / 4;
+            uint32_t b = uint32_t(wd % simt::kSmemBanks);
+            if (cnt[b] == 0) {
+                cnt[b] = 1;
+                word[b] = wd;
+            } else if (word[b] != wd) {
+                ++cnt[b];
+                deg = std::max<uint32_t>(deg, cnt[b]);
+            }
+        }
+        op.extra = uint16_t(deg);
+        return;
+    }
+
+    op.store = ev.store ? 1 : 0;
+    std::array<uint64_t, kWarpSize> segs;
+    uint32_t nsegs = 0;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!(ev.active & (1u << l)))
+            continue;
+        uint64_t seg = ev.addr[l] / kSegmentBytes;
+        bool found = false;
+        for (uint32_t s = 0; s < nsegs; ++s)
+            if (segs[s] == seg) {
+                found = true;
+                break;
+            }
+        if (!found)
+            segs[nsegs++] = seg;
+    }
+    op.lineStart = uint32_t(cur_->linePool.size());
+    op.lineCount = uint16_t(nsegs);
+    for (uint32_t s = 0; s < nsegs; ++s)
+        cur_->linePool.push_back(uint32_t(segs[s]));
+}
+
+} // namespace gwc::timing

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace capture for the timing model.
+ *
+ * A compact per-warp trace of every dynamic instruction: op class,
+ * the 128B lines touched by global-memory instructions (after
+ * coalescing) and the conflict degree of shared-memory instructions.
+ * The timing simulator replays these traces against configurable
+ * cache/DRAM/scheduler models.
+ */
+
+#ifndef GWC_TIMING_TRACE_HH
+#define GWC_TIMING_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/hooks.hh"
+
+namespace gwc::timing
+{
+
+/** One dynamic warp instruction in a trace. */
+struct TraceOp
+{
+    simt::OpClass cls;     ///< instruction class
+    uint8_t store;         ///< 1 for global stores
+    uint16_t extra;        ///< shared: conflict degree; else 0
+    uint32_t lineStart;    ///< offset into KernelTrace::linePool
+    uint16_t lineCount;    ///< 128B lines touched (global only)
+};
+
+/** All instructions of one warp. */
+struct WarpTrace
+{
+    uint32_t cta = 0;          ///< linear CTA index
+    std::vector<TraceOp> ops;  ///< in issue order
+};
+
+/** Full trace of one kernel launch sequence. */
+struct KernelTrace
+{
+    std::string name;
+    uint32_t warpsPerCta = 0;
+    uint32_t numCtas = 0;
+    uint64_t totalOps = 0;
+    std::vector<WarpTrace> warps;     ///< indexed by global warp id
+    std::vector<uint32_t> linePool;   ///< packed line ids
+};
+
+/**
+ * ProfilerHook recording kernel traces. Each launch produces one
+ * KernelTrace (repeat launches are kept separate — the timing model
+ * simulates what actually ran). A cap bounds memory on huge runs.
+ */
+class TraceCapture : public simt::ProfilerHook
+{
+  public:
+    explicit TraceCapture(uint64_t opCap = 4u << 20) : opCap_(opCap) {}
+
+    void kernelBegin(const simt::KernelInfo &info) override;
+    void kernelEnd() override;
+    void instr(const simt::InstrEvent &ev) override;
+    void mem(const simt::MemEvent &ev) override;
+
+    /** Captured traces, in launch order. */
+    std::vector<KernelTrace> &traces() { return traces_; }
+
+    /** True if the op cap truncated any launch. */
+    bool truncated() const { return truncated_; }
+
+  private:
+    uint64_t opCap_;
+    bool truncated_ = false;
+    std::vector<KernelTrace> traces_;
+    KernelTrace *cur_ = nullptr;
+};
+
+/**
+ * Merge the per-launch traces of iterative kernels into a combined
+ * per-kernel cycle count by summing simulation results; helper used
+ * by the design-space harness.
+ */
+struct TraceSet
+{
+    std::vector<KernelTrace> launches;
+};
+
+} // namespace gwc::timing
+
+#endif // GWC_TIMING_TRACE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Factory functions of every bundled workload. The registry maps
+ * abbreviations onto these; each lives in its own translation unit.
+ */
+
+#ifndef GWC_WORKLOADS_FACTORIES_HH
+#define GWC_WORKLOADS_FACTORIES_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace gwc::workloads
+{
+
+// --- CUDA SDK group ---
+std::unique_ptr<Workload> makeBlackScholes();
+std::unique_ptr<Workload> makeMatrixMul();
+std::unique_ptr<Workload> makeReduction();
+std::unique_ptr<Workload> makeScanLargeArrays();
+std::unique_ptr<Workload> makeHistogram64();
+std::unique_ptr<Workload> makeScalarProd();
+std::unique_ptr<Workload> makeFastWalsh();
+std::unique_ptr<Workload> makeConvolution();
+std::unique_ptr<Workload> makeMonteCarlo();
+
+// --- Parboil group ---
+std::unique_ptr<Workload> makeCoulombicPotential();
+std::unique_ptr<Workload> makeMriQ();
+std::unique_ptr<Workload> makeSad();
+std::unique_ptr<Workload> makeStencil();
+std::unique_ptr<Workload> makeSpmv();
+std::unique_ptr<Workload> makeLbm();
+std::unique_ptr<Workload> makeTpacf();
+
+// --- Rodinia group (plus MUMmerGPU / Similarity Score) ---
+std::unique_ptr<Workload> makeBfs();
+std::unique_ptr<Workload> makeKmeans();
+std::unique_ptr<Workload> makeNearestNeighbor();
+std::unique_ptr<Workload> makeHotSpot();
+std::unique_ptr<Workload> makeSrad();
+std::unique_ptr<Workload> makeBackProp();
+std::unique_ptr<Workload> makeNeedlemanWunsch();
+std::unique_ptr<Workload> makePathFinder();
+std::unique_ptr<Workload> makeHybridSort();
+std::unique_ptr<Workload> makeMummer();
+std::unique_ptr<Workload> makeSimilarityScore();
+std::unique_ptr<Workload> makeStreamCluster();
+
+} // namespace gwc::workloads
+
+#endif // GWC_WORKLOADS_FACTORIES_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * MUMmerGPU-style string matching (MUM).
+ *
+ * Each thread walks a suffix trie of the reference sequence with one
+ * query: data-dependent pointer chasing through the node table with
+ * per-thread trip counts. The paper names MUM as one of the most
+ * branch-divergence-diverse workloads; the irregular node gathers
+ * also make it badly coalesced.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kAlphabet = 4;
+constexpr uint32_t kQueryLen = 16;
+
+WarpTask
+matchKernel(Warp &w)
+{
+    uint64_t trie = w.param<uint64_t>(0);    // children[node*4+c]
+    uint64_t queries = w.param<uint64_t>(1); // kQueryLen symbols each
+    uint64_t lengths = w.param<uint64_t>(2); // output match lengths
+    uint32_t numQueries = w.param<uint32_t>(3);
+
+    Reg<uint32_t> q = w.globalIdX();
+    w.If(q < numQueries, [&] {
+        Reg<uint32_t> base = q * kQueryLen;
+        Reg<uint32_t> node = w.imm(1u); // root
+        Reg<uint32_t> depth = w.imm(0u);
+        Reg<uint32_t> going = w.imm(1u);
+        w.While(
+            [&] { return going == 1u; },
+            [&] {
+                Reg<uint32_t> ch =
+                    w.ldg<uint32_t>(queries, base + depth);
+                Reg<uint32_t> next =
+                    w.ldg<uint32_t>(trie, node * kAlphabet + ch);
+                Pred hit = next != 0u;
+                node = w.select(hit, next, node);
+                depth = w.select(hit, depth + 1u, depth);
+                Pred more = hit && (depth < kQueryLen);
+                going = w.select(more, w.imm(1u), w.imm(0u));
+            });
+        w.stg<uint32_t>(lengths, q, depth);
+    });
+    co_return;
+}
+
+class Mummer : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "MUMmerGPU", "MUM",
+            "suffix-trie walk: pointer chasing, trip-count spread"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        refLen_ = 512;
+        numQueries_ = 2048 * scale;
+        Rng rng(0x4D55);
+
+        // Reference sequence and its suffix trie up to kQueryLen.
+        ref_.resize(refLen_);
+        for (uint32_t i = 0; i < refLen_; ++i)
+            ref_[i] = uint32_t(rng.nextBelow(kAlphabet));
+        trieHost_.assign(2 * kAlphabet, 0); // node 0 unused, 1 = root
+        for (uint32_t s = 0; s < refLen_; ++s) {
+            uint32_t node = 1;
+            for (uint32_t d = 0;
+                 d < kQueryLen && s + d < refLen_; ++d) {
+                uint32_t c = ref_[s + d];
+                uint32_t &slot = trieHost_[node * kAlphabet + c];
+                if (slot == 0) {
+                    slot = uint32_t(trieHost_.size() / kAlphabet);
+                    trieHost_.resize(trieHost_.size() + kAlphabet, 0);
+                }
+                node = slot;
+            }
+        }
+
+        // Queries: half are reference substrings (deep matches),
+        // half random (shallow matches) -> wide trip-count spread.
+        queriesHost_.resize(numQueries_ * kQueryLen);
+        for (uint32_t q = 0; q < numQueries_; ++q) {
+            if (q % 2 == 0) {
+                uint32_t s =
+                    uint32_t(rng.nextBelow(refLen_ - kQueryLen));
+                for (uint32_t d = 0; d < kQueryLen; ++d)
+                    queriesHost_[q * kQueryLen + d] = ref_[s + d];
+            } else {
+                for (uint32_t d = 0; d < kQueryLen; ++d)
+                    queriesHost_[q * kQueryLen + d] =
+                        uint32_t(rng.nextBelow(kAlphabet));
+            }
+        }
+
+        trie_ = e.alloc<uint32_t>(trieHost_.size());
+        queries_ = e.alloc<uint32_t>(queriesHost_.size());
+        lengths_ = e.alloc<uint32_t>(numQueries_);
+        trie_.fromHost(trieHost_);
+        queries_.fromHost(queriesHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p;
+        p.push(trie_.addr()).push(queries_.addr())
+            .push(lengths_.addr()).push(numQueries_);
+        e.launch("match", matchKernel,
+                 Dim3(uint32_t(ceilDiv(numQueries_, cta))), Dim3(cta),
+                 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        for (uint32_t q = 0; q < numQueries_; ++q) {
+            uint32_t node = 1, depth = 0;
+            while (depth < kQueryLen) {
+                uint32_t c = queriesHost_[q * kQueryLen + depth];
+                uint32_t next = trieHost_[node * kAlphabet + c];
+                if (next == 0)
+                    break;
+                node = next;
+                ++depth;
+            }
+            if (lengths_[q] != depth)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t refLen_ = 0, numQueries_ = 0;
+    std::vector<uint32_t> ref_, trieHost_, queriesHost_;
+    Buffer<uint32_t> trie_, queries_, lengths_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeMummer()
+{
+    return std::make_unique<Mummer>();
+}
+
+} // namespace gwc::workloads

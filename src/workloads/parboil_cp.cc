@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Coulombic Potential (CP) — Parboil group.
+ *
+ * Direct-summation electrostatic potential map: every thread owns one
+ * grid point and loops over all atoms with an rsqrt-based kernel.
+ * Broadcast atom loads (stride 0), zero divergence, very high FP/SFU
+ * intensity — the classic compute-saturated Parboil workload.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+cpKernel(Warp &w)
+{
+    uint64_t ax = w.param<uint64_t>(0);
+    uint64_t ay = w.param<uint64_t>(1);
+    uint64_t az = w.param<uint64_t>(2);
+    uint64_t aq = w.param<uint64_t>(3);
+    uint64_t grid = w.param<uint64_t>(4);
+    uint32_t atoms = w.param<uint32_t>(5);
+    uint32_t width = w.param<uint32_t>(6);
+    float spacing = w.param<float>(7);
+
+    Reg<uint32_t> gx = w.globalIdX();
+    Reg<uint32_t> gy = w.globalIdY();
+    Reg<float> px = w.cast<float>(gx) * spacing;
+    Reg<float> py = w.cast<float>(gy) * spacing;
+
+    Reg<float> energy = w.imm(0.0f);
+    for (uint32_t a = 0; w.uniform(a < atoms); ++a) {
+        Reg<float> dx = w.ldg<float>(ax, w.imm(a)) - px;
+        Reg<float> dy = w.ldg<float>(ay, w.imm(a)) - py;
+        Reg<float> dz = w.ldg<float>(az, w.imm(a));
+        Reg<float> q = w.ldg<float>(aq, w.imm(a));
+        Reg<float> r2 = w.fma(dx, dx, w.fma(dy, dy, dz * dz));
+        energy = w.fma(q, w.rsqrt(r2), energy);
+    }
+    w.stg<float>(grid, gy * width + gx, energy);
+    co_return;
+}
+
+class CoulombicPotential : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Parboil", "Coulombic Potential", "CP",
+            "atom-loop potential map, rsqrt-saturated"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        width_ = 64 * scale;
+        height_ = 64;
+        atoms_ = 96;
+        Rng rng(0xC9);
+        ax_ = e.alloc<float>(atoms_);
+        ay_ = e.alloc<float>(atoms_);
+        az_ = e.alloc<float>(atoms_);
+        aq_ = e.alloc<float>(atoms_);
+        grid_ = e.alloc<float>(width_ * height_);
+        for (uint32_t a = 0; a < atoms_; ++a) {
+            ax_.set(a, rng.nextRange(0.0f, width_ * kSpacing));
+            ay_.set(a, rng.nextRange(0.0f, height_ * kSpacing));
+            az_.set(a, rng.nextRange(0.1f, 4.0f));
+            aq_.set(a, rng.nextRange(-1.0f, 1.0f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p;
+        p.push(ax_.addr()).push(ay_.addr()).push(az_.addr())
+            .push(aq_.addr()).push(grid_.addr()).push(atoms_)
+            .push(width_).push(kSpacing);
+        e.launch("potential", cpKernel, Dim3(width_ / 32, height_ / 4),
+                 Dim3(32, 4), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        for (uint32_t y = 0; y < height_; ++y) {
+            for (uint32_t x = 0; x < width_; ++x) {
+                float px = float(x) * kSpacing;
+                float py = float(y) * kSpacing;
+                float energy = 0.0f;
+                for (uint32_t a = 0; a < atoms_; ++a) {
+                    float dx = ax_[a] - px;
+                    float dy = ay_[a] - py;
+                    float dz = az_[a];
+                    float r2 = dx * dx + dy * dy + dz * dz;
+                    energy += aq_[a] / std::sqrt(r2);
+                }
+                if (!nearlyEqual(grid_[y * width_ + x], energy, 2e-3,
+                                 2e-3))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    static constexpr float kSpacing = 0.25f;
+    uint32_t width_ = 0, height_ = 0, atoms_ = 0;
+    Buffer<float> ax_, ay_, az_, aq_, grid_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeCoulombicPotential()
+{
+    return std::make_unique<CoulombicPotential>();
+}
+
+} // namespace gwc::workloads

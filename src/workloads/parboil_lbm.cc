@@ -1,0 +1,198 @@
+/**
+ * @file
+ * LBM (LBM) — Parboil group.
+ *
+ * D2Q9 lattice-Boltzmann fluid step: each thread owns one cell,
+ * gathers the nine incoming distributions from its neighbours
+ * (periodic wrap via integer modulo), applies the BGK collision and
+ * writes the nine outgoing distributions. Very high FP intensity
+ * with structure-of-arrays streams — the register-pressure corner of
+ * Parboil.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+// D2Q9 stencil: direction vectors and weights.
+constexpr int kCx[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+constexpr int kCy[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+constexpr float kWt[9] = {4.0f / 9,  1.0f / 9,  1.0f / 9, 1.0f / 9,
+                          1.0f / 9,  1.0f / 36, 1.0f / 36,
+                          1.0f / 36, 1.0f / 36};
+constexpr float kOmega = 1.2f;
+
+WarpTask
+lbmKernel(Warp &w)
+{
+    uint64_t fin = w.param<uint64_t>(0);  // [9][cells]
+    uint64_t fout = w.param<uint64_t>(1);
+    uint32_t nx = w.param<uint32_t>(2);
+    uint32_t ny = w.param<uint32_t>(3);
+    uint32_t cells = nx * ny;
+
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+
+    // Streaming: pull distribution q from the upwind neighbour.
+    Reg<float> f[9];
+    for (uint32_t q = 0; q < 9; ++q) {
+        Reg<uint32_t> sx = (x + uint32_t(nx - uint32_t(kCx[q]))) % nx;
+        Reg<uint32_t> sy = (y + uint32_t(ny - uint32_t(kCy[q]))) % ny;
+        Reg<uint32_t> src = sy * nx + sx;
+        f[q] = w.ldg<float>(fin, src + w.imm(q * cells));
+    }
+
+    // Macroscopic density and velocity.
+    Reg<float> rho = f[0];
+    for (uint32_t q = 1; q < 9; ++q)
+        rho = rho + f[q];
+    Reg<float> ux = w.imm(0.0f);
+    Reg<float> uy = w.imm(0.0f);
+    for (uint32_t q = 1; q < 9; ++q) {
+        if (kCx[q] != 0)
+            ux = ux + f[q] * float(kCx[q]);
+        if (kCy[q] != 0)
+            uy = uy + f[q] * float(kCy[q]);
+    }
+    Reg<float> inv = w.imm(1.0f) / rho;
+    ux = ux * inv;
+    uy = uy * inv;
+    Reg<float> usq = w.fma(ux, ux, uy * uy);
+
+    // BGK collision and write-back.
+    Reg<uint32_t> cell = y * nx + x;
+    for (uint32_t q = 0; q < 9; ++q) {
+        Reg<float> cu =
+            ux * float(kCx[q]) + uy * float(kCy[q]);
+        Reg<float> feq =
+            rho * kWt[q] *
+            (w.imm(1.0f) + cu * 3.0f + cu * cu * 4.5f -
+             usq * 1.5f);
+        Reg<float> fq = f[q] + (feq - f[q]) * kOmega;
+        w.stg<float>(fout, cell + w.imm(q * cells), fq);
+    }
+    co_return;
+}
+
+class Lbm : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Parboil", "LBM", "LBM",
+            "D2Q9 lattice-Boltzmann: FP-dense SoA streaming"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        nx_ = 64 * scale;
+        ny_ = 32;
+        uint32_t cells = nx_ * ny_;
+        Rng rng(0x1B);
+        host_.resize(9 * cells);
+        for (uint32_t q = 0; q < 9; ++q)
+            for (uint32_t c = 0; c < cells; ++c)
+                host_[q * cells + c] =
+                    kWt[q] * rng.nextRange(0.9f, 1.1f);
+        a_ = e.alloc<float>(9 * cells);
+        b_ = e.alloc<float>(9 * cells);
+        a_.fromHost(host_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        Dim3 grid(nx_ / 32, ny_ / 4);
+        Dim3 cta(32, 4);
+        for (uint32_t it = 0; it < kIters; ++it) {
+            KernelParams p;
+            if (it % 2 == 0)
+                p.push(a_.addr()).push(b_.addr());
+            else
+                p.push(b_.addr()).push(a_.addr());
+            p.push(nx_).push(ny_);
+            e.launch("collideStream", lbmKernel, grid, cta, 0, p);
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        uint32_t cells = nx_ * ny_;
+        std::vector<float> cur = host_, next = host_;
+        for (uint32_t it = 0; it < kIters; ++it) {
+            for (uint32_t y = 0; y < ny_; ++y)
+                for (uint32_t x = 0; x < nx_; ++x) {
+                    float f[9];
+                    for (uint32_t q = 0; q < 9; ++q) {
+                        uint32_t sx =
+                            (x + nx_ - uint32_t(kCx[q])) % nx_;
+                        uint32_t sy =
+                            (y + ny_ - uint32_t(kCy[q])) % ny_;
+                        f[q] = cur[q * cells + sy * nx_ + sx];
+                    }
+                    float rho = f[0];
+                    for (uint32_t q = 1; q < 9; ++q)
+                        rho += f[q];
+                    float ux = 0, uy = 0;
+                    for (uint32_t q = 1; q < 9; ++q) {
+                        if (kCx[q] != 0)
+                            ux += f[q] * float(kCx[q]);
+                        if (kCy[q] != 0)
+                            uy += f[q] * float(kCy[q]);
+                    }
+                    float inv = 1.0f / rho;
+                    ux *= inv;
+                    uy *= inv;
+                    float usq = ux * ux + uy * uy;
+                    uint32_t cell = y * nx_ + x;
+                    for (uint32_t q = 0; q < 9; ++q) {
+                        float cu = ux * float(kCx[q]) +
+                                   uy * float(kCy[q]);
+                        float feq =
+                            rho * kWt[q] *
+                            (1.0f + 3.0f * cu + 4.5f * cu * cu -
+                             1.5f * usq);
+                        next[q * cells + cell] =
+                            f[q] + kOmega * (feq - f[q]);
+                    }
+                }
+            std::swap(cur, next);
+        }
+        auto &fin = (kIters % 2 == 0) ? a_ : b_;
+        for (uint32_t i = 0; i < 9 * cells; ++i)
+            if (!nearlyEqual(fin[i], cur[i], 2e-3, 2e-4))
+                return false;
+        return true;
+    }
+
+  private:
+    static constexpr uint32_t kIters = 2;
+    uint32_t nx_ = 0, ny_ = 0;
+    std::vector<float> host_;
+    Buffer<float> a_, b_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeLbm()
+{
+    return std::make_unique<Lbm>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * MRI-Q (MRIQ) — Parboil group.
+ *
+ * Non-Cartesian MRI reconstruction: a small phi-magnitude kernel
+ * followed by the Q computation, where every voxel thread loops over
+ * all k-space samples accumulating sin/cos terms. Broadcast sample
+ * loads, zero divergence, sin/cos-saturated.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr float kTwoPi = 6.2831853071795864f;
+
+WarpTask
+phiMagKernel(Warp &w)
+{
+    uint64_t phiR = w.param<uint64_t>(0);
+    uint64_t phiI = w.param<uint64_t>(1);
+    uint64_t phiMag = w.param<uint64_t>(2);
+    uint32_t k = w.param<uint32_t>(3);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < k, [&] {
+        Reg<float> re = w.ldg<float>(phiR, i);
+        Reg<float> im = w.ldg<float>(phiI, i);
+        w.stg<float>(phiMag, i, w.fma(re, re, im * im));
+    });
+    co_return;
+}
+
+WarpTask
+computeQKernel(Warp &w)
+{
+    uint64_t kx = w.param<uint64_t>(0);
+    uint64_t ky = w.param<uint64_t>(1);
+    uint64_t kz = w.param<uint64_t>(2);
+    uint64_t x = w.param<uint64_t>(3);
+    uint64_t y = w.param<uint64_t>(4);
+    uint64_t z = w.param<uint64_t>(5);
+    uint64_t phiMag = w.param<uint64_t>(6);
+    uint64_t qr = w.param<uint64_t>(7);
+    uint64_t qi = w.param<uint64_t>(8);
+    uint32_t samples = w.param<uint32_t>(9);
+
+    Reg<uint32_t> v = w.globalIdX();
+    Reg<float> px = w.ldg<float>(x, v);
+    Reg<float> py = w.ldg<float>(y, v);
+    Reg<float> pz = w.ldg<float>(z, v);
+
+    Reg<float> accR = w.imm(0.0f);
+    Reg<float> accI = w.imm(0.0f);
+    for (uint32_t s = 0; w.uniform(s < samples); ++s) {
+        Reg<float> arg =
+            (w.ldg<float>(kx, w.imm(s)) * px +
+             w.ldg<float>(ky, w.imm(s)) * py +
+             w.ldg<float>(kz, w.imm(s)) * pz) *
+            kTwoPi;
+        Reg<float> mag = w.ldg<float>(phiMag, w.imm(s));
+        accR = w.fma(mag, w.cos(arg), accR);
+        accI = w.fma(mag, w.sin(arg), accI);
+    }
+    w.stg<float>(qr, v, accR);
+    w.stg<float>(qi, v, accI);
+    co_return;
+}
+
+class MriQ : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Parboil", "MRI-Q", "MRIQ",
+            "k-space sample loop with sin/cos accumulation"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        voxels_ = 4096 * scale;
+        samples_ = 64;
+        Rng rng(0x3219);
+        kx_ = e.alloc<float>(samples_);
+        ky_ = e.alloc<float>(samples_);
+        kz_ = e.alloc<float>(samples_);
+        phiR_ = e.alloc<float>(samples_);
+        phiI_ = e.alloc<float>(samples_);
+        phiMag_ = e.alloc<float>(samples_);
+        x_ = e.alloc<float>(voxels_);
+        y_ = e.alloc<float>(voxels_);
+        z_ = e.alloc<float>(voxels_);
+        qr_ = e.alloc<float>(voxels_);
+        qi_ = e.alloc<float>(voxels_);
+        for (uint32_t s = 0; s < samples_; ++s) {
+            kx_.set(s, rng.nextRange(-1.0f, 1.0f));
+            ky_.set(s, rng.nextRange(-1.0f, 1.0f));
+            kz_.set(s, rng.nextRange(-1.0f, 1.0f));
+            phiR_.set(s, rng.nextRange(-1.0f, 1.0f));
+            phiI_.set(s, rng.nextRange(-1.0f, 1.0f));
+        }
+        for (uint32_t v = 0; v < voxels_; ++v) {
+            x_.set(v, rng.nextRange(-0.5f, 0.5f));
+            y_.set(v, rng.nextRange(-0.5f, 0.5f));
+            z_.set(v, rng.nextRange(-0.5f, 0.5f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p1;
+        p1.push(phiR_.addr()).push(phiI_.addr()).push(phiMag_.addr())
+            .push(samples_);
+        e.launch("phiMag", phiMagKernel, Dim3(1), Dim3(64), 0, p1);
+
+        KernelParams p2;
+        p2.push(kx_.addr()).push(ky_.addr()).push(kz_.addr())
+            .push(x_.addr()).push(y_.addr()).push(z_.addr())
+            .push(phiMag_.addr()).push(qr_.addr()).push(qi_.addr())
+            .push(samples_);
+        e.launch("computeQ", computeQKernel, Dim3(voxels_ / 128),
+                 Dim3(128), 0, p2);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<float> mag(samples_);
+        for (uint32_t s = 0; s < samples_; ++s) {
+            mag[s] = phiR_[s] * phiR_[s] + phiI_[s] * phiI_[s];
+            if (!nearlyEqual(phiMag_[s], mag[s], 1e-4, 1e-5))
+                return false;
+        }
+        for (uint32_t v = 0; v < voxels_; ++v) {
+            float accR = 0.0f, accI = 0.0f;
+            for (uint32_t s = 0; s < samples_; ++s) {
+                float arg = kTwoPi * (kx_[s] * x_[v] + ky_[s] * y_[v] +
+                                      kz_[s] * z_[v]);
+                accR += mag[s] * std::cos(arg);
+                accI += mag[s] * std::sin(arg);
+            }
+            if (!nearlyEqual(qr_[v], accR, 5e-3, 5e-3) ||
+                !nearlyEqual(qi_[v], accI, 5e-3, 5e-3))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t voxels_ = 0, samples_ = 0;
+    Buffer<float> kx_, ky_, kz_, phiR_, phiI_, phiMag_;
+    Buffer<float> x_, y_, z_, qr_, qi_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeMriQ()
+{
+    return std::make_unique<MriQ>();
+}
+
+} // namespace gwc::workloads

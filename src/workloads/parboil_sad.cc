@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SAD (SAD) — Parboil group.
+ *
+ * Sum-of-absolute-differences motion estimation: one CTA per 8x8
+ * macroblock, one thread per candidate displacement in a 9x9 search
+ * window. Integer-dominated with heavily overlapping reference reads
+ * (short reuse distances) and partial warps (81 threads per CTA).
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kBlock = 8;
+constexpr int32_t kSearch = 4; // displacements in [-4, 4]
+constexpr uint32_t kWindow = 2 * kSearch + 1;
+
+WarpTask
+sadKernel(Warp &w)
+{
+    uint64_t cur = w.param<uint64_t>(0);
+    uint64_t ref = w.param<uint64_t>(1);
+    uint64_t sad = w.param<uint64_t>(2);
+    uint32_t width = w.param<uint32_t>(3);
+    uint32_t blocksX = w.param<uint32_t>(4);
+
+    uint32_t blk = w.ctaId().x;
+    uint32_t bx = (blk % blocksX) * kBlock;
+    uint32_t by = (blk / blocksX) * kBlock;
+
+    Reg<uint32_t> t = w.tidLinear();
+    w.If(t < kWindow * kWindow, [&] {
+        // Displacement of this thread, biased into the image by the
+        // +kSearch halo the reference frame carries.
+        Reg<uint32_t> dx = t % kWindow;
+        Reg<uint32_t> dy = t / kWindow;
+
+        Reg<uint32_t> acc = w.imm(0u);
+        for (uint32_t py = 0; w.uniform(py < kBlock); ++py) {
+            for (uint32_t px = 0; w.uniform(px < kBlock); ++px) {
+                Reg<uint32_t> curIdx =
+                    w.imm((by + py) * width + bx + px);
+                Reg<uint32_t> refIdx =
+                    (dy + (by + py)) * (width + 2 * kSearch) + dx +
+                    (bx + px);
+                Reg<int32_t> c = w.ldg<int32_t>(cur, curIdx);
+                Reg<int32_t> r = w.ldg<int32_t>(ref, refIdx);
+                Reg<int32_t> diff = c - r;
+                Reg<int32_t> ad = w.max(diff, -diff);
+                acc = acc + w.cast<uint32_t>(ad);
+            }
+        }
+        Reg<uint32_t> outIdx = t + w.imm(blk * kWindow * kWindow);
+        w.stg<uint32_t>(sad, outIdx, acc);
+    });
+    co_return;
+}
+
+class Sad : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Parboil", "SAD", "SAD",
+            "integer block matching over a search window"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        width_ = 64 * scale;
+        height_ = 64;
+        blocksX_ = width_ / kBlock;
+        blocksY_ = height_ / kBlock;
+        uint32_t refW = width_ + 2 * kSearch;
+        uint32_t refH = height_ + 2 * kSearch;
+        Rng rng(0x5AD);
+        cur_ = e.alloc<int32_t>(width_ * height_);
+        ref_ = e.alloc<int32_t>(refW * refH);
+        sad_ = e.alloc<uint32_t>(blocksX_ * blocksY_ * kWindow *
+                                 kWindow);
+        for (uint32_t i = 0; i < width_ * height_; ++i)
+            cur_.set(i, int32_t(rng.nextBelow(256)));
+        for (uint32_t i = 0; i < refW * refH; ++i)
+            ref_.set(i, int32_t(rng.nextBelow(256)));
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p;
+        p.push(cur_.addr()).push(ref_.addr()).push(sad_.addr())
+            .push(width_).push(blocksX_);
+        e.launch("sad", sadKernel, Dim3(blocksX_ * blocksY_),
+                 Dim3(96), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        uint32_t refW = width_ + 2 * kSearch;
+        auto cur = cur_.toHost();
+        auto ref = ref_.toHost();
+        for (uint32_t blk = 0; blk < blocksX_ * blocksY_; ++blk) {
+            uint32_t bx = (blk % blocksX_) * kBlock;
+            uint32_t by = (blk / blocksX_) * kBlock;
+            for (uint32_t t = 0; t < kWindow * kWindow; ++t) {
+                uint32_t dx = t % kWindow, dy = t / kWindow;
+                uint32_t acc = 0;
+                for (uint32_t py = 0; py < kBlock; ++py)
+                    for (uint32_t px = 0; px < kBlock; ++px) {
+                        int32_t c =
+                            cur[(by + py) * width_ + bx + px];
+                        int32_t r = ref[(dy + by + py) * refW + dx +
+                                        bx + px];
+                        acc += uint32_t(std::abs(c - r));
+                    }
+                if (sad_[blk * kWindow * kWindow + t] != acc)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    uint32_t width_ = 0, height_ = 0, blocksX_ = 0, blocksY_ = 0;
+    Buffer<int32_t> cur_, ref_;
+    Buffer<uint32_t> sad_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeSad()
+{
+    return std::make_unique<Sad>();
+}
+
+} // namespace gwc::workloads

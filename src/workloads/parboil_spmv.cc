@@ -1,0 +1,140 @@
+/**
+ * @file
+ * SpMV (SPMV) — Parboil group.
+ *
+ * CSR sparse matrix-vector product, one thread per row. Variable
+ * row lengths produce loop divergence; random column gathers make
+ * the x-vector loads irregular — the canonical uncoalesced,
+ * divergence-prone memory workload.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+spmvKernel(Warp &w)
+{
+    uint64_t rowPtr = w.param<uint64_t>(0);
+    uint64_t colIdx = w.param<uint64_t>(1);
+    uint64_t vals = w.param<uint64_t>(2);
+    uint64_t x = w.param<uint64_t>(3);
+    uint64_t y = w.param<uint64_t>(4);
+    uint32_t rows = w.param<uint32_t>(5);
+
+    Reg<uint32_t> row = w.globalIdX();
+    w.If(row < rows, [&] {
+        Reg<uint32_t> j = w.ldg<uint32_t>(rowPtr, row);
+        Reg<uint32_t> end = w.ldg<uint32_t>(rowPtr, row + 1u);
+        Reg<float> acc = w.imm(0.0f);
+        w.While([&] { return j < end; },
+                [&] {
+                    Reg<uint32_t> c = w.ldg<uint32_t>(colIdx, j);
+                    Reg<float> v = w.ldg<float>(vals, j);
+                    Reg<float> xv = w.ldg<float>(x, c);
+                    acc = w.fma(v, xv, acc);
+                    j = j + 1u;
+                });
+        w.stg<float>(y, row, acc);
+    });
+    co_return;
+}
+
+class Spmv : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Parboil", "SpMV", "SPMV",
+            "CSR matvec: row-length divergence, random gathers"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        rows_ = 2048 * scale;
+        Rng rng(0x539);
+        rowPtrHost_.assign(rows_ + 1, 0);
+        for (uint32_t r = 0; r < rows_; ++r) {
+            // Skewed row lengths: mostly short, a heavy tail.
+            uint32_t len = 2 + uint32_t(rng.nextBelow(12));
+            if (rng.nextBelow(16) == 0)
+                len += uint32_t(rng.nextBelow(48));
+            rowPtrHost_[r + 1] = rowPtrHost_[r] + len;
+        }
+        uint32_t nnz = rowPtrHost_[rows_];
+        colHost_.resize(nnz);
+        valHost_.resize(nnz);
+        xHost_.resize(rows_);
+        for (uint32_t i = 0; i < nnz; ++i) {
+            colHost_[i] = uint32_t(rng.nextBelow(rows_));
+            valHost_[i] = rng.nextRange(-1.0f, 1.0f);
+        }
+        for (uint32_t r = 0; r < rows_; ++r)
+            xHost_[r] = rng.nextRange(-1.0f, 1.0f);
+
+        rowPtr_ = e.alloc<uint32_t>(rows_ + 1);
+        col_ = e.alloc<uint32_t>(nnz);
+        val_ = e.alloc<float>(nnz);
+        x_ = e.alloc<float>(rows_);
+        y_ = e.alloc<float>(rows_);
+        rowPtr_.fromHost(rowPtrHost_);
+        col_.fromHost(colHost_);
+        val_.fromHost(valHost_);
+        x_.fromHost(xHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p;
+        p.push(rowPtr_.addr()).push(col_.addr()).push(val_.addr())
+            .push(x_.addr()).push(y_.addr()).push(rows_);
+        e.launch("spmv", spmvKernel,
+                 Dim3(uint32_t(ceilDiv(rows_, cta))), Dim3(cta), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        for (uint32_t r = 0; r < rows_; ++r) {
+            float acc = 0.0f;
+            for (uint32_t j = rowPtrHost_[r]; j < rowPtrHost_[r + 1];
+                 ++j)
+                acc += valHost_[j] * xHost_[colHost_[j]];
+            if (!nearlyEqual(y_[r], acc, 1e-3, 1e-4))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t rows_ = 0;
+    std::vector<uint32_t> rowPtrHost_, colHost_;
+    std::vector<float> valHost_, xHost_;
+    Buffer<uint32_t> rowPtr_, col_;
+    Buffer<float> val_, x_, y_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeSpmv()
+{
+    return std::make_unique<Spmv>();
+}
+
+} // namespace gwc::workloads

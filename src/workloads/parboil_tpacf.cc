@@ -1,0 +1,198 @@
+/**
+ * @file
+ * TPACF (TPACF) — Parboil group.
+ *
+ * Two-point angular correlation: every thread correlates one
+ * observed point against a batch of random points, bins the angular
+ * separation with a divergent binary search over the bin edges, and
+ * accumulates per-CTA histograms in shared memory. Mixes broadcast
+ * coordinate loads, data-dependent gather of bin edges, shared
+ * atomics and barrier phases.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kBins = 16;
+constexpr uint32_t kHistSize = kBins + 1;
+
+WarpTask
+tpacfKernel(Warp &w)
+{
+    uint64_t dx = w.param<uint64_t>(0);
+    uint64_t dy = w.param<uint64_t>(1);
+    uint64_t dz = w.param<uint64_t>(2);
+    uint64_t rx = w.param<uint64_t>(3);
+    uint64_t ry = w.param<uint64_t>(4);
+    uint64_t rz = w.param<uint64_t>(5);
+    uint64_t edges = w.param<uint64_t>(6); // descending cosines
+    uint64_t hist = w.param<uint64_t>(7);
+    uint32_t n = w.param<uint32_t>(8);
+    uint32_t batch = w.param<uint32_t>(9);
+
+    Reg<uint32_t> tid = w.tidLinear();
+    w.If(tid < kHistSize,
+         [&] { w.stsE<uint32_t>(0, tid, w.imm(0u)); });
+    co_await w.barrier();
+
+    Reg<uint32_t> i = w.globalIdX();
+    // All threads participate in the barrier; extras skip the work.
+    w.If(i < n, [&] {
+        Reg<float> xi = w.ldg<float>(dx, i);
+        Reg<float> yi = w.ldg<float>(dy, i);
+        Reg<float> zi = w.ldg<float>(dz, i);
+        for (uint32_t j = 0; w.uniform(j < batch); ++j) {
+            Reg<float> dot =
+                xi * w.ldg<float>(rx, w.imm(j)) +
+                yi * w.ldg<float>(ry, w.imm(j)) +
+                zi * w.ldg<float>(rz, w.imm(j));
+            // Binary search: first bin whose edge the dot reaches.
+            Reg<uint32_t> lo = w.imm(0u);
+            Reg<uint32_t> hi = w.imm(kBins);
+            w.While(
+                [&] { return lo < hi; },
+                [&] {
+                    Reg<uint32_t> mid = (lo + hi) >> 1;
+                    Reg<float> e = w.ldg<float>(edges, mid);
+                    Pred ge = dot >= e;
+                    hi = w.select(ge, mid, hi);
+                    lo = w.select(ge, lo, mid + 1u);
+                });
+            Reg<uint32_t> off = lo << 2;
+            w.atomicAddShared<uint32_t>(off, w.imm(1u));
+        }
+    });
+    co_await w.barrier();
+
+    w.If(tid < kHistSize, [&] {
+        Reg<uint32_t> cnt = w.ldsE<uint32_t>(0, tid);
+        Reg<uint64_t> addr = w.gaddr<uint32_t>(hist, tid);
+        w.atomicAddGlobal<uint32_t>(addr, cnt);
+    });
+    co_return;
+}
+
+class Tpacf : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Parboil", "TPACF", "TPACF",
+            "angular correlation: binary-search binning + atomics"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 2048 * scale;
+        batch_ = 96;
+        Rng rng(0x79AC);
+        auto unitPoint = [&](float &x, float &y, float &z) {
+            // Deterministic pseudo-uniform direction.
+            float a = rng.nextRange(0.0f, 6.2831853f);
+            float c = rng.nextRange(-1.0f, 1.0f);
+            float s = std::sqrt(std::max(0.0f, 1.0f - c * c));
+            x = s * std::cos(a);
+            y = s * std::sin(a);
+            z = c;
+        };
+        dxH_.resize(n_);
+        dyH_.resize(n_);
+        dzH_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i)
+            unitPoint(dxH_[i], dyH_[i], dzH_[i]);
+        rxH_.resize(batch_);
+        ryH_.resize(batch_);
+        rzH_.resize(batch_);
+        for (uint32_t j = 0; j < batch_; ++j)
+            unitPoint(rxH_[j], ryH_[j], rzH_[j]);
+        edgesH_.resize(kBins);
+        for (uint32_t b = 0; b < kBins; ++b)
+            edgesH_[b] = 1.0f - 2.0f * float(b + 1) / float(kBins + 1);
+
+        dx_ = e.alloc<float>(n_);
+        dy_ = e.alloc<float>(n_);
+        dz_ = e.alloc<float>(n_);
+        rx_ = e.alloc<float>(batch_);
+        ry_ = e.alloc<float>(batch_);
+        rz_ = e.alloc<float>(batch_);
+        edges_ = e.alloc<float>(kBins);
+        hist_ = e.alloc<uint32_t>(kHistSize);
+        dx_.fromHost(dxH_);
+        dy_.fromHost(dyH_);
+        dz_.fromHost(dzH_);
+        rx_.fromHost(rxH_);
+        ry_.fromHost(ryH_);
+        rz_.fromHost(rzH_);
+        edges_.fromHost(edgesH_);
+        hist_.fill(0);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p;
+        p.push(dx_.addr()).push(dy_.addr()).push(dz_.addr())
+            .push(rx_.addr()).push(ry_.addr()).push(rz_.addr())
+            .push(edges_.addr()).push(hist_.addr()).push(n_)
+            .push(batch_);
+        e.launch("correlate", tpacfKernel,
+                 Dim3(uint32_t(ceilDiv(n_, cta))), Dim3(cta),
+                 kHistSize * sizeof(uint32_t), p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<uint32_t> ref(kHistSize, 0);
+        for (uint32_t i = 0; i < n_; ++i) {
+            for (uint32_t j = 0; j < batch_; ++j) {
+                float dot = dxH_[i] * rxH_[j] + dyH_[i] * ryH_[j] +
+                            dzH_[i] * rzH_[j];
+                uint32_t lo = 0, hi = kBins;
+                while (lo < hi) {
+                    uint32_t mid = (lo + hi) >> 1;
+                    if (dot >= edgesH_[mid])
+                        hi = mid;
+                    else
+                        lo = mid + 1;
+                }
+                ++ref[lo];
+            }
+        }
+        for (uint32_t b = 0; b < kHistSize; ++b)
+            if (hist_[b] != ref[b])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0, batch_ = 0;
+    std::vector<float> dxH_, dyH_, dzH_, rxH_, ryH_, rzH_, edgesH_;
+    Buffer<float> dx_, dy_, dz_, rx_, ry_, rz_, edges_;
+    Buffer<uint32_t> hist_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeTpacf()
+{
+    return std::make_unique<Tpacf>();
+}
+
+} // namespace gwc::workloads

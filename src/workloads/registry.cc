@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload registry: canonical ordering and lookup by abbreviation.
+ */
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using Factory = std::function<std::unique_ptr<Workload>()>;
+
+/** Canonical suite order (SDK, Parboil, Rodinia-group). */
+const std::vector<std::pair<const char *, Factory>> &
+table()
+{
+    static const std::vector<std::pair<const char *, Factory>> t = {
+        {"BLS", makeBlackScholes},
+        {"MM", makeMatrixMul},
+        {"RD", makeReduction},
+        {"SLA", makeScanLargeArrays},
+        {"HIST", makeHistogram64},
+        {"SPROD", makeScalarProd},
+        {"FWT", makeFastWalsh},
+        {"CONV", makeConvolution},
+        {"MC", makeMonteCarlo},
+        {"CP", makeCoulombicPotential},
+        {"MRIQ", makeMriQ},
+        {"SAD", makeSad},
+        {"STC", makeStencil},
+        {"SPMV", makeSpmv},
+        {"LBM", makeLbm},
+        {"TPACF", makeTpacf},
+        {"BFS", makeBfs},
+        {"KM", makeKmeans},
+        {"NN", makeNearestNeighbor},
+        {"HS", makeHotSpot},
+        {"SRAD", makeSrad},
+        {"BP", makeBackProp},
+        {"NW", makeNeedlemanWunsch},
+        {"PF", makePathFinder},
+        {"HSORT", makeHybridSort},
+        {"MUM", makeMummer},
+        {"SS", makeSimilarityScore},
+        {"SC", makeStreamCluster},
+    };
+    return t;
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[name, fac] : table()) {
+        (void)fac;
+        out.push_back(name);
+    }
+    return out;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &abbrev)
+{
+    for (const auto &[name, fac] : table())
+        if (abbrev == name)
+            return fac();
+    fatal("unknown workload '%s'", abbrev.c_str());
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * BFS (BFS) — Rodinia group.
+ *
+ * Frontier-based breadth-first search over a CSR graph with the
+ * classic Rodinia two-kernel structure (expand + frontier update) and
+ * a host-side convergence loop. Sparse frontiers make the expand
+ * kernel massively divergent with irregular neighbour gathers.
+ */
+
+#include <queue>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kNoCost = 0xFFFFFFFFu;
+
+WarpTask
+bfsExpandKernel(Warp &w)
+{
+    uint64_t edgePtr = w.param<uint64_t>(0);
+    uint64_t edges = w.param<uint64_t>(1);
+    uint64_t frontier = w.param<uint64_t>(2);
+    uint64_t next = w.param<uint64_t>(3);
+    uint64_t visited = w.param<uint64_t>(4);
+    uint64_t cost = w.param<uint64_t>(5);
+    uint32_t nodes = w.param<uint32_t>(6);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < nodes, [&] {
+        Reg<uint32_t> inFront = w.ldg<uint32_t>(frontier, i);
+        w.If(inFront != 0u, [&] {
+            w.stg<uint32_t>(frontier, i, w.imm(0u));
+            Reg<uint32_t> myCost = w.ldg<uint32_t>(cost, i);
+            Reg<uint32_t> j = w.ldg<uint32_t>(edgePtr, i);
+            Reg<uint32_t> end = w.ldg<uint32_t>(edgePtr, i + 1u);
+            w.While(
+                [&] { return j < end; },
+                [&] {
+                    Reg<uint32_t> nb = w.ldg<uint32_t>(edges, j);
+                    Reg<uint32_t> seen =
+                        w.ldg<uint32_t>(visited, nb);
+                    w.If(seen == 0u, [&] {
+                        w.stg<uint32_t>(visited, nb, w.imm(1u));
+                        w.stg<uint32_t>(cost, nb, myCost + 1u);
+                        w.stg<uint32_t>(next, nb, w.imm(1u));
+                    });
+                    j = j + 1u;
+                });
+        });
+    });
+    co_return;
+}
+
+WarpTask
+bfsUpdateKernel(Warp &w)
+{
+    uint64_t frontier = w.param<uint64_t>(0);
+    uint64_t next = w.param<uint64_t>(1);
+    uint64_t doneFlag = w.param<uint64_t>(2);
+    uint32_t nodes = w.param<uint32_t>(3);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < nodes, [&] {
+        Reg<uint32_t> pending = w.ldg<uint32_t>(next, i);
+        w.If(pending != 0u, [&] {
+            w.stg<uint32_t>(frontier, i, w.imm(1u));
+            w.stg<uint32_t>(next, i, w.imm(0u));
+            w.stg<uint32_t>(doneFlag, w.imm(0u), w.imm(1u));
+        });
+    });
+    co_return;
+}
+
+class Bfs : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "BFS", "BFS",
+            "frontier expansion: sparse divergence, random gathers"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        nodes_ = 4096 * scale;
+        Rng rng(0xBF5);
+        edgePtrHost_.assign(nodes_ + 1, 0);
+        for (uint32_t n = 0; n < nodes_; ++n)
+            edgePtrHost_[n + 1] =
+                edgePtrHost_[n] + 2 + uint32_t(rng.nextBelow(10));
+        uint32_t m = edgePtrHost_[nodes_];
+        edgesHost_.resize(m);
+        for (uint32_t j = 0; j < m; ++j)
+            edgesHost_[j] = uint32_t(rng.nextBelow(nodes_));
+
+        edgePtr_ = e.alloc<uint32_t>(nodes_ + 1);
+        edges_ = e.alloc<uint32_t>(m);
+        frontier_ = e.alloc<uint32_t>(nodes_);
+        next_ = e.alloc<uint32_t>(nodes_);
+        visited_ = e.alloc<uint32_t>(nodes_);
+        cost_ = e.alloc<uint32_t>(nodes_);
+        done_ = e.alloc<uint32_t>(1);
+
+        edgePtr_.fromHost(edgePtrHost_);
+        edges_.fromHost(edgesHost_);
+        frontier_.fill(0);
+        next_.fill(0);
+        visited_.fill(0);
+        cost_.fill(kNoCost);
+        frontier_.set(0, 1);
+        visited_.set(0, 1);
+        cost_.set(0, 0);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        Dim3 grid(uint32_t(ceilDiv(nodes_, cta)));
+        for (uint32_t level = 0; level < nodes_; ++level) {
+            KernelParams p1;
+            p1.push(edgePtr_.addr()).push(edges_.addr())
+                .push(frontier_.addr()).push(next_.addr())
+                .push(visited_.addr()).push(cost_.addr())
+                .push(nodes_);
+            e.launch("expand", bfsExpandKernel, grid, Dim3(cta), 0,
+                     p1);
+
+            done_.set(0, 0);
+            KernelParams p2;
+            p2.push(frontier_.addr()).push(next_.addr())
+                .push(done_.addr()).push(nodes_);
+            e.launch("update", bfsUpdateKernel, grid, Dim3(cta), 0,
+                     p2);
+            if (done_[0] == 0)
+                break;
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<uint32_t> ref(nodes_, kNoCost);
+        std::queue<uint32_t> q;
+        ref[0] = 0;
+        q.push(0);
+        while (!q.empty()) {
+            uint32_t u = q.front();
+            q.pop();
+            for (uint32_t j = edgePtrHost_[u];
+                 j < edgePtrHost_[u + 1]; ++j) {
+                uint32_t v = edgesHost_[j];
+                if (ref[v] == kNoCost) {
+                    ref[v] = ref[u] + 1;
+                    q.push(v);
+                }
+            }
+        }
+        for (uint32_t n = 0; n < nodes_; ++n)
+            if (cost_[n] != ref[n])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t nodes_ = 0;
+    std::vector<uint32_t> edgePtrHost_, edgesHost_;
+    Buffer<uint32_t> edgePtr_, edges_, frontier_, next_, visited_,
+        cost_, done_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeBfs()
+{
+    return std::make_unique<Bfs>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * BackProp (BP) — Rodinia group.
+ *
+ * Neural-network training step: a layer-forward kernel (one CTA per
+ * hidden unit, strided products reduced in shared memory, sigmoid via
+ * SFU exp) and a weight-adjust kernel (2D coalesced multiply-add
+ * sweep). Barrier-heavy reduction followed by a streaming update.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+layerForwardKernel(Warp &w)
+{
+    uint64_t input = w.param<uint64_t>(0);
+    uint64_t weights = w.param<uint64_t>(1); // [hidden][inputs]
+    uint64_t hidden = w.param<uint64_t>(2);
+    uint32_t inputs = w.param<uint32_t>(3);
+    uint32_t ctaThreads = w.ctaDim().x;
+    uint32_t unit = w.ctaId().x;
+
+    Reg<uint32_t> tid = w.tidLinear();
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t k = 0; w.uniform(k < inputs / ctaThreads); ++k) {
+        Reg<uint32_t> idx = tid + k * ctaThreads;
+        Reg<float> in = w.ldg<float>(input, idx);
+        Reg<float> wt =
+            w.ldg<float>(weights, idx + w.imm(unit * inputs));
+        acc = w.fma(in, wt, acc);
+    }
+    w.stsE<float>(0, tid, acc);
+    co_await w.barrier();
+    for (uint32_t s = ctaThreads / 2; w.uniform(s > 0); s >>= 1) {
+        w.If(tid < s, [&] {
+            Reg<float> a = w.ldsE<float>(0, tid);
+            Reg<float> b = w.ldsE<float>(0, tid + s);
+            w.stsE<float>(0, tid, a + b);
+        });
+        co_await w.barrier();
+    }
+    w.If(tid == w.imm(0u), [&] {
+        Reg<float> sum = w.ldsE<float>(0, tid);
+        Reg<float> sig =
+            w.imm(1.0f) / (w.exp(-sum) + 1.0f);
+        w.stg<float>(hidden, w.imm(unit), sig);
+    });
+    co_return;
+}
+
+WarpTask
+adjustWeightsKernel(Warp &w)
+{
+    uint64_t input = w.param<uint64_t>(0);
+    uint64_t delta = w.param<uint64_t>(1);   // per hidden unit
+    uint64_t weights = w.param<uint64_t>(2); // [hidden][inputs]
+    uint64_t oldw = w.param<uint64_t>(3);
+    uint32_t inputs = w.param<uint32_t>(4);
+    float eta = w.param<float>(5);
+    float momentum = w.param<float>(6);
+
+    // x indexes the input dimension (coalesced), y the hidden unit.
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+    Reg<uint32_t> idx = y * inputs + x;
+
+    Reg<float> in = w.ldg<float>(input, x);
+    Reg<float> dl = w.ldg<float>(delta, y);
+    Reg<float> ow = w.ldg<float>(oldw, idx);
+    Reg<float> wv = w.ldg<float>(weights, idx);
+    Reg<float> upd = (dl * in) * eta + ow * momentum;
+    w.stg<float>(weights, idx, wv + upd);
+    w.stg<float>(oldw, idx, upd);
+    co_return;
+}
+
+class BackProp : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "BackProp", "BP",
+            "layer-forward reduction + weight-adjust sweep"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        inputs_ = 1024 * scale;
+        hidden_ = 64;
+        Rng rng(0xB9);
+        inHost_.resize(inputs_);
+        wHost_.resize(inputs_ * hidden_);
+        owHost_.assign(inputs_ * hidden_, 0.0f);
+        deltaHost_.resize(hidden_);
+        for (uint32_t i = 0; i < inputs_; ++i)
+            inHost_[i] = rng.nextRange(0.0f, 1.0f);
+        for (uint32_t i = 0; i < inputs_ * hidden_; ++i)
+            wHost_[i] = rng.nextRange(-0.5f, 0.5f);
+        for (uint32_t j = 0; j < hidden_; ++j)
+            deltaHost_[j] = rng.nextRange(-0.1f, 0.1f);
+
+        in_ = e.alloc<float>(inputs_);
+        w_ = e.alloc<float>(inputs_ * hidden_);
+        ow_ = e.alloc<float>(inputs_ * hidden_);
+        hid_ = e.alloc<float>(hidden_);
+        delta_ = e.alloc<float>(hidden_);
+        in_.fromHost(inHost_);
+        w_.fromHost(wHost_);
+        ow_.fromHost(owHost_);
+        delta_.fromHost(deltaHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p1;
+        p1.push(in_.addr()).push(w_.addr()).push(hid_.addr())
+            .push(inputs_);
+        e.launch("layerForward", layerForwardKernel, Dim3(hidden_),
+                 Dim3(cta), cta * sizeof(float), p1);
+
+        KernelParams p2;
+        p2.push(in_.addr()).push(delta_.addr()).push(w_.addr())
+            .push(ow_.addr()).push(inputs_).push(kEta)
+            .push(kMomentum);
+        e.launch("adjustWeights", adjustWeightsKernel,
+                 Dim3(inputs_ / 64, hidden_ / 4), Dim3(64, 4), 0, p2);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        const uint32_t cta = 128;
+        for (uint32_t j = 0; j < hidden_; ++j) {
+            // Replicate the strided-partial + tree summation order.
+            std::vector<float> partial(cta, 0.0f);
+            for (uint32_t t = 0; t < cta; ++t)
+                for (uint32_t k = 0; k < inputs_ / cta; ++k) {
+                    uint32_t idx = t + k * cta;
+                    partial[t] += inHost_[idx] *
+                                  wHost_[j * inputs_ + idx];
+                }
+            for (uint32_t s = cta / 2; s > 0; s >>= 1)
+                for (uint32_t t = 0; t < s; ++t)
+                    partial[t] += partial[t + s];
+            float sig = 1.0f / (std::exp(-partial[0]) + 1.0f);
+            if (!nearlyEqual(hid_[j], sig, 1e-3, 1e-4))
+                return false;
+        }
+        for (uint32_t j = 0; j < hidden_; ++j)
+            for (uint32_t i = 0; i < inputs_; ++i) {
+                uint32_t idx = j * inputs_ + i;
+                float upd = kEta * (deltaHost_[j] * inHost_[i]) +
+                            kMomentum * owHost_[idx];
+                if (!nearlyEqual(w_[idx], wHost_[idx] + upd, 1e-3,
+                                 1e-4) ||
+                    !nearlyEqual(ow_[idx], upd, 1e-3, 1e-4))
+                    return false;
+            }
+        return true;
+    }
+
+  private:
+    static constexpr float kEta = 0.3f;
+    static constexpr float kMomentum = 0.3f;
+    uint32_t inputs_ = 0, hidden_ = 0;
+    std::vector<float> inHost_, wHost_, owHost_, deltaHost_;
+    Buffer<float> in_, w_, ow_, hid_, delta_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeBackProp()
+{
+    return std::make_unique<BackProp>();
+}
+
+} // namespace gwc::workloads

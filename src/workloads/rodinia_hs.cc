@@ -1,0 +1,161 @@
+/**
+ * @file
+ * HotSpot (HS) — Rodinia group.
+ *
+ * Thermal simulation on a 2D die: iterative 5-point updates with
+ * per-cell power input and clamped (replicated) boundaries handled by
+ * predicated index selection. High spatial reuse, moderate FP
+ * intensity, no shared memory in this formulation.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr float kCap = 0.5f;
+constexpr float kRx = 1.0f;
+constexpr float kRy = 1.0f;
+constexpr float kRz = 4.0f;
+constexpr float kAmb = 80.0f;
+
+WarpTask
+hotspotKernel(Warp &w)
+{
+    uint64_t temp = w.param<uint64_t>(0);
+    uint64_t power = w.param<uint64_t>(1);
+    uint64_t out = w.param<uint64_t>(2);
+    uint32_t cols = w.param<uint32_t>(3);
+    uint32_t rows = w.param<uint32_t>(4);
+
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+    Reg<uint32_t> c = y * cols + x;
+
+    // Replicated boundaries via predicated neighbour indices.
+    Reg<uint32_t> xl = w.select(x == 0u, x, x - 1u);
+    Reg<uint32_t> xr = w.select(x == cols - 1, x, x + 1u);
+    Reg<uint32_t> yu = w.select(y == 0u, y, y - 1u);
+    Reg<uint32_t> yd = w.select(y == rows - 1, y, y + 1u);
+
+    Reg<float> t = w.ldg<float>(temp, c);
+    Reg<float> tw = w.ldg<float>(temp, y * cols + xl);
+    Reg<float> te = w.ldg<float>(temp, y * cols + xr);
+    Reg<float> tn = w.ldg<float>(temp, yu * cols + x);
+    Reg<float> ts = w.ldg<float>(temp, yd * cols + x);
+    Reg<float> p = w.ldg<float>(power, c);
+
+    Reg<float> delta =
+        (p + (tn + ts - t - t) * (1.0f / kRy) +
+         (te + tw - t - t) * (1.0f / kRx) +
+         (w.imm(kAmb) - t) * (1.0f / kRz)) *
+        kCap;
+    w.stg<float>(out, c, t + delta);
+    co_return;
+}
+
+class HotSpot : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "HotSpot", "HS",
+            "iterative 5-point thermal updates, high reuse"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        cols_ = 128 * scale;
+        rows_ = 128;
+        Rng rng(0x4854);
+        tempHost_.resize(cols_ * rows_);
+        powerHost_.resize(cols_ * rows_);
+        for (uint32_t i = 0; i < cols_ * rows_; ++i) {
+            tempHost_[i] = rng.nextRange(70.0f, 90.0f);
+            powerHost_[i] = rng.nextRange(0.0f, 1.0f);
+        }
+        a_ = e.alloc<float>(cols_ * rows_);
+        b_ = e.alloc<float>(cols_ * rows_);
+        power_ = e.alloc<float>(cols_ * rows_);
+        a_.fromHost(tempHost_);
+        power_.fromHost(powerHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        Dim3 grid(cols_ / 32, rows_ / 4);
+        Dim3 cta(32, 4);
+        for (uint32_t it = 0; it < kIters; ++it) {
+            KernelParams p;
+            if (it % 2 == 0)
+                p.push(a_.addr()).push(power_.addr()).push(b_.addr());
+            else
+                p.push(b_.addr()).push(power_.addr()).push(a_.addr());
+            p.push(cols_).push(rows_);
+            e.launch("hotspot", hotspotKernel, grid, cta, 0, p);
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<float> cur = tempHost_, next = tempHost_;
+        for (uint32_t it = 0; it < kIters; ++it) {
+            for (uint32_t y = 0; y < rows_; ++y)
+                for (uint32_t x = 0; x < cols_; ++x) {
+                    uint32_t c = y * cols_ + x;
+                    uint32_t xl = x == 0 ? x : x - 1;
+                    uint32_t xr = x == cols_ - 1 ? x : x + 1;
+                    uint32_t yu = y == 0 ? y : y - 1;
+                    uint32_t yd = y == rows_ - 1 ? y : y + 1;
+                    float t = cur[c];
+                    float delta =
+                        (powerHost_[c] +
+                         (cur[yu * cols_ + x] + cur[yd * cols_ + x] -
+                          t - t) *
+                             (1.0f / kRy) +
+                         (cur[y * cols_ + xr] + cur[y * cols_ + xl] -
+                          t - t) *
+                             (1.0f / kRx) +
+                         (kAmb - t) * (1.0f / kRz)) *
+                        kCap;
+                    next[c] = t + delta;
+                }
+            std::swap(cur, next);
+        }
+        // kIters even -> final state in a_.
+        for (uint32_t i = 0; i < cols_ * rows_; ++i)
+            if (!nearlyEqual(a_[i], cur[i], 1e-3, 1e-3))
+                return false;
+        return true;
+    }
+
+  private:
+    static constexpr uint32_t kIters = 4;
+    uint32_t cols_ = 0, rows_ = 0;
+    std::vector<float> tempHost_, powerHost_;
+    Buffer<float> a_, b_, power_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeHotSpot()
+{
+    return std::make_unique<HotSpot>();
+}
+
+} // namespace gwc::workloads

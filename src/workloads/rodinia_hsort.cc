@@ -1,0 +1,211 @@
+/**
+ * @file
+ * HybridSort (HSORT) — Rodinia group.
+ *
+ * Bucket sort followed by per-bucket bitonic sort: an atomic
+ * histogram pass, an atomic scatter with fully uncoalesced writes,
+ * and a shared-memory bitonic network whose compare-exchange steps
+ * diverge on the partner test. One of the paper's named
+ * divergence-diverse workloads.
+ */
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kBucketCap = 512; // padded bitonic size (pow2)
+
+WarpTask
+bucketCountKernel(Warp &w)
+{
+    uint64_t data = w.param<uint64_t>(0);
+    uint64_t counts = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+    uint32_t buckets = w.param<uint32_t>(3);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> v = w.ldg<float>(data, i);
+        Reg<uint32_t> b =
+            w.min(w.cast<uint32_t>(v * float(buckets)),
+                  w.imm(buckets - 1));
+        Reg<uint64_t> addr = w.gaddr<uint32_t>(counts, b);
+        w.atomicAddGlobal<uint32_t>(addr, w.imm(1u));
+    });
+    co_return;
+}
+
+WarpTask
+scatterKernel(Warp &w)
+{
+    uint64_t data = w.param<uint64_t>(0);
+    uint64_t cursor = w.param<uint64_t>(1); // running offsets
+    uint64_t out = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+    uint32_t buckets = w.param<uint32_t>(4);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> v = w.ldg<float>(data, i);
+        Reg<uint32_t> b =
+            w.min(w.cast<uint32_t>(v * float(buckets)),
+                  w.imm(buckets - 1));
+        Reg<uint64_t> addr = w.gaddr<uint32_t>(cursor, b);
+        Reg<uint32_t> pos =
+            w.atomicAddGlobal<uint32_t>(addr, w.imm(1u));
+        w.stg<float>(out, pos, v);
+    });
+    co_return;
+}
+
+/** Bitonic sort of one bucket in shared memory (CTA per bucket). */
+WarpTask
+bitonicKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint64_t offsets = w.param<uint64_t>(1); // bucket start offsets
+    uint64_t counts = w.param<uint64_t>(2);
+    uint32_t bucket = w.ctaId().x;
+
+    Reg<uint32_t> t = w.tidLinear();
+    Reg<uint32_t> start = w.ldg<uint32_t>(offsets, w.imm(bucket));
+    Reg<uint32_t> cnt = w.ldg<uint32_t>(counts, w.imm(bucket));
+
+    // Load the bucket, padding to kBucketCap with +inf.
+    Reg<float> v = w.imm(std::numeric_limits<float>::max());
+    w.If(t < cnt, [&] { v = w.ldGlobal<float>(
+        w.gaddr<float>(out, start + t)); });
+    w.stsE<float>(0, t, v);
+    co_await w.barrier();
+
+    for (uint32_t k = 2; w.uniform(k <= kBucketCap); k <<= 1) {
+        for (uint32_t j = k >> 1; w.uniform(j > 0); j >>= 1) {
+            Reg<uint32_t> partner = t ^ w.imm(j);
+            w.If(partner > t, [&] {
+                Reg<float> a = w.ldsE<float>(0, t);
+                Reg<float> b = w.ldsE<float>(0, partner);
+                Pred ascending = (t & k) == w.imm(0u);
+                Pred swap = (ascending && (b < a)) ||
+                            ((!ascending) && (a < b));
+                Reg<float> lo = w.select(swap, b, a);
+                Reg<float> hi = w.select(swap, a, b);
+                w.stsE<float>(0, t, lo);
+                w.stsE<float>(0, partner, hi);
+            });
+            co_await w.barrier();
+        }
+    }
+
+    w.If(t < cnt, [&] {
+        Reg<float> r = w.ldsE<float>(0, t);
+        w.stGlobal<float>(w.gaddr<float>(out, start + t), r);
+    });
+    co_return;
+}
+
+class HybridSort : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "HybridSort", "HSORT",
+            "bucket scatter + per-bucket bitonic network"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 8192 * scale;
+        // Keep the mean bucket load at 256 so the padded bitonic
+        // capacity holds at any scale.
+        buckets_ = 32 * scale;
+        Rng rng(0x4501);
+        hostData_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i)
+            hostData_[i] = rng.nextFloat();
+        data_ = e.alloc<float>(n_);
+        out_ = e.alloc<float>(n_);
+        counts_ = e.alloc<uint32_t>(buckets_);
+        cursor_ = e.alloc<uint32_t>(buckets_);
+        offsets_ = e.alloc<uint32_t>(buckets_);
+        data_.fromHost(hostData_);
+        counts_.fill(0);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        Dim3 grid(uint32_t(ceilDiv(n_, cta)));
+
+        KernelParams p1;
+        p1.push(data_.addr()).push(counts_.addr()).push(n_)
+            .push(buckets_);
+        e.launch("bucketCount", bucketCountKernel, grid, Dim3(cta),
+                 0, p1);
+
+        // Host prefix sum of bucket counts (as Rodinia does).
+        uint32_t off = 0;
+        for (uint32_t b = 0; b < buckets_; ++b) {
+            offsets_.set(b, off);
+            cursor_.set(b, off);
+            uint32_t c = counts_[b];
+            if (c > kBucketCap)
+                fatal("HSORT bucket %u overflows capacity (%u)", b, c);
+            off += c;
+        }
+
+        KernelParams p2;
+        p2.push(data_.addr()).push(cursor_.addr()).push(out_.addr())
+            .push(n_).push(buckets_);
+        e.launch("scatter", scatterKernel, grid, Dim3(cta), 0, p2);
+
+        KernelParams p3;
+        p3.push(out_.addr()).push(offsets_.addr())
+            .push(counts_.addr());
+        e.launch("bitonic", bitonicKernel, Dim3(buckets_),
+                 Dim3(kBucketCap), kBucketCap * sizeof(float), p3);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<float> expect = hostData_;
+        std::sort(expect.begin(), expect.end());
+        for (uint32_t i = 0; i < n_; ++i)
+            if (out_[i] != expect[i])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    uint32_t buckets_ = 0;
+    std::vector<float> hostData_;
+    Buffer<float> data_, out_;
+    Buffer<uint32_t> counts_, cursor_, offsets_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeHybridSort()
+{
+    return std::make_unique<HybridSort>();
+}
+
+} // namespace gwc::workloads

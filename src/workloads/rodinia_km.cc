@@ -1,0 +1,207 @@
+/**
+ * @file
+ * K-Means (KM) — Rodinia group.
+ *
+ * Two kernels per Rodinia's structure: a layout transpose ("swap")
+ * whose strided stores are badly coalesced, and the assignment kernel
+ * over the feature-major layout with perfectly coalesced point reads
+ * and broadcast centroid reads. Host updates the centroids between
+ * iterations. This intra-workload coalescing contrast is why the
+ * paper calls KM out in the memory-coalescing subspace.
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+/** Transpose point-major [n][f] into feature-major [f][n]. */
+WarpTask
+swapLayoutKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+    uint32_t f = w.param<uint32_t>(3);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        for (uint32_t feat = 0; w.uniform(feat < f); ++feat) {
+            // Coalesced read of fm layout? No: this kernel reads the
+            // point-major row (stride f) and writes feature-major
+            // (coalesced); exactly Rodinia's invert_mapping.
+            Reg<float> v = w.ldg<float>(in, i * f + feat);
+            w.stg<float>(out, i + feat * n, v);
+        }
+    });
+    co_return;
+}
+
+/** Assign every point to the nearest centroid. */
+WarpTask
+assignKernel(Warp &w)
+{
+    uint64_t fm = w.param<uint64_t>(0);        // feature-major points
+    uint64_t centroids = w.param<uint64_t>(1); // [k][f]
+    uint64_t membership = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+    uint32_t f = w.param<uint32_t>(4);
+    uint32_t k = w.param<uint32_t>(5);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> bestDist = w.imm(std::numeric_limits<float>::max());
+        Reg<uint32_t> bestIdx = w.imm(0u);
+        for (uint32_t c = 0; w.uniform(c < k); ++c) {
+            Reg<float> dist = w.imm(0.0f);
+            for (uint32_t feat = 0; w.uniform(feat < f); ++feat) {
+                Reg<float> pv = w.ldg<float>(fm, i + feat * n);
+                Reg<float> cv =
+                    w.ldg<float>(centroids, w.imm(c * f + feat));
+                Reg<float> d = pv - cv;
+                // Plain add (not FMA) so the rounding sequence
+                // matches the host reference exactly.
+                dist = dist + d * d;
+            }
+            Pred closer = dist < bestDist;
+            bestDist = w.select(closer, dist, bestDist);
+            bestIdx = w.select(closer, w.imm(c), bestIdx);
+        }
+        w.stg<uint32_t>(membership, i, bestIdx);
+    });
+    co_return;
+}
+
+class Kmeans : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "K-Means", "KM",
+            "layout swap + assignment; contrasting coalescing"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 4096 * scale;
+        f_ = 16;
+        k_ = 5;
+        Rng rng(0x4B4D);
+        pointsHost_.resize(n_ * f_);
+        for (uint32_t i = 0; i < n_ * f_; ++i)
+            pointsHost_[i] = rng.nextRange(0.0f, 10.0f);
+        centroidsHost_.resize(k_ * f_);
+        for (uint32_t c = 0; c < k_; ++c) {
+            uint32_t pick = uint32_t(rng.nextBelow(n_));
+            for (uint32_t feat = 0; feat < f_; ++feat)
+                centroidsHost_[c * f_ + feat] =
+                    pointsHost_[pick * f_ + feat];
+        }
+
+        pm_ = e.alloc<float>(n_ * f_);
+        fm_ = e.alloc<float>(n_ * f_);
+        cent_ = e.alloc<float>(k_ * f_);
+        member_ = e.alloc<uint32_t>(n_);
+        pm_.fromHost(pointsHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        Dim3 grid(uint32_t(ceilDiv(n_, cta)));
+
+        KernelParams ps;
+        ps.push(pm_.addr()).push(fm_.addr()).push(n_).push(f_);
+        e.launch("swap", swapLayoutKernel, grid, Dim3(cta), 0, ps);
+
+        for (uint32_t iter = 0; iter < kIters; ++iter) {
+            cent_.fromHost(centroidsHost_);
+            KernelParams pa;
+            pa.push(fm_.addr()).push(cent_.addr())
+                .push(member_.addr()).push(n_).push(f_).push(k_);
+            e.launch("assign", assignKernel, grid, Dim3(cta), 0, pa);
+            hostUpdateCentroids();
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        // Recompute the final membership from the final centroids.
+        for (uint32_t i = 0; i < n_; ++i)
+            if (member_[i] != hostAssign(i))
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t
+    hostAssign(uint32_t i) const
+    {
+        float bestDist = std::numeric_limits<float>::max();
+        uint32_t best = 0;
+        for (uint32_t c = 0; c < k_; ++c) {
+            float dist = 0.0f;
+            for (uint32_t feat = 0; feat < f_; ++feat) {
+                float d = pointsHost_[i * f_ + feat] -
+                          lastCentroids_[c * f_ + feat];
+                dist += d * d;
+            }
+            if (dist < bestDist) {
+                bestDist = dist;
+                best = c;
+            }
+        }
+        return best;
+    }
+
+    void
+    hostUpdateCentroids()
+    {
+        lastCentroids_ = centroidsHost_;
+        std::vector<double> sum(k_ * f_, 0.0);
+        std::vector<uint32_t> cnt(k_, 0);
+        for (uint32_t i = 0; i < n_; ++i) {
+            uint32_t c = hostAssign(i);
+            ++cnt[c];
+            for (uint32_t feat = 0; feat < f_; ++feat)
+                sum[c * f_ + feat] += pointsHost_[i * f_ + feat];
+        }
+        for (uint32_t c = 0; c < k_; ++c)
+            if (cnt[c] > 0)
+                for (uint32_t feat = 0; feat < f_; ++feat)
+                    centroidsHost_[c * f_ + feat] =
+                        float(sum[c * f_ + feat] / cnt[c]);
+    }
+
+    static constexpr uint32_t kIters = 2;
+    uint32_t n_ = 0, f_ = 0, k_ = 0;
+    std::vector<float> pointsHost_, centroidsHost_, lastCentroids_;
+    Buffer<float> pm_, fm_, cent_;
+    Buffer<uint32_t> member_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeKmeans()
+{
+    return std::make_unique<Kmeans>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Nearest Neighbor (NN) — Rodinia group.
+ *
+ * Distance of every record to a query point: a very short, memory-
+ * bound kernel with almost no arithmetic per load. Its near-empty
+ * compute and tiny per-thread work make it an outlier on the
+ * instruction-mix and memory-intensity axes — one of the paper's
+ * named divergence-diverse workloads once the tail warp is counted.
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+nnKernel(Warp &w)
+{
+    uint64_t lat = w.param<uint64_t>(0);
+    uint64_t lng = w.param<uint64_t>(1);
+    uint64_t dist = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+    float qLat = w.param<float>(4);
+    float qLng = w.param<float>(5);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> dLat = w.ldg<float>(lat, i) - qLat;
+        Reg<float> dLng = w.ldg<float>(lng, i) - qLng;
+        Reg<float> d = w.sqrt(w.fma(dLat, dLat, dLng * dLng));
+        w.stg<float>(dist, i, d);
+    });
+    co_return;
+}
+
+class NearestNeighbor : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "Nearest Neighbor", "NN",
+            "memory-bound distance computation, near-zero compute"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        // Deliberately not a multiple of the CTA size: the ragged
+        // tail CTA carries partial warps.
+        n_ = 30000 * scale;
+        Rng rng(0x4E4E);
+        lat_ = e.alloc<float>(n_);
+        lng_ = e.alloc<float>(n_);
+        dist_ = e.alloc<float>(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            lat_.set(i, rng.nextRange(0.0f, 90.0f));
+            lng_.set(i, rng.nextRange(0.0f, 180.0f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p;
+        p.push(lat_.addr()).push(lng_.addr()).push(dist_.addr())
+            .push(n_).push(kQueryLat).push(kQueryLng);
+        e.launch("distance", nnKernel,
+                 Dim3(uint32_t(ceilDiv(n_, cta))), Dim3(cta), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        uint32_t bestIdx = 0;
+        float bestDist = std::numeric_limits<float>::max();
+        for (uint32_t i = 0; i < n_; ++i) {
+            float dLat = lat_[i] - kQueryLat;
+            float dLng = lng_[i] - kQueryLng;
+            float d = std::sqrt(dLat * dLat + dLng * dLng);
+            if (!nearlyEqual(dist_[i], d, 1e-4, 1e-4))
+                return false;
+            if (d < bestDist) {
+                bestDist = d;
+                bestIdx = i;
+            }
+        }
+        // The host-side min scan (as in Rodinia) must find the same
+        // record through the device distances.
+        uint32_t devBest = 0;
+        float devDist = std::numeric_limits<float>::max();
+        for (uint32_t i = 0; i < n_; ++i) {
+            if (dist_[i] < devDist) {
+                devDist = dist_[i];
+                devBest = i;
+            }
+        }
+        return devBest == bestIdx;
+    }
+
+  private:
+    static constexpr float kQueryLat = 45.0f;
+    static constexpr float kQueryLng = 90.0f;
+    uint32_t n_ = 0;
+    Buffer<float> lat_, lng_, dist_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeNearestNeighbor()
+{
+    return std::make_unique<NearestNeighbor>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Needleman-Wunsch (NW) — Rodinia group.
+ *
+ * Global sequence alignment via wavefront dynamic programming: one
+ * launch per anti-diagonal, threads covering the diagonal's cells.
+ * Diagonal traversal of a row-major matrix makes every access
+ * uncoalesced, and ragged diagonal lengths leave most warps partially
+ * filled — a memory-irregular, low-activity workload.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr int32_t kPenalty = 10;
+
+WarpTask
+nwDiagonalKernel(Warp &w)
+{
+    uint64_t score = w.param<uint64_t>(0);
+    uint64_t ref = w.param<uint64_t>(1); // substitution for (i, j)
+    uint32_t n = w.param<uint32_t>(2);   // sequence length
+    uint32_t diag = w.param<uint32_t>(3);
+    uint32_t iMin = w.param<uint32_t>(4);
+    uint32_t count = w.param<uint32_t>(5);
+
+    uint32_t dim = n + 1;
+    Reg<uint32_t> t = w.globalIdX();
+    w.If(t < count, [&] {
+        Reg<uint32_t> i = t + iMin;
+        Reg<uint32_t> j = w.imm(diag) - i;
+        Reg<uint32_t> c = i * dim + j;
+        Reg<int32_t> nw =
+            w.ldg<int32_t>(score, c - (dim + 1));
+        Reg<int32_t> up = w.ldg<int32_t>(score, c - dim);
+        Reg<int32_t> left = w.ldg<int32_t>(score, c - 1u);
+        Reg<int32_t> sub =
+            w.ldg<int32_t>(ref, (i - 1u) * n + (j - 1u));
+        Reg<int32_t> best =
+            w.max(nw + sub,
+                  w.max(up - kPenalty, left - kPenalty));
+        w.stg<int32_t>(score, c, best);
+    });
+    co_return;
+}
+
+class NeedlemanWunsch : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "Needleman-Wunsch", "NW",
+            "wavefront DP with diagonal (uncoalesced) access"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 128 * scale;
+        uint32_t dim = n_ + 1;
+        Rng rng(0x4E57);
+        refHost_.resize(n_ * n_);
+        for (uint32_t i = 0; i < n_ * n_; ++i)
+            refHost_[i] = int32_t(rng.nextBelow(21)) - 10;
+
+        scoreHost_.assign(dim * dim, 0);
+        for (uint32_t i = 0; i < dim; ++i) {
+            scoreHost_[i * dim] = -int32_t(i) * kPenalty;
+            scoreHost_[i] = -int32_t(i) * kPenalty;
+        }
+
+        score_ = e.alloc<int32_t>(dim * dim);
+        ref_ = e.alloc<int32_t>(n_ * n_);
+        score_.fromHost(scoreHost_);
+        ref_.fromHost(refHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 64;
+        // Anti-diagonals over the interior cells (i, j >= 1).
+        for (uint32_t diag = 2; diag <= 2 * n_; ++diag) {
+            uint32_t iMin = diag > n_ ? diag - n_ : 1;
+            uint32_t iMax = std::min(n_, diag - 1);
+            uint32_t count = iMax - iMin + 1;
+            KernelParams p;
+            p.push(score_.addr()).push(ref_.addr()).push(n_)
+                .push(diag).push(iMin).push(count);
+            e.launch("diagonal", nwDiagonalKernel,
+                     Dim3(uint32_t(ceilDiv(count, cta))), Dim3(cta),
+                     0, p);
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        uint32_t dim = n_ + 1;
+        std::vector<int32_t> s = scoreHost_;
+        for (uint32_t i = 1; i <= n_; ++i)
+            for (uint32_t j = 1; j <= n_; ++j) {
+                int32_t nw = s[(i - 1) * dim + j - 1] +
+                             refHost_[(i - 1) * n_ + j - 1];
+                int32_t up = s[(i - 1) * dim + j] - kPenalty;
+                int32_t left = s[i * dim + j - 1] - kPenalty;
+                s[i * dim + j] = std::max({nw, up, left});
+            }
+        for (uint32_t i = 0; i < dim * dim; ++i)
+            if (score_[i] != s[i])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    std::vector<int32_t> refHost_, scoreHost_;
+    Buffer<int32_t> score_, ref_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeNeedlemanWunsch()
+{
+    return std::make_unique<NeedlemanWunsch>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * PathFinder (PF) — Rodinia group.
+ *
+ * Row-by-row dynamic programming over a 2D cost grid: each thread
+ * owns a column and takes the minimum of three neighbours from the
+ * previous row. Edge clamping is predicated; consecutive columns
+ * give coalesced loads with 3-way overlap (short reuse distances).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+pathfinderKernel(Warp &w)
+{
+    uint64_t wall = w.param<uint64_t>(0); // current row of costs
+    uint64_t src = w.param<uint64_t>(1);  // previous best
+    uint64_t dst = w.param<uint64_t>(2);  // next best
+    uint32_t cols = w.param<uint32_t>(3);
+    uint32_t row = w.param<uint32_t>(4);
+
+    Reg<uint32_t> x = w.globalIdX();
+    w.If(x < cols, [&] {
+        Reg<uint32_t> xl = w.select(x == 0u, x, x - 1u);
+        Reg<uint32_t> xr = w.select(x == cols - 1, x, x + 1u);
+        Reg<int32_t> left = w.ldg<int32_t>(src, xl);
+        Reg<int32_t> mid = w.ldg<int32_t>(src, x);
+        Reg<int32_t> right = w.ldg<int32_t>(src, xr);
+        Reg<int32_t> best = w.min(left, w.min(mid, right));
+        Reg<int32_t> cost =
+            w.ldg<int32_t>(wall, x + w.imm(row * cols));
+        w.stg<int32_t>(dst, x, best + cost);
+    });
+    co_return;
+}
+
+class PathFinder : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "PathFinder", "PF",
+            "row-wise min-DP with predicated edge handling"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        cols_ = 2048 * scale;
+        rows_ = 32;
+        Rng rng(0x9F);
+        wallHost_.resize(cols_ * rows_);
+        for (uint32_t i = 0; i < cols_ * rows_; ++i)
+            wallHost_[i] = int32_t(rng.nextBelow(10));
+        wall_ = e.alloc<int32_t>(cols_ * rows_);
+        a_ = e.alloc<int32_t>(cols_);
+        b_ = e.alloc<int32_t>(cols_);
+        wall_.fromHost(wallHost_);
+        for (uint32_t x = 0; x < cols_; ++x)
+            a_.set(x, wallHost_[x]);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        Dim3 grid(uint32_t(ceilDiv(cols_, cta)));
+        for (uint32_t r = 1; r < rows_; ++r) {
+            KernelParams p;
+            bool even = (r % 2) == 1;
+            p.push(wall_.addr())
+                .push(even ? a_.addr() : b_.addr())
+                .push(even ? b_.addr() : a_.addr())
+                .push(cols_).push(r);
+            e.launch("dpRow", pathfinderKernel, grid, Dim3(cta), 0,
+                     p);
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<int32_t> cur(wallHost_.begin(),
+                                 wallHost_.begin() + cols_);
+        std::vector<int32_t> next(cols_);
+        for (uint32_t r = 1; r < rows_; ++r) {
+            for (uint32_t x = 0; x < cols_; ++x) {
+                uint32_t xl = x == 0 ? x : x - 1;
+                uint32_t xr = x == cols_ - 1 ? x : x + 1;
+                int32_t best = std::min(
+                    {cur[xl], cur[x], cur[xr]});
+                next[x] = best + wallHost_[r * cols_ + x];
+            }
+            std::swap(cur, next);
+        }
+        // rows_-1 = 31 kernel steps: final result is in b_ when the
+        // count of steps is odd.
+        auto &fin = ((rows_ - 1) % 2 == 1) ? b_ : a_;
+        for (uint32_t x = 0; x < cols_; ++x)
+            if (fin[x] != cur[x])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t cols_ = 0, rows_ = 0;
+    std::vector<int32_t> wallHost_;
+    Buffer<int32_t> wall_, a_, b_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makePathFinder()
+{
+    return std::make_unique<PathFinder>();
+}
+
+} // namespace gwc::workloads

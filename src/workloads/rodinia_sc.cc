@@ -1,0 +1,151 @@
+/**
+ * @file
+ * StreamCluster (SC) — Rodinia group.
+ *
+ * The pgain kernel of streaming k-median: for a candidate facility,
+ * every thread computes its point's weighted reassignment gain and
+ * accumulates the total through a global atomic. Coalesced
+ * coordinate reads, broadcast candidate reads, a divergent "is the
+ * switch profitable" branch and an atomic hot spot.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kDims = 8;
+
+WarpTask
+pgainKernel(Warp &w)
+{
+    uint64_t coords = w.param<uint64_t>(0);   // [dims][points]
+    uint64_t weights = w.param<uint64_t>(1);
+    uint64_t curCost = w.param<uint64_t>(2);  // d(point, its center)
+    uint64_t candidate = w.param<uint64_t>(3); // [dims]
+    uint64_t gains = w.param<uint64_t>(4);    // per-point gain
+    uint64_t total = w.param<uint64_t>(5);    // scalar accumulator
+    uint32_t n = w.param<uint32_t>(6);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> dist = w.imm(0.0f);
+        for (uint32_t d = 0; w.uniform(d < kDims); ++d) {
+            Reg<float> pc = w.ldg<float>(coords, i + w.imm(d * n));
+            Reg<float> cc = w.ldg<float>(candidate, w.imm(d));
+            Reg<float> diff = pc - cc;
+            dist = dist + diff * diff;
+        }
+        Reg<float> weight = w.ldg<float>(weights, i);
+        Reg<float> cost = w.ldg<float>(curCost, i);
+        // Gain of switching this point to the candidate facility.
+        Reg<float> gain = (cost - dist) * weight;
+        w.stg<float>(gains, i, gain);
+        // Only profitable switches contribute to the total.
+        w.If(gain > 0.0f, [&] {
+            Reg<uint64_t> addr =
+                w.gaddr<float>(total, w.imm(0u));
+            w.atomicAddGlobal<float>(addr, gain);
+        });
+    });
+    co_return;
+}
+
+class StreamCluster : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "StreamCluster", "SC",
+            "pgain: gain computation with atomic accumulation"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 8192 * scale;
+        Rng rng(0x5C);
+        coordsHost_.resize(kDims * n_);
+        for (auto &v : coordsHost_)
+            v = rng.nextRange(0.0f, 1.0f);
+        weightsHost_.resize(n_);
+        costHost_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            weightsHost_[i] = rng.nextRange(0.5f, 2.0f);
+            costHost_[i] = rng.nextRange(0.0f, 1.5f);
+        }
+        candHost_.resize(kDims);
+        for (auto &v : candHost_)
+            v = rng.nextRange(0.0f, 1.0f);
+
+        coords_ = e.alloc<float>(kDims * n_);
+        weights_ = e.alloc<float>(n_);
+        cost_ = e.alloc<float>(n_);
+        cand_ = e.alloc<float>(kDims);
+        gains_ = e.alloc<float>(n_);
+        total_ = e.alloc<float>(1);
+        coords_.fromHost(coordsHost_);
+        weights_.fromHost(weightsHost_);
+        cost_.fromHost(costHost_);
+        cand_.fromHost(candHost_);
+        total_.set(0, 0.0f);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p;
+        p.push(coords_.addr()).push(weights_.addr())
+            .push(cost_.addr()).push(cand_.addr())
+            .push(gains_.addr()).push(total_.addr()).push(n_);
+        e.launch("pgain", pgainKernel,
+                 Dim3(uint32_t(ceilDiv(n_, 128u))), Dim3(128), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        double totalRef = 0.0;
+        for (uint32_t i = 0; i < n_; ++i) {
+            float dist = 0.0f;
+            for (uint32_t d = 0; d < kDims; ++d) {
+                float diff =
+                    coordsHost_[d * n_ + i] - candHost_[d];
+                dist += diff * diff;
+            }
+            float gain = (costHost_[i] - dist) * weightsHost_[i];
+            if (!nearlyEqual(gains_[i], gain, 1e-4, 1e-5))
+                return false;
+            if (gain > 0.0f)
+                totalRef += gain;
+        }
+        return nearlyEqual(total_[0], totalRef, 5e-3, 5e-3);
+    }
+
+  private:
+    uint32_t n_ = 0;
+    std::vector<float> coordsHost_, weightsHost_, costHost_,
+        candHost_;
+    Buffer<float> coords_, weights_, cost_, cand_, gains_, total_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeStreamCluster()
+{
+    return std::make_unique<StreamCluster>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * SRAD (SRAD) — Rodinia group.
+ *
+ * Speckle-reducing anisotropic diffusion: per iteration a
+ * coefficient kernel (gradients + diffusion coefficient, division
+ * heavy) and an update kernel consuming the neighbours' coefficients.
+ * Boundary clamping is predicated; the host computes the ROI
+ * statistics between iterations as in Rodinia.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr float kLambda = 0.5f;
+
+WarpTask
+srad1Kernel(Warp &w)
+{
+    uint64_t img = w.param<uint64_t>(0);
+    uint64_t dN = w.param<uint64_t>(1);
+    uint64_t dS = w.param<uint64_t>(2);
+    uint64_t dW = w.param<uint64_t>(3);
+    uint64_t dE = w.param<uint64_t>(4);
+    uint64_t coef = w.param<uint64_t>(5);
+    uint32_t cols = w.param<uint32_t>(6);
+    uint32_t rows = w.param<uint32_t>(7);
+    float q0sqr = w.param<float>(8);
+
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+    Reg<uint32_t> c = y * cols + x;
+
+    Reg<uint32_t> xl = w.select(x == 0u, x, x - 1u);
+    Reg<uint32_t> xr = w.select(x == cols - 1, x, x + 1u);
+    Reg<uint32_t> yu = w.select(y == 0u, y, y - 1u);
+    Reg<uint32_t> yd = w.select(y == rows - 1, y, y + 1u);
+
+    Reg<float> jc = w.ldg<float>(img, c);
+    Reg<float> n = w.ldg<float>(img, yu * cols + x) - jc;
+    Reg<float> s = w.ldg<float>(img, yd * cols + x) - jc;
+    Reg<float> wd = w.ldg<float>(img, y * cols + xl) - jc;
+    Reg<float> ed = w.ldg<float>(img, y * cols + xr) - jc;
+
+    Reg<float> g2 =
+        (n * n + s * s + wd * wd + ed * ed) / (jc * jc);
+    Reg<float> l = (n + s + wd + ed) / jc;
+    Reg<float> num = g2 * 0.5f - (l * l) * (1.0f / 16.0f);
+    Reg<float> den = l * 0.25f + 1.0f;
+    Reg<float> qsqr = num / (den * den);
+
+    Reg<float> denom =
+        (qsqr - q0sqr) * (1.0f / (q0sqr * (1.0f + q0sqr))) + 1.0f;
+    Reg<float> cv = w.imm(1.0f) / denom;
+    // Clamp to [0, 1].
+    cv = w.max(w.min(cv, w.imm(1.0f)), w.imm(0.0f));
+
+    w.stg<float>(dN, c, n);
+    w.stg<float>(dS, c, s);
+    w.stg<float>(dW, c, wd);
+    w.stg<float>(dE, c, ed);
+    w.stg<float>(coef, c, cv);
+    co_return;
+}
+
+WarpTask
+srad2Kernel(Warp &w)
+{
+    uint64_t img = w.param<uint64_t>(0);
+    uint64_t dN = w.param<uint64_t>(1);
+    uint64_t dS = w.param<uint64_t>(2);
+    uint64_t dW = w.param<uint64_t>(3);
+    uint64_t dE = w.param<uint64_t>(4);
+    uint64_t coef = w.param<uint64_t>(5);
+    uint32_t cols = w.param<uint32_t>(6);
+    uint32_t rows = w.param<uint32_t>(7);
+
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+    Reg<uint32_t> c = y * cols + x;
+    Reg<uint32_t> xr = w.select(x == cols - 1, x, x + 1u);
+    Reg<uint32_t> yd = w.select(y == rows - 1, y, y + 1u);
+
+    Reg<float> cN = w.ldg<float>(coef, c);
+    Reg<float> cS = w.ldg<float>(coef, yd * cols + x);
+    Reg<float> cW = cN;
+    Reg<float> cE = w.ldg<float>(coef, y * cols + xr);
+
+    Reg<float> d =
+        cN * w.ldg<float>(dN, c) + cS * w.ldg<float>(dS, c) +
+        cW * w.ldg<float>(dW, c) + cE * w.ldg<float>(dE, c);
+    Reg<float> jc = w.ldg<float>(img, c);
+    w.stg<float>(img, c, w.fma(d, w.imm(0.25f * kLambda), jc));
+    co_return;
+}
+
+class Srad : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "SRAD", "SRAD",
+            "anisotropic diffusion: division-heavy 2-kernel stencil"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        cols_ = 128 * scale;
+        rows_ = 128;
+        Rng rng(0x52AD);
+        hostImg_.resize(cols_ * rows_);
+        for (uint32_t i = 0; i < cols_ * rows_; ++i)
+            hostImg_[i] = std::exp(rng.nextRange(0.0f, 1.0f));
+        img_ = e.alloc<float>(cols_ * rows_);
+        dN_ = e.alloc<float>(cols_ * rows_);
+        dS_ = e.alloc<float>(cols_ * rows_);
+        dW_ = e.alloc<float>(cols_ * rows_);
+        dE_ = e.alloc<float>(cols_ * rows_);
+        coef_ = e.alloc<float>(cols_ * rows_);
+        img_.fromHost(hostImg_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        Dim3 grid(cols_ / 32, rows_ / 4);
+        Dim3 cta(32, 4);
+        for (uint32_t it = 0; it < kIters; ++it) {
+            float q0 = roiQ0sqr(img_.toHost());
+            KernelParams p1;
+            p1.push(img_.addr()).push(dN_.addr()).push(dS_.addr())
+                .push(dW_.addr()).push(dE_.addr()).push(coef_.addr())
+                .push(cols_).push(rows_).push(q0);
+            e.launch("srad1", srad1Kernel, grid, cta, 0, p1);
+
+            KernelParams p2;
+            p2.push(img_.addr()).push(dN_.addr()).push(dS_.addr())
+                .push(dW_.addr()).push(dE_.addr()).push(coef_.addr())
+                .push(cols_).push(rows_);
+            e.launch("srad2", srad2Kernel, grid, cta, 0, p2);
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<float> img = hostImg_;
+        uint32_t n = cols_ * rows_;
+        std::vector<float> dn(n), ds(n), dw(n), de(n), cf(n);
+        for (uint32_t it = 0; it < kIters; ++it) {
+            float q0 = roiQ0sqr(img);
+            for (uint32_t y = 0; y < rows_; ++y)
+                for (uint32_t x = 0; x < cols_; ++x) {
+                    uint32_t c = y * cols_ + x;
+                    uint32_t xl = x == 0 ? x : x - 1;
+                    uint32_t xr = x == cols_ - 1 ? x : x + 1;
+                    uint32_t yu = y == 0 ? y : y - 1;
+                    uint32_t yd = y == rows_ - 1 ? y : y + 1;
+                    float jc = img[c];
+                    dn[c] = img[yu * cols_ + x] - jc;
+                    ds[c] = img[yd * cols_ + x] - jc;
+                    dw[c] = img[y * cols_ + xl] - jc;
+                    de[c] = img[y * cols_ + xr] - jc;
+                    float g2 = (dn[c] * dn[c] + ds[c] * ds[c] +
+                                dw[c] * dw[c] + de[c] * de[c]) /
+                               (jc * jc);
+                    float l = (dn[c] + ds[c] + dw[c] + de[c]) / jc;
+                    float num =
+                        g2 * 0.5f - (l * l) * (1.0f / 16.0f);
+                    float den = l * 0.25f + 1.0f;
+                    float qsqr = num / (den * den);
+                    float cv =
+                        1.0f /
+                        ((qsqr - q0) * (1.0f / (q0 * (1.0f + q0))) +
+                         1.0f);
+                    cf[c] = std::fmin(1.0f, std::fmax(0.0f, cv));
+                }
+            for (uint32_t y = 0; y < rows_; ++y)
+                for (uint32_t x = 0; x < cols_; ++x) {
+                    uint32_t c = y * cols_ + x;
+                    uint32_t xr = x == cols_ - 1 ? x : x + 1;
+                    uint32_t yd = y == rows_ - 1 ? y : y + 1;
+                    float d = cf[c] * dn[c] + cf[yd * cols_ + x] * ds[c] +
+                              cf[c] * dw[c] + cf[y * cols_ + xr] * de[c];
+                    img[c] += 0.25f * kLambda * d;
+                }
+        }
+        for (uint32_t i = 0; i < n; ++i)
+            if (!nearlyEqual(img_[i], img[i], 2e-3, 2e-3))
+                return false;
+        return true;
+    }
+
+  private:
+    float
+    roiQ0sqr(const std::vector<float> &img) const
+    {
+        // ROI statistics over the top-left 32x32 corner.
+        double sum = 0, sum2 = 0;
+        for (uint32_t y = 0; y < 32; ++y)
+            for (uint32_t x = 0; x < 32; ++x) {
+                double v = img[y * cols_ + x];
+                sum += v;
+                sum2 += v * v;
+            }
+        double mean = sum / 1024.0;
+        double var = sum2 / 1024.0 - mean * mean;
+        return float(var / (mean * mean));
+    }
+
+    static constexpr uint32_t kIters = 2;
+    uint32_t cols_ = 0, rows_ = 0;
+    std::vector<float> hostImg_;
+    Buffer<float> img_, dN_, dS_, dW_, dE_, coef_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeSrad()
+{
+    return std::make_unique<Srad>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * BlackScholes (BLS) — CUDA SDK group.
+ *
+ * European option pricing: one thread per option, straight-line
+ * transcendental-heavy code, perfectly coalesced streams, no shared
+ * memory, no divergence beyond the bounds check. The classic
+ * compute-bound GPU workload.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr float kRiskFree = 0.02f;
+constexpr float kVolatility = 0.30f;
+
+WarpTask
+blsKernel(Warp &w)
+{
+    uint64_t sPtr = w.param<uint64_t>(0);
+    uint64_t xPtr = w.param<uint64_t>(1);
+    uint64_t tPtr = w.param<uint64_t>(2);
+    uint64_t callPtr = w.param<uint64_t>(3);
+    uint64_t putPtr = w.param<uint64_t>(4);
+    uint32_t n = w.param<uint32_t>(5);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> S = w.ldg<float>(sPtr, i);
+        Reg<float> X = w.ldg<float>(xPtr, i);
+        Reg<float> T = w.ldg<float>(tPtr, i);
+
+        Reg<float> sqrtT = w.sqrt(T);
+        Reg<float> d1 =
+            (w.log(S / X) +
+             T * (kRiskFree + 0.5f * kVolatility * kVolatility)) /
+            (sqrtT * kVolatility);
+        Reg<float> d2 = d1 - sqrtT * kVolatility;
+
+        // Cumulative normal distribution, Abramowitz-Stegun 26.2.17.
+        auto cnd = [&](const Reg<float> &d) {
+            Reg<float> K =
+                w.imm(1.0f) / (w.abs(d) * 0.2316419f + 1.0f);
+            Reg<float> poly =
+                K *
+                (w.imm(0.319381530f) +
+                 K * (w.imm(-0.356563782f) +
+                      K * (w.imm(1.781477937f) +
+                           K * (w.imm(-1.821255978f) +
+                                K * 1.330274429f))));
+            Reg<float> pdf =
+                w.exp(d * d * -0.5f) * 0.39894228040143267f;
+            Reg<float> c = pdf * poly;
+            return w.select(d > 0.0f, w.imm(1.0f) - c, c);
+        };
+
+        Reg<float> cndD1 = cnd(d1);
+        Reg<float> cndD2 = cnd(d2);
+        Reg<float> expRT = w.exp(T * -kRiskFree);
+
+        Reg<float> call = S * cndD1 - X * expRT * cndD2;
+        Reg<float> put =
+            X * expRT * (w.imm(1.0f) - cndD2) -
+            S * (w.imm(1.0f) - cndD1);
+        w.stg<float>(callPtr, i, call);
+        w.stg<float>(putPtr, i, put);
+    });
+    co_return;
+}
+
+class BlackScholes : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "BlackScholes", "BLS",
+            "transcendental-heavy streaming option pricing"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 8192 * scale;
+        Rng rng(0xB15);
+        s_ = e.alloc<float>(n_);
+        x_ = e.alloc<float>(n_);
+        t_ = e.alloc<float>(n_);
+        call_ = e.alloc<float>(n_);
+        put_ = e.alloc<float>(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            s_.set(i, rng.nextRange(5.0f, 30.0f));
+            x_.set(i, rng.nextRange(1.0f, 100.0f));
+            t_.set(i, rng.nextRange(0.25f, 10.0f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p;
+        p.push(s_.addr()).push(x_.addr()).push(t_.addr())
+            .push(call_.addr()).push(put_.addr()).push(n_);
+        uint32_t cta = 128;
+        e.launch("pricing", blsKernel,
+                 Dim3(uint32_t(ceilDiv(n_, cta))), Dim3(cta), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        auto cnd = [](double d) {
+            double k = 1.0 / (1.0 + 0.2316419 * std::fabs(d));
+            double poly =
+                k * (0.319381530 +
+                     k * (-0.356563782 +
+                          k * (1.781477937 +
+                               k * (-1.821255978 +
+                                    k * 1.330274429))));
+            double c = 0.39894228040143267 *
+                       std::exp(-0.5 * d * d) * poly;
+            return d > 0 ? 1.0 - c : c;
+        };
+        for (uint32_t i = 0; i < n_; ++i) {
+            double S = s_[i], X = x_[i], T = t_[i];
+            double sqrtT = std::sqrt(T);
+            double d1 = (std::log(S / X) +
+                         (kRiskFree + 0.5 * kVolatility * kVolatility) *
+                             T) /
+                        (kVolatility * sqrtT);
+            double d2 = d1 - kVolatility * sqrtT;
+            double expRT = std::exp(-kRiskFree * T);
+            double call = S * cnd(d1) - X * expRT * cnd(d2);
+            double put =
+                X * expRT * (1.0 - cnd(d2)) - S * (1.0 - cnd(d1));
+            if (!nearlyEqual(call_[i], call, 1e-3, 1e-3) ||
+                !nearlyEqual(put_[i], put, 1e-3, 1e-3))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    Buffer<float> s_, x_, t_, call_, put_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeBlackScholes()
+{
+    return std::make_unique<BlackScholes>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * ConvolutionSeparable (CONV) — CUDA SDK group.
+ *
+ * Separable 2D convolution as two passes: a row pass with contiguous
+ * neighbourhood loads (short-reuse-distance heavy) and a column pass
+ * whose neighbourhood loads stay coalesced across threads but stride
+ * the image vertically. Broadcast loads of the filter taps exercise
+ * stride-0 coalescing.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kRadius = 4;
+
+WarpTask
+convRowsKernel(Warp &w)
+{
+    uint64_t src = w.param<uint64_t>(0);
+    uint64_t dst = w.param<uint64_t>(1);
+    uint64_t taps = w.param<uint64_t>(2);
+    uint32_t width = w.param<uint32_t>(3);
+
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+    Reg<uint32_t> rowBase = y * width;
+
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t k = 0; w.uniform(k <= 2 * kRadius); ++k) {
+        // Clamped column index (predicated, no divergence).
+        Reg<uint32_t> cx = x + k;
+        Reg<uint32_t> clamped = w.select(
+            cx < kRadius, w.imm(0u),
+            w.min(cx - kRadius, w.imm(width - 1)));
+        Reg<float> pix = w.ldg<float>(src, rowBase + clamped);
+        Reg<float> tap = w.ldg<float>(taps, w.imm(k));
+        acc = w.fma(pix, tap, acc);
+    }
+    w.stg<float>(dst, rowBase + x, acc);
+    co_return;
+}
+
+WarpTask
+convColsKernel(Warp &w)
+{
+    uint64_t src = w.param<uint64_t>(0);
+    uint64_t dst = w.param<uint64_t>(1);
+    uint64_t taps = w.param<uint64_t>(2);
+    uint32_t width = w.param<uint32_t>(3);
+    uint32_t height = w.param<uint32_t>(4);
+
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t k = 0; w.uniform(k <= 2 * kRadius); ++k) {
+        Reg<uint32_t> cy = y + k;
+        Reg<uint32_t> clamped = w.select(
+            cy < kRadius, w.imm(0u),
+            w.min(cy - kRadius, w.imm(height - 1)));
+        Reg<float> pix = w.ldg<float>(src, clamped * width + x);
+        Reg<float> tap = w.ldg<float>(taps, w.imm(k));
+        acc = w.fma(pix, tap, acc);
+    }
+    w.stg<float>(dst, y * width + x, acc);
+    co_return;
+}
+
+class Convolution : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "ConvolutionSeparable", "CONV",
+            "row+column separable filter with broadcast taps"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        width_ = 128 * scale;
+        height_ = 128;
+        Rng rng(0xC0) ;
+        src_ = e.alloc<float>(width_ * height_);
+        tmp_ = e.alloc<float>(width_ * height_);
+        dst_ = e.alloc<float>(width_ * height_);
+        taps_ = e.alloc<float>(2 * kRadius + 1);
+        for (uint32_t i = 0; i < width_ * height_; ++i)
+            src_.set(i, rng.nextRange(0.0f, 1.0f));
+        for (uint32_t k = 0; k <= 2 * kRadius; ++k)
+            taps_.set(k, rng.nextRange(0.0f, 0.25f));
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t ctaX = 32, ctaY = 4;
+        Dim3 grid(width_ / ctaX, height_ / ctaY);
+        KernelParams p1;
+        p1.push(src_.addr()).push(tmp_.addr()).push(taps_.addr())
+            .push(width_);
+        e.launch("rows", convRowsKernel, grid, Dim3(ctaX, ctaY), 0,
+                 p1);
+        KernelParams p2;
+        p2.push(tmp_.addr()).push(dst_.addr()).push(taps_.addr())
+            .push(width_).push(height_);
+        e.launch("cols", convColsKernel, grid, Dim3(ctaX, ctaY), 0,
+                 p2);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        auto src = src_.toHost();
+        auto taps = taps_.toHost();
+        auto clampI = [](int v, int lo, int hi) {
+            return v < lo ? lo : (v > hi ? hi : v);
+        };
+        std::vector<float> tmp(width_ * height_), dst(tmp.size());
+        for (uint32_t y = 0; y < height_; ++y)
+            for (uint32_t x = 0; x < width_; ++x) {
+                float acc = 0.0f;
+                for (uint32_t k = 0; k <= 2 * kRadius; ++k) {
+                    int cx = clampI(int(x + k) - int(kRadius), 0,
+                                    int(width_) - 1);
+                    acc += src[y * width_ + cx] * taps[k];
+                }
+                tmp[y * width_ + x] = acc;
+            }
+        for (uint32_t y = 0; y < height_; ++y)
+            for (uint32_t x = 0; x < width_; ++x) {
+                float acc = 0.0f;
+                for (uint32_t k = 0; k <= 2 * kRadius; ++k) {
+                    int cy = clampI(int(y + k) - int(kRadius), 0,
+                                    int(height_) - 1);
+                    acc += tmp[cy * width_ + x] * taps[k];
+                }
+                dst[y * width_ + x] = acc;
+            }
+        for (uint32_t i = 0; i < width_ * height_; ++i)
+            if (!nearlyEqual(dst_[i], dst[i], 1e-3, 1e-4))
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t width_ = 0, height_ = 0;
+    Buffer<float> src_, tmp_, dst_, taps_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeConvolution()
+{
+    return std::make_unique<Convolution>();
+}
+
+} // namespace gwc::workloads

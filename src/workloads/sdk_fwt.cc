@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FastWalshTransform (FWT) — CUDA SDK group.
+ *
+ * In-place iterative Walsh-Hadamard butterflies over global memory,
+ * one launch per stage. The stride halves every stage, sweeping the
+ * access pattern from fully coalesced to fine-grained intra-segment
+ * shuffles — a coalescing-diverse integer workload.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+fwtKernel(Warp &w)
+{
+    uint64_t data = w.param<uint64_t>(0);
+    uint32_t stride = w.param<uint32_t>(1);
+
+    Reg<uint32_t> i = w.globalIdX();
+    // pos = (i / stride) * 2*stride + (i % stride)
+    Reg<uint32_t> hi = (i / stride) * (2 * stride);
+    Reg<uint32_t> lo = i % stride;
+    Reg<uint32_t> pos = hi + lo;
+    Reg<int32_t> a = w.ldg<int32_t>(data, pos);
+    Reg<int32_t> b = w.ldg<int32_t>(data, pos + stride);
+    w.stg<int32_t>(data, pos, a + b);
+    w.stg<int32_t>(data, pos + stride, a - b);
+    co_return;
+}
+
+class FastWalsh : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "FastWalshTransform", "FWT",
+            "multi-stage global-memory butterflies, stride sweep"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 8192 * scale;
+        Rng rng(0xF417);
+        data_ = e.alloc<int32_t>(n_);
+        host_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            int32_t v = int32_t(rng.nextBelow(16)) - 8;
+            data_.set(i, v);
+            host_[i] = v;
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        for (uint32_t stride = n_ / 2; stride >= 1; stride /= 2) {
+            KernelParams p;
+            p.push(data_.addr()).push(stride);
+            e.launch("butterfly", fwtKernel,
+                     Dim3(n_ / 2 / cta), Dim3(cta), 0, p);
+        }
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        // Reference WHT with the same butterfly schedule.
+        for (uint32_t stride = n_ / 2; stride >= 1; stride /= 2) {
+            for (uint32_t i = 0; i < n_ / 2; ++i) {
+                uint32_t pos = (i / stride) * 2 * stride + i % stride;
+                int32_t a = host_[pos], b = host_[pos + stride];
+                host_[pos] = a + b;
+                host_[pos + stride] = a - b;
+            }
+        }
+        for (uint32_t i = 0; i < n_; ++i)
+            if (data_[i] != host_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    Buffer<int32_t> data_;
+    std::vector<int32_t> host_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeFastWalsh()
+{
+    return std::make_unique<FastWalsh>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Histogram64 (HIST) — CUDA SDK group.
+ *
+ * 64-bin histogram: per-CTA shared-memory bins updated with shared
+ * atomics from a grid-strided loop, merged into the global histogram
+ * with global atomics. Atomic-heavy with data-dependent bank
+ * conflicts.
+ */
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kBins = 64;
+
+WarpTask
+histKernel(Warp &w)
+{
+    uint64_t data = w.param<uint64_t>(0);
+    uint64_t hist = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+    uint32_t iters = w.param<uint32_t>(3);
+    uint32_t ctaThreads = w.ctaDim().x;
+    uint32_t stride = w.gridDim().x * ctaThreads;
+
+    Reg<uint32_t> tid = w.tidLinear();
+    Reg<uint32_t> gid = w.globalIdX();
+
+    // Zero the shared bins (first kBins threads).
+    w.If(tid < kBins, [&] { w.stsE<uint32_t>(0, tid, w.imm(0u)); });
+    co_await w.barrier();
+
+    for (uint32_t k = 0; w.uniform(k < iters); ++k) {
+        Reg<uint32_t> idx = gid + k * stride;
+        w.If(idx < n, [&] {
+            Reg<uint32_t> v = w.ldg<uint32_t>(data, idx);
+            Reg<uint32_t> off = (v & (kBins - 1)) << 2;
+            w.atomicAddShared<uint32_t>(off, w.imm(1u));
+        });
+    }
+    co_await w.barrier();
+
+    w.If(tid < kBins, [&] {
+        Reg<uint32_t> cnt = w.ldsE<uint32_t>(0, tid);
+        Reg<uint64_t> addr = w.gaddr<uint32_t>(hist, tid);
+        w.atomicAddGlobal<uint32_t>(addr, cnt);
+    });
+    co_return;
+}
+
+class Histogram64 : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "Histogram64", "HIST",
+            "atomic-heavy binning with shared-memory privatization"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 131072 * scale;
+        Rng rng(0x415);
+        data_ = e.alloc<uint32_t>(n_);
+        hist_ = e.alloc<uint32_t>(kBins);
+        hist_.fill(0);
+        expected_.assign(kBins, 0);
+        for (uint32_t i = 0; i < n_; ++i) {
+            // Skewed distribution: conflicts concentrate on low bins.
+            uint32_t v = uint32_t(rng.nextBelow(kBins));
+            if (rng.nextBelow(4) == 0)
+                v &= 0x7;
+            data_.set(i, v);
+            ++expected_[v & (kBins - 1)];
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t ctas = 32, cta = 128;
+        uint32_t iters = n_ / (ctas * cta);
+        KernelParams p;
+        p.push(data_.addr()).push(hist_.addr()).push(n_).push(iters);
+        e.launch("hist", histKernel, Dim3(ctas), Dim3(cta),
+                 kBins * sizeof(uint32_t), p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        for (uint32_t b = 0; b < kBins; ++b)
+            if (hist_[b] != expected_[b])
+                return false;
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    Buffer<uint32_t> data_, hist_;
+    std::vector<uint32_t> expected_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeHistogram64()
+{
+    return std::make_unique<Histogram64>();
+}
+
+} // namespace gwc::workloads

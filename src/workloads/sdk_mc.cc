@@ -1,0 +1,152 @@
+/**
+ * @file
+ * MonteCarlo (MC) — CUDA SDK group.
+ *
+ * Monte-Carlo European option pricing: every thread owns one option
+ * and integrates over simulated price paths with an inline xorshift
+ * RNG and Box-Muller normals. Long serial dependence chains (the RNG
+ * state) with SFU-saturated path math and almost no memory traffic —
+ * the ILP/SFU corner of the workload space.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kPaths = 32;
+constexpr float kRate = 0.02f;
+constexpr float kVol = 0.3f;
+constexpr float kYears = 1.0f;
+constexpr float kToUnit = 2.3283064365386963e-10f; // 2^-32
+
+WarpTask
+mcKernel(Warp &w)
+{
+    uint64_t s0Ptr = w.param<uint64_t>(0);
+    uint64_t xPtr = w.param<uint64_t>(1);
+    uint64_t outPtr = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> s0 = w.ldg<float>(s0Ptr, i);
+        Reg<float> strike = w.ldg<float>(xPtr, i);
+        Reg<uint32_t> state = i * 2654435761u + 12345u;
+
+        auto nextU = [&]() {
+            state = state ^ (state << 13);
+            state = state ^ (state >> 17);
+            state = state ^ (state << 5);
+            return w.cast<float>(state) * kToUnit;
+        };
+
+        float drift = (kRate - 0.5f * kVol * kVol) * kYears;
+        float sigmaT = kVol * std::sqrt(kYears);
+
+        Reg<float> payoff = w.imm(0.0f);
+        for (uint32_t p = 0; w.uniform(p < kPaths); ++p) {
+            Reg<float> u1 = w.max(nextU(), w.imm(1e-7f));
+            Reg<float> u2 = nextU();
+            // Box-Muller normal deviate.
+            Reg<float> z =
+                w.sqrt(w.log(u1) * -2.0f) *
+                w.cos(u2 * 6.2831853071795864f);
+            Reg<float> st =
+                s0 * w.exp(z * sigmaT + drift);
+            Reg<float> gain = st - strike;
+            payoff = payoff + w.max(gain, w.imm(0.0f));
+        }
+        w.stg<float>(outPtr, i, payoff * (1.0f / float(kPaths)));
+    });
+    co_return;
+}
+
+class MonteCarlo : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "MonteCarlo", "MC",
+            "RNG path integration: serial chains, SFU saturation"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 4096 * scale;
+        Rng rng(0x3C);
+        s0_ = e.alloc<float>(n_);
+        x_ = e.alloc<float>(n_);
+        out_ = e.alloc<float>(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            s0_.set(i, rng.nextRange(5.0f, 50.0f));
+            x_.set(i, rng.nextRange(5.0f, 50.0f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p;
+        p.push(s0_.addr()).push(x_.addr()).push(out_.addr()).push(n_);
+        e.launch("pricePaths", mcKernel,
+                 Dim3(uint32_t(ceilDiv(n_, 128u))), Dim3(128), 0, p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        float drift = (kRate - 0.5f * kVol * kVol) * kYears;
+        float sigmaT = kVol * std::sqrt(kYears);
+        for (uint32_t i = 0; i < n_; ++i) {
+            uint32_t state = i * 2654435761u + 12345u;
+            auto nextU = [&]() {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                return float(state) * kToUnit;
+            };
+            float payoff = 0.0f;
+            for (uint32_t p = 0; p < kPaths; ++p) {
+                float u1 = std::fmax(nextU(), 1e-7f);
+                float u2 = nextU();
+                float z = std::sqrt(-2.0f * std::log(u1)) *
+                          std::cos(6.2831853071795864f * u2);
+                float st =
+                    s0_[i] * std::exp(drift + sigmaT * z);
+                payoff += std::fmax(st - x_[i], 0.0f);
+            }
+            payoff /= float(kPaths);
+            if (!nearlyEqual(out_[i], payoff, 2e-3, 2e-3))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    Buffer<float> s0_, x_, out_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeMonteCarlo()
+{
+    return std::make_unique<MonteCarlo>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MatrixMul (MM) — CUDA SDK group.
+ *
+ * Classic 16x16 shared-memory tiled dense matrix multiply: 2D CTAs,
+ * double barrier per tile, perfectly coalesced tile loads and heavy
+ * FP/shared-memory traffic with high ILP in the inner product.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+constexpr uint32_t kTile = 16;
+
+WarpTask
+matmulKernel(Warp &w)
+{
+    uint64_t aPtr = w.param<uint64_t>(0);
+    uint64_t bPtr = w.param<uint64_t>(1);
+    uint64_t cPtr = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+    const uint32_t asBase = 0;
+    const uint32_t bsBase = kTile * kTile * sizeof(float);
+
+    Reg<uint32_t> tx = w.tidX();
+    Reg<uint32_t> ty = w.tidY();
+    Reg<uint32_t> row = ty + w.ctaId().y * kTile;
+    Reg<uint32_t> col = tx + w.ctaId().x * kTile;
+
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t t = 0; w.uniform(t < n / kTile); ++t) {
+        Reg<uint32_t> aIdx = row * n + (tx + t * kTile);
+        Reg<uint32_t> bIdx = (ty + t * kTile) * n + col;
+        Reg<uint32_t> sIdx = ty * kTile + tx;
+        w.stsE<float>(asBase, sIdx, w.ldg<float>(aPtr, aIdx));
+        w.stsE<float>(bsBase, sIdx, w.ldg<float>(bPtr, bIdx));
+        co_await w.barrier();
+
+        for (uint32_t k = 0; w.uniform(k < kTile); ++k) {
+            Reg<float> av = w.ldsE<float>(asBase, ty * kTile + k);
+            Reg<float> bv = w.ldsE<float>(bsBase, tx + k * kTile);
+            acc = w.fma(av, bv, acc);
+        }
+        co_await w.barrier();
+    }
+    w.stg<float>(cPtr, row * n + col, acc);
+    co_return;
+}
+
+class MatrixMul : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "MatrixMul", "MM",
+            "tiled shared-memory dense matrix multiply"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 64 * scale;
+        Rng rng(0x4D4D);
+        a_ = e.alloc<float>(n_ * n_);
+        b_ = e.alloc<float>(n_ * n_);
+        c_ = e.alloc<float>(n_ * n_);
+        for (uint32_t i = 0; i < n_ * n_; ++i) {
+            a_.set(i, rng.nextRange(-1.0f, 1.0f));
+            b_.set(i, rng.nextRange(-1.0f, 1.0f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p;
+        p.push(a_.addr()).push(b_.addr()).push(c_.addr()).push(n_);
+        e.launch("matmul", matmulKernel,
+                 Dim3(n_ / kTile, n_ / kTile), Dim3(kTile, kTile),
+                 2 * kTile * kTile * sizeof(float), p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        auto a = a_.toHost();
+        auto b = b_.toHost();
+        for (uint32_t r = 0; r < n_; ++r) {
+            for (uint32_t c = 0; c < n_; ++c) {
+                float acc = 0.0f;
+                for (uint32_t k = 0; k < n_; ++k)
+                    acc += a[r * n_ + k] * b[k * n_ + c];
+                if (!nearlyEqual(c_[r * n_ + c], acc, 1e-3, 1e-3))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    uint32_t n_ = 0;
+    Buffer<float> a_, b_, c_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeMatrixMul()
+{
+    return std::make_unique<MatrixMul>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Parallel Reduction (RD) — CUDA SDK group.
+ *
+ * Two-stage sum reduction: per-CTA shared-memory tree followed by a
+ * single-CTA final pass. Barrier-dense, shared-memory-heavy, with
+ * shrinking active masks in the tree loop — one of the paper's named
+ * diverse workloads.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+/** Per-CTA tree reduction; each thread first sums two elements. */
+WarpTask
+reduceKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+    uint32_t ctaThreads = w.ctaDim().x;
+
+    Reg<uint32_t> tid = w.tidLinear();
+    Reg<uint32_t> base = w.globalIdX();
+    // First add during load: element i and i + gridSize.
+    uint32_t gridSpan = w.gridDim().x * ctaThreads;
+    Reg<float> sum = w.imm(0.0f);
+    w.If(base < n, [&] { sum = w.ldg<float>(in, base); });
+    Reg<uint32_t> second = base + gridSpan;
+    w.If(second < n,
+         [&] { sum = sum + w.ldg<float>(in, second); });
+
+    w.stsE<float>(0, tid, sum);
+    co_await w.barrier();
+
+    for (uint32_t s = ctaThreads / 2; w.uniform(s > 0); s >>= 1) {
+        w.If(tid < s, [&] {
+            Reg<float> a = w.ldsE<float>(0, tid);
+            Reg<float> b = w.ldsE<float>(0, tid + s);
+            w.stsE<float>(0, tid, a + b);
+        });
+        co_await w.barrier();
+    }
+
+    w.If(tid == w.imm(0u), [&] {
+        w.stg<float>(out, w.imm(w.ctaId().x),
+                     w.ldsE<float>(0, tid));
+    });
+    co_return;
+}
+
+class Reduction : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "Parallel Reduction", "RD",
+            "barrier-dense shared-memory tree reduction"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 65536 * scale;
+        ctas_ = 128;
+        Rng rng(0x4D);
+        in_ = e.alloc<float>(n_);
+        partial_ = e.alloc<float>(ctas_);
+        result_ = e.alloc<float>(1);
+        expected_ = 0.0;
+        for (uint32_t i = 0; i < n_; ++i) {
+            float v = rng.nextRange(-1.0f, 1.0f);
+            in_.set(i, v);
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 256;
+        KernelParams p1;
+        p1.push(in_.addr()).push(partial_.addr()).push(n_);
+        e.launch("reduce", reduceKernel, Dim3(ctas_), Dim3(cta),
+                 cta * sizeof(float), p1);
+
+        KernelParams p2;
+        p2.push(partial_.addr()).push(result_.addr()).push(ctas_);
+        e.launch("final", reduceKernel, Dim3(1), Dim3(cta),
+                 cta * sizeof(float), p2);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        // Mirror the device summation order: per-CTA tree over the
+        // grid-strided first-add, then the same tree over partials.
+        const uint32_t cta = 256;
+        auto treeReduce = [&](const std::vector<float> &vals,
+                              uint32_t numCtas) {
+            std::vector<float> parts(numCtas, 0.0f);
+            uint32_t span = numCtas * cta;
+            for (uint32_t c = 0; c < numCtas; ++c) {
+                std::vector<float> sm(cta, 0.0f);
+                for (uint32_t t = 0; t < cta; ++t) {
+                    uint32_t i = c * cta + t;
+                    float s = i < vals.size() ? vals[i] : 0.0f;
+                    if (i + span < vals.size())
+                        s += vals[i + span];
+                    sm[t] = s;
+                }
+                for (uint32_t s = cta / 2; s > 0; s >>= 1)
+                    for (uint32_t t = 0; t < s; ++t)
+                        sm[t] += sm[t + s];
+                parts[c] = sm[0];
+            }
+            return parts;
+        };
+
+        auto parts = treeReduce(in_.toHost(), ctas_);
+        for (uint32_t c = 0; c < ctas_; ++c)
+            if (!nearlyEqual(partial_[c], parts[c], 1e-4, 1e-4))
+                return false;
+        auto fin = treeReduce(parts, 1);
+        return nearlyEqual(result_[0], fin[0], 1e-4, 1e-4);
+    }
+
+  private:
+    uint32_t n_ = 0;
+    uint32_t ctas_ = 0;
+    double expected_ = 0.0;
+    Buffer<float> in_, partial_, result_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeReduction()
+{
+    return std::make_unique<Reduction>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Scan of Large Arrays (SLA) — CUDA SDK group.
+ *
+ * Three-kernel inclusive prefix sum: per-block Hillis-Steele scan in
+ * shared memory, a single-CTA scan of the block sums, and a uniform
+ * add pass. Mixes barrier-heavy shared-memory phases with divergent
+ * offset branches — another of the paper's named diverse workloads.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+/**
+ * Inclusive Hillis-Steele scan of one 256-element block in shared
+ * memory (double buffered); also writes the block total.
+ */
+WarpTask
+scanBlockKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    uint64_t sums = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+    uint32_t ctaThreads = w.ctaDim().x;
+    uint32_t bufBytes = ctaThreads * sizeof(uint32_t);
+
+    Reg<uint32_t> tid = w.tidLinear();
+    Reg<uint32_t> gid = w.globalIdX();
+
+    Reg<uint32_t> x = w.imm(0u);
+    w.If(gid < n, [&] { x = w.ldg<uint32_t>(in, gid); });
+    w.stsE<uint32_t>(0, tid, x);
+    co_await w.barrier();
+
+    uint32_t buf = 0;
+    for (uint32_t off = 1; w.uniform(off < ctaThreads); off <<= 1) {
+        Reg<uint32_t> v = w.ldsE<uint32_t>(buf * bufBytes, tid);
+        w.If(tid >= w.imm(off), [&] {
+            v = v + w.ldsE<uint32_t>(buf * bufBytes, tid - off);
+        });
+        w.stsE<uint32_t>((1 - buf) * bufBytes, tid, v);
+        buf = 1 - buf;
+        co_await w.barrier();
+    }
+
+    Reg<uint32_t> r = w.ldsE<uint32_t>(buf * bufBytes, tid);
+    w.If(gid < n, [&] { w.stg<uint32_t>(out, gid, r); });
+    w.If(tid == w.imm(ctaThreads - 1), [&] {
+        w.stg<uint32_t>(sums, w.imm(w.ctaId().x), r);
+    });
+    co_return;
+}
+
+/** Adds the scanned sum of all preceding blocks to each element. */
+WarpTask
+addUniformKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint64_t sums = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+
+    uint32_t ctaX = w.ctaId().x;
+    Reg<uint32_t> gid = w.globalIdX();
+    if (w.uniform(ctaX > 0)) {
+        Reg<uint32_t> add =
+            w.ldg<uint32_t>(sums, w.imm(ctaX - 1));
+        w.If(gid < n, [&] {
+            Reg<uint32_t> v = w.ldg<uint32_t>(out, gid);
+            w.stg<uint32_t>(out, gid, v + add);
+        });
+    }
+    co_return;
+}
+
+class ScanLargeArrays : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "Scan of Large Arrays", "SLA",
+            "multi-kernel prefix sum with shared-memory scans"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        n_ = 32768 * scale;
+        cta_ = 256;
+        blocks_ = uint32_t(ceilDiv(n_, cta_));
+        Rng rng(0x51A);
+        in_ = e.alloc<uint32_t>(n_);
+        out_ = e.alloc<uint32_t>(n_);
+        sums_ = e.alloc<uint32_t>(blocks_);
+        for (uint32_t i = 0; i < n_; ++i)
+            in_.set(i, uint32_t(rng.nextBelow(100)));
+    }
+
+    void
+    run(Engine &e) override
+    {
+        KernelParams p1;
+        p1.push(in_.addr()).push(out_.addr()).push(sums_.addr())
+            .push(n_);
+        e.launch("scanBlocks", scanBlockKernel, Dim3(blocks_),
+                 Dim3(cta_), 2 * cta_ * sizeof(uint32_t), p1);
+
+        // Scan the per-block sums in place (blocks_ <= cta_).
+        KernelParams p2;
+        p2.push(sums_.addr()).push(sums_.addr())
+            .push(scratch(e).addr()).push(blocks_);
+        e.launch("scanSums", scanBlockKernel, Dim3(1), Dim3(cta_),
+                 2 * cta_ * sizeof(uint32_t), p2);
+
+        KernelParams p3;
+        p3.push(out_.addr()).push(sums_.addr()).push(n_);
+        e.launch("addUniform", addUniformKernel, Dim3(blocks_),
+                 Dim3(cta_), 0, p3);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        auto host = in_.toHost();
+        uint64_t acc = 0;
+        for (uint32_t i = 0; i < n_; ++i) {
+            acc += host[i];
+            if (out_[i] != uint32_t(acc))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    Buffer<uint32_t> &
+    scratch(Engine &e)
+    {
+        if (scratch_.size() == 0)
+            scratch_ = e.alloc<uint32_t>(1);
+        return scratch_;
+    }
+
+    uint32_t n_ = 0, cta_ = 0, blocks_ = 0;
+    Buffer<uint32_t> in_, out_, sums_, scratch_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeScanLargeArrays()
+{
+    return std::make_unique<ScanLargeArrays>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ScalarProd (SPROD) — CUDA SDK group.
+ *
+ * Batched dot products: one CTA per vector pair, grid-strided
+ * per-thread accumulation followed by a shared-memory tree. Streaming
+ * loads with high FP intensity and a barrier phase per pair.
+ */
+
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+sprodKernel(Warp &w)
+{
+    uint64_t aPtr = w.param<uint64_t>(0);
+    uint64_t bPtr = w.param<uint64_t>(1);
+    uint64_t outPtr = w.param<uint64_t>(2);
+    uint32_t elems = w.param<uint32_t>(3);
+    uint32_t ctaThreads = w.ctaDim().x;
+    uint32_t pair = w.ctaId().x;
+    uint32_t base = pair * elems;
+
+    Reg<uint32_t> tid = w.tidLinear();
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t k = 0; w.uniform(k < elems / ctaThreads); ++k) {
+        Reg<uint32_t> idx = tid + (base + k * ctaThreads);
+        Reg<float> av = w.ldg<float>(aPtr, idx);
+        Reg<float> bv = w.ldg<float>(bPtr, idx);
+        acc = w.fma(av, bv, acc);
+    }
+
+    w.stsE<float>(0, tid, acc);
+    co_await w.barrier();
+    for (uint32_t s = ctaThreads / 2; w.uniform(s > 0); s >>= 1) {
+        w.If(tid < s, [&] {
+            Reg<float> x = w.ldsE<float>(0, tid);
+            Reg<float> y = w.ldsE<float>(0, tid + s);
+            w.stsE<float>(0, tid, x + y);
+        });
+        co_await w.barrier();
+    }
+    w.If(tid == w.imm(0u), [&] {
+        w.stg<float>(outPtr, w.imm(pair), w.ldsE<float>(0, tid));
+    });
+    co_return;
+}
+
+class ScalarProd : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "SDK", "ScalarProd", "SPROD",
+            "batched dot products with per-CTA reduction"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        pairs_ = 64;
+        elems_ = 2048 * scale;
+        Rng rng(0x5950);
+        a_ = e.alloc<float>(pairs_ * elems_);
+        b_ = e.alloc<float>(pairs_ * elems_);
+        out_ = e.alloc<float>(pairs_);
+        for (uint32_t i = 0; i < pairs_ * elems_; ++i) {
+            a_.set(i, rng.nextRange(-1.0f, 1.0f));
+            b_.set(i, rng.nextRange(-1.0f, 1.0f));
+        }
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p;
+        p.push(a_.addr()).push(b_.addr()).push(out_.addr())
+            .push(elems_);
+        e.launch("sprod", sprodKernel, Dim3(pairs_), Dim3(cta),
+                 cta * sizeof(float), p);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        auto a = a_.toHost();
+        auto b = b_.toHost();
+        for (uint32_t pr = 0; pr < pairs_; ++pr) {
+            double acc = 0.0;
+            for (uint32_t i = 0; i < elems_; ++i)
+                acc += double(a[pr * elems_ + i]) *
+                       double(b[pr * elems_ + i]);
+            if (!nearlyEqual(out_[pr], acc, 5e-3, 5e-3))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t pairs_ = 0, elems_ = 0;
+    Buffer<float> a_, b_, out_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeScalarProd()
+{
+    return std::make_unique<ScalarProd>();
+}
+
+} // namespace gwc::workloads

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Similarity Score (SS) — MARS-style document similarity.
+ *
+ * Cosine similarity of sparse document pairs: a norm kernel (variable
+ * per-document term loops) and a score kernel whose sorted-list
+ * intersection loop branches three ways per step. The paper names SS
+ * as diverse in both the branch-divergence and memory-coalescing
+ * subspaces — the merge loop is the reason.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using namespace simt;
+
+WarpTask
+normKernel(Warp &w)
+{
+    uint64_t docPtr = w.param<uint64_t>(0);
+    uint64_t weights = w.param<uint64_t>(1);
+    uint64_t norms = w.param<uint64_t>(2);
+    uint32_t docs = w.param<uint32_t>(3);
+
+    Reg<uint32_t> d = w.globalIdX();
+    w.If(d < docs, [&] {
+        Reg<uint32_t> j = w.ldg<uint32_t>(docPtr, d);
+        Reg<uint32_t> end = w.ldg<uint32_t>(docPtr, d + 1u);
+        Reg<float> acc = w.imm(0.0f);
+        w.While([&] { return j < end; },
+                [&] {
+                    Reg<float> wt = w.ldg<float>(weights, j);
+                    acc = w.fma(wt, wt, acc);
+                    j = j + 1u;
+                });
+        w.stg<float>(norms, d, acc);
+    });
+    co_return;
+}
+
+WarpTask
+scoreKernel(Warp &w)
+{
+    uint64_t docPtr = w.param<uint64_t>(0);
+    uint64_t terms = w.param<uint64_t>(1);
+    uint64_t weights = w.param<uint64_t>(2);
+    uint64_t norms = w.param<uint64_t>(3);
+    uint64_t pairs = w.param<uint64_t>(4); // 2 u32 per pair
+    uint64_t scores = w.param<uint64_t>(5);
+    uint32_t numPairs = w.param<uint32_t>(6);
+
+    Reg<uint32_t> p = w.globalIdX();
+    w.If(p < numPairs, [&] {
+        Reg<uint32_t> a = w.ldg<uint32_t>(pairs, p * 2u);
+        Reg<uint32_t> b = w.ldg<uint32_t>(pairs, p * 2u + 1u);
+        Reg<uint32_t> i = w.ldg<uint32_t>(docPtr, a);
+        Reg<uint32_t> endA = w.ldg<uint32_t>(docPtr, a + 1u);
+        Reg<uint32_t> j = w.ldg<uint32_t>(docPtr, b);
+        Reg<uint32_t> endB = w.ldg<uint32_t>(docPtr, b + 1u);
+
+        Reg<float> dot = w.imm(0.0f);
+        w.While(
+            [&] { return (i < endA) && (j < endB); },
+            [&] {
+                Reg<uint32_t> ta = w.ldg<uint32_t>(terms, i);
+                Reg<uint32_t> tb = w.ldg<uint32_t>(terms, j);
+                Pred eq = ta == tb;
+                Pred lt = ta < tb;
+                w.If(eq, [&] {
+                    Reg<float> wa = w.ldg<float>(weights, i);
+                    Reg<float> wb = w.ldg<float>(weights, j);
+                    dot = w.fma(wa, wb, dot);
+                });
+                // Advance i on (eq | lt), j on (eq | gt).
+                i = w.select(eq || lt, i + 1u, i);
+                j = w.select(eq || !lt, j + 1u, j);
+            });
+
+        Reg<float> na = w.ldg<float>(norms, a);
+        Reg<float> nb = w.ldg<float>(norms, b);
+        Reg<float> score = dot * w.rsqrt(na) * w.rsqrt(nb);
+        w.stg<float>(scores, p, score);
+    });
+    co_return;
+}
+
+class SimilarityScore : public Workload
+{
+  public:
+    const WorkloadDesc &
+    desc() const override
+    {
+        static const WorkloadDesc d{
+            "Rodinia", "Similarity Score", "SS",
+            "sparse cosine similarity: 3-way merge divergence"};
+        return d;
+    }
+
+    void
+    setup(Engine &e, uint32_t scale) override
+    {
+        docs_ = 512;
+        numPairs_ = 2048 * scale;
+        vocab_ = 2048;
+        Rng rng(0x55AA);
+
+        docPtrHost_.assign(docs_ + 1, 0);
+        for (uint32_t d = 0; d < docs_; ++d)
+            docPtrHost_[d + 1] =
+                docPtrHost_[d] + 8 + uint32_t(rng.nextBelow(56));
+        uint32_t total = docPtrHost_[docs_];
+        termsHost_.resize(total);
+        weightsHost_.resize(total);
+        for (uint32_t d = 0; d < docs_; ++d) {
+            uint32_t len = docPtrHost_[d + 1] - docPtrHost_[d];
+            // Sorted unique term ids via strided sampling.
+            uint32_t t = uint32_t(rng.nextBelow(vocab_ / len));
+            for (uint32_t k = 0; k < len; ++k) {
+                termsHost_[docPtrHost_[d] + k] = t;
+                t += 1 + uint32_t(rng.nextBelow(
+                         std::max<uint32_t>(1, vocab_ / len)));
+                weightsHost_[docPtrHost_[d] + k] =
+                    rng.nextRange(0.1f, 1.0f);
+            }
+        }
+        pairsHost_.resize(numPairs_ * 2);
+        for (uint32_t p = 0; p < numPairs_ * 2; ++p)
+            pairsHost_[p] = uint32_t(rng.nextBelow(docs_));
+
+        docPtr_ = e.alloc<uint32_t>(docs_ + 1);
+        terms_ = e.alloc<uint32_t>(total);
+        weights_ = e.alloc<float>(total);
+        norms_ = e.alloc<float>(docs_);
+        pairs_ = e.alloc<uint32_t>(numPairs_ * 2);
+        scores_ = e.alloc<float>(numPairs_);
+        docPtr_.fromHost(docPtrHost_);
+        terms_.fromHost(termsHost_);
+        weights_.fromHost(weightsHost_);
+        pairs_.fromHost(pairsHost_);
+    }
+
+    void
+    run(Engine &e) override
+    {
+        const uint32_t cta = 128;
+        KernelParams p1;
+        p1.push(docPtr_.addr()).push(weights_.addr())
+            .push(norms_.addr()).push(docs_);
+        e.launch("norms", normKernel,
+                 Dim3(uint32_t(ceilDiv(docs_, cta))), Dim3(cta), 0,
+                 p1);
+
+        KernelParams p2;
+        p2.push(docPtr_.addr()).push(terms_.addr())
+            .push(weights_.addr()).push(norms_.addr())
+            .push(pairs_.addr()).push(scores_.addr())
+            .push(numPairs_);
+        e.launch("score", scoreKernel,
+                 Dim3(uint32_t(ceilDiv(numPairs_, cta))), Dim3(cta),
+                 0, p2);
+    }
+
+    bool
+    verify(Engine &) override
+    {
+        std::vector<float> norms(docs_);
+        for (uint32_t d = 0; d < docs_; ++d) {
+            float acc = 0.0f;
+            for (uint32_t j = docPtrHost_[d]; j < docPtrHost_[d + 1];
+                 ++j)
+                acc += weightsHost_[j] * weightsHost_[j];
+            norms[d] = acc;
+            if (!nearlyEqual(norms_[d], acc, 1e-3, 1e-4))
+                return false;
+        }
+        for (uint32_t p = 0; p < numPairs_; ++p) {
+            uint32_t a = pairsHost_[p * 2], b = pairsHost_[p * 2 + 1];
+            uint32_t i = docPtrHost_[a], endA = docPtrHost_[a + 1];
+            uint32_t j = docPtrHost_[b], endB = docPtrHost_[b + 1];
+            float dot = 0.0f;
+            while (i < endA && j < endB) {
+                uint32_t ta = termsHost_[i], tb = termsHost_[j];
+                if (ta == tb) {
+                    dot += weightsHost_[i] * weightsHost_[j];
+                    ++i;
+                    ++j;
+                } else if (ta < tb) {
+                    ++i;
+                } else {
+                    ++j;
+                }
+            }
+            float score = dot / std::sqrt(norms[a]) /
+                          std::sqrt(norms[b]);
+            if (!nearlyEqual(scores_[p], score, 2e-3, 2e-3))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    uint32_t docs_ = 0, numPairs_ = 0, vocab_ = 0;
+    std::vector<uint32_t> docPtrHost_, termsHost_, pairsHost_;
+    std::vector<float> weightsHost_;
+    Buffer<uint32_t> docPtr_, terms_, pairs_;
+    Buffer<float> weights_, norms_, scores_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Workload>
+makeSimilarityScore()
+{
+    return std::make_unique<SimilarityScore>();
+}
+
+} // namespace gwc::workloads

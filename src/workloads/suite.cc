@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Suite driver implementation.
+ */
+
+#include "workloads/suite.hh"
+
+#include "common/logging.hh"
+
+namespace gwc::workloads
+{
+
+std::vector<WorkloadRun>
+runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
+{
+    std::vector<std::string> list =
+        names.empty() ? workloadNames() : names;
+
+    std::vector<WorkloadRun> out;
+    out.reserve(list.size());
+    for (const auto &name : list) {
+        auto wl = makeWorkload(name);
+        WorkloadRun run;
+        run.desc = wl->desc();
+        if (opts.verbose)
+            inform("running %s (%s)", run.desc.abbrev.c_str(),
+                   run.desc.name.c_str());
+
+        simt::Engine engine;
+        metrics::Profiler::Config pcfg;
+        pcfg.ctaSampleStride = opts.ctaSampleStride;
+        metrics::Profiler profiler(pcfg);
+        wl->setup(engine, opts.scale);
+        engine.addHook(&profiler);
+        wl->run(engine);
+        engine.clearHooks();
+        run.profiles = profiler.finalize(run.desc.abbrev);
+
+        for (const auto &p : run.profiles)
+            run.totals.warpInstrs += p.warpInstrs;
+
+        if (opts.verify) {
+            run.verified = wl->verify(engine);
+            if (!run.verified)
+                fatal("workload %s failed verification",
+                      run.desc.abbrev.c_str());
+        }
+        out.push_back(std::move(run));
+    }
+    return out;
+}
+
+std::vector<metrics::KernelProfile>
+allProfiles(const std::vector<WorkloadRun> &runs)
+{
+    std::vector<metrics::KernelProfile> out;
+    for (const auto &r : runs)
+        for (const auto &p : r.profiles)
+            out.push_back(p);
+    return out;
+}
+
+stats::Matrix
+metricMatrix(const std::vector<metrics::KernelProfile> &profiles)
+{
+    stats::Matrix m(profiles.size(), metrics::kNumCharacteristics);
+    for (size_t r = 0; r < profiles.size(); ++r)
+        for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            m(r, c) = profiles[r].metrics[c];
+    return m;
+}
+
+std::vector<std::string>
+profileLabels(const std::vector<metrics::KernelProfile> &profiles)
+{
+    std::vector<std::string> out;
+    out.reserve(profiles.size());
+    for (const auto &p : profiles)
+        out.push_back(p.label());
+    return out;
+}
+
+} // namespace gwc::workloads

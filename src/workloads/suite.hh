@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Suite driver: runs workloads under the characterization profiler
+ * and assembles the kernel-by-characteristic matrix that feeds the
+ * PCA / clustering pipeline.
+ */
+
+#ifndef GWC_WORKLOADS_SUITE_HH
+#define GWC_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "metrics/profiler.hh"
+#include "stats/matrix.hh"
+#include "workloads/workload.hh"
+
+namespace gwc::workloads
+{
+
+/** Result of characterizing one workload. */
+struct WorkloadRun
+{
+    WorkloadDesc desc;
+    bool verified = false;
+    simt::LaunchStats totals;
+    std::vector<metrics::KernelProfile> profiles;
+};
+
+/** Options of a suite run. */
+struct SuiteOptions
+{
+    uint32_t scale = 1;      ///< input-size multiplier
+    bool verify = true;      ///< run host-reference checks
+    bool verbose = false;    ///< progress output
+    uint32_t ctaSampleStride = 1; ///< profiler CTA sampling
+};
+
+/**
+ * Run @p names (or every registered workload when empty) under the
+ * profiler and return per-workload results. Fatal if verification is
+ * enabled and any workload fails it.
+ */
+std::vector<WorkloadRun> runSuite(const std::vector<std::string> &names,
+                                  const SuiteOptions &opts = {});
+
+/** Flatten the kernel profiles of all runs in order. */
+std::vector<metrics::KernelProfile>
+allProfiles(const std::vector<WorkloadRun> &runs);
+
+/** Kernel x characteristic matrix from flattened profiles. */
+stats::Matrix metricMatrix(
+    const std::vector<metrics::KernelProfile> &profiles);
+
+/** "workload.kernel" labels matching metricMatrix rows. */
+std::vector<std::string>
+profileLabels(const std::vector<metrics::KernelProfile> &profiles);
+
+} // namespace gwc::workloads
+
+#endif // GWC_WORKLOADS_SUITE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Workload interface of the benchmark collection.
+ *
+ * Each workload reimplements the algorithmic core of one benchmark
+ * from the CUDA SDK / Parboil / Rodinia suites in the engine's kernel
+ * DSL, generates its own deterministic inputs, and verifies the device
+ * result against a scalar host reference.
+ */
+
+#ifndef GWC_WORKLOADS_WORKLOAD_HH
+#define GWC_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/engine.hh"
+
+namespace gwc::workloads
+{
+
+/** Static identification of a workload. */
+struct WorkloadDesc
+{
+    std::string suite;    ///< "SDK", "Parboil" or "Rodinia"
+    std::string name;     ///< long name, e.g. "Scan of Large Arrays"
+    std::string abbrev;   ///< short label used in figures, e.g. "SLA"
+    std::string summary;  ///< one-line behaviour summary
+};
+
+/**
+ * A runnable benchmark. Lifecycle: setup() allocates and fills device
+ * buffers, run() launches every kernel (possibly iteratively), and
+ * verify() checks device results against the host reference.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Identification. */
+    virtual const WorkloadDesc &desc() const = 0;
+
+    /**
+     * Allocate device buffers and generate inputs.
+     * @param scale input-size multiplier; 1 is the default geometry.
+     */
+    virtual void setup(simt::Engine &engine, uint32_t scale) = 0;
+
+    /** Launch all kernels of the workload. */
+    virtual void run(simt::Engine &engine) = 0;
+
+    /** Validate device results against the host reference. */
+    virtual bool verify(simt::Engine &engine) = 0;
+};
+
+/** Names of all registered workloads, in canonical suite order. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by abbreviation (fatal on unknown name). */
+std::unique_ptr<Workload> makeWorkload(const std::string &abbrev);
+
+} // namespace gwc::workloads
+
+#endif // GWC_WORKLOADS_WORKLOAD_HH

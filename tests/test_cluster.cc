@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for hierarchical clustering, k-means, BIC model
+ * selection, silhouette and medoids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+
+namespace gwc::cluster
+{
+namespace
+{
+
+using stats::Matrix;
+
+/** Three well-separated 2D blobs of 5 points each. */
+Matrix
+threeBlobs()
+{
+    std::vector<std::vector<double>> rows;
+    Rng rng(123);
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < 5; ++i)
+            rows.push_back({centers[c][0] + rng.nextDouble() * 0.5,
+                            centers[c][1] + rng.nextDouble() * 0.5});
+    return Matrix::fromRows(rows);
+}
+
+/** True if rows of one blob share a label and blobs differ. */
+bool
+labelsMatchBlobs(const std::vector<int> &labels)
+{
+    for (int c = 0; c < 3; ++c)
+        for (int i = 1; i < 5; ++i)
+            if (labels[c * 5 + i] != labels[c * 5])
+                return false;
+    std::set<int> uniq(labels.begin(), labels.end());
+    return uniq.size() == 3;
+}
+
+TEST(Hierarchical, RecoversBlobsAllLinkages)
+{
+    Matrix x = threeBlobs();
+    for (Linkage l : {Linkage::Single, Linkage::Complete,
+                      Linkage::Average, Linkage::Ward}) {
+        Dendrogram d = agglomerate(x, l);
+        EXPECT_EQ(d.merges().size(), 14u) << linkageName(l);
+        auto labels = d.cut(3);
+        EXPECT_TRUE(labelsMatchBlobs(labels)) << linkageName(l);
+    }
+}
+
+TEST(Hierarchical, MergeDistancesMonotone)
+{
+    Matrix x = threeBlobs();
+    for (Linkage l :
+         {Linkage::Single, Linkage::Complete, Linkage::Average}) {
+        Dendrogram d = agglomerate(x, l);
+        for (size_t i = 1; i < d.merges().size(); ++i)
+            EXPECT_GE(d.merges()[i].dist + 1e-12,
+                      d.merges()[i - 1].dist)
+                << linkageName(l);
+    }
+}
+
+TEST(Hierarchical, CutExtremes)
+{
+    Matrix x = threeBlobs();
+    Dendrogram d = agglomerate(x, Linkage::Average);
+    auto one = d.cut(1);
+    for (int l : one)
+        EXPECT_EQ(l, 0);
+    auto all = d.cut(15);
+    std::set<int> uniq(all.begin(), all.end());
+    EXPECT_EQ(uniq.size(), 15u);
+}
+
+TEST(Hierarchical, KnownTinyCase)
+{
+    // 1D points 0, 1, 10: first merge {0,1} at distance 1, then with
+    // 10. Complete linkage: second merge at distance 10.
+    Matrix x = Matrix::fromRows({{0}, {1}, {10}});
+    Dendrogram d = agglomerate(x, Linkage::Complete);
+    ASSERT_EQ(d.merges().size(), 2u);
+    EXPECT_DOUBLE_EQ(d.merges()[0].dist, 1.0);
+    EXPECT_DOUBLE_EQ(d.merges()[1].dist, 10.0);
+    EXPECT_EQ(d.merges()[0].size, 2u);
+    EXPECT_EQ(d.merges()[1].size, 3u);
+    // Single linkage: second merge at distance 9.
+    Dendrogram s = agglomerate(x, Linkage::Single);
+    EXPECT_DOUBLE_EQ(s.merges()[1].dist, 9.0);
+}
+
+TEST(Hierarchical, CopheneticDistance)
+{
+    Matrix x = Matrix::fromRows({{0}, {1}, {10}});
+    Dendrogram d = agglomerate(x, Linkage::Complete);
+    EXPECT_DOUBLE_EQ(d.copheneticDistance(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(d.copheneticDistance(0, 2), 10.0);
+    EXPECT_DOUBLE_EQ(d.copheneticDistance(2, 2), 0.0);
+}
+
+TEST(Hierarchical, RenderContainsAllLabels)
+{
+    Matrix x = threeBlobs();
+    Dendrogram d = agglomerate(x, Linkage::Ward);
+    std::vector<std::string> labels;
+    for (int i = 0; i < 15; ++i)
+        labels.push_back("leaf" + std::to_string(i));
+    std::string out = d.render(labels);
+    for (const auto &l : labels)
+        EXPECT_NE(out.find(l), std::string::npos) << l;
+    EXPECT_NE(out.find("d="), std::string::npos);
+}
+
+TEST(Kmeans, RecoversBlobs)
+{
+    Matrix x = threeBlobs();
+    Rng rng(1);
+    KmeansResult r = kmeans(x, 3, rng);
+    EXPECT_TRUE(labelsMatchBlobs(r.labels));
+    EXPECT_LT(r.inertia, 5.0);
+    auto sizes = r.sizes();
+    for (uint32_t s : sizes)
+        EXPECT_EQ(s, 5u);
+}
+
+TEST(Kmeans, SingleClusterCentroidIsMean)
+{
+    Matrix x = Matrix::fromRows({{0, 0}, {2, 2}, {4, 4}});
+    Rng rng(1);
+    KmeansResult r = kmeans(x, 1, rng);
+    EXPECT_DOUBLE_EQ(r.centroids(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(r.centroids(0, 1), 2.0);
+}
+
+TEST(Kmeans, KClampedToN)
+{
+    Matrix x = Matrix::fromRows({{0}, {5}});
+    Rng rng(1);
+    KmeansResult r = kmeans(x, 10, rng);
+    EXPECT_EQ(r.k, 2u);
+    EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(Kmeans, BicPrefersTrueK)
+{
+    Matrix x = threeBlobs();
+    Rng rng(2);
+    std::vector<double> bics;
+    uint32_t k = selectKByBic(x, 6, rng, &bics);
+    EXPECT_EQ(k, 3u);
+    EXPECT_EQ(bics.size(), 6u);
+    EXPECT_GT(bics[2], bics[0]);
+    EXPECT_GT(bics[2], bics[5]);
+}
+
+TEST(Kmeans, SilhouetteHighForSeparatedBlobs)
+{
+    Matrix x = threeBlobs();
+    Rng rng(4);
+    KmeansResult r = kmeans(x, 3, rng);
+    EXPECT_GT(silhouette(x, r.labels), 0.8);
+    // Degenerate k=1 labeling scores 0.
+    std::vector<int> ones(x.rows(), 0);
+    EXPECT_EQ(silhouette(x, ones), 0.0);
+}
+
+TEST(Kmeans, MedoidsAreClusterMembers)
+{
+    Matrix x = threeBlobs();
+    Rng rng(6);
+    KmeansResult r = kmeans(x, 3, rng);
+    auto med = medoids(x, r.labels, 3);
+    ASSERT_EQ(med.size(), 3u);
+    std::set<int> clustersCovered;
+    for (uint32_t m : med) {
+        ASSERT_LT(m, x.rows());
+        clustersCovered.insert(r.labels[m]);
+    }
+    EXPECT_EQ(clustersCovered.size(), 3u);
+}
+
+TEST(Kmeans, MedoidMinimizesIntraClusterDistance)
+{
+    // 1D cluster {0, 1, 2, 9}: medoid of a single cluster must be 1
+    // or 2 (minimum summed distance is at 1: 1+0+1+8=10; at 2:
+    // 2+1+0+7=10; tie broken by first index -> point 1).
+    Matrix x = Matrix::fromRows({{0}, {1}, {2}, {9}});
+    std::vector<int> labels{0, 0, 0, 0};
+    auto med = medoids(x, labels, 1);
+    EXPECT_EQ(med[0], 1u);
+}
+
+} // anonymous namespace
+} // namespace gwc::cluster

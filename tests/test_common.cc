@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the common utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace gwc
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, FloatRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, FloatCoversRange)
+{
+    Rng r(11);
+    bool low = false, high = false;
+    for (int i = 0; i < 10000; ++i) {
+        float f = r.nextFloat();
+        low = low || f < 0.1f;
+        high = high || f > 0.9f;
+    }
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(Rng, BelowBound)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(r.nextGaussian());
+    EXPECT_NEAR(mean(xs), 0.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(1, 32), 1u);
+    EXPECT_EQ(ceilDiv(0, 32), 0u);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+TEST(MathUtil, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(5), 8u);
+    EXPECT_EQ(nextPow2(64), 64u);
+}
+
+TEST(MathUtil, MeanStddev)
+{
+    std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(MathUtil, NearlyEqual)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-6));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.1));
+    EXPECT_TRUE(nearlyEqual(0.0, 1e-7));
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"a", "longheader"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("longheader"), std::string::npos);
+    EXPECT_NE(s.find("yyyy"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Csv)
+{
+    Table t({"k", "v"});
+    t.addRow({"a", "1"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "k,v\na,1\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+    EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(Table, RowSizeMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "table row");
+}
+
+TEST(Logging, Strfmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+} // anonymous namespace
+} // namespace gwc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the design-space evaluation metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "evalmetrics/evalmetrics.hh"
+
+namespace gwc::evalmetrics
+{
+namespace
+{
+
+using stats::Matrix;
+
+TEST(SubsetEstimate, PerfectClustersGiveExactEstimate)
+{
+    // 2 configs x 4 kernels; kernels 0,1 identical and 2,3 identical.
+    Matrix sp = Matrix::fromRows({{1.0, 1.0, 2.0, 2.0},
+                                  {3.0, 3.0, 1.0, 1.0}});
+    std::vector<int> labels{0, 0, 1, 1};
+    std::vector<uint32_t> reps{0, 2};
+    auto est = subsetEstimate(sp, labels, reps);
+    auto truth = suiteMeans(sp);
+    EXPECT_DOUBLE_EQ(est[0], truth[0]);
+    EXPECT_DOUBLE_EQ(est[1], truth[1]);
+    EXPECT_DOUBLE_EQ(meanAbsRelError(est, truth), 0.0);
+}
+
+TEST(SubsetEstimate, WeightsReflectClusterSizes)
+{
+    // Cluster 0 has 3 kernels, cluster 1 has 1.
+    Matrix sp = Matrix::fromRows({{2.0, 2.0, 2.0, 10.0}});
+    std::vector<int> labels{0, 0, 0, 1};
+    std::vector<uint32_t> reps{0, 3};
+    auto est = subsetEstimate(sp, labels, reps);
+    EXPECT_DOUBLE_EQ(est[0], 0.75 * 2.0 + 0.25 * 10.0);
+}
+
+TEST(SuiteMeans, Basic)
+{
+    Matrix sp = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    auto m = suiteMeans(sp);
+    EXPECT_DOUBLE_EQ(m[0], 2.0);
+    EXPECT_DOUBLE_EQ(m[1], 5.0);
+}
+
+TEST(MeanAbsRelError, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(meanAbsRelError({1.1, 0.9}, {1.0, 1.0}), 0.1);
+    EXPECT_DOUBLE_EQ(meanAbsRelError({2.0}, {2.0}), 0.0);
+}
+
+TEST(RandomSubset, FullSubsetHasZeroError)
+{
+    Matrix sp = Matrix::fromRows({{1, 2, 3, 4}, {2, 2, 2, 2}});
+    Rng rng(1);
+    EXPECT_NEAR(randomSubsetError(sp, 4, 10, rng), 0.0, 1e-12);
+}
+
+TEST(RandomSubset, SmallSubsetsErrMore)
+{
+    // Heterogeneous speedups: single-kernel subsets are bad.
+    std::vector<std::vector<double>> rows;
+    Rng gen(7);
+    for (int cfg = 0; cfg < 4; ++cfg) {
+        std::vector<double> r;
+        for (int k = 0; k < 12; ++k)
+            r.push_back(0.5 + gen.nextDouble() * 2.0);
+        rows.push_back(r);
+    }
+    Matrix sp = Matrix::fromRows(rows);
+    Rng rng(3);
+    double e1 = randomSubsetError(sp, 1, 200, rng);
+    double e6 = randomSubsetError(sp, 6, 200, rng);
+    EXPECT_GT(e1, e6);
+}
+
+TEST(StressRanking, OutlierRanksFirst)
+{
+    // 4 kernels x full metric vector; kernel 2 is extreme in the
+    // divergence subspace.
+    Matrix m(4, metrics::kNumCharacteristics);
+    for (size_t r = 0; r < 4; ++r) {
+        m(r, metrics::kDivBranchFrac) = 0.1;
+        m(r, metrics::kSimdActivity) = 0.9;
+        m(r, metrics::kDivPerKiloInstr) = 5.0;
+    }
+    m(2, metrics::kDivBranchFrac) = 0.9;
+    m(2, metrics::kSimdActivity) = 0.2;
+    m(2, metrics::kDivPerKiloInstr) = 200.0;
+
+    auto rank = stressRanking(m, metrics::Subspace::Divergence);
+    ASSERT_EQ(rank.size(), 4u);
+    EXPECT_EQ(rank[0].kernel, 2u);
+    EXPECT_GT(rank[0].score, rank[1].score);
+}
+
+TEST(Diversity, IdenticalKernelsScoreZero)
+{
+    Matrix m(3, metrics::kNumCharacteristics);
+    for (size_t r = 0; r < 3; ++r)
+        for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            m(r, c) = 0.5;
+    EXPECT_DOUBLE_EQ(
+        subspaceDiversity(m, metrics::Subspace::Coalescing), 0.0);
+}
+
+TEST(Diversity, SpreadIncreasesScore)
+{
+    Matrix tight(4, metrics::kNumCharacteristics);
+    Matrix wide(4, metrics::kNumCharacteristics);
+    for (size_t r = 0; r < 4; ++r) {
+        tight(r, metrics::kTxPerGmemAccess) = 1.0 + 0.01 * double(r);
+        tight(r, metrics::kCoalescingEff) = 0.9;
+        wide(r, metrics::kTxPerGmemAccess) = 1.0 + 10.0 * double(r);
+        wide(r, metrics::kCoalescingEff) = 0.1 + 0.25 * double(r);
+    }
+    // Z-scoring normalizes scale, so add a second varying dimension
+    // only to 'wide' and keep 'tight' constant in it.
+    double dTight =
+        subspaceDiversity(tight, metrics::Subspace::Coalescing);
+    double dWide =
+        subspaceDiversity(wide, metrics::Subspace::Coalescing);
+    EXPECT_GT(dWide, dTight);
+}
+
+TEST(Diversity, PerKernelMatchesOutlier)
+{
+    Matrix m(3, metrics::kNumCharacteristics);
+    m(0, metrics::kTxPerGmemAccess) = 1.0;
+    m(1, metrics::kTxPerGmemAccess) = 1.1;
+    m(2, metrics::kTxPerGmemAccess) = 30.0;
+    auto d = perKernelDiversity(m, metrics::Subspace::Coalescing);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_GT(d[2], d[0]);
+    EXPECT_GT(d[2], d[1]);
+}
+
+} // anonymous namespace
+} // namespace gwc::evalmetrics

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Unit tests for the characterization metrics: reuse-distance
+ * analyzer, ILP model, and the end-to-end profiler on kernels with
+ * known, hand-computable characteristics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/profiler.hh"
+#include "simt/engine.hh"
+
+namespace gwc::metrics
+{
+namespace
+{
+
+using simt::Dim3;
+using simt::Engine;
+using simt::KernelParams;
+using simt::Reg;
+using simt::Warp;
+using simt::WarpTask;
+
+// ---------------------------------------------------------------
+// ReuseDistanceAnalyzer
+// ---------------------------------------------------------------
+
+TEST(Reuse, ColdMissesOnly)
+{
+    ReuseDistanceAnalyzer r;
+    for (uint64_t i = 0; i < 100; ++i)
+        r.access(i);
+    EXPECT_EQ(r.total(), 100u);
+    EXPECT_EQ(r.coldMisses(), 100u);
+    EXPECT_EQ(r.shortReuses(), 0u);
+}
+
+TEST(Reuse, ImmediateReuseIsDistanceZero)
+{
+    ReuseDistanceAnalyzer r;
+    r.access(7);
+    r.access(7);
+    EXPECT_EQ(r.coldMisses(), 1u);
+    EXPECT_EQ(r.shortReuses(), 1u);
+    EXPECT_EQ(r.mediumReuses(), 1u);
+}
+
+TEST(Reuse, KnownStackDistance)
+{
+    // Access A, then 40 distinct lines, then A again: distance 40,
+    // which is > 32 (short) but <= 1024 (medium).
+    ReuseDistanceAnalyzer r;
+    r.access(1000);
+    for (uint64_t i = 0; i < 40; ++i)
+        r.access(i);
+    r.access(1000);
+    EXPECT_EQ(r.shortReuses(), 0u);
+    EXPECT_EQ(r.mediumReuses(), 1u);
+}
+
+TEST(Reuse, RepeatedLineDoesNotInflateDistance)
+{
+    // A, B, B, B, A: only one distinct line between the As.
+    ReuseDistanceAnalyzer r;
+    r.access(1);
+    r.access(2);
+    r.access(2);
+    r.access(2);
+    r.access(1);
+    // Distance of final A = 1 (just line 2) -> short.
+    EXPECT_EQ(r.shortReuses(), 3u); // two B reuses + final A
+}
+
+TEST(Reuse, CyclicSweepDistanceEqualsWorkingSet)
+{
+    // Sweep N lines cyclically twice; every reuse has distance N-1.
+    auto sweep = [](uint64_t n) {
+        ReuseDistanceAnalyzer r;
+        for (int pass = 0; pass < 2; ++pass)
+            for (uint64_t i = 0; i < n; ++i)
+                r.access(i);
+        return r;
+    };
+    auto small = sweep(20);
+    EXPECT_EQ(small.shortReuses(), 20u); // 19 < 32
+    auto medium = sweep(100);
+    EXPECT_EQ(medium.shortReuses(), 0u);
+    EXPECT_EQ(medium.mediumReuses(), 100u);
+    auto large = sweep(2000);
+    EXPECT_EQ(large.mediumReuses(), 0u);
+}
+
+TEST(Reuse, CapStopsAccounting)
+{
+    ReuseDistanceAnalyzer r(10);
+    for (uint64_t i = 0; i < 100; ++i)
+        r.access(i % 5);
+    EXPECT_EQ(r.total(), 10u);
+}
+
+// ---------------------------------------------------------------
+// IlpTracker
+// ---------------------------------------------------------------
+
+TEST(Ilp, IndependentStreamSaturatesWindow)
+{
+    IlpTracker t;
+    for (int i = 0; i < 1000; ++i)
+        t.record(0); // no dependences
+    // All instructions independent: issue limited only by the
+    // window; ILP approaches the window size.
+    EXPECT_NEAR(t.ilp(0), 8.0, 0.1);
+    EXPECT_NEAR(t.ilp(3), 64.0, 4.5);
+}
+
+TEST(Ilp, SerialChainHasIlpOne)
+{
+    IlpTracker t;
+    t.record(0);
+    for (int i = 0; i < 999; ++i)
+        t.record(1); // each depends on the previous
+    for (size_t w = 0; w < kIlpWindows.size(); ++w)
+        EXPECT_NEAR(t.ilp(w), 1.0, 0.01) << w;
+}
+
+TEST(Ilp, TwoInterleavedChainsHaveIlpTwo)
+{
+    IlpTracker t;
+    t.record(0);
+    t.record(0);
+    for (int i = 0; i < 998; ++i)
+        t.record(2); // depends on the instruction two back
+    EXPECT_NEAR(t.ilp(1), 2.0, 0.05);
+    EXPECT_NEAR(t.ilp(3), 2.0, 0.05);
+}
+
+TEST(Ilp, WindowLimitsFarParallelism)
+{
+    // Dependence distance 16: chains of parallelism 16, but a window
+    // of 8 can only exploit 8.
+    IlpTracker t;
+    for (int i = 0; i < 16; ++i)
+        t.record(0);
+    for (int i = 0; i < 984; ++i)
+        t.record(16);
+    EXPECT_NEAR(t.ilp(0), 8.0, 0.5);   // window 8
+    EXPECT_NEAR(t.ilp(2), 16.0, 1.0);  // window 32
+}
+
+TEST(Ilp, EmptyTrackerIsSafe)
+{
+    IlpTracker t;
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(t.ilp(0), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Profiler end-to-end
+// ---------------------------------------------------------------
+
+/** Run @p fn and return the single kernel profile it produces. */
+template <typename Fn>
+KernelProfile
+profileKernel(Fn fn, Dim3 grid, Dim3 cta, uint32_t smem,
+              KernelParams p, Engine &e)
+{
+    Profiler prof;
+    e.addHook(&prof);
+    e.launch("k", fn, grid, cta, smem, p);
+    e.clearHooks();
+    auto out = prof.finalize("T");
+    EXPECT_EQ(out.size(), 1u);
+    return out.front();
+}
+
+WarpTask
+streamKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> x = w.ldg<float>(in, i);
+    w.stg<float>(out, i, x * 2.0f);
+    co_return;
+}
+
+TEST(Profiler, CoalescedStreamKernel)
+{
+    Engine e;
+    const uint32_t n = 4096;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    in.fill(1.0f);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto prof =
+        profileKernel(streamKernel, Dim3(n / 256), Dim3(256), 0, p, e);
+
+    const MetricVector &m = prof.metrics;
+    // Unit-stride full-warp float accesses: perfect coalescing.
+    EXPECT_NEAR(m[kTxPerGmemAccess], 1.0, 1e-9);
+    EXPECT_NEAR(m[kCoalescingEff], 1.0, 1e-9);
+    EXPECT_NEAR(m[kStrideUnitFrac], 1.0, 1e-9);
+    EXPECT_EQ(m[kStrideUniformFrac], 0.0);
+    // No divergence, full activity.
+    EXPECT_EQ(m[kDivBranchFrac], 0.0);
+    EXPECT_NEAR(m[kSimdActivity], 1.0, 1e-9);
+    // Geometry.
+    EXPECT_DOUBLE_EQ(m[kLog2Threads], 12.0);
+    EXPECT_DOUBLE_EQ(m[kThreadsPerCta], 256.0);
+    // Streaming: no reuse at all.
+    EXPECT_EQ(m[kReuseShortFrac], 0.0);
+    // Footprint = 2 * 4096 * 4 bytes = 2^15.
+    EXPECT_DOUBLE_EQ(m[kLog2Footprint], 15.0);
+    // No inter-CTA sharing and no barriers.
+    EXPECT_EQ(m[kInterCtaSharedFrac], 0.0);
+    EXPECT_EQ(m[kBarriersPerKiloInstr], 0.0);
+}
+
+WarpTask
+stridedKernel(Warp &w)
+{
+    // Column-major style access: lane l touches element l*32, so
+    // every lane lands in its own 128B segment.
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> x = w.ldg<float>(in, i * 32u);
+    w.stg<float>(out, i, x);
+    co_return;
+}
+
+TEST(Profiler, FullyUncoalescedKernel)
+{
+    Engine e;
+    const uint32_t n = 1024;
+    auto in = e.alloc<float>(n * 32);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto prof =
+        profileKernel(stridedKernel, Dim3(n / 128), Dim3(128), 0, p, e);
+
+    const MetricVector &m = prof.metrics;
+    // Loads need 32 transactions; stores 1. Average 16.5.
+    EXPECT_NEAR(m[kTxPerGmemAccess], 16.5, 1e-6);
+    EXPECT_LT(m[kCoalescingEff], 0.1);
+    EXPECT_GT(m[kStrideIrregFrac], 0.45);
+}
+
+WarpTask
+broadcastLoadKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> x = w.ldg<float>(in, w.imm(0u)); // all lanes same addr
+    w.stg<float>(out, i, x);
+    co_return;
+}
+
+TEST(Profiler, BroadcastLoadIsUniformStride)
+{
+    Engine e;
+    auto in = e.alloc<float>(64);
+    auto out = e.alloc<float>(64);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto prof =
+        profileKernel(broadcastLoadKernel, Dim3(2), Dim3(32), 0, p, e);
+    // Half the accesses (the loads) have stride-0 pairs.
+    EXPECT_NEAR(prof.metrics[kStrideUniformFrac], 0.5, 1e-9);
+    // Load = 1 transaction, store = 1 transaction.
+    EXPECT_NEAR(prof.metrics[kTxPerGmemAccess], 1.0, 1e-9);
+}
+
+WarpTask
+divergentWorkKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> acc = w.imm(0u);
+    // Lane-dependent trip count: heavy divergence.
+    Reg<uint32_t> cnt = i % 32u;
+    w.While([&] { return cnt > 0u; },
+            [&] {
+                acc = acc + cnt;
+                cnt = cnt - 1u;
+            });
+    w.stg<uint32_t>(out, i, acc);
+    co_return;
+}
+
+TEST(Profiler, DivergentKernelHasLowActivity)
+{
+    Engine e;
+    const uint32_t n = 512;
+    auto out = e.alloc<uint32_t>(n);
+    KernelParams p;
+    p.push(out.addr());
+    auto prof = profileKernel(divergentWorkKernel, Dim3(n / 64),
+                              Dim3(64), 0, p, e);
+    const MetricVector &m = prof.metrics;
+    EXPECT_GT(m[kDivBranchFrac], 0.5);
+    EXPECT_LT(m[kSimdActivity], 0.7);
+    EXPECT_GT(m[kDivPerKiloInstr], 100.0);
+}
+
+WarpTask
+conflictKernel(Warp &w)
+{
+    // Lane l accesses shared word l*32: all lanes hit bank 0 ->
+    // 32-way conflict on every shared access.
+    Reg<uint32_t> lane = w.laneId();
+    Reg<uint32_t> off = lane * 128u; // *32 words * 4 bytes
+    w.stShared<uint32_t>(off, lane);
+    Reg<uint32_t> x = w.ldShared<uint32_t>(off);
+    w.stg<uint32_t>(w.param<uint64_t>(0), lane, x);
+    co_return;
+}
+
+TEST(Profiler, BankConflictDegree)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(32);
+    KernelParams p;
+    p.push(out.addr());
+    auto prof = profileKernel(conflictKernel, Dim3(1), Dim3(32),
+                              32 * 128 + 4, p, e);
+    EXPECT_NEAR(prof.metrics[kBankConflictDeg], 32.0, 1e-9);
+    // Round-trip value check while we're here.
+    for (uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(out[l], l);
+}
+
+WarpTask
+conflictFreeKernel(Warp &w)
+{
+    Reg<uint32_t> lane = w.laneId();
+    w.stsE<uint32_t>(0, lane, lane);
+    Reg<uint32_t> x = w.ldsE<uint32_t>(0, lane);
+    w.stg<uint32_t>(w.param<uint64_t>(0), lane, x);
+    co_return;
+}
+
+TEST(Profiler, ConflictFreeSharedAccess)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(32);
+    KernelParams p;
+    p.push(out.addr());
+    auto prof = profileKernel(conflictFreeKernel, Dim3(1), Dim3(32),
+                              32 * 4, p, e);
+    EXPECT_NEAR(prof.metrics[kBankConflictDeg], 1.0, 1e-9);
+}
+
+WarpTask
+sharedReadersKernel(Warp &w)
+{
+    // Every CTA reads the same table: 100% inter-CTA sharing on the
+    // table lines.
+    uint64_t table = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> t = w.tidLinear();
+    Reg<float> x = w.ldg<float>(table, t);
+    w.stg<float>(out, i, x);
+    co_return;
+}
+
+TEST(Profiler, InterCtaSharingDetected)
+{
+    Engine e;
+    auto table = e.alloc<float>(64);
+    auto out = e.alloc<float>(256);
+    KernelParams p;
+    p.push(table.addr()).push(out.addr());
+    auto prof = profileKernel(sharedReadersKernel, Dim3(4), Dim3(64),
+                              0, p, e);
+    // Table lines (2) are shared by 4 CTAs; output lines (8) are
+    // private. 2 / 10 = 0.2.
+    EXPECT_NEAR(prof.metrics[kInterCtaSharedFrac], 0.2, 1e-9);
+}
+
+WarpTask
+dependentChainKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> a = w.cast<float>(i);
+    for (int k = 0; k < 200; ++k)
+        a = a * 1.000001f + 0.5f; // two-op serial chain per step
+    w.stg<float>(out, i, a);
+    co_return;
+}
+
+WarpTask
+independentOpsKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> a = w.cast<float>(i);
+    Reg<float> s = w.imm(0.0f);
+    for (int k = 0; k < 100; ++k) {
+        // Each product depends only on loop-invariant 'a'.
+        Reg<float> t = a * float(k + 1);
+        s = s + t;
+    }
+    w.stg<float>(out, i, s);
+    co_return;
+}
+
+TEST(Profiler, IlpSeparatesSerialFromParallel)
+{
+    Engine e1, e2;
+    auto o1 = e1.alloc<float>(64);
+    auto o2 = e2.alloc<float>(64);
+    KernelParams p1, p2;
+    p1.push(o1.addr());
+    p2.push(o2.addr());
+    auto serial = profileKernel(dependentChainKernel, Dim3(2),
+                                Dim3(32), 0, p1, e1);
+    auto parallel = profileKernel(independentOpsKernel, Dim3(2),
+                                  Dim3(32), 0, p2, e2);
+    EXPECT_LT(serial.metrics[kIlp32], 1.5);
+    EXPECT_GT(parallel.metrics[kIlp32],
+              serial.metrics[kIlp32] * 1.3);
+}
+
+WarpTask
+barrierKernel(Warp &w)
+{
+    for (int k = 0; k < 10; ++k)
+        co_await w.barrier();
+    w.stg<uint32_t>(w.param<uint64_t>(0), w.tidLinear(), w.imm(1u));
+    co_return;
+}
+
+TEST(Profiler, BarrierIntensity)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(64);
+    KernelParams p;
+    p.push(out.addr());
+    auto prof =
+        profileKernel(barrierKernel, Dim3(1), Dim3(64), 0, p, e);
+    EXPECT_GT(prof.metrics[kBarriersPerKiloInstr], 100.0);
+    EXPECT_GT(prof.metrics[kFracSync], 0.1);
+}
+
+TEST(Profiler, RepeatedLaunchesMergeIntoOneProfile)
+{
+    Engine e;
+    const uint32_t n = 256;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+
+    Profiler prof;
+    e.addHook(&prof);
+    for (int k = 0; k < 3; ++k)
+        e.launch("iter", streamKernel, Dim3(2), Dim3(128), 0, p);
+    auto res = prof.finalize("W");
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].launches, 3u);
+    EXPECT_EQ(res[0].label(), "W.iter");
+    // Threads accumulate over launches: 3 * 256 = 768 -> log2 ~ 9.58.
+    EXPECT_NEAR(res[0].metrics[kLog2Threads], std::log2(768.0), 1e-9);
+}
+
+TEST(Profiler, DistinctKernelsKeepOrder)
+{
+    Engine e;
+    auto out = e.alloc<float>(64);
+    auto in = e.alloc<float>(64);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    Profiler prof;
+    e.addHook(&prof);
+    e.launch("first", streamKernel, Dim3(1), Dim3(64), 0, p);
+    e.launch("second", streamKernel, Dim3(1), Dim3(64), 0, p);
+    auto res = prof.finalize("W");
+    ASSERT_EQ(res.size(), 2u);
+    EXPECT_EQ(res[0].kernel, "first");
+    EXPECT_EQ(res[1].kernel, "second");
+}
+
+TEST(Profiler, MixFractionsSumBelowOne)
+{
+    Engine e;
+    const uint32_t n = 1024;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto prof =
+        profileKernel(streamKernel, Dim3(4), Dim3(256), 0, p, e);
+    const MetricVector &m = prof.metrics;
+    double sum = m[kFracIntAlu] + m[kFracFpAlu] + m[kFracSfu] +
+                 m[kFracGmemLd] + m[kFracGmemSt] + m[kFracSmem] +
+                 m[kFracAtomic] + m[kFracBranch] + m[kFracSync];
+    EXPECT_GT(sum, 0.5);
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    // Loads are 2/3 of global accesses here.
+    EXPECT_NEAR(m[kFracGmemLd] / (m[kFracGmemLd] + m[kFracGmemSt]),
+                0.5, 1e-9);
+}
+
+TEST(Characteristics, TableIsConsistent)
+{
+    const auto &tab = characteristicTable();
+    for (uint32_t i = 0; i < kNumCharacteristics; ++i) {
+        EXPECT_EQ(uint32_t(tab[i].id), i) << "table order broken";
+        EXPECT_NE(tab[i].name, nullptr);
+    }
+    // Every characteristic belongs to exactly one subspace and every
+    // subspace is non-empty.
+    size_t total = 0;
+    for (uint8_t s = 0; s < uint8_t(Subspace::NumSubspaces); ++s) {
+        auto idx = subspaceIndices(Subspace(s));
+        EXPECT_FALSE(idx.empty()) << subspaceName(Subspace(s));
+        total += idx.size();
+    }
+    EXPECT_EQ(total, size_t(kNumCharacteristics));
+}
+
+} // anonymous namespace
+} // namespace gwc::metrics

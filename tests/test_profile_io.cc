@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for profile persistence and CTA-sampled characterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "metrics/profile_io.hh"
+#include "workloads/suite.hh"
+
+namespace gwc::metrics
+{
+namespace
+{
+
+std::vector<KernelProfile>
+someProfiles()
+{
+    workloads::SuiteOptions opts;
+    opts.verify = false;
+    auto runs = workloads::runSuite({"BLS", "RD"}, opts);
+    return workloads::allProfiles(runs);
+}
+
+TEST(ProfileIo, RoundTripPreservesEverything)
+{
+    auto orig = someProfiles();
+    std::stringstream ss;
+    writeProfilesCsv(ss, orig);
+    auto back = readProfilesCsv(ss);
+
+    ASSERT_EQ(back.size(), orig.size());
+    for (size_t i = 0; i < orig.size(); ++i) {
+        EXPECT_EQ(back[i].workload, orig[i].workload);
+        EXPECT_EQ(back[i].kernel, orig[i].kernel);
+        EXPECT_EQ(back[i].grid.x, orig[i].grid.x);
+        EXPECT_EQ(back[i].cta.x, orig[i].cta.x);
+        EXPECT_EQ(back[i].launches, orig[i].launches);
+        EXPECT_EQ(back[i].warpInstrs, orig[i].warpInstrs);
+        for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+            EXPECT_NEAR(back[i].metrics[c], orig[i].metrics[c],
+                        1e-9 + 1e-7 * std::fabs(orig[i].metrics[c]))
+                << characteristicName(c);
+    }
+}
+
+TEST(ProfileIo, FileRoundTrip)
+{
+    auto orig = someProfiles();
+    std::string path = "/tmp/gwc_profiles_test.csv";
+    saveProfiles(path, orig);
+    auto back = loadProfiles(path);
+    EXPECT_EQ(back.size(), orig.size());
+    EXPECT_EQ(back[0].label(), orig[0].label());
+    std::remove(path.c_str());
+}
+
+TEST(ProfileIo, RejectsWrongHeader)
+{
+    std::stringstream ss;
+    ss << "bogus,header\n1,2\n";
+    EXPECT_EXIT(readProfilesCsv(ss), testing::ExitedWithCode(1),
+                "header");
+}
+
+TEST(ProfileIo, RejectsRaggedRow)
+{
+    auto orig = someProfiles();
+    std::stringstream ss;
+    writeProfilesCsv(ss, orig);
+    std::string text = ss.str() + "short,row\n";
+    std::stringstream bad(text);
+    EXPECT_EXIT(readProfilesCsv(bad), testing::ExitedWithCode(1),
+                "cells");
+}
+
+TEST(ProfileIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadProfiles("/nonexistent/gwc.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Sampling, HomogeneousKernelIsSamplingInvariant)
+{
+    // BLS runs identical CTAs; CTA-sampled fractions must match the
+    // full characterization almost exactly.
+    workloads::SuiteOptions fullOpt, samOpt;
+    fullOpt.verify = false;
+    samOpt.verify = false;
+    samOpt.ctaSampleStride = 4;
+    auto full = workloads::allProfiles(
+        workloads::runSuite({"BLS"}, fullOpt));
+    auto sam = workloads::allProfiles(
+        workloads::runSuite({"BLS"}, samOpt));
+
+    ASSERT_EQ(full.size(), 1u);
+    ASSERT_EQ(sam.size(), 1u);
+    // A quarter of the instructions observed.
+    EXPECT_NEAR(double(sam[0].warpInstrs),
+                double(full[0].warpInstrs) / 4.0,
+                double(full[0].warpInstrs) * 0.05);
+    // Rate/fraction characteristics survive sampling.
+    for (uint32_t c : {uint32_t(kFracFpAlu), uint32_t(kFracSfu),
+                       uint32_t(kSimdActivity),
+                       uint32_t(kTxPerGmemAccess),
+                       uint32_t(kCoalescingEff),
+                       uint32_t(kDivBranchFrac)})
+        EXPECT_NEAR(sam[0].metrics[c], full[0].metrics[c], 1e-6)
+            << characteristicName(c);
+}
+
+TEST(PhaseMode, PerLaunchSeparatesBfsLevels)
+{
+    simt::Engine engine;
+    Profiler::Config cfg;
+    cfg.perLaunch = true;
+    Profiler prof(cfg);
+    auto wl = workloads::makeWorkload("BFS");
+    wl->setup(engine, 1);
+    engine.addHook(&prof);
+    wl->run(engine);
+    engine.clearHooks();
+    auto profiles = prof.finalize("BFS");
+
+    // Several expand launches, each its own profile, suffixed #n.
+    uint32_t expands = 0;
+    double minAct = 1.0, maxAct = 0.0;
+    for (const auto &p : profiles) {
+        EXPECT_EQ(p.launches, 1u) << p.kernel;
+        if (p.kernel.rfind("expand#", 0) == 0) {
+            ++expands;
+            minAct = std::min(minAct, p.metrics[kSimdActivity]);
+            maxAct = std::max(maxAct, p.metrics[kSimdActivity]);
+        }
+    }
+    EXPECT_GE(expands, 4u);
+    // The frontier sweep must show up as a wide activity range,
+    // which merged characterization would hide.
+    EXPECT_GT(maxAct - minAct, 0.3);
+}
+
+TEST(PhaseMode, MergedAndPerLaunchInstrTotalsAgree)
+{
+    auto run = [](bool perLaunch) {
+        simt::Engine engine;
+        Profiler::Config cfg;
+        cfg.perLaunch = perLaunch;
+        Profiler prof(cfg);
+        auto wl = workloads::makeWorkload("FWT");
+        wl->setup(engine, 1);
+        engine.addHook(&prof);
+        wl->run(engine);
+        engine.clearHooks();
+        uint64_t total = 0;
+        for (const auto &p : prof.finalize("FWT"))
+            total += p.warpInstrs;
+        return total;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Sampling, StrideOneMatchesDefault)
+{
+    workloads::SuiteOptions a, b;
+    a.verify = false;
+    b.verify = false;
+    b.ctaSampleStride = 1;
+    auto pa = workloads::allProfiles(workloads::runSuite({"RD"}, a));
+    auto pb = workloads::allProfiles(workloads::runSuite({"RD"}, b));
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i)
+        for (uint32_t c = 0; c < kNumCharacteristics; ++c)
+            EXPECT_DOUBLE_EQ(pa[i].metrics[c], pb[i].metrics[c]);
+}
+
+} // anonymous namespace
+} // namespace gwc::metrics

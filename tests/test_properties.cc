@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across
+ * sweeps of launch geometry, random inputs, window sizes and design
+ * points, checked against brute-force oracles where one exists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "common/rng.hh"
+#include "metrics/ilp.hh"
+#include "metrics/profiler.hh"
+#include "metrics/reuse.hh"
+#include "simt/engine.hh"
+#include "stats/pca.hh"
+#include "timing/gpu.hh"
+#include "workloads/suite.hh"
+
+namespace gwc
+{
+namespace
+{
+
+using simt::Dim3;
+using simt::Engine;
+using simt::KernelParams;
+using simt::Reg;
+using simt::Warp;
+using simt::WarpTask;
+
+// ----------------------------------------------------------------
+// Engine: correctness across launch geometries
+// ----------------------------------------------------------------
+
+struct Geometry
+{
+    uint32_t ctaSize;
+    uint32_t ctas;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry>
+{};
+
+WarpTask
+affineKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint32_t n = w.param<uint32_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<uint32_t> v = i * 3u + 7u;
+        w.stg<uint32_t>(out, i, v);
+    });
+    co_return;
+}
+
+TEST_P(GeometrySweep, AffineMapCorrectEverywhere)
+{
+    auto [ctaSize, ctas] = GetParam();
+    uint32_t n = ctaSize * ctas - ctaSize / 3; // ragged tail
+    Engine e;
+    auto out = e.alloc<uint32_t>(std::max<uint32_t>(n, 1));
+    KernelParams p;
+    p.push(out.addr()).push(n);
+    auto st = e.launch("affine", affineKernel, Dim3(ctas),
+                       Dim3(ctaSize), 0, p);
+    EXPECT_EQ(st.threads, uint64_t(ctaSize) * ctas);
+    for (uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], i * 3 + 7) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engine, GeometrySweep,
+    ::testing::Values(Geometry{32, 1}, Geometry{33, 2},
+                      Geometry{64, 3}, Geometry{96, 2},
+                      Geometry{128, 5}, Geometry{250, 3},
+                      Geometry{512, 2}, Geometry{1000, 2},
+                      Geometry{1024, 1}),
+    [](const auto &info) {
+        return "cta" + std::to_string(info.param.ctaSize) + "x" +
+               std::to_string(info.param.ctas);
+    });
+
+/** Event-stream invariants hold for any kernel/geometry. */
+class InvariantHook : public simt::ProfilerHook
+{
+  public:
+    uint64_t instrs = 0;
+    uint64_t activeLanes = 0;
+    bool maskViolation = false;
+
+    void
+    instr(const simt::InstrEvent &ev) override
+    {
+        ++instrs;
+        uint32_t lanes = simt::laneCount(ev.active);
+        activeLanes += lanes;
+        if (lanes == 0)
+            maskViolation = true; // no instruction without lanes
+    }
+
+    void
+    mem(const simt::MemEvent &ev) override
+    {
+        // The mem payload's mask must match a nonempty active set.
+        if (ev.active == 0)
+            maskViolation = true;
+    }
+};
+
+TEST_P(GeometrySweep, EventInvariants)
+{
+    auto [ctaSize, ctas] = GetParam();
+    uint32_t n = ctaSize * ctas;
+    Engine e;
+    auto out = e.alloc<uint32_t>(n);
+    KernelParams p;
+    p.push(out.addr()).push(n);
+    InvariantHook hook;
+    e.addHook(&hook);
+    auto st = e.launch("affine", affineKernel, Dim3(ctas),
+                       Dim3(ctaSize), 0, p);
+    EXPECT_EQ(hook.instrs, st.warpInstrs);
+    EXPECT_FALSE(hook.maskViolation);
+    EXPECT_LE(hook.activeLanes, hook.instrs * simt::kWarpSize);
+}
+
+// ----------------------------------------------------------------
+// Reuse distance vs a brute-force LRU-stack oracle
+// ----------------------------------------------------------------
+
+struct ReuseCase
+{
+    uint64_t universe;
+    uint32_t length;
+    uint64_t seed;
+};
+
+class ReuseOracle : public ::testing::TestWithParam<ReuseCase>
+{};
+
+TEST_P(ReuseOracle, MatchesBruteForceStack)
+{
+    auto [universe, length, seed] = GetParam();
+    Rng rng(seed);
+    metrics::ReuseDistanceAnalyzer fast;
+    std::list<uint64_t> stack; // LRU stack, front = most recent
+    uint64_t shortCnt = 0, medCnt = 0, cold = 0;
+
+    for (uint32_t i = 0; i < length; ++i) {
+        uint64_t line = rng.nextBelow(universe);
+        fast.access(line);
+        auto it = std::find(stack.begin(), stack.end(), line);
+        if (it == stack.end()) {
+            ++cold;
+        } else {
+            uint64_t dist = uint64_t(
+                std::distance(stack.begin(), it));
+            if (dist <= metrics::ReuseDistanceAnalyzer::kShort)
+                ++shortCnt;
+            if (dist <= metrics::ReuseDistanceAnalyzer::kMedium)
+                ++medCnt;
+            stack.erase(it);
+        }
+        stack.push_front(line);
+    }
+    EXPECT_EQ(fast.coldMisses(), cold);
+    EXPECT_EQ(fast.shortReuses(), shortCnt);
+    EXPECT_EQ(fast.mediumReuses(), medCnt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Metrics, ReuseOracle,
+    ::testing::Values(ReuseCase{8, 2000, 1}, ReuseCase{40, 3000, 2},
+                      ReuseCase{100, 3000, 3},
+                      ReuseCase{1500, 5000, 4},
+                      ReuseCase{5000, 5000, 5}),
+    [](const auto &info) {
+        return "u" + std::to_string(info.param.universe) + "n" +
+               std::to_string(info.param.length);
+    });
+
+// ----------------------------------------------------------------
+// ILP invariants over random dependence streams
+// ----------------------------------------------------------------
+
+class IlpProperties : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(IlpProperties, WindowMonotoneAndBounded)
+{
+    Rng rng(GetParam());
+    metrics::IlpTracker t;
+    for (int i = 0; i < 5000; ++i) {
+        uint16_t d = rng.nextBelow(4) == 0
+                         ? 0
+                         : uint16_t(1 + rng.nextBelow(100));
+        t.record(d);
+    }
+    double prev = 0.0;
+    for (size_t w = 0; w < metrics::kIlpWindows.size(); ++w) {
+        double ilp = t.ilp(w);
+        EXPECT_GE(ilp, 1.0 - 1e-9);
+        EXPECT_LE(ilp, double(metrics::kIlpWindows[w]) + 1e-9);
+        EXPECT_GE(ilp + 1e-9, prev) << "window shrink @" << w;
+        prev = ilp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, IlpProperties,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ----------------------------------------------------------------
+// Coalescing metric vs per-event oracle
+// ----------------------------------------------------------------
+
+WarpTask
+gatherKernel(Warp &w)
+{
+    uint64_t idx = w.param<uint64_t>(0);
+    uint64_t dat = w.param<uint64_t>(1);
+    uint64_t out = w.param<uint64_t>(2);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> j = w.ldg<uint32_t>(idx, i);
+    Reg<float> v = w.ldg<float>(dat, j);
+    w.stg<float>(out, i, v);
+    co_return;
+}
+
+class GatherSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(GatherSweep, TransactionsMatchSegmentOracle)
+{
+    Rng rng(GetParam());
+    Engine e;
+    const uint32_t n = 256, pool = 4096;
+    auto idx = e.alloc<uint32_t>(n);
+    auto dat = e.alloc<float>(pool);
+    auto out = e.alloc<float>(n);
+    std::vector<uint32_t> idxHost(n);
+    for (uint32_t i = 0; i < n; ++i)
+        idxHost[i] = uint32_t(rng.nextBelow(pool));
+    idx.fromHost(idxHost);
+
+    // Oracle: distinct 128B segments per warp of the gather load.
+    uint64_t oracleTx = 0;
+    for (uint32_t w = 0; w < n / 32; ++w) {
+        std::set<uint64_t> segs;
+        for (uint32_t l = 0; l < 32; ++l)
+            segs.insert((dat.addr() + idxHost[w * 32 + l] * 4) / 128);
+        oracleTx += segs.size();
+    }
+    // Plus the fully coalesced idx loads and out stores: 1 tx each.
+    oracleTx += 2 * (n / 32);
+
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    KernelParams p;
+    p.push(idx.addr()).push(dat.addr()).push(out.addr());
+    e.launch("gather", gatherKernel, Dim3(n / 64), Dim3(64), 0, p);
+    auto profs = prof.finalize("T");
+    double txPerAcc = profs[0].metrics[metrics::kTxPerGmemAccess];
+    double accesses = 3.0 * (n / 32); // 2 loads + 1 store per warp
+    EXPECT_NEAR(txPerAcc, double(oracleTx) / accesses, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, GatherSweep,
+                         ::testing::Values(7, 17, 27, 37));
+
+// ----------------------------------------------------------------
+// Clustering invariants on random data
+// ----------------------------------------------------------------
+
+class ClusterSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ClusterSweep, CutsProduceExactlyKClusters)
+{
+    Rng rng(GetParam());
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 17; ++i)
+        rows.push_back({rng.nextDouble(), rng.nextDouble(),
+                        rng.nextDouble()});
+    auto m = stats::Matrix::fromRows(rows);
+    for (auto link :
+         {cluster::Linkage::Single, cluster::Linkage::Complete,
+          cluster::Linkage::Average, cluster::Linkage::Ward}) {
+        auto d = cluster::agglomerate(m, link);
+        for (uint32_t k = 1; k <= 17; ++k) {
+            auto labels = d.cut(k);
+            std::set<int> uniq(labels.begin(), labels.end());
+            EXPECT_EQ(uniq.size(), k)
+                << cluster::linkageName(link) << " k=" << k;
+            for (int l : labels) {
+                EXPECT_GE(l, 0);
+                EXPECT_LT(l, int(k));
+            }
+        }
+    }
+}
+
+TEST_P(ClusterSweep, KmeansInvariants)
+{
+    Rng rng(GetParam());
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 25; ++i)
+        rows.push_back({rng.nextDouble() * 3, rng.nextDouble()});
+    auto m = stats::Matrix::fromRows(rows);
+
+    double prevInertia = std::numeric_limits<double>::infinity();
+    for (uint32_t k = 1; k <= 8; ++k) {
+        Rng r2(GetParam() + k);
+        auto res = cluster::kmeans(m, k, r2, 100, 8);
+        // Labels valid, all clusters non-empty.
+        auto sizes = res.sizes();
+        for (uint32_t c = 0; c < k; ++c)
+            EXPECT_GT(sizes[c], 0u) << "k=" << k;
+        // Inertia decreases (weakly) with k, given enough restarts.
+        EXPECT_LE(res.inertia, prevInertia * 1.02) << "k=" << k;
+        prevInertia = std::min(prevInertia, res.inertia);
+        // Centroid of each cluster is the mean of its members.
+        for (uint32_t c = 0; c < k; ++c) {
+            double mx = 0, my = 0;
+            for (size_t i = 0; i < rows.size(); ++i)
+                if (res.labels[i] == int(c)) {
+                    mx += m(i, 0);
+                    my += m(i, 1);
+                }
+            mx /= sizes[c];
+            my /= sizes[c];
+            EXPECT_NEAR(res.centroids(c, 0), mx, 1e-9);
+            EXPECT_NEAR(res.centroids(c, 1), my, 1e-9);
+        }
+    }
+}
+
+TEST_P(ClusterSweep, CopheneticDominatesPointDistanceForSingleLink)
+{
+    // Single-linkage cophenetic distance never exceeds... actually:
+    // it is the minimax path distance, so it is <= the direct
+    // distance for single linkage.
+    Rng rng(GetParam());
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 12; ++i)
+        rows.push_back({rng.nextDouble() * 5, rng.nextDouble() * 5});
+    auto m = stats::Matrix::fromRows(rows);
+    auto d = cluster::agglomerate(m, cluster::Linkage::Single);
+    for (uint32_t a = 0; a < 12; ++a)
+        for (uint32_t b = a + 1; b < 12; ++b)
+            EXPECT_LE(d.copheneticDistance(a, b),
+                      stats::rowDistance(m, a, b) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cluster, ClusterSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ----------------------------------------------------------------
+// PCA properties on random matrices
+// ----------------------------------------------------------------
+
+class PcaSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(PcaSweep, EigenDecompositionIsExact)
+{
+    Rng rng(GetParam());
+    const size_t n = 12;
+    stats::Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j) {
+            double v = rng.nextDouble() * 2 - 1;
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    std::vector<double> ev;
+    stats::Matrix vec;
+    stats::jacobiEigen(a, ev, vec);
+
+    // Trace preserved.
+    double trace = 0, evSum = 0;
+    for (size_t i = 0; i < n; ++i) {
+        trace += a(i, i);
+        evSum += ev[i];
+    }
+    EXPECT_NEAR(trace, evSum, 1e-9);
+
+    // A v_i = lambda_i v_i.
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t r = 0; r < n; ++r) {
+            double av = 0;
+            for (size_t c = 0; c < n; ++c)
+                av += a(r, c) * vec(c, i);
+            EXPECT_NEAR(av, ev[i] * vec(r, i), 1e-8);
+        }
+    }
+}
+
+TEST_P(PcaSweep, ScoresVarianceMatchesEigenvalues)
+{
+    Rng rng(GetParam());
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 300; ++i) {
+        double a = rng.nextGaussian(), b = rng.nextGaussian();
+        rows.push_back({a, a + 0.1 * b, b, rng.nextGaussian()});
+    }
+    auto res = stats::pca(stats::Matrix::fromRows(rows));
+    size_t n = res.scores.rows();
+    for (size_t c = 0; c < res.scores.cols(); ++c) {
+        double var = 0;
+        for (size_t r = 0; r < n; ++r)
+            var += res.scores(r, c) * res.scores(r, c);
+        var /= double(n);
+        EXPECT_NEAR(var, res.eigenvalues[c], 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stats, PcaSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ----------------------------------------------------------------
+// Timing model sanity bounds across design points
+// ----------------------------------------------------------------
+
+class TimingSweep
+    : public ::testing::TestWithParam<timing::GpuConfig>
+{};
+
+WarpTask
+mixKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> x = w.ldg<float>(in, i);
+    for (int k = 0; k < 4; ++k)
+        x = x * 1.01f + 0.5f;
+    w.stg<float>(out, i, x);
+    co_return;
+}
+
+TEST_P(TimingSweep, CyclesBoundedAndDeterministic)
+{
+    Engine e;
+    const uint32_t n = 4096;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    timing::TraceCapture cap;
+    e.addHook(&cap);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    e.launch("mix", mixKernel, Dim3(16), Dim3(256), 0, p);
+
+    const auto &cfg = GetParam();
+    auto r1 = timing::simulate(cap.traces()[0], cfg);
+    auto r2 = timing::simulate(cap.traces()[0], cfg);
+    EXPECT_EQ(r1.cycles, r2.cycles) << "nondeterministic sim";
+    // Issue bound: at most one instruction per core per cycle.
+    EXPECT_LE(r1.ipc, double(cfg.numCores) + 1e-9);
+    // Cannot finish faster than perfectly parallel issue.
+    EXPECT_GE(r1.cycles,
+              r1.instrs / uint64_t(cfg.numCores) /
+                  std::max<uint64_t>(1, 16));
+    EXPECT_GT(r1.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timing, TimingSweep,
+    ::testing::ValuesIn(timing::designSpace()),
+    [](const auto &info) {
+        std::string n = info.param.name;
+        std::replace(n.begin(), n.end(), '-', '_');
+        return n;
+    });
+
+// ----------------------------------------------------------------
+// Workloads remain correct at a larger scale
+// ----------------------------------------------------------------
+
+class ScaleSweep : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ScaleSweep, VerifiesAtScale2)
+{
+    workloads::SuiteOptions opts;
+    opts.scale = 2;
+    auto runs = workloads::runSuite({GetParam()}, opts);
+    EXPECT_TRUE(runs[0].verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ScaleSweep,
+    ::testing::Values("BLS", "SLA", "MUM", "SS", "KM", "HSORT",
+                      "SPMV", "LBM"),
+    [](const auto &info) { return info.param; });
+
+} // anonymous namespace
+} // namespace gwc

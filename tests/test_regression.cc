@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Regression pins: the characterization of the bundled workloads is
+ * deterministic, so drifting values indicate an unintended change to
+ * the engine, a workload or a metric definition. Values are pinned
+ * with generous but meaningful tolerances (most characteristics are
+ * exact; the pins would catch e.g. a changed coalescing rule or an
+ * extra instruction in a kernel).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using metrics::KernelProfile;
+
+const std::vector<metrics::KernelProfile> &
+suiteProfiles()
+{
+    static const std::vector<KernelProfile> profiles = [] {
+        SuiteOptions opts;
+        opts.verify = false;
+        return allProfiles(runSuite({}, opts));
+    }();
+    return profiles;
+}
+
+const KernelProfile &
+find(const std::string &label)
+{
+    for (const auto &p : suiteProfiles())
+        if (p.label() == label)
+            return p;
+    ADD_FAILURE() << "no profile " << label;
+    static KernelProfile dummy;
+    return dummy;
+}
+
+struct Pin
+{
+    const char *label;
+    metrics::Characteristic what;
+    double value;
+    double tol;
+};
+
+class GoldenPins : public ::testing::TestWithParam<Pin>
+{};
+
+TEST_P(GoldenPins, CharacteristicIsStable)
+{
+    const Pin &pin = GetParam();
+    const auto &p = find(pin.label);
+    EXPECT_NEAR(p.metrics[pin.what], pin.value, pin.tol)
+        << pin.label << " "
+        << metrics::characteristicName(pin.what);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, GoldenPins,
+    ::testing::Values(
+        // Exact structural properties.
+        Pin{"BLS.pricing", metrics::kCoalescingEff, 1.000, 1e-6},
+        Pin{"BLS.pricing", metrics::kDivBranchFrac, 0.0, 1e-9},
+        Pin{"MM.matmul", metrics::kTxPerGmemAccess, 2.00, 1e-6},
+        Pin{"MM.matmul", metrics::kInterCtaSharedFrac, 1.0, 1e-9},
+        Pin{"CP.potential", metrics::kSimdActivity, 1.0, 1e-9},
+        Pin{"KM.assign", metrics::kCoalescingEff, 1.0, 1e-6},
+        Pin{"HSORT.bucketCount", metrics::kTxPerGmemAccess, 1.0,
+            1e-6},
+        // Behavioural fingerprints (tolerant pins).
+        Pin{"BLS.pricing", metrics::kFracFpAlu, 0.737, 0.05},
+        Pin{"BLS.pricing", metrics::kFracSfu, 0.066, 0.02},
+        Pin{"RD.reduce", metrics::kBarriersPerKiloInstr, 146.3, 15.0},
+        Pin{"SLA.scanBlocks", metrics::kBarriersPerKiloInstr, 82.0,
+            10.0},
+        Pin{"SPMV.spmv", metrics::kDivBranchFrac, 0.312, 0.05},
+        Pin{"SPMV.spmv", metrics::kSimdActivity, 0.270, 0.05},
+        Pin{"BFS.expand", metrics::kSimdActivity, 0.234, 0.05},
+        Pin{"NW.diagonal", metrics::kTxPerGmemAccess, 25.8, 2.0},
+        Pin{"MUM.match", metrics::kTxPerGmemAccess, 15.4, 2.0},
+        Pin{"MUM.match", metrics::kDivBranchFrac, 0.234, 0.05},
+        Pin{"SS.score", metrics::kDivBranchFrac, 0.270, 0.05},
+        Pin{"KM.swap", metrics::kTxPerGmemAccess, 8.50, 1.0},
+        Pin{"HIST.hist", metrics::kBankConflictDeg, 2.65, 0.4},
+        Pin{"MC.pricePaths", metrics::kIlp16, 2.38, 0.4},
+        Pin{"CP.potential", metrics::kIlp16, 15.47, 1.5},
+        Pin{"STC.jacobi7", metrics::kReuseShortFrac, 0.599, 0.08},
+        Pin{"LBM.collideStream", metrics::kFracFpAlu, 0.606, 0.05},
+        Pin{"SC.pgain", metrics::kFracAtomic, 0.0105, 0.01}),
+    [](const auto &info) {
+        std::string n = std::string(info.param.label) + "_" +
+                        metrics::characteristicName(info.param.what);
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(Determinism, FullSuiteCharacterizationIsBitStable)
+{
+    SuiteOptions opts;
+    opts.verify = false;
+    auto a = allProfiles(runSuite({"RD", "MUM", "HSORT"}, opts));
+    auto b = allProfiles(runSuite({"RD", "MUM", "HSORT"}, opts));
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].label(), b[i].label());
+        EXPECT_EQ(a[i].warpInstrs, b[i].warpInstrs);
+        for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            EXPECT_DOUBLE_EQ(a[i].metrics[c], b[i].metrics[c])
+                << a[i].label() << " "
+                << metrics::characteristicName(c);
+    }
+}
+
+TEST(Determinism, SuiteKernelCountPinned)
+{
+    // Adding/removing kernels must be a conscious decision: every
+    // figure in EXPERIMENTS.md quotes these counts.
+    EXPECT_EQ(workloadNames().size(), 28u);
+    EXPECT_EQ(suiteProfiles().size(), 40u);
+}
+
+} // anonymous namespace
+} // namespace gwc::workloads

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the ASCII figure rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/plot.hh"
+
+namespace gwc::report
+{
+namespace
+{
+
+TEST(Scatter, RendersPointsAndLegend)
+{
+    AsciiScatter sc("title", "PC1", "PC2");
+    sc.add(0.0, 0.0, "origin");
+    sc.add(1.0, 1.0, "corner");
+    std::string out = sc.render(40, 10);
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("origin"), std::string::npos);
+    EXPECT_NE(out.find("corner"), std::string::npos);
+    EXPECT_NE(out.find("PC1"), std::string::npos);
+    // Marker characters a and b must appear in the grid area.
+    EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(Scatter, HandlesDegenerateRanges)
+{
+    AsciiScatter sc("all same", "x", "y");
+    for (int i = 0; i < 3; ++i)
+        sc.add(1.0, 2.0, "p" + std::to_string(i));
+    std::string out = sc.render(20, 5);
+    EXPECT_FALSE(out.empty());
+    AsciiScatter empty("none", "x", "y");
+    EXPECT_NE(empty.render().find("no points"), std::string::npos);
+}
+
+TEST(Scatter, CsvFormat)
+{
+    AsciiScatter sc("t", "x", "y");
+    sc.add(0.5, -1.5, "k");
+    std::string csv = sc.csv();
+    EXPECT_EQ(csv.rfind("label,x,y\n", 0), 0u);
+    EXPECT_NE(csv.find("k,0.5"), std::string::npos);
+}
+
+TEST(Bars, RenderScalesToMax)
+{
+    AsciiBars bars("scree");
+    bars.add("PC1", 10.0);
+    bars.add("PC2", 5.0);
+    std::string out = bars.render(20);
+    // PC1 bar (20 #) must be longer than PC2 bar (10 #).
+    EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+    EXPECT_NE(out.find(std::string(10, '#') + " 5"),
+              std::string::npos);
+}
+
+TEST(Bars, CsvAndEmpty)
+{
+    AsciiBars bars("x");
+    EXPECT_NE(bars.render().find("no bars"), std::string::npos);
+    bars.add("a", 1.25);
+    EXPECT_NE(bars.csv().find("a,1.25"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace gwc::report

@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Unit tests for the SIMT execution engine: correctness of lane-wise
+ * execution, divergence handling, barriers, shared memory, atomics,
+ * and the instrumentation event stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "simt/engine.hh"
+
+namespace gwc::simt
+{
+namespace
+{
+
+/** Hook that tallies every event kind for assertions. */
+class CountingHook : public ProfilerHook
+{
+  public:
+    std::map<OpClass, uint64_t> instrs;
+    uint64_t memEvents = 0;
+    uint64_t branchEvents = 0;
+    uint64_t divergentBranches = 0;
+    uint64_t barriers = 0;
+    uint64_t ctas = 0;
+    uint64_t kernels = 0;
+    uint64_t activeLanes = 0;
+    uint64_t totalInstrs = 0;
+    std::vector<MemEvent> mems;
+
+    void kernelBegin(const KernelInfo &) override { ++kernels; }
+    void ctaBegin(uint32_t) override { ++ctas; }
+
+    void
+    instr(const InstrEvent &ev) override
+    {
+        ++instrs[ev.cls];
+        ++totalInstrs;
+        activeLanes += laneCount(ev.active);
+    }
+
+    void
+    mem(const MemEvent &ev) override
+    {
+        ++memEvents;
+        mems.push_back(ev);
+    }
+
+    void
+    branch(const BranchEvent &ev) override
+    {
+        ++branchEvents;
+        if (!isUniform(ev.taken, ev.active))
+            ++divergentBranches;
+    }
+
+    void barrier(uint32_t) override { ++barriers; }
+};
+
+WarpTask
+vecAddKernel(Warp &w)
+{
+    uint64_t a = w.param<uint64_t>(0);
+    uint64_t b = w.param<uint64_t>(1);
+    uint64_t c = w.param<uint64_t>(2);
+    uint32_t n = w.param<uint32_t>(3);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> x = w.ldg<float>(a, i);
+        Reg<float> y = w.ldg<float>(b, i);
+        w.stg<float>(c, i, x + y);
+    });
+    co_return;
+}
+
+TEST(Engine, VectorAdd)
+{
+    Engine e;
+    const uint32_t n = 1000;
+    auto a = e.alloc<float>(n);
+    auto b = e.alloc<float>(n);
+    auto c = e.alloc<float>(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        a.set(i, float(i));
+        b.set(i, 2.0f * float(i));
+    }
+
+    KernelParams p;
+    p.push(a.addr()).push(b.addr()).push(c.addr()).push(n);
+    LaunchStats st =
+        e.launch("vecadd", vecAddKernel, Dim3(8), Dim3(128), 0, p);
+
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(c[i], 3.0f * float(i)) << "i=" << i;
+    EXPECT_EQ(st.ctas, 8u);
+    EXPECT_EQ(st.warps, 32u);
+    EXPECT_EQ(st.threads, 1024u);
+    EXPECT_GT(st.warpInstrs, 0u);
+}
+
+TEST(Engine, PartialWarpMasksTail)
+{
+    Engine e;
+    const uint32_t n = 40; // 1 CTA of 48 threads -> second warp partial
+    auto a = e.alloc<float>(n);
+    auto b = e.alloc<float>(n);
+    auto c = e.alloc<float>(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        a.set(i, 1.0f);
+        b.set(i, float(i));
+    }
+    KernelParams p;
+    p.push(a.addr()).push(b.addr()).push(c.addr()).push(n);
+    e.launch("vecadd", vecAddKernel, Dim3(1), Dim3(48), 0, p);
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(c[i], 1.0f + float(i));
+}
+
+WarpTask
+divergeKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> r = w.imm(0u);
+    w.IfElse(
+        (i & 1u) == w.imm(0u),
+        [&] { r = i * 2u; },
+        [&] { r = i * 3u; });
+    w.stg<uint32_t>(out, i, r);
+    co_return;
+}
+
+TEST(Engine, DivergentIfElseBothPaths)
+{
+    Engine e;
+    const uint32_t n = 64;
+    auto out = e.alloc<uint32_t>(n);
+    KernelParams p;
+    p.push(out.addr());
+    CountingHook hook;
+    e.addHook(&hook);
+    e.launch("diverge", divergeKernel, Dim3(1), Dim3(n), 0, p);
+
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], (i % 2 == 0) ? i * 2 : i * 3) << i;
+    EXPECT_GT(hook.divergentBranches, 0u);
+}
+
+WarpTask
+whileKernel(Warp &w)
+{
+    // Each thread iterates tid%7 times: data-dependent trip counts
+    // within a warp exercise loop divergence.
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> cnt = i % 7u;
+    Reg<uint32_t> acc = w.imm(0u);
+    w.While([&] { return cnt > 0u; },
+            [&] {
+                acc = acc + cnt;
+                cnt = cnt - 1u;
+            });
+    w.stg<uint32_t>(out, i, acc);
+    co_return;
+}
+
+TEST(Engine, DivergentWhileLoop)
+{
+    Engine e;
+    const uint32_t n = 96;
+    auto out = e.alloc<uint32_t>(n);
+    KernelParams p;
+    p.push(out.addr());
+    e.launch("while", whileKernel, Dim3(3), Dim3(32), 0, p);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t c = i % 7, expect = c * (c + 1) / 2;
+        EXPECT_EQ(out[i], expect) << i;
+    }
+}
+
+WarpTask
+reduceKernel(Warp &w)
+{
+    // Classic shared-memory tree reduction; exercises barriers
+    // between warps of one CTA.
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    uint32_t ctaThreads = w.ctaDim().x;
+
+    Reg<uint32_t> tid = w.tidLinear();
+    Reg<uint32_t> gid = w.globalIdX();
+    Reg<float> x = w.ldg<float>(in, gid);
+    w.stsE<float>(0, tid, x);
+    co_await w.barrier();
+
+    for (uint32_t s = ctaThreads / 2; w.uniform(s > 0); s >>= 1) {
+        w.If(tid < s, [&] {
+            Reg<float> a = w.ldsE<float>(0, tid);
+            Reg<float> b = w.ldsE<float>(0, tid + s);
+            w.stsE<float>(0, tid, a + b);
+        });
+        co_await w.barrier();
+    }
+
+    w.If(tid == w.imm(0u), [&] {
+        Reg<float> r = w.ldsE<float>(0, tid);
+        w.stg<float>(out, w.imm(w.ctaId().x), r);
+    });
+    co_return;
+}
+
+TEST(Engine, SharedMemoryTreeReduction)
+{
+    Engine e;
+    const uint32_t ctaThreads = 128, ctas = 4;
+    const uint32_t n = ctaThreads * ctas;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(ctas);
+    float expect[4] = {0, 0, 0, 0};
+    for (uint32_t i = 0; i < n; ++i) {
+        in.set(i, float(i % 13));
+        expect[i / ctaThreads] += float(i % 13);
+    }
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    CountingHook hook;
+    e.addHook(&hook);
+    e.launch("reduce", reduceKernel, Dim3(ctas), Dim3(ctaThreads),
+             ctaThreads * sizeof(float), p);
+
+    for (uint32_t c = 0; c < ctas; ++c)
+        EXPECT_FLOAT_EQ(out[c], expect[c]) << c;
+    // 8 barriers per CTA (1 + log2(128)), 4 warps each, 4 CTAs.
+    EXPECT_EQ(hook.barriers, 8u * 4u * 4u);
+    EXPECT_GT(hook.instrs[OpClass::MemShared], 0u);
+    EXPECT_GT(hook.instrs[OpClass::Sync], 0u);
+}
+
+WarpTask
+atomicKernel(Warp &w)
+{
+    uint64_t counter = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint64_t> addr = w.gaddr<uint32_t>(counter, i % 4u);
+    w.atomicAddGlobal<uint32_t>(addr, w.imm(1u));
+    co_return;
+}
+
+TEST(Engine, GlobalAtomics)
+{
+    Engine e;
+    auto counter = e.alloc<uint32_t>(4);
+    counter.fill(0);
+    KernelParams p;
+    p.push(counter.addr());
+    e.launch("atomic", atomicKernel, Dim3(2), Dim3(64), 0, p);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(counter[i], 32u);
+}
+
+TEST(Engine, EventAccounting)
+{
+    Engine e;
+    const uint32_t n = 64;
+    auto a = e.alloc<float>(n);
+    auto b = e.alloc<float>(n);
+    auto c = e.alloc<float>(n);
+    a.fill(1.0f);
+    b.fill(2.0f);
+    KernelParams p;
+    p.push(a.addr()).push(b.addr()).push(c.addr()).push(n);
+    CountingHook hook;
+    e.addHook(&hook);
+    LaunchStats st =
+        e.launch("vecadd", vecAddKernel, Dim3(2), Dim3(32), 0, p);
+
+    EXPECT_EQ(hook.kernels, 1u);
+    EXPECT_EQ(hook.ctas, 2u);
+    EXPECT_EQ(hook.totalInstrs, st.warpInstrs);
+    // 3 memory instructions per warp (2 loads + 1 store), 2 warps.
+    EXPECT_EQ(hook.instrs[OpClass::MemGlobal], 6u);
+    EXPECT_EQ(hook.memEvents, 6u);
+    // One branch (the bounds If) per warp.
+    EXPECT_EQ(hook.branchEvents, 2u);
+    EXPECT_EQ(hook.divergentBranches, 0u);
+    // Full warps, all lanes always active.
+    EXPECT_EQ(hook.activeLanes, hook.totalInstrs * kWarpSize);
+}
+
+TEST(Engine, CoalescedVsStridedAddresses)
+{
+    Engine e;
+    const uint32_t n = 64;
+    auto a = e.alloc<float>(n);
+    auto b = e.alloc<float>(n);
+    auto c = e.alloc<float>(n);
+    a.fill(0.0f);
+    b.fill(0.0f);
+    KernelParams p;
+    p.push(a.addr()).push(b.addr()).push(c.addr()).push(n);
+    CountingHook hook;
+    e.addHook(&hook);
+    e.launch("vecadd", vecAddKernel, Dim3(2), Dim3(32), 0, p);
+
+    ASSERT_FALSE(hook.mems.empty());
+    // Unit-stride float accesses from a full warp: lane addresses are
+    // consecutive and span exactly one 128-byte segment.
+    const MemEvent &ev = hook.mems.front();
+    EXPECT_EQ(ev.accessSize, sizeof(float));
+    for (uint32_t l = 1; l < kWarpSize; ++l)
+        EXPECT_EQ(ev.addr[l] - ev.addr[l - 1], sizeof(float));
+    EXPECT_EQ(ev.addr[0] / kSegmentBytes,
+              ev.addr[kWarpSize - 1] / kSegmentBytes);
+}
+
+WarpTask
+depChainKernel(Warp &w)
+{
+    // Serial dependence chain: every add depends on the previous one.
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> acc = w.cast<float>(i);
+    for (int k = 0; k < 16; ++k)
+        acc = acc + 1.0f;
+    w.stg<float>(out, i, acc);
+    co_return;
+}
+
+class DepHook : public ProfilerHook
+{
+  public:
+    std::vector<uint16_t> dists;
+
+    void
+    instr(const InstrEvent &ev) override
+    {
+        if (ev.cls == OpClass::FpAlu)
+            dists.push_back(ev.depDist[0]);
+    }
+};
+
+TEST(Engine, DependenceDistances)
+{
+    Engine e;
+    auto out = e.alloc<float>(32);
+    KernelParams p;
+    p.push(out.addr());
+    DepHook hook;
+    e.addHook(&hook);
+    e.launch("chain", depChainKernel, Dim3(1), Dim3(32), 0, p);
+
+    ASSERT_EQ(hook.dists.size(), 16u);
+    // Each add consumes the previous instruction's result.
+    for (uint16_t d : hook.dists)
+        EXPECT_EQ(d, 1u);
+}
+
+WarpTask
+broadcastKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> lane = w.laneId();
+    Reg<uint32_t> b = w.broadcast(lane, 5);
+    Reg<uint32_t> s = w.shflDown(lane, 1);
+    w.stg<uint32_t>(out, lane, b + s);
+    co_return;
+}
+
+TEST(Engine, ShuffleAndBroadcast)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(32);
+    KernelParams p;
+    p.push(out.addr());
+    e.launch("shfl", broadcastKernel, Dim3(1), Dim3(32), 0, p);
+    for (uint32_t l = 0; l < 32; ++l) {
+        uint32_t shfl = l + 1 < 32 ? l + 1 : l;
+        EXPECT_EQ(out[l], 5u + shfl) << l;
+    }
+}
+
+WarpTask
+selectKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> r =
+        w.select((i & 1u) == w.imm(0u), i * 10u, i * 100u);
+    w.stg<uint32_t>(out, i, r);
+    co_return;
+}
+
+TEST(Engine, SelectPredicatedMove)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(32);
+    KernelParams p;
+    p.push(out.addr());
+    CountingHook hook;
+    e.addHook(&hook);
+    e.launch("select", selectKernel, Dim3(1), Dim3(32), 0, p);
+    for (uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], (i % 2 == 0) ? i * 10 : i * 100);
+    // select is predication, not a branch.
+    EXPECT_EQ(hook.branchEvents, 0u);
+}
+
+TEST(Engine, VoteOps)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(32);
+    KernelParams p;
+    p.push(out.addr());
+    bool sawAny = false, sawAll = false;
+    LaneMask ball = 0;
+    auto fn = [&](Warp &w) -> WarpTask {
+        Reg<uint32_t> lane = w.laneId();
+        sawAny = w.any(lane > 30u);
+        sawAll = w.all(lane > 30u);
+        ball = w.ballot(lane < 4u);
+        w.stg<uint32_t>(w.param<uint64_t>(0), lane, lane);
+        co_return;
+    };
+    e.launch("vote", fn, Dim3(1), Dim3(32), 0, p);
+    EXPECT_TRUE(sawAny);
+    EXPECT_FALSE(sawAll);
+    EXPECT_EQ(ball, 0xFu);
+}
+
+TEST(Engine, NestedDivergenceRestoresMask)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(32);
+    out.fill(0);
+    KernelParams p;
+    p.push(out.addr());
+    auto fn = [](Warp &w) -> WarpTask {
+        uint64_t out = w.param<uint64_t>(0);
+        Reg<uint32_t> i = w.laneId();
+        w.If(i < 16u, [&] {
+            w.If((i & 1u) == w.imm(0u),
+                 [&] { w.stg<uint32_t>(out, i, w.imm(7u)); });
+            // All lanes < 16 (both parities) must execute this store.
+            w.stg<uint32_t>(out, i + 16u, w.imm(9u));
+        });
+        co_return;
+    };
+    e.launch("nested", fn, Dim3(1), Dim3(32), 0, p);
+    for (uint32_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(out[i], (i % 2 == 0) ? 7u : 0u);
+        EXPECT_EQ(out[i + 16], 9u);
+    }
+}
+
+TEST(Engine, MultipleLaunchesAccumulateOnHeap)
+{
+    Engine e;
+    auto buf = e.alloc<uint32_t>(64);
+    buf.fill(1);
+    KernelParams p;
+    p.push(buf.addr());
+    auto fn = [](Warp &w) -> WarpTask {
+        uint64_t b = w.param<uint64_t>(0);
+        Reg<uint32_t> i = w.globalIdX();
+        Reg<uint32_t> v = w.ldg<uint32_t>(b, i);
+        w.stg<uint32_t>(b, i, v + 1u);
+        co_return;
+    };
+    for (int k = 0; k < 3; ++k)
+        e.launch("inc", fn, Dim3(2), Dim3(32), 0, p);
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(buf[i], 4u);
+}
+
+TEST(Engine, BadLaunchGeometryFails)
+{
+    Engine e;
+    auto fn = [](Warp &) -> WarpTask { co_return; };
+    EXPECT_EXIT(e.launch("bad", fn, Dim3(1), Dim3(2048), 0, {}),
+                testing::ExitedWithCode(1), "CTA size");
+    EXPECT_EXIT(e.launch("bad", fn, Dim3(0), Dim3(32), 0, {}),
+                testing::ExitedWithCode(1), "empty launch grid");
+}
+
+TEST(Memory, OutOfBoundsPanics)
+{
+    GlobalMemory m;
+    uint64_t a = m.allocBytes(16);
+    m.write<uint32_t>(a, 5);
+    EXPECT_EQ(m.read<uint32_t>(a), 5u);
+    EXPECT_DEATH(m.read<uint32_t>(a + 16), "out of bounds");
+    EXPECT_DEATH(m.read<uint32_t>(0), "out of bounds");
+}
+
+TEST(Memory, BufferRoundTrip)
+{
+    Engine e;
+    auto b = e.alloc<double>(10);
+    std::vector<double> host{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    b.fromHost(host);
+    EXPECT_EQ(b.toHost(), host);
+}
+
+TEST(Params, TypedRoundTrip)
+{
+    KernelParams p;
+    p.push<uint64_t>(0xDEADBEEFCAFEull).push<float>(1.5f).push<int32_t>(-7);
+    EXPECT_EQ(p.get<uint64_t>(0), 0xDEADBEEFCAFEull);
+    EXPECT_FLOAT_EQ(p.get<float>(1), 1.5f);
+    EXPECT_EQ(p.get<int32_t>(2), -7);
+    EXPECT_EQ(p.size(), 3u);
+}
+
+} // anonymous namespace
+} // namespace gwc::simt

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the statistics module: matrix primitives, z-score
+ * normalization, correlation, the Jacobi eigensolver and PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/pca.hh"
+
+namespace gwc::stats
+{
+namespace
+{
+
+TEST(Matrix, BasicOps)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_DOUBLE_EQ(t(1, 2), 6.0);
+
+    Matrix p = t.multiply(m); // 2x2 = M^T M
+    EXPECT_DOUBLE_EQ(p(0, 0), 1 + 9 + 25);
+    EXPECT_DOUBLE_EQ(p(0, 1), 2 + 12 + 30);
+    EXPECT_DOUBLE_EQ(p(1, 1), 4 + 16 + 36);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix i = Matrix::identity(3);
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+    Matrix p = i.multiply(m);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(p(r, c), m(r, c));
+}
+
+TEST(Matrix, SelectColumns)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix s = m.selectColumns({2, 0});
+    EXPECT_EQ(s.cols(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(Matrix, Distances)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {3, 4}});
+    EXPECT_DOUBLE_EQ(rowDistance(m, 0, 1), 5.0);
+    Matrix d = pairwiseDistances(m);
+    EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(d(1, 0), 5.0);
+    EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(Zscore, NormalizesMoments)
+{
+    Matrix m = Matrix::fromRows({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+    Matrix z = zscore(m);
+    for (size_t c = 0; c < 2; ++c) {
+        double mu = 0, var = 0;
+        for (size_t r = 0; r < 4; ++r)
+            mu += z(r, c);
+        mu /= 4;
+        for (size_t r = 0; r < 4; ++r)
+            var += (z(r, c) - mu) * (z(r, c) - mu);
+        var /= 4;
+        EXPECT_NEAR(mu, 0.0, 1e-12);
+        EXPECT_NEAR(var, 1.0, 1e-12);
+    }
+}
+
+TEST(Zscore, ConstantColumnIsZero)
+{
+    Matrix m = Matrix::fromRows({{5, 1}, {5, 2}, {5, 3}});
+    std::vector<double> mu, sd;
+    Matrix z = zscore(m, &mu, &sd);
+    for (size_t r = 0; r < 3; ++r)
+        EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+    EXPECT_DOUBLE_EQ(mu[0], 5.0);
+    EXPECT_DOUBLE_EQ(sd[0], 0.0);
+}
+
+TEST(Correlation, PerfectAndAnti)
+{
+    // col1 = col0 scaled; col2 = -col0.
+    Matrix m = Matrix::fromRows(
+        {{1, 2, -1}, {2, 4, -2}, {3, 6, -3}, {4, 8, -4}});
+    Matrix c = correlationMatrix(m);
+    EXPECT_NEAR(c(0, 1), 1.0, 1e-12);
+    EXPECT_NEAR(c(0, 2), -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+}
+
+TEST(Correlation, IndependentColumnsNearZero)
+{
+    Rng rng(99);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 2000; ++i)
+        rows.push_back({rng.nextDouble(), rng.nextDouble()});
+    Matrix c = correlationMatrix(Matrix::fromRows(rows));
+    EXPECT_NEAR(c(0, 1), 0.0, 0.05);
+}
+
+TEST(Jacobi, DiagonalMatrix)
+{
+    Matrix a = Matrix::fromRows({{3, 0}, {0, 7}});
+    std::vector<double> ev;
+    Matrix vec;
+    jacobiEigen(a, ev, vec);
+    EXPECT_NEAR(ev[0], 7.0, 1e-12);
+    EXPECT_NEAR(ev[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors
+    // (1,1)/sqrt2 and (1,-1)/sqrt2.
+    Matrix a = Matrix::fromRows({{2, 1}, {1, 2}});
+    std::vector<double> ev;
+    Matrix vec;
+    jacobiEigen(a, ev, vec);
+    EXPECT_NEAR(ev[0], 3.0, 1e-12);
+    EXPECT_NEAR(ev[1], 1.0, 1e-12);
+    EXPECT_NEAR(std::fabs(vec(0, 0)), 1 / std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(std::fabs(vec(1, 0)), 1 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Jacobi, ReconstructsMatrix)
+{
+    // A = V diag(ev) V^T must reproduce the input.
+    Rng rng(5);
+    const size_t n = 8;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j) {
+            double v = rng.nextDouble() * 2 - 1;
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    std::vector<double> ev;
+    Matrix vec;
+    jacobiEigen(a, ev, vec);
+
+    Matrix d(n, n);
+    for (size_t i = 0; i < n; ++i)
+        d(i, i) = ev[i];
+    Matrix rec = vec.multiply(d).multiply(vec.transposed());
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(rec(i, j), a(i, j), 1e-9);
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal)
+{
+    Rng rng(17);
+    const size_t n = 10;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j) {
+            double v = rng.nextDouble();
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    std::vector<double> ev;
+    Matrix vec;
+    jacobiEigen(a, ev, vec);
+    Matrix vtv = vec.transposed().multiply(vec);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Pca, CorrelatedPairCollapsesToOnePc)
+{
+    // Two perfectly correlated dimensions + noise dim: PC1 should
+    // absorb the correlated pair (eigenvalue ~2).
+    Rng rng(3);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.nextGaussian();
+        rows.push_back({x, 2 * x + 1, rng.nextGaussian()});
+    }
+    PcaResult r = pca(Matrix::fromRows(rows));
+    EXPECT_NEAR(r.eigenvalues[0], 2.0, 0.15);
+    EXPECT_NEAR(r.eigenvalues[2], 0.0, 0.05);
+    EXPECT_NEAR(r.varExplained[0], 2.0 / 3.0, 0.05);
+    // Two PCs cover everything.
+    EXPECT_LE(r.numPcsFor(0.99), 2u);
+}
+
+TEST(Pca, VarianceFractionsSumToOne)
+{
+    Rng rng(8);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.push_back({rng.nextDouble(), rng.nextDouble(),
+                        rng.nextDouble(), rng.nextDouble()});
+    PcaResult r = pca(Matrix::fromRows(rows));
+    double sum = 0;
+    for (double v : r.varExplained)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Eigenvalues descending.
+    for (size_t i = 1; i < r.eigenvalues.size(); ++i)
+        EXPECT_GE(r.eigenvalues[i - 1], r.eigenvalues[i]);
+}
+
+TEST(Pca, ScoresAreDecorrelated)
+{
+    Rng rng(12);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 400; ++i) {
+        double a = rng.nextGaussian(), b = rng.nextGaussian();
+        rows.push_back({a + b, a - b, 0.5 * a});
+    }
+    PcaResult r = pca(Matrix::fromRows(rows));
+    // Covariance of scores must be diagonal (eigenvalues).
+    size_t n = r.scores.rows();
+    for (size_t c1 = 0; c1 < 3; ++c1) {
+        for (size_t c2 = c1 + 1; c2 < 3; ++c2) {
+            double s = 0;
+            for (size_t row = 0; row < n; ++row)
+                s += r.scores(row, c1) * r.scores(row, c2);
+            EXPECT_NEAR(s / n, 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Pca, ConstantColumnHandled)
+{
+    Matrix m =
+        Matrix::fromRows({{1, 7, 2}, {2, 7, 1}, {3, 7, 5}, {4, 7, 3}});
+    PcaResult r = pca(m);
+    for (double ev : r.eigenvalues)
+        EXPECT_TRUE(std::isfinite(ev));
+    EXPECT_GE(r.eigenvalues[0], 1.0);
+}
+
+TEST(Pca, TruncatedScores)
+{
+    Matrix m = Matrix::fromRows(
+        {{1, 2, 3}, {4, 5, 6}, {7, 8, 10}, {1, 0, 2}});
+    PcaResult r = pca(m);
+    Matrix t = r.truncatedScores(2);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t.rows(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(t(i, 0), r.scores(i, 0));
+}
+
+} // anonymous namespace
+} // namespace gwc::stats

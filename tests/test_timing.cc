@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the timing substrate: trace capture fidelity and
+ * the first-order GPU model's qualitative behaviour (more cores
+ * faster, smaller caches slower, bandwidth sensitivity, barrier
+ * correctness).
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/engine.hh"
+#include "timing/gpu.hh"
+
+namespace gwc::timing
+{
+namespace
+{
+
+using simt::Dim3;
+using simt::Engine;
+using simt::KernelParams;
+using simt::OpClass;
+using simt::Reg;
+using simt::Warp;
+using simt::WarpTask;
+
+WarpTask
+streamKernel(Warp &w)
+{
+    uint64_t in = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> x = w.ldg<float>(in, i);
+    w.stg<float>(out, i, x * 2.0f);
+    co_return;
+}
+
+WarpTask
+barrierKernel(Warp &w)
+{
+    Reg<uint32_t> i = w.globalIdX();
+    w.stsE<uint32_t>(0, w.tidLinear(), i);
+    co_await w.barrier();
+    Reg<uint32_t> v = w.ldsE<uint32_t>(0, w.tidLinear());
+    w.stg<uint32_t>(w.param<uint64_t>(0), i, v);
+    co_return;
+}
+
+/** Capture the trace of one launch of @p fn. */
+std::vector<KernelTrace>
+capture(const simt::KernelFn &fn, Dim3 grid, Dim3 cta, uint32_t smem,
+        KernelParams p, Engine &e)
+{
+    TraceCapture cap;
+    e.addHook(&cap);
+    e.launch("k", fn, grid, cta, smem, p);
+    e.clearHooks();
+    return std::move(cap.traces());
+}
+
+TEST(Trace, CapturesAllOps)
+{
+    Engine e;
+    const uint32_t n = 256;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto traces = capture(streamKernel, Dim3(2), Dim3(128), 0, p, e);
+
+    ASSERT_EQ(traces.size(), 1u);
+    const KernelTrace &t = traces[0];
+    EXPECT_EQ(t.numCtas, 2u);
+    EXPECT_EQ(t.warpsPerCta, 4u);
+    EXPECT_EQ(t.warps.size(), 8u);
+    // Per warp: globalIdX mad, 2 addr computations, load, store, mul.
+    for (const auto &wt : t.warps) {
+        EXPECT_EQ(wt.ops.size(), 6u);
+        int memOps = 0;
+        for (const auto &op : wt.ops)
+            if (op.cls == OpClass::MemGlobal) {
+                ++memOps;
+                EXPECT_EQ(op.lineCount, 1u); // coalesced
+            }
+        EXPECT_EQ(memOps, 2);
+    }
+    EXPECT_EQ(t.totalOps, 48u);
+}
+
+TEST(Trace, StoresFlaggedAndLinesPooled)
+{
+    Engine e;
+    const uint32_t n = 64;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto traces = capture(streamKernel, Dim3(1), Dim3(64), 0, p, e);
+    const KernelTrace &t = traces[0];
+    int loads = 0, stores = 0;
+    for (const auto &wt : t.warps)
+        for (const auto &op : wt.ops)
+            if (op.cls == OpClass::MemGlobal)
+                (op.store ? stores : loads) += 1;
+    EXPECT_EQ(loads, 2);
+    EXPECT_EQ(stores, 2);
+    EXPECT_EQ(t.linePool.size(), 4u);
+}
+
+TEST(Sim, CompletesAndCountsInstructions)
+{
+    Engine e;
+    const uint32_t n = 4096;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto traces = capture(streamKernel, Dim3(16), Dim3(256), 0, p, e);
+
+    GpuConfig cfg;
+    SimResult r = simulate(traces[0], cfg);
+    EXPECT_EQ(r.instrs, traces[0].totalOps);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.l1Accesses, 0u);
+}
+
+TEST(Sim, BarrierKernelCompletes)
+{
+    Engine e;
+    const uint32_t n = 512;
+    auto out = e.alloc<uint32_t>(n);
+    KernelParams p;
+    p.push(out.addr());
+    auto traces = capture(barrierKernel, Dim3(4), Dim3(128),
+                          128 * 4, p, e);
+    GpuConfig cfg;
+    SimResult r = simulate(traces[0], cfg);
+    EXPECT_EQ(r.instrs, traces[0].totalOps);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Sim, MoreCoresAreFaster)
+{
+    Engine e;
+    const uint32_t n = 16384;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto traces = capture(streamKernel, Dim3(64), Dim3(256), 0, p, e);
+
+    GpuConfig few;
+    few.numCores = 2;
+    GpuConfig many;
+    many.numCores = 16;
+    uint64_t cFew = simulate(traces[0], few).cycles;
+    uint64_t cMany = simulate(traces[0], many).cycles;
+    EXPECT_LT(cMany, cFew);
+}
+
+WarpTask
+reuseKernel(Warp &w)
+{
+    // Every thread sweeps the same 8KB table twice: cache-size
+    // sensitive.
+    uint64_t table = w.param<uint64_t>(0);
+    uint64_t out = w.param<uint64_t>(1);
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<float> acc = w.imm(0.0f);
+    for (uint32_t pass = 0; w.uniform(pass < 2); ++pass)
+        for (uint32_t k = 0; w.uniform(k < 64); ++k) {
+            Reg<uint32_t> idx = (i + k * 32u) % 2048u;
+            acc = acc + w.ldg<float>(table, idx);
+        }
+    w.stg<float>(out, i, acc);
+    co_return;
+}
+
+TEST(Sim, SmallerL1IsSlowerOnReuseKernel)
+{
+    Engine e;
+    auto table = e.alloc<float>(2048);
+    auto out = e.alloc<float>(512);
+    KernelParams p;
+    p.push(table.addr()).push(out.addr());
+    auto traces = capture(reuseKernel, Dim3(4), Dim3(128), 0, p, e);
+
+    GpuConfig big;
+    big.l1KB = 64;
+    GpuConfig tiny;
+    tiny.l1KB = 1;
+    SimResult rBig = simulate(traces[0], big);
+    SimResult rTiny = simulate(traces[0], tiny);
+    EXPECT_LT(rBig.l1Misses, rTiny.l1Misses);
+    EXPECT_LT(rBig.cycles, rTiny.cycles);
+}
+
+TEST(Sim, BandwidthMattersForStreaming)
+{
+    Engine e;
+    const uint32_t n = 32768;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto traces = capture(streamKernel, Dim3(128), Dim3(256), 0, p, e);
+
+    GpuConfig fat;
+    fat.dramBytesPerCycle = 64.0;
+    GpuConfig thin;
+    thin.dramBytesPerCycle = 4.0;
+    EXPECT_LT(simulate(traces[0], fat).cycles,
+              simulate(traces[0], thin).cycles);
+}
+
+TEST(Sim, SchedulersBothComplete)
+{
+    Engine e;
+    const uint32_t n = 8192;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    auto traces = capture(streamKernel, Dim3(32), Dim3(256), 0, p, e);
+
+    GpuConfig gto;
+    gto.sched = SchedPolicy::Gto;
+    GpuConfig rr;
+    rr.sched = SchedPolicy::RoundRobin;
+    SimResult a = simulate(traces[0], gto);
+    SimResult b = simulate(traces[0], rr);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_GT(a.cycles, 0u);
+    EXPECT_GT(b.cycles, 0u);
+}
+
+TEST(Sim, DesignSpaceIsWellFormed)
+{
+    auto cfgs = designSpace();
+    EXPECT_GE(cfgs.size(), 8u);
+    for (const auto &c : cfgs) {
+        EXPECT_FALSE(c.name.empty());
+        EXPECT_GT(c.numCores, 0u);
+        EXPECT_GT(c.dramBytesPerCycle, 0.0);
+    }
+    // Names unique.
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        for (size_t j = i + 1; j < cfgs.size(); ++j)
+            EXPECT_NE(cfgs[i].name, cfgs[j].name);
+}
+
+TEST(Sim, SimulateAllAccumulates)
+{
+    Engine e;
+    const uint32_t n = 1024;
+    auto in = e.alloc<float>(n);
+    auto out = e.alloc<float>(n);
+    KernelParams p;
+    p.push(in.addr()).push(out.addr());
+    TraceCapture cap;
+    e.addHook(&cap);
+    e.launch("a", streamKernel, Dim3(4), Dim3(256), 0, p);
+    e.launch("b", streamKernel, Dim3(4), Dim3(256), 0, p);
+    e.clearHooks();
+    ASSERT_EQ(cap.traces().size(), 2u);
+    GpuConfig cfg;
+    SimResult sum = simulateAll(cap.traces(), cfg);
+    SimResult one = simulate(cap.traces()[0], cfg);
+    EXPECT_EQ(sum.instrs, 2 * one.instrs);
+    EXPECT_GT(sum.cycles, one.cycles);
+}
+
+} // anonymous namespace
+} // namespace gwc::timing

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Edge cases of the timing model and the engine's launch machinery
+ * that the main suites don't reach: occupancy limits, more cores
+ * than CTAs, hook fan-out, 2D geometry sweeps and memory-allocator
+ * alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/profiler.hh"
+#include "simt/engine.hh"
+#include "timing/gpu.hh"
+
+namespace gwc
+{
+namespace
+{
+
+using simt::Dim3;
+using simt::Engine;
+using simt::KernelParams;
+using simt::Reg;
+using simt::Warp;
+using simt::WarpTask;
+
+WarpTask
+tinyKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    w.stg<uint32_t>(out, i, i + 1u);
+    co_return;
+}
+
+WarpTask
+barKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    Reg<uint32_t> i = w.globalIdX();
+    w.stsE<uint32_t>(0, w.tidLinear(), i);
+    co_await w.barrier();
+    co_await w.barrier();
+    Reg<uint32_t> v = w.ldsE<uint32_t>(0, w.tidLinear());
+    w.stg<uint32_t>(out, i, v);
+    co_return;
+}
+
+std::vector<timing::KernelTrace>
+traceOf(const simt::KernelFn &fn, Dim3 grid, Dim3 cta, uint32_t smem)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(grid.count() * cta.count());
+    KernelParams p;
+    p.push(out.addr());
+    timing::TraceCapture cap;
+    e.addHook(&cap);
+    e.launch("k", fn, grid, cta, smem, p);
+    return std::move(cap.traces());
+}
+
+TEST(TimingEdge, MoreCoresThanCtas)
+{
+    auto traces = traceOf(tinyKernel, Dim3(2), Dim3(64), 0);
+    timing::GpuConfig cfg;
+    cfg.numCores = 16; // 14 cores idle
+    auto r = timing::simulate(traces[0], cfg);
+    EXPECT_EQ(r.instrs, traces[0].totalOps);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(TimingEdge, SingleCtaSlotSerializesCtas)
+{
+    auto traces = traceOf(tinyKernel, Dim3(8), Dim3(128), 0);
+    timing::GpuConfig one;
+    one.numCores = 1;
+    one.maxCtasPerCore = 1;
+    timing::GpuConfig four = one;
+    four.maxCtasPerCore = 4;
+    // More concurrent CTAs hide latency: never slower.
+    EXPECT_LE(timing::simulate(traces[0], four).cycles,
+              timing::simulate(traces[0], one).cycles);
+}
+
+TEST(TimingEdge, BarriersWithOccupancyRotation)
+{
+    // 6 CTAs through 2 slots with two barriers each: the barrier
+    // bookkeeping must survive CTA retirement and admission.
+    auto traces = traceOf(barKernel, Dim3(6), Dim3(96), 96 * 4);
+    timing::GpuConfig cfg;
+    cfg.numCores = 1;
+    cfg.maxCtasPerCore = 2;
+    auto r = timing::simulate(traces[0], cfg);
+    EXPECT_EQ(r.instrs, traces[0].totalOps);
+}
+
+TEST(TimingEdge, ZeroLengthWarpTraceHandled)
+{
+    timing::KernelTrace t;
+    t.name = "empty";
+    t.warpsPerCta = 1;
+    t.numCtas = 1;
+    t.warps.resize(1);
+    t.warps[0].cta = 0;
+    timing::GpuConfig cfg;
+    auto r = timing::simulate(t, cfg);
+    EXPECT_EQ(r.instrs, 0u);
+}
+
+TEST(EngineEdge, HookFanOutReachesAllHooks)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(64);
+    KernelParams p;
+    p.push(out.addr());
+    metrics::Profiler p1, p2;
+    timing::TraceCapture cap;
+    e.addHook(&p1);
+    e.addHook(&p2);
+    e.addHook(&cap);
+    auto st = e.launch("k", tinyKernel, Dim3(1), Dim3(64), 0, p);
+    auto a = p1.finalize("A");
+    auto b = p2.finalize("B");
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0].warpInstrs, b[0].warpInstrs);
+    EXPECT_EQ(cap.traces()[0].totalOps, st.warpInstrs);
+    for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
+        EXPECT_DOUBLE_EQ(a[0].metrics[c], b[0].metrics[c]);
+}
+
+struct Grid2D
+{
+    uint32_t gx, gy, cx, cy;
+};
+
+class Grid2DSweep : public ::testing::TestWithParam<Grid2D>
+{};
+
+WarpTask
+coord2dKernel(Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint32_t width = w.param<uint32_t>(1);
+    Reg<uint32_t> x = w.globalIdX();
+    Reg<uint32_t> y = w.globalIdY();
+    w.stg<uint32_t>(out, y * width + x, y * 1000u + x);
+    co_return;
+}
+
+TEST_P(Grid2DSweep, EveryCellWrittenOnce)
+{
+    auto [gx, gy, cx, cy] = GetParam();
+    uint32_t width = gx * cx, height = gy * cy;
+    Engine e;
+    auto out = e.alloc<uint32_t>(width * height);
+    out.fill(0xFFFFFFFF);
+    KernelParams p;
+    p.push(out.addr()).push(width);
+    e.launch("c2d", coord2dKernel, Dim3(gx, gy), Dim3(cx, cy), 0, p);
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = 0; x < width; ++x)
+            ASSERT_EQ(out[y * width + x], y * 1000 + x)
+                << x << "," << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engine, Grid2DSweep,
+    ::testing::Values(Grid2D{1, 1, 32, 4}, Grid2D{2, 3, 16, 8},
+                      Grid2D{4, 2, 32, 8}, Grid2D{3, 5, 8, 4},
+                      Grid2D{2, 2, 64, 2}),
+    [](const auto &info) {
+        const auto &g = info.param;
+        return "g" + std::to_string(g.gx) + "x" +
+               std::to_string(g.gy) + "c" + std::to_string(g.cx) +
+               "x" + std::to_string(g.cy);
+    });
+
+TEST(EngineEdge, AllocationAlignment)
+{
+    simt::GlobalMemory m;
+    uint64_t a = m.allocBytes(1);
+    uint64_t b = m.allocBytes(7);
+    uint64_t c = m.allocBytes(300);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_EQ(c % 256, 0u);
+    EXPECT_GT(b, a);
+    EXPECT_GT(c, b);
+    // The 128B coalescing segments never straddle two buffers.
+    EXPECT_NE(a / 128, b / 128);
+}
+
+TEST(EngineEdge, TraceCaptureCapTruncatesSafely)
+{
+    Engine e;
+    auto out = e.alloc<uint32_t>(4096);
+    KernelParams p;
+    p.push(out.addr());
+    timing::TraceCapture cap(100); // absurdly small cap
+    e.addHook(&cap);
+    e.launch("k", tinyKernel, Dim3(16), Dim3(256), 0, p);
+    EXPECT_TRUE(cap.truncated());
+    EXPECT_EQ(cap.traces()[0].totalOps, 100u);
+    // Truncated traces still simulate.
+    timing::GpuConfig cfg;
+    auto r = timing::simulate(cap.traces()[0], cfg);
+    EXPECT_EQ(r.instrs, 100u);
+}
+
+} // anonymous namespace
+} // namespace gwc

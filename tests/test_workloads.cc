@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Integration tests for the workload collection: every registered
+ * workload must run, verify against its host reference, and exhibit
+ * the characteristic signature it exists to provide.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.hh"
+
+namespace gwc::workloads
+{
+namespace
+{
+
+using metrics::KernelProfile;
+
+/** Run one workload and return its profiles (verification on). */
+WorkloadRun
+runOne(const std::string &abbrev)
+{
+    SuiteOptions opts;
+    opts.verify = true;
+    auto runs = runSuite({abbrev}, opts);
+    EXPECT_EQ(runs.size(), 1u);
+    return runs.front();
+}
+
+/** Parameterized: every workload verifies and produces profiles. */
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AllWorkloads, RunsAndVerifies)
+{
+    WorkloadRun run = runOne(GetParam());
+    EXPECT_TRUE(run.verified);
+    EXPECT_FALSE(run.profiles.empty());
+    EXPECT_GT(run.totals.warpInstrs, 1000u);
+    for (const auto &p : run.profiles) {
+        // Sanity of every characteristic vector.
+        const auto &m = p.metrics;
+        EXPECT_GE(m[metrics::kSimdActivity], 0.0) << p.label();
+        EXPECT_LE(m[metrics::kSimdActivity], 1.0 + 1e-9) << p.label();
+        EXPECT_GE(m[metrics::kDivBranchFrac], 0.0) << p.label();
+        EXPECT_LE(m[metrics::kDivBranchFrac], 1.0 + 1e-9)
+            << p.label();
+        EXPECT_LE(m[metrics::kCoalescingEff], 1.0 + 1e-9)
+            << p.label();
+        for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            EXPECT_TRUE(std::isfinite(m[c]))
+                << p.label() << " " << metrics::characteristicName(c);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllWorkloads, ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Workloads, RegistryIsConsistent)
+{
+    auto names = workloadNames();
+    EXPECT_FALSE(names.empty());
+    for (const auto &n : names) {
+        auto wl = makeWorkload(n);
+        EXPECT_EQ(wl->desc().abbrev, n);
+        EXPECT_FALSE(wl->desc().suite.empty());
+        EXPECT_FALSE(wl->desc().name.empty());
+    }
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("NOPE"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Workloads, MetricMatrixShape)
+{
+    SuiteOptions opts;
+    opts.verify = false;
+    auto runs = runSuite({"BLS", "RD"}, opts);
+    auto profiles = allProfiles(runs);
+    auto m = metricMatrix(profiles);
+    auto labels = profileLabels(profiles);
+    EXPECT_EQ(m.rows(), profiles.size());
+    EXPECT_EQ(m.cols(), size_t(metrics::kNumCharacteristics));
+    EXPECT_EQ(labels.size(), profiles.size());
+    EXPECT_EQ(labels[0].rfind("BLS.", 0), 0u);
+}
+
+// --- Signature checks: the named workloads must show the behaviour
+// --- the paper calls out for them.
+
+TEST(Signatures, BlackScholesIsSfuHeavyAndCoalesced)
+{
+    auto run = runOne("BLS");
+    const auto &m = run.profiles[0].metrics;
+    EXPECT_GT(m[metrics::kFracSfu], 0.05);
+    EXPECT_GT(m[metrics::kFracFpAlu], 0.2);
+    EXPECT_NEAR(m[metrics::kCoalescingEff], 1.0, 1e-6);
+    EXPECT_LT(m[metrics::kDivBranchFrac], 0.05);
+    EXPECT_EQ(m[metrics::kBarriersPerKiloInstr], 0.0);
+}
+
+TEST(Signatures, ReductionIsBarrierAndSmemHeavy)
+{
+    auto run = runOne("RD");
+    ASSERT_EQ(run.profiles.size(), 2u);
+    const auto &m = run.profiles[0].metrics;
+    EXPECT_GT(m[metrics::kFracSmem], 0.08);
+    EXPECT_GT(m[metrics::kBarriersPerKiloInstr], 10.0);
+    // Only the intra-warp tail of the tree (s < 32) diverges; the
+    // upper levels are warp-uniform, so the fraction is small but
+    // strictly positive and activity dips below full.
+    EXPECT_GT(m[metrics::kDivBranchFrac], 0.02);
+    EXPECT_LT(m[metrics::kSimdActivity], 0.97);
+}
+
+TEST(Signatures, ScanHasInterCtaSharingAndBarriers)
+{
+    auto run = runOne("SLA");
+    ASSERT_EQ(run.profiles.size(), 3u);
+    // addUniform reads the sums array written by scanBlocks: the
+    // profile of the whole workload must show inter-CTA sharing in
+    // the addUniform kernel (sums lines read by every CTA).
+    const auto &add = run.profiles[2];
+    EXPECT_EQ(add.kernel, "addUniform");
+    EXPECT_GT(add.metrics[metrics::kInterCtaSharedFrac], 0.0);
+    const auto &scan = run.profiles[0].metrics;
+    EXPECT_GT(scan[metrics::kBarriersPerKiloInstr], 5.0);
+    EXPECT_GT(scan[metrics::kFracSmem], 0.1);
+}
+
+TEST(Signatures, MumIsDivergentAndIrregular)
+{
+    auto run = runOne("MUM");
+    const auto &m = run.profiles[0].metrics;
+    // Data-dependent trie walks: heavy loop divergence, low
+    // activity, irregular gathers.
+    EXPECT_GT(m[metrics::kDivBranchFrac], 0.15);
+    EXPECT_LT(m[metrics::kSimdActivity], 0.85);
+    EXPECT_GT(m[metrics::kTxPerGmemAccess], 2.0);
+    EXPECT_GT(m[metrics::kStrideIrregFrac], 0.3);
+}
+
+TEST(Signatures, SimilarityScoreMergeLoopDiverges)
+{
+    auto run = runOne("SS");
+    ASSERT_EQ(run.profiles.size(), 2u);
+    const auto &score = run.profiles[1].metrics;
+    EXPECT_GT(score[metrics::kDivBranchFrac], 0.2);
+    EXPECT_LT(score[metrics::kSimdActivity], 0.8);
+    EXPECT_GT(score[metrics::kTxPerGmemAccess], 2.0);
+}
+
+TEST(Signatures, SpmvRowLengthDivergence)
+{
+    auto run = runOne("SPMV");
+    const auto &m = run.profiles[0].metrics;
+    EXPECT_GT(m[metrics::kDivBranchFrac], 0.3);
+    EXPECT_GT(m[metrics::kStrideIrregFrac], 0.2);
+}
+
+TEST(Signatures, KmeansKernelsContrastInCoalescing)
+{
+    auto run = runOne("KM");
+    ASSERT_EQ(run.profiles.size(), 2u);
+    const auto &swap = run.profiles[0];
+    const auto &assign = run.profiles[1];
+    ASSERT_EQ(swap.kernel, "swap");
+    // The transpose kernel reads point-major rows (stride f):
+    // many transactions per access. The assignment kernel reads
+    // feature-major (coalesced) points and broadcast centroids.
+    EXPECT_GT(swap.metrics[metrics::kTxPerGmemAccess],
+              3.0 * assign.metrics[metrics::kTxPerGmemAccess]);
+    EXPECT_GT(assign.metrics[metrics::kCoalescingEff], 0.5);
+}
+
+TEST(Signatures, CpAndMriqAreSfuSaturatedUniform)
+{
+    for (const char *name : {"CP", "MRIQ"}) {
+        auto run = runOne(name);
+        const auto &m = run.profiles.back().metrics;
+        EXPECT_GT(m[metrics::kFracSfu], 0.03) << name;
+        EXPECT_GT(m[metrics::kStrideUniformFrac], 0.3) << name;
+        EXPECT_EQ(m[metrics::kDivBranchFrac], 0.0) << name;
+        EXPECT_NEAR(m[metrics::kSimdActivity], 1.0, 1e-6) << name;
+    }
+}
+
+TEST(Signatures, HybridSortScatterIsUncoalesced)
+{
+    auto run = runOne("HSORT");
+    ASSERT_EQ(run.profiles.size(), 3u);
+    const auto &scatter = run.profiles[1];
+    ASSERT_EQ(scatter.kernel, "scatter");
+    EXPECT_GT(scatter.metrics[metrics::kTxPerGmemAccess], 4.0);
+    const auto &bitonic = run.profiles[2];
+    EXPECT_GT(bitonic.metrics[metrics::kBarriersPerKiloInstr], 10.0);
+    EXPECT_GT(bitonic.metrics[metrics::kDivBranchFrac], 0.1);
+}
+
+TEST(Signatures, BfsIsSparseAndDivergent)
+{
+    auto run = runOne("BFS");
+    const auto &expand = run.profiles[0].metrics;
+    EXPECT_GT(expand[metrics::kDivBranchFrac], 0.3);
+    EXPECT_LT(expand[metrics::kSimdActivity], 0.6);
+    EXPECT_GT(expand[metrics::kStrideIrregFrac], 0.3);
+}
+
+TEST(Signatures, NwDiagonalAccessUncoalesced)
+{
+    auto run = runOne("NW");
+    const auto &m = run.profiles[0].metrics;
+    EXPECT_GT(m[metrics::kTxPerGmemAccess], 8.0);
+    EXPECT_LT(m[metrics::kCoalescingEff], 0.2);
+}
+
+TEST(Signatures, MatrixMulSharedMemoryHeavy)
+{
+    auto run = runOne("MM");
+    const auto &m = run.profiles[0].metrics;
+    EXPECT_GT(m[metrics::kFracSmem], 0.15);
+    EXPECT_GT(m[metrics::kBarriersPerKiloInstr], 2.0);
+    EXPECT_GT(m[metrics::kIlp16], 1.2);
+    EXPECT_NEAR(m[metrics::kBankConflictDeg], 1.0, 0.2);
+}
+
+TEST(Signatures, StencilAndHotspotHaveHighReuse)
+{
+    for (const char *name : {"STC", "HS"}) {
+        auto run = runOne(name);
+        const auto &m = run.profiles[0].metrics;
+        EXPECT_GT(m[metrics::kReuseShortFrac], 0.3) << name;
+    }
+}
+
+TEST(Signatures, NnIsMemoryIntensityOutlier)
+{
+    // NN moves far more DRAM bytes per instruction than the
+    // compute-dense tiled matmul.
+    auto nn = runOne("NN");
+    auto mm = runOne("MM");
+    EXPECT_GT(nn.profiles[0].metrics[metrics::kMemIntensity],
+              2.0 * mm.profiles[0].metrics[metrics::kMemIntensity]);
+}
+
+TEST(Signatures, HistogramIsAtomicHeavy)
+{
+    auto run = runOne("HIST");
+    const auto &m = run.profiles[0].metrics;
+    EXPECT_GT(m[metrics::kFracAtomic], 0.02);
+    // Skewed bins produce shared-memory conflicts.
+    EXPECT_GT(m[metrics::kBankConflictDeg], 1.2);
+}
+
+} // anonymous namespace
+} // namespace gwc::workloads

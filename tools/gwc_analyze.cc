@@ -1,0 +1,98 @@
+/**
+ * @file
+ * gwc_analyze — run the paper's analysis pipeline over saved
+ * profiles: PCA, dendrogram, BIC k-means, representatives and
+ * per-subspace stress rankings.
+ *
+ *   gwc_analyze [-k K] [-c coverage] profiles.csv
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "evalmetrics/evalmetrics.hh"
+#include "metrics/profile_io.hh"
+#include "stats/pca.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gwc;
+
+    std::string path;
+    uint32_t forcedK = 0;
+    double coverage = 0.90;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-k" && i + 1 < argc) {
+            forcedK = uint32_t(std::atoi(argv[++i]));
+        } else if (arg == "-c" && i + 1 < argc) {
+            coverage = std::atof(argv[++i]);
+        } else if (arg == "-h" || arg == "--help") {
+            std::cerr << "usage: gwc_analyze [-k K] [-c coverage] "
+                         "profiles.csv\n";
+            return 0;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        fatal("no profile CSV given (see --help)");
+
+    auto profiles = metrics::loadProfiles(path);
+    if (profiles.size() < 3)
+        fatal("need at least 3 profiles, got %zu", profiles.size());
+    auto matrix = workloads::metricMatrix(profiles);
+    auto labels = workloads::profileLabels(profiles);
+    std::cout << "loaded " << profiles.size() << " kernel profiles\n";
+
+    auto pca = stats::pca(matrix);
+    size_t pcs = pca.numPcsFor(coverage);
+    std::cout << pcs << " PCs cover " << Table::pct(coverage, 0)
+              << " of variance\n\n";
+    auto space = pca.truncatedScores(pcs);
+
+    std::cout << cluster::agglomerate(space, cluster::Linkage::Ward)
+                     .render(labels)
+              << "\n";
+
+    Rng rng(1);
+    uint32_t k = forcedK
+                     ? forcedK
+                     : cluster::selectKByBic(
+                           space, uint32_t(space.rows()) / 2, rng);
+    auto km = cluster::kmeans(space, k, rng);
+    auto reps = cluster::medoids(space, km.labels, k);
+    std::cout << "k = " << k
+              << (forcedK ? " (forced)" : " (BIC)") << ", silhouette "
+              << Table::num(cluster::silhouette(space, km.labels), 3)
+              << "\n";
+    for (uint32_t c = 0; c < k; ++c) {
+        std::cout << "  cluster " << c << " [rep "
+                  << labels[reps[c]] << "]:";
+        for (size_t i = 0; i < labels.size(); ++i)
+            if (km.labels[i] == int(c))
+                std::cout << " " << labels[i];
+        std::cout << "\n";
+    }
+
+    std::cout << "\nper-subspace stress leaders:\n";
+    for (uint8_t s = 0;
+         s < uint8_t(metrics::Subspace::NumSubspaces); ++s) {
+        auto rank = evalmetrics::stressRanking(
+            matrix, metrics::Subspace(s));
+        std::cout << "  "
+                  << metrics::subspaceName(metrics::Subspace(s))
+                  << ": ";
+        for (size_t i = 0; i < rank.size() && i < 3; ++i)
+            std::cout << labels[rank[i].kernel]
+                      << (i < 2 ? ", " : "");
+        std::cout << "\n";
+    }
+    return 0;
+}

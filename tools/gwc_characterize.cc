@@ -1,0 +1,86 @@
+/**
+ * @file
+ * gwc_characterize — run workloads under the characterization
+ * profiler and write the kernel profiles to a CSV.
+ *
+ *   gwc_characterize [-o profiles.csv] [-s scale] [-S ctaStride]
+ *                    [--no-verify] [workload ...]
+ *
+ * With no workloads listed, the whole registered suite runs. The CSV
+ * loads back with gwc_analyze or metrics::loadProfiles().
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "metrics/profile_io.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr
+        << "usage: gwc_characterize [options] [workload ...]\n"
+           "  -o FILE      output CSV (default: profiles.csv)\n"
+           "  -s N         input-size scale (default 1)\n"
+           "  -S N         profile every Nth CTA only (default 1)\n"
+           "  --no-verify  skip host-reference verification\n"
+           "  --list       list registered workloads and exit\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gwc;
+
+    std::string outPath = "profiles.csv";
+    workloads::SuiteOptions opts;
+    opts.verbose = true;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "-s" && i + 1 < argc) {
+            opts.scale = uint32_t(std::atoi(argv[++i]));
+            if (opts.scale < 1)
+                fatal("scale must be >= 1");
+        } else if (arg == "-S" && i + 1 < argc) {
+            opts.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
+            if (opts.ctaSampleStride < 1)
+                fatal("CTA stride must be >= 1");
+        } else if (arg == "--no-verify") {
+            opts.verify = false;
+        } else if (arg == "--list") {
+            for (const auto &n : workloads::workloadNames()) {
+                auto wl = workloads::makeWorkload(n);
+                std::cout << n << "\t" << wl->desc().suite << "\t"
+                          << wl->desc().name << "\n";
+            }
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    auto runs = workloads::runSuite(names, opts);
+    auto profiles = workloads::allProfiles(runs);
+    metrics::saveProfiles(outPath, profiles);
+    inform("wrote %zu kernel profiles to %s", profiles.size(),
+           outPath.c_str());
+    return 0;
+}

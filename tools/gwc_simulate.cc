@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gwc_simulate — run the timing design space over workloads and
+ * print per-kernel IPC and speedups.
+ *
+ *   gwc_simulate [-s scale] [workload ...]
+ *
+ * Simulates every kernel of the listed workloads (default: all) on
+ * the built-in design points (see timing::designSpace()).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "timing/gpu.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gwc;
+
+    uint32_t scale = 1;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-s" && i + 1 < argc) {
+            scale = uint32_t(std::atoi(argv[++i]));
+            if (scale < 1)
+                fatal("scale must be >= 1");
+        } else if (arg == "-h" || arg == "--help") {
+            std::cerr << "usage: gwc_simulate [-s scale] "
+                         "[workload ...]\n";
+            return 0;
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (names.empty())
+        names = workloads::workloadNames();
+
+    auto cfgs = timing::designSpace();
+    std::vector<std::string> hdr{"kernel", "instrs",
+                                 "ipc@" + cfgs[0].name};
+    for (size_t c = 1; c < cfgs.size(); ++c)
+        hdr.push_back(cfgs[c].name);
+    Table t(hdr);
+
+    for (const auto &name : names) {
+        auto wl = workloads::makeWorkload(name);
+        simt::Engine engine;
+        timing::TraceCapture cap;
+        wl->setup(engine, scale);
+        engine.addHook(&cap);
+        wl->run(engine);
+        engine.clearHooks();
+
+        std::map<std::string, std::vector<timing::KernelTrace>> by;
+        std::vector<std::string> order;
+        for (auto &tr : cap.traces()) {
+            if (!by.count(tr.name))
+                order.push_back(tr.name);
+            by[tr.name].push_back(std::move(tr));
+        }
+        for (const auto &kname : order) {
+            std::vector<timing::SimResult> res;
+            for (const auto &cfg : cfgs)
+                res.push_back(timing::simulateAll(by[kname], cfg));
+            std::vector<std::string> row{
+                name + "." + kname,
+                Table::integer(int64_t(res[0].instrs)),
+                Table::num(res[0].ipc, 2)};
+            for (size_t c = 1; c < cfgs.size(); ++c)
+                row.push_back(Table::num(
+                    double(res[0].cycles) / double(res[c].cycles),
+                    3));
+            t.addRow(row);
+        }
+    }
+    std::cout << "speedup of each design point vs " << cfgs[0].name
+              << " (ipc column is the baseline)\n\n";
+    t.print(std::cout);
+    return 0;
+}
