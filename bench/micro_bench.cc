@@ -59,6 +59,35 @@ BM_EngineSaxpy(benchmark::State &state)
 }
 BENCHMARK(BM_EngineSaxpy);
 
+/**
+ * Hook dispatch floor: a no-op hook forces the engine to build and
+ * fan out every event payload. The gap to BM_EngineSaxpy is the cost
+ * of instrumentation itself; the further gap to
+ * BM_EngineSaxpyProfiled is the profiler's analysis work.
+ */
+void
+BM_EngineSaxpyNullHook(benchmark::State &state)
+{
+    Engine e;
+    const uint32_t n = 32768;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    KernelParams p;
+    p.push(x.addr()).push(y.addr());
+    simt::ProfilerHook nullHook;
+    e.addHook(&nullHook);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st =
+            e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineSaxpyNullHook);
+
 void
 BM_EngineSaxpyProfiled(benchmark::State &state)
 {

@@ -24,6 +24,26 @@ Profiler::Profiler() : Profiler(Config{}) {}
 Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {}
 
 void
+Profiler::attachStats(telemetry::Registry &reg)
+{
+    auto &g = reg.group("profiler");
+    statKernels_ = &g.counter("kernels", "distinct kernel profiles");
+    statLaunches_ = &g.counter("launches", "kernel launches observed");
+    statSampledCtas_ =
+        &g.counter("sampled_ctas", "CTAs fed to the collectors");
+    statSkippedCtas_ = &g.counter(
+        "skipped_ctas", "CTAs skipped by the sampling stride");
+    statInstrEvents_ =
+        &g.counter("instr_events", "instruction events consumed");
+    statMemEvents_ = &g.counter("mem_events", "memory events consumed");
+    statIlpWarps_ =
+        &g.counter("ilp_warps", "warps adopted by the ILP sampler");
+    statReuseDropped_ = &g.counter(
+        "reuse_cap_dropped",
+        "transactions dropped by the reuse-distance access cap");
+}
+
+void
 Profiler::kernelBegin(const simt::KernelInfo &info)
 {
     std::string key = info.name;
@@ -36,7 +56,11 @@ Profiler::kernelBegin(const simt::KernelInfo &info)
         acc->info.name = key;
         it = kernels_.emplace(key, std::move(acc)).first;
         order_.push_back(key);
+        if (statKernels_)
+            ++*statKernels_;
     }
+    if (statLaunches_)
+        ++*statLaunches_;
     cur_ = it->second.get();
     // Keep the most recent geometry but the (possibly #-suffixed)
     // profile key as the name.
@@ -61,6 +85,12 @@ Profiler::ctaBegin(uint32_t ctaLinear)
     ctaSampled_ =
         cfg_.ctaSampleStride <= 1 ||
         ctaLinear % cfg_.ctaSampleStride == 0;
+    if (statSampledCtas_) {
+        if (ctaSampled_)
+            ++*statSampledCtas_;
+        else
+            ++*statSkippedCtas_;
+    }
 }
 
 void
@@ -68,6 +98,8 @@ Profiler::instr(const simt::InstrEvent &ev)
 {
     if (!cur_ || !ctaSampled_)
         return;
+    if (statInstrEvents_)
+        ++*statInstrEvents_;
     KernelAcc &a = *cur_;
     ++a.perClass[size_t(ev.cls)];
     ++a.instrs;
@@ -80,6 +112,8 @@ Profiler::instr(const simt::InstrEvent &ev)
     if (!tracked && a.ilpWarps.size() < cfg_.ilpWarpCap) {
         a.ilpWarps.insert(ev.warpId);
         tracked = true;
+        if (statIlpWarps_)
+            ++*statIlpWarps_;
     }
     if (tracked) {
         for (uint32_t lane : cfg_.ilpLanes) {
@@ -97,6 +131,8 @@ Profiler::mem(const simt::MemEvent &ev)
 {
     if (!cur_ || !ctaSampled_)
         return;
+    if (statMemEvents_)
+        ++*statMemEvents_;
     KernelAcc &a = *cur_;
 
     if (ev.space == simt::MemSpace::Shared) {
@@ -303,7 +339,10 @@ Profiler::finalize(const std::string &workload)
     std::vector<KernelProfile> out;
     out.reserve(order_.size());
     for (const auto &name : order_) {
-        KernelProfile p = finish(*kernels_.at(name));
+        KernelAcc &acc = *kernels_.at(name);
+        if (statReuseDropped_)
+            *statReuseDropped_ += acc.reuse.droppedAccesses();
+        KernelProfile p = finish(acc);
         p.workload = workload;
         out.push_back(std::move(p));
     }

@@ -24,6 +24,7 @@
 #include "metrics/ilp.hh"
 #include "metrics/reuse.hh"
 #include "simt/hooks.hh"
+#include "telemetry/stats.hh"
 
 namespace gwc::metrics
 {
@@ -94,6 +95,14 @@ class Profiler : public simt::ProfilerHook
      */
     std::vector<KernelProfile> finalize(const std::string &workload);
 
+    /**
+     * Register profiler stats into the "profiler" group of @p reg:
+     * kernels/launches seen, sampled vs skipped CTAs, events
+     * consumed, ILP warps adopted and reuse-cap drops. Get-or-create,
+     * so successive profilers accumulate into one registry.
+     */
+    void attachStats(telemetry::Registry &reg);
+
   private:
     /** Accumulated raw counters of one kernel (across launches). */
     struct KernelAcc
@@ -150,6 +159,16 @@ class Profiler : public simt::ProfilerHook
     KernelAcc *cur_ = nullptr;
     bool ctaSampled_ = true;
     std::map<std::string, uint32_t> launchSeq_;
+
+    // Telemetry bindings (null until attachStats).
+    telemetry::Counter *statKernels_ = nullptr;
+    telemetry::Counter *statLaunches_ = nullptr;
+    telemetry::Counter *statSampledCtas_ = nullptr;
+    telemetry::Counter *statSkippedCtas_ = nullptr;
+    telemetry::Counter *statInstrEvents_ = nullptr;
+    telemetry::Counter *statMemEvents_ = nullptr;
+    telemetry::Counter *statIlpWarps_ = nullptr;
+    telemetry::Counter *statReuseDropped_ = nullptr;
 };
 
 } // namespace gwc::metrics

@@ -39,8 +39,10 @@ class ReuseDistanceAnalyzer
     void
     access(uint64_t line)
     {
-        if (now_ >= cap_)
+        if (now_ >= cap_) {
+            ++dropped_;
             return;
+        }
         ensureTree();
         uint32_t t = ++now_;
         auto it = last_.find(line);
@@ -60,6 +62,9 @@ class ReuseDistanceAnalyzer
 
     /** Accesses observed (within the cap). */
     uint64_t total() const { return now_; }
+
+    /** Accesses ignored because the cap was reached. */
+    uint64_t droppedAccesses() const { return dropped_; }
 
     /** First-touch (cold) accesses. */
     uint64_t coldMisses() const { return cold_; }
@@ -129,6 +134,7 @@ class ReuseDistanceAnalyzer
 
     uint32_t cap_;
     uint32_t now_ = 0;
+    uint64_t dropped_ = 0;
     uint64_t cold_ = 0;
     uint64_t shortCnt_ = 0;
     uint64_t medCnt_ = 0;

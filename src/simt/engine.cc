@@ -14,6 +14,30 @@
 namespace gwc::simt
 {
 
+void
+Engine::attachStats(telemetry::Registry &reg)
+{
+    auto &g = reg.group("engine");
+    statLaunches_ = &g.counter("launches", "kernel launches");
+    statCtas_ = &g.counter("ctas", "CTAs executed");
+    statWarps_ = &g.counter("warps", "warps executed");
+    statThreads_ = &g.counter("threads", "logical threads executed");
+    statWarpInstrs_ =
+        &g.counter("warp_instrs", "dynamic warp instructions");
+    statCtaThreads_ =
+        &g.histogram("cta_threads", "threads per CTA, per launch");
+    HookList::EventStats es;
+    es.kernels = &g.counter("ev_kernel", "kernelBegin events dispatched");
+    es.ctas = &g.counter("ev_cta", "ctaBegin events dispatched");
+    es.instrs = &g.counter("ev_instr", "instr events dispatched");
+    es.mems = &g.counter("ev_mem", "mem events dispatched");
+    es.branches = &g.counter("ev_branch", "branch events dispatched");
+    es.barriers = &g.counter("ev_barrier", "barrier events dispatched");
+    es.fanout =
+        &g.counter("ev_fanout", "hook deliveries (events x hooks)");
+    hooks_.bindStats(es);
+}
+
 LaunchStats
 Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
                Dim3 cta, uint32_t sharedBytes,
@@ -29,7 +53,12 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
         fatal("empty launch grid");
 
     KernelInfo info{name, grid, cta, sharedBytes};
-    hooks_.kernelBegin(info);
+    // With no hooks registered every dispatch (and the event payload
+    // construction in Warp) is skipped; ev_* stats count dispatched
+    // events only.
+    const bool dispatch = !hooks_.empty();
+    if (dispatch)
+        hooks_.kernelBegin(info);
 
     LaunchStats stats;
     uint32_t warpsPerCta =
@@ -38,7 +67,8 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
 
     std::vector<uint8_t> smem;
     for (uint32_t ctaLin = 0; ctaLin < numCtas; ++ctaLin) {
-        hooks_.ctaBegin(ctaLin);
+        if (dispatch)
+            hooks_.ctaBegin(ctaLin);
         smem.assign(sharedBytes, 0);
 
         // Warps live in a deque so coroutine frames can hold stable
@@ -95,12 +125,23 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
         }
 
         stats.warps += warpsPerCta;
-        hooks_.ctaEnd(ctaLin);
+        if (dispatch)
+            hooks_.ctaEnd(ctaLin);
     }
 
     stats.ctas = numCtas;
     stats.threads = ctaThreads * numCtas;
-    hooks_.kernelEnd();
+    if (dispatch)
+        hooks_.kernelEnd();
+
+    if (statLaunches_) {
+        ++*statLaunches_;
+        *statCtas_ += stats.ctas;
+        *statWarps_ += stats.warps;
+        *statThreads_ += stats.threads;
+        *statWarpInstrs_ += stats.warpInstrs;
+        statCtaThreads_->sample(ctaThreads);
+    }
     return stats;
 }
 

@@ -21,6 +21,7 @@
 #include "simt/task.hh"
 #include "simt/types.hh"
 #include "simt/warp.hh"
+#include "telemetry/stats.hh"
 
 namespace gwc::simt
 {
@@ -64,6 +65,14 @@ class Engine
     void clearHooks() { hooks_.clear(); }
 
     /**
+     * Register this engine's stats into the "engine" group of @p reg
+     * (launches, CTAs, warps, warp instructions, per-kind hook-event
+     * dispatch and fan-out). Registration is get-or-create, so
+     * successive engines attached to one registry accumulate.
+     */
+    void attachStats(telemetry::Registry &reg);
+
+    /**
      * Launch @p fn over @p grid x @p cta threads.
      *
      * @param name        kernel identifier reported to the hooks
@@ -81,6 +90,14 @@ class Engine
   private:
     GlobalMemory mem_;
     HookList hooks_;
+
+    // Telemetry bindings (null until attachStats).
+    telemetry::Counter *statLaunches_ = nullptr;
+    telemetry::Counter *statCtas_ = nullptr;
+    telemetry::Counter *statWarps_ = nullptr;
+    telemetry::Counter *statThreads_ = nullptr;
+    telemetry::Counter *statWarpInstrs_ = nullptr;
+    telemetry::Histogram *statCtaThreads_ = nullptr;
 };
 
 } // namespace gwc::simt

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "simt/types.hh"
+#include "telemetry/stats.hh"
 
 namespace gwc::simt
 {
@@ -102,18 +103,41 @@ class ProfilerHook
 class HookList : public ProfilerHook
 {
   public:
+    /**
+     * Optional telemetry bindings: events dispatched per kind plus
+     * total hook deliveries ("fan-out" = events x registered hooks).
+     * Null pointers disable the corresponding count.
+     */
+    struct EventStats
+    {
+        telemetry::Counter *kernels = nullptr;
+        telemetry::Counter *ctas = nullptr;
+        telemetry::Counter *instrs = nullptr;
+        telemetry::Counter *mems = nullptr;
+        telemetry::Counter *branches = nullptr;
+        telemetry::Counter *barriers = nullptr;
+        telemetry::Counter *fanout = nullptr;
+    };
+
     /** Register @p hook (not owned, must outlive the engine). */
     void add(ProfilerHook *hook) { hooks_.push_back(hook); }
 
-    /** Remove all hooks. */
+    /** Remove all hooks (stat bindings survive). */
     void clear() { hooks_.clear(); }
 
     /** True if no hooks are registered (events can be skipped). */
     bool empty() const { return hooks_.empty(); }
 
+    /** Number of registered hooks. */
+    size_t size() const { return hooks_.size(); }
+
+    /** Bind (or unbind, with default-constructed) event counters. */
+    void bindStats(const EventStats &stats) { stats_ = stats; }
+
     void
     kernelBegin(const KernelInfo &info) override
     {
+        count(stats_.kernels);
         for (auto *h : hooks_)
             h->kernelBegin(info);
     }
@@ -121,6 +145,7 @@ class HookList : public ProfilerHook
     void
     kernelEnd() override
     {
+        count(nullptr);
         for (auto *h : hooks_)
             h->kernelEnd();
     }
@@ -128,6 +153,7 @@ class HookList : public ProfilerHook
     void
     ctaBegin(uint32_t cta) override
     {
+        count(stats_.ctas);
         for (auto *h : hooks_)
             h->ctaBegin(cta);
     }
@@ -135,6 +161,7 @@ class HookList : public ProfilerHook
     void
     ctaEnd(uint32_t cta) override
     {
+        count(nullptr);
         for (auto *h : hooks_)
             h->ctaEnd(cta);
     }
@@ -142,6 +169,7 @@ class HookList : public ProfilerHook
     void
     instr(const InstrEvent &ev) override
     {
+        count(stats_.instrs);
         for (auto *h : hooks_)
             h->instr(ev);
     }
@@ -149,6 +177,7 @@ class HookList : public ProfilerHook
     void
     mem(const MemEvent &ev) override
     {
+        count(stats_.mems);
         for (auto *h : hooks_)
             h->mem(ev);
     }
@@ -156,6 +185,7 @@ class HookList : public ProfilerHook
     void
     branch(const BranchEvent &ev) override
     {
+        count(stats_.branches);
         for (auto *h : hooks_)
             h->branch(ev);
     }
@@ -163,12 +193,23 @@ class HookList : public ProfilerHook
     void
     barrier(uint32_t warpId) override
     {
+        count(stats_.barriers);
         for (auto *h : hooks_)
             h->barrier(warpId);
     }
 
   private:
+    void
+    count(telemetry::Counter *c)
+    {
+        if (c)
+            ++*c;
+        if (stats_.fanout)
+            *stats_.fanout += hooks_.size();
+    }
+
     std::vector<ProfilerHook *> hooks_;
+    EventStats stats_;
 };
 
 } // namespace gwc::simt

@@ -329,7 +329,8 @@ Warp::barrier()
     Lanes<uint32_t> noDep{};
     uint32_t idx = nextIndex();
     recordInstr(OpClass::Sync, idx, noDep);
-    hooks_.barrier(warpId_);
+    if (!hooks_.empty())
+        hooks_.barrier(warpId_);
     state_ = WarpState::AtBarrier;
     return BarrierAwaiter{};
 }

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Run-report JSON serialization.
+ */
+
+#include "telemetry/report.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gwc::telemetry
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    // Fixed 6-digit precision keeps timings readable and valid JSON
+    // (never inf/nan from the fields we serialize).
+    std::ostringstream ss;
+    ss.precision(6);
+    ss << std::fixed << v;
+    return ss.str();
+}
+
+} // anonymous namespace
+
+void
+writeRunReport(std::ostream &os, const RunReport &r,
+               const Registry *stats)
+{
+    uint64_t kernels = 0;
+    uint64_t warpInstrs = 0;
+    double setup = 0, simulate = 0, profile = 0, verify = 0;
+    for (const auto &w : r.workloads) {
+        kernels += w.kernels.size();
+        warpInstrs += w.warpInstrs;
+        setup += w.setupSec;
+        simulate += w.simulateSec;
+        profile += w.profileSec;
+        verify += w.verifySec;
+    }
+    double eventsPerSec =
+        r.wallSec > 0 ? double(r.hookEvents) / r.wallSec : 0.0;
+
+    os << "{\"tool\":\"" << jsonEscape(r.tool) << "\","
+       << "\"report_version\":1,"
+       << "\"totals\":{"
+       << "\"workloads\":" << r.workloads.size() << ","
+       << "\"kernels\":" << kernels << ","
+       << "\"warp_instrs\":" << warpInstrs << ","
+       << "\"hook_events\":" << r.hookEvents << ","
+       << "\"wall_sec\":" << num(r.wallSec) << ","
+       << "\"events_per_sec\":" << num(eventsPerSec) << "},"
+       << "\"phases\":{"
+       << "\"setup_sec\":" << num(setup) << ","
+       << "\"simulate_sec\":" << num(simulate) << ","
+       << "\"profile_sec\":" << num(profile) << ","
+       << "\"verify_sec\":" << num(verify) << "},"
+       << "\"workloads\":[";
+
+    bool firstW = true;
+    for (const auto &w : r.workloads) {
+        if (!firstW)
+            os << ",";
+        firstW = false;
+        os << "{\"name\":\"" << jsonEscape(w.name) << "\","
+           << "\"verified\":" << (w.verified ? "true" : "false") << ","
+           << "\"warp_instrs\":" << w.warpInstrs << ","
+           << "\"phases\":{"
+           << "\"setup_sec\":" << num(w.setupSec) << ","
+           << "\"simulate_sec\":" << num(w.simulateSec) << ","
+           << "\"profile_sec\":" << num(w.profileSec) << ","
+           << "\"verify_sec\":" << num(w.verifySec) << "},"
+           << "\"kernels\":[";
+        bool firstK = true;
+        for (const auto &k : w.kernels) {
+            if (!firstK)
+                os << ",";
+            firstK = false;
+            os << "{\"name\":\"" << jsonEscape(k.name) << "\","
+               << "\"launches\":" << k.launches << ","
+               << "\"warp_instrs\":" << k.warpInstrs << ","
+               << "\"geometry\":\"" << jsonEscape(k.geometry) << "\"}";
+        }
+        os << "]}";
+    }
+    os << "]";
+
+    if (stats) {
+        os << ",\"stats\":";
+        stats->dumpJson(os);
+    }
+    os << "}\n";
+}
+
+void
+writeRunReportFile(const std::string &path, const RunReport &r,
+                   const Registry *stats)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open stats report '%s' for writing",
+              path.c_str());
+    writeRunReport(out, r, stats);
+    out.close();
+    if (!out)
+        fatal("error writing stats report '%s'", path.c_str());
+}
+
+} // namespace gwc::telemetry

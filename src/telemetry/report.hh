@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Run-report layer: a per-run JSON summary (workload and kernel
+ * tables, per-phase wall-clock, event counts and throughput) written
+ * by the CLI tools via --stats-out.
+ *
+ * The structs here are plain data deliberately decoupled from the
+ * profiler/workload types, so the telemetry library stays at the
+ * bottom of the dependency graph; tools and the suite driver fill
+ * them in.
+ */
+
+#ifndef GWC_TELEMETRY_REPORT_HH
+#define GWC_TELEMETRY_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/stats.hh"
+
+namespace gwc::telemetry
+{
+
+/** One kernel row of the report's kernel table. */
+struct KernelReportRow
+{
+    std::string name;         ///< kernel (profile) name
+    uint32_t launches = 0;    ///< launches merged into the profile
+    uint64_t warpInstrs = 0;  ///< dynamic warp instructions observed
+    std::string geometry;     ///< "gx.gy.gz/cx.cy.cz" of the last launch
+};
+
+/** Per-workload section of the report. */
+struct WorkloadReport
+{
+    std::string name;          ///< workload abbreviation
+    bool verified = false;     ///< host-reference check passed
+    double setupSec = 0;       ///< input generation + upload
+    double simulateSec = 0;    ///< kernel execution on the engine
+    double profileSec = 0;     ///< profile finalization
+    double verifySec = 0;      ///< host-reference verification
+    uint64_t warpInstrs = 0;   ///< total dynamic warp instructions
+    std::vector<KernelReportRow> kernels;
+};
+
+/** The whole run. */
+struct RunReport
+{
+    std::string tool;          ///< producing tool, e.g. "gwc_characterize"
+    double wallSec = 0;        ///< end-to-end wall-clock
+    uint64_t hookEvents = 0;   ///< engine events fanned out to hooks
+    std::vector<WorkloadReport> workloads;
+};
+
+/**
+ * Serialize @p r as one JSON object; when @p stats is non-null its
+ * full dump is embedded under "stats". Derived totals (workloads,
+ * kernels, warp instructions, events/sec) are computed here so every
+ * consumer sees the same arithmetic.
+ */
+void writeRunReport(std::ostream &os, const RunReport &r,
+                    const Registry *stats);
+
+/** writeRunReport into @p path (fatal on IO error). */
+void writeRunReportFile(const std::string &path, const RunReport &r,
+                        const Registry *stats);
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_REPORT_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Stats registry implementation: registration and the two dump
+ * renderers.
+ */
+
+#include "telemetry/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gwc::telemetry
+{
+
+Counter &
+Group::counter(const std::string &name, const std::string &desc)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        if (it->second.first != Kind::Counter)
+            panic("stat %s.%s re-registered as a counter",
+                  name_.c_str(), name.c_str());
+        return *counters_[it->second.second];
+    }
+    index_.emplace(name, std::make_pair(Kind::Counter, counters_.size()));
+    counters_.push_back(std::make_unique<Counter>(name, desc));
+    return *counters_.back();
+}
+
+Histogram &
+Group::histogram(const std::string &name, const std::string &desc)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        if (it->second.first != Kind::Histogram)
+            panic("stat %s.%s re-registered as a histogram",
+                  name_.c_str(), name.c_str());
+        return *histograms_[it->second.second];
+    }
+    index_.emplace(name,
+                   std::make_pair(Kind::Histogram, histograms_.size()));
+    histograms_.push_back(std::make_unique<Histogram>(name, desc));
+    return *histograms_.back();
+}
+
+Timer &
+Group::timer(const std::string &name, const std::string &desc)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        if (it->second.first != Kind::Timer)
+            panic("stat %s.%s re-registered as a timer",
+                  name_.c_str(), name.c_str());
+        return *timers_[it->second.second];
+    }
+    index_.emplace(name, std::make_pair(Kind::Timer, timers_.size()));
+    timers_.push_back(std::make_unique<Timer>(name, desc));
+    return *timers_.back();
+}
+
+const Counter *
+Group::findCounter(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end() || it->second.first != Kind::Counter)
+        return nullptr;
+    return counters_[it->second.second].get();
+}
+
+const Timer *
+Group::findTimer(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end() || it->second.first != Kind::Timer)
+        return nullptr;
+    return timers_[it->second.second].get();
+}
+
+Group &
+Registry::group(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return *groups_[it->second];
+    index_.emplace(name, groups_.size());
+    groups_.push_back(std::make_unique<Group>(name));
+    return *groups_.back();
+}
+
+const Group *
+Registry::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : groups_[it->second].get();
+}
+
+uint64_t
+Registry::counterTotal(const std::string &group,
+                       const std::string &name) const
+{
+    const Group *g = find(group);
+    if (!g)
+        return 0;
+    const Counter *c = g->findCounter(name);
+    return c ? c->value() : 0;
+}
+
+void
+Registry::dumpText(std::ostream &os) const
+{
+    // One "group.stat" label per line, aligned gem5-style.
+    size_t width = 0;
+    for (const auto &g : groups_) {
+        for (const auto &c : g->counters())
+            width = std::max(width,
+                             g->name().size() + c->name().size() + 1);
+        for (const auto &h : g->histograms())
+            width = std::max(width, g->name().size() +
+                                        h->name().size() + 7);
+        for (const auto &t : g->timers())
+            width = std::max(width,
+                             g->name().size() + t->name().size() + 5);
+    }
+
+    auto line = [&](const std::string &label, const std::string &value,
+                    const std::string &desc) {
+        os << std::left << std::setw(int(width)) << label << "  "
+           << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << "\n";
+    };
+
+    for (const auto &g : groups_) {
+        for (const auto &c : g->counters())
+            line(g->name() + "." + c->name(),
+                 std::to_string(c->value()), c->desc());
+        for (const auto &h : g->histograms()) {
+            std::string base = g->name() + "." + h->name();
+            line(base + "::count", std::to_string(h->count()),
+                 h->desc());
+            std::ostringstream mean;
+            mean << std::fixed << std::setprecision(2) << h->mean();
+            line(base + "::mean", mean.str(), "");
+            line(base + "::min", std::to_string(h->min()), "");
+            line(base + "::max", std::to_string(h->max()), "");
+        }
+        for (const auto &t : g->timers()) {
+            std::string base = g->name() + "." + t->name();
+            std::ostringstream sec;
+            sec << std::fixed << std::setprecision(6) << t->sec();
+            line(base + "::sec", sec.str(), t->desc());
+            line(base + "::laps", std::to_string(t->laps()), "");
+        }
+    }
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    os << "{\"groups\":[";
+    bool firstG = true;
+    for (const auto &g : groups_) {
+        if (!firstG)
+            os << ",";
+        firstG = false;
+        os << "{\"name\":\"" << jsonEscape(g->name())
+           << "\",\"counters\":[";
+        bool first = true;
+        for (const auto &c : g->counters()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"" << jsonEscape(c->name())
+               << "\",\"desc\":\"" << jsonEscape(c->desc())
+               << "\",\"value\":" << c->value() << "}";
+        }
+        os << "],\"histograms\":[";
+        first = true;
+        for (const auto &h : g->histograms()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"" << jsonEscape(h->name())
+               << "\",\"desc\":\"" << jsonEscape(h->desc())
+               << "\",\"count\":" << h->count()
+               << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
+               << ",\"max\":" << h->max() << ",\"buckets\":[";
+            for (size_t i = 0; i < Histogram::kBuckets; ++i)
+                os << (i ? "," : "") << h->bucket(i);
+            os << "]}";
+        }
+        os << "],\"timers\":[";
+        first = true;
+        for (const auto &t : g->timers()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"" << jsonEscape(t->name())
+               << "\",\"desc\":\"" << jsonEscape(t->desc())
+               << "\",\"ns\":" << t->ns() << ",\"laps\":" << t->laps()
+               << "}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+std::string
+Registry::jsonString() const
+{
+    std::ostringstream ss;
+    dumpJson(ss);
+    return ss.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += strfmt("\\u%04x", ch);
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+} // namespace gwc::telemetry

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * gem5-style statistics registry for the framework itself.
+ *
+ * Components (engine, profiler, suite driver, trace recorder) obtain
+ * a named Group from a Registry and register Counters, Histograms and
+ * Timers into it. Stats are identified by "group.name", keep their
+ * registration order, and dump as aligned text or JSON. Registration
+ * is get-or-create, so successive component instances (one Engine per
+ * workload, say) accumulate into the same stat.
+ *
+ * This measures the instrumentation, not the simulated program: it is
+ * the observability layer MICA-style characterization pipelines ship
+ * so sampling/accuracy trade-offs can be quantified instead of
+ * guessed.
+ */
+
+#ifndef GWC_TELEMETRY_STATS_HH
+#define GWC_TELEMETRY_STATS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gwc::telemetry
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    Counter &operator++() { ++v_; return *this; }
+    Counter &operator+=(uint64_t n) { v_ += n; return *this; }
+
+    uint64_t value() const { return v_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t v_ = 0;
+};
+
+/**
+ * Power-of-two bucketed histogram of uint64 samples. Bucket i counts
+ * samples in [2^(i-1), 2^i) with bucket 0 counting zeros; the last
+ * bucket is open-ended.
+ */
+class Histogram
+{
+  public:
+    /** Buckets: 0, 1, 2-3, ..., [2^14,2^15), >= 2^15. */
+    static constexpr size_t kBuckets = 17;
+
+    Histogram(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    void
+    sample(uint64_t x)
+    {
+        ++buckets_[bucketOf(x)];
+        ++count_;
+        sum_ += x;
+        if (count_ == 1) {
+            min_ = max_ = x;
+        } else {
+            if (x < min_) min_ = x;
+            if (x > max_) max_ = x;
+        }
+    }
+
+    /** Bucket index a value falls into. */
+    static size_t
+    bucketOf(uint64_t x)
+    {
+        if (x == 0)
+            return 0;
+        size_t b = 1;
+        while (x > 1 && b + 1 < kBuckets) {
+            x >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return min_; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+    uint64_t bucket(size_t i) const { return buckets_[i]; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t buckets_[kBuckets] = {};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+/** Accumulated wall-clock time, fed by ScopedTimer. */
+class Timer
+{
+  public:
+    Timer(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    void addNs(uint64_t ns) { ns_ += ns; ++laps_; }
+
+    uint64_t ns() const { return ns_; }
+    uint64_t laps() const { return laps_; }
+    double sec() const { return double(ns_) * 1e-9; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t ns_ = 0;
+    uint64_t laps_ = 0;
+};
+
+/**
+ * RAII lap of a Timer: accumulates the elapsed wall-clock time of its
+ * scope. A null timer makes the scope free, so call sites need no
+ * "is telemetry attached" branches.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer *t)
+        : t_(t),
+          start_(t ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{})
+    {}
+
+    ~ScopedTimer() { stop(); }
+
+    /** Stop early (idempotent). */
+    void
+    stop()
+    {
+        if (!t_)
+            return;
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+        t_->addNs(uint64_t(ns));
+        t_ = nullptr;
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Timer *t_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Named collection of stats belonging to one component. Lookups are
+ * get-or-create; re-registering a name as a different stat kind is a
+ * panic (library bug).
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Get or create the counter @p name. */
+    Counter &counter(const std::string &name, const std::string &desc);
+
+    /** Get or create the histogram @p name. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc);
+
+    /** Get or create the timer @p name. */
+    Timer &timer(const std::string &name, const std::string &desc);
+
+    /** Counter lookup without creation (null if absent). */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Timer lookup without creation (null if absent). */
+    const Timer *findTimer(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::unique_ptr<Counter>> &counters() const
+    { return counters_; }
+    const std::vector<std::unique_ptr<Histogram>> &histograms() const
+    { return histograms_; }
+    const std::vector<std::unique_ptr<Timer>> &timers() const
+    { return timers_; }
+
+  private:
+    enum class Kind : uint8_t { Counter, Histogram, Timer };
+
+    std::string name_;
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Histogram>> histograms_;
+    std::vector<std::unique_ptr<Timer>> timers_;
+    std::map<std::string, std::pair<Kind, size_t>> index_;
+};
+
+/**
+ * The stats root: owns Groups in creation order and renders the whole
+ * tree as aligned text ("group.stat value # desc") or as one JSON
+ * object (see docs/OBSERVABILITY.md for the schema).
+ */
+class Registry
+{
+  public:
+    /** Get or create the group @p name. */
+    Group &group(const std::string &name);
+
+    /** Group lookup without creation (null if absent). */
+    const Group *find(const std::string &name) const;
+
+    /** Value of counter @p name in @p group (0 if either is absent). */
+    uint64_t counterTotal(const std::string &group,
+                          const std::string &name) const;
+
+    void dumpText(std::ostream &os) const;
+    void dumpJson(std::ostream &os) const;
+
+    /** dumpJson into a string. */
+    std::string jsonString() const;
+
+    const std::vector<std::unique_ptr<Group>> &groups() const
+    { return groups_; }
+
+  private:
+    std::vector<std::unique_ptr<Group>> groups_;
+    std::map<std::string, size_t> index_;
+};
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_STATS_HH

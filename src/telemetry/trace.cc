@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Trace writer/reader implementation.
+ */
+
+#include "telemetry/trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace gwc::telemetry
+{
+
+using simt::kWarpSize;
+
+namespace
+{
+
+void
+putU8(std::vector<uint8_t> &v, uint8_t x)
+{
+    v.push_back(x);
+}
+
+void
+putU16(std::vector<uint8_t> &v, uint16_t x)
+{
+    v.push_back(uint8_t(x));
+    v.push_back(uint8_t(x >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &v, uint32_t x)
+{
+    for (int i = 0; i < 4; ++i)
+        v.push_back(uint8_t(x >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &v, uint64_t x)
+{
+    for (int i = 0; i < 8; ++i)
+        v.push_back(uint8_t(x >> (8 * i)));
+}
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : TraceWriter(path, Config())
+{}
+
+TraceWriter::TraceWriter(const std::string &path, Config cfg)
+    : path_(path), cfg_(cfg)
+{
+    if (cfg_.ctaSampleStride < 1)
+        fatal("trace CTA sample stride must be >= 1");
+    if (cfg_.bufferBytes < 4096)
+        cfg_.bufferBytes = 4096;
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_)
+        fatal("cannot open trace file '%s' for writing", path_.c_str());
+    open_ = true;
+    std::vector<uint8_t> hdr;
+    hdr.insert(hdr.end(), kTraceMagic, kTraceMagic + sizeof(kTraceMagic));
+    putU32(hdr, kTraceVersion);
+    putU32(hdr, cfg_.ctaSampleStride);
+    out_.write(reinterpret_cast<const char *>(hdr.data()),
+               std::streamsize(hdr.size()));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (!open_)
+        return;
+    flush();
+    out_.close();
+    if (!out_)
+        fatal("error writing trace file '%s'", path_.c_str());
+    open_ = false;
+}
+
+void
+TraceWriter::attachStats(Registry &reg)
+{
+    auto &g = reg.group("trace");
+    statRecords_ = &g.counter("records", "trace records accepted");
+    statBytes_ = &g.counter("bytes", "encoded record bytes");
+    statEvicted_ =
+        &g.counter("evicted", "records evicted by the flight ring");
+}
+
+void
+TraceWriter::put(std::vector<uint8_t> &&rec)
+{
+    if (!open_)
+        return;
+    if (statRecords_) {
+        ++*statRecords_;
+        *statBytes_ += rec.size();
+    }
+    ringBytes_ += rec.size();
+    ring_.push_back(std::move(rec));
+    if (ringBytes_ <= cfg_.bufferBytes)
+        return;
+    if (cfg_.flightRecorder) {
+        while (ringBytes_ > cfg_.bufferBytes && ring_.size() > 1) {
+            ringBytes_ -= ring_.front().size();
+            ring_.pop_front();
+            ++evicted_;
+            if (statEvicted_)
+                ++*statEvicted_;
+        }
+    } else {
+        flush();
+    }
+}
+
+void
+TraceWriter::flush()
+{
+    for (const auto &rec : ring_)
+        out_.write(reinterpret_cast<const char *>(rec.data()),
+                   std::streamsize(rec.size()));
+    ring_.clear();
+    ringBytes_ = 0;
+    if (!out_)
+        fatal("error writing trace file '%s'", path_.c_str());
+}
+
+void
+TraceWriter::kernelBegin(const simt::KernelInfo &info)
+{
+    ++counts_.kernelBegins;
+    std::vector<uint8_t> rec;
+    rec.reserve(40 + info.name.size());
+    putU8(rec, uint8_t(TraceTag::KernelBegin));
+    if (info.name.size() > 0xFFFF)
+        fatal("kernel name longer than 65535 bytes");
+    putU16(rec, uint16_t(info.name.size()));
+    rec.insert(rec.end(), info.name.begin(), info.name.end());
+    putU32(rec, info.grid.x);
+    putU32(rec, info.grid.y);
+    putU32(rec, info.grid.z);
+    putU32(rec, info.cta.x);
+    putU32(rec, info.cta.y);
+    putU32(rec, info.cta.z);
+    putU32(rec, info.sharedBytes);
+    put(std::move(rec));
+}
+
+void
+TraceWriter::kernelEnd()
+{
+    ++counts_.kernelEnds;
+    std::vector<uint8_t> rec;
+    putU8(rec, uint8_t(TraceTag::KernelEnd));
+    put(std::move(rec));
+}
+
+void
+TraceWriter::ctaBegin(uint32_t ctaLinear)
+{
+    sampled_ = cfg_.ctaSampleStride <= 1 ||
+               ctaLinear % cfg_.ctaSampleStride == 0;
+    if (!sampled_)
+        return;
+    ++counts_.ctaBegins;
+    std::vector<uint8_t> rec;
+    putU8(rec, uint8_t(TraceTag::CtaBegin));
+    putU32(rec, ctaLinear);
+    put(std::move(rec));
+}
+
+void
+TraceWriter::ctaEnd(uint32_t ctaLinear)
+{
+    if (!sampled_)
+        return;
+    ++counts_.ctaEnds;
+    std::vector<uint8_t> rec;
+    putU8(rec, uint8_t(TraceTag::CtaEnd));
+    putU32(rec, ctaLinear);
+    put(std::move(rec));
+}
+
+void
+TraceWriter::instr(const simt::InstrEvent &ev)
+{
+    if (!sampled_)
+        return;
+    ++counts_.instrs;
+    std::vector<uint8_t> rec;
+    rec.reserve(14);
+    putU8(rec, uint8_t(TraceTag::Instr));
+    putU8(rec, uint8_t(ev.cls));
+    putU32(rec, ev.active);
+    putU32(rec, ev.warpId);
+    putU32(rec, ev.ctaLinear);
+    put(std::move(rec));
+}
+
+void
+TraceWriter::mem(const simt::MemEvent &ev)
+{
+    if (!sampled_)
+        return;
+    ++counts_.mems;
+    std::vector<uint8_t> rec;
+    rec.reserve(15 + 8 * simt::laneCount(ev.active));
+    putU8(rec, uint8_t(TraceTag::Mem));
+    uint8_t flags = (ev.space == simt::MemSpace::Shared ? 1 : 0) |
+                    (ev.store ? 2 : 0) | (ev.atomic ? 4 : 0);
+    putU8(rec, flags);
+    putU8(rec, ev.accessSize);
+    putU32(rec, ev.active);
+    putU32(rec, ev.warpId);
+    putU32(rec, ev.ctaLinear);
+    for (uint32_t l = 0; l < kWarpSize; ++l)
+        if (ev.active & (1u << l))
+            putU64(rec, ev.addr[l]);
+    put(std::move(rec));
+}
+
+void
+TraceWriter::branch(const simt::BranchEvent &ev)
+{
+    if (!sampled_)
+        return;
+    ++counts_.branches;
+    std::vector<uint8_t> rec;
+    rec.reserve(13);
+    putU8(rec, uint8_t(TraceTag::Branch));
+    putU32(rec, ev.active);
+    putU32(rec, ev.taken);
+    putU32(rec, ev.warpId);
+    put(std::move(rec));
+}
+
+void
+TraceWriter::barrier(uint32_t warpId)
+{
+    if (!sampled_)
+        return;
+    ++counts_.barriers;
+    std::vector<uint8_t> rec;
+    rec.reserve(5);
+    putU8(rec, uint8_t(TraceTag::Barrier));
+    putU32(rec, warpId);
+    put(std::move(rec));
+}
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    auto size = in.tellg();
+    in.seekg(0);
+    data_.resize(size_t(size));
+    in.read(reinterpret_cast<char *>(data_.data()),
+            std::streamsize(data_.size()));
+    if (!in)
+        fatal("error reading trace file '%s'", path.c_str());
+
+    if (data_.size() < 16 ||
+        std::memcmp(data_.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
+        fatal("'%s' is not a gwc trace (bad magic)", path.c_str());
+    auto u32At = [&](size_t off) {
+        uint32_t x;
+        std::memcpy(&x, data_.data() + off, 4);
+        return x;
+    };
+    version_ = u32At(8);
+    if (version_ != kTraceVersion)
+        fatal("trace '%s' has version %u, expected %u", path.c_str(),
+              version_, kTraceVersion);
+    stride_ = u32At(12);
+    pos_ = 16;
+}
+
+TraceCounts
+TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
+{
+    TraceCounts counts;
+    uint64_t skipped = 0;
+    bool inKernel = false;
+    size_t pos = pos_;
+
+    auto need = [&](size_t n) {
+        if (pos + n > data_.size())
+            fatal("trace '%s' truncated at byte %zu", path_.c_str(),
+                  pos);
+    };
+    auto u8 = [&]() {
+        need(1);
+        return data_[pos++];
+    };
+    auto u16 = [&]() {
+        need(2);
+        uint16_t x;
+        std::memcpy(&x, data_.data() + pos, 2);
+        pos += 2;
+        return x;
+    };
+    auto u32 = [&]() {
+        need(4);
+        uint32_t x;
+        std::memcpy(&x, data_.data() + pos, 4);
+        pos += 4;
+        return x;
+    };
+    auto u64 = [&]() {
+        need(8);
+        uint64_t x;
+        std::memcpy(&x, data_.data() + pos, 8);
+        pos += 8;
+        return x;
+    };
+
+    while (pos < data_.size()) {
+        TraceTag tag = TraceTag(u8());
+        // A record before the first KernelBegin has lost its context
+        // to flight-recorder eviction: decode (to advance) but drop.
+        bool orphan = !inKernel && tag != TraceTag::KernelBegin;
+        switch (tag) {
+          case TraceTag::KernelBegin: {
+            simt::KernelInfo info;
+            uint16_t len = u16();
+            need(len);
+            info.name.assign(
+                reinterpret_cast<const char *>(data_.data() + pos), len);
+            pos += len;
+            info.grid.x = u32();
+            info.grid.y = u32();
+            info.grid.z = u32();
+            info.cta.x = u32();
+            info.cta.y = u32();
+            info.cta.z = u32();
+            info.sharedBytes = u32();
+            inKernel = true;
+            ++counts.kernelBegins;
+            sink.kernelBegin(info);
+            break;
+          }
+          case TraceTag::KernelEnd:
+            if (!orphan) {
+                ++counts.kernelEnds;
+                sink.kernelEnd();
+                inKernel = false;
+            }
+            break;
+          case TraceTag::CtaBegin: {
+            uint32_t cta = u32();
+            if (!orphan) {
+                ++counts.ctaBegins;
+                sink.ctaBegin(cta);
+            }
+            break;
+          }
+          case TraceTag::CtaEnd: {
+            uint32_t cta = u32();
+            if (!orphan) {
+                ++counts.ctaEnds;
+                sink.ctaEnd(cta);
+            }
+            break;
+          }
+          case TraceTag::Instr: {
+            simt::InstrEvent ev;
+            ev.cls = simt::OpClass(u8());
+            ev.active = u32();
+            ev.warpId = u32();
+            ev.ctaLinear = u32();
+            ev.depDist.fill(simt::kNoDep);
+            if (!orphan) {
+                ++counts.instrs;
+                sink.instr(ev);
+            }
+            break;
+          }
+          case TraceTag::Mem: {
+            simt::MemEvent ev;
+            uint8_t flags = u8();
+            ev.space = (flags & 1) ? simt::MemSpace::Shared
+                                   : simt::MemSpace::Global;
+            ev.store = (flags & 2) != 0;
+            ev.atomic = (flags & 4) != 0;
+            ev.accessSize = u8();
+            ev.active = u32();
+            ev.warpId = u32();
+            ev.ctaLinear = u32();
+            ev.addr.fill(0);
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                if (ev.active & (1u << l))
+                    ev.addr[l] = u64();
+            if (!orphan) {
+                ++counts.mems;
+                sink.mem(ev);
+            }
+            break;
+          }
+          case TraceTag::Branch: {
+            simt::BranchEvent ev;
+            ev.active = u32();
+            ev.taken = u32();
+            ev.warpId = u32();
+            if (!orphan) {
+                ++counts.branches;
+                sink.branch(ev);
+            }
+            break;
+          }
+          case TraceTag::Barrier: {
+            uint32_t warpId = u32();
+            if (!orphan) {
+                ++counts.barriers;
+                sink.barrier(warpId);
+            }
+            break;
+          }
+          default:
+            fatal("trace '%s': unknown record tag %u at byte %zu",
+                  path_.c_str(), unsigned(tag), pos - 1);
+        }
+        if (orphan)
+            ++skipped;
+    }
+    if (orphans)
+        *orphans = skipped;
+    return counts;
+}
+
+} // namespace gwc::telemetry

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Event-trace recorder and reader.
+ *
+ * TraceWriter is a ProfilerHook that serializes the engine's
+ * InstrEvent/MemEvent/BranchEvent/barrier streams to a compact,
+ * versioned binary file; TraceReader replays a recorded file into any
+ * ProfilerHook, so every analysis that runs live on the engine also
+ * runs offline on a trace (gwc_trace builds on this).
+ *
+ * Format (little-endian):
+ *   header : magic "GWCTRACE" (8) | version u32 | ctaSampleStride u32
+ *   records: tag u8 followed by a per-tag payload, see TraceTag.
+ * Mem records store addresses of active lanes only (in lane order);
+ * per-lane ILP producer distances are not traced (profiler-only).
+ */
+
+#ifndef GWC_TELEMETRY_TRACE_HH
+#define GWC_TELEMETRY_TRACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "simt/hooks.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::telemetry
+{
+
+/** Trace file magic (8 bytes, no terminator). */
+constexpr char kTraceMagic[8] = {'G', 'W', 'C', 'T', 'R', 'A', 'C', 'E'};
+
+/** Current trace format version. */
+constexpr uint32_t kTraceVersion = 1;
+
+/** Record type tags. */
+enum class TraceTag : uint8_t
+{
+    KernelBegin = 0, ///< u16 nameLen, name, grid xyz u32[3], cta xyz u32[3], sharedBytes u32
+    KernelEnd = 1,   ///< (empty)
+    CtaBegin = 2,    ///< ctaLinear u32
+    CtaEnd = 3,      ///< ctaLinear u32
+    Instr = 4,       ///< cls u8, active u32, warpId u32, ctaLinear u32
+    Mem = 5,         ///< flags u8 (b0 shared, b1 store, b2 atomic), accessSize u8, active u32, warpId u32, ctaLinear u32, addr u64 per active lane
+    Branch = 6,      ///< active u32, taken u32, warpId u32
+    Barrier = 7,     ///< warpId u32
+    NumTags
+};
+
+/** Per-record-kind counts of one trace (written or read). */
+struct TraceCounts
+{
+    uint64_t kernelBegins = 0;
+    uint64_t kernelEnds = 0;
+    uint64_t ctaBegins = 0;
+    uint64_t ctaEnds = 0;
+    uint64_t instrs = 0;
+    uint64_t mems = 0;
+    uint64_t branches = 0;
+    uint64_t barriers = 0;
+
+    uint64_t
+    total() const
+    {
+        return kernelBegins + kernelEnds + ctaBegins + ctaEnds +
+               instrs + mems + branches + barriers;
+    }
+};
+
+/**
+ * ProfilerHook that records the event stream to a trace file.
+ *
+ * Records stage through a byte-bounded ring buffer. In streaming mode
+ * (default) a full buffer flushes to disk, so arbitrarily long runs
+ * trace with bounded memory and nothing is lost. In flight-recorder
+ * mode the oldest records are evicted instead and the file is written
+ * on close, keeping only the most recent window — the reader skips
+ * any leading records orphaned by eviction.
+ */
+class TraceWriter : public simt::ProfilerHook
+{
+  public:
+    struct Config
+    {
+        /** Record only CTAs whose linear index is divisible by this. */
+        uint32_t ctaSampleStride = 1;
+        /** Staging ring capacity in bytes. */
+        size_t bufferBytes = 4u << 20;
+        /** Keep the newest window instead of flushing (see above). */
+        bool flightRecorder = false;
+    };
+
+    explicit TraceWriter(const std::string &path);
+    TraceWriter(const std::string &path, Config cfg);
+    ~TraceWriter() override;
+
+    /** Flush and close the file (idempotent; fatal on IO error). */
+    void close();
+
+    /** Register trace stats (records/bytes/evictions) into @p reg. */
+    void attachStats(Registry &reg);
+
+    /** Counts of records accepted so far (before any eviction). */
+    const TraceCounts &recorded() const { return counts_; }
+
+    /** Records evicted by the flight-recorder ring. */
+    uint64_t evicted() const { return evicted_; }
+
+    // ProfilerHook interface.
+    void kernelBegin(const simt::KernelInfo &info) override;
+    void kernelEnd() override;
+    void ctaBegin(uint32_t ctaLinear) override;
+    void ctaEnd(uint32_t ctaLinear) override;
+    void instr(const simt::InstrEvent &ev) override;
+    void mem(const simt::MemEvent &ev) override;
+    void branch(const simt::BranchEvent &ev) override;
+    void barrier(uint32_t warpId) override;
+
+  private:
+    void put(std::vector<uint8_t> &&rec);
+    void flush();
+
+    std::string path_;
+    Config cfg_;
+    std::ofstream out_;
+    bool open_ = false;
+    bool sampled_ = true;
+    std::deque<std::vector<uint8_t>> ring_;
+    size_t ringBytes_ = 0;
+    TraceCounts counts_;
+    uint64_t evicted_ = 0;
+    Counter *statRecords_ = nullptr;
+    Counter *statBytes_ = nullptr;
+    Counter *statEvicted_ = nullptr;
+};
+
+/**
+ * Reader over a recorded trace file. Validates the header, then
+ * replays every record into a ProfilerHook. Leading records without a
+ * kernel context (possible after flight-recorder eviction) are
+ * counted and skipped.
+ */
+class TraceReader
+{
+  public:
+    /** Open @p path; fatal on missing file or bad magic/version. */
+    explicit TraceReader(const std::string &path);
+
+    uint32_t version() const { return version_; }
+    uint32_t ctaSampleStride() const { return stride_; }
+
+    /**
+     * Replay all records into @p sink and return the counts.
+     * @param orphans if non-null, receives the number of leading
+     *        records skipped for lacking a KernelBegin context.
+     */
+    TraceCounts replay(simt::ProfilerHook &sink,
+                       uint64_t *orphans = nullptr);
+
+  private:
+    std::string path_;
+    std::vector<uint8_t> data_;
+    size_t pos_ = 0;
+    uint32_t version_ = 0;
+    uint32_t stride_ = 1;
+};
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_TRACE_HH

@@ -3,6 +3,8 @@
  * Workload registry: canonical ordering and lookup by abbreviation.
  */
 
+#include <algorithm>
+#include <cctype>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -55,6 +57,36 @@ table()
     return t;
 }
 
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return out;
+}
+
+/** Levenshtein distance, for near-miss suggestions. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
 } // anonymous namespace
 
 std::vector<std::string>
@@ -68,13 +100,70 @@ workloadNames()
     return out;
 }
 
+bool
+isWorkload(const std::string &abbrev)
+{
+    for (const auto &[name, fac] : table()) {
+        (void)fac;
+        if (abbrev == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+suggestWorkloads(const std::string &abbrev)
+{
+    std::string needle = lower(abbrev);
+    // Rank: case-insensitive exact (0) < substring either way (1)
+    // < edit distance 1 (2) < edit distance 2 (3).
+    std::vector<std::pair<int, std::string>> ranked;
+    for (const auto &[name, fac] : table()) {
+        (void)fac;
+        std::string cand = lower(name);
+        int rank;
+        if (cand == needle) {
+            rank = 0;
+        } else if (!needle.empty() &&
+                   (cand.find(needle) != std::string::npos ||
+                    needle.find(cand) != std::string::npos)) {
+            rank = 1;
+        } else {
+            size_t d = editDistance(cand, needle);
+            if (d > 2)
+                continue;
+            rank = 1 + int(d);
+        }
+        ranked.emplace_back(rank, name);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[rank, name] : ranked) {
+        (void)rank;
+        out.push_back(name);
+        if (out.size() == 3)
+            break;
+    }
+    return out;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &abbrev)
 {
     for (const auto &[name, fac] : table())
         if (abbrev == name)
             return fac();
-    fatal("unknown workload '%s'", abbrev.c_str());
+    auto sug = suggestWorkloads(abbrev);
+    std::string hint;
+    for (const auto &s : sug)
+        hint += (hint.empty() ? " (did you mean " : ", ") + s;
+    if (!hint.empty())
+        hint += "?)";
+    fatal("unknown workload '%s'%s; run with --list for the registry",
+          abbrev.c_str(), hint.c_str());
 }
 
 } // namespace gwc::workloads

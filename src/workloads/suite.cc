@@ -5,16 +5,50 @@
 
 #include "workloads/suite.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace gwc::workloads
 {
+
+namespace
+{
+
+/** Elapsed seconds between two steady_clock points. */
+double
+elapsedSec(std::chrono::steady_clock::time_point from,
+           std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // anonymous namespace
 
 std::vector<WorkloadRun>
 runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
 {
     std::vector<std::string> list =
         names.empty() ? workloadNames() : names;
+
+    // Suite-level stats: per-phase wall-clock across all workloads.
+    telemetry::Counter *statWorkloads = nullptr;
+    telemetry::Counter *statKernels = nullptr;
+    telemetry::Timer *tSetup = nullptr;
+    telemetry::Timer *tSimulate = nullptr;
+    telemetry::Timer *tProfile = nullptr;
+    telemetry::Timer *tVerify = nullptr;
+    if (opts.stats) {
+        auto &g = opts.stats->group("suite");
+        statWorkloads = &g.counter("workloads", "workloads run");
+        statKernels = &g.counter("kernels", "kernel profiles produced");
+        tSetup = &g.timer("phase_setup", "input generation + upload");
+        tSimulate =
+            &g.timer("phase_simulate", "kernel execution (engine)");
+        tProfile =
+            &g.timer("phase_profile", "profile finalization");
+        tVerify = &g.timer("phase_verify", "host-reference checks");
+    }
 
     std::vector<WorkloadRun> out;
     out.reserve(list.size());
@@ -30,20 +64,54 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
         metrics::Profiler::Config pcfg;
         pcfg.ctaSampleStride = opts.ctaSampleStride;
         metrics::Profiler profiler(pcfg);
-        wl->setup(engine, opts.scale);
+        if (opts.stats) {
+            engine.attachStats(*opts.stats);
+            profiler.attachStats(*opts.stats);
+        }
+
+        using Clock = std::chrono::steady_clock;
+        auto t0 = Clock::now();
+        {
+            telemetry::ScopedTimer st(tSetup);
+            wl->setup(engine, opts.scale);
+        }
+        auto t1 = Clock::now();
+
         engine.addHook(&profiler);
-        wl->run(engine);
+        if (opts.extraHook)
+            engine.addHook(opts.extraHook);
+        {
+            telemetry::ScopedTimer st(tSimulate);
+            wl->run(engine);
+        }
+        auto t2 = Clock::now();
         engine.clearHooks();
-        run.profiles = profiler.finalize(run.desc.abbrev);
+
+        {
+            telemetry::ScopedTimer st(tProfile);
+            run.profiles = profiler.finalize(run.desc.abbrev);
+        }
+        auto t3 = Clock::now();
 
         for (const auto &p : run.profiles)
             run.totals.warpInstrs += p.warpInstrs;
 
         if (opts.verify) {
+            telemetry::ScopedTimer st(tVerify);
             run.verified = wl->verify(engine);
             if (!run.verified)
                 fatal("workload %s failed verification",
                       run.desc.abbrev.c_str());
+        }
+        auto t4 = Clock::now();
+
+        run.setupSec = elapsedSec(t0, t1);
+        run.simulateSec = elapsedSec(t1, t2);
+        run.profileSec = elapsedSec(t2, t3);
+        run.verifySec = elapsedSec(t3, t4);
+        if (statWorkloads) {
+            ++*statWorkloads;
+            *statKernels += run.profiles.size();
         }
         out.push_back(std::move(run));
     }

@@ -13,6 +13,7 @@
 
 #include "metrics/profiler.hh"
 #include "stats/matrix.hh"
+#include "telemetry/stats.hh"
 #include "workloads/workload.hh"
 
 namespace gwc::workloads
@@ -25,6 +26,12 @@ struct WorkloadRun
     bool verified = false;
     simt::LaunchStats totals;
     std::vector<metrics::KernelProfile> profiles;
+
+    // Wall-clock per lifecycle phase (seconds).
+    double setupSec = 0;     ///< input generation + upload
+    double simulateSec = 0;  ///< kernel execution on the engine
+    double profileSec = 0;   ///< profile finalization
+    double verifySec = 0;    ///< host-reference verification
 };
 
 /** Options of a suite run. */
@@ -34,6 +41,10 @@ struct SuiteOptions
     bool verify = true;      ///< run host-reference checks
     bool verbose = false;    ///< progress output
     uint32_t ctaSampleStride = 1; ///< profiler CTA sampling
+    /** Optional stats registry; engine/profiler/suite groups. */
+    telemetry::Registry *stats = nullptr;
+    /** Optional extra engine hook (e.g. a telemetry::TraceWriter). */
+    simt::ProfilerHook *extraHook = nullptr;
 };
 
 /**

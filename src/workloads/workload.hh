@@ -58,7 +58,20 @@ class Workload
 /** Names of all registered workloads, in canonical suite order. */
 std::vector<std::string> workloadNames();
 
-/** Instantiate a workload by abbreviation (fatal on unknown name). */
+/** True if @p abbrev names a registered workload (case-sensitive). */
+bool isWorkload(const std::string &abbrev);
+
+/**
+ * Registered names closest to @p abbrev (case-insensitive exact,
+ * substring and small-edit-distance matches), best first. For "did
+ * you mean" hints on unknown-workload errors.
+ */
+std::vector<std::string> suggestWorkloads(const std::string &abbrev);
+
+/**
+ * Instantiate a workload by abbreviation. Unknown names are fatal,
+ * with near-miss suggestions in the message.
+ */
 std::unique_ptr<Workload> makeWorkload(const std::string &abbrev);
 
 } // namespace gwc::workloads

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem: stats registry semantics,
+ * JSON dump well-formedness, trace write -> read identity, sampling
+ * and flight-recorder bounding, and HookList delivery order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simt/engine.hh"
+#include "telemetry/report.hh"
+#include "telemetry/stats.hh"
+#include "telemetry/trace.hh"
+
+namespace gwc::telemetry
+{
+namespace
+{
+
+// ---------------------------------------------------------------- stats
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c("hits", "cache hits");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(c.name(), "hits");
+    EXPECT_EQ(c.desc(), "cache hits");
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1u << 14), 15u);
+    // Open-ended last bucket.
+    EXPECT_EQ(Histogram::bucketOf(1u << 15), Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, Moments)
+{
+    Histogram h("lat", "latency");
+    EXPECT_EQ(h.mean(), 0.0);
+    h.sample(0);
+    h.sample(10);
+    h.sample(2);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 12u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.bucket(0), 1u); // the zero
+    EXPECT_EQ(h.bucket(2), 1u); // the 2
+    EXPECT_EQ(h.bucket(4), 1u); // the 10
+}
+
+TEST(Timer, ScopedLaps)
+{
+    Timer t("phase", "a phase");
+    {
+        ScopedTimer st(&t);
+    }
+    {
+        ScopedTimer st(&t);
+        st.stop();
+        st.stop(); // idempotent: still one lap
+    }
+    EXPECT_EQ(t.laps(), 2u);
+    // Null timer scopes are legal no-ops.
+    ScopedTimer nothing(nullptr);
+    nothing.stop();
+}
+
+TEST(Registry, GetOrCreateAccumulates)
+{
+    Registry reg;
+    // Two "instances" registering the same stat share it.
+    Counter &a = reg.group("engine").counter("launches", "launches");
+    a += 3;
+    Counter &b = reg.group("engine").counter("launches", "launches");
+    b += 4;
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.counterTotal("engine", "launches"), 7u);
+    EXPECT_EQ(reg.counterTotal("engine", "nope"), 0u);
+    EXPECT_EQ(reg.counterTotal("nope", "launches"), 0u);
+    const Group *g = reg.find("engine");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->findCounter("launches"), &a);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+}
+
+/**
+ * Minimal structural JSON checker: verifies balanced containers and
+ * valid string/escape syntax, enough to catch malformed dumps without
+ * a JSON library in the image.
+ */
+bool
+jsonWellFormed(const std::string &s)
+{
+    std::vector<char> stack;
+    bool inStr = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (inStr) {
+            if (c == '\\') {
+                if (i + 1 >= s.size())
+                    return false;
+                ++i;
+            } else if (c == '"') {
+                inStr = false;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"': inStr = true; break;
+          case '{': case '[': stack.push_back(c); break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default: break;
+        }
+    }
+    return !inStr && stack.empty();
+}
+
+TEST(Registry, JsonDump)
+{
+    Registry reg;
+    auto &g = reg.group("eng\"ine"); // name needing escaping
+    g.counter("launches", "kernel launches") += 5;
+    g.histogram("cta_threads", "threads per CTA").sample(256);
+    g.timer("phase", "some phase").addNs(1500);
+
+    std::string js = reg.jsonString();
+    EXPECT_TRUE(jsonWellFormed(js)) << js;
+    EXPECT_NE(js.find("\"eng\\\"ine\""), std::string::npos);
+    EXPECT_NE(js.find("\"launches\""), std::string::npos);
+    EXPECT_NE(js.find("\"value\":5"), std::string::npos);
+    EXPECT_NE(js.find("\"cta_threads\""), std::string::npos);
+    EXPECT_NE(js.find("\"ns\":1500"), std::string::npos);
+
+    std::ostringstream txt;
+    reg.dumpText(txt);
+    EXPECT_NE(txt.str().find("launches"), std::string::npos);
+}
+
+TEST(Report, JsonTotals)
+{
+    RunReport r;
+    r.tool = "test";
+    r.wallSec = 2.0;
+    r.hookEvents = 100;
+    WorkloadReport w;
+    w.name = "RD";
+    w.verified = true;
+    w.simulateSec = 1.0;
+    w.warpInstrs = 50;
+    KernelReportRow k;
+    k.name = "reduce";
+    k.launches = 2;
+    k.warpInstrs = 50;
+    k.geometry = "8.1.1/128.1.1";
+    w.kernels.push_back(k);
+    r.workloads.push_back(w);
+
+    std::ostringstream os;
+    writeRunReport(os, r, nullptr);
+    std::string js = os.str();
+    EXPECT_TRUE(jsonWellFormed(js)) << js;
+    EXPECT_NE(js.find("\"tool\":\"test\""), std::string::npos);
+    EXPECT_NE(js.find("\"warp_instrs\":50"), std::string::npos);
+    EXPECT_NE(js.find("\"geometry\":\"8.1.1/128.1.1\""),
+              std::string::npos);
+    // No registry attached -> no stats key.
+    EXPECT_EQ(js.find("\"stats\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ hook order
+
+/** Appends a tag to a shared log on every instr event. */
+class TagHook : public simt::ProfilerHook
+{
+  public:
+    TagHook(char tag, std::string *log) : tag_(tag), log_(log) {}
+    void instr(const simt::InstrEvent &) override { *log_ += tag_; }
+
+  private:
+    char tag_;
+    std::string *log_;
+};
+
+simt::WarpTask
+tinyKernel(simt::Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    simt::Reg<uint32_t> i = w.globalIdX();
+    w.stg<uint32_t>(out, i, i + i);
+    co_return;
+}
+
+TEST(HookList, RegistrationOrderDelivery)
+{
+    simt::Engine e;
+    auto buf = e.alloc<uint32_t>(32);
+    std::string log;
+    TagHook a('a', &log), b('b', &log);
+    e.addHook(&a);
+    e.addHook(&b);
+    simt::KernelParams p;
+    p.push(buf.addr());
+    e.launch("tiny", tinyKernel, simt::Dim3(1), simt::Dim3(32), 0, p);
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.size() % 2, 0u);
+    for (size_t i = 0; i < log.size(); i += 2)
+        ASSERT_EQ(log.substr(i, 2), "ab") << "at " << i;
+}
+
+// ----------------------------------------------------------------- trace
+
+/** Records a normalized text form of every event for comparison. */
+class EventLog : public simt::ProfilerHook
+{
+  public:
+    std::vector<std::string> lines;
+
+    void
+    kernelBegin(const simt::KernelInfo &info) override
+    {
+        std::ostringstream os;
+        os << "K " << info.name << ' ' << info.grid.x << ','
+           << info.grid.y << ',' << info.grid.z << ' ' << info.cta.x
+           << ',' << info.cta.y << ',' << info.cta.z << ' '
+           << info.sharedBytes;
+        lines.push_back(os.str());
+    }
+
+    void kernelEnd() override { lines.push_back("k"); }
+
+    void
+    ctaBegin(uint32_t c) override
+    {
+        lines.push_back("C " + std::to_string(c));
+    }
+
+    void
+    ctaEnd(uint32_t c) override
+    {
+        lines.push_back("c " + std::to_string(c));
+    }
+
+    void
+    instr(const simt::InstrEvent &ev) override
+    {
+        std::ostringstream os;
+        os << "I " << int(ev.cls) << ' ' << ev.active << ' '
+           << ev.warpId << ' ' << ev.ctaLinear;
+        lines.push_back(os.str());
+    }
+
+    void
+    mem(const simt::MemEvent &ev) override
+    {
+        std::ostringstream os;
+        os << "M " << int(ev.space) << ' ' << ev.store << ev.atomic
+           << ' ' << int(ev.accessSize) << ' ' << ev.active << ' '
+           << ev.warpId << ' ' << ev.ctaLinear;
+        for (uint32_t l = 0; l < simt::kWarpSize; ++l)
+            if (ev.active >> l & 1)
+                os << ' ' << ev.addr[l];
+        lines.push_back(os.str());
+    }
+
+    void
+    branch(const simt::BranchEvent &ev) override
+    {
+        std::ostringstream os;
+        os << "B " << ev.active << ' ' << ev.taken << ' ' << ev.warpId;
+        lines.push_back(os.str());
+    }
+
+    void
+    barrier(uint32_t warpId) override
+    {
+        lines.push_back("S " + std::to_string(warpId));
+    }
+};
+
+simt::WarpTask
+barrierKernel(simt::Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint32_t n = w.param<uint32_t>(1);
+    simt::Reg<uint32_t> i = w.globalIdX();
+    simt::Reg<uint32_t> t = w.tidLinear();
+    w.If(i < n, [&] { w.stsE<uint32_t>(0, t, i * i); });
+    co_await w.barrier();
+    w.If(i < n, [&] {
+        simt::Reg<uint32_t> v = w.ldsE<uint32_t>(0, t);
+        w.stg<uint32_t>(out, i, v);
+    });
+    co_return;
+}
+
+/** Runs barrierKernel with @p hooks attached; returns launch stats. */
+simt::LaunchStats
+runTraced(const std::vector<simt::ProfilerHook *> &hooks,
+          uint32_t ctas = 3)
+{
+    simt::Engine e;
+    const uint32_t n = ctas * 64 - 10;
+    auto out = e.alloc<uint32_t>(ctas * 64);
+    for (auto *h : hooks)
+        e.addHook(h);
+    simt::KernelParams p;
+    p.push(out.addr()).push(n);
+    return e.launch("bk", barrierKernel, simt::Dim3(ctas),
+                    simt::Dim3(64), 64 * 4, p);
+}
+
+std::string
+tmpTracePath(const char *tag)
+{
+    return testing::TempDir() + "gwc_" + tag + ".trace";
+}
+
+TEST(Trace, WriteReadIdentity)
+{
+    std::string path = tmpTracePath("identity");
+    EventLog live;
+    {
+        TraceWriter w(path);
+        runTraced({&live, &w});
+        w.close();
+        EXPECT_EQ(w.evicted(), 0u);
+        EXPECT_EQ(w.recorded().total(), live.lines.size());
+    }
+
+    EventLog replayed;
+    TraceReader r(path);
+    EXPECT_EQ(r.version(), kTraceVersion);
+    EXPECT_EQ(r.ctaSampleStride(), 1u);
+    uint64_t orphans = 7;
+    TraceCounts counts = r.replay(replayed, &orphans);
+    EXPECT_EQ(orphans, 0u);
+    EXPECT_EQ(counts.total(), live.lines.size());
+    EXPECT_EQ(counts.kernelBegins, 1u);
+    EXPECT_EQ(counts.ctaBegins, 3u);
+    EXPECT_GT(counts.instrs, 0u);
+    EXPECT_GT(counts.mems, 0u);
+    EXPECT_GT(counts.barriers, 0u);
+    ASSERT_EQ(replayed.lines.size(), live.lines.size());
+    for (size_t i = 0; i < live.lines.size(); ++i)
+        ASSERT_EQ(replayed.lines[i], live.lines[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CtaSampling)
+{
+    std::string path = tmpTracePath("sampled");
+    TraceWriter::Config cfg;
+    cfg.ctaSampleStride = 2;
+    {
+        TraceWriter w(path, cfg);
+        runTraced({&w}, 5);
+        w.close();
+    }
+
+    EventLog replayed;
+    TraceReader r(path);
+    EXPECT_EQ(r.ctaSampleStride(), 2u);
+    TraceCounts counts = r.replay(replayed);
+    // CTAs 0, 2, 4 recorded; 1 and 3 skipped entirely.
+    EXPECT_EQ(counts.ctaBegins, 3u);
+    EXPECT_EQ(counts.ctaEnds, 3u);
+    for (const auto &l : replayed.lines) {
+        EXPECT_NE(l, "C 1");
+        EXPECT_NE(l, "C 3");
+    }
+    // Per-warp events of skipped CTAs are absent too.
+    EXPECT_GT(counts.instrs, 0u);
+    for (const auto &l : replayed.lines)
+        if (l[0] == 'I')
+            EXPECT_EQ((l.back() - '0') % 2, 0) << l;
+    std::remove(path.c_str());
+}
+
+TEST(Trace, FlightRecorderBounds)
+{
+    std::string path = tmpTracePath("flight");
+    TraceWriter::Config cfg;
+    cfg.flightRecorder = true;
+    cfg.bufferBytes = 2048; // far smaller than the event stream
+    uint64_t accepted = 0;
+    {
+        TraceWriter w(path, cfg);
+        runTraced({&w});
+        w.close();
+        EXPECT_GT(w.evicted(), 0u);
+        accepted = w.recorded().total();
+        EXPECT_GT(accepted, w.evicted());
+    }
+
+    EventLog replayed;
+    TraceReader r(path);
+    uint64_t orphans = 0;
+    TraceCounts counts = r.replay(replayed, &orphans);
+    // Eviction dropped the KernelBegin, so the surviving records of
+    // this single-kernel trace all replay as skipped orphans.
+    EXPECT_GT(orphans, 0u);
+    EXPECT_LT(counts.total() + orphans, accepted);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, StatsAttached)
+{
+    std::string path = tmpTracePath("stats");
+    Registry reg;
+    {
+        TraceWriter w(path);
+        w.attachStats(reg);
+        runTraced({&w});
+        w.close();
+    }
+    EXPECT_GT(reg.counterTotal("trace", "records"), 0u);
+    EXPECT_GT(reg.counterTotal("trace", "bytes"), 0u);
+    EXPECT_EQ(reg.counterTotal("trace", "evicted"), 0u);
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- engine stats
+
+TEST(EngineStats, CountsLaunchWork)
+{
+    Registry reg;
+    simt::Engine e;
+    e.attachStats(reg);
+    auto buf = e.alloc<uint32_t>(64);
+    simt::KernelParams p;
+    p.push(buf.addr());
+    auto st =
+        e.launch("tiny", tinyKernel, simt::Dim3(2), simt::Dim3(32), 0, p);
+
+    EXPECT_EQ(reg.counterTotal("engine", "launches"), 1u);
+    EXPECT_EQ(reg.counterTotal("engine", "ctas"), st.ctas);
+    EXPECT_EQ(reg.counterTotal("engine", "warp_instrs"), st.warpInstrs);
+    // No hooks attached: nothing was dispatched.
+    EXPECT_EQ(reg.counterTotal("engine", "ev_instr"), 0u);
+    EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"), 0u);
+
+    // With one hook, fanout equals dispatched events x 1.
+    EventLog log;
+    e.addHook(&log);
+    e.launch("tiny", tinyKernel, simt::Dim3(2), simt::Dim3(32), 0, p);
+    EXPECT_EQ(reg.counterTotal("engine", "launches"), 2u);
+    EXPECT_GT(reg.counterTotal("engine", "ev_instr"), 0u);
+    EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"),
+              uint64_t(log.lines.size()));
+}
+
+} // anonymous namespace
+} // namespace gwc::telemetry

@@ -4,18 +4,26 @@
  * profiler and write the kernel profiles to a CSV.
  *
  *   gwc_characterize [-o profiles.csv] [-s scale] [-S ctaStride]
+ *                    [--stats-out stats.json] [--trace-out run.trace]
  *                    [--no-verify] [workload ...]
  *
  * With no workloads listed, the whole registered suite runs. The CSV
- * loads back with gwc_analyze or metrics::loadProfiles().
+ * loads back with gwc_analyze or metrics::loadProfiles(). --stats-out
+ * writes the run report JSON (see docs/OBSERVABILITY.md); --trace-out
+ * records the event stream for offline replay with gwc_trace.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "metrics/profile_io.hh"
+#include "telemetry/report.hh"
+#include "telemetry/trace.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -26,11 +34,25 @@ usage()
 {
     std::cerr
         << "usage: gwc_characterize [options] [workload ...]\n"
-           "  -o FILE      output CSV (default: profiles.csv)\n"
-           "  -s N         input-size scale (default 1)\n"
-           "  -S N         profile every Nth CTA only (default 1)\n"
-           "  --no-verify  skip host-reference verification\n"
-           "  --list       list registered workloads and exit\n";
+           "  -o FILE           output CSV (default: profiles.csv)\n"
+           "  -s N              input-size scale (default 1)\n"
+           "  -S N              profile every Nth CTA only (default 1)\n"
+           "  --stats-out FILE  write run report + stats registry JSON\n"
+           "  --trace-out FILE  record the event stream to a trace\n"
+           "  --trace-stride N  trace every Nth CTA only (default 1)\n"
+           "  --trace-buffer N  trace staging buffer, MiB (default 4)\n"
+           "  --trace-flight    keep newest window instead of flushing\n"
+           "  --no-verify       skip host-reference verification\n"
+           "  --list            list registered workloads and exit\n";
+}
+
+std::string
+geometryString(const gwc::simt::Dim3 &grid, const gwc::simt::Dim3 &cta)
+{
+    std::ostringstream os;
+    os << grid.x << '.' << grid.y << '.' << grid.z << '/' << cta.x
+       << '.' << cta.y << '.' << cta.z;
+    return os.str();
 }
 
 } // anonymous namespace
@@ -39,8 +61,13 @@ int
 main(int argc, char **argv)
 {
     using namespace gwc;
+    using Clock = std::chrono::steady_clock;
 
+    auto wallStart = Clock::now();
     std::string outPath = "profiles.csv";
+    std::string statsPath;
+    std::string tracePath;
+    telemetry::TraceWriter::Config tcfg;
     workloads::SuiteOptions opts;
     opts.verbose = true;
     std::vector<std::string> names;
@@ -57,6 +84,21 @@ main(int argc, char **argv)
             opts.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
             if (opts.ctaSampleStride < 1)
                 fatal("CTA stride must be >= 1");
+        } else if (arg == "--stats-out" && i + 1 < argc) {
+            statsPath = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (arg == "--trace-stride" && i + 1 < argc) {
+            tcfg.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
+            if (tcfg.ctaSampleStride < 1)
+                fatal("trace stride must be >= 1");
+        } else if (arg == "--trace-buffer" && i + 1 < argc) {
+            int mib = std::atoi(argv[++i]);
+            if (mib < 1)
+                fatal("trace buffer must be >= 1 MiB");
+            tcfg.bufferBytes = size_t(mib) << 20;
+        } else if (arg == "--trace-flight") {
+            tcfg.flightRecorder = true;
         } else if (arg == "--no-verify") {
             opts.verify = false;
         } else if (arg == "--list") {
@@ -77,10 +119,66 @@ main(int argc, char **argv)
         }
     }
 
+    // Validate names up front so a typo fails before any work runs
+    // (makeWorkload would also be fatal, but only mid-suite).
+    for (const auto &n : names)
+        if (!workloads::isWorkload(n))
+            (void)workloads::makeWorkload(n); // fatal, with suggestions
+
+    telemetry::Registry stats;
+    const bool wantStats = !statsPath.empty();
+    if (wantStats || !tracePath.empty())
+        opts.stats = &stats;
+
+    std::unique_ptr<telemetry::TraceWriter> tracer;
+    if (!tracePath.empty()) {
+        tracer =
+            std::make_unique<telemetry::TraceWriter>(tracePath, tcfg);
+        tracer->attachStats(stats);
+        opts.extraHook = tracer.get();
+    }
+
     auto runs = workloads::runSuite(names, opts);
     auto profiles = workloads::allProfiles(runs);
     metrics::saveProfiles(outPath, profiles);
     inform("wrote %zu kernel profiles to %s", profiles.size(),
            outPath.c_str());
+
+    if (tracer) {
+        tracer->close();
+        inform("wrote %llu trace records to %s",
+               (unsigned long long)tracer->recorded().total(),
+               tracePath.c_str());
+    }
+
+    if (wantStats) {
+        telemetry::RunReport rep;
+        rep.tool = "gwc_characterize";
+        rep.wallSec = std::chrono::duration<double>(Clock::now() -
+                                                    wallStart)
+                          .count();
+        rep.hookEvents = stats.counterTotal("engine", "ev_fanout");
+        for (const auto &run : runs) {
+            telemetry::WorkloadReport wr;
+            wr.name = run.desc.abbrev;
+            wr.verified = run.verified;
+            wr.setupSec = run.setupSec;
+            wr.simulateSec = run.simulateSec;
+            wr.profileSec = run.profileSec;
+            wr.verifySec = run.verifySec;
+            wr.warpInstrs = run.totals.warpInstrs;
+            for (const auto &p : run.profiles) {
+                telemetry::KernelReportRow row;
+                row.name = p.kernel;
+                row.launches = p.launches;
+                row.warpInstrs = p.warpInstrs;
+                row.geometry = geometryString(p.grid, p.cta);
+                wr.kernels.push_back(std::move(row));
+            }
+            rep.workloads.push_back(std::move(wr));
+        }
+        telemetry::writeRunReportFile(statsPath, rep, &stats);
+        inform("wrote run report to %s", statsPath.c_str());
+    }
     return 0;
 }

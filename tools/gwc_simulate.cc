@@ -3,18 +3,21 @@
  * gwc_simulate — run the timing design space over workloads and
  * print per-kernel IPC and speedups.
  *
- *   gwc_simulate [-s scale] [workload ...]
+ *   gwc_simulate [-s scale] [--stats-out stats.json] [workload ...]
  *
  * Simulates every kernel of the listed workloads (default: all) on
- * the built-in design points (see timing::designSpace()).
+ * the built-in design points (see timing::designSpace()). --stats-out
+ * writes the run report JSON (see docs/OBSERVABILITY.md).
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 #include "timing/gpu.hh"
 #include "workloads/suite.hh"
 
@@ -22,8 +25,11 @@ int
 main(int argc, char **argv)
 {
     using namespace gwc;
+    using Clock = std::chrono::steady_clock;
 
+    auto wallStart = Clock::now();
     uint32_t scale = 1;
+    std::string statsPath;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -31,16 +37,28 @@ main(int argc, char **argv)
             scale = uint32_t(std::atoi(argv[++i]));
             if (scale < 1)
                 fatal("scale must be >= 1");
+        } else if (arg == "--stats-out" && i + 1 < argc) {
+            statsPath = argv[++i];
         } else if (arg == "-h" || arg == "--help") {
             std::cerr << "usage: gwc_simulate [-s scale] "
-                         "[workload ...]\n";
+                         "[--stats-out stats.json] [workload ...]\n";
             return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown option '%s'", arg.c_str());
         } else {
             names.push_back(arg);
         }
     }
     if (names.empty())
         names = workloads::workloadNames();
+    for (const auto &n : names)
+        if (!workloads::isWorkload(n))
+            (void)workloads::makeWorkload(n); // fatal, with suggestions
+
+    telemetry::Registry stats;
+    const bool wantStats = !statsPath.empty();
+    telemetry::RunReport rep;
+    rep.tool = "gwc_simulate";
 
     auto cfgs = timing::designSpace();
     std::vector<std::string> hdr{"kernel", "instrs",
@@ -52,11 +70,16 @@ main(int argc, char **argv)
     for (const auto &name : names) {
         auto wl = workloads::makeWorkload(name);
         simt::Engine engine;
+        if (wantStats)
+            engine.attachStats(stats);
         timing::TraceCapture cap;
+        auto t0 = Clock::now();
         wl->setup(engine, scale);
+        auto t1 = Clock::now();
         engine.addHook(&cap);
         wl->run(engine);
         engine.clearHooks();
+        auto t2 = Clock::now();
 
         std::map<std::string, std::vector<timing::KernelTrace>> by;
         std::vector<std::string> order;
@@ -65,6 +88,11 @@ main(int argc, char **argv)
                 order.push_back(tr.name);
             by[tr.name].push_back(std::move(tr));
         }
+        telemetry::WorkloadReport wr;
+        wr.name = name;
+        wr.setupSec = std::chrono::duration<double>(t1 - t0).count();
+        wr.simulateSec =
+            std::chrono::duration<double>(t2 - t1).count();
         for (const auto &kname : order) {
             std::vector<timing::SimResult> res;
             for (const auto &cfg : cfgs)
@@ -78,10 +106,27 @@ main(int argc, char **argv)
                     double(res[0].cycles) / double(res[c].cycles),
                     3));
             t.addRow(row);
+
+            telemetry::KernelReportRow krow;
+            krow.name = kname;
+            krow.launches = uint32_t(by[kname].size());
+            krow.warpInstrs = res[0].instrs;
+            wr.warpInstrs += res[0].instrs;
+            wr.kernels.push_back(std::move(krow));
         }
+        rep.workloads.push_back(std::move(wr));
     }
     std::cout << "speedup of each design point vs " << cfgs[0].name
               << " (ipc column is the baseline)\n\n";
     t.print(std::cout);
+
+    if (wantStats) {
+        rep.wallSec = std::chrono::duration<double>(Clock::now() -
+                                                    wallStart)
+                          .count();
+        rep.hookEvents = stats.counterTotal("engine", "ev_fanout");
+        telemetry::writeRunReportFile(statsPath, rep, &stats);
+        inform("wrote run report to %s", statsPath.c_str());
+    }
     return 0;
 }

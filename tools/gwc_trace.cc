@@ -1,0 +1,296 @@
+/**
+ * @file
+ * gwc_trace — inspect event traces recorded with --trace-out.
+ *
+ *   gwc_trace summary run.trace
+ *   gwc_trace dump [-n N] [--kind K] [--cta N] [--warp N] run.trace
+ *
+ * summary prints the header, per-kind record counts and a per-kernel
+ * table; dump prints records as text, optionally filtered by kind
+ * (kernel|cta|instr|mem|branch|barrier), CTA or warp. Bad or
+ * truncated trace files are fatal (nonzero exit).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "telemetry/trace.hh"
+
+namespace
+{
+
+using namespace gwc;
+
+void
+usage()
+{
+    std::cerr
+        << "usage: gwc_trace <command> [options] trace-file\n"
+           "commands:\n"
+           "  summary      header, record counts, per-kernel table\n"
+           "  dump         print records as text\n"
+           "dump options:\n"
+           "  -n N         print at most N records\n"
+           "  --kind K     kernel|cta|instr|mem|branch|barrier\n"
+           "  --cta N      only records of linear CTA N\n"
+           "  --warp N     only records of warp N\n";
+}
+
+/** Accumulates per-kernel record counts during replay. */
+class SummaryHook : public simt::ProfilerHook
+{
+  public:
+    struct Row
+    {
+        uint32_t launches = 0;
+        uint64_t ctas = 0;
+        uint64_t instrs = 0;
+        uint64_t mems = 0;
+        uint64_t branches = 0;
+        uint64_t barriers = 0;
+    };
+
+    void
+    kernelBegin(const simt::KernelInfo &info) override
+    {
+        if (!rows_.count(info.name))
+            order_.push_back(info.name);
+        cur_ = &rows_[info.name];
+        ++cur_->launches;
+    }
+
+    void kernelEnd() override { cur_ = nullptr; }
+    void ctaBegin(uint32_t) override { if (cur_) ++cur_->ctas; }
+    void instr(const simt::InstrEvent &) override
+    { if (cur_) ++cur_->instrs; }
+    void mem(const simt::MemEvent &) override
+    { if (cur_) ++cur_->mems; }
+    void branch(const simt::BranchEvent &) override
+    { if (cur_) ++cur_->branches; }
+    void barrier(uint32_t) override { if (cur_) ++cur_->barriers; }
+
+    const std::vector<std::string> &order() const { return order_; }
+    const Row &row(const std::string &name) { return rows_[name]; }
+
+  private:
+    std::map<std::string, Row> rows_;
+    std::vector<std::string> order_;
+    Row *cur_ = nullptr;
+};
+
+/** Filtered text printer for dump mode. */
+class DumpHook : public simt::ProfilerHook
+{
+  public:
+    uint64_t limit = 0;      ///< 0 = unlimited
+    std::string kind;        ///< empty = all
+    int64_t cta = -1;        ///< -1 = all
+    int64_t warp = -1;       ///< -1 = all
+
+    void
+    kernelBegin(const simt::KernelInfo &info) override
+    {
+        if (!pass("kernel", -1, -1))
+            return;
+        line() << "kernel_begin " << info.name << " grid=" << info.grid.x
+               << '.' << info.grid.y << '.' << info.grid.z
+               << " cta=" << info.cta.x << '.' << info.cta.y << '.'
+               << info.cta.z << " shared=" << info.sharedBytes << "\n";
+    }
+
+    void
+    kernelEnd() override
+    {
+        if (pass("kernel", -1, -1))
+            line() << "kernel_end\n";
+    }
+
+    void
+    ctaBegin(uint32_t ctaLinear) override
+    {
+        if (pass("cta", int64_t(ctaLinear), -1))
+            line() << "cta_begin " << ctaLinear << "\n";
+    }
+
+    void
+    ctaEnd(uint32_t ctaLinear) override
+    {
+        if (pass("cta", int64_t(ctaLinear), -1))
+            line() << "cta_end " << ctaLinear << "\n";
+    }
+
+    void
+    instr(const simt::InstrEvent &ev) override
+    {
+        if (!pass("instr", int64_t(ev.ctaLinear), int64_t(ev.warpId)))
+            return;
+        line() << "instr " << simt::opClassName(ev.cls)
+               << " warp=" << ev.warpId << " cta=" << ev.ctaLinear
+               << " active=" << simt::laneCount(ev.active) << "\n";
+    }
+
+    void
+    mem(const simt::MemEvent &ev) override
+    {
+        if (!pass("mem", int64_t(ev.ctaLinear), int64_t(ev.warpId)))
+            return;
+        auto &os = line();
+        os << "mem "
+           << (ev.space == simt::MemSpace::Shared ? "shared" : "global")
+           << (ev.atomic ? " atomic" : ev.store ? " store" : " load")
+           << " size=" << uint32_t(ev.accessSize)
+           << " warp=" << ev.warpId << " cta=" << ev.ctaLinear
+           << " active=" << simt::laneCount(ev.active) << " addr=";
+        bool first = true;
+        for (uint32_t l = 0; l < simt::kWarpSize; ++l) {
+            if (!(ev.active >> l & 1))
+                continue;
+            os << (first ? "" : ",") << "0x" << std::hex << ev.addr[l]
+               << std::dec;
+            if (!first)
+                break; // first two active lanes are enough context
+            first = false;
+        }
+        if (simt::laneCount(ev.active) > 2)
+            os << ",...";
+        os << "\n";
+    }
+
+    void
+    branch(const simt::BranchEvent &ev) override
+    {
+        if (!pass("branch", -1, int64_t(ev.warpId)))
+            return;
+        line() << "branch warp=" << ev.warpId
+               << " active=" << simt::laneCount(ev.active)
+               << " taken=" << simt::laneCount(ev.taken) << "\n";
+    }
+
+    void
+    barrier(uint32_t warpId) override
+    {
+        if (pass("barrier", -1, int64_t(warpId)))
+            line() << "barrier warp=" << warpId << "\n";
+    }
+
+    uint64_t printed() const { return printed_; }
+
+  private:
+    bool
+    pass(const char *k, int64_t evCta, int64_t evWarp)
+    {
+        if (limit && printed_ >= limit)
+            return false;
+        if (!kind.empty() && kind != k)
+            return false;
+        if (cta >= 0 && evCta != cta)
+            return false;
+        if (warp >= 0 && evWarp != warp)
+            return false;
+        return true;
+    }
+
+    std::ostream &
+    line()
+    {
+        ++printed_;
+        return std::cout;
+    }
+
+    uint64_t printed_ = 0;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    DumpHook dump;
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-n" && i + 1 < argc) {
+            dump.limit = uint64_t(std::atoll(argv[++i]));
+        } else if (arg == "--kind" && i + 1 < argc) {
+            dump.kind = argv[++i];
+        } else if (arg == "--cta" && i + 1 < argc) {
+            dump.cta = std::atoll(argv[++i]);
+        } else if (arg == "--warp" && i + 1 < argc) {
+            dump.warp = std::atoll(argv[++i]);
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    telemetry::TraceReader reader(path);
+
+    if (cmd == "dump") {
+        uint64_t orphans = 0;
+        reader.replay(dump, &orphans);
+        if (orphans)
+            warn("skipped %llu orphaned leading records",
+                 (unsigned long long)orphans);
+        return 0;
+    }
+    if (cmd != "summary") {
+        usage();
+        fatal("unknown command '%s'", cmd.c_str());
+    }
+
+    SummaryHook sum;
+    uint64_t orphans = 0;
+    telemetry::TraceCounts counts = reader.replay(sum, &orphans);
+
+    std::cout << path << ": trace v" << reader.version()
+              << ", cta sample stride " << reader.ctaSampleStride()
+              << ", " << counts.total() << " records";
+    if (orphans)
+        std::cout << " (+" << orphans << " orphaned, skipped)";
+    std::cout << "\n\n";
+
+    Table ct({"record", "count"});
+    ct.addRow({"kernel_begin", Table::integer(int64_t(counts.kernelBegins))});
+    ct.addRow({"kernel_end", Table::integer(int64_t(counts.kernelEnds))});
+    ct.addRow({"cta_begin", Table::integer(int64_t(counts.ctaBegins))});
+    ct.addRow({"cta_end", Table::integer(int64_t(counts.ctaEnds))});
+    ct.addRow({"instr", Table::integer(int64_t(counts.instrs))});
+    ct.addRow({"mem", Table::integer(int64_t(counts.mems))});
+    ct.addRow({"branch", Table::integer(int64_t(counts.branches))});
+    ct.addRow({"barrier", Table::integer(int64_t(counts.barriers))});
+    ct.print(std::cout);
+
+    std::cout << "\n";
+    Table kt({"kernel", "launches", "ctas", "instrs", "mems",
+              "branches", "barriers"});
+    for (const auto &name : sum.order()) {
+        const auto &r = sum.row(name);
+        kt.addRow({name, Table::integer(r.launches),
+                   Table::integer(int64_t(r.ctas)),
+                   Table::integer(int64_t(r.instrs)),
+                   Table::integer(int64_t(r.mems)),
+                   Table::integer(int64_t(r.branches)),
+                   Table::integer(int64_t(r.barriers))});
+    }
+    kt.print(std::cout);
+    return 0;
+}
