@@ -111,6 +111,35 @@ BM_EngineSaxpyProfiled(benchmark::State &state)
 }
 BENCHMARK(BM_EngineSaxpyProfiled);
 
+/**
+ * CTA-block parallelism: the profiled saxpy launch at --jobs 1/2/4.
+ * Shard creation and merge are included, so the jobs=1 row doubles as
+ * the overhead floor of the parallel path.
+ */
+void
+BM_EngineSaxpyParallel(benchmark::State &state)
+{
+    Engine e;
+    e.setJobs(unsigned(state.range(0)));
+    const uint32_t n = 32768;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    KernelParams p;
+    p.push(x.addr()).push(y.addr());
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st =
+            e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineSaxpyParallel)->Arg(1)->Arg(2)->Arg(4);
+
 void
 BM_ReuseDistance(benchmark::State &state)
 {

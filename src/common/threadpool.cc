@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Work-stealing thread pool implementation.
+ */
+
+#include "common/threadpool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gwc
+{
+
+bool
+ThreadPool::Group::runOne()
+{
+    size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks.size())
+        return false;
+    std::exception_ptr err;
+    try {
+        tasks[i]();
+    } catch (...) {
+        err = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (err)
+            errors.emplace_back(i, err);
+        if (++done == tasks.size())
+            cv.notify_all();
+    }
+    return true;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_release);
+    sleepCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+std::shared_ptr<ThreadPool::Group>
+ThreadPool::take(unsigned self)
+{
+    // Own queue first (newest ticket), then steal round-robin from
+    // the other workers' fronts (oldest ticket, FIFO fairness).
+    if (self < queues_.size()) {
+        std::lock_guard<std::mutex> lock(queues_[self]->mu);
+        if (!queues_[self]->q.empty()) {
+            auto g = queues_[self]->q.back();
+            queues_[self]->q.pop_back();
+            return g;
+        }
+    }
+    for (size_t k = 1; k <= queues_.size(); ++k) {
+        size_t victim = (self + k) % queues_.size();
+        std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+        if (!queues_[victim]->q.empty()) {
+            auto g = queues_[victim]->q.front();
+            queues_[victim]->q.pop_front();
+            return g;
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        std::shared_ptr<Group> g;
+        if (pendingTickets_.load(std::memory_order_acquire) > 0 &&
+            (g = take(self))) {
+            pendingTickets_.fetch_sub(1, std::memory_order_acq_rel);
+            while (g->runOne()) {
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMu_);
+        sleepCv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   pendingTickets_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire))
+            return;
+    }
+}
+
+void
+ThreadPool::submitTickets(const std::shared_ptr<Group> &g,
+                          unsigned count)
+{
+    if (queues_.empty() || count == 0)
+        return;
+    for (unsigned i = 0; i < count; ++i) {
+        unsigned qi = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                      unsigned(queues_.size());
+        std::lock_guard<std::mutex> lock(queues_[qi]->mu);
+        queues_[qi]->q.push_back(g);
+    }
+    pendingTickets_.fetch_add(count, std::memory_order_acq_rel);
+    {
+        // Pair with the sleep check so no wakeup is lost.
+        std::lock_guard<std::mutex> lock(sleepMu_);
+    }
+    if (count == 1)
+        sleepCv_.notify_one();
+    else
+        sleepCv_.notify_all();
+}
+
+void
+ThreadPool::runAll(std::vector<std::function<void()>> tasks,
+                   unsigned maxParallel)
+{
+    if (tasks.empty())
+        return;
+    if (maxParallel == 0)
+        maxParallel = 1;
+    auto g = std::make_shared<Group>();
+    g->tasks = std::move(tasks);
+
+    // The caller is one executor; tickets invite up to maxParallel-1
+    // helpers (never more tickets than remaining tasks).
+    unsigned helpers = unsigned(std::min<size_t>(
+        maxParallel - 1, g->tasks.size() > 0 ? g->tasks.size() - 1 : 0));
+    submitTickets(g, helpers);
+
+    while (g->runOne()) {
+    }
+    {
+        std::unique_lock<std::mutex> lock(g->mu);
+        g->cv.wait(lock, [&] { return g->done == g->tasks.size(); });
+    }
+    if (!g->errors.empty()) {
+        auto first = std::min_element(
+            g->errors.begin(), g->errors.end(),
+            [](const auto &a, const auto &b) { return a.first < b.first; });
+        std::rethrow_exception(first->second);
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(std::max(2u,
+                                    std::thread::hardware_concurrency()) -
+                           1);
+    return pool;
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("GWC_JOBS")) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return unsigned(v);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace gwc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Work-stealing thread pool shared by the parallel execution layers.
+ *
+ * The pool executes *task groups*: runAll() publishes a batch of
+ * tasks, bounds how many executors may work on it concurrently, and
+ * blocks until the batch drains. The calling thread always
+ * participates in its own group, so nested runAll() calls (a
+ * suite-level workload task whose Engine::launch fans out CTA blocks)
+ * can never deadlock, even when every pool worker is busy.
+ *
+ * Stealing happens at two granularities: idle workers steal group
+ * tickets from other workers' deques, and every executor of a group
+ * claims tasks from the group's shared cursor, so an uneven task
+ * costs balance out without any static assignment.
+ */
+
+#ifndef GWC_COMMON_THREADPOOL_HH
+#define GWC_COMMON_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gwc
+{
+
+/**
+ * Fixed-size pool of worker threads executing task groups. Thread
+ * safe; one process-wide instance (global()) is shared by the engine
+ * and the suite driver.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (0 is allowed: callers run alone). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Joins all workers; pending groups must have drained. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (excluding participating callers). */
+    unsigned workers() const { return unsigned(threads_.size()); }
+
+    /**
+     * Execute every task of @p tasks and block until all finished.
+     * At most @p maxParallel executors (pool workers plus the calling
+     * thread) run the group concurrently. Exceptions thrown by tasks
+     * are captured; after the group drains, the exception of the
+     * lowest-indexed failing task is rethrown on the caller, making
+     * error reporting deterministic. Remaining tasks still run.
+     */
+    void runAll(std::vector<std::function<void()>> tasks,
+                unsigned maxParallel);
+
+    /**
+     * The process-wide pool, created on first use with
+     * max(2, hardware_concurrency) - 1 workers so that even a
+     * single-core host gets real cross-thread execution for jobs > 1.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Default parallelism for --jobs style flags: the GWC_JOBS
+     * environment variable if set (>= 1), else hardware_concurrency
+     * (>= 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    /** One published batch of tasks plus its completion state. */
+    struct Group
+    {
+        std::vector<std::function<void()>> tasks;
+        std::atomic<size_t> next{0};   ///< claim cursor
+        std::mutex mu;                 ///< guards done/errors + cv
+        std::condition_variable cv;
+        size_t done = 0;
+        std::vector<std::pair<size_t, std::exception_ptr>> errors;
+
+        /** Claim and run one task; false when none are left. */
+        bool runOne();
+    };
+
+    /** Per-worker ticket deque (a ticket = "help drain this group"). */
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<std::shared_ptr<Group>> q;
+    };
+
+    void workerLoop(unsigned self);
+    std::shared_ptr<Group> take(unsigned self);
+    void submitTickets(const std::shared_ptr<Group> &g, unsigned count);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+    std::mutex sleepMu_;
+    std::condition_variable sleepCv_;
+    std::atomic<size_t> pendingTickets_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<unsigned> nextQueue_{0};
+};
+
+} // namespace gwc
+
+#endif // GWC_COMMON_THREADPOOL_HH

@@ -107,12 +107,16 @@ Profiler::instr(const simt::InstrEvent &ev)
     a.validLaneSlots += kWarpSize;
 
     // ILP sampling: adopt new warps until the cap, then track the
-    // configured lanes of each adopted warp.
+    // configured lanes of each adopted warp. A shard over-adopts (it
+    // can't know how many warps earlier blocks used up); the merge
+    // keeps only the serial-identical prefix, in block order.
     bool tracked = a.ilpWarps.count(ev.warpId) != 0;
     if (!tracked && a.ilpWarps.size() < cfg_.ilpWarpCap) {
         a.ilpWarps.insert(ev.warpId);
         tracked = true;
-        if (statIlpWarps_)
+        if (shard_)
+            a.ilpWarpOrder.push_back(ev.warpId);
+        else if (statIlpWarps_)
             ++*statIlpWarps_;
     }
     if (tracked) {
@@ -204,12 +208,20 @@ Profiler::mem(const simt::MemEvent &ev)
 
     // Locality + inter-CTA sharing, at transaction granularity.
     for (uint32_t s = 0; s < nsegs; ++s) {
-        a.reuse.access(segs[s]);
-        auto [it, inserted] =
+        if (shard_) {
+            // Stack distance is sequential across CTAs: log for
+            // in-order replay at merge instead of analyzing here.
+            if (a.reuseLog.size() < cfg_.reuseCap)
+                a.reuseLog.push_back(segs[s]);
+            ++a.reuseSeen;
+        } else {
+            a.reuse.access(segs[s]);
+        }
+        auto [owner, inserted] =
             a.lineOwner.emplace(segs[s], ev.ctaLinear);
-        if (!inserted && it->second != ev.ctaLinear &&
-            it->second != UINT32_MAX) {
-            it->second = UINT32_MAX; // mark shared exactly once
+        if (!inserted && *owner != ev.ctaLinear &&
+            *owner != UINT32_MAX) {
+            *owner = UINT32_MAX; // mark shared exactly once
             ++a.sharedLines;
         }
     }
@@ -265,11 +277,19 @@ Profiler::finish(KernelAcc &a) const
     m[kFracBranch] = a.perClass[size_t(OpClass::Branch)] / instrs;
     m[kFracSync] = a.perClass[size_t(OpClass::Sync)] / instrs;
 
-    // ILP: instruction-weighted mean over the sampled threads.
+    // ILP: instruction-weighted mean over the sampled threads. The
+    // summation runs in sorted key order so the FP result does not
+    // depend on hash-map insertion history (serial and merged-shard
+    // accumulators insert in different orders).
+    std::vector<uint64_t> ilpKeys;
+    ilpKeys.reserve(a.ilp.size());
+    for (const auto &kv : a.ilp)
+        ilpKeys.push_back(kv.first);
+    std::sort(ilpKeys.begin(), ilpKeys.end());
     for (size_t wi = 0; wi < kIlpWindows.size(); ++wi) {
         double num = 0.0, den = 0.0;
-        for (const auto &[key, trk] : a.ilp) {
-            (void)key;
+        for (uint64_t key : ilpKeys) {
+            const IlpTracker &trk = a.ilp.at(key);
             if (trk.count() == 0)
                 continue;
             num += trk.ilp(wi) * double(trk.count());
@@ -331,6 +351,103 @@ Profiler::finish(KernelAcc &a) const
             : double(a.sharedLines) / double(a.lineOwner.size());
 
     return p;
+}
+
+std::unique_ptr<simt::ProfilerHook>
+Profiler::makeShard()
+{
+    // Shards exist per launch: the engine calls this after
+    // kernelBegin, so cur_ names the accumulator the shard extends.
+    if (!cur_)
+        return nullptr;
+    auto s = std::unique_ptr<Profiler>(new Profiler(cfg_));
+    s->shard_ = true;
+    auto acc = std::make_unique<KernelAcc>(cfg_.reuseCap);
+    acc->info = cur_->info;
+    // Seed the ILP continuation state: repeat launches reuse warp
+    // ids, so a shard must extend the master's trackers, not start
+    // fresh ones. Warps of one launch are disjoint across shards
+    // (warpId embeds ctaLinear), so seeded copies never conflict.
+    acc->ilp = cur_->ilp;
+    acc->ilpWarps = cur_->ilpWarps;
+    s->cur_ = acc.get();
+    s->kernels_.emplace(acc->info.name, std::move(acc));
+    // Event-rate counters are atomic and shared; adoption, kernel
+    // and launch stats stay with the master (counted at merge).
+    s->statSampledCtas_ = statSampledCtas_;
+    s->statSkippedCtas_ = statSkippedCtas_;
+    s->statInstrEvents_ = statInstrEvents_;
+    s->statMemEvents_ = statMemEvents_;
+    return s;
+}
+
+void
+Profiler::mergeShard(simt::ProfilerHook &shard)
+{
+    auto &sp = static_cast<Profiler &>(shard);
+    GWC_ASSERT(cur_ && sp.cur_, "mergeShard outside a launch");
+    KernelAcc &a = *cur_;
+    KernelAcc &s = *sp.cur_;
+
+    for (size_t i = 0; i < a.perClass.size(); ++i)
+        a.perClass[i] += s.perClass[i];
+    a.instrs += s.instrs;
+    a.activeLanes += s.activeLanes;
+    a.validLaneSlots += s.validLaneSlots;
+    a.branches += s.branches;
+    a.divergentBranches += s.divergentBranches;
+    a.gmemAccesses += s.gmemAccesses;
+    a.gmemLoads += s.gmemLoads;
+    a.gmemTransactions += s.gmemTransactions;
+    a.gmemUsefulBytes += s.gmemUsefulBytes;
+    a.stridePairs += s.stridePairs;
+    a.strideUniform += s.strideUniform;
+    a.strideUnit += s.strideUnit;
+    a.smemAccesses += s.smemAccesses;
+    a.smemConflictDegree += s.smemConflictDegree;
+    a.barriers += s.barriers;
+
+    // Reuse distance: replay the shard's transaction stream into the
+    // master analyzer. Blocks merge in CTA order, so the replayed
+    // stream equals the serial one; accesses the shard saw past its
+    // log cap can only be dropped accesses in the serial run too.
+    for (uint64_t line : s.reuseLog)
+        a.reuse.access(line);
+    a.reuse.addDropped(s.reuseSeen - s.reuseLog.size());
+
+    // Inter-CTA sharing: first-owner fold. A line becomes shared
+    // (counted once) when two distinct owners meet, whether inside
+    // one shard or across the master/shard boundary.
+    s.lineOwner.forEach([&](uint64_t line, uint32_t sOwner) {
+        auto [owner, inserted] = a.lineOwner.emplace(line, sOwner);
+        if (inserted) {
+            if (sOwner == UINT32_MAX)
+                ++a.sharedLines;
+        } else if (*owner != UINT32_MAX && *owner != sOwner) {
+            *owner = UINT32_MAX;
+            ++a.sharedLines;
+        }
+    });
+
+    // ILP: re-adopt the shard's newly adopted warps in block order
+    // until the cap — exactly the warps a serial run would have
+    // adopted — then take every tracker the shard advanced.
+    for (uint32_t w : s.ilpWarpOrder) {
+        if (a.ilpWarps.size() >= cfg_.ilpWarpCap)
+            break;
+        a.ilpWarps.insert(w);
+        if (statIlpWarps_)
+            ++*statIlpWarps_;
+    }
+    for (const auto &[key, trk] : s.ilp) {
+        if (a.ilpWarps.count(uint32_t(key >> 8)) == 0)
+            continue;
+        auto it = a.ilp.find(key);
+        if (it == a.ilp.end())
+            a.ilp.emplace(key, trk);
+        else if (trk.count() > it->second.count())
+            it->second = trk;
+    }
 }
 
 std::vector<KernelProfile>

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hh"
 #include "metrics/characteristics.hh"
 #include "metrics/ilp.hh"
 #include "metrics/reuse.hh"
@@ -90,6 +91,22 @@ class Profiler : public simt::ProfilerHook
     void barrier(uint32_t warpId) override;
 
     /**
+     * Shard support for parallel CTA blocks. A shard is a Profiler in
+     * recording mode: additive counters accumulate normally, the
+     * reuse-distance stream is logged (not analyzed — stack distance
+     * is sequential across CTAs) and the ILP sampler is seeded with
+     * the master's adopted-warp set and tracker state so repeated
+     * launches continue correctly. mergeShard folds a shard back in
+     * CTA-block order: counters add, the reuse log replays into the
+     * master analyzer, line ownership folds with first-owner
+     * semantics, and shard-adopted warps are re-adopted in block
+     * order until the cap — reproducing the serial result exactly
+     * (see docs/PARALLELISM.md for the proofs).
+     */
+    std::unique_ptr<simt::ProfilerHook> makeShard() override;
+    void mergeShard(simt::ProfilerHook &shard) override;
+
+    /**
      * Finish all kernels and return their profiles in first-launch
      * order, stamping @p workload into each.
      */
@@ -141,12 +158,20 @@ class Profiler : public simt::ProfilerHook
 
         // Locality and sharing.
         ReuseDistanceAnalyzer reuse;
-        std::unordered_map<uint64_t, uint32_t> lineOwner;
+        FlatHashU64<uint32_t> lineOwner;
         uint64_t sharedLines = 0;
 
         // Per-thread ILP sampling.
         std::unordered_map<uint64_t, IlpTracker> ilp;
         std::unordered_set<uint32_t> ilpWarps;
+
+        // Shard-mode state: the reuse stream is logged up to the cap
+        // (and counted past it) for in-order replay at merge; newly
+        // adopted ILP warps are remembered in adoption order so the
+        // merge can re-adopt a serial-identical prefix.
+        std::vector<uint64_t> reuseLog;
+        uint64_t reuseSeen = 0;
+        std::vector<uint32_t> ilpWarpOrder;
 
         explicit KernelAcc(uint32_t reuseCap) : reuse(reuseCap) {}
     };
@@ -158,6 +183,7 @@ class Profiler : public simt::ProfilerHook
     std::vector<std::string> order_;
     KernelAcc *cur_ = nullptr;
     bool ctaSampled_ = true;
+    bool shard_ = false;
     std::map<std::string, uint32_t> launchSeq_;
 
     // Telemetry bindings (null until attachStats).

@@ -7,9 +7,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/threadpool.hh"
 
 namespace gwc::simt
 {
@@ -38,53 +41,42 @@ Engine::attachStats(telemetry::Registry &reg)
     hooks_.bindStats(es);
 }
 
-LaunchStats
-Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
-               Dim3 cta, uint32_t sharedBytes,
-               const KernelParams &params)
+void
+Engine::runCtaRange(const KernelInfo &info, const KernelFn &fn,
+                    HookList &hooks, const KernelParams &params,
+                    uint32_t ctaFirst, uint32_t ctaLast,
+                    uint32_t warpsPerCta, uint64_t ctaThreads,
+                    uint64_t &warpInstrs)
 {
-    if (cta.z != 1)
-        fatal("3D CTAs are not supported (cta.z = %u)", cta.z);
-    uint64_t ctaThreads = cta.count();
-    if (ctaThreads == 0 || ctaThreads > 1024)
-        fatal("CTA size %llu out of range [1, 1024]",
-              static_cast<unsigned long long>(ctaThreads));
-    if (grid.count() == 0)
-        fatal("empty launch grid");
+    const bool dispatch = !hooks.empty();
 
-    KernelInfo info{name, grid, cta, sharedBytes};
-    // With no hooks registered every dispatch (and the event payload
-    // construction in Warp) is skipped; ev_* stats count dispatched
-    // events only.
-    const bool dispatch = !hooks_.empty();
-    if (dispatch)
-        hooks_.kernelBegin(info);
-
-    LaunchStats stats;
-    uint32_t warpsPerCta =
-        static_cast<uint32_t>(ceilDiv(ctaThreads, kWarpSize));
-    uint32_t numCtas = static_cast<uint32_t>(grid.count());
-
+    // Buffers hoisted out of the CTA loop: the shared-memory image,
+    // the warp deque (coroutine frames hold stable references across
+    // suspensions) and the task vector are reused for every CTA of
+    // the range instead of being reallocated per CTA.
     std::vector<uint8_t> smem;
-    for (uint32_t ctaLin = 0; ctaLin < numCtas; ++ctaLin) {
-        if (dispatch)
-            hooks_.ctaBegin(ctaLin);
-        smem.assign(sharedBytes, 0);
+    std::deque<Warp> warps;
+    std::vector<WarpTask> tasks;
+    tasks.reserve(warpsPerCta);
 
-        // Warps live in a deque so coroutine frames can hold stable
-        // references across suspensions.
-        std::deque<Warp> warps;
-        std::vector<WarpTask> tasks;
+    for (uint32_t ctaLin = ctaFirst; ctaLin < ctaLast; ++ctaLin) {
+        if (dispatch)
+            hooks.ctaBegin(ctaLin);
+        smem.assign(info.sharedBytes, 0);
+
+        // Coroutine frames reference their Warp: drop the frames
+        // before the warps of the previous CTA.
+        tasks.clear();
+        warps.clear();
         for (uint32_t wi = 0; wi < warpsPerCta; ++wi) {
             uint64_t first = uint64_t(wi) * kWarpSize;
             uint32_t lanes = static_cast<uint32_t>(
                 std::min<uint64_t>(kWarpSize, ctaThreads - first));
             LaneMask valid =
                 lanes == kWarpSize ? kFullMask : ((1u << lanes) - 1);
-            warps.emplace_back(mem_, smem, hooks_, info, params, ctaLin,
-                               wi, valid, &stats.warpInstrs);
+            warps.emplace_back(mem_, smem, hooks, info, params, ctaLin,
+                               wi, valid, &warpInstrs);
         }
-        tasks.reserve(warpsPerCta);
         for (auto &w : warps)
             tasks.push_back(fn(w));
 
@@ -117,19 +109,116 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
                 }
                 if (!allAtBarrier)
                     panic("kernel %s: scheduler stuck in CTA %u",
-                          name.c_str(), ctaLin);
+                          info.name.c_str(), ctaLin);
                 for (uint32_t wi = 0; wi < warpsPerCta; ++wi)
                     if (!tasks[wi].done())
                         warps[wi].release();
             }
         }
 
-        stats.warps += warpsPerCta;
         if (dispatch)
-            hooks_.ctaEnd(ctaLin);
+            hooks.ctaEnd(ctaLin);
+    }
+}
+
+LaunchStats
+Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
+               Dim3 cta, uint32_t sharedBytes,
+               const KernelParams &params, const LaunchAttrs &attrs)
+{
+    if (cta.z != 1)
+        fatal("3D CTAs are not supported (cta.z = %u)", cta.z);
+    uint64_t ctaThreads = cta.count();
+    if (ctaThreads == 0 || ctaThreads > 1024)
+        fatal("CTA size %llu out of range [1, 1024]",
+              static_cast<unsigned long long>(ctaThreads));
+    if (grid.count() == 0)
+        fatal("empty launch grid");
+
+    KernelInfo info{name, grid, cta, sharedBytes};
+    // With no hooks registered every dispatch (and the event payload
+    // construction in Warp) is skipped; ev_* stats count dispatched
+    // events only.
+    const bool dispatch = !hooks_.empty();
+    if (dispatch)
+        hooks_.kernelBegin(info);
+
+    LaunchStats stats;
+    uint32_t warpsPerCta =
+        static_cast<uint32_t>(ceilDiv(ctaThreads, kWarpSize));
+    uint32_t numCtas = static_cast<uint32_t>(grid.count());
+
+    // Parallel CTA-block path: partition the grid into contiguous
+    // blocks, one hook shard set per block, merged back in block
+    // order. Shards see exactly the event stream a serial run feeds
+    // the master for their CTAs, so the order-merged result is
+    // bit-identical to jobs = 1.
+    unsigned blocks = std::min<unsigned>(jobs_, numCtas);
+    struct Block
+    {
+        HookList hooks;
+        std::vector<std::unique_ptr<ProfilerHook>> shards;
+        uint64_t warpInstrs = 0;
+        uint32_t first = 0;
+        uint32_t last = 0;
+    };
+    std::vector<Block> blk;
+    bool parallel = blocks > 1 && attrs.ctaParallelSafe;
+    if (parallel && dispatch) {
+        blk.resize(blocks);
+        for (auto &b : blk) {
+            for (ProfilerHook *h : hooks_.hooks()) {
+                auto shard = h->makeShard();
+                if (!shard) {
+                    // Non-shardable hook: fall back to serial.
+                    parallel = false;
+                    break;
+                }
+                b.hooks.add(shard.get());
+                b.shards.push_back(std::move(shard));
+            }
+            // Event counters are atomic, so shards share the master's
+            // telemetry bindings directly.
+            b.hooks.bindStats(hooks_.boundStats());
+            if (!parallel)
+                break;
+        }
+        if (!parallel)
+            blk.clear();
+    } else if (parallel) {
+        blk.resize(blocks);
+    }
+
+    if (parallel) {
+        for (unsigned b = 0; b < blocks; ++b) {
+            blk[b].first = uint32_t(uint64_t(numCtas) * b / blocks);
+            blk[b].last = uint32_t(uint64_t(numCtas) * (b + 1) / blocks);
+        }
+        std::vector<std::function<void()>> work;
+        work.reserve(blocks);
+        for (unsigned b = 0; b < blocks; ++b) {
+            work.push_back([this, &info, &fn, &params, &blk, b,
+                            warpsPerCta, ctaThreads] {
+                Block &bb = blk[b];
+                runCtaRange(info, fn, bb.hooks, params, bb.first,
+                            bb.last, warpsPerCta, ctaThreads,
+                            bb.warpInstrs);
+            });
+        }
+        ThreadPool::global().runAll(std::move(work), jobs_);
+        for (unsigned b = 0; b < blocks; ++b) {
+            stats.warpInstrs += blk[b].warpInstrs;
+            const auto &hooks = hooks_.hooks();
+            for (size_t i = 0; i < hooks.size(); ++i)
+                hooks[i]->mergeShard(*blk[b].shards[i]);
+        }
+    } else {
+        runCtaRange(info, fn, hooks_, params, 0, numCtas, warpsPerCta,
+                    ctaThreads, stats.warpInstrs);
     }
 
     stats.ctas = numCtas;
+    stats.warps = uint64_t(warpsPerCta) * numCtas;
     stats.threads = ctaThreads * numCtas;
     if (dispatch)
         hooks_.kernelEnd();

@@ -35,6 +35,20 @@ struct LaunchStats
     uint64_t threads = 0;      ///< logical threads
 };
 
+/** Per-launch execution attributes. */
+struct LaunchAttrs
+{
+    /**
+     * True (default) when the kernel's observable behaviour does not
+     * depend on the relative execution order of its CTAs — the
+     * paper's CTA-independence property, and the precondition for
+     * running CTA blocks concurrently. Kernels that consume atomic
+     * return values as data (a global scatter cursor, say) must clear
+     * it; the engine then runs the launch serially under any --jobs.
+     */
+    bool ctaParallelSafe = true;
+};
+
 /**
  * The device: global memory plus a kernel launcher with an
  * instrumentation bus. One Engine corresponds to one simulated GPU;
@@ -73,6 +87,20 @@ class Engine
     void attachStats(telemetry::Registry &reg);
 
     /**
+     * CTA-level parallelism for subsequent launches: with jobs > 1 a
+     * launch is partitioned into contiguous CTA blocks executed by
+     * the shared thread pool, each block dispatching into private
+     * hook shards that are merged back in block order — profiles are
+     * bit-identical to jobs = 1 (docs/PARALLELISM.md). Launches fall
+     * back to serial when a hook is non-shardable or the launch is
+     * marked !ctaParallelSafe.
+     */
+    void setJobs(unsigned jobs) { jobs_ = jobs == 0 ? 1 : jobs; }
+
+    /** Current CTA-level parallelism. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
      * Launch @p fn over @p grid x @p cta threads.
      *
      * @param name        kernel identifier reported to the hooks
@@ -81,15 +109,30 @@ class Engine
      * @param cta         threads per CTA (z must be 1)
      * @param sharedBytes shared memory per CTA
      * @param params      kernel arguments
+     * @param attrs       execution attributes of this launch
      * @return aggregate execution counters
      */
     LaunchStats launch(const std::string &name, const KernelFn &fn,
                        Dim3 grid, Dim3 cta, uint32_t sharedBytes,
-                       const KernelParams &params);
+                       const KernelParams &params,
+                       const LaunchAttrs &attrs = {});
 
   private:
+    /**
+     * Execute CTAs [ctaFirst, ctaLast) of the current launch,
+     * dispatching into @p hooks and accumulating dynamic warp
+     * instructions into @p warpInstrs. Shared-memory and warp/task
+     * storage are reused across the CTAs of the range.
+     */
+    void runCtaRange(const KernelInfo &info, const KernelFn &fn,
+                     HookList &hooks, const KernelParams &params,
+                     uint32_t ctaFirst, uint32_t ctaLast,
+                     uint32_t warpsPerCta, uint64_t ctaThreads,
+                     uint64_t &warpInstrs);
+
     GlobalMemory mem_;
     HookList hooks_;
+    unsigned jobs_ = 1;
 
     // Telemetry bindings (null until attachStats).
     telemetry::Counter *statLaunches_ = nullptr;

@@ -11,6 +11,7 @@
 #ifndef GWC_SIMT_HOOKS_HH
 #define GWC_SIMT_HOOKS_HH
 
+#include <memory>
 #include <vector>
 
 #include "simt/types.hh"
@@ -63,13 +64,38 @@ struct BranchEvent
 /**
  * Observer of engine events. All callbacks default to no-ops so a
  * hook only overrides what it needs. Events of one launch are
- * bracketed by kernelBegin/kernelEnd; a launch executes CTAs serially
- * and warps of one CTA in a deterministic round-robin order.
+ * bracketed by kernelBegin/kernelEnd; warps of one CTA run in a
+ * deterministic round-robin order. Under --jobs 1 CTAs run serially
+ * in linear order; under --jobs N the engine partitions a launch into
+ * contiguous CTA blocks and offers each hook a private *shard* per
+ * block (makeShard/mergeShard below) so no hook callback is ever
+ * invoked concurrently on the same object. Hooks that return no shard
+ * force the launch back to serial execution, so order-sensitive hooks
+ * (trace writers, say) stay correct by default.
  */
 class ProfilerHook
 {
   public:
     virtual ~ProfilerHook() = default;
+
+    /**
+     * Create a shard: a private hook instance that will observe one
+     * contiguous CTA block of the current launch (between this hook's
+     * kernelBegin and kernelEnd). Shards of one launch run
+     * concurrently; each sees its block's events in the exact order a
+     * serial run would produce them. Returning null (the default)
+     * declares the hook non-shardable and keeps the launch serial.
+     */
+    virtual std::unique_ptr<ProfilerHook> makeShard() { return nullptr; }
+
+    /**
+     * Fold @p shard back into this hook. The engine calls this once
+     * per shard, on one thread, in ascending CTA-block order — the
+     * merge contract that makes profiles.csv bit-identical for any
+     * --jobs value (see docs/PARALLELISM.md). @p shard is the object
+     * returned by makeShard after its block completed.
+     */
+    virtual void mergeShard(ProfilerHook &shard) { (void)shard; }
 
     /** A kernel launch is starting. */
     virtual void kernelBegin(const KernelInfo &info) { (void)info; }
@@ -131,8 +157,14 @@ class HookList : public ProfilerHook
     /** Number of registered hooks. */
     size_t size() const { return hooks_.size(); }
 
+    /** Registered hooks, in registration order. */
+    const std::vector<ProfilerHook *> &hooks() const { return hooks_; }
+
     /** Bind (or unbind, with default-constructed) event counters. */
     void bindStats(const EventStats &stats) { stats_ = stats; }
+
+    /** Currently bound event counters. */
+    const EventStats &boundStats() const { return stats_; }
 
     void
     kernelBegin(const KernelInfo &info) override

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.hh"
@@ -77,6 +78,23 @@ class GlobalMemory
         std::memset(data_.data() + (addr - kBase), 0, bytes);
     }
 
+    /**
+     * Atomic read-modify-write: stores fn(old) at @p addr and returns
+     * old. The single device-wide lock serializes RMWs from parallel
+     * CTA workers, like the GPU's atomic units; plain loads/stores
+     * stay lock-free (concurrent CTAs touching the same non-atomic
+     * location are a data race in the source program, as on hardware).
+     */
+    template <typename T, typename F>
+    T
+    atomicRmw(uint64_t addr, T operand, F fn)
+    {
+        std::lock_guard<std::mutex> lock(atomicMu_);
+        T old = read<T>(addr);
+        write<T>(addr, fn(old, operand));
+        return old;
+    }
+
   private:
     void
     checkRange(uint64_t addr, uint64_t bytes) const
@@ -91,6 +109,7 @@ class GlobalMemory
     }
 
     std::vector<uint8_t> data_;
+    std::mutex atomicMu_;   ///< serializes atomicRmw across CTA workers
 };
 
 /**

@@ -613,9 +613,7 @@ class Warp
             dep[l] = std::max(addr.def[l], val.def[l]);
             if (!(active_ & (1u << l)))
                 continue;
-            T old = gmem_.read<T>(addr.v[l]);
-            gmem_.write<T>(addr.v[l], rmw(old, val.v[l]));
-            r.v[l] = old;
+            r.v[l] = gmem_.atomicRmw<T>(addr.v[l], val.v[l], rmw);
             r.def[l] = idx;
         }
         recordInstr(OpClass::Atomic, idx, dep);

@@ -19,6 +19,7 @@ namespace gwc::telemetry
 Counter &
 Group::counter(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     if (it != index_.end()) {
         if (it->second.first != Kind::Counter)
@@ -34,6 +35,7 @@ Group::counter(const std::string &name, const std::string &desc)
 Histogram &
 Group::histogram(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     if (it != index_.end()) {
         if (it->second.first != Kind::Histogram)
@@ -50,6 +52,7 @@ Group::histogram(const std::string &name, const std::string &desc)
 Timer &
 Group::timer(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     if (it != index_.end()) {
         if (it->second.first != Kind::Timer)
@@ -65,6 +68,7 @@ Group::timer(const std::string &name, const std::string &desc)
 const Counter *
 Group::findCounter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     if (it == index_.end() || it->second.first != Kind::Counter)
         return nullptr;
@@ -74,6 +78,7 @@ Group::findCounter(const std::string &name) const
 const Timer *
 Group::findTimer(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     if (it == index_.end() || it->second.first != Kind::Timer)
         return nullptr;
@@ -83,6 +88,7 @@ Group::findTimer(const std::string &name) const
 Group &
 Registry::group(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     if (it != index_.end())
         return *groups_[it->second];
@@ -94,8 +100,23 @@ Registry::group(const std::string &name)
 const Group *
 Registry::find(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(name);
     return it == index_.end() ? nullptr : groups_[it->second].get();
+}
+
+void
+Registry::mergeFrom(const Registry &src)
+{
+    for (const auto &sg : src.groups()) {
+        Group &dg = group(sg->name());
+        for (const auto &c : sg->counters())
+            dg.counter(c->name(), c->desc()) += c->value();
+        for (const auto &h : sg->histograms())
+            dg.histogram(h->name(), h->desc()).merge(*h);
+        for (const auto &t : sg->timers())
+            dg.timer(t->name(), t->desc()).merge(*t);
+    }
 }
 
 uint64_t

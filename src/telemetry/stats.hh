@@ -18,18 +18,25 @@
 #ifndef GWC_TELEMETRY_STATS_HH
 #define GWC_TELEMETRY_STATS_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace gwc::telemetry
 {
 
-/** Monotonically increasing event count. */
+/**
+ * Monotonically increasing event count. Accumulation is atomic
+ * (relaxed) so concurrent workloads and CTA workers can bump shared
+ * counters without corrupting --stats-out reports; totals are
+ * order-independent, hence deterministic.
+ */
 class Counter
 {
   public:
@@ -37,17 +44,28 @@ class Counter
         : name_(std::move(name)), desc_(std::move(desc))
     {}
 
-    Counter &operator++() { ++v_; return *this; }
-    Counter &operator+=(uint64_t n) { v_ += n; return *this; }
+    Counter &
+    operator++()
+    {
+        v_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
 
-    uint64_t value() const { return v_; }
+    Counter &
+    operator+=(uint64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
   private:
     std::string name_;
     std::string desc_;
-    uint64_t v_ = 0;
+    std::atomic<uint64_t> v_{0};
 };
 
 /**
@@ -68,6 +86,10 @@ class Histogram
     void
     sample(uint64_t x)
     {
+        // Guarded rather than per-bucket atomic: samples arrive at CTA
+        // granularity, so contention is negligible and min/max/sum stay
+        // mutually consistent.
+        std::lock_guard<std::mutex> lock(mu_);
         ++buckets_[bucketOf(x)];
         ++count_;
         sum_ += x;
@@ -77,6 +99,26 @@ class Histogram
             if (x < min_) min_ = x;
             if (x > max_) max_ = x;
         }
+    }
+
+    /** Fold @p other into this histogram (bucket-wise addition). */
+    void
+    merge(const Histogram &other)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        if (other.count_ > 0) {
+            if (count_ == 0) {
+                min_ = other.min_;
+                max_ = other.max_;
+            } else {
+                if (other.min_ < min_) min_ = other.min_;
+                if (other.max_ > max_) max_ = other.max_;
+            }
+        }
+        count_ += other.count_;
+        sum_ += other.sum_;
     }
 
     /** Bucket index a value falls into. */
@@ -105,6 +147,7 @@ class Histogram
   private:
     std::string name_;
     std::string desc_;
+    std::mutex mu_;
     uint64_t buckets_[kBuckets] = {};
     uint64_t count_ = 0;
     uint64_t sum_ = 0;
@@ -112,7 +155,11 @@ class Histogram
     uint64_t max_ = 0;
 };
 
-/** Accumulated wall-clock time, fed by ScopedTimer. */
+/**
+ * Accumulated wall-clock time, fed by ScopedTimer. Accumulation is
+ * atomic so concurrent workloads sharing one suite-level timer
+ * (phase_setup/phase_simulate/...) cannot corrupt --stats-out.
+ */
 class Timer
 {
   public:
@@ -120,19 +167,32 @@ class Timer
         : name_(std::move(name)), desc_(std::move(desc))
     {}
 
-    void addNs(uint64_t ns) { ns_ += ns; ++laps_; }
+    void
+    addNs(uint64_t ns)
+    {
+        ns_.fetch_add(ns, std::memory_order_relaxed);
+        laps_.fetch_add(1, std::memory_order_relaxed);
+    }
 
-    uint64_t ns() const { return ns_; }
-    uint64_t laps() const { return laps_; }
-    double sec() const { return double(ns_) * 1e-9; }
+    /** Fold another timer's laps into this one. */
+    void
+    merge(const Timer &other)
+    {
+        ns_.fetch_add(other.ns(), std::memory_order_relaxed);
+        laps_.fetch_add(other.laps(), std::memory_order_relaxed);
+    }
+
+    uint64_t ns() const { return ns_.load(std::memory_order_relaxed); }
+    uint64_t laps() const { return laps_.load(std::memory_order_relaxed); }
+    double sec() const { return double(ns()) * 1e-9; }
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
   private:
     std::string name_;
     std::string desc_;
-    uint64_t ns_ = 0;
-    uint64_t laps_ = 0;
+    std::atomic<uint64_t> ns_{0};
+    std::atomic<uint64_t> laps_{0};
 };
 
 /**
@@ -174,8 +234,9 @@ class ScopedTimer
 
 /**
  * Named collection of stats belonging to one component. Lookups are
- * get-or-create; re-registering a name as a different stat kind is a
- * panic (library bug).
+ * get-or-create and thread-safe; re-registering a name as a different
+ * stat kind is a panic (library bug). Returned references stay valid
+ * across later registrations.
  */
 class Group
 {
@@ -210,6 +271,7 @@ class Group
     enum class Kind : uint8_t { Counter, Histogram, Timer };
 
     std::string name_;
+    mutable std::mutex mu_;   ///< guards index_ + the stat vectors
     std::vector<std::unique_ptr<Counter>> counters_;
     std::vector<std::unique_ptr<Histogram>> histograms_;
     std::vector<std::unique_ptr<Timer>> timers_;
@@ -224,7 +286,7 @@ class Group
 class Registry
 {
   public:
-    /** Get or create the group @p name. */
+    /** Get or create the group @p name (thread-safe). */
     Group &group(const std::string &name);
 
     /** Group lookup without creation (null if absent). */
@@ -233,6 +295,16 @@ class Registry
     /** Value of counter @p name in @p group (0 if either is absent). */
     uint64_t counterTotal(const std::string &group,
                           const std::string &name) const;
+
+    /**
+     * Fold every stat of @p src into this registry, creating groups
+     * and stats as needed (get-or-create semantics preserve group and
+     * stat registration order of this registry first, then of src).
+     * Parallel suite runs give each workload a private Registry and
+     * merge them back in workload order, so --stats-out totals are
+     * identical to a serial run.
+     */
+    void mergeFrom(const Registry &src);
 
     void dumpText(std::ostream &os) const;
     void dumpJson(std::ostream &os) const;
@@ -244,6 +316,7 @@ class Registry
     { return groups_; }
 
   private:
+    mutable std::mutex mu_;   ///< guards index_ + groups_
     std::vector<std::unique_ptr<Group>> groups_;
     std::map<std::string, size_t> index_;
 };

@@ -86,12 +86,15 @@ class Mummer : public Workload
             for (uint32_t d = 0;
                  d < kQueryLen && s + d < refLen_; ++d) {
                 uint32_t c = ref_[s + d];
-                uint32_t &slot = trieHost_[node * kAlphabet + c];
-                if (slot == 0) {
-                    slot = uint32_t(trieHost_.size() / kAlphabet);
+                // No reference into trieHost_ may be held across the
+                // resize below: it reallocates.
+                uint32_t next = trieHost_[node * kAlphabet + c];
+                if (next == 0) {
+                    next = uint32_t(trieHost_.size() / kAlphabet);
+                    trieHost_[node * kAlphabet + c] = next;
                     trieHost_.resize(trieHost_.size() + kAlphabet, 0);
                 }
-                node = slot;
+                node = next;
             }
         }
 

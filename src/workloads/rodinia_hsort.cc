@@ -172,7 +172,11 @@ class HybridSort : public Workload
         KernelParams p2;
         p2.push(data_.addr()).push(cursor_.addr()).push(out_.addr())
             .push(n_).push(buckets_);
-        e.launch("scatter", scatterKernel, grid, Dim3(cta), 0, p2);
+        // The scatter consumes atomicAdd return values as store
+        // indices, so its memory trace depends on cross-CTA order:
+        // not CTA-parallel-safe.
+        e.launch("scatter", scatterKernel, grid, Dim3(cta), 0, p2,
+                 {.ctaParallelSafe = false});
 
         KernelParams p3;
         p3.push(out_.addr()).push(offsets_.addr())

@@ -6,8 +6,11 @@
 #include "workloads/suite.hh"
 
 #include <chrono>
+#include <functional>
+#include <memory>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace gwc::workloads
 {
@@ -23,14 +26,17 @@ elapsedSec(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double>(to - from).count();
 }
 
-} // anonymous namespace
-
-std::vector<WorkloadRun>
-runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
+/**
+ * Characterize one workload on a private Engine + Profiler,
+ * registering stats into @p reg (possibly a per-workload registry
+ * that the caller merges back later). Verification failures are
+ * recorded, not fatal, so a parallel suite can report the first
+ * failure in workload order.
+ */
+WorkloadRun
+runOne(const std::string &name, const SuiteOptions &opts,
+       telemetry::Registry *reg, simt::ProfilerHook *extraHook)
 {
-    std::vector<std::string> list =
-        names.empty() ? workloadNames() : names;
-
     // Suite-level stats: per-phase wall-clock across all workloads.
     telemetry::Counter *statWorkloads = nullptr;
     telemetry::Counter *statKernels = nullptr;
@@ -38,8 +44,8 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
     telemetry::Timer *tSimulate = nullptr;
     telemetry::Timer *tProfile = nullptr;
     telemetry::Timer *tVerify = nullptr;
-    if (opts.stats) {
-        auto &g = opts.stats->group("suite");
+    if (reg) {
+        auto &g = reg->group("suite");
         statWorkloads = &g.counter("workloads", "workloads run");
         statKernels = &g.counter("kernels", "kernel profiles produced");
         tSetup = &g.timer("phase_setup", "input generation + upload");
@@ -50,71 +56,116 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
         tVerify = &g.timer("phase_verify", "host-reference checks");
     }
 
-    std::vector<WorkloadRun> out;
-    out.reserve(list.size());
-    for (const auto &name : list) {
-        auto wl = makeWorkload(name);
-        WorkloadRun run;
-        run.desc = wl->desc();
-        if (opts.verbose)
-            inform("running %s (%s)", run.desc.abbrev.c_str(),
-                   run.desc.name.c_str());
+    auto wl = makeWorkload(name);
+    WorkloadRun run;
+    run.desc = wl->desc();
+    if (opts.verbose)
+        inform("running %s (%s)", run.desc.abbrev.c_str(),
+               run.desc.name.c_str());
 
-        simt::Engine engine;
-        metrics::Profiler::Config pcfg;
-        pcfg.ctaSampleStride = opts.ctaSampleStride;
-        metrics::Profiler profiler(pcfg);
-        if (opts.stats) {
-            engine.attachStats(*opts.stats);
-            profiler.attachStats(*opts.stats);
+    simt::Engine engine;
+    engine.setJobs(opts.jobs);
+    metrics::Profiler::Config pcfg;
+    pcfg.ctaSampleStride = opts.ctaSampleStride;
+    metrics::Profiler profiler(pcfg);
+    if (reg) {
+        engine.attachStats(*reg);
+        profiler.attachStats(*reg);
+    }
+
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+    {
+        telemetry::ScopedTimer st(tSetup);
+        wl->setup(engine, opts.scale);
+    }
+    auto t1 = Clock::now();
+
+    engine.addHook(&profiler);
+    if (extraHook)
+        engine.addHook(extraHook);
+    {
+        telemetry::ScopedTimer st(tSimulate);
+        wl->run(engine);
+    }
+    auto t2 = Clock::now();
+    engine.clearHooks();
+
+    {
+        telemetry::ScopedTimer st(tProfile);
+        run.profiles = profiler.finalize(run.desc.abbrev);
+    }
+    auto t3 = Clock::now();
+
+    for (const auto &p : run.profiles)
+        run.totals.warpInstrs += p.warpInstrs;
+
+    run.verified = true;
+    if (opts.verify) {
+        telemetry::ScopedTimer st(tVerify);
+        run.verified = wl->verify(engine);
+    }
+    auto t4 = Clock::now();
+
+    run.setupSec = elapsedSec(t0, t1);
+    run.simulateSec = elapsedSec(t1, t2);
+    run.profileSec = elapsedSec(t2, t3);
+    run.verifySec = elapsedSec(t3, t4);
+    if (statWorkloads) {
+        ++*statWorkloads;
+        *statKernels += run.profiles.size();
+    }
+    return run;
+}
+
+} // anonymous namespace
+
+std::vector<WorkloadRun>
+runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
+{
+    std::vector<std::string> list =
+        names.empty() ? workloadNames() : names;
+
+    const unsigned jobs = std::max<uint32_t>(1, opts.jobs);
+    // An extraHook is one observer object; it cannot watch several
+    // engines at once, so it pins the workload loop to serial (the
+    // engines may still run CTA blocks in parallel — a non-shardable
+    // hook only serializes its own launches).
+    const bool wlParallel =
+        jobs > 1 && list.size() > 1 && opts.extraHook == nullptr;
+
+    std::vector<WorkloadRun> out(list.size());
+    if (wlParallel) {
+        // Independent state per workload; private registries merge
+        // back in workload order so --stats-out totals match serial.
+        std::vector<std::unique_ptr<telemetry::Registry>> regs(
+            list.size());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(list.size());
+        for (size_t i = 0; i < list.size(); ++i) {
+            tasks.push_back([&, i] {
+                if (opts.stats)
+                    regs[i] = std::make_unique<telemetry::Registry>();
+                out[i] = runOne(list[i], opts, regs[i].get(), nullptr);
+            });
         }
-
-        using Clock = std::chrono::steady_clock;
-        auto t0 = Clock::now();
-        {
-            telemetry::ScopedTimer st(tSetup);
-            wl->setup(engine, opts.scale);
+        ThreadPool::global().runAll(std::move(tasks), jobs);
+        if (opts.stats)
+            for (auto &r : regs)
+                opts.stats->mergeFrom(*r);
+    } else {
+        for (size_t i = 0; i < list.size(); ++i) {
+            out[i] = runOne(list[i], opts, opts.stats, opts.extraHook);
+            if (opts.verify && !out[i].verified)
+                fatal("workload %s failed verification",
+                      out[i].desc.abbrev.c_str());
         }
-        auto t1 = Clock::now();
-
-        engine.addHook(&profiler);
-        if (opts.extraHook)
-            engine.addHook(opts.extraHook);
-        {
-            telemetry::ScopedTimer st(tSimulate);
-            wl->run(engine);
-        }
-        auto t2 = Clock::now();
-        engine.clearHooks();
-
-        {
-            telemetry::ScopedTimer st(tProfile);
-            run.profiles = profiler.finalize(run.desc.abbrev);
-        }
-        auto t3 = Clock::now();
-
-        for (const auto &p : run.profiles)
-            run.totals.warpInstrs += p.warpInstrs;
-
-        if (opts.verify) {
-            telemetry::ScopedTimer st(tVerify);
-            run.verified = wl->verify(engine);
+    }
+    if (opts.verify)
+        for (const auto &run : out)
             if (!run.verified)
                 fatal("workload %s failed verification",
                       run.desc.abbrev.c_str());
-        }
-        auto t4 = Clock::now();
-
-        run.setupSec = elapsedSec(t0, t1);
-        run.simulateSec = elapsedSec(t1, t2);
-        run.profileSec = elapsedSec(t2, t3);
-        run.verifySec = elapsedSec(t3, t4);
-        if (statWorkloads) {
-            ++*statWorkloads;
-            *statKernels += run.profiles.size();
-        }
-        out.push_back(std::move(run));
-    }
     return out;
 }
 

@@ -41,6 +41,16 @@ struct SuiteOptions
     bool verify = true;      ///< run host-reference checks
     bool verbose = false;    ///< progress output
     uint32_t ctaSampleStride = 1; ///< profiler CTA sampling
+    /**
+     * Parallelism budget: workloads run concurrently (each with its
+     * own Engine + Profiler and a private stats registry merged back
+     * in workload order) and each engine runs CTA blocks concurrently
+     * too. Results, profiles and stats totals are identical to
+     * jobs = 1 — see docs/PARALLELISM.md. An extraHook forces the
+     * workload loop serial (a single hook object cannot observe
+     * concurrent engines).
+     */
+    uint32_t jobs = 1;
     /** Optional stats registry; engine/profiler/suite groups. */
     telemetry::Registry *stats = nullptr;
     /** Optional extra engine hook (e.g. a telemetry::TraceWriter). */

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests of the parallel execution layer: the work-stealing thread
+ * pool, concurrent telemetry accumulation, CTA-block parallelism in
+ * the engine, and the suite-level determinism guarantee — profiles
+ * from a jobs > 1 run must be byte-identical to a serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "metrics/profile_io.hh"
+#include "simt/engine.hh"
+#include "telemetry/stats.hh"
+#include "workloads/suite.hh"
+
+namespace gwc
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(3);
+    const size_t n = 200;
+    std::vector<std::atomic<int>> ran(n);
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < n; ++i)
+        tasks.push_back([&ran, i] { ++ran[i]; });
+    pool.runAll(std::move(tasks), 4);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, MaxParallelOneRunsOnCaller)
+{
+    ThreadPool pool(3);
+    const auto caller = std::this_thread::get_id();
+    std::atomic<int> offCaller{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i)
+        tasks.push_back([&] {
+            if (std::this_thread::get_id() != caller)
+                ++offCaller;
+        });
+    pool.runAll(std::move(tasks), 1);
+    EXPECT_EQ(offCaller.load(), 0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesLowestIndex)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i)
+        tasks.push_back([&ran, i] {
+            ++ran;
+            if (i == 2 || i == 5)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+    try {
+        pool.runAll(std::move(tasks), 3);
+        FAIL() << "expected runAll to rethrow";
+    } catch (const std::runtime_error &e) {
+        // Both throwing tasks may fire; the lowest task index wins so
+        // the error a user sees does not depend on scheduling.
+        EXPECT_STREQ(e.what(), "task 2");
+    }
+    // The group drains fully even when tasks throw.
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAfterException)
+{
+    ThreadPool pool(2);
+    std::vector<std::function<void()>> bad;
+    bad.push_back([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.runAll(std::move(bad), 2), std::runtime_error);
+
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> good;
+    for (int i = 0; i < 10; ++i)
+        good.push_back([&ran] { ++ran; });
+    pool.runAll(std::move(good), 2);
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, NestedRunAllDoesNotDeadlock)
+{
+    // The caller participates in draining its own group, so an outer
+    // task issuing an inner runAll makes progress even when every
+    // worker is already busy (suite task -> engine CTA blocks).
+    ThreadPool pool(2);
+    std::atomic<int> inner{0};
+    std::vector<std::function<void()>> outer;
+    for (int i = 0; i < 4; ++i)
+        outer.push_back([&pool, &inner] {
+            std::vector<std::function<void()>> in;
+            for (int j = 0; j < 4; ++j)
+                in.push_back([&inner] { ++inner; });
+            pool.runAll(std::move(in), 4);
+        });
+    pool.runAll(std::move(outer), 4);
+    EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    EXPECT_GE(ThreadPool::global().workers(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent telemetry accumulation
+// ---------------------------------------------------------------------
+
+TEST(ParallelTelemetry, CounterAndTimerAccumulateExactly)
+{
+    telemetry::Registry reg;
+    auto &g = reg.group("t");
+    telemetry::Counter &c = g.counter("hits", "");
+    telemetry::Timer &t = g.timer("lap", "");
+
+    ThreadPool pool(3);
+    const int tasks = 8, iters = 10000;
+    std::vector<std::function<void()>> work;
+    for (int i = 0; i < tasks; ++i)
+        work.push_back([&] {
+            for (int k = 0; k < iters; ++k) {
+                ++c;
+                t.addNs(3);
+            }
+        });
+    pool.runAll(std::move(work), 4);
+    EXPECT_EQ(c.value(), uint64_t(tasks) * iters);
+    EXPECT_EQ(t.ns(), uint64_t(tasks) * iters * 3);
+    EXPECT_EQ(t.laps(), uint64_t(tasks) * iters);
+}
+
+TEST(ParallelTelemetry, RegistryMergePreservesTotals)
+{
+    telemetry::Registry a, b;
+    a.group("g").counter("n", "") += 7;
+    b.group("g").counter("n", "") += 5;
+    b.group("g").timer("t", "").addNs(11);
+    b.group("h").histogram("x", "").sample(4);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counterTotal("g", "n"), 12u);
+    EXPECT_EQ(a.find("g")->findTimer("t")->ns(), 11u);
+    EXPECT_EQ(a.find("h")->histograms().front()->count(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Engine CTA-block parallelism
+// ---------------------------------------------------------------------
+
+simt::WarpTask
+saxpyKernel(simt::Warp &w)
+{
+    using namespace simt;
+    uint64_t x = w.param<uint64_t>(0);
+    uint64_t y = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> a = w.ldg<float>(x, i);
+        Reg<float> b = w.ldg<float>(y, i);
+        w.stg<float>(y, i, a * 2.0f + b);
+    });
+    co_return;
+}
+
+/** Run saxpy under a profiler at the given engine jobs. */
+std::string
+saxpyProfileCsv(unsigned jobs, std::vector<float> *result)
+{
+    simt::Engine e;
+    e.setJobs(jobs);
+    const uint32_t n = 4096;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        x.set(i, float(i));
+        y.set(i, 1.0f);
+    }
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    simt::KernelParams p;
+    p.push(x.addr()).push(y.addr()).push(n);
+    auto st = e.launch("saxpy", saxpyKernel, simt::Dim3(16),
+                       simt::Dim3(256), 0, p);
+    e.clearHooks();
+    EXPECT_EQ(st.ctas, 16u);
+    EXPECT_EQ(st.warps, 128u);
+    if (result) {
+        result->resize(n);
+        for (uint32_t i = 0; i < n; ++i)
+            (*result)[i] = y[i];
+    }
+    std::ostringstream os;
+    metrics::writeProfilesCsv(os, prof.finalize("SAXPY"));
+    return os.str();
+}
+
+TEST(ParallelEngine, SaxpyJobsMatchSerial)
+{
+    std::vector<float> serial, parallel;
+    std::string csv1 = saxpyProfileCsv(1, &serial);
+    std::string csv4 = saxpyProfileCsv(4, &parallel);
+    EXPECT_EQ(csv1, csv4) << "profile must not depend on jobs";
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], parallel[i]) << "i=" << i;
+    EXPECT_FLOAT_EQ(serial[100], 2.0f * 100.0f + 1.0f);
+}
+
+// ---------------------------------------------------------------------
+// Suite-level determinism: jobs = 4 byte-identical to jobs = 1
+// ---------------------------------------------------------------------
+
+/** Characterize @p names at @p jobs; return the profiles CSV. */
+std::string
+suiteCsv(const std::vector<std::string> &names, uint32_t jobs,
+         telemetry::Registry *stats)
+{
+    workloads::SuiteOptions opts;
+    opts.jobs = jobs;
+    opts.stats = stats;
+    auto runs = workloads::runSuite(names, opts);
+    for (const auto &r : runs)
+        EXPECT_TRUE(r.verified) << r.desc.abbrev;
+    std::ostringstream os;
+    metrics::writeProfilesCsv(os, workloads::allProfiles(runs));
+    return os.str();
+}
+
+TEST(ParallelSuite, ProfilesByteIdenticalToSerial)
+{
+    // Coverage per the determinism contract: MM (barriers + shared
+    // memory), HIST (global atomics), HSORT (atomics whose returns
+    // are consumed -> serial-pinned launch), SC (float atomics).
+    const std::vector<std::string> names{"MM", "HIST", "HSORT", "SC"};
+    telemetry::Registry reg1, reg4;
+    std::string csv1 = suiteCsv(names, 1, &reg1);
+    std::string csv4 = suiteCsv(names, 4, &reg4);
+    EXPECT_EQ(csv1, csv4)
+        << "jobs=4 profiles must be byte-identical to jobs=1";
+
+    // Event-derived stats totals also match the serial run (wall-clock
+    // timers legitimately differ).
+    for (const char *stat : {"ctas", "warps", "warp_instrs"})
+        EXPECT_EQ(reg1.counterTotal("engine", stat),
+                  reg4.counterTotal("engine", stat))
+            << stat;
+    EXPECT_EQ(reg1.counterTotal("suite", "workloads"),
+              reg4.counterTotal("suite", "workloads"));
+    EXPECT_EQ(reg1.counterTotal("suite", "kernels"),
+              reg4.counterTotal("suite", "kernels"));
+}
+
+} // anonymous namespace
+} // namespace gwc

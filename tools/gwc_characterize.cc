@@ -4,8 +4,9 @@
  * profiler and write the kernel profiles to a CSV.
  *
  *   gwc_characterize [-o profiles.csv] [-s scale] [-S ctaStride]
- *                    [--stats-out stats.json] [--trace-out run.trace]
- *                    [--no-verify] [workload ...]
+ *                    [--jobs N] [--stats-out stats.json]
+ *                    [--trace-out run.trace] [--no-verify]
+ *                    [workload ...]
  *
  * With no workloads listed, the whole registered suite runs. The CSV
  * loads back with gwc_analyze or metrics::loadProfiles(). --stats-out
@@ -21,6 +22,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "metrics/profile_io.hh"
 #include "telemetry/report.hh"
 #include "telemetry/trace.hh"
@@ -37,6 +39,10 @@ usage()
            "  -o FILE           output CSV (default: profiles.csv)\n"
            "  -s N              input-size scale (default 1)\n"
            "  -S N              profile every Nth CTA only (default 1)\n"
+           "  --jobs N, -j N    worker threads: workloads and CTA\n"
+           "                    blocks run concurrently; profiles are\n"
+           "                    bit-identical to --jobs 1 (default:\n"
+           "                    hardware threads, or $GWC_JOBS)\n"
            "  --stats-out FILE  write run report + stats registry JSON\n"
            "  --trace-out FILE  record the event stream to a trace\n"
            "  --trace-stride N  trace every Nth CTA only (default 1)\n"
@@ -70,6 +76,7 @@ main(int argc, char **argv)
     telemetry::TraceWriter::Config tcfg;
     workloads::SuiteOptions opts;
     opts.verbose = true;
+    opts.jobs = ThreadPool::defaultJobs();
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -84,6 +91,11 @@ main(int argc, char **argv)
             opts.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
             if (opts.ctaSampleStride < 1)
                 fatal("CTA stride must be >= 1");
+        } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            int jobs = std::atoi(argv[++i]);
+            if (jobs < 1)
+                fatal("--jobs must be >= 1");
+            opts.jobs = uint32_t(jobs);
         } else if (arg == "--stats-out" && i + 1 < argc) {
             statsPath = argv[++i];
         } else if (arg == "--trace-out" && i + 1 < argc) {

@@ -3,20 +3,26 @@
  * gwc_simulate — run the timing design space over workloads and
  * print per-kernel IPC and speedups.
  *
- *   gwc_simulate [-s scale] [--stats-out stats.json] [workload ...]
+ *   gwc_simulate [-s scale] [--jobs N] [--stats-out stats.json]
+ *                [workload ...]
  *
  * Simulates every kernel of the listed workloads (default: all) on
  * the built-in design points (see timing::designSpace()). --stats-out
- * writes the run report JSON (see docs/OBSERVABILITY.md).
+ * writes the run report JSON (see docs/OBSERVABILITY.md). --jobs runs
+ * workloads concurrently; output rows, reports and stats totals are
+ * assembled in workload order, identical to a serial run.
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "telemetry/report.hh"
 #include "timing/gpu.hh"
 #include "workloads/suite.hh"
@@ -29,6 +35,7 @@ main(int argc, char **argv)
 
     auto wallStart = Clock::now();
     uint32_t scale = 1;
+    uint32_t jobs = ThreadPool::defaultJobs();
     std::string statsPath;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
@@ -37,11 +44,21 @@ main(int argc, char **argv)
             scale = uint32_t(std::atoi(argv[++i]));
             if (scale < 1)
                 fatal("scale must be >= 1");
+        } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            int v = std::atoi(argv[++i]);
+            if (v < 1)
+                fatal("--jobs must be >= 1");
+            jobs = uint32_t(v);
         } else if (arg == "--stats-out" && i + 1 < argc) {
             statsPath = argv[++i];
         } else if (arg == "-h" || arg == "--help") {
-            std::cerr << "usage: gwc_simulate [-s scale] "
-                         "[--stats-out stats.json] [workload ...]\n";
+            std::cerr
+                << "usage: gwc_simulate [-s scale] [--jobs N] "
+                   "[--stats-out stats.json] [workload ...]\n"
+                   "  --jobs N, -j N  simulate workloads concurrently; "
+                   "output is identical to --jobs 1\n"
+                   "                  (default: hardware threads, or "
+                   "$GWC_JOBS)\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown option '%s'", arg.c_str());
@@ -67,11 +84,25 @@ main(int argc, char **argv)
         hdr.push_back(cfgs[c].name);
     Table t(hdr);
 
-    for (const auto &name : names) {
+    // Per-workload results are produced independently (possibly in
+    // parallel) and assembled in workload order below, so the table,
+    // the report and the stats totals never depend on --jobs.
+    struct WlResult
+    {
+        std::vector<std::vector<std::string>> rows;
+        telemetry::WorkloadReport wr;
+        std::unique_ptr<telemetry::Registry> reg;
+    };
+    std::vector<WlResult> results(names.size());
+
+    auto runWl = [&](size_t i) {
+        const std::string &name = names[i];
+        WlResult &res = results[i];
+        res.reg = std::make_unique<telemetry::Registry>();
         auto wl = workloads::makeWorkload(name);
         simt::Engine engine;
         if (wantStats)
-            engine.attachStats(stats);
+            engine.attachStats(*res.reg);
         timing::TraceCapture cap;
         auto t0 = Clock::now();
         wl->setup(engine, scale);
@@ -88,33 +119,51 @@ main(int argc, char **argv)
                 order.push_back(tr.name);
             by[tr.name].push_back(std::move(tr));
         }
-        telemetry::WorkloadReport wr;
+        telemetry::WorkloadReport &wr = res.wr;
         wr.name = name;
         wr.setupSec = std::chrono::duration<double>(t1 - t0).count();
         wr.simulateSec =
             std::chrono::duration<double>(t2 - t1).count();
         for (const auto &kname : order) {
-            std::vector<timing::SimResult> res;
+            std::vector<timing::SimResult> simres;
             for (const auto &cfg : cfgs)
-                res.push_back(timing::simulateAll(by[kname], cfg));
+                simres.push_back(timing::simulateAll(by[kname], cfg));
             std::vector<std::string> row{
                 name + "." + kname,
-                Table::integer(int64_t(res[0].instrs)),
-                Table::num(res[0].ipc, 2)};
+                Table::integer(int64_t(simres[0].instrs)),
+                Table::num(simres[0].ipc, 2)};
             for (size_t c = 1; c < cfgs.size(); ++c)
-                row.push_back(Table::num(
-                    double(res[0].cycles) / double(res[c].cycles),
-                    3));
-            t.addRow(row);
+                row.push_back(Table::num(double(simres[0].cycles) /
+                                             double(simres[c].cycles),
+                                         3));
+            res.rows.push_back(std::move(row));
 
             telemetry::KernelReportRow krow;
             krow.name = kname;
             krow.launches = uint32_t(by[kname].size());
-            krow.warpInstrs = res[0].instrs;
-            wr.warpInstrs += res[0].instrs;
+            krow.warpInstrs = simres[0].instrs;
+            wr.warpInstrs += simres[0].instrs;
             wr.kernels.push_back(std::move(krow));
         }
-        rep.workloads.push_back(std::move(wr));
+    };
+
+    if (jobs > 1 && names.size() > 1) {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(names.size());
+        for (size_t i = 0; i < names.size(); ++i)
+            tasks.push_back([&runWl, i] { runWl(i); });
+        ThreadPool::global().runAll(std::move(tasks), jobs);
+    } else {
+        for (size_t i = 0; i < names.size(); ++i)
+            runWl(i);
+    }
+
+    for (auto &res : results) {
+        for (auto &row : res.rows)
+            t.addRow(row);
+        rep.workloads.push_back(std::move(res.wr));
+        if (wantStats)
+            stats.mergeFrom(*res.reg);
     }
     std::cout << "speedup of each design point vs " << cfgs[0].name
               << " (ipc column is the baseline)\n\n";
