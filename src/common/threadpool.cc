@@ -6,10 +6,29 @@
 #include "common/threadpool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 namespace gwc
 {
+
+namespace
+{
+
+// Which pool (if any) spawned this thread, and its worker index.
+thread_local ThreadPool *tlsPool = nullptr;
+thread_local int tlsWorkerId = -1;
+
+uint64_t
+nowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+} // anonymous namespace
 
 bool
 ThreadPool::Group::runOne()
@@ -36,8 +55,11 @@ ThreadPool::Group::runOne()
 ThreadPool::ThreadPool(unsigned workers)
 {
     queues_.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i)
+    counters_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
         queues_.push_back(std::make_unique<WorkerQueue>());
+        counters_.push_back(std::make_unique<WorkerCounters>());
+    }
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
         threads_.emplace_back([this, i] { workerLoop(i); });
@@ -52,10 +74,11 @@ ThreadPool::~ThreadPool()
 }
 
 std::shared_ptr<ThreadPool::Group>
-ThreadPool::take(unsigned self)
+ThreadPool::take(unsigned self, bool &stolen)
 {
     // Own queue first (newest ticket), then steal round-robin from
     // the other workers' fronts (oldest ticket, FIFO fairness).
+    stolen = false;
     if (self < queues_.size()) {
         std::lock_guard<std::mutex> lock(queues_[self]->mu);
         if (!queues_[self]->q.empty()) {
@@ -70,6 +93,7 @@ ThreadPool::take(unsigned self)
         if (!queues_[victim]->q.empty()) {
             auto g = queues_[victim]->q.front();
             queues_[victim]->q.pop_front();
+            stolen = true;
             return g;
         }
     }
@@ -79,20 +103,34 @@ ThreadPool::take(unsigned self)
 void
 ThreadPool::workerLoop(unsigned self)
 {
+    tlsPool = this;
+    tlsWorkerId = int(self);
+    WorkerCounters &c = *counters_[self];
     while (true) {
-        std::shared_ptr<Group> g;
-        if (pendingTickets_.load(std::memory_order_acquire) > 0 &&
-            (g = take(self))) {
-            pendingTickets_.fetch_sub(1, std::memory_order_acq_rel);
-            while (g->runOne()) {
+        if (pendingTickets_.load(std::memory_order_acquire) > 0) {
+            bool stolen = false;
+            if (auto g = take(self, stolen)) {
+                if (stolen)
+                    c.steals.fetch_add(1, std::memory_order_relaxed);
+                pendingTickets_.fetch_sub(1,
+                                          std::memory_order_acq_rel);
+                while (g->runOne())
+                    c.tasks.fetch_add(1, std::memory_order_relaxed);
+                continue;
             }
-            continue;
+            c.failedSteals.fetch_add(1, std::memory_order_relaxed);
         }
-        std::unique_lock<std::mutex> lock(sleepMu_);
-        sleepCv_.wait(lock, [this] {
-            return stop_.load(std::memory_order_acquire) ||
-                   pendingTickets_.load(std::memory_order_acquire) > 0;
-        });
+        uint64_t idleStart = nowNs();
+        {
+            std::unique_lock<std::mutex> lock(sleepMu_);
+            sleepCv_.wait(lock, [this] {
+                return stop_.load(std::memory_order_acquire) ||
+                       pendingTickets_.load(
+                           std::memory_order_acquire) > 0;
+            });
+        }
+        c.idleNs.fetch_add(nowNs() - idleStart,
+                           std::memory_order_relaxed);
         if (stop_.load(std::memory_order_acquire))
             return;
     }
@@ -109,7 +147,14 @@ ThreadPool::submitTickets(const std::shared_ptr<Group> &g,
                       unsigned(queues_.size());
         std::lock_guard<std::mutex> lock(queues_[qi]->mu);
         queues_[qi]->q.push_back(g);
+        // Depth updates are serialized by the queue mutex; the atomic
+        // only makes the concurrent snapshot read race-free.
+        uint64_t d = queues_[qi]->q.size();
+        auto &m = counters_[qi]->maxQueueDepth;
+        if (d > m.load(std::memory_order_relaxed))
+            m.store(d, std::memory_order_relaxed);
     }
+    tickets_.fetch_add(count, std::memory_order_relaxed);
     pendingTickets_.fetch_add(count, std::memory_order_acq_rel);
     {
         // Pair with the sleep check so no wakeup is lost.
@@ -136,10 +181,17 @@ ThreadPool::runAll(std::vector<std::function<void()>> tasks,
     // helpers (never more tickets than remaining tasks).
     unsigned helpers = unsigned(std::min<size_t>(
         maxParallel - 1, g->tasks.size() > 0 ? g->tasks.size() - 1 : 0));
+    groups_.fetch_add(1, std::memory_order_relaxed);
     submitTickets(g, helpers);
 
-    while (g->runOne()) {
-    }
+    // Tasks a nested runAll executes on a worker thread count toward
+    // that worker, not the caller bucket.
+    std::atomic<uint64_t> &bucket =
+        (tlsPool == this && tlsWorkerId >= 0)
+            ? counters_[unsigned(tlsWorkerId)]->tasks
+            : callerTasks_;
+    while (g->runOne())
+        bucket.fetch_add(1, std::memory_order_relaxed);
     {
         std::unique_lock<std::mutex> lock(g->mu);
         g->cv.wait(lock, [&] { return g->done == g->tasks.size(); });
@@ -150,6 +202,34 @@ ThreadPool::runAll(std::vector<std::function<void()>> tasks,
             [](const auto &a, const auto &b) { return a.first < b.first; });
         std::rethrow_exception(first->second);
     }
+}
+
+ThreadPool::Stats
+ThreadPool::statsSnapshot() const
+{
+    Stats s;
+    s.workers.reserve(counters_.size());
+    for (const auto &c : counters_) {
+        WorkerStats w;
+        w.tasks = c->tasks.load(std::memory_order_relaxed);
+        w.steals = c->steals.load(std::memory_order_relaxed);
+        w.failedSteals =
+            c->failedSteals.load(std::memory_order_relaxed);
+        w.idleNs = c->idleNs.load(std::memory_order_relaxed);
+        w.maxQueueDepth =
+            c->maxQueueDepth.load(std::memory_order_relaxed);
+        s.workers.push_back(w);
+    }
+    s.callerTasks = callerTasks_.load(std::memory_order_relaxed);
+    s.groups = groups_.load(std::memory_order_relaxed);
+    s.tickets = tickets_.load(std::memory_order_relaxed);
+    return s;
+}
+
+int
+ThreadPool::currentWorkerId()
+{
+    return tlsWorkerId;
 }
 
 ThreadPool &

@@ -51,6 +51,42 @@ class ThreadPool
     /** Number of worker threads (excluding participating callers). */
     unsigned workers() const { return unsigned(threads_.size()); }
 
+    /** Point-in-time counters of one worker thread. */
+    struct WorkerStats
+    {
+        uint64_t tasks = 0;         ///< tasks executed on this worker
+        uint64_t steals = 0;        ///< tickets taken from another queue
+        uint64_t failedSteals = 0;  ///< full scans that found nothing
+        uint64_t idleNs = 0;        ///< nanoseconds spent asleep
+        uint64_t maxQueueDepth = 0; ///< deepest own ticket queue seen
+    };
+
+    /** Pool-wide snapshot (see statsSnapshot()). */
+    struct Stats
+    {
+        std::vector<WorkerStats> workers; ///< one entry per worker
+        uint64_t callerTasks = 0; ///< tasks run by participating callers
+        uint64_t groups = 0;      ///< task groups published via runAll
+        uint64_t tickets = 0;     ///< helper tickets submitted
+    };
+
+    /**
+     * Consistent-enough snapshot of the introspection counters.
+     * Values are monotonic since pool construction; reading them
+     * while work is in flight is safe but the per-worker numbers may
+     * be mid-update relative to each other. Scheduling-dependent:
+     * like wall-clock timers, these are exempt from the --jobs
+     * determinism guarantee (docs/PARALLELISM.md).
+     */
+    Stats statsSnapshot() const;
+
+    /**
+     * Index of the pool worker running the calling thread, or -1 when
+     * called off-pool (the main thread / a participating caller).
+     * Identifies workers of whichever pool spawned the thread.
+     */
+    static int currentWorkerId();
+
     /**
      * Execute every task of @p tasks and block until all finished.
      * At most @p maxParallel executors (pool workers plus the calling
@@ -98,11 +134,26 @@ class ThreadPool
         std::deque<std::shared_ptr<Group>> q;
     };
 
+    /** Per-worker introspection counters (atomics: read concurrently
+     *  by statsSnapshot while the worker updates them). */
+    struct WorkerCounters
+    {
+        std::atomic<uint64_t> tasks{0};
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> failedSteals{0};
+        std::atomic<uint64_t> idleNs{0};
+        std::atomic<uint64_t> maxQueueDepth{0};
+    };
+
     void workerLoop(unsigned self);
-    std::shared_ptr<Group> take(unsigned self);
+    std::shared_ptr<Group> take(unsigned self, bool &stolen);
     void submitTickets(const std::shared_ptr<Group> &g, unsigned count);
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::unique_ptr<WorkerCounters>> counters_;
+    std::atomic<uint64_t> callerTasks_{0};
+    std::atomic<uint64_t> groups_{0};
+    std::atomic<uint64_t> tickets_{0};
     std::vector<std::thread> threads_;
     std::mutex sleepMu_;
     std::condition_variable sleepCv_;

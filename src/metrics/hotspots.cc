@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Per-PC hotspot attribution implementation.
+ */
+
+#include "metrics/hotspots.hh"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "metrics/profiler.hh"
+
+namespace gwc::metrics
+{
+
+PcCounts &
+PcCounts::operator+=(const PcCounts &o)
+{
+    instrs += o.instrs;
+    branches += o.branches;
+    divBranches += o.divBranches;
+    gmemAccesses += o.gmemAccesses;
+    gmemTransactions += o.gmemTransactions;
+    uncoalesced += o.uncoalesced;
+    smemAccesses += o.smemAccesses;
+    smemConflictDegree += o.smemConflictDegree;
+    return *this;
+}
+
+PcCounts
+KernelHotspots::total() const
+{
+    PcCounts t;
+    for (const auto &[pc, c] : pcs)
+        t += c;
+    return t;
+}
+
+HotspotProfiler::HotspotProfiler() : HotspotProfiler(Config{}) {}
+
+HotspotProfiler::HotspotProfiler(Config cfg) : cfg_(cfg) {}
+
+void
+HotspotProfiler::kernelBegin(const simt::KernelInfo &info)
+{
+    auto it = kernels_.find(info.name);
+    if (it == kernels_.end()) {
+        auto ks = std::make_unique<KernelHotspots>();
+        ks->kernel = info.name;
+        it = kernels_.emplace(info.name, std::move(ks)).first;
+        order_.push_back(info.name);
+    }
+    cur_ = it->second.get();
+    ++cur_->launches;
+}
+
+void
+HotspotProfiler::kernelEnd()
+{
+    cur_ = nullptr;
+    ctaSampled_ = true;
+}
+
+void
+HotspotProfiler::ctaBegin(uint32_t ctaLinear)
+{
+    ctaSampled_ = cfg_.ctaSampleStride <= 1 ||
+                  ctaLinear % cfg_.ctaSampleStride == 0;
+}
+
+void
+HotspotProfiler::instr(const simt::InstrEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    ++cur_->pcs[ev.pc].instrs;
+}
+
+void
+HotspotProfiler::mem(const simt::MemEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    PcCounts &c = cur_->pcs[ev.pc];
+    if (ev.space == simt::MemSpace::Shared) {
+        ++c.smemAccesses;
+        c.smemConflictDegree += smemConflictDegree(ev);
+        return;
+    }
+    ++c.gmemAccesses;
+    std::array<uint64_t, simt::kWarpSize> segs;
+    uint32_t nsegs = gmemSegments(ev, segs);
+    c.gmemTransactions += nsegs;
+    if (nsegs > 1)
+        ++c.uncoalesced;
+}
+
+void
+HotspotProfiler::branch(const simt::BranchEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    PcCounts &c = cur_->pcs[ev.pc];
+    ++c.branches;
+    if (!simt::isUniform(ev.taken, ev.active))
+        ++c.divBranches;
+}
+
+std::unique_ptr<simt::ProfilerHook>
+HotspotProfiler::makeShard()
+{
+    // Shards exist per launch (the engine calls this after
+    // kernelBegin); cur_ names the kernel the shard extends.
+    if (!cur_)
+        return nullptr;
+    auto s = std::unique_ptr<HotspotProfiler>(
+        new HotspotProfiler(cfg_));
+    auto ks = std::make_unique<KernelHotspots>();
+    ks->kernel = cur_->kernel;
+    s->cur_ = ks.get();
+    s->kernels_.emplace(ks->kernel, std::move(ks));
+    return s;
+}
+
+void
+HotspotProfiler::mergeShard(simt::ProfilerHook &shard)
+{
+    auto &sp = static_cast<HotspotProfiler &>(shard);
+    GWC_ASSERT(cur_ && sp.cur_, "mergeShard outside a launch");
+    for (const auto &[pc, c] : sp.cur_->pcs)
+        cur_->pcs[pc] += c;
+}
+
+std::vector<KernelHotspots>
+HotspotProfiler::finalize(const std::string &workload)
+{
+    std::vector<KernelHotspots> out;
+    out.reserve(order_.size());
+    for (const auto &name : order_) {
+        KernelHotspots ks = std::move(*kernels_.at(name));
+        ks.workload = workload;
+        out.push_back(std::move(ks));
+    }
+    kernels_.clear();
+    order_.clear();
+    cur_ = nullptr;
+    return out;
+}
+
+void
+renderHotspots(std::ostream &os, const KernelHotspots &ks, size_t topN,
+               const std::vector<std::string> *listing)
+{
+    PcCounts tot = ks.total();
+    os << ks.workload << (ks.workload.empty() ? "" : ".") << ks.kernel
+       << ": " << tot.instrs << " warp instrs, " << ks.pcs.size()
+       << " PCs, " << ks.launches << " launch"
+       << (ks.launches == 1 ? "" : "es") << "\n";
+
+    // Hottest first by dynamic instructions; PC breaks ties so the
+    // listing order is stable (and --jobs independent).
+    std::vector<const std::pair<const uint32_t, PcCounts> *> rows;
+    rows.reserve(ks.pcs.size());
+    for (const auto &kv : ks.pcs)
+        rows.push_back(&kv);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto *a, const auto *b) {
+                         if (a->second.instrs != b->second.instrs)
+                             return a->second.instrs > b->second.instrs;
+                         return a->first < b->first;
+                     });
+    if (topN && rows.size() > topN)
+        rows.resize(topN);
+
+    std::vector<std::string> hdr{"pc",     "instrs", "instr%",
+                                 "divbr",  "uncoal", "bkconf"};
+    if (listing)
+        hdr.push_back("source");
+    Table t(hdr);
+    for (const auto *r : rows) {
+        const PcCounts &c = r->second;
+        double share =
+            tot.instrs ? double(c.instrs) / double(tot.instrs) : 0.0;
+        // Bank conflicts beyond the conflict-free single pass.
+        uint64_t conflicts = c.smemConflictDegree - c.smemAccesses;
+        std::vector<std::string> row{
+            Table::integer(int64_t(r->first)),
+            Table::integer(int64_t(c.instrs)),
+            Table::pct(share),
+            Table::integer(int64_t(c.divBranches)),
+            Table::integer(int64_t(c.uncoalesced)),
+            Table::integer(int64_t(conflicts))};
+        if (listing)
+            row.push_back(r->first < listing->size()
+                              ? (*listing)[r->first]
+                              : std::string());
+        t.addRow(std::move(row));
+    }
+    t.print(os);
+}
+
+} // namespace gwc::metrics

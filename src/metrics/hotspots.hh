@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-PC hotspot attribution.
+ *
+ * HotspotProfiler is a ProfilerHook that attributes dynamic warp
+ * instructions, divergence events, uncoalesced global accesses and
+ * shared-memory bank conflicts to static PCs (see Warp::setPc for
+ * what "PC" means for native-C++ vs GKS kernels). Counters are purely
+ * additive, so shards merge exactly like the characterization
+ * profiler and the per-PC tables are bit-identical for any --jobs.
+ *
+ * renderHotspots prints the top-N PCs of one kernel in a
+ * perf-annotate-like table; when a GKS listing is available its
+ * source line is shown next to each PC.
+ */
+
+#ifndef GWC_METRICS_HOTSPOTS_HH
+#define GWC_METRICS_HOTSPOTS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/hooks.hh"
+
+namespace gwc::metrics
+{
+
+/** Event counts attributed to one static PC. */
+struct PcCounts
+{
+    uint64_t instrs = 0;           ///< dynamic warp instructions
+    uint64_t branches = 0;         ///< branch events
+    uint64_t divBranches = 0;      ///< divergent branch events
+    uint64_t gmemAccesses = 0;     ///< global-memory warp accesses
+    uint64_t gmemTransactions = 0; ///< 128B transactions issued
+    uint64_t uncoalesced = 0;      ///< accesses needing > 1 transaction
+    uint64_t smemAccesses = 0;     ///< shared-memory warp accesses
+    uint64_t smemConflictDegree = 0; ///< summed serialization passes
+
+    PcCounts &operator+=(const PcCounts &o);
+};
+
+/** Per-PC attribution of one kernel (across its launches). */
+struct KernelHotspots
+{
+    std::string workload;              ///< owning workload abbreviation
+    std::string kernel;                ///< kernel name
+    uint32_t launches = 0;             ///< launches merged in
+    std::map<uint32_t, PcCounts> pcs;  ///< counts keyed by PC
+
+    /** Sum over all PCs; totals match the Profiler's counters. */
+    PcCounts total() const;
+};
+
+/**
+ * ProfilerHook computing KernelHotspots. Attach alongside (or instead
+ * of) the Profiler, run workloads, then harvest with finalize().
+ * Repeat launches of one kernel name accumulate into one table, like
+ * the characterization profiler.
+ */
+class HotspotProfiler : public simt::ProfilerHook
+{
+  public:
+    struct Config
+    {
+        /** Attribute only every Nth CTA (1 = all); keep equal to the
+            Profiler's stride when comparing totals. */
+        uint32_t ctaSampleStride = 1;
+    };
+
+    HotspotProfiler();
+    explicit HotspotProfiler(Config cfg);
+
+    // ProfilerHook interface.
+    void kernelBegin(const simt::KernelInfo &info) override;
+    void kernelEnd() override;
+    void ctaBegin(uint32_t ctaLinear) override;
+    void instr(const simt::InstrEvent &ev) override;
+    void mem(const simt::MemEvent &ev) override;
+    void branch(const simt::BranchEvent &ev) override;
+
+    /**
+     * Shard support: every counter is additive per PC, so a shard is
+     * just a fresh accumulator for the same kernel and the merge adds
+     * the maps — order-independent, hence trivially serial-identical.
+     */
+    std::unique_ptr<simt::ProfilerHook> makeShard() override;
+    void mergeShard(simt::ProfilerHook &shard) override;
+
+    /**
+     * Finish all kernels and return their hotspot tables in
+     * first-launch order, stamping @p workload into each.
+     */
+    std::vector<KernelHotspots> finalize(const std::string &workload);
+
+  private:
+    Config cfg_;
+    std::map<std::string, std::unique_ptr<KernelHotspots>> kernels_;
+    std::vector<std::string> order_;
+    KernelHotspots *cur_ = nullptr;
+    bool ctaSampled_ = true;
+};
+
+/**
+ * Print the top-N PCs of @p ks by dynamic instruction count as an
+ * annotated table (instr share, divergence, uncoalesced accesses,
+ * bank conflicts). @p listing, when non-null, supplies per-PC source
+ * text (e.g. AsmKernel::listing()); PCs beyond it print blank.
+ */
+void renderHotspots(std::ostream &os, const KernelHotspots &ks,
+                    size_t topN,
+                    const std::vector<std::string> *listing = nullptr);
+
+} // namespace gwc::metrics
+
+#endif // GWC_METRICS_HOTSPOTS_HH

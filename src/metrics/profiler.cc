@@ -19,6 +19,53 @@ using simt::kWarpSize;
 using simt::LaneMask;
 using simt::OpClass;
 
+uint32_t
+gmemSegments(const simt::MemEvent &ev,
+             std::array<uint64_t, simt::kWarpSize> &segs)
+{
+    uint32_t nsegs = 0;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!(ev.active & (1u << l)))
+            continue;
+        uint64_t seg = ev.addr[l] / kSegmentBytes;
+        bool found = false;
+        for (uint32_t s = 0; s < nsegs; ++s) {
+            if (segs[s] == seg) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            segs[nsegs++] = seg;
+    }
+    return nsegs;
+}
+
+uint32_t
+smemConflictDegree(const simt::MemEvent &ev)
+{
+    // Maximum number of distinct 4-byte words mapped to the same bank
+    // among active lanes; lanes reading the same word broadcast.
+    std::array<uint64_t, kSmemBanks> word{};
+    std::array<uint8_t, kSmemBanks> cnt{};
+    uint32_t deg = 1;
+    for (uint32_t l = 0; l < kWarpSize; ++l) {
+        if (!(ev.active & (1u << l)))
+            continue;
+        uint64_t w = ev.addr[l] / 4;
+        uint32_t b = static_cast<uint32_t>(w % kSmemBanks);
+        if (cnt[b] == 0) {
+            cnt[b] = 1;
+            word[b] = w;
+        } else if (word[b] != w) {
+            // Distinct word in an occupied bank: serialized.
+            ++cnt[b];
+            deg = std::max<uint32_t>(deg, cnt[b]);
+        }
+    }
+    return deg;
+}
+
 Profiler::Profiler() : Profiler(Config{}) {}
 
 Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {}
@@ -141,26 +188,7 @@ Profiler::mem(const simt::MemEvent &ev)
 
     if (ev.space == simt::MemSpace::Shared) {
         ++a.smemAccesses;
-        // Conflict degree: maximum number of distinct 4-byte words
-        // mapped to the same bank among active lanes.
-        std::array<uint64_t, kSmemBanks> word{};
-        std::array<uint8_t, kSmemBanks> cnt{};
-        uint32_t deg = 1;
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            if (!(ev.active & (1u << l)))
-                continue;
-            uint64_t w = ev.addr[l] / 4;
-            uint32_t b = static_cast<uint32_t>(w % kSmemBanks);
-            if (cnt[b] == 0) {
-                cnt[b] = 1;
-                word[b] = w;
-            } else if (word[b] != w) {
-                // Distinct word in an occupied bank: serialized.
-                ++cnt[b];
-                deg = std::max<uint32_t>(deg, cnt[b]);
-            }
-        }
-        a.smemConflictDegree += deg;
+        a.smemConflictDegree += smemConflictDegree(ev);
         return;
     }
 
@@ -171,23 +199,13 @@ Profiler::mem(const simt::MemEvent &ev)
 
     // Coalescing: distinct 128B segments among active lanes.
     std::array<uint64_t, kWarpSize> segs;
-    uint32_t nsegs = 0;
+    uint32_t nsegs = gmemSegments(ev, segs);
     uint32_t active = 0;
     int prevLane = -1;
     for (uint32_t l = 0; l < kWarpSize; ++l) {
         if (!(ev.active & (1u << l)))
             continue;
         ++active;
-        uint64_t seg = ev.addr[l] / kSegmentBytes;
-        bool found = false;
-        for (uint32_t s = 0; s < nsegs; ++s) {
-            if (segs[s] == seg) {
-                found = true;
-                break;
-            }
-        }
-        if (!found)
-            segs[nsegs++] = seg;
 
         // Stride classification over adjacent active lanes.
         if (prevLane >= 0) {

@@ -12,6 +12,7 @@
 #ifndef GWC_METRICS_PROFILER_HH
 #define GWC_METRICS_PROFILER_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,6 +30,24 @@
 
 namespace gwc::metrics
 {
+
+/**
+ * Distinct 128-byte segments touched by the active lanes of a global
+ * memory event (the coalescing unit). @p segs receives the segment
+ * ids in first-touch lane order; the return value is their count.
+ * Shared by Profiler and HotspotProfiler so both report the same
+ * transaction counts for the same event stream.
+ */
+uint32_t gmemSegments(const simt::MemEvent &ev,
+                      std::array<uint64_t, simt::kWarpSize> &segs);
+
+/**
+ * Shared-memory bank-conflict degree of one event: the maximum
+ * number of distinct 4-byte words mapped to the same bank among the
+ * active lanes. 1 means conflict-free; N means the access serializes
+ * into N passes.
+ */
+uint32_t smemConflictDegree(const simt::MemEvent &ev);
 
 /** Finalized characterization of one kernel. */
 struct KernelProfile

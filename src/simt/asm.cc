@@ -54,6 +54,7 @@ struct Node
 {
     enum class K : uint8_t { Plain, If, While, Bar };
     K k = K::Plain;
+    uint32_t pc = 0;    ///< static PC, indexes AsmProgramImpl::listing
     Instr ins;     ///< Plain payload, or the If/While comparison
     Cc cc = Cc::Eq;
     Block thenB;   ///< If-then / While-body
@@ -103,6 +104,8 @@ class AsmProgramImpl
     Block body;
     uint32_t numRegs = 0;
     uint32_t staticInstrs = 0;
+    /// Source text of every executable node, indexed by static PC.
+    std::vector<std::string> listing;
 
     KernelFn makeEntry(std::shared_ptr<AsmProgramImpl> self) const;
 };
@@ -277,11 +280,32 @@ class Parser
         die("unknown condition '." + s + "'");
     }
 
+    /** Pre-comment source text of @p line, whitespace-trimmed. */
+    static std::string
+    cleanText(const std::string &line)
+    {
+        std::string s = line.substr(0, line.find_first_of(";#"));
+        size_t b = s.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            return "";
+        size_t e = s.find_last_not_of(" \t\r");
+        return s.substr(b, e - b + 1);
+    }
+
+    /** Assign the next static PC to @p node and record its text. */
     void
-    push(Node node)
+    assignPc(Node &node, const std::string &line)
+    {
+        node.pc = uint32_t(prog_->listing.size());
+        prog_->listing.push_back(cleanText(line));
+    }
+
+    void
+    push(Node node, const std::string &line)
     {
         if (node.k == Node::K::Plain)
             ++prog_->staticInstrs;
+        assignPc(node, line);
         blockStack_.back()->push_back(std::move(node));
     }
 
@@ -344,6 +368,7 @@ class Parser
             n.ins.a = operand(toks[1], n.ins.ty);
             n.ins.b = operand(toks[2], n.ins.ty);
             ++prog_->staticInstrs;
+            assignPc(n, line);
             blockStack_.back()->push_back(std::move(n));
             Node &placed = blockStack_.back()->back();
             blockStack_.push_back(&placed.thenB);
@@ -383,14 +408,14 @@ class Parser
                 die("bar inside divergent control flow");
             Node n;
             n.k = Node::K::Bar;
-            push(std::move(n));
+            push(std::move(n), line);
             return;
         }
 
         // Regular instructions.
         Node n;
         n.ins = parseInstr(m, parts, toks);
-        push(std::move(n));
+        push(std::move(n), line);
     }
 
     Instr
@@ -854,9 +879,11 @@ execNode(Frame &f, const Node &node)
 {
     switch (node.k) {
       case Node::K::Plain:
+        f.w.setPc(node.pc);
         execInstr(f, node.ins);
         return;
       case Node::K::If:
+        f.w.setPc(node.pc);
         f.w.IfElse(
             execCompare(f, node.cc, node.ins.ty, node.ins.a,
                         node.ins.b),
@@ -866,6 +893,9 @@ execNode(Frame &f, const Node &node)
       case Node::K::While:
         f.w.While(
             [&] {
+                // Re-stamp per iteration: the body's nodes moved the
+                // PC away from the loop header.
+                f.w.setPc(node.pc);
                 return execCompare(f, node.cc, node.ins.ty,
                                    node.ins.a, node.ins.b);
             },
@@ -894,10 +924,12 @@ AsmProgramImpl::makeEntry(std::shared_ptr<AsmProgramImpl> self) const
         for (auto &r : f.regs)
             r.w = &w;
         for (const auto &node : self->body) {
-            if (node.k == Node::K::Bar)
+            if (node.k == Node::K::Bar) {
+                w.setPc(node.pc);
                 co_await w.barrier();
-            else
+            } else {
                 execNode(f, node);
+            }
         }
         co_return;
     };
@@ -929,6 +961,12 @@ uint32_t
 AsmKernel::instructionCount() const
 {
     return impl_->staticInstrs;
+}
+
+const std::vector<std::string> &
+AsmKernel::listing() const
+{
+    return impl_->listing;
 }
 
 KernelFn

@@ -74,6 +74,14 @@ class AsmKernel
     uint32_t instructionCount() const;
 
     /**
+     * Disassembly listing: source text of every executable node,
+     * indexed by the static PC stamped on its events (via
+     * Warp::setPc). Control-flow headers (if/while) and `bar` own a
+     * PC too; structural lines (else/endif) do not.
+     */
+    const std::vector<std::string> &listing() const;
+
+    /**
      * Entry point usable with Engine::launch. The returned functor
      * shares ownership of the program, so it stays valid after the
      * AsmKernel goes out of scope.

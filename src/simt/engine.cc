@@ -13,9 +13,22 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "common/threadpool.hh"
+#include "telemetry/timeline.hh"
 
 namespace gwc::simt
 {
+
+namespace
+{
+
+/** True while a timeline records: gates span-name construction. */
+bool
+timelineOn()
+{
+    return telemetry::Timeline::active() != nullptr;
+}
+
+} // anonymous namespace
 
 void
 Engine::attachStats(telemetry::Registry &reg)
@@ -200,12 +213,27 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
             work.push_back([this, &info, &fn, &params, &blk, b,
                             warpsPerCta, ctaThreads] {
                 Block &bb = blk[b];
+                telemetry::TimelineScope span(
+                    "cta_block",
+                    timelineOn()
+                        ? strfmt("%s ctas [%u,%u)", info.name.c_str(),
+                                 bb.first, bb.last)
+                        : std::string());
+                if (timelineOn()) {
+                    span.arg("kernel", info.name);
+                    span.arg("first_cta", std::to_string(bb.first));
+                    span.arg("last_cta", std::to_string(bb.last));
+                }
                 runCtaRange(info, fn, bb.hooks, params, bb.first,
                             bb.last, warpsPerCta, ctaThreads,
                             bb.warpInstrs);
             });
         }
         ThreadPool::global().runAll(std::move(work), jobs_);
+        telemetry::TimelineScope mergeSpan(
+            "merge", timelineOn()
+                         ? strfmt("merge %s", info.name.c_str())
+                         : std::string());
         for (unsigned b = 0; b < blocks; ++b) {
             stats.warpInstrs += blk[b].warpInstrs;
             const auto &hooks = hooks_.hooks();
@@ -213,6 +241,16 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
                 hooks[i]->mergeShard(*blk[b].shards[i]);
         }
     } else {
+        telemetry::TimelineScope span(
+            "cta_block",
+            timelineOn() ? strfmt("%s ctas [0,%u)", info.name.c_str(),
+                                  numCtas)
+                         : std::string());
+        if (timelineOn()) {
+            span.arg("kernel", info.name);
+            span.arg("first_cta", "0");
+            span.arg("last_cta", std::to_string(numCtas));
+        }
         runCtaRange(info, fn, hooks_, params, 0, numCtas, warpsPerCta,
                     ctaThreads, stats.warpInstrs);
     }

@@ -37,6 +37,7 @@ struct InstrEvent
     LaneMask active;            ///< lanes executing the instruction
     uint32_t warpId;            ///< launch-unique warp id
     uint32_t ctaLinear;         ///< linear CTA index
+    uint32_t pc = 0;            ///< static PC (see Warp::setPc)
     Lanes<uint16_t> depDist;    ///< per-lane producer distance
 };
 
@@ -50,6 +51,7 @@ struct MemEvent
     LaneMask active;            ///< lanes participating
     uint32_t warpId;            ///< launch-unique warp id
     uint32_t ctaLinear;         ///< linear CTA index
+    uint32_t pc = 0;            ///< PC of the owning instruction
     Lanes<uint64_t> addr;       ///< per-lane byte address (or offset)
 };
 
@@ -59,6 +61,7 @@ struct BranchEvent
     LaneMask active;            ///< lanes evaluating the branch
     LaneMask taken;             ///< subset of active lanes taking it
     uint32_t warpId;            ///< launch-unique warp id
+    uint32_t pc = 0;            ///< PC of the owning instruction
 };
 
 /**

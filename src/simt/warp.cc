@@ -120,6 +120,7 @@ void
 Warp::recordInstr(OpClass cls, uint32_t idx,
                   const Lanes<uint32_t> &depSeq)
 {
+    curPc_ = hasPcOverride_ ? pcOverride_ : idx;
     if (hooks_.empty())
         return;
     InstrEvent ev;
@@ -127,6 +128,7 @@ Warp::recordInstr(OpClass cls, uint32_t idx,
     ev.active = active_;
     ev.warpId = warpId_;
     ev.ctaLinear = ctaLinear_;
+    ev.pc = curPc_;
     for (uint32_t l = 0; l < kWarpSize; ++l) {
         if ((active_ & (1u << l)) && depSeq[l] != 0) {
             uint32_t d = idx - depSeq[l];
@@ -153,6 +155,7 @@ Warp::recordMem(MemSpace space, bool store, bool atomic,
     ev.active = active_;
     ev.warpId = warpId_;
     ev.ctaLinear = ctaLinear_;
+    ev.pc = curPc_;
     ev.addr = addr;
     hooks_.mem(ev);
 }
@@ -184,6 +187,7 @@ Warp::recordBranch(LaneMask active, LaneMask taken,
     ev.active = active;
     ev.taken = taken;
     ev.warpId = warpId_;
+    ev.pc = curPc_;
     hooks_.branch(ev);
 }
 

@@ -583,6 +583,20 @@ class Warp
     /** Dynamic warp instructions executed so far by this warp. */
     uint64_t instrCount() const { return instrIdx_; }
 
+    /**
+     * Stamp subsequent events with static PC @p pc. Front-ends that
+     * know their static instruction stream (the GKS assembler) call
+     * this before executing each static instruction, giving hotspot
+     * attribution real PCs. Kernels that never call it get *virtual*
+     * PCs equal to the dynamic warp instruction index — deterministic
+     * per warp, but unique per dynamic instruction rather than per
+     * program point.
+     */
+    void setPc(uint32_t pc) { pcOverride_ = pc; hasPcOverride_ = true; }
+
+    /** PC stamped on the most recent instruction event. */
+    uint32_t currentPc() const { return curPc_; }
+
   private:
     template <typename T, typename F>
     Reg<T>
@@ -673,6 +687,9 @@ class Warp
     LaneMask active_;
     WarpState state_ = WarpState::Running;
     uint32_t instrIdx_ = 0;
+    uint32_t pcOverride_ = 0;
+    bool hasPcOverride_ = false;
+    uint32_t curPc_ = 0;
     uint64_t *launchInstrs_;
 };
 

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ThreadPool stats -> telemetry registry adapter.
+ */
+
+#include "telemetry/poolstats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::telemetry
+{
+
+void
+recordThreadPoolStats(Registry &reg, const ThreadPool::Stats &snap)
+{
+    Group &g = reg.group("threadpool");
+    uint64_t tasks = 0, steals = 0, failed = 0, idle = 0, depth = 0;
+    for (const auto &w : snap.workers) {
+        tasks += w.tasks;
+        steals += w.steals;
+        failed += w.failedSteals;
+        idle += w.idleNs;
+        depth = std::max(depth, w.maxQueueDepth);
+    }
+    g.counter("workers", "pool worker threads") += snap.workers.size();
+    g.counter("tasks", "tasks executed on pool workers") += tasks;
+    g.counter("caller_tasks", "tasks executed by participating callers")
+        += snap.callerTasks;
+    g.counter("steals", "tickets taken from another worker's queue")
+        += steals;
+    g.counter("failed_steals", "queue scans that found no ticket")
+        += failed;
+    g.counter("idle_ns", "nanoseconds workers spent asleep") += idle;
+    g.counter("groups", "task groups published via runAll")
+        += snap.groups;
+    g.counter("tickets", "helper tickets submitted") += snap.tickets;
+    g.counter("max_queue_depth", "deepest ticket queue seen") += depth;
+    for (size_t i = 0; i < snap.workers.size(); ++i) {
+        const auto &w = snap.workers[i];
+        auto name = [&](const char *stat) {
+            return strfmt("w%zu_%s", i, stat);
+        };
+        g.counter(name("tasks"), "tasks this worker executed")
+            += w.tasks;
+        g.counter(name("steals"), "tickets this worker stole")
+            += w.steals;
+        g.counter(name("failed_steals"),
+                  "empty queue scans by this worker") += w.failedSteals;
+        g.counter(name("idle_ns"),
+                  "nanoseconds this worker spent asleep") += w.idleNs;
+        g.counter(name("max_queue_depth"),
+                  "deepest this worker's queue got") += w.maxQueueDepth;
+    }
+}
+
+} // namespace gwc::telemetry

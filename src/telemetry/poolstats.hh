@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Adapter publishing ThreadPool introspection counters into a stats
+ * Registry. Lives in telemetry (not common) so the pool itself stays
+ * below the telemetry layer in the link order.
+ */
+
+#ifndef GWC_TELEMETRY_POOLSTATS_HH
+#define GWC_TELEMETRY_POOLSTATS_HH
+
+#include "common/threadpool.hh"
+
+namespace gwc::telemetry
+{
+
+class Registry;
+
+/**
+ * Register @p snap into @p reg as the "threadpool" stats group:
+ * pool-wide totals (tasks, caller_tasks, steals, failed_steals,
+ * idle_ns, groups, tickets, max_queue_depth) plus per-worker
+ * wN_tasks / wN_steals / wN_failed_steals / wN_idle_ns /
+ * wN_max_queue_depth. Like wall-clock timers, these counters are
+ * scheduling-dependent and exempt from the --jobs determinism
+ * guarantee. Call once, after the pool has quiesced.
+ */
+void recordThreadPoolStats(Registry &reg, const ThreadPool::Stats &snap);
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_POOLSTATS_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Timeline tracer implementation and Chrome trace-event export.
+ */
+
+#include "telemetry/timeline.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::telemetry
+{
+
+namespace
+{
+
+std::atomic<Timeline *> gActive{nullptr};
+std::atomic<uint64_t> gNextId{1};
+
+// One-entry cache: the buffer this thread registered with timeline
+// `tlsTimelineId`. Keyed by id, not pointer, so a new timeline at a
+// recycled address cannot alias a stale buffer.
+thread_local uint64_t tlsTimelineId = 0;
+thread_local Timeline *tlsTimeline = nullptr;
+thread_local void *tlsBuf = nullptr;
+
+} // anonymous namespace
+
+Timeline::Timeline()
+    : id_(gNextId.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now())
+{}
+
+Timeline::~Timeline()
+{
+    deactivate();
+}
+
+void
+Timeline::activate()
+{
+    gActive.store(this, std::memory_order_release);
+}
+
+void
+Timeline::deactivate()
+{
+    Timeline *self = this;
+    gActive.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+Timeline *
+Timeline::active()
+{
+    return gActive.load(std::memory_order_acquire);
+}
+
+uint64_t
+Timeline::nowNs() const
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+Timeline::Buf &
+Timeline::threadBuf()
+{
+    if (tlsTimelineId == id_ && tlsTimeline == this && tlsBuf)
+        return *static_cast<Buf *>(tlsBuf);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buf = std::make_unique<Buf>();
+    int wid = ThreadPool::currentWorkerId();
+    if (wid >= 0)
+        buf->threadName = strfmt("pool-worker-%d", wid);
+    else if (bufs_.empty())
+        buf->threadName = "main";
+    else
+        buf->threadName = strfmt("thread-%zu", bufs_.size());
+    tlsTimelineId = id_;
+    tlsTimeline = this;
+    tlsBuf = buf.get();
+    bufs_.push_back(std::move(buf));
+    return *bufs_.back();
+}
+
+void
+Timeline::record(Span &&s)
+{
+    threadBuf().spans.push_back(std::move(s));
+}
+
+std::vector<Timeline::ThreadLog>
+Timeline::threadLogs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ThreadLog> logs;
+    logs.reserve(bufs_.size());
+    for (const auto &b : bufs_) {
+        ThreadLog log;
+        log.threadName = b->threadName;
+        log.spans = b->spans;
+        logs.push_back(std::move(log));
+    }
+    return logs;
+}
+
+void
+Timeline::writeChromeTrace(std::ostream &os) const
+{
+    auto logs = threadLogs();
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    bool first = true;
+    auto emit = [&](const std::string &body) {
+        os << (first ? "\n    {" : ",\n    {") << body << "}";
+        first = false;
+    };
+    for (size_t tid = 0; tid < logs.size(); ++tid) {
+        emit(strfmt("\"name\": \"thread_name\", \"ph\": \"M\", "
+                    "\"pid\": 1, \"tid\": %zu, \"args\": "
+                    "{\"name\": \"%s\"}",
+                    tid, jsonEscape(logs[tid].threadName).c_str()));
+    }
+    for (size_t tid = 0; tid < logs.size(); ++tid) {
+        // Completion order is children-first; sort by begin time
+        // (longer span first on ties) so the export reads top-down.
+        auto spans = logs[tid].spans;
+        std::stable_sort(spans.begin(), spans.end(),
+                         [](const Span &a, const Span &b) {
+                             if (a.beginNs != b.beginNs)
+                                 return a.beginNs < b.beginNs;
+                             return a.endNs > b.endNs;
+                         });
+        for (const Span &s : spans) {
+            std::string body = strfmt(
+                "\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                "\"tid\": %zu",
+                jsonEscape(s.name).c_str(), jsonEscape(s.cat).c_str(),
+                double(s.beginNs) / 1e3,
+                double(s.endNs - s.beginNs) / 1e3, tid);
+            if (!s.args.empty()) {
+                body += ", \"args\": {";
+                for (size_t i = 0; i < s.args.size(); ++i) {
+                    if (i)
+                        body += ", ";
+                    body += strfmt(
+                        "\"%s\": \"%s\"",
+                        jsonEscape(s.args[i].first).c_str(),
+                        jsonEscape(s.args[i].second).c_str());
+                }
+                body += "}";
+            }
+            emit(body);
+        }
+    }
+    os << "\n  ]\n}\n";
+}
+
+TimelineScope::TimelineScope(const char *cat, std::string name)
+    : tl_(Timeline::active())
+{
+    if (!tl_)
+        return;
+    span_.cat = cat;
+    span_.name = std::move(name);
+    span_.beginNs = tl_->nowNs();
+}
+
+TimelineScope::~TimelineScope()
+{
+    if (!tl_)
+        return;
+    span_.endNs = tl_->nowNs();
+    tl_->record(std::move(span_));
+}
+
+void
+TimelineScope::arg(std::string key, std::string value)
+{
+    if (tl_)
+        span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+} // namespace gwc::telemetry

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Execution timeline tracer: named spans on a wall-clock timeline,
+ * collected into per-thread buffers and exported as Chrome
+ * trace-event JSON (loadable in chrome://tracing and Perfetto).
+ *
+ * Where the stats registry answers "how much", the timeline answers
+ * "when and on which thread": suite phases, per-workload stages,
+ * per-CTA-block execution on pool workers and shard merges become
+ * visible as nested spans, so stragglers and merge serialization can
+ * be read off the trace instead of guessed.
+ *
+ * Recording is cheap and contention-free in steady state: each thread
+ * appends to its own buffer (registered once under a mutex, then
+ * cached in a thread-local), and an inactive timeline costs one
+ * atomic load per scope. Timestamps come from one steady clock,
+ * relative to timeline construction.
+ */
+
+#ifndef GWC_TELEMETRY_TIMELINE_HH
+#define GWC_TELEMETRY_TIMELINE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gwc::telemetry
+{
+
+/**
+ * Collects spans from any number of threads. At most one Timeline is
+ * *active* (recording) at a time; TimelineScope is a no-op while none
+ * is. Export requires quiescence: call threadLogs()/writeChromeTrace
+ * only after every recording thread has drained (in the tools, after
+ * the suite's runAll returned and the timeline was deactivated).
+ */
+class Timeline
+{
+  public:
+    /** One completed span ("X" complete event in the Chrome format). */
+    struct Span
+    {
+        std::string name;       ///< event name (shown on the slice)
+        const char *cat = "";   ///< category (filterable in the UI)
+        uint64_t beginNs = 0;   ///< start, ns since timeline epoch
+        uint64_t endNs = 0;     ///< end, ns since timeline epoch
+        /// Extra key/value payload ("args" in the Chrome format).
+        std::vector<std::pair<std::string, std::string>> args;
+    };
+
+    /** All spans one thread recorded, in completion order. */
+    struct ThreadLog
+    {
+        std::string threadName;
+        std::vector<Span> spans;
+    };
+
+    Timeline();
+    ~Timeline();
+
+    Timeline(const Timeline &) = delete;
+    Timeline &operator=(const Timeline &) = delete;
+
+    /** Make this the recording timeline (replaces any previous). */
+    void activate();
+
+    /** Stop recording if this timeline is the active one. */
+    void deactivate();
+
+    /** The currently recording timeline, or null. */
+    static Timeline *active();
+
+    /** Nanoseconds since this timeline's epoch. */
+    uint64_t nowNs() const;
+
+    /** Append @p s to the calling thread's buffer. */
+    void record(Span &&s);
+
+    /** Per-thread logs, in thread-registration order (quiesced). */
+    std::vector<ThreadLog> threadLogs() const;
+
+    /** Render the whole timeline as Chrome trace-event JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    struct Buf
+    {
+        std::string threadName;
+        std::vector<Span> spans;
+    };
+
+    Buf &threadBuf();
+
+    uint64_t id_;   ///< distinguishes timelines for the TLS cache
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mu_;   ///< guards bufs_ registration
+    std::vector<std::unique_ptr<Buf>> bufs_;
+};
+
+/**
+ * RAII span: opens on construction, records on destruction. Free
+ * (one atomic load) when no timeline is active, so call sites need no
+ * "is tracing on" branches.
+ */
+class TimelineScope
+{
+  public:
+    TimelineScope(const char *cat, std::string name);
+    ~TimelineScope();
+
+    TimelineScope(const TimelineScope &) = delete;
+    TimelineScope &operator=(const TimelineScope &) = delete;
+
+    /** Attach a key/value payload entry to the span. */
+    void arg(std::string key, std::string value);
+
+  private:
+    Timeline *tl_;
+    Timeline::Span span_;
+};
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_TIMELINE_HH

@@ -197,12 +197,13 @@ TraceWriter::instr(const simt::InstrEvent &ev)
         return;
     ++counts_.instrs;
     std::vector<uint8_t> rec;
-    rec.reserve(14);
+    rec.reserve(18);
     putU8(rec, uint8_t(TraceTag::Instr));
     putU8(rec, uint8_t(ev.cls));
     putU32(rec, ev.active);
     putU32(rec, ev.warpId);
     putU32(rec, ev.ctaLinear);
+    putU32(rec, ev.pc);
     put(std::move(rec));
 }
 
@@ -213,7 +214,7 @@ TraceWriter::mem(const simt::MemEvent &ev)
         return;
     ++counts_.mems;
     std::vector<uint8_t> rec;
-    rec.reserve(15 + 8 * simt::laneCount(ev.active));
+    rec.reserve(19 + 8 * simt::laneCount(ev.active));
     putU8(rec, uint8_t(TraceTag::Mem));
     uint8_t flags = (ev.space == simt::MemSpace::Shared ? 1 : 0) |
                     (ev.store ? 2 : 0) | (ev.atomic ? 4 : 0);
@@ -222,6 +223,7 @@ TraceWriter::mem(const simt::MemEvent &ev)
     putU32(rec, ev.active);
     putU32(rec, ev.warpId);
     putU32(rec, ev.ctaLinear);
+    putU32(rec, ev.pc);
     for (uint32_t l = 0; l < kWarpSize; ++l)
         if (ev.active & (1u << l))
             putU64(rec, ev.addr[l]);
@@ -235,11 +237,12 @@ TraceWriter::branch(const simt::BranchEvent &ev)
         return;
     ++counts_.branches;
     std::vector<uint8_t> rec;
-    rec.reserve(13);
+    rec.reserve(17);
     putU8(rec, uint8_t(TraceTag::Branch));
     putU32(rec, ev.active);
     putU32(rec, ev.taken);
     putU32(rec, ev.warpId);
+    putU32(rec, ev.pc);
     put(std::move(rec));
 }
 
@@ -269,6 +272,10 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
     if (!in)
         fatal("error reading trace file '%s'", path.c_str());
 
+    if (data_.size() >= sizeof(kTraceMagic) && data_.size() < 16 &&
+        std::memcmp(data_.data(), kTraceMagic, sizeof(kTraceMagic)) == 0)
+        fatal("trace '%s' is truncated: %zu-byte header, expected 16",
+              path.c_str(), data_.size());
     if (data_.size() < 16 ||
         std::memcmp(data_.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
         fatal("'%s' is not a gwc trace (bad magic)", path.c_str());
@@ -279,9 +286,13 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
     };
     version_ = u32At(8);
     if (version_ != kTraceVersion)
-        fatal("trace '%s' has version %u, expected %u", path.c_str(),
-              version_, kTraceVersion);
+        fatal("trace '%s' has version %u, expected %u (re-record the "
+              "trace with this build)", path.c_str(), version_,
+              kTraceVersion);
     stride_ = u32At(12);
+    if (stride_ < 1)
+        fatal("trace '%s' is corrupt: CTA sample stride 0",
+              path.c_str());
     pos_ = 16;
 }
 
@@ -374,10 +385,15 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
           }
           case TraceTag::Instr: {
             simt::InstrEvent ev;
-            ev.cls = simt::OpClass(u8());
+            uint8_t cls = u8();
+            if (cls >= uint8_t(simt::OpClass::NumClasses))
+                fatal("trace '%s' is corrupt: op class %u at byte %zu",
+                      path_.c_str(), unsigned(cls), pos - 1);
+            ev.cls = simt::OpClass(cls);
             ev.active = u32();
             ev.warpId = u32();
             ev.ctaLinear = u32();
+            ev.pc = u32();
             ev.depDist.fill(simt::kNoDep);
             if (!orphan) {
                 ++counts.instrs;
@@ -388,6 +404,10 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
           case TraceTag::Mem: {
             simt::MemEvent ev;
             uint8_t flags = u8();
+            if (flags & ~7u)
+                fatal("trace '%s' is corrupt: mem flags 0x%02x at "
+                      "byte %zu", path_.c_str(), unsigned(flags),
+                      pos - 1);
             ev.space = (flags & 1) ? simt::MemSpace::Shared
                                    : simt::MemSpace::Global;
             ev.store = (flags & 2) != 0;
@@ -396,6 +416,7 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
             ev.active = u32();
             ev.warpId = u32();
             ev.ctaLinear = u32();
+            ev.pc = u32();
             ev.addr.fill(0);
             for (uint32_t l = 0; l < kWarpSize; ++l)
                 if (ev.active & (1u << l))
@@ -411,6 +432,7 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
             ev.active = u32();
             ev.taken = u32();
             ev.warpId = u32();
+            ev.pc = u32();
             if (!orphan) {
                 ++counts.branches;
                 sink.branch(ev);

@@ -33,8 +33,8 @@ namespace gwc::telemetry
 /** Trace file magic (8 bytes, no terminator). */
 constexpr char kTraceMagic[8] = {'G', 'W', 'C', 'T', 'R', 'A', 'C', 'E'};
 
-/** Current trace format version. */
-constexpr uint32_t kTraceVersion = 1;
+/** Current trace format version (v2 added the pc field). */
+constexpr uint32_t kTraceVersion = 2;
 
 /** Record type tags. */
 enum class TraceTag : uint8_t
@@ -43,9 +43,9 @@ enum class TraceTag : uint8_t
     KernelEnd = 1,   ///< (empty)
     CtaBegin = 2,    ///< ctaLinear u32
     CtaEnd = 3,      ///< ctaLinear u32
-    Instr = 4,       ///< cls u8, active u32, warpId u32, ctaLinear u32
-    Mem = 5,         ///< flags u8 (b0 shared, b1 store, b2 atomic), accessSize u8, active u32, warpId u32, ctaLinear u32, addr u64 per active lane
-    Branch = 6,      ///< active u32, taken u32, warpId u32
+    Instr = 4,       ///< cls u8, active u32, warpId u32, ctaLinear u32, pc u32
+    Mem = 5,         ///< flags u8 (b0 shared, b1 store, b2 atomic), accessSize u8, active u32, warpId u32, ctaLinear u32, pc u32, addr u64 per active lane
+    Branch = 6,      ///< active u32, taken u32, warpId u32, pc u32
     Barrier = 7,     ///< warpId u32
     NumTags
 };

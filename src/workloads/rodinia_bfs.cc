@@ -137,15 +137,29 @@ class Bfs : public Workload
                 .push(frontier_.addr()).push(next_.addr())
                 .push(visited_.addr()).push(cost_.addr())
                 .push(nodes_);
+            // expand's visited check is a plain load racing with
+            // other CTAs' stores: when node n is reachable from two
+            // frontier nodes in different CTAs, which CTA sees
+            // visited[n]==0 first decides who executes the store
+            // block. The memory image is race-free in value (every
+            // winner stores the same level cost), but the *executed
+            // instruction stream* depends on cross-CTA order: not
+            // CTA-parallel-safe.
             e.launch("expand", bfsExpandKernel, grid, Dim3(cta), 0,
-                     p1);
+                     p1, {.ctaParallelSafe = false});
 
             done_.set(0, 0);
             KernelParams p2;
             p2.push(frontier_.addr()).push(next_.addr())
                 .push(done_.addr()).push(nodes_);
+            // update's CTAs all store the shared done flag with a
+            // plain write. Every writer stores the same value and
+            // each CTA's control flow reads only its own next[]
+            // slots, so the event stream is deterministic — but the
+            // concurrent unsynchronized stores are still a data
+            // race; keep the launch serial.
             e.launch("update", bfsUpdateKernel, grid, Dim3(cta), 0,
-                     p2);
+                     p2, {.ctaParallelSafe = false});
             if (done_[0] == 0)
                 break;
         }

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
+#include "telemetry/timeline.hh"
 
 namespace gwc::workloads
 {
@@ -63,6 +64,8 @@ runOne(const std::string &name, const SuiteOptions &opts,
         inform("running %s (%s)", run.desc.abbrev.c_str(),
                run.desc.name.c_str());
 
+    telemetry::TimelineScope wlSpan("workload", run.desc.abbrev);
+
     simt::Engine engine;
     engine.setJobs(opts.jobs);
     metrics::Profiler::Config pcfg;
@@ -77,6 +80,8 @@ runOne(const std::string &name, const SuiteOptions &opts,
     auto t0 = Clock::now();
     {
         telemetry::ScopedTimer st(tSetup);
+        telemetry::TimelineScope ts("phase",
+                                    run.desc.abbrev + " setup");
         wl->setup(engine, opts.scale);
     }
     auto t1 = Clock::now();
@@ -86,6 +91,8 @@ runOne(const std::string &name, const SuiteOptions &opts,
         engine.addHook(extraHook);
     {
         telemetry::ScopedTimer st(tSimulate);
+        telemetry::TimelineScope ts("phase",
+                                    run.desc.abbrev + " simulate");
         wl->run(engine);
     }
     auto t2 = Clock::now();
@@ -93,6 +100,8 @@ runOne(const std::string &name, const SuiteOptions &opts,
 
     {
         telemetry::ScopedTimer st(tProfile);
+        telemetry::TimelineScope ts("phase",
+                                    run.desc.abbrev + " profile");
         run.profiles = profiler.finalize(run.desc.abbrev);
     }
     auto t3 = Clock::now();
@@ -103,6 +112,8 @@ runOne(const std::string &name, const SuiteOptions &opts,
     run.verified = true;
     if (opts.verify) {
         telemetry::ScopedTimer st(tVerify);
+        telemetry::TimelineScope ts("phase",
+                                    run.desc.abbrev + " verify");
         run.verified = wl->verify(engine);
     }
     auto t4 = Clock::now();
@@ -125,6 +136,9 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
 {
     std::vector<std::string> list =
         names.empty() ? workloadNames() : names;
+
+    telemetry::TimelineScope suiteSpan(
+        "suite", strfmt("suite (%zu workloads)", list.size()));
 
     const unsigned jobs = std::max<uint32_t>(1, opts.jobs);
     // An extraHook is one observer object; it cannot watch several

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "metrics/hotspots.hh"
 #include "metrics/profiler.hh"
 #include "simt/asm.hh"
 #include "simt/engine.hh"
@@ -461,6 +462,69 @@ TEST(Asm, CharacterizationMatchesDslKernel)
     for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
         EXPECT_NEAR(dsl.metrics[c], gks.metrics[c], 1e-9)
             << metrics::characteristicName(c);
+}
+
+TEST(Asm, ListingCoversStaticPcs)
+{
+    AsmKernel k = assembleKernel(R"(
+        ; comment-only lines own no PC
+        .kernel pcs
+        .param ptr out
+        gid %i
+        if.lt.u32 %i, 64   ; trailing comment stripped
+          st.u32 $out[%i], %i
+        endif
+        bar
+    )");
+    const auto &lst = k.listing();
+    // gid, if header, st, bar — else/endif bookkeeping owns no PC.
+    ASSERT_EQ(lst.size(), 4u);
+    EXPECT_EQ(lst[0], "gid %i");
+    EXPECT_EQ(lst[1], "if.lt.u32 %i, 64");
+    EXPECT_EQ(lst[2], "st.u32 $out[%i], %i");
+    EXPECT_EQ(lst[3], "bar");
+}
+
+TEST(Asm, HotspotPcsMatchListing)
+{
+    AsmKernel k = assembleKernel(R"(
+        .kernel hot
+        .param ptr out
+        .param u32 n
+        gid %i
+        if.lt.u32 %i, $n
+          mul.u32 %v, %i, 3
+          st.u32 $out[%i], %v
+        endif
+    )");
+    Engine e;
+    const uint32_t n = 100;
+    auto out = e.alloc<uint32_t>(128);
+    KernelParams p;
+    p.push(out.addr()).push(n);
+    metrics::HotspotProfiler hot;
+    e.addHook(&hot);
+    e.launch("hot", k.entry(), Dim3(2), Dim3(64), 0, p);
+    auto tables = hot.finalize("GKS");
+    ASSERT_EQ(tables.size(), 1u);
+    const auto &pcs = tables[0].pcs;
+    // Every observed PC indexes into the listing.
+    for (const auto &[pc, c] : pcs)
+        EXPECT_LT(pc, k.listing().size()) << "pc " << pc;
+    // 4 warps total (2 CTAs x 2 warps). gid (PC 0) is one instr per
+    // warp; the if header (PC 1) is two — the compare and the branch
+    // itself; mul (PC 2) is one; st (PC 3) is two — the address
+    // computation and the store.
+    ASSERT_TRUE(pcs.count(0));
+    ASSERT_TRUE(pcs.count(1));
+    EXPECT_EQ(pcs.at(0).instrs, 4u);
+    EXPECT_EQ(pcs.at(1).instrs, 8u);
+    ASSERT_TRUE(pcs.count(2));
+    ASSERT_TRUE(pcs.count(3));
+    EXPECT_EQ(pcs.at(2).instrs, 4u);
+    EXPECT_EQ(pcs.at(3).instrs, 8u);
+    // The last warp (ids 64..127 vs n=100) diverges at the if.
+    EXPECT_EQ(pcs.at(1).divBranches, 1u);
 }
 
 } // anonymous namespace

@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests of the second observability layer: the execution timeline
+ * (Chrome trace JSON, per-thread span nesting, CTA-block coverage),
+ * per-PC hotspot attribution (totals vs the characterization
+ * profiler, shard-merge identity), thread-pool introspection, and
+ * trace-corruption diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <latch>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "metrics/hotspots.hh"
+#include "metrics/profiler.hh"
+#include "simt/engine.hh"
+#include "telemetry/poolstats.hh"
+#include "telemetry/stats.hh"
+#include "telemetry/timeline.hh"
+#include "telemetry/trace.hh"
+#include "workloads/suite.hh"
+
+namespace gwc
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Shared kernels
+// ---------------------------------------------------------------------
+
+simt::WarpTask
+saxpyKernel(simt::Warp &w)
+{
+    using namespace simt;
+    uint64_t x = w.param<uint64_t>(0);
+    uint64_t y = w.param<uint64_t>(1);
+    uint32_t n = w.param<uint32_t>(2);
+
+    Reg<uint32_t> i = w.globalIdX();
+    w.If(i < n, [&] {
+        Reg<float> a = w.ldg<float>(x, i);
+        Reg<float> b = w.ldg<float>(y, i);
+        w.stg<float>(y, i, a * 2.0f + b);
+    });
+    co_return;
+}
+
+/** Divergence + shared memory + barrier + global stores. */
+simt::WarpTask
+barrierKernel(simt::Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint32_t n = w.param<uint32_t>(1);
+    simt::Reg<uint32_t> i = w.globalIdX();
+    simt::Reg<uint32_t> t = w.tidLinear();
+    w.If(i < n, [&] { w.stsE<uint32_t>(0, t, i * i); });
+    co_await w.barrier();
+    w.If(i < n, [&] {
+        simt::Reg<uint32_t> v = w.ldsE<uint32_t>(0, t);
+        w.stg<uint32_t>(out, i, v);
+    });
+    co_return;
+}
+
+/** Launch saxpy on a fresh engine at @p jobs with @p hooks. */
+void
+runSaxpy(unsigned jobs, const std::vector<simt::ProfilerHook *> &hooks,
+         uint32_t ctas = 16)
+{
+    simt::Engine e;
+    e.setJobs(jobs);
+    const uint32_t n = ctas * 256;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        x.set(i, float(i));
+        y.set(i, 1.0f);
+    }
+    for (auto *h : hooks)
+        e.addHook(h);
+    simt::KernelParams p;
+    p.push(x.addr()).push(y.addr()).push(n);
+    e.launch("saxpy", saxpyKernel, simt::Dim3(ctas), simt::Dim3(256),
+             0, p);
+    e.clearHooks();
+}
+
+/** Structural JSON check: balanced containers, valid strings. */
+bool
+jsonWellFormed(const std::string &s)
+{
+    std::vector<char> stack;
+    bool inStr = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (inStr) {
+            if (c == '\\') {
+                if (i + 1 >= s.size())
+                    return false;
+                ++i;
+            } else if (c == '"') {
+                inStr = false;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"': inStr = true; break;
+          case '{': case '[': stack.push_back(c); break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default: break;
+        }
+    }
+    return !inStr && stack.empty();
+}
+
+// ---------------------------------------------------------------------
+// Timeline
+// ---------------------------------------------------------------------
+
+TEST(Timeline, InactiveScopesAreNoOps)
+{
+    ASSERT_EQ(telemetry::Timeline::active(), nullptr);
+    {
+        telemetry::TimelineScope s("cat", "never recorded");
+        s.arg("k", "v");
+    }
+    telemetry::Timeline tl;
+    EXPECT_TRUE(tl.threadLogs().empty());
+}
+
+TEST(Timeline, RecordsNestedSpans)
+{
+    telemetry::Timeline tl;
+    tl.activate();
+    {
+        telemetry::TimelineScope outer("phase", "outer");
+        telemetry::TimelineScope inner("phase", "inner");
+        inner.arg("key", "value");
+    }
+    tl.deactivate();
+    ASSERT_EQ(telemetry::Timeline::active(), nullptr);
+
+    auto logs = tl.threadLogs();
+    ASSERT_EQ(logs.size(), 1u);
+    ASSERT_EQ(logs[0].spans.size(), 2u);
+    // Completion order: inner closes first.
+    const auto &inner = logs[0].spans[0];
+    const auto &outer = logs[0].spans[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_GE(inner.beginNs, outer.beginNs);
+    EXPECT_LE(inner.endNs, outer.endNs);
+    ASSERT_EQ(inner.args.size(), 1u);
+    EXPECT_EQ(inner.args[0].first, "key");
+    EXPECT_EQ(inner.args[0].second, "value");
+}
+
+TEST(Timeline, SecondTimelineTakesOver)
+{
+    telemetry::Timeline a;
+    a.activate();
+    {
+        telemetry::TimelineScope s("t", "in-a");
+    }
+    telemetry::Timeline b;
+    b.activate();
+    {
+        telemetry::TimelineScope s("t", "in-b");
+    }
+    b.deactivate();
+    a.deactivate(); // no longer active; must not clobber
+    ASSERT_EQ(telemetry::Timeline::active(), nullptr);
+    ASSERT_EQ(a.threadLogs().size(), 1u);
+    EXPECT_EQ(a.threadLogs()[0].spans.size(), 1u);
+    ASSERT_EQ(b.threadLogs().size(), 1u);
+    EXPECT_EQ(b.threadLogs()[0].spans.size(), 1u);
+    EXPECT_EQ(b.threadLogs()[0].spans[0].name, "in-b");
+}
+
+TEST(Timeline, SuiteRunProducesValidChromeTrace)
+{
+    telemetry::Timeline tl;
+    tl.activate();
+    workloads::SuiteOptions opts;
+    opts.jobs = 4;
+    auto runs = workloads::runSuite({"MM"}, opts);
+    tl.deactivate();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_TRUE(runs[0].verified);
+
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    std::string js = os.str();
+    EXPECT_TRUE(jsonWellFormed(js)) << js.substr(0, 400);
+    EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+    // Metadata names threads; spans exist for the workload, its
+    // phases, and CTA blocks.
+    EXPECT_NE(js.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(js.find("\"workload\""), std::string::npos);
+    EXPECT_NE(js.find("\"phase\""), std::string::npos);
+    EXPECT_NE(js.find("\"cta_block\""), std::string::npos);
+    EXPECT_NE(js.find("MM simulate"), std::string::npos);
+
+    // Per-thread spans nest: no two spans of one thread partially
+    // overlap (they are either disjoint or contained).
+    for (const auto &log : tl.threadLogs()) {
+        const auto &sp = log.spans;
+        for (size_t i = 0; i < sp.size(); ++i)
+            for (size_t j = i + 1; j < sp.size(); ++j) {
+                const auto &a = sp[i];
+                const auto &b = sp[j];
+                bool partial =
+                    (a.beginNs < b.beginNs && b.beginNs < a.endNs &&
+                     a.endNs < b.endNs) ||
+                    (b.beginNs < a.beginNs && a.beginNs < b.endNs &&
+                     b.endNs < a.endNs);
+                EXPECT_FALSE(partial)
+                    << log.threadName << ": " << a.name << " vs "
+                    << b.name;
+            }
+    }
+}
+
+TEST(Timeline, WorkerSpansCoverAllCtaBlocks)
+{
+    const uint32_t ctas = 16;
+    telemetry::Timeline tl;
+    tl.activate();
+    runSaxpy(4, {}, ctas);
+    tl.deactivate();
+
+    // Every CTA appears in exactly one cta_block span, across all
+    // recording threads (pool workers + participating caller).
+    std::vector<uint32_t> covered(ctas, 0);
+    for (const auto &log : tl.threadLogs()) {
+        for (const auto &sp : log.spans) {
+            if (std::string(sp.cat) != "cta_block")
+                continue;
+            uint32_t first = 0, last = 0;
+            bool haveFirst = false, haveLast = false;
+            for (const auto &[k, v] : sp.args) {
+                if (k == "first_cta") {
+                    first = uint32_t(std::stoul(v));
+                    haveFirst = true;
+                } else if (k == "last_cta") {
+                    last = uint32_t(std::stoul(v));
+                    haveLast = true;
+                }
+            }
+            ASSERT_TRUE(haveFirst && haveLast) << sp.name;
+            ASSERT_LE(last, ctas);
+            for (uint32_t c = first; c < last; ++c)
+                ++covered[c];
+        }
+    }
+    for (uint32_t c = 0; c < ctas; ++c)
+        EXPECT_EQ(covered[c], 1u) << "cta " << c;
+}
+
+// ---------------------------------------------------------------------
+// Hotspot attribution
+// ---------------------------------------------------------------------
+
+TEST(Hotspots, TotalsMatchProfilerCounters)
+{
+    simt::Engine e;
+    const uint32_t ctas = 3, n = ctas * 64 - 10;
+    auto out = e.alloc<uint32_t>(ctas * 64);
+    metrics::Profiler prof;
+    metrics::HotspotProfiler hot;
+    e.addHook(&prof);
+    e.addHook(&hot);
+    simt::KernelParams p;
+    p.push(out.addr()).push(n);
+    auto st = e.launch("bk", barrierKernel, simt::Dim3(ctas),
+                       simt::Dim3(64), 64 * 4, p);
+    e.clearHooks();
+
+    auto profiles = prof.finalize("T");
+    auto tables = hot.finalize("T");
+    ASSERT_EQ(profiles.size(), 1u);
+    ASSERT_EQ(tables.size(), 1u);
+    metrics::PcCounts tot = tables[0].total();
+
+    // Dynamic warp instructions agree with both the engine and the
+    // profiler.
+    EXPECT_EQ(tot.instrs, st.warpInstrs);
+    EXPECT_EQ(tot.instrs, profiles[0].warpInstrs);
+
+    // Ratio metrics reproduce exactly from the hotspot totals: both
+    // collectors saw the same event stream and use the same helpers.
+    const auto &m = profiles[0].metrics;
+    ASSERT_GT(tot.branches, 0u);
+    EXPECT_EQ(double(tot.divBranches) / double(tot.branches),
+              m[metrics::kDivBranchFrac]);
+    ASSERT_GT(tot.gmemAccesses, 0u);
+    EXPECT_EQ(double(tot.gmemTransactions) / double(tot.gmemAccesses),
+              m[metrics::kTxPerGmemAccess]);
+    ASSERT_GT(tot.smemAccesses, 0u);
+    EXPECT_EQ(double(tot.smemConflictDegree) /
+                  double(tot.smemAccesses),
+              m[metrics::kBankConflictDeg]);
+}
+
+/** Render the saxpy hotspot table at the given engine jobs. */
+std::string
+saxpyHotspots(unsigned jobs)
+{
+    metrics::HotspotProfiler hot;
+    runSaxpy(jobs, {&hot});
+    auto tables = hot.finalize("SAXPY");
+    EXPECT_EQ(tables.size(), 1u);
+    std::ostringstream os;
+    for (const auto &ks : tables)
+        metrics::renderHotspots(os, ks, 0);
+    return os.str();
+}
+
+TEST(Hotspots, ShardMergeIdenticalToSerial)
+{
+    std::string serial = saxpyHotspots(1);
+    std::string parallel = saxpyHotspots(4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel)
+        << "hotspot tables must not depend on jobs";
+}
+
+TEST(Hotspots, RendersListingColumn)
+{
+    metrics::KernelHotspots ks;
+    ks.workload = "W";
+    ks.kernel = "k";
+    ks.launches = 1;
+    ks.pcs[0].instrs = 10;
+    ks.pcs[1].instrs = 90;
+    ks.pcs[1].divBranches = 2;
+    std::vector<std::string> listing{"add r0, r1", "ld.global r2"};
+    std::ostringstream os;
+    metrics::renderHotspots(os, ks, 1, &listing);
+    std::string s = os.str();
+    // Top-1: only the hottest PC (1) shows, with its source text.
+    EXPECT_NE(s.find("ld.global r2"), std::string::npos);
+    EXPECT_EQ(s.find("add r0, r1"), std::string::npos);
+    EXPECT_NE(s.find("W.k"), std::string::npos);
+    EXPECT_NE(s.find("100"), std::string::npos); // total instrs
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool introspection
+// ---------------------------------------------------------------------
+
+TEST(PoolStats, SnapshotAccountsForEveryTask)
+{
+    ThreadPool pool(2);
+    const size_t n = 64;
+    std::atomic<uint64_t> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < n; ++i)
+        tasks.push_back([&ran] { ++ran; });
+    pool.runAll(std::move(tasks), 3);
+    ASSERT_EQ(ran.load(), n);
+
+    ThreadPool::Stats s = pool.statsSnapshot();
+    ASSERT_EQ(s.workers.size(), 2u);
+    EXPECT_EQ(s.groups, 1u);
+    EXPECT_GT(s.tickets, 0u);
+    uint64_t total = s.callerTasks;
+    for (const auto &w : s.workers)
+        total += w.tasks;
+    EXPECT_EQ(total, n) << "every task attributed exactly once";
+}
+
+TEST(PoolStats, RegistryAdapterPublishesGroup)
+{
+    ThreadPool pool(2);
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < 32; ++i)
+        tasks.push_back([] {});
+    pool.runAll(std::move(tasks), 3);
+
+    telemetry::Registry reg;
+    telemetry::recordThreadPoolStats(reg, pool.statsSnapshot());
+    EXPECT_EQ(reg.counterTotal("threadpool", "workers"), 2u);
+    EXPECT_EQ(reg.counterTotal("threadpool", "groups"), 1u);
+    EXPECT_EQ(reg.counterTotal("threadpool", "tasks") +
+                  reg.counterTotal("threadpool", "caller_tasks"),
+              32u);
+    // Per-worker counters exist for both workers.
+    const telemetry::Group *g = reg.find("threadpool");
+    ASSERT_NE(g, nullptr);
+    EXPECT_NE(g->findCounter("w0_tasks"), nullptr);
+    EXPECT_NE(g->findCounter("w1_tasks"), nullptr);
+    EXPECT_EQ(g->findCounter("w2_tasks"), nullptr);
+}
+
+TEST(PoolStats, CurrentWorkerIdDistinguishesThreads)
+{
+    EXPECT_EQ(ThreadPool::currentWorkerId(), -1);
+    ThreadPool pool(2);
+    // Both tasks rendezvous, so they must be in flight at once: the
+    // caller can hold at most one, hence at least one runs on a pool
+    // worker — no timing assumptions.
+    std::latch rendezvous(2);
+    std::atomic<int> sawWorker{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 2; ++i)
+        tasks.push_back([&] {
+            int id = ThreadPool::currentWorkerId();
+            EXPECT_GE(id, -1);
+            EXPECT_LT(id, 2);
+            if (id >= 0)
+                ++sawWorker;
+            rendezvous.arrive_and_wait();
+        });
+    pool.runAll(std::move(tasks), 3);
+    EXPECT_GT(sawWorker.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Trace corruption diagnostics (gwc_trace exit behaviour)
+// ---------------------------------------------------------------------
+
+std::string
+tmpPath(const char *tag)
+{
+    return testing::TempDir() + "gwc_obs_" + tag + ".trace";
+}
+
+void
+writeBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             std::streamsize(bytes.size()));
+}
+
+std::vector<uint8_t>
+traceHeader(uint32_t version, uint32_t stride)
+{
+    std::vector<uint8_t> b(telemetry::kTraceMagic,
+                           telemetry::kTraceMagic + 8);
+    for (int i = 0; i < 4; ++i)
+        b.push_back(uint8_t(version >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+        b.push_back(uint8_t(stride >> (8 * i)));
+    return b;
+}
+
+/** Append a minimal KernelBegin record for a 1x1x1 kernel "k". */
+void
+appendKernelBegin(std::vector<uint8_t> &b)
+{
+    b.push_back(0); // TraceTag::KernelBegin
+    b.push_back(1); // nameLen lo
+    b.push_back(0); // nameLen hi
+    b.push_back('k');
+    for (int word = 0; word < 7; ++word) { // grid, cta, sharedBytes
+        uint32_t v = word < 6 ? 1u : 0u;
+        for (int i = 0; i < 4; ++i)
+            b.push_back(uint8_t(v >> (8 * i)));
+    }
+}
+
+TEST(TraceDiagnostics, TruncatedHeaderExitsNonZero)
+{
+    std::string path = tmpPath("hdr");
+    writeBytes(path, std::vector<uint8_t>(telemetry::kTraceMagic,
+                                          telemetry::kTraceMagic + 8));
+    EXPECT_EXIT(telemetry::TraceReader r(path),
+                testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDiagnostics, VersionMismatchExitsNonZero)
+{
+    std::string path = tmpPath("ver");
+    writeBytes(path, traceHeader(telemetry::kTraceVersion + 7, 1));
+    EXPECT_EXIT(telemetry::TraceReader r(path),
+                testing::ExitedWithCode(1), "version");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDiagnostics, ZeroStrideExitsNonZero)
+{
+    std::string path = tmpPath("stride");
+    writeBytes(path, traceHeader(telemetry::kTraceVersion, 0));
+    EXPECT_EXIT(telemetry::TraceReader r(path),
+                testing::ExitedWithCode(1), "stride 0");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDiagnostics, CorruptOpClassExitsNonZero)
+{
+    std::string path = tmpPath("cls");
+    auto b = traceHeader(telemetry::kTraceVersion, 1);
+    appendKernelBegin(b);
+    b.push_back(4);   // TraceTag::Instr
+    b.push_back(250); // invalid OpClass
+    for (int i = 0; i < 16; ++i)
+        b.push_back(0); // active, warpId, ctaLinear, pc
+    writeBytes(path, b);
+    telemetry::TraceReader r(path);
+    simt::ProfilerHook sink;
+    EXPECT_EXIT(r.replay(sink), testing::ExitedWithCode(1),
+                "op class");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDiagnostics, CorruptMemFlagsExitsNonZero)
+{
+    std::string path = tmpPath("flags");
+    auto b = traceHeader(telemetry::kTraceVersion, 1);
+    appendKernelBegin(b);
+    b.push_back(5);    // TraceTag::Mem
+    b.push_back(0xF0); // reserved flag bits set
+    writeBytes(path, b);
+    telemetry::TraceReader r(path);
+    simt::ProfilerHook sink;
+    EXPECT_EXIT(r.replay(sink), testing::ExitedWithCode(1),
+                "mem flags");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDiagnostics, TruncatedRecordExitsNonZero)
+{
+    std::string path = tmpPath("cut");
+    auto b = traceHeader(telemetry::kTraceVersion, 1);
+    appendKernelBegin(b);
+    b.push_back(4); // TraceTag::Instr, then EOF mid-payload
+    b.push_back(0); // valid OpClass, missing everything after
+    writeBytes(path, b);
+    telemetry::TraceReader r(path);
+    simt::ProfilerHook sink;
+    EXPECT_EXIT(r.replay(sink), testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace gwc

@@ -269,5 +269,18 @@ TEST(ParallelSuite, ProfilesByteIdenticalToSerial)
               reg4.counterTotal("suite", "kernels"));
 }
 
+TEST(ParallelSuite, BfsExpandIsDeterministic)
+{
+    // BFS expand guards its body with a plain cross-CTA load of
+    // visited[]: under CTA-block parallelism the *executed
+    // instruction stream* depends on which CTA discovers a node
+    // first, even though every winner stores the same values. The
+    // launch is therefore pinned serial (ctaParallelSafe = false) —
+    // repeated parallel runs must stay byte-identical to jobs=1.
+    std::string csv1 = suiteCsv({"BFS"}, 1, nullptr);
+    for (int rep = 0; rep < 3; ++rep)
+        EXPECT_EQ(csv1, suiteCsv({"BFS"}, 4, nullptr)) << rep;
+}
+
 } // anonymous namespace
 } // namespace gwc

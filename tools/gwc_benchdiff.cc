@@ -1,0 +1,319 @@
+/**
+ * @file
+ * gwc_benchdiff — compare two benchmark JSON files (BENCH_*.json)
+ * and flag regressions.
+ *
+ *   gwc_benchdiff [--threshold PCT] baseline.json candidate.json
+ *
+ * Both files are flattened to dotted numeric leaves
+ * ("suite_wall_clock_sec.jobs_4"); string and boolean leaves are
+ * ignored. For every key present in both files the relative change is
+ * printed; changes worse than --threshold percent (default 5) are
+ * flagged and make the exit status 1. Direction is inferred from the
+ * key name: "*per_sec*" / "*items*" / "*ops*" count as
+ * higher-is-better, everything else (seconds, ns, cycles, bytes) as
+ * lower-is-better.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace gwc;
+
+/**
+ * Minimal recursive-descent JSON walker collecting numeric leaves
+ * under dotted paths. Arrays index as ".0", ".1", ... Strings,
+ * booleans and nulls are parsed (the syntax must be valid) but not
+ * collected. Fatal, naming @p path, on malformed input.
+ */
+class FlatJsonParser
+{
+  public:
+    FlatJsonParser(std::string path, std::string text)
+        : path_(std::move(path)), s_(std::move(text))
+    {
+    }
+
+    std::map<std::string, double>
+    parse()
+    {
+        skipWs();
+        value("");
+        skipWs();
+        if (pos_ != s_.size())
+            die("trailing characters");
+        return std::move(leaves_);
+    }
+
+  private:
+    [[noreturn]] void
+    die(const char *what)
+    {
+        fatal("%s: invalid JSON at byte %zu: %s", path_.c_str(), pos_,
+              what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            die("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            die("unexpected character");
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                die("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    die("unterminated escape");
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u':
+                    // Keys never need non-ASCII here; keep the code
+                    // point's hex digits as a placeholder.
+                    for (int i = 0; i < 4 && pos_ < s_.size(); ++i)
+                        out += s_[pos_++];
+                    break;
+                default: die("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    void
+    value(const std::string &key)
+    {
+        switch (peek()) {
+        case '{': {
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                skipWs();
+                std::string k = parseString();
+                skipWs();
+                expect(':');
+                skipWs();
+                value(key.empty() ? k : key + "." + k);
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return;
+            }
+        }
+        case '[': {
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return;
+            }
+            size_t idx = 0;
+            while (true) {
+                skipWs();
+                value(key + "." + std::to_string(idx++));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return;
+            }
+        }
+        case '"':
+            parseString();
+            return;
+        case 't':
+            literal("true");
+            return;
+        case 'f':
+            literal("false");
+            return;
+        case 'n':
+            literal("null");
+            return;
+        default: {
+            size_t start = pos_;
+            if (peek() == '-')
+                ++pos_;
+            while (pos_ < s_.size() &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(s_[pos_])) ||
+                    s_[pos_] == '.' || s_[pos_] == 'e' ||
+                    s_[pos_] == 'E' || s_[pos_] == '+' ||
+                    s_[pos_] == '-'))
+                ++pos_;
+            if (pos_ == start)
+                die("expected a value");
+            leaves_[key] = std::atof(s_.substr(start, pos_ - start)
+                                         .c_str());
+            return;
+        }
+        }
+    }
+
+    void
+    literal(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                die("bad literal");
+            ++pos_;
+        }
+    }
+
+    std::string path_;
+    std::string s_;
+    size_t pos_ = 0;
+    std::map<std::string, double> leaves_;
+};
+
+std::map<std::string, double>
+loadBench(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return FlatJsonParser(path, ss.str()).parse();
+}
+
+/** True when a larger value of @p key is an improvement. */
+bool
+higherIsBetter(const std::string &key)
+{
+    return key.find("per_sec") != std::string::npos ||
+           key.find("items") != std::string::npos ||
+           key.find("ops") != std::string::npos ||
+           key.find("throughput") != std::string::npos;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    double thresholdPct = 5.0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threshold" && i + 1 < argc) {
+            thresholdPct = std::atof(argv[++i]);
+            if (thresholdPct < 0)
+                fatal("--threshold must be >= 0");
+        } else if (arg == "-h" || arg == "--help") {
+            std::cerr << "usage: gwc_benchdiff [--threshold PCT] "
+                         "baseline.json candidate.json\n"
+                         "exit 1 when any metric regresses by more "
+                         "than PCT percent (default 5)\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown option '%s'", arg.c_str());
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        fatal("expected exactly two files (baseline, candidate)");
+
+    auto base = loadBench(paths[0]);
+    auto cand = loadBench(paths[1]);
+
+    Table t({"metric", "baseline", "candidate", "change", "status"});
+    size_t regressions = 0, improvements = 0, compared = 0;
+    for (const auto &[key, bv] : base) {
+        auto it = cand.find(key);
+        if (it == cand.end())
+            continue;
+        ++compared;
+        double cv = it->second;
+        double deltaPct =
+            bv != 0.0 ? (cv - bv) / bv * 100.0
+                      : (cv == 0.0 ? 0.0 : 100.0);
+        bool higher = higherIsBetter(key);
+        // Positive badness = candidate is worse.
+        double badness = higher ? -deltaPct : deltaPct;
+        std::string status = "ok";
+        if (badness > thresholdPct) {
+            status = "REGRESSION";
+            ++regressions;
+        } else if (badness < -thresholdPct) {
+            status = "improved";
+            ++improvements;
+        }
+        t.addRow({key, Table::num(bv, 3), Table::num(cv, 3),
+                  gwc::strfmt("%+.1f%%", deltaPct), status});
+    }
+    t.print(std::cout);
+
+    for (const auto &[key, v] : cand)
+        if (!base.count(key))
+            std::cout << "new metric: " << key << " = "
+                      << Table::num(v, 3) << "\n";
+    for (const auto &[key, v] : base)
+        if (!cand.count(key))
+            std::cout << "dropped metric: " << key << " (baseline "
+                      << Table::num(v, 3) << ")\n";
+
+    std::cout << compared << " metrics compared, " << regressions
+              << " regression" << (regressions == 1 ? "" : "s") << ", "
+              << improvements << " improvement"
+              << (improvements == 1 ? "" : "s") << " (threshold "
+              << thresholdPct << "%)\n";
+    return regressions ? 1 : 0;
+}

@@ -5,18 +5,22 @@
  *
  *   gwc_characterize [-o profiles.csv] [-s scale] [-S ctaStride]
  *                    [--jobs N] [--stats-out stats.json]
- *                    [--trace-out run.trace] [--no-verify]
+ *                    [--trace-out run.trace]
+ *                    [--timeline-out timeline.json] [--no-verify]
  *                    [workload ...]
  *
  * With no workloads listed, the whole registered suite runs. The CSV
  * loads back with gwc_analyze or metrics::loadProfiles(). --stats-out
  * writes the run report JSON (see docs/OBSERVABILITY.md); --trace-out
- * records the event stream for offline replay with gwc_trace.
+ * records the event stream for offline replay with gwc_trace;
+ * --timeline-out writes an execution timeline as Chrome trace-event
+ * JSON (open in chrome://tracing or Perfetto).
  */
 
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -24,7 +28,9 @@
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "metrics/profile_io.hh"
+#include "telemetry/poolstats.hh"
 #include "telemetry/report.hh"
+#include "telemetry/timeline.hh"
 #include "telemetry/trace.hh"
 #include "workloads/suite.hh"
 
@@ -48,6 +54,8 @@ usage()
            "  --trace-stride N  trace every Nth CTA only (default 1)\n"
            "  --trace-buffer N  trace staging buffer, MiB (default 4)\n"
            "  --trace-flight    keep newest window instead of flushing\n"
+           "  --timeline-out FILE  write the execution timeline as\n"
+           "                    Chrome trace-event JSON\n"
            "  --no-verify       skip host-reference verification\n"
            "  --list            list registered workloads and exit\n";
 }
@@ -73,6 +81,7 @@ main(int argc, char **argv)
     std::string outPath = "profiles.csv";
     std::string statsPath;
     std::string tracePath;
+    std::string timelinePath;
     telemetry::TraceWriter::Config tcfg;
     workloads::SuiteOptions opts;
     opts.verbose = true;
@@ -111,6 +120,8 @@ main(int argc, char **argv)
             tcfg.bufferBytes = size_t(mib) << 20;
         } else if (arg == "--trace-flight") {
             tcfg.flightRecorder = true;
+        } else if (arg == "--timeline-out" && i + 1 < argc) {
+            timelinePath = argv[++i];
         } else if (arg == "--no-verify") {
             opts.verify = false;
         } else if (arg == "--list") {
@@ -150,7 +161,25 @@ main(int argc, char **argv)
         opts.extraHook = tracer.get();
     }
 
+    telemetry::Timeline timeline;
+    if (!timelinePath.empty())
+        timeline.activate();
+
     auto runs = workloads::runSuite(names, opts);
+
+    if (!timelinePath.empty()) {
+        // runSuite has joined all pool work, so the timeline is
+        // quiescent and safe to export.
+        timeline.deactivate();
+        std::ofstream os(timelinePath, std::ios::binary);
+        if (!os)
+            fatal("cannot open %s", timelinePath.c_str());
+        timeline.writeChromeTrace(os);
+        if (!os)
+            fatal("error writing %s", timelinePath.c_str());
+        inform("wrote execution timeline to %s", timelinePath.c_str());
+    }
+
     auto profiles = workloads::allProfiles(runs);
     metrics::saveProfiles(outPath, profiles);
     inform("wrote %zu kernel profiles to %s", profiles.size(),
@@ -164,6 +193,8 @@ main(int argc, char **argv)
     }
 
     if (wantStats) {
+        telemetry::recordThreadPoolStats(
+            stats, ThreadPool::global().statsSnapshot());
         telemetry::RunReport rep;
         rep.tool = "gwc_characterize";
         rep.wallSec = std::chrono::duration<double>(Clock::now() -

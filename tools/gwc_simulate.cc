@@ -4,17 +4,23 @@
  * print per-kernel IPC and speedups.
  *
  *   gwc_simulate [-s scale] [--jobs N] [--stats-out stats.json]
- *                [workload ...]
+ *                [--trace-out run.trace]
+ *                [--timeline-out timeline.json] [workload ...]
  *
  * Simulates every kernel of the listed workloads (default: all) on
  * the built-in design points (see timing::designSpace()). --stats-out
- * writes the run report JSON (see docs/OBSERVABILITY.md). --jobs runs
- * workloads concurrently; output rows, reports and stats totals are
- * assembled in workload order, identical to a serial run.
+ * writes the run report JSON (see docs/OBSERVABILITY.md); --trace-out
+ * records the engine event stream for offline replay with gwc_trace
+ * (forces the workload loop serial: one recorder cannot watch
+ * concurrent engines); --timeline-out writes an execution timeline as
+ * Chrome trace-event JSON. --jobs runs workloads concurrently; output
+ * rows, reports and stats totals are assembled in workload order,
+ * identical to a serial run.
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -23,7 +29,10 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/threadpool.hh"
+#include "telemetry/poolstats.hh"
 #include "telemetry/report.hh"
+#include "telemetry/timeline.hh"
+#include "telemetry/trace.hh"
 #include "timing/gpu.hh"
 #include "workloads/suite.hh"
 
@@ -37,6 +46,8 @@ main(int argc, char **argv)
     uint32_t scale = 1;
     uint32_t jobs = ThreadPool::defaultJobs();
     std::string statsPath;
+    std::string tracePath;
+    std::string timelinePath;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -51,14 +62,23 @@ main(int argc, char **argv)
             jobs = uint32_t(v);
         } else if (arg == "--stats-out" && i + 1 < argc) {
             statsPath = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (arg == "--timeline-out" && i + 1 < argc) {
+            timelinePath = argv[++i];
         } else if (arg == "-h" || arg == "--help") {
             std::cerr
                 << "usage: gwc_simulate [-s scale] [--jobs N] "
-                   "[--stats-out stats.json] [workload ...]\n"
+                   "[--stats-out stats.json] [--trace-out run.trace] "
+                   "[--timeline-out timeline.json] [workload ...]\n"
                    "  --jobs N, -j N  simulate workloads concurrently; "
                    "output is identical to --jobs 1\n"
                    "                  (default: hardware threads, or "
-                   "$GWC_JOBS)\n";
+                   "$GWC_JOBS)\n"
+                   "  --trace-out FILE     record the event stream "
+                   "(serializes the workload loop)\n"
+                   "  --timeline-out FILE  write the execution "
+                   "timeline as Chrome trace JSON\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown option '%s'", arg.c_str());
@@ -76,6 +96,17 @@ main(int argc, char **argv)
     const bool wantStats = !statsPath.empty();
     telemetry::RunReport rep;
     rep.tool = "gwc_simulate";
+
+    std::unique_ptr<telemetry::TraceWriter> tracer;
+    if (!tracePath.empty()) {
+        tracer = std::make_unique<telemetry::TraceWriter>(tracePath);
+        if (wantStats)
+            tracer->attachStats(stats);
+    }
+
+    telemetry::Timeline timeline;
+    if (!timelinePath.empty())
+        timeline.activate();
 
     auto cfgs = timing::designSpace();
     std::vector<std::string> hdr{"kernel", "instrs",
@@ -100,15 +131,24 @@ main(int argc, char **argv)
         WlResult &res = results[i];
         res.reg = std::make_unique<telemetry::Registry>();
         auto wl = workloads::makeWorkload(name);
+        telemetry::TimelineScope wlSpan("workload", name);
         simt::Engine engine;
         if (wantStats)
             engine.attachStats(*res.reg);
         timing::TraceCapture cap;
         auto t0 = Clock::now();
-        wl->setup(engine, scale);
+        {
+            telemetry::TimelineScope ts("phase", name + " setup");
+            wl->setup(engine, scale);
+        }
         auto t1 = Clock::now();
         engine.addHook(&cap);
-        wl->run(engine);
+        if (tracer)
+            engine.addHook(tracer.get());
+        {
+            telemetry::TimelineScope ts("phase", name + " simulate");
+            wl->run(engine);
+        }
         engine.clearHooks();
         auto t2 = Clock::now();
 
@@ -147,7 +187,9 @@ main(int argc, char **argv)
         }
     };
 
-    if (jobs > 1 && names.size() > 1) {
+    // A trace recorder is one hook object; it cannot watch several
+    // engines at once, so --trace-out pins the workload loop serial.
+    if (jobs > 1 && names.size() > 1 && !tracer) {
         std::vector<std::function<void()>> tasks;
         tasks.reserve(names.size());
         for (size_t i = 0; i < names.size(); ++i)
@@ -156,6 +198,24 @@ main(int argc, char **argv)
     } else {
         for (size_t i = 0; i < names.size(); ++i)
             runWl(i);
+    }
+
+    if (tracer) {
+        tracer->close();
+        inform("wrote %llu trace records to %s",
+               (unsigned long long)tracer->recorded().total(),
+               tracePath.c_str());
+    }
+    if (!timelinePath.empty()) {
+        // All pool work has joined, so the timeline is quiescent.
+        timeline.deactivate();
+        std::ofstream os(timelinePath, std::ios::binary);
+        if (!os)
+            fatal("cannot open %s", timelinePath.c_str());
+        timeline.writeChromeTrace(os);
+        if (!os)
+            fatal("error writing %s", timelinePath.c_str());
+        inform("wrote execution timeline to %s", timelinePath.c_str());
     }
 
     for (auto &res : results) {
@@ -170,6 +230,8 @@ main(int argc, char **argv)
     t.print(std::cout);
 
     if (wantStats) {
+        telemetry::recordThreadPoolStats(
+            stats, ThreadPool::global().statsSnapshot());
         rep.wallSec = std::chrono::duration<double>(Clock::now() -
                                                     wallStart)
                           .count();

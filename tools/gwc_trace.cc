@@ -4,11 +4,14 @@
  *
  *   gwc_trace summary run.trace
  *   gwc_trace dump [-n N] [--kind K] [--cta N] [--warp N] run.trace
+ *   gwc_trace annotate [-n N] run.trace
  *
  * summary prints the header, per-kind record counts and a per-kernel
  * table; dump prints records as text, optionally filtered by kind
- * (kernel|cta|instr|mem|branch|barrier), CTA or warp. Bad or
- * truncated trace files are fatal (nonzero exit).
+ * (kernel|cta|instr|mem|branch|barrier), CTA or warp; annotate
+ * replays the trace through the per-PC hotspot profiler and prints
+ * the top-N PCs per kernel (see gwc_hotspots). Bad or truncated
+ * trace files are fatal (nonzero exit).
  */
 
 #include <cstdlib>
@@ -19,6 +22,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "metrics/hotspots.hh"
 #include "telemetry/trace.hh"
 
 namespace
@@ -34,6 +38,8 @@ usage()
            "commands:\n"
            "  summary      header, record counts, per-kernel table\n"
            "  dump         print records as text\n"
+           "  annotate     per-PC hotspot tables (-n PCs per kernel,\n"
+           "               default 10, 0 = all)\n"
            "dump options:\n"
            "  -n N         print at most N records\n"
            "  --kind K     kernel|cta|instr|mem|branch|barrier\n"
@@ -216,11 +222,13 @@ main(int argc, char **argv)
     }
     std::string cmd = argv[1];
     DumpHook dump;
+    bool limitSet = false;
     std::string path;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "-n" && i + 1 < argc) {
             dump.limit = uint64_t(std::atoll(argv[++i]));
+            limitSet = true;
         } else if (arg == "--kind" && i + 1 < argc) {
             dump.kind = argv[++i];
         } else if (arg == "--cta" && i + 1 < argc) {
@@ -250,6 +258,23 @@ main(int argc, char **argv)
         if (orphans)
             warn("skipped %llu orphaned leading records",
                  (unsigned long long)orphans);
+        return 0;
+    }
+    if (cmd == "annotate") {
+        metrics::HotspotProfiler hot;
+        uint64_t orphans = 0;
+        reader.replay(hot, &orphans);
+        if (orphans)
+            warn("skipped %llu orphaned leading records",
+                 (unsigned long long)orphans);
+        size_t topN = limitSet ? size_t(dump.limit) : 10;
+        bool first = true;
+        for (const auto &ks : hot.finalize("")) {
+            if (!first)
+                std::cout << "\n";
+            first = false;
+            metrics::renderHotspots(std::cout, ks, topN);
+        }
         return 0;
     }
     if (cmd != "summary") {
