@@ -140,6 +140,104 @@ BM_EngineSaxpyParallel(benchmark::State &state)
 }
 BENCHMARK(BM_EngineSaxpyParallel)->Arg(1)->Arg(2)->Arg(4);
 
+/**
+ * Dispatcher throughput at varying batch capacities: the profiled
+ * saxpy launch with the event-batch knob swept from per-event
+ * dispatch (1) to deep batching. The capacity-1 row is the unbatched
+ * baseline the tentpole optimization is measured against.
+ */
+void
+BM_HookDispatchBatched(benchmark::State &state)
+{
+    Engine e;
+    e.setEventBatch(size_t(state.range(0)));
+    const uint32_t n = 32768;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    KernelParams p;
+    p.push(x.addr()).push(y.addr());
+    metrics::Profiler prof;
+    e.addHook(&prof);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st =
+            e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HookDispatchBatched)->Arg(1)->Arg(64)->Arg(512)->Arg(4096);
+
+/**
+ * The coalescing analysis alone: a fully coalesced event (the
+ * min/max fast path) and a fully scattered one (the quadratic
+ * first-touch dedup) per iteration.
+ */
+void
+BM_GmemSegments(benchmark::State &state)
+{
+    simt::MemEvent coal{};
+    coal.space = simt::MemSpace::Global;
+    coal.accessSize = 4;
+    coal.active = simt::kFullMask;
+    simt::MemEvent scat = coal;
+    for (uint32_t l = 0; l < simt::kWarpSize; ++l) {
+        coal.addr[l] = 0x1000 + l * 4;
+        scat.addr[l] = 0x1000 + uint64_t(l) * 4096;
+    }
+    std::array<uint64_t, simt::kWarpSize> segs;
+    uint64_t total = 0;
+    for (auto _ : state) {
+        total += metrics::gmemSegments(coal, segs);
+        total += metrics::gmemSegments(scat, segs);
+        benchmark::DoNotOptimize(segs);
+    }
+    benchmark::DoNotOptimize(total);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_GmemSegments);
+
+WarpTask
+branchyKernel(Warp &w)
+{
+    Reg<uint32_t> i = w.globalIdX();
+    Reg<uint32_t> acc = w.imm(0u);
+    Reg<uint32_t> cnt = i % 5u;
+    w.While([&] { return cnt > 0u; },
+            [&] {
+                w.If(cnt > 2u, [&] { acc = acc + cnt; });
+                cnt = cnt - 1u;
+            });
+    w.stg<uint32_t>(w.param<uint64_t>(0), i, acc);
+    co_return;
+}
+
+/**
+ * Divergent control flow through the templated If/While combinators:
+ * guards the no-std::function, no-allocation property of the branch
+ * hot path.
+ */
+void
+BM_WarpBranchNoAlloc(benchmark::State &state)
+{
+    Engine e;
+    const uint32_t n = 8192;
+    auto out = e.alloc<uint32_t>(n);
+    KernelParams p;
+    p.push(out.addr());
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st = e.launch("branchy", branchyKernel, Dim3(n / 256),
+                           Dim3(256), 0, p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WarpBranchNoAlloc);
+
 void
 BM_ReuseDistance(benchmark::State &state)
 {

@@ -5,12 +5,14 @@
  * The reuse-distance analyzer and the footprint/sharing collector
  * perform one map lookup per memory transaction; with
  * std::unordered_map every cold line costs a node allocation. This
- * map keeps the same algorithm libstdc++ uses (separate chaining,
- * identity hash, prime bucket count — ideal for dense integer keys
- * like line addresses) but stores all nodes in one contiguous arena
- * with 32-bit links, so the steady state performs no per-access
- * allocation, halves the per-node memory and walks chains through a
- * dense vector instead of scattered heap nodes. Measured on the
+ * map keeps libstdc++'s separate chaining but stores all nodes in one
+ * contiguous arena with 32-bit links, so the steady state performs no
+ * per-access allocation, halves the per-node memory and walks chains
+ * through a dense vector instead of scattered heap nodes. Buckets are
+ * a power of two indexed by Fibonacci hashing (multiply by 2^64/phi,
+ * take the top bits): it scrambles dense and strided integer keys as
+ * well as the classic mod-by-prime while replacing the 64-bit
+ * division that dominates a probe with one multiply. Measured on the
  * reuse-distance access pattern this is 1.2x (hit-heavy) to 6.5x
  * (cold-insert-heavy) faster than std::unordered_map.
  *
@@ -66,7 +68,7 @@ class FlatHashU64
     {
         if (numBuckets_ == 0)
             return nullptr;
-        for (uint32_t n = buckets_[key % numBuckets_]; n != kNil;
+        for (uint32_t n = buckets_[bucket(key)]; n != kNil;
              n = nodes_[n].next)
             if (nodes_[n].key == key)
                 return &nodes_[n].value;
@@ -89,7 +91,7 @@ class FlatHashU64
     {
         if (nodes_.size() >= numBuckets_)
             grow();
-        uint64_t b = key % numBuckets_;
+        size_t b = bucket(key);
         for (uint32_t n = buckets_[b]; n != kNil; n = nodes_[n].next)
             if (nodes_[n].key == key)
                 return {&nodes_[n].value, false};
@@ -120,28 +122,22 @@ class FlatHashU64
 
     static constexpr uint32_t kNil = 0xffffffffu;
 
+    size_t
+    bucket(uint64_t key) const
+    {
+        // Fibonacci hashing: the top bits of key * 2^64/phi spread
+        // consecutive and strided keys across a power-of-two table.
+        return size_t((key * 0x9E3779B97F4A7C15ull) >> shift_);
+    }
+
     void
     grow()
     {
-        // Roughly doubling primes (libstdc++-style): identity hash
-        // mod a prime distributes dense and strided keys alike.
-        static constexpr uint64_t kPrimes[] = {
-            127,       257,       521,       1049,      2099,
-            4201,      8419,      16843,     33703,     67409,
-            134837,    269683,    539389,    1078787,   2157587,
-            4315183,   8630387,   17260781,  34521589,  69043189,
-            138086407, 276172823, 552345671, 1104691373};
-        uint64_t want = nodes_.empty() ? 0 : nodes_.size() * 2;
-        uint64_t p = kPrimes[0];
-        for (uint64_t c : kPrimes) {
-            p = c;
-            if (c > want)
-                break;
-        }
-        numBuckets_ = p;
-        buckets_.assign(numBuckets_, kNil);
+        numBuckets_ = numBuckets_ == 0 ? 128 : numBuckets_ * 2;
+        shift_ = unsigned(__builtin_clzll(numBuckets_)) + 1;
+        buckets_.assign(size_t(numBuckets_), kNil);
         for (uint32_t i = 0; i < nodes_.size(); ++i) {
-            uint64_t b = nodes_[i].key % numBuckets_;
+            size_t b = bucket(nodes_[i].key);
             nodes_[i].next = buckets_[b];
             buckets_[b] = i;
         }
@@ -150,6 +146,7 @@ class FlatHashU64
     std::vector<uint32_t> buckets_;
     std::vector<Node> nodes_;
     uint64_t numBuckets_ = 0;
+    unsigned shift_ = 63;
 };
 
 } // namespace gwc

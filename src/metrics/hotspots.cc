@@ -71,20 +71,19 @@ HotspotProfiler::ctaBegin(uint32_t ctaLinear)
                   ctaLinear % cfg_.ctaSampleStride == 0;
 }
 
-void
-HotspotProfiler::instr(const simt::InstrEvent &ev)
+namespace
 {
-    if (!cur_ || !ctaSampled_)
-        return;
-    ++cur_->pcs[ev.pc].instrs;
+
+void
+hotspotInstrOne(KernelHotspots &ks, const simt::InstrEvent &ev)
+{
+    ++ks.pcs[ev.pc].instrs;
 }
 
 void
-HotspotProfiler::mem(const simt::MemEvent &ev)
+hotspotMemOne(KernelHotspots &ks, const simt::MemEvent &ev)
 {
-    if (!cur_ || !ctaSampled_)
-        return;
-    PcCounts &c = cur_->pcs[ev.pc];
+    PcCounts &c = ks.pcs[ev.pc];
     if (ev.space == simt::MemSpace::Shared) {
         ++c.smemAccesses;
         c.smemConflictDegree += smemConflictDegree(ev);
@@ -99,14 +98,65 @@ HotspotProfiler::mem(const simt::MemEvent &ev)
 }
 
 void
+hotspotBranchOne(KernelHotspots &ks, const simt::BranchEvent &ev)
+{
+    PcCounts &c = ks.pcs[ev.pc];
+    ++c.branches;
+    if (!simt::isUniform(ev.taken, ev.active))
+        ++c.divBranches;
+}
+
+} // anonymous namespace
+
+void
+HotspotProfiler::instr(const simt::InstrEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    hotspotInstrOne(*cur_, ev);
+}
+
+void
+HotspotProfiler::mem(const simt::MemEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    hotspotMemOne(*cur_, ev);
+}
+
+void
 HotspotProfiler::branch(const simt::BranchEvent &ev)
 {
     if (!cur_ || !ctaSampled_)
         return;
-    PcCounts &c = cur_->pcs[ev.pc];
-    ++c.branches;
-    if (!simt::isUniform(ev.taken, ev.active))
-        ++c.divBranches;
+    hotspotBranchOne(*cur_, ev);
+}
+
+void
+HotspotProfiler::instrBatch(std::span<const simt::InstrEvent> evs)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    for (const simt::InstrEvent &ev : evs)
+        hotspotInstrOne(*cur_, ev);
+}
+
+void
+HotspotProfiler::memBatch(std::span<const simt::MemEvent> evs)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    for (const simt::MemEvent &ev : evs)
+        hotspotMemOne(*cur_, ev);
+}
+
+void
+HotspotProfiler::branchBatch(std::span<const simt::BranchEvent> evs)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    for (const simt::BranchEvent &ev : evs)
+        hotspotBranchOne(*cur_, ev);
 }
 
 std::unique_ptr<simt::ProfilerHook>

@@ -84,6 +84,20 @@ class HotspotProfiler : public simt::ProfilerHook
     void branch(const simt::BranchEvent &ev) override;
 
     /**
+     * Native batch consumer: per-PC counters are additive and
+     * independent across event kinds, so kind-major delivery of one
+     * flush (order preserved within each kind, inside one CTA's
+     * sampling window) accumulates exactly like the per-event stream.
+     */
+    bool batchCapable() const override { return true; }
+    void instrBatch(std::span<const simt::InstrEvent> evs) override;
+    void memBatch(std::span<const simt::MemEvent> evs) override;
+    void branchBatch(std::span<const simt::BranchEvent> evs) override;
+
+    /** Per-PC attribution never reads dependence distances. */
+    simt::LaneMask depDistLanes() const override { return 0; }
+
+    /**
      * Shard support: every counter is additive per PC, so a shard is
      * just a fresh accumulator for the same kernel and the merge adds
      * the maps — order-independent, hence trivially serial-identical.

@@ -19,15 +19,22 @@ using simt::kWarpSize;
 using simt::LaneMask;
 using simt::OpClass;
 
+namespace
+{
+
+/**
+ * Dedup @p laneSeg[0..n) into @p segs in first-touch order (the
+ * order the reuse-distance analyzer consumes); the distinct count
+ * stays small, so the quadratic scan is cheap.
+ */
 uint32_t
-gmemSegments(const simt::MemEvent &ev,
-             std::array<uint64_t, simt::kWarpSize> &segs)
+dedupSegments(const std::array<uint64_t, simt::kWarpSize> &laneSeg,
+              uint32_t n,
+              std::array<uint64_t, simt::kWarpSize> &segs)
 {
     uint32_t nsegs = 0;
-    for (uint32_t l = 0; l < kWarpSize; ++l) {
-        if (!(ev.active & (1u << l)))
-            continue;
-        uint64_t seg = ev.addr[l] / kSegmentBytes;
+    for (uint32_t i = 0; i < n; ++i) {
+        uint64_t seg = laneSeg[i];
         bool found = false;
         for (uint32_t s = 0; s < nsegs; ++s) {
             if (segs[s] == seg) {
@@ -41,17 +48,60 @@ gmemSegments(const simt::MemEvent &ev,
     return nsegs;
 }
 
+} // anonymous namespace
+
+uint32_t
+gmemSegments(const simt::MemEvent &ev,
+             std::array<uint64_t, simt::kWarpSize> &segs)
+{
+    // First pass: compute each active lane's segment and the min/max.
+    // The overwhelmingly common coalesced access (every lane in one
+    // 128B segment) exits here without touching the quadratic dedup
+    // at all. A full warp takes a fixed-count loop the compiler
+    // vectorizes; partial masks walk the population of the mask.
+    std::array<uint64_t, kWarpSize> laneSeg;
+    uint32_t n = 0;
+    uint64_t lo = UINT64_MAX, hi = 0;
+    if (ev.active == simt::kFullMask) {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            uint64_t seg = ev.addr[l] / kSegmentBytes;
+            laneSeg[l] = seg;
+            lo = seg < lo ? seg : lo;
+            hi = seg > hi ? seg : hi;
+        }
+        n = kWarpSize;
+    } else {
+        for (LaneMask m = ev.active; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            uint64_t seg = ev.addr[l] / kSegmentBytes;
+            laneSeg[n++] = seg;
+            lo = seg < lo ? seg : lo;
+            hi = seg > hi ? seg : hi;
+        }
+    }
+    if (n == 0)
+        return 0;
+    if (lo == hi) {
+        segs[0] = lo;
+        return 1;
+    }
+    return dedupSegments(laneSeg, n, segs);
+}
+
 uint32_t
 smemConflictDegree(const simt::MemEvent &ev)
 {
     // Maximum number of distinct 4-byte words mapped to the same bank
-    // among active lanes; lanes reading the same word broadcast.
+    // among active lanes; lanes reading the same word broadcast. An
+    // access with no active lanes issues no pass at all: degree 0,
+    // so it cannot inflate the kernel's mean conflict degree.
+    if (ev.active == 0)
+        return 0;
     std::array<uint64_t, kSmemBanks> word{};
     std::array<uint8_t, kSmemBanks> cnt{};
     uint32_t deg = 1;
-    for (uint32_t l = 0; l < kWarpSize; ++l) {
-        if (!(ev.active & (1u << l)))
-            continue;
+    for (LaneMask m = ev.active; m != 0; m &= m - 1) {
+        uint32_t l = uint32_t(__builtin_ctz(m));
         uint64_t w = ev.addr[l] / 4;
         uint32_t b = static_cast<uint32_t>(w % kSmemBanks);
         if (cnt[b] == 0) {
@@ -69,6 +119,16 @@ smemConflictDegree(const simt::MemEvent &ev)
 Profiler::Profiler() : Profiler(Config{}) {}
 
 Profiler::Profiler(Config cfg) : cfg_(std::move(cfg)) {}
+
+LaneMask
+Profiler::depDistLanes() const
+{
+    LaneMask m = 0;
+    for (uint32_t lane : cfg_.ilpLanes)
+        if (lane < kWarpSize)
+            m |= LaneMask(1) << lane;
+    return m;
+}
 
 void
 Profiler::attachStats(telemetry::Registry &reg)
@@ -141,25 +201,28 @@ Profiler::ctaBegin(uint32_t ctaLinear)
 }
 
 void
-Profiler::instr(const simt::InstrEvent &ev)
+Profiler::instrOne(const simt::InstrEvent &ev, KernelAcc &a)
 {
-    if (!cur_ || !ctaSampled_)
-        return;
-    if (statInstrEvents_)
-        ++*statInstrEvents_;
-    KernelAcc &a = *cur_;
     ++a.perClass[size_t(ev.cls)];
     ++a.instrs;
     a.activeLanes += simt::laneCount(ev.active);
     a.validLaneSlots += kWarpSize;
 
     // ILP sampling: adopt new warps until the cap, then track the
-    // configured lanes of each adopted warp. A shard over-adopts (it
-    // can't know how many warps earlier blocks used up); the merge
-    // keeps only the serial-identical prefix, in block order.
-    bool tracked = a.ilpWarps.count(ev.warpId) != 0;
+    // configured lanes of each adopted warp. Membership is tested on
+    // the bitmap mirror of ilpWarps — one bit probe per instruction
+    // event. A shard over-adopts (it can't know how many warps
+    // earlier blocks used up); the merge keeps only the
+    // serial-identical prefix, in block order.
+    uint32_t word = ev.warpId >> 6;
+    uint64_t bit = 1ull << (ev.warpId & 63u);
+    bool tracked =
+        word < a.ilpWarpBits.size() && (a.ilpWarpBits[word] & bit);
     if (!tracked && a.ilpWarps.size() < cfg_.ilpWarpCap) {
-        a.ilpWarps.insert(ev.warpId);
+        a.ilpWarps.emplace(ev.warpId, 1);
+        if (word >= a.ilpWarpBits.size())
+            a.ilpWarpBits.resize(word + 1, 0);
+        a.ilpWarpBits[word] |= bit;
         tracked = true;
         if (shard_)
             a.ilpWarpOrder.push_back(ev.warpId);
@@ -172,20 +235,39 @@ Profiler::instr(const simt::InstrEvent &ev)
                 continue;
             uint64_t key =
                 (uint64_t(ev.warpId) << 8) | lane;
-            a.ilp[key].record(ev.depDist[lane]);
+            IlpTracker *trk = a.ilp.find(key);
+            if (!trk)
+                trk = a.ilp.emplace(key, IlpTracker{}).first;
+            trk->record(ev.depDist[lane]);
         }
     }
 }
 
 void
-Profiler::mem(const simt::MemEvent &ev)
+Profiler::instr(const simt::InstrEvent &ev)
 {
     if (!cur_ || !ctaSampled_)
         return;
-    if (statMemEvents_)
-        ++*statMemEvents_;
-    KernelAcc &a = *cur_;
+    if (statInstrEvents_)
+        ++*statInstrEvents_;
+    instrOne(ev, *cur_);
+}
 
+void
+Profiler::instrBatch(std::span<const simt::InstrEvent> evs)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    if (statInstrEvents_)
+        *statInstrEvents_ += evs.size();
+    KernelAcc &a = *cur_;
+    for (const simt::InstrEvent &ev : evs)
+        instrOne(ev, a);
+}
+
+void
+Profiler::memOne(const simt::MemEvent &ev, KernelAcc &a)
+{
     if (ev.space == simt::MemSpace::Shared) {
         ++a.smemAccesses;
         a.smemConflictDegree += smemConflictDegree(ev);
@@ -197,29 +279,63 @@ Profiler::mem(const simt::MemEvent &ev)
     if (!ev.store)
         ++a.gmemLoads;
 
-    // Coalescing: distinct 128B segments among active lanes.
+    // Coalescing (distinct 128B segments) and stride classification
+    // over adjacent active lanes. A full warp (the dominant case)
+    // takes one fused fixed-count pass over the address vector —
+    // segment ids and lane-pair deltas come from the same loads, with
+    // no previous-lane dependency, so the compiler can vectorize it.
+    // Partial masks walk the population of the mask.
     std::array<uint64_t, kWarpSize> segs;
-    uint32_t nsegs = gmemSegments(ev, segs);
-    uint32_t active = 0;
-    int prevLane = -1;
-    for (uint32_t l = 0; l < kWarpSize; ++l) {
-        if (!(ev.active & (1u << l)))
-            continue;
-        ++active;
-
-        // Stride classification over adjacent active lanes.
-        if (prevLane >= 0) {
-            ++a.stridePairs;
-            uint64_t prev = ev.addr[prevLane];
+    uint32_t nsegs;
+    uint32_t active;
+    if (ev.active == simt::kFullMask) {
+        active = kWarpSize;
+        std::array<uint64_t, kWarpSize> laneSeg;
+        uint64_t first = ev.addr[0] / kSegmentBytes;
+        laneSeg[0] = first;
+        uint64_t lo = first, hi = first;
+        uint64_t uniform = 0, unit = 0;
+        for (uint32_t l = 1; l < kWarpSize; ++l) {
+            uint64_t prev = ev.addr[l - 1];
             uint64_t curAddr = ev.addr[l];
+            uint64_t seg = curAddr / kSegmentBytes;
+            laneSeg[l] = seg;
+            lo = seg < lo ? seg : lo;
+            hi = seg > hi ? seg : hi;
             uint64_t delta =
                 curAddr >= prev ? curAddr - prev : prev - curAddr;
-            if (delta == 0)
-                ++a.strideUniform;
-            else if (delta == ev.accessSize)
-                ++a.strideUnit;
+            uniform += delta == 0;
+            unit += delta == ev.accessSize;
         }
-        prevLane = static_cast<int>(l);
+        a.stridePairs += kWarpSize - 1;
+        a.strideUniform += uniform;
+        a.strideUnit += unit;
+        if (lo == hi) {
+            segs[0] = lo;
+            nsegs = 1;
+        } else {
+            nsegs = dedupSegments(laneSeg, kWarpSize, segs);
+        }
+    } else {
+        nsegs = gmemSegments(ev, segs);
+        active = 0;
+        int prevLane = -1;
+        for (LaneMask m = ev.active; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            ++active;
+            if (prevLane >= 0) {
+                ++a.stridePairs;
+                uint64_t prev = ev.addr[prevLane];
+                uint64_t curAddr = ev.addr[l];
+                uint64_t delta =
+                    curAddr >= prev ? curAddr - prev : prev - curAddr;
+                if (delta == 0)
+                    ++a.strideUniform;
+                else if (delta == ev.accessSize)
+                    ++a.strideUnit;
+            }
+            prevLane = static_cast<int>(l);
+        }
     }
     a.gmemTransactions += nsegs;
     a.gmemUsefulBytes += uint64_t(active) * ev.accessSize;
@@ -246,13 +362,51 @@ Profiler::mem(const simt::MemEvent &ev)
 }
 
 void
+Profiler::mem(const simt::MemEvent &ev)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    if (statMemEvents_)
+        ++*statMemEvents_;
+    memOne(ev, *cur_);
+}
+
+void
+Profiler::memBatch(std::span<const simt::MemEvent> evs)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    if (statMemEvents_)
+        *statMemEvents_ += evs.size();
+    KernelAcc &a = *cur_;
+    for (const simt::MemEvent &ev : evs)
+        memOne(ev, a);
+}
+
+void
+Profiler::branchOne(const simt::BranchEvent &ev, KernelAcc &a)
+{
+    ++a.branches;
+    if (!simt::isUniform(ev.taken, ev.active))
+        ++a.divergentBranches;
+}
+
+void
 Profiler::branch(const simt::BranchEvent &ev)
 {
     if (!cur_ || !ctaSampled_)
         return;
-    ++cur_->branches;
-    if (!simt::isUniform(ev.taken, ev.active))
-        ++cur_->divergentBranches;
+    branchOne(ev, *cur_);
+}
+
+void
+Profiler::branchBatch(std::span<const simt::BranchEvent> evs)
+{
+    if (!cur_ || !ctaSampled_)
+        return;
+    KernelAcc &a = *cur_;
+    for (const simt::BranchEvent &ev : evs)
+        branchOne(ev, a);
 }
 
 void
@@ -301,13 +455,13 @@ Profiler::finish(KernelAcc &a) const
     // accumulators insert in different orders).
     std::vector<uint64_t> ilpKeys;
     ilpKeys.reserve(a.ilp.size());
-    for (const auto &kv : a.ilp)
-        ilpKeys.push_back(kv.first);
+    a.ilp.forEach(
+        [&](uint64_t key, const IlpTracker &) { ilpKeys.push_back(key); });
     std::sort(ilpKeys.begin(), ilpKeys.end());
     for (size_t wi = 0; wi < kIlpWindows.size(); ++wi) {
         double num = 0.0, den = 0.0;
         for (uint64_t key : ilpKeys) {
-            const IlpTracker &trk = a.ilp.at(key);
+            const IlpTracker &trk = *a.ilp.find(key);
             if (trk.count() == 0)
                 continue;
             num += trk.ilp(wi) * double(trk.count());
@@ -388,6 +542,7 @@ Profiler::makeShard()
     // (warpId embeds ctaLinear), so seeded copies never conflict.
     acc->ilp = cur_->ilp;
     acc->ilpWarps = cur_->ilpWarps;
+    acc->ilpWarpBits = cur_->ilpWarpBits;
     s->cur_ = acc.get();
     s->kernels_.emplace(acc->info.name, std::move(acc));
     // Event-rate counters are atomic and shared; adoption, kernel
@@ -453,19 +608,23 @@ Profiler::mergeShard(simt::ProfilerHook &shard)
     for (uint32_t w : s.ilpWarpOrder) {
         if (a.ilpWarps.size() >= cfg_.ilpWarpCap)
             break;
-        a.ilpWarps.insert(w);
+        a.ilpWarps.emplace(w, 1);
+        uint32_t word = w >> 6;
+        if (word >= a.ilpWarpBits.size())
+            a.ilpWarpBits.resize(word + 1, 0);
+        a.ilpWarpBits[word] |= 1ull << (w & 63u);
         if (statIlpWarps_)
             ++*statIlpWarps_;
     }
-    for (const auto &[key, trk] : s.ilp) {
-        if (a.ilpWarps.count(uint32_t(key >> 8)) == 0)
-            continue;
-        auto it = a.ilp.find(key);
-        if (it == a.ilp.end())
+    s.ilp.forEach([&](uint64_t key, const IlpTracker &trk) {
+        if (a.ilpWarps.find(uint32_t(key >> 8)) == nullptr)
+            return;
+        IlpTracker *mine = a.ilp.find(key);
+        if (!mine)
             a.ilp.emplace(key, trk);
-        else if (trk.count() > it->second.count())
-            it->second = trk;
-    }
+        else if (trk.count() > mine->count())
+            *mine = trk;
+    });
 }
 
 std::vector<KernelProfile>

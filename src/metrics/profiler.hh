@@ -17,8 +17,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/flat_hash.hh"
@@ -110,6 +108,26 @@ class Profiler : public simt::ProfilerHook
     void barrier(uint32_t warpId) override;
 
     /**
+     * Native batch consumer: every collector is independent across
+     * event kinds, so per-kind batches (order preserved within each
+     * kind, delivered inside one CTA's sampling window) accumulate
+     * exactly like the per-event stream. The kernel/CTA context and
+     * sampling checks are paid once per batch instead of per event.
+     */
+    bool batchCapable() const override { return true; }
+
+    /**
+     * The ILP model samples cfg_.ilpLanes; no other collector reads
+     * depDist, so the warp only fills those lanes when the profiler
+     * is the sole depDist consumer.
+     */
+    simt::LaneMask depDistLanes() const override;
+
+    void instrBatch(std::span<const simt::InstrEvent> evs) override;
+    void memBatch(std::span<const simt::MemEvent> evs) override;
+    void branchBatch(std::span<const simt::BranchEvent> evs) override;
+
+    /**
      * Shard support for parallel CTA blocks. A shard is a Profiler in
      * recording mode: additive counters accumulate normally, the
      * reuse-distance stream is logged (not analyzed — stack distance
@@ -180,9 +198,20 @@ class Profiler : public simt::ProfilerHook
         FlatHashU64<uint32_t> lineOwner;
         uint64_t sharedLines = 0;
 
-        // Per-thread ILP sampling.
-        std::unordered_map<uint64_t, IlpTracker> ilp;
-        std::unordered_set<uint32_t> ilpWarps;
+        // Per-thread ILP sampling. Both maps live on the arena-backed
+        // FlatHashU64 (like the reuse/footprint collectors): the
+        // tracker map keys (warpId << 8 | lane) and the adopted-warp
+        // set are dense small-integer keys, and adoption runs once
+        // per instruction event — no node allocation on that path.
+        FlatHashU64<IlpTracker> ilp;
+        FlatHashU64<uint8_t> ilpWarps;
+
+        // Mirror of ilpWarps as a bitmap (bit w set iff warp w is
+        // adopted): the per-instruction membership test is a load and
+        // a bit test instead of a hash probe. Warp ids are
+        // launch-local and dense, so this stays tiny; shards copy it
+        // flat along with ilpWarps.
+        std::vector<uint64_t> ilpWarpBits;
 
         // Shard-mode state: the reuse stream is logged up to the cap
         // (and counted past it) for in-order replay at merge; newly
@@ -196,6 +225,12 @@ class Profiler : public simt::ProfilerHook
     };
 
     KernelProfile finish(KernelAcc &acc) const;
+
+    // Per-event accumulation cores shared by the per-event virtuals
+    // and the batch consumers (context checks hoisted by the caller).
+    void instrOne(const simt::InstrEvent &ev, KernelAcc &a);
+    void memOne(const simt::MemEvent &ev, KernelAcc &a);
+    void branchOne(const simt::BranchEvent &ev, KernelAcc &a);
 
     Config cfg_;
     std::map<std::string, std::unique_ptr<KernelAcc>> kernels_;

@@ -180,6 +180,7 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
     if (parallel && dispatch) {
         blk.resize(blocks);
         for (auto &b : blk) {
+            b.hooks.setBatchCapacity(hooks_.batchCapacity());
             for (ProfilerHook *h : hooks_.hooks()) {
                 auto shard = h->makeShard();
                 if (!shard) {

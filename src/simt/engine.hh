@@ -101,6 +101,23 @@ class Engine
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Event-batch capacity of the instrumentation bus: how many
+     * instr/mem/branch/barrier events stage in the dispatcher before
+     * a flush (HookList::setBatchCapacity). 1 dispatches per event;
+     * the observable hook output is identical for any value. Applies
+     * to the serial dispatcher and to every per-block shard
+     * dispatcher of subsequent parallel launches.
+     */
+    void
+    setEventBatch(size_t events)
+    {
+        hooks_.setBatchCapacity(events);
+    }
+
+    /** Current event-batch capacity. */
+    size_t eventBatch() const { return hooks_.batchCapacity(); }
+
+    /**
      * Launch @p fn over @p grid x @p cta threads.
      *
      * @param name        kernel identifier reported to the hooks

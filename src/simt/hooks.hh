@@ -12,6 +12,7 @@
 #define GWC_SIMT_HOOKS_HH
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "simt/types.hh"
@@ -123,11 +124,87 @@ class ProfilerHook
 
     /** A warp arrived at a CTA barrier. */
     virtual void barrier(uint32_t warpId) { (void)warpId; }
+
+    /**
+     * Lanes of InstrEvent::depDist this hook reads. The dispatcher
+     * ORs the masks of every registered hook and the warp fills only
+     * the union's lanes, so when every consumer samples a few fixed
+     * lanes (the profiler's ILP model reads two) the 32-lane
+     * dependence-distance fill collapses to those lanes. Within the
+     * union, active lanes carry the producer distance and inactive
+     * lanes read kNoDep; lanes outside the union hold unspecified
+     * stale values. The default claims every lane, which is always
+     * correct; hooks that never read depDist should return 0 and
+     * hooks sampling fixed lanes their exact mask.
+     */
+    virtual LaneMask depDistLanes() const { return kFullMask; }
+
+    /// @name Batched event dispatch
+    ///
+    /// HookList accumulates events into per-kind buffers and flushes
+    /// them in large batches (see HookList::setBatchCapacity), paying
+    /// the virtual fan-out once per batch instead of once per event.
+    /// A hook opts in by returning true from batchCapable(); it then
+    /// receives the *Batch callbacks below at every flush. Guarantees
+    /// at a flush: events of one kind arrive in exact emission order;
+    /// batches never span a CTA or kernel boundary (the dispatcher
+    /// flushes before forwarding those callbacks); but the relative
+    /// order *across* kinds inside one flush is not preserved —
+    /// instrBatch, memBatch, branchBatch and the buffered barrier()
+    /// calls are delivered in that fixed kind order. Hooks whose state
+    /// couples different kinds (a trace writer interleaving records,
+    /// say) must keep batchCapable() false: they receive every event
+    /// through the per-event virtuals above in exact emission order,
+    /// batching or not.
+    /// @{
+
+    /** True if this hook consumes the *Batch callbacks natively. */
+    virtual bool batchCapable() const { return false; }
+
+    /** A batch of instruction events, in emission order. */
+    virtual void
+    instrBatch(std::span<const InstrEvent> evs)
+    {
+        for (const InstrEvent &ev : evs)
+            instr(ev);
+    }
+
+    /** A batch of memory events, in emission order. */
+    virtual void
+    memBatch(std::span<const MemEvent> evs)
+    {
+        for (const MemEvent &ev : evs)
+            mem(ev);
+    }
+
+    /** A batch of branch events, in emission order. */
+    virtual void
+    branchBatch(std::span<const BranchEvent> evs)
+    {
+        for (const BranchEvent &ev : evs)
+            branch(ev);
+    }
+    /// @}
 };
 
 /**
- * Fan-out dispatcher: forwards every event to all registered hooks in
+ * Fan-out dispatcher: delivers every event to all registered hooks in
  * registration order. Hooks are not owned.
+ *
+ * Events are dispatched in batches: instr/mem/branch/barrier events
+ * stage into per-kind arena buffers (plus a kind-tag order log) and
+ * flush to the hooks when the buffer reaches its capacity or a
+ * CTA/kernel boundary callback arrives. Batch-capable hooks receive
+ * per-kind spans; all other hooks receive the per-event virtuals
+ * replayed from the order log in exact emission order, so the
+ * observable event stream of a legacy hook is independent of the
+ * batch capacity. Capacity <= 1 degenerates to immediate per-event
+ * dispatch (the serial baseline the regression tests compare
+ * against).
+ *
+ * The hot-path entry points are the stage/commit pairs: Warp fills
+ * the staged slot in place, so no event is ever copied between its
+ * construction and its consumption by a batch-capable hook.
  */
 class HookList : public ProfilerHook
 {
@@ -149,10 +226,22 @@ class HookList : public ProfilerHook
     };
 
     /** Register @p hook (not owned, must outlive the engine). */
-    void add(ProfilerHook *hook) { hooks_.push_back(hook); }
+    void
+    add(ProfilerHook *hook)
+    {
+        flushEvents();
+        hooks_.push_back(hook);
+        depLanes_ |= hook->depDistLanes();
+    }
 
     /** Remove all hooks (stat bindings survive). */
-    void clear() { hooks_.clear(); }
+    void
+    clear()
+    {
+        flushEvents();
+        hooks_.clear();
+        depLanes_ = 0;
+    }
 
     /** True if no hooks are registered (events can be skipped). */
     bool empty() const { return hooks_.empty(); }
@@ -163,15 +252,155 @@ class HookList : public ProfilerHook
     /** Registered hooks, in registration order. */
     const std::vector<ProfilerHook *> &hooks() const { return hooks_; }
 
+    /** Union of the registered hooks' depDist lane claims. */
+    LaneMask depDistLanes() const override { return depLanes_; }
+
     /** Bind (or unbind, with default-constructed) event counters. */
     void bindStats(const EventStats &stats) { stats_ = stats; }
 
     /** Currently bound event counters. */
     const EventStats &boundStats() const { return stats_; }
 
+    /**
+     * Events staged per flush. 1 (or 0) dispatches every event
+     * immediately, exactly reproducing unbatched fan-out; larger
+     * capacities amortize the virtual dispatch over the batch. The
+     * observable event stream of every hook is identical for any
+     * capacity (see the class comment), so this is purely a
+     * throughput knob.
+     */
+    void
+    setBatchCapacity(size_t cap)
+    {
+        flushEvents();
+        cap_ = cap == 0 ? 1 : cap;
+        if (cap_ > 1) {
+            instrBuf_.reserve(cap_);
+            memBuf_.reserve(cap_);
+            branchBuf_.reserve(cap_);
+            order_.reserve(cap_);
+        }
+    }
+
+    /** Current batch capacity in events. */
+    size_t batchCapacity() const { return cap_; }
+
+    /// @name Hot-path staging
+    /// Warp fills the returned slot in place, then commits. Slot
+    /// references are invalidated by the commit (the buffer may
+    /// flush or grow). Counters are bumped at commit time so
+    /// telemetry totals are independent of the batch capacity.
+    /// @{
+    InstrEvent &
+    stageInstr()
+    {
+        instrBuf_.emplace_back();
+        return instrBuf_.back();
+    }
+
+    void
+    commitInstr()
+    {
+        count(stats_.instrs);
+        order_.push_back(kInstr);
+        if (order_.size() >= cap_)
+            flushEvents();
+    }
+
+    MemEvent &
+    stageMem()
+    {
+        memBuf_.emplace_back();
+        return memBuf_.back();
+    }
+
+    void
+    commitMem()
+    {
+        count(stats_.mems);
+        order_.push_back(kMem);
+        if (order_.size() >= cap_)
+            flushEvents();
+    }
+
+    BranchEvent &
+    stageBranch()
+    {
+        branchBuf_.emplace_back();
+        return branchBuf_.back();
+    }
+
+    void
+    commitBranch()
+    {
+        count(stats_.branches);
+        order_.push_back(kBranch);
+        if (order_.size() >= cap_)
+            flushEvents();
+    }
+    /// @}
+
+    /**
+     * Dispatch all staged events. Called automatically at capacity
+     * and before every CTA/kernel boundary; exposed for sinks that
+     * replay partial streams (e.g. a truncated trace).
+     */
+    void
+    flushEvents()
+    {
+        if (order_.empty())
+            return;
+        size_t legacy = 0;
+        for (ProfilerHook *h : hooks_) {
+            if (h->batchCapable()) {
+                if (!instrBuf_.empty())
+                    h->instrBatch(instrBuf_);
+                if (!memBuf_.empty())
+                    h->memBatch(memBuf_);
+                if (!branchBuf_.empty())
+                    h->branchBatch(branchBuf_);
+                for (uint32_t w : barrierBuf_)
+                    h->barrier(w);
+            } else {
+                ++legacy;
+            }
+        }
+        if (legacy != 0) {
+            // Exact-order replay for hooks that interleave kinds:
+            // event-major, so two legacy hooks still see each event
+            // back to back in registration order, exactly as the
+            // unbatched fan-out delivered it.
+            size_t ii = 0, mi = 0, bi = 0, wi = 0;
+            for (uint8_t kind : order_) {
+                for (ProfilerHook *h : hooks_) {
+                    if (h->batchCapable())
+                        continue;
+                    switch (kind) {
+                      case kInstr: h->instr(instrBuf_[ii]); break;
+                      case kMem: h->mem(memBuf_[mi]); break;
+                      case kBranch: h->branch(branchBuf_[bi]); break;
+                      default: h->barrier(barrierBuf_[wi]); break;
+                    }
+                }
+                switch (kind) {
+                  case kInstr: ++ii; break;
+                  case kMem: ++mi; break;
+                  case kBranch: ++bi; break;
+                  default: ++wi; break;
+                }
+            }
+        }
+        instrBuf_.clear();
+        memBuf_.clear();
+        branchBuf_.clear();
+        barrierBuf_.clear();
+        order_.clear();
+    }
+
     void
     kernelBegin(const KernelInfo &info) override
     {
+        flushEvents();
         count(stats_.kernels);
         for (auto *h : hooks_)
             h->kernelBegin(info);
@@ -180,7 +409,7 @@ class HookList : public ProfilerHook
     void
     kernelEnd() override
     {
-        count(nullptr);
+        flushEvents();
         for (auto *h : hooks_)
             h->kernelEnd();
     }
@@ -188,6 +417,7 @@ class HookList : public ProfilerHook
     void
     ctaBegin(uint32_t cta) override
     {
+        flushEvents();
         count(stats_.ctas);
         for (auto *h : hooks_)
             h->ctaBegin(cta);
@@ -196,7 +426,7 @@ class HookList : public ProfilerHook
     void
     ctaEnd(uint32_t cta) override
     {
-        count(nullptr);
+        flushEvents();
         for (auto *h : hooks_)
             h->ctaEnd(cta);
     }
@@ -204,47 +434,67 @@ class HookList : public ProfilerHook
     void
     instr(const InstrEvent &ev) override
     {
-        count(stats_.instrs);
-        for (auto *h : hooks_)
-            h->instr(ev);
+        stageInstr() = ev;
+        commitInstr();
     }
 
     void
     mem(const MemEvent &ev) override
     {
-        count(stats_.mems);
-        for (auto *h : hooks_)
-            h->mem(ev);
+        stageMem() = ev;
+        commitMem();
     }
 
     void
     branch(const BranchEvent &ev) override
     {
-        count(stats_.branches);
-        for (auto *h : hooks_)
-            h->branch(ev);
+        stageBranch() = ev;
+        commitBranch();
     }
 
     void
     barrier(uint32_t warpId) override
     {
         count(stats_.barriers);
-        for (auto *h : hooks_)
-            h->barrier(warpId);
+        barrierBuf_.push_back(warpId);
+        order_.push_back(kBarrier);
+        if (order_.size() >= cap_)
+            flushEvents();
     }
 
   private:
+    // Kind tags of the order log.
+    static constexpr uint8_t kInstr = 0;
+    static constexpr uint8_t kMem = 1;
+    static constexpr uint8_t kBranch = 2;
+    static constexpr uint8_t kBarrier = 3;
+
     void
     count(telemetry::Counter *c)
     {
-        if (c)
+        if (c) {
             ++*c;
-        if (stats_.fanout)
-            *stats_.fanout += hooks_.size();
+            // fanout = counted events x registered hooks. The paired
+            // end callbacks (kernelEnd/ctaEnd) have no kind counter
+            // and contribute no fan-out, keeping the identity exact.
+            if (stats_.fanout)
+                *stats_.fanout += hooks_.size();
+        }
     }
 
     std::vector<ProfilerHook *> hooks_;
     EventStats stats_;
+    LaneMask depLanes_ = 0;
+    size_t cap_ = kDefaultBatch;
+    std::vector<InstrEvent> instrBuf_;
+    std::vector<MemEvent> memBuf_;
+    std::vector<BranchEvent> branchBuf_;
+    std::vector<uint32_t> barrierBuf_;
+    std::vector<uint8_t> order_;
+
+  public:
+    /** Default batch capacity (events staged per flush). */
+    static constexpr size_t kDefaultBatch = 512;
 };
 
 } // namespace gwc::simt

@@ -70,6 +70,30 @@ class GlobalMemory
         std::memcpy(data_.data() + (addr - kBase), &v, sizeof(T));
     }
 
+    /**
+     * Load @p n consecutive Ts starting at @p addr into @p dst: one
+     * bounds check and one copy, for callers that detected a
+     * contiguous access (a coalesced warp load).
+     */
+    template <typename T>
+    void
+    readSpan(uint64_t addr, T *dst, uint32_t n) const
+    {
+        checkRange(addr, uint64_t(n) * sizeof(T));
+        std::memcpy(dst, data_.data() + (addr - kBase),
+                    size_t(n) * sizeof(T));
+    }
+
+    /** Contiguous-store counterpart of readSpan. */
+    template <typename T>
+    void
+    writeSpan(uint64_t addr, const T *src, uint32_t n)
+    {
+        checkRange(addr, uint64_t(n) * sizeof(T));
+        std::memcpy(data_.data() + (addr - kBase), src,
+                    size_t(n) * sizeof(T));
+    }
+
     /** Zero-fill [addr, addr+bytes). */
     void
     zero(uint64_t addr, uint64_t bytes)

@@ -70,8 +70,26 @@ Warp::tidX()
 {
     Reg<uint32_t> r;
     r.w = this;
-    for (uint32_t l = 0; l < kWarpSize; ++l)
-        r.v[l] = (warpInCta_ * kWarpSize + l) % info_.cta.x;
+    // Lane-linear thread ids wrap modulo the CTA width, so one
+    // division seeds the remainder — instead of 32 hardware divides
+    // by a runtime divisor in the intrinsic every dimension-indexed
+    // kernel opens with. A warp spans at most one wrap when the CTA
+    // is at least a warp wide, making the fill branchless and
+    // vectorizable; narrower CTAs wrap incrementally.
+    uint32_t width = info_.cta.x;
+    uint32_t rem = (warpInCta_ * kWarpSize) % width;
+    if (width >= kWarpSize) {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            uint32_t v = rem + l;
+            r.v[l] = v >= width ? v - width : v;
+        }
+    } else {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            r.v[l] = rem;
+            ++rem;
+            rem = rem == width ? 0 : rem;
+        }
+    }
     r.def.fill(0);
     return r;
 }
@@ -81,8 +99,22 @@ Warp::tidY()
 {
     Reg<uint32_t> r;
     r.w = this;
-    for (uint32_t l = 0; l < kWarpSize; ++l)
-        r.v[l] = (warpInCta_ * kWarpSize + l) / info_.cta.x;
+    uint32_t width = info_.cta.x;
+    uint32_t base = warpInCta_ * kWarpSize;
+    uint32_t rem = base % width;
+    uint32_t q = base / width;
+    if (width >= kWarpSize) {
+        for (uint32_t l = 0; l < kWarpSize; ++l)
+            r.v[l] = rem + l >= width ? q + 1 : q;
+    } else {
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            r.v[l] = q;
+            if (++rem == width) {
+                rem = 0;
+                ++q;
+            }
+        }
+    }
     r.def.fill(0);
     return r;
 }
@@ -123,22 +155,52 @@ Warp::recordInstr(OpClass cls, uint32_t idx,
     curPc_ = hasPcOverride_ ? pcOverride_ : idx;
     if (hooks_.empty())
         return;
-    InstrEvent ev;
+    // Stage the event in place in the dispatcher's batch buffer; the
+    // slot may hold stale lanes from an earlier event, so every lane
+    // the registered hooks claim (HookList::depDistLanes) is
+    // (re)written. Unclaimed lanes keep their stale values — no hook
+    // reads them, per the ProfilerHook::depDistLanes contract.
+    InstrEvent &ev = hooks_.stageInstr();
     ev.cls = cls;
     ev.active = active_;
     ev.warpId = warpId_;
     ev.ctaLinear = ctaLinear_;
     ev.pc = curPc_;
-    for (uint32_t l = 0; l < kWarpSize; ++l) {
-        if ((active_ & (1u << l)) && depSeq[l] != 0) {
-            uint32_t d = idx - depSeq[l];
-            ev.depDist[l] =
-                d > 0xFFFF ? uint16_t(0xFFFF) : uint16_t(d);
-        } else {
-            ev.depDist[l] = kNoDep;
+    LaneMask want = hooks_.depDistLanes();
+    if ((active_ & want) == kFullMask) {
+        // Full warp, every lane claimed (the dominant shape when a
+        // full-fidelity consumer is attached): a fixed-count
+        // branchless loop the compiler vectorizes. A bitmask walk
+        // here would serialize on the mask-clear dependency chain.
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            uint32_t dep = depSeq[l];
+            uint32_t d = idx - dep;
+            d = d > 0xFFFF ? 0xFFFFu : d;
+            ev.depDist[l] = dep != 0 ? uint16_t(d) : kNoDep;
+        }
+    } else if (want == kFullMask) {
+        ev.depDist.fill(kNoDep);
+        for (LaneMask m = active_; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            if (depSeq[l] != 0) {
+                uint32_t d = idx - depSeq[l];
+                ev.depDist[l] =
+                    d > 0xFFFF ? uint16_t(0xFFFF) : uint16_t(d);
+            }
+        }
+    } else {
+        // Sampling consumers only (e.g. the profiler's two ILP
+        // lanes): fill exactly the claimed lanes.
+        for (LaneMask m = want; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            uint32_t dep = depSeq[l];
+            uint32_t d = idx - dep;
+            d = d > 0xFFFF ? 0xFFFFu : d;
+            bool live = ((active_ >> l) & 1u) != 0 && dep != 0;
+            ev.depDist[l] = live ? uint16_t(d) : kNoDep;
         }
     }
-    hooks_.instr(ev);
+    hooks_.commitInstr();
 }
 
 void
@@ -147,7 +209,7 @@ Warp::recordMem(MemSpace space, bool store, bool atomic,
 {
     if (hooks_.empty())
         return;
-    MemEvent ev;
+    MemEvent &ev = hooks_.stageMem();
     ev.space = space;
     ev.store = store;
     ev.atomic = atomic;
@@ -157,7 +219,7 @@ Warp::recordMem(MemSpace space, bool store, bool atomic,
     ev.ctaLinear = ctaLinear_;
     ev.pc = curPc_;
     ev.addr = addr;
-    hooks_.mem(ev);
+    hooks_.commitMem();
 }
 
 void
@@ -183,64 +245,12 @@ Warp::recordBranch(LaneMask active, LaneMask taken,
     active_ = saved;
     if (hooks_.empty())
         return;
-    BranchEvent ev;
+    BranchEvent &ev = hooks_.stageBranch();
     ev.active = active;
     ev.taken = taken;
     ev.warpId = warpId_;
     ev.pc = curPc_;
-    hooks_.branch(ev);
-}
-
-void
-Warp::If(const Pred &p, const std::function<void()> &then)
-{
-    LaneMask outer = active_;
-    LaneMask taken = p.mask & outer;
-    recordBranch(outer, taken, p.def);
-    if (taken) {
-        active_ = taken;
-        then();
-    }
-    active_ = outer;
-}
-
-void
-Warp::IfElse(const Pred &p, const std::function<void()> &then,
-             const std::function<void()> &els)
-{
-    LaneMask outer = active_;
-    LaneMask taken = p.mask & outer;
-    LaneMask fall = outer & ~taken;
-    recordBranch(outer, taken, p.def);
-    if (taken) {
-        active_ = taken;
-        then();
-    }
-    if (fall) {
-        active_ = fall;
-        els();
-    }
-    active_ = outer;
-}
-
-void
-Warp::While(const std::function<Pred()> &cond,
-            const std::function<void()> &body)
-{
-    LaneMask outer = active_;
-    LaneMask live = outer;
-    while (true) {
-        active_ = live;
-        Pred p = cond();
-        LaneMask taken = p.mask & live;
-        recordBranch(live, taken, p.def);
-        if (taken == 0)
-            break;
-        live = taken;
-        active_ = live;
-        body();
-    }
-    active_ = outer;
+    hooks_.commitBranch();
 }
 
 bool

@@ -144,11 +144,21 @@ class Warp
         Reg<R> r;
         r.w = this;
         uint32_t idx = nextIndex();
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            if (!(active_ & (1u << l)))
-                continue;
-            r.v[l] = fn(a.v[l]);
-            r.def[l] = idx;
+        if (active_ == kFullMask) {
+            // Full warp (the dominant case): a branchless fixed-count
+            // loop the compiler vectorizes — the per-lane mask test
+            // below defeats that.
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                r.v[l] = fn(a.v[l]);
+                r.def[l] = idx;
+            }
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                if (!(active_ & (1u << l)))
+                    continue;
+                r.v[l] = fn(a.v[l]);
+                r.def[l] = idx;
+            }
         }
         recordInstr(cls, idx, a.def);
         return r;
@@ -162,12 +172,20 @@ class Warp
         r.w = this;
         uint32_t idx = nextIndex();
         Lanes<uint32_t> dep;
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            dep[l] = std::max(a.def[l], b.def[l]);
-            if (!(active_ & (1u << l)))
-                continue;
-            r.v[l] = fn(a.v[l], b.v[l]);
-            r.def[l] = idx;
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max(a.def[l], b.def[l]);
+                r.v[l] = fn(a.v[l], b.v[l]);
+                r.def[l] = idx;
+            }
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max(a.def[l], b.def[l]);
+                if (!(active_ & (1u << l)))
+                    continue;
+                r.v[l] = fn(a.v[l], b.v[l]);
+                r.def[l] = idx;
+            }
         }
         recordInstr(cls, idx, dep);
         return r;
@@ -182,12 +200,20 @@ class Warp
         r.w = this;
         uint32_t idx = nextIndex();
         Lanes<uint32_t> dep;
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
-            if (!(active_ & (1u << l)))
-                continue;
-            r.v[l] = fn(a.v[l], b.v[l], c.v[l]);
-            r.def[l] = idx;
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
+                r.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+                r.def[l] = idx;
+            }
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
+                if (!(active_ & (1u << l)))
+                    continue;
+                r.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+                r.def[l] = idx;
+            }
         }
         recordInstr(cls, idx, dep);
         return r;
@@ -310,12 +336,20 @@ class Warp
         r.w = this;
         uint32_t idx = nextIndex();
         Lanes<uint32_t> dep;
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            dep[l] = std::max({p.def[l], a.def[l], b.def[l]});
-            if (!(active_ & (1u << l)))
-                continue;
-            r.v[l] = (p.mask & (1u << l)) ? a.v[l] : b.v[l];
-            r.def[l] = idx;
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max({p.def[l], a.def[l], b.def[l]});
+                r.v[l] = (p.mask & (1u << l)) ? a.v[l] : b.v[l];
+                r.def[l] = idx;
+            }
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max({p.def[l], a.def[l], b.def[l]});
+                if (!(active_ & (1u << l)))
+                    continue;
+                r.v[l] = (p.mask & (1u << l)) ? a.v[l] : b.v[l];
+                r.def[l] = idx;
+            }
         }
         recordInstr(OpClass::IntAlu, idx, dep);
         return r;
@@ -381,11 +415,28 @@ class Warp
         Reg<T> r;
         r.w = this;
         uint32_t idx = nextIndex();
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            if (!(active_ & (1u << l)))
-                continue;
-            r.v[l] = gmem_.read<T>(addr.v[l]);
-            r.def[l] = idx;
+        if (active_ == kFullMask) {
+            // Unit-stride detection is a branchless reduction; a
+            // coalesced warp load (the dominant case) then costs one
+            // bounds check and one copy instead of 32 checked
+            // gathers.
+            uint64_t base = addr.v[0];
+            uint64_t contig = 1;
+            for (uint32_t l = 1; l < kWarpSize; ++l)
+                contig &= addr.v[l] == base + l * sizeof(T);
+            if (contig)
+                gmem_.readSpan<T>(base, r.v.data(), kWarpSize);
+            else
+                for (uint32_t l = 0; l < kWarpSize; ++l)
+                    r.v[l] = gmem_.read<T>(addr.v[l]);
+            r.def.fill(idx);
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                if (!(active_ & (1u << l)))
+                    continue;
+                r.v[l] = gmem_.read<T>(addr.v[l]);
+                r.def[l] = idx;
+            }
         }
         recordInstr(OpClass::MemGlobal, idx, addr.def);
         recordMem(MemSpace::Global, false, false, sizeof(T), addr.v);
@@ -399,11 +450,25 @@ class Warp
     {
         uint32_t idx = nextIndex();
         Lanes<uint32_t> dep;
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            dep[l] = std::max(addr.def[l], val.def[l]);
-            if (!(active_ & (1u << l)))
-                continue;
-            gmem_.write<T>(addr.v[l], val.v[l]);
+        if (active_ == kFullMask) {
+            uint64_t base = addr.v[0];
+            uint64_t contig = 1;
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max(addr.def[l], val.def[l]);
+                contig &= addr.v[l] == base + l * sizeof(T);
+            }
+            if (contig)
+                gmem_.writeSpan<T>(base, val.v.data(), kWarpSize);
+            else
+                for (uint32_t l = 0; l < kWarpSize; ++l)
+                    gmem_.write<T>(addr.v[l], val.v[l]);
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max(addr.def[l], val.def[l]);
+                if (!(active_ & (1u << l)))
+                    continue;
+                gmem_.write<T>(addr.v[l], val.v[l]);
+            }
         }
         recordInstr(OpClass::MemGlobal, idx, dep);
         recordMem(MemSpace::Global, true, false, sizeof(T), addr.v);
@@ -520,21 +585,70 @@ class Warp
     /// @}
 
     /// @name Control flow
+    /// The combinators take their bodies as templated callables, not
+    /// std::function: a lambda with captures is invoked directly, so
+    /// a divergent branch costs no type-erasure heap allocation on
+    /// the execution hot path.
     /// @{
     /** Execute @p then for the lanes where @p p holds. */
-    void If(const Pred &p, const std::function<void()> &then);
+    template <typename ThenFn>
+    void
+    If(const Pred &p, ThenFn &&then)
+    {
+        LaneMask outer = active_;
+        LaneMask taken = p.mask & outer;
+        recordBranch(outer, taken, p.def);
+        if (taken) {
+            active_ = taken;
+            then();
+        }
+        active_ = outer;
+    }
 
     /** Two-sided divergent branch. */
-    void IfElse(const Pred &p, const std::function<void()> &then,
-                const std::function<void()> &els);
+    template <typename ThenFn, typename ElseFn>
+    void
+    IfElse(const Pred &p, ThenFn &&then, ElseFn &&els)
+    {
+        LaneMask outer = active_;
+        LaneMask taken = p.mask & outer;
+        LaneMask fall = outer & ~taken;
+        recordBranch(outer, taken, p.def);
+        if (taken) {
+            active_ = taken;
+            then();
+        }
+        if (fall) {
+            active_ = fall;
+            els();
+        }
+        active_ = outer;
+    }
 
     /**
      * Divergent loop: re-evaluates @p cond over the still-live lanes
      * and runs @p body until no lane remains. Lanes leave the loop
      * individually, modeling SIMT loop divergence.
      */
-    void While(const std::function<Pred()> &cond,
-               const std::function<void()> &body);
+    template <typename CondFn, typename BodyFn>
+    void
+    While(CondFn &&cond, BodyFn &&body)
+    {
+        LaneMask outer = active_;
+        LaneMask live = outer;
+        while (true) {
+            active_ = live;
+            Pred p = cond();
+            LaneMask taken = p.mask & live;
+            recordBranch(live, taken, p.def);
+            if (taken == 0)
+                break;
+            live = taken;
+            active_ = live;
+            body();
+        }
+        active_ = outer;
+    }
 
     /**
      * Tick a warp-uniform branch (e.g. a scalar loop condition) and

@@ -119,6 +119,12 @@ class TraceWriter : public simt::ProfilerHook
     void branch(const simt::BranchEvent &ev) override;
     void barrier(uint32_t warpId) override;
 
+    /**
+     * The trace format stores no dependence distances (the reader
+     * refills kNoDep on replay), so the writer claims no lanes.
+     */
+    simt::LaneMask depDistLanes() const override { return 0; }
+
   private:
     void put(std::vector<uint8_t> &&rec);
     void flush();

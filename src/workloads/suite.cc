@@ -68,6 +68,7 @@ runOne(const std::string &name, const SuiteOptions &opts,
 
     simt::Engine engine;
     engine.setJobs(opts.jobs);
+    engine.setEventBatch(opts.eventBatch);
     metrics::Profiler::Config pcfg;
     pcfg.ctaSampleStride = opts.ctaSampleStride;
     metrics::Profiler profiler(pcfg);

@@ -51,6 +51,12 @@ struct SuiteOptions
      * concurrent engines).
      */
     uint32_t jobs = 1;
+    /**
+     * Event-batch capacity of each engine's instrumentation bus
+     * (Engine::setEventBatch). 1 dispatches per event; any value
+     * yields byte-identical profiles, hotspots and stats.
+     */
+    size_t eventBatch = simt::HookList::kDefaultBatch;
     /** Optional stats registry; engine/profiler/suite groups. */
     telemetry::Registry *stats = nullptr;
     /** Optional extra engine hook (e.g. a telemetry::TraceWriter). */

@@ -355,6 +355,30 @@ TEST(Profiler, ConflictFreeSharedAccess)
     EXPECT_NEAR(prof.metrics[kBankConflictDeg], 1.0, 1e-9);
 }
 
+TEST(SmemConflictDegree, EmptyActiveMaskIsZero)
+{
+    // A fully predicated-off shared access serializes into zero
+    // passes; degree 1 would wrongly claim a conflict-free pass
+    // happened and skew the per-access average.
+    simt::MemEvent ev{};
+    ev.space = simt::MemSpace::Shared;
+    ev.accessSize = 4;
+    ev.active = 0;
+    EXPECT_EQ(smemConflictDegree(ev), 0u);
+}
+
+TEST(SmemConflictDegree, SingleLaneIsOnePass)
+{
+    simt::MemEvent ev{};
+    ev.space = simt::MemSpace::Shared;
+    ev.accessSize = 4;
+    for (uint32_t l = 0; l < simt::kWarpSize; ++l) {
+        ev.active = 1u << l;
+        ev.addr[l] = 128; // all lanes hitting one word: still 1 pass
+        EXPECT_EQ(smemConflictDegree(ev), 1u);
+    }
+}
+
 WarpTask
 sharedReadersKernel(Warp &w)
 {

@@ -466,14 +466,53 @@ TEST(EngineStats, CountsLaunchWork)
     EXPECT_EQ(reg.counterTotal("engine", "ev_instr"), 0u);
     EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"), 0u);
 
-    // With one hook, fanout equals dispatched events x 1.
+    // With one hook, fanout equals dispatched events x 1 — exactly
+    // the sum of the per-kind event counters. kernelEnd/ctaEnd have
+    // no kind counter and must not leak into fanout.
     EventLog log;
     e.addHook(&log);
     e.launch("tiny", tinyKernel, simt::Dim3(2), simt::Dim3(32), 0, p);
     EXPECT_EQ(reg.counterTotal("engine", "launches"), 2u);
     EXPECT_GT(reg.counterTotal("engine", "ev_instr"), 0u);
-    EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"),
-              uint64_t(log.lines.size()));
+    uint64_t counted = reg.counterTotal("engine", "ev_kernel") +
+                       reg.counterTotal("engine", "ev_cta") +
+                       reg.counterTotal("engine", "ev_instr") +
+                       reg.counterTotal("engine", "ev_mem") +
+                       reg.counterTotal("engine", "ev_branch") +
+                       reg.counterTotal("engine", "ev_barrier");
+    EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"), counted);
+    // Cross-check against the hook's own line log: every line except
+    // the uncounted kernelEnd ('k') and ctaEnd ('c') boundaries is
+    // one delivered event.
+    uint64_t delivered = 0;
+    for (const auto &l : log.lines)
+        if (l[0] != 'k' && l[0] != 'c')
+            ++delivered;
+    EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"), delivered);
+}
+
+TEST(EngineStats, FanoutScalesWithHookCount)
+{
+    // Two registered hooks: every counted event is delivered twice,
+    // so fanout is exactly 2x the per-kind counter sum.
+    Registry reg;
+    simt::Engine e;
+    e.attachStats(reg);
+    auto buf = e.alloc<uint32_t>(64);
+    simt::KernelParams p;
+    p.push(buf.addr());
+    EventLog a, b;
+    e.addHook(&a);
+    e.addHook(&b);
+    e.launch("tiny", tinyKernel, simt::Dim3(2), simt::Dim3(32), 0, p);
+    uint64_t counted = reg.counterTotal("engine", "ev_kernel") +
+                       reg.counterTotal("engine", "ev_cta") +
+                       reg.counterTotal("engine", "ev_instr") +
+                       reg.counterTotal("engine", "ev_mem") +
+                       reg.counterTotal("engine", "ev_branch") +
+                       reg.counterTotal("engine", "ev_barrier");
+    EXPECT_EQ(reg.counterTotal("engine", "ev_fanout"), 2 * counted);
+    EXPECT_EQ(a.lines, b.lines);
 }
 
 } // anonymous namespace

@@ -49,6 +49,8 @@ usage()
            "                    blocks run concurrently; profiles are\n"
            "                    bit-identical to --jobs 1 (default:\n"
            "                    hardware threads, or $GWC_JOBS)\n"
+           "  --batch N         event-dispatch batch capacity; output\n"
+           "                    is identical for any N (default 512)\n"
            "  --stats-out FILE  write run report + stats registry JSON\n"
            "  --trace-out FILE  record the event stream to a trace\n"
            "  --trace-stride N  trace every Nth CTA only (default 1)\n"
@@ -105,6 +107,11 @@ main(int argc, char **argv)
             if (jobs < 1)
                 fatal("--jobs must be >= 1");
             opts.jobs = uint32_t(jobs);
+        } else if (arg == "--batch" && i + 1 < argc) {
+            int batch = std::atoi(argv[++i]);
+            if (batch < 1)
+                fatal("--batch must be >= 1");
+            opts.eventBatch = size_t(batch);
         } else if (arg == "--stats-out" && i + 1 < argc) {
             statsPath = argv[++i];
         } else if (arg == "--trace-out" && i + 1 < argc) {
