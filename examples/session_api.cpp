@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Session API: run part of the suite through gwc::runtime::Session —
+ * the same facade the CLI tools use — with fault isolation on.
+ *
+ * One object wires the registry, profiler, hooks and run report; a
+ * failed workload (here: an injected verify mismatch in MUM) is
+ * recorded and skipped instead of killing the run, and finish()
+ * returns the suite exit code (0 clean, 2 partial).
+ *
+ *   $ ./examples/session_api
+ */
+
+#include <iostream>
+
+#include "runtime/session.hh"
+
+int
+main()
+{
+    using namespace gwc;
+    runtime::SessionOptions opts;
+    opts.tool = "session_api";
+    opts.injectSpecs = "verify-mismatch@MUM";
+
+    runtime::Session session(std::move(opts));
+    session.runSuite({"BLS", "MUM", "RD"});
+
+    for (const auto &run : session.runs())
+        std::cout << run.desc.abbrev << ": " << run.status.toString()
+                  << " (" << run.profiles.size() << " profiles)\n";
+    for (const auto &f : session.failures())
+        std::cout << f.workload << " failed in " << f.phase
+                  << " phase: " << f.status.message() << "\n";
+    return session.finish(); // 2: partial results
+}

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Shared CLI parser implementation.
+ */
+
+#include "common/cli.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gwc::cli
+{
+
+namespace
+{
+
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return char(std::tolower(c)); });
+    return out;
+}
+
+uint64_t
+parseUint(const std::string &optName, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || text[0] == '-')
+        raise(ErrorCode::InvalidArgument,
+              "option %s expects an unsigned integer, got '%s'",
+              optName.c_str(), text.c_str());
+    return v;
+}
+
+double
+parseReal(const std::string &optName, const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || *end != '\0')
+        raise(ErrorCode::InvalidArgument,
+              "option %s expects a number, got '%s'", optName.c_str(),
+              text.c_str());
+    return v;
+}
+
+} // anonymous namespace
+
+const char *
+versionString()
+{
+    return "0.5.0";
+}
+
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+std::vector<std::string>
+suggestClosest(const std::string &needle,
+               const std::vector<std::string> &candidates,
+               size_t maxSuggestions)
+{
+    std::string want = lower(needle);
+    // Rank: case-insensitive exact (0) < substring either way (1)
+    // < edit distance 1 (2) < edit distance 2 (3).
+    std::vector<std::pair<int, std::string>> ranked;
+    for (const auto &name : candidates) {
+        std::string cand = lower(name);
+        int rank;
+        if (cand == want) {
+            rank = 0;
+        } else if (!want.empty() &&
+                   (cand.find(want) != std::string::npos ||
+                    want.find(cand) != std::string::npos)) {
+            rank = 1;
+        } else {
+            size_t d = editDistance(cand, want);
+            if (d > 2)
+                continue;
+            rank = 1 + int(d);
+        }
+        ranked.emplace_back(rank, name);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[rank, name] : ranked) {
+        (void)rank;
+        out.push_back(name);
+        if (out.size() == maxSuggestions)
+            break;
+    }
+    return out;
+}
+
+Parser::Parser(std::string tool, std::string usageLine)
+    : tool_(std::move(tool)), usageLine_(std::move(usageLine))
+{
+}
+
+void
+Parser::add(Opt opt)
+{
+    opts_.push_back(std::move(opt));
+}
+
+void
+Parser::flag(const std::string &name, const std::string &alias,
+             const std::string &help, bool *out, bool value)
+{
+    add({name, alias, "", help,
+         [out, value](const std::string &) { *out = value; }, false});
+}
+
+void
+Parser::uintOpt(const std::string &name, const std::string &alias,
+                const std::string &argName, const std::string &help,
+                uint32_t *out, uint32_t min)
+{
+    add({name, alias, argName, help,
+         [name, out, min](const std::string &v) {
+             uint64_t n = parseUint(name, v);
+             if (n < min)
+                 raise(ErrorCode::InvalidArgument, "%s must be >= %u",
+                       name.c_str(), min);
+             *out = uint32_t(n);
+         },
+         true});
+}
+
+void
+Parser::sizeOpt(const std::string &name, const std::string &alias,
+                const std::string &argName, const std::string &help,
+                size_t *out, size_t min)
+{
+    add({name, alias, argName, help,
+         [name, out, min](const std::string &v) {
+             uint64_t n = parseUint(name, v);
+             if (n < min)
+                 raise(ErrorCode::InvalidArgument, "%s must be >= %zu",
+                       name.c_str(), min);
+             *out = size_t(n);
+         },
+         true});
+}
+
+void
+Parser::mibOpt(const std::string &name, const std::string &alias,
+               const std::string &argName, const std::string &help,
+               uint64_t *bytesOut, uint64_t minMib)
+{
+    add({name, alias, argName, help,
+         [name, bytesOut, minMib](const std::string &v) {
+             uint64_t mib = parseUint(name, v);
+             if (mib < minMib)
+                 raise(ErrorCode::InvalidArgument,
+                       "%s must be >= %llu", name.c_str(),
+                       static_cast<unsigned long long>(minMib));
+             *bytesOut = mib << 20;
+         },
+         true});
+}
+
+void
+Parser::realOpt(const std::string &name, const std::string &alias,
+                const std::string &argName, const std::string &help,
+                double *out, double min)
+{
+    add({name, alias, argName, help,
+         [name, out, min](const std::string &v) {
+             double d = parseReal(name, v);
+             if (d < min)
+                 raise(ErrorCode::InvalidArgument, "%s must be >= %g",
+                       name.c_str(), min);
+             *out = d;
+         },
+         true});
+}
+
+void
+Parser::strOpt(const std::string &name, const std::string &alias,
+               const std::string &argName, const std::string &help,
+               std::string *out)
+{
+    add({name, alias, argName, help,
+         [out](const std::string &v) { *out = v; }, true});
+}
+
+void
+Parser::appendOpt(const std::string &name, const std::string &alias,
+                  const std::string &argName, const std::string &help,
+                  std::string *out)
+{
+    add({name, alias, argName, help,
+         [out](const std::string &v) {
+             if (!out->empty())
+                 *out += ',';
+             *out += v;
+         },
+         true});
+}
+
+const Parser::Opt *
+Parser::find(const std::string &arg) const
+{
+    for (const auto &o : opts_)
+        if (arg == o.name || (!o.alias.empty() && arg == o.alias))
+            return &o;
+    return nullptr;
+}
+
+void
+Parser::unknownOption(const std::string &arg) const
+{
+    std::vector<std::string> known;
+    for (const auto &o : opts_) {
+        known.push_back(o.name);
+        if (!o.alias.empty())
+            known.push_back(o.alias);
+    }
+    known.push_back("--help");
+    known.push_back("--version");
+    auto sug = suggestClosest(arg, known);
+    std::string hint;
+    for (const auto &s : sug)
+        hint += (hint.empty() ? " (did you mean " : ", ") + s;
+    if (!hint.empty())
+        hint += "?)";
+    raise(ErrorCode::InvalidArgument,
+          "unknown option '%s'%s; try --help", arg.c_str(),
+          hint.c_str());
+}
+
+std::vector<std::string>
+Parser::parse(int argc, char **argv)
+{
+    std::vector<std::string> positionals;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            helpRequested_ = true;
+            continue;
+        }
+        if (arg == "--version") {
+            versionRequested_ = true;
+            continue;
+        }
+        const Opt *o = find(arg);
+        if (o) {
+            if (o->takesValue) {
+                if (i + 1 >= argc)
+                    raise(ErrorCode::InvalidArgument,
+                          "option %s requires a value %s",
+                          o->name.c_str(), o->argName.c_str());
+                o->set(argv[++i]);
+            } else {
+                o->set("");
+            }
+            continue;
+        }
+        if (arg.size() > 1 && arg[0] == '-')
+            unknownOption(arg);
+        positionals.push_back(arg);
+    }
+    return positionals;
+}
+
+std::string
+Parser::helpText() const
+{
+    auto label = [](const Opt &o) {
+        std::string s = o.name;
+        if (!o.argName.empty())
+            s += " " + o.argName;
+        if (!o.alias.empty()) {
+            s += ", " + o.alias;
+            if (!o.argName.empty())
+                s += " " + o.argName;
+        }
+        return s;
+    };
+
+    const std::string helpLabel = "-h, --help";
+    const std::string versionLabel = "--version";
+    size_t width = helpLabel.size();
+    for (const auto &o : opts_)
+        width = std::max(width, label(o).size());
+
+    std::string out = "usage: " + tool_ + " " + usageLine_ + "\n";
+    auto emit = [&](const std::string &lbl, const std::string &help) {
+        out += "  " + lbl + std::string(width - lbl.size() + 2, ' ');
+        size_t pos = 0;
+        bool firstLine = true;
+        while (pos <= help.size()) {
+            size_t nl = help.find('\n', pos);
+            if (nl == std::string::npos)
+                nl = help.size();
+            if (!firstLine)
+                out += std::string(width + 4, ' ');
+            out += help.substr(pos, nl - pos) + "\n";
+            firstLine = false;
+            pos = nl + 1;
+        }
+    };
+    for (const auto &o : opts_)
+        emit(label(o), o.help);
+    emit(helpLabel, "show this help and exit");
+    emit(versionLabel, "print the version and exit");
+    return out;
+}
+
+std::string
+Parser::versionText() const
+{
+    return tool_ + " (gwc) " + versionString() + "\n";
+}
+
+int
+run(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const Error &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: unhandled exception: %s\n",
+                     e.what());
+        return 1;
+    }
+}
+
+} // namespace gwc::cli

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Declarative command-line parsing shared by every gwc_* tool.
+ *
+ * One option table per tool (name, optional alias, value name, help,
+ * typed destination) replaces the hand-rolled argv loops the six
+ * binaries used to duplicate. The parser never exits: violations
+ * throw gwc::Error(InvalidArgument) — including an unknown-flag
+ * "did you mean" hint — and cli::run() turns that into the
+ * documented exit-code contract (docs/ROBUSTNESS.md):
+ *
+ *   0  clean run
+ *   2  partial run (some workloads failed but the run completed)
+ *   1  fatal (bad arguments, I/O errors, --fail-fast failures)
+ *
+ * `--help`/`-h` and `--version` are registered automatically and are
+ * reported via helpRequested()/versionRequested() after parse();
+ * helpText() is a pure function of the option table so it can be
+ * golden-tested without running a binary.
+ */
+
+#ifndef GWC_COMMON_CLI_HH
+#define GWC_COMMON_CLI_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/status.hh"
+
+namespace gwc::cli
+{
+
+/** Library version reported by --version. */
+const char *versionString();
+
+/** Levenshtein distance, for near-miss suggestions. */
+size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * Candidates closest to @p needle (case-insensitive exact, substring
+ * and edit-distance <= 2 matches), best first, at most
+ * @p maxSuggestions entries.
+ */
+std::vector<std::string>
+suggestClosest(const std::string &needle,
+               const std::vector<std::string> &candidates,
+               size_t maxSuggestions = 3);
+
+/** Declarative option table + parser of one tool. */
+class Parser
+{
+  public:
+    /**
+     * @param tool       binary name shown in help/version output
+     * @param usageLine  positional synopsis, e.g. "[options] [workload ...]"
+     */
+    Parser(std::string tool, std::string usageLine);
+
+    /**
+     * Register a flag storing @p value into @p out when present
+     * (value=false expresses negative flags like --fail-fast).
+     */
+    void flag(const std::string &name, const std::string &alias,
+              const std::string &help, bool *out, bool value = true);
+
+    /** uint32 option; values below @p min are InvalidArgument. */
+    void uintOpt(const std::string &name, const std::string &alias,
+                 const std::string &argName, const std::string &help,
+                 uint32_t *out, uint32_t min = 0);
+
+    /** size_t option. */
+    void sizeOpt(const std::string &name, const std::string &alias,
+                 const std::string &argName, const std::string &help,
+                 size_t *out, size_t min = 0);
+
+    /** size_t option read in MiB and stored in bytes. */
+    void mibOpt(const std::string &name, const std::string &alias,
+                const std::string &argName, const std::string &help,
+                uint64_t *bytesOut, uint64_t minMib = 0);
+
+    /** double option; values below @p min are InvalidArgument. */
+    void realOpt(const std::string &name, const std::string &alias,
+                 const std::string &argName, const std::string &help,
+                 double *out, double min);
+
+    /** string option (last occurrence wins). */
+    void strOpt(const std::string &name, const std::string &alias,
+                const std::string &argName, const std::string &help,
+                std::string *out);
+
+    /** string option; repeated occurrences append, comma-separated. */
+    void appendOpt(const std::string &name, const std::string &alias,
+                   const std::string &argName, const std::string &help,
+                   std::string *out);
+
+    /**
+     * Parse argv and return the positional arguments. Throws
+     * gwc::Error(InvalidArgument) on unknown options (with a did-you-
+     * mean hint), missing values, malformed numbers and range
+     * violations. "-" alone is a positional.
+     */
+    std::vector<std::string> parse(int argc, char **argv);
+
+    bool helpRequested() const { return helpRequested_; }
+    bool versionRequested() const { return versionRequested_; }
+
+    /** Full help text (usage line + aligned option table). */
+    std::string helpText() const;
+
+    /** "<tool> (gwc) <version>\n". */
+    std::string versionText() const;
+
+    const std::string &tool() const { return tool_; }
+
+  private:
+    struct Opt
+    {
+        std::string name;
+        std::string alias;
+        std::string argName;  ///< empty for flags
+        std::string help;
+        std::function<void(const std::string &)> set;
+        bool takesValue = false;
+    };
+
+    void add(Opt opt);
+    const Opt *find(const std::string &arg) const;
+    [[noreturn]] void unknownOption(const std::string &arg) const;
+
+    std::string tool_;
+    std::string usageLine_;
+    std::vector<Opt> opts_;
+    bool helpRequested_ = false;
+    bool versionRequested_ = false;
+};
+
+/**
+ * Run a tool body under the exit-code contract: gwc::Error becomes
+ * "fatal: <message>" on stderr and exit 1; any other exception is
+ * reported as an internal error (also exit 1).
+ */
+int run(const std::function<int()> &body);
+
+} // namespace gwc::cli
+
+#endif // GWC_COMMON_CLI_HH

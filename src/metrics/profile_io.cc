@@ -5,10 +5,10 @@
 
 #include "metrics/profile_io.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <sstream>
-
-#include "common/logging.hh"
 
 namespace gwc::metrics
 {
@@ -19,6 +19,9 @@ namespace
 const char *kFixedColumns =
     "workload,kernel,grid_x,grid_y,grid_z,cta_x,cta_y,launches,"
     "warp_instrs";
+
+/** Leading marker of versioned (v2+) profile CSVs. */
+const char *kVersionPrefix = "# gwc-profile v";
 
 std::vector<std::string>
 splitCsv(const std::string &line)
@@ -43,6 +46,7 @@ void
 writeProfilesCsv(std::ostream &os,
                  const std::vector<KernelProfile> &profiles)
 {
+    os << kVersionPrefix << kProfileFormatVersion << '\n';
     os << kFixedColumns;
     for (uint32_t c = 0; c < kNumCharacteristics; ++c)
         os << ',' << characteristicName(c);
@@ -65,24 +69,51 @@ readProfilesCsv(std::istream &is)
 {
     std::string line;
     if (!std::getline(is, line))
-        fatal("profile CSV is empty");
+        raise(ErrorCode::DataLoss, "profile CSV is empty");
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+
+    // v2+ files lead with "# gwc-profile vN"; v1 files start directly
+    // with the column header.
+    size_t lineNo = 1;
+    if (line.rfind(kVersionPrefix, 0) == 0) {
+        char *end = nullptr;
+        long v = std::strtol(line.c_str() + std::strlen(kVersionPrefix),
+                             &end, 10);
+        if (end == line.c_str() + std::strlen(kVersionPrefix))
+            raise(ErrorCode::DataLoss,
+                  "malformed profile CSV version line '%s'",
+                  line.c_str());
+        if (v > kProfileFormatVersion)
+            raise(ErrorCode::InvalidArgument,
+                  "profile CSV declares format v%ld, newer than this "
+                  "build understands (v%d); regenerate the profiles "
+                  "or upgrade the tools",
+                  v, kProfileFormatVersion);
+        if (!std::getline(is, line))
+            raise(ErrorCode::DataLoss,
+                  "profile CSV ends after the version line");
+        ++lineNo;
+    }
+
     auto header = splitCsv(line);
     auto expected = splitCsv(kFixedColumns);
     for (uint32_t c = 0; c < kNumCharacteristics; ++c)
         expected.push_back(characteristicName(c));
     if (header != expected)
-        fatal("profile CSV header does not match this build's "
+        raise(ErrorCode::InvalidArgument,
+              "profile CSV header does not match this build's "
               "characteristic set");
 
     std::vector<KernelProfile> out;
-    size_t lineNo = 1;
     while (std::getline(is, line)) {
         ++lineNo;
         if (line.empty())
             continue;
         auto cells = splitCsv(line);
         if (cells.size() != expected.size())
-            fatal("profile CSV line %zu has %zu cells, expected %zu",
+            raise(ErrorCode::DataLoss,
+                  "profile CSV line %zu has %zu cells, expected %zu",
                   lineNo, cells.size(), expected.size());
         KernelProfile p;
         try {
@@ -97,8 +128,11 @@ readProfilesCsv(std::istream &is)
             p.warpInstrs = std::stoull(cells[8]);
             for (uint32_t c = 0; c < kNumCharacteristics; ++c)
                 p.metrics[c] = std::stod(cells[9 + c]);
+        } catch (const Error &) {
+            throw;
         } catch (const std::exception &e) {
-            fatal("profile CSV line %zu: %s", lineNo, e.what());
+            raise(ErrorCode::DataLoss, "profile CSV line %zu: %s",
+                  lineNo, e.what());
         }
         out.push_back(std::move(p));
     }
@@ -111,10 +145,11 @@ saveProfiles(const std::string &path,
 {
     std::ofstream os(path);
     if (!os)
-        fatal("cannot open '%s' for writing", path.c_str());
+        raise(ErrorCode::IoError, "cannot open '%s' for writing",
+              path.c_str());
     writeProfilesCsv(os, profiles);
     if (!os)
-        fatal("write to '%s' failed", path.c_str());
+        raise(ErrorCode::IoError, "write to '%s' failed", path.c_str());
 }
 
 std::vector<KernelProfile>
@@ -122,8 +157,18 @@ loadProfiles(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        fatal("cannot open '%s'", path.c_str());
+        raise(ErrorCode::IoError, "cannot open '%s'", path.c_str());
     return readProfilesCsv(is);
+}
+
+Result<std::vector<KernelProfile>>
+tryLoadProfiles(const std::string &path)
+{
+    try {
+        return loadProfiles(path);
+    } catch (const Error &e) {
+        return e.status();
+    }
 }
 
 } // namespace gwc::metrics

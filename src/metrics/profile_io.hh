@@ -17,26 +17,44 @@
 #include <vector>
 
 #include "metrics/profiler.hh"
+#include "runtime/status.hh"
 
 namespace gwc::metrics
 {
 
-/** Serialize profiles as CSV (header + one row per kernel). */
+/**
+ * On-disk format version written by writeProfilesCsv. v2 adds the
+ * leading "# gwc-profile v2" marker line; v1 files start directly
+ * with the column header and are still read. Files declaring a newer
+ * version are rejected with a clear error instead of misparsing.
+ */
+constexpr int kProfileFormatVersion = 2;
+
+/**
+ * Serialize profiles as CSV: a "# gwc-profile v2" marker line, the
+ * column header, then one row per kernel.
+ */
 void writeProfilesCsv(std::ostream &os,
                       const std::vector<KernelProfile> &profiles);
 
 /**
- * Parse profiles written by writeProfilesCsv.
+ * Parse profiles written by writeProfilesCsv — v2 (marker line) or
+ * v1 (headerless legacy).
  *
- * Fatal on malformed input or on a header whose characteristic set
+ * Throws gwc::Error on malformed input, on a version newer than
+ * kProfileFormatVersion, and on a header whose characteristic set
  * does not match this build (the set is versioned by its names).
  */
 std::vector<KernelProfile> readProfilesCsv(std::istream &is);
 
-/** Convenience file wrappers (fatal on I/O errors). */
+/** Convenience file wrappers (throw gwc::Error on I/O errors). */
 void saveProfiles(const std::string &path,
                   const std::vector<KernelProfile> &profiles);
 std::vector<KernelProfile> loadProfiles(const std::string &path);
+
+/** loadProfiles as a Result instead of an exception. */
+Result<std::vector<KernelProfile>>
+tryLoadProfiles(const std::string &path);
 
 } // namespace gwc::metrics
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cooperative cancellation for workload execution.
+ *
+ * True preemption is impossible without killing threads, so the guard
+ * hands each attempt a CancelToken and the engine polls it once per
+ * CTA (plus the suite at phase boundaries). A kernel that hangs
+ * inside a single CTA is therefore not interruptible — the check
+ * granularity is the CTA, which for every registered workload is
+ * milliseconds of work (see docs/ROBUSTNESS.md for this limitation).
+ *
+ * Thread-safety: configure (setDeadlineAfter / expireNow / cancel)
+ * before or during the run from any thread; stopRequested() is safe
+ * to call concurrently from every CTA worker.
+ */
+
+#ifndef GWC_RUNTIME_CANCEL_HH
+#define GWC_RUNTIME_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+
+#include "runtime/status.hh"
+
+namespace gwc::runtime
+{
+
+/** Deadline + cancellation flag polled by cooperative check points. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** Arm a wall-clock deadline @p sec seconds from now. */
+    void
+    setDeadlineAfter(double sec)
+    {
+        limitSec_ = sec;
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(sec));
+        armed_.store(true, std::memory_order_release);
+    }
+
+    /**
+     * Force the deadline into the past (deterministic timeout
+     * injection: every later check fails regardless of elapsed time).
+     */
+    void
+    expireNow()
+    {
+        expired_.store(true, std::memory_order_release);
+    }
+
+    /** Request external cancellation. */
+    void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+    /** True once cancelled or past the deadline. */
+    bool
+    stopRequested() const
+    {
+        if (cancelled_.load(std::memory_order_acquire) ||
+            expired_.load(std::memory_order_acquire))
+            return true;
+        return armed_.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+    /** The Status a stopped run should fail with. */
+    Status
+    stopStatus() const
+    {
+        if (cancelled_.load(std::memory_order_acquire))
+            return makeStatus(ErrorCode::Cancelled,
+                              "workload cancelled");
+        if (expired_.load(std::memory_order_acquire))
+            return makeStatus(ErrorCode::Timeout,
+                              "workload wall-clock limit exceeded "
+                              "(injected timeout)");
+        return makeStatus(ErrorCode::Timeout,
+                          "workload wall-clock limit %.3gs exceeded",
+                          limitSec_);
+    }
+
+    /** Throw Error(stopStatus()) when stopRequested(). */
+    void
+    throwIfStopped() const
+    {
+        if (stopRequested())
+            throw Error(stopStatus());
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<bool> expired_{false};
+    std::atomic<bool> armed_{false};
+    std::chrono::steady_clock::time_point deadline_{};
+    double limitSec_ = 0;
+};
+
+} // namespace gwc::runtime
+
+#endif // GWC_RUNTIME_CANCEL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Guarded execution: exception capture + bounded retry.
+ */
+
+#include "runtime/guard.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace gwc::runtime
+{
+
+GuardOutcome
+runGuarded(const GuardLimits &limits, const RetryPolicy &retry,
+           const std::function<void(CancelToken &)> &attempt)
+{
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+
+    GuardOutcome out;
+    for (uint32_t a = 0;; ++a) {
+        out.attempts = a + 1;
+        CancelToken token;
+        if (limits.timeoutSec > 0)
+            token.setDeadlineAfter(limits.timeoutSec);
+
+        Status st;
+        try {
+            attempt(token);
+        } catch (const Error &e) {
+            st = e.status();
+        } catch (const std::exception &e) {
+            st = makeStatus(ErrorCode::Internal,
+                            "uncaught exception: %s", e.what());
+        } catch (...) {
+            st = makeStatus(ErrorCode::Internal,
+                            "uncaught non-standard exception");
+        }
+        out.status = st;
+        if (st.ok())
+            break;
+        out.attemptErrors.push_back(st);
+        if (!isTransient(st.code()) || a >= retry.maxRetries)
+            break;
+        // Exponential backoff: backoffSec, 2*backoffSec, 4*...
+        double backoff = retry.backoffSec * double(uint64_t(1) << a);
+        if (backoff > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+    }
+    out.elapsedSec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return out;
+}
+
+} // namespace gwc::runtime

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-workload execution guard: limits, retry policy and the
+ * exception boundary that turns a failing attempt into a Status
+ * instead of a dead process.
+ *
+ * runGuarded() is the single isolation primitive shared by the suite
+ * driver (workloads/suite.cc) and the Session facade
+ * (runtime/session.cc): every workload attempt runs inside it, under
+ * a fresh CancelToken, with transient failures retried under
+ * exponential backoff.
+ */
+
+#ifndef GWC_RUNTIME_GUARD_HH
+#define GWC_RUNTIME_GUARD_HH
+
+#include <functional>
+#include <vector>
+
+#include "runtime/cancel.hh"
+#include "runtime/status.hh"
+
+namespace gwc::runtime
+{
+
+/** Resource limits of one workload attempt. */
+struct GuardLimits
+{
+    /**
+     * Wall-clock budget in seconds (0 = unlimited). Enforced
+     * cooperatively: the engine checks the attempt's CancelToken per
+     * CTA, the suite at phase boundaries.
+     */
+    double timeoutSec = 0;
+
+    /** Device-memory budget in bytes (0 = unlimited). */
+    uint64_t memBudgetBytes = 0;
+};
+
+/** Bounded retry of transient failures (see isTransient()). */
+struct RetryPolicy
+{
+    uint32_t maxRetries = 0;   ///< extra attempts after the first
+    double backoffSec = 0.05;  ///< first backoff, doubled per retry
+};
+
+/** What happened across all attempts of one guarded execution. */
+struct GuardOutcome
+{
+    Status status;               ///< final status (ok on success)
+    uint32_t attempts = 1;       ///< attempts made (1 = no retry)
+    /** Status of every failed attempt, in attempt order. */
+    std::vector<Status> attemptErrors;
+    double elapsedSec = 0;       ///< wall-clock across all attempts
+
+    bool ok() const { return status.ok(); }
+    /** True when a retry turned a transient failure into a success. */
+    bool recovered() const { return status.ok() && attempts > 1; }
+};
+
+/**
+ * Run @p attempt under @p limits, catching Error and any other
+ * std::exception at the boundary. Transient failures are retried up
+ * to @p retry.maxRetries times with exponential backoff; each attempt
+ * gets a fresh CancelToken armed with the wall-clock limit. Never
+ * throws: every outcome is a GuardOutcome.
+ */
+GuardOutcome runGuarded(const GuardLimits &limits,
+                        const RetryPolicy &retry,
+                        const std::function<void(CancelToken &)> &attempt);
+
+} // namespace gwc::runtime
+
+#endif // GWC_RUNTIME_GUARD_HH

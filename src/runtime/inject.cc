@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fault-injection spec parsing and arming.
+ */
+
+#include "runtime/inject.hh"
+
+#include <cstdlib>
+
+namespace gwc::runtime
+{
+
+namespace
+{
+
+const std::pair<const char *, InjectKind> kKinds[] = {
+    {"alloc-fail", InjectKind::AllocFail},
+    {"verify-mismatch", InjectKind::VerifyMismatch},
+    {"hook-throw", InjectKind::HookThrow},
+    {"timeout", InjectKind::Timeout},
+    {"oom", InjectKind::Oom},
+};
+
+} // anonymous namespace
+
+const char *
+injectKindName(InjectKind kind)
+{
+    for (const auto &[name, k] : kKinds)
+        if (k == kind)
+            return name;
+    return "unknown";
+}
+
+Status
+InjectionPlan::addSpec(const std::string &spec)
+{
+    size_t at = spec.find('@');
+    if (at == std::string::npos || at == 0)
+        return makeStatus(ErrorCode::InvalidArgument,
+                          "bad inject spec '%s': expected "
+                          "kind@workload[:count]",
+                          spec.c_str());
+
+    std::string kindName = spec.substr(0, at);
+    bool known = false;
+    InjectKind kind = InjectKind::AllocFail;
+    for (const auto &[name, k] : kKinds) {
+        if (kindName == name) {
+            kind = k;
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        return makeStatus(ErrorCode::InvalidArgument,
+                          "unknown inject kind '%s' (kinds: alloc-fail,"
+                          " verify-mismatch, hook-throw, timeout, oom)",
+                          kindName.c_str());
+
+    std::string rest = spec.substr(at + 1);
+    uint32_t count = 1;
+    size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+        std::string countStr = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+        char *end = nullptr;
+        unsigned long v = std::strtoul(countStr.c_str(), &end, 10);
+        if (countStr.empty() || *end != '\0' || v == 0)
+            return makeStatus(ErrorCode::InvalidArgument,
+                              "bad inject count '%s' in '%s' "
+                              "(expected an integer >= 1)",
+                              countStr.c_str(), spec.c_str());
+        count = uint32_t(v);
+    }
+    if (rest.empty())
+        return makeStatus(ErrorCode::InvalidArgument,
+                          "bad inject spec '%s': missing workload name",
+                          spec.c_str());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    specs_.push_back({kind, rest, count});
+    return Status();
+}
+
+Status
+InjectionPlan::addSpecs(const std::string &list)
+{
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string one = list.substr(pos, comma - pos);
+        if (!one.empty()) {
+            Status st = addSpec(one);
+            if (!st.ok())
+                return st;
+        }
+        pos = comma + 1;
+    }
+    return Status();
+}
+
+bool
+InjectionPlan::arm(InjectKind kind, const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &s : specs_) {
+        if (s.kind == kind && s.workload == workload && s.count > 0) {
+            --s.count;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+InjectionPlan::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return specs_.empty();
+}
+
+std::vector<InjectSpec>
+InjectionPlan::remaining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<InjectSpec> out;
+    for (const auto &s : specs_)
+        if (s.count > 0)
+            out.push_back(s);
+    return out;
+}
+
+} // namespace gwc::runtime

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * The isolation paths of the suite runtime (guard, keep-going merge,
+ * retry) are only trustworthy if they are testable on demand, so the
+ * tools accept `--inject kind@workload[:count]` and the suite arms
+ * the named fault at the start of each matching workload attempt.
+ * Every fault is deterministic: the same spec produces the same
+ * failure in the same phase on every run, at any --jobs.
+ *
+ * Kinds (see docs/ROBUSTNESS.md for the full matrix):
+ *   alloc-fail       next device allocation throws ResourceExhausted
+ *                    (transient — recovered by --retries >= 1)
+ *   verify-mismatch  host-reference verification reports a mismatch
+ *   hook-throw       an instrumentation hook throws at kernelBegin
+ *   timeout          the attempt's cancel token starts expired
+ *   oom              the device memory budget is shrunk below any
+ *                    workload's working set
+ *
+ * `count` (default 1) is the number of attempts the fault arms for:
+ * `alloc-fail@BLS:2` fails the first attempt and its first retry.
+ */
+
+#ifndef GWC_RUNTIME_INJECT_HH
+#define GWC_RUNTIME_INJECT_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/status.hh"
+
+namespace gwc::runtime
+{
+
+/** The injectable fault kinds. */
+enum class InjectKind : uint8_t
+{
+    AllocFail,
+    VerifyMismatch,
+    HookThrow,
+    Timeout,
+    Oom,
+};
+
+/** CLI spelling of @p kind ("alloc-fail", ...). */
+const char *injectKindName(InjectKind kind);
+
+/** One parsed `kind@workload[:count]` spec. */
+struct InjectSpec
+{
+    InjectKind kind = InjectKind::AllocFail;
+    std::string workload;   ///< abbreviation the fault targets
+    uint32_t count = 1;     ///< attempts left to arm
+};
+
+/**
+ * The set of faults a run injects. Thread-safe: concurrent workload
+ * attempts may arm faults at any interleaving; the outcome is
+ * deterministic because specs are keyed by workload name.
+ */
+class InjectionPlan
+{
+  public:
+    /** Parse and add one `kind@workload[:count]` spec. */
+    Status addSpec(const std::string &spec);
+
+    /** Parse a comma-separated spec list (empty string is a no-op). */
+    Status addSpecs(const std::string &list);
+
+    /**
+     * Consume one arming of (@p kind, @p workload). Returns true while
+     * a matching spec has count left; the caller then plants the
+     * fault for the current attempt.
+     */
+    bool arm(InjectKind kind, const std::string &workload);
+
+    bool empty() const;
+
+    /** Specs with count still unconsumed (diagnostics). */
+    std::vector<InjectSpec> remaining() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<InjectSpec> specs_;
+};
+
+} // namespace gwc::runtime
+
+#endif // GWC_RUNTIME_INJECT_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Session facade implementation and the shared CLI flag bindings.
+ */
+
+#include "runtime/session.hh"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+#include "metrics/profile_io.hh"
+#include "telemetry/poolstats.hh"
+
+namespace gwc::runtime
+{
+
+Session::Session(SessionOptions opts)
+    : opts_(std::move(opts)),
+      wallStart_(std::chrono::steady_clock::now())
+{
+    if (!opts_.injectSpecs.empty()) {
+        Status st = plan_.addSpecs(opts_.injectSpecs);
+        if (!st.ok())
+            throw Error(st);
+        opts_.suite.inject = &plan_;
+    }
+    report_.tool = opts_.tool;
+    wantStats_ = !opts_.statsOut.empty();
+    if (wantStats_ || !opts_.traceOut.empty())
+        opts_.suite.stats = &stats_;
+    if (!opts_.traceOut.empty()) {
+        tracer_ = std::make_unique<telemetry::TraceWriter>(
+            opts_.traceOut, opts_.traceConfig);
+        tracer_->attachStats(stats_);
+        opts_.suite.extraHook = tracer_.get();
+    }
+    if (!opts_.timelineOut.empty())
+        timeline_.activate();
+}
+
+Session::~Session()
+{
+    if (!finished_ && !opts_.timelineOut.empty())
+        timeline_.deactivate();
+}
+
+const std::vector<workloads::WorkloadRun> &
+Session::runSuite(const std::vector<std::string> &names)
+{
+    runs_ = workloads::runSuite(names, opts_.suite);
+    report_.workloads.clear();
+    for (const auto &run : runs_) {
+        telemetry::WorkloadReport wr;
+        wr.name = run.desc.abbrev;
+        wr.verified = run.verified;
+        wr.attempts = run.attempts;
+        if (run.failed()) {
+            wr.status = "failed";
+            wr.errorCode = errorCodeName(run.status.code());
+            wr.errorMessage = run.status.message();
+            wr.failedPhase = run.failedPhase;
+        }
+        wr.setupSec = run.setupSec;
+        wr.simulateSec = run.simulateSec;
+        wr.profileSec = run.profileSec;
+        wr.verifySec = run.verifySec;
+        wr.warpInstrs = run.totals.warpInstrs;
+        for (const auto &p : run.profiles) {
+            telemetry::KernelReportRow row;
+            row.name = p.kernel;
+            row.launches = p.launches;
+            row.warpInstrs = p.warpInstrs;
+            row.geometry = geometryString(p.grid, p.cta);
+            wr.kernels.push_back(std::move(row));
+        }
+        report_.workloads.push_back(std::move(wr));
+    }
+    return runs_;
+}
+
+void
+Session::writeProfiles(const std::string &path) const
+{
+    auto profiles = workloads::allProfiles(runs_);
+    metrics::saveProfiles(path, profiles);
+    inform("wrote %zu kernel profiles to %s", profiles.size(),
+           path.c_str());
+}
+
+int
+Session::finish()
+{
+    int ec = exitCode();
+    if (finished_)
+        return ec;
+    finished_ = true;
+
+    if (!opts_.timelineOut.empty()) {
+        // All pool work has joined by now, so the timeline is
+        // quiescent and safe to export.
+        timeline_.deactivate();
+        std::ofstream os(opts_.timelineOut, std::ios::binary);
+        if (!os)
+            raise(ErrorCode::IoError, "cannot open %s",
+                  opts_.timelineOut.c_str());
+        timeline_.writeChromeTrace(os);
+        if (!os)
+            raise(ErrorCode::IoError, "error writing %s",
+                  opts_.timelineOut.c_str());
+        inform("wrote execution timeline to %s",
+               opts_.timelineOut.c_str());
+    }
+
+    if (tracer_) {
+        tracer_->close();
+        inform("wrote %llu trace records to %s",
+               (unsigned long long)tracer_->recorded().total(),
+               opts_.traceOut.c_str());
+    }
+
+    report_.exitCode = ec;
+    if (wantStats_) {
+        telemetry::recordThreadPoolStats(
+            stats_, ThreadPool::global().statsSnapshot());
+        report_.wallSec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wallStart_)
+                              .count();
+        report_.hookEvents = stats_.counterTotal("engine", "ev_fanout");
+        telemetry::writeRunReportFile(opts_.statsOut, report_,
+                                      &stats_);
+        inform("wrote run report to %s", opts_.statsOut.c_str());
+    }
+    return ec;
+}
+
+std::string
+geometryString(const simt::Dim3 &grid, const simt::Dim3 &cta)
+{
+    std::ostringstream os;
+    os << grid.x << '.' << grid.y << '.' << grid.z << '/' << cta.x
+       << '.' << cta.y << '.' << cta.z;
+    return os.str();
+}
+
+void
+addSuiteFlags(cli::Parser &p, SessionOptions &o)
+{
+    p.uintOpt("--scale", "-s", "N", "input-size scale (default 1)",
+              &o.suite.scale, 1);
+    p.uintOpt("--cta-stride", "-S", "N",
+              "profile every Nth CTA only (default 1)",
+              &o.suite.ctaSampleStride, 1);
+    p.uintOpt("--jobs", "-j", "N",
+              "worker threads: workloads and CTA blocks run\n"
+              "concurrently; output is identical to --jobs 1\n"
+              "(default: hardware threads, or $GWC_JOBS)",
+              &o.suite.jobs, 1);
+    p.sizeOpt("--batch", "", "N",
+              "event-dispatch batch capacity; output is\n"
+              "identical for any N (default 512)",
+              &o.suite.eventBatch, 1);
+    p.flag("--no-verify", "", "skip host-reference verification",
+           &o.suite.verify, false);
+    p.flag("--fail-fast", "",
+           "abort on the first workload failure instead\n"
+           "of recording it and continuing (exit 1, not 2)",
+           &o.suite.keepGoing, false);
+    p.uintOpt("--retries", "", "N",
+              "retry a workload up to N times after a\n"
+              "transient failure (default 0)",
+              &o.suite.retry.maxRetries, 0);
+    p.realOpt("--retry-backoff", "", "SEC",
+              "base delay between retries, doubled per\n"
+              "attempt (default 0.05)",
+              &o.suite.retry.backoffSec, 0);
+    p.realOpt("--timeout", "", "SEC",
+              "per-workload wall-clock limit, 0 = off\n"
+              "(default 0; checked at CTA granularity)",
+              &o.suite.limits.timeoutSec, 0);
+    p.mibOpt("--mem-budget", "", "MIB",
+             "per-workload device-memory budget in MiB,\n"
+             "0 = off (default 0)",
+             &o.suite.limits.memBudgetBytes, 0);
+    p.appendOpt("--inject", "", "SPEC",
+                "inject a deterministic fault,\n"
+                "kind@workload[:count]; kinds: alloc-fail,\n"
+                "verify-mismatch, hook-throw, timeout, oom",
+                &o.injectSpecs);
+}
+
+void
+addObservabilityFlags(cli::Parser &p, SessionOptions &o)
+{
+    p.strOpt("--stats-out", "", "FILE",
+             "write run report + stats registry JSON", &o.statsOut);
+    p.strOpt("--trace-out", "", "FILE",
+             "record the event stream to a trace", &o.traceOut);
+    p.uintOpt("--trace-stride", "", "N",
+              "trace every Nth CTA only (default 1)",
+              &o.traceConfig.ctaSampleStride, 1);
+    p.mibOpt("--trace-buffer", "", "N",
+             "trace staging buffer, MiB (default 4)",
+             &o.traceConfig.bufferBytes, 1);
+    p.flag("--trace-flight", "",
+           "keep newest window instead of flushing",
+           &o.traceConfig.flightRecorder);
+    p.strOpt("--timeline-out", "", "FILE",
+             "write the execution timeline as Chrome\n"
+             "trace-event JSON", &o.timelineOut);
+}
+
+} // namespace gwc::runtime

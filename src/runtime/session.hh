@@ -1,0 +1,165 @@
+/**
+ * @file
+ * gwc::runtime::Session — the one-stop embedding API of the suite.
+ *
+ * A Session owns the wiring every tool used to duplicate: the stats
+ * registry, the optional event-trace recorder, the optional execution
+ * timeline, the fault-injection plan and the run-report assembly.
+ * Tools (and library users — see examples/session_api.cpp) configure
+ * a SessionOptions, call runSuite(), write their outputs and let
+ * finish() flush the observability artefacts and compute the exit
+ * code under the documented contract (docs/ROBUSTNESS.md):
+ *
+ *   0  every workload completed
+ *   2  partial: some workloads failed but the run kept going
+ *   1  fatal (thrown gwc::Error; see cli::run)
+ */
+
+#ifndef GWC_RUNTIME_SESSION_HH
+#define GWC_RUNTIME_SESSION_HH
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "runtime/inject.hh"
+#include "telemetry/report.hh"
+#include "telemetry/stats.hh"
+#include "telemetry/timeline.hh"
+#include "telemetry/trace.hh"
+#include "workloads/suite.hh"
+
+namespace gwc::runtime
+{
+
+/** Everything a Session needs, fillable from CLI flags or by hand. */
+struct SessionOptions
+{
+    std::string tool = "gwc";      ///< report "tool" field
+    workloads::SuiteOptions suite; ///< scale/jobs/guard/verify knobs
+    /**
+     * Comma-separated fault injections, "kind@workload[:count]"
+     * (runtime::InjectionPlan::addSpecs). Parsed by the Session
+     * constructor; malformed specs throw gwc::Error(InvalidArgument).
+     */
+    std::string injectSpecs;
+    std::string statsOut;          ///< run report JSON path ("" = off)
+    std::string traceOut;          ///< event trace path ("" = off)
+    telemetry::TraceWriter::Config traceConfig;
+    std::string timelineOut;       ///< Chrome trace JSON path ("" = off)
+};
+
+/**
+ * One characterization/simulation run: registry + tracer + timeline +
+ * injection plan + report, wired together once.
+ *
+ * Lifecycle: construct, runSuite() (or drive engines by hand and fill
+ * report().workloads), write outputs, finish(). finish() returns the
+ * process exit code; main() should return it.
+ */
+class Session
+{
+  public:
+    /**
+     * Wires the session: parses injectSpecs, activates the timeline,
+     * opens the trace recorder and attaches the stats registry to the
+     * suite options as requested. Throws gwc::Error on malformed
+     * injection specs or an unopenable trace path.
+     */
+    explicit Session(SessionOptions opts);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** The session's stats registry (always present; only written to
+     * disk when statsOut is set). */
+    telemetry::Registry &stats() { return stats_; }
+
+    /** The event-trace recorder, or null without traceOut. */
+    telemetry::TraceWriter *tracer() { return tracer_.get(); }
+
+    /** The run report finish() will write; tools that bypass
+     * runSuite() fill workloads themselves. */
+    telemetry::RunReport &report() { return report_; }
+
+    /** Suite options as wired (stats/extraHook/inject attached). */
+    const workloads::SuiteOptions &suiteOptions() const
+    {
+        return opts_.suite;
+    }
+
+    /**
+     * Run @p names (empty = all registered workloads) under the
+     * guarded suite driver and assemble the per-workload report rows,
+     * failures included. Throws gwc::Error on unknown names and, with
+     * fail-fast, on the first failure.
+     */
+    const std::vector<workloads::WorkloadRun> &
+    runSuite(const std::vector<std::string> &names);
+
+    /** Runs of the last runSuite() call. */
+    const std::vector<workloads::WorkloadRun> &runs() const
+    {
+        return runs_;
+    }
+
+    /** Failed workloads of the last runSuite() call, in order. */
+    std::vector<workloads::WorkloadFailure> failures() const
+    {
+        return workloads::suiteFailures(runs_);
+    }
+
+    /** Exit code of the run so far: 0 clean, 2 partial. */
+    int exitCode() const { return workloads::suiteExitCode(runs_); }
+
+    /**
+     * Save the kernel profiles of the surviving workloads as CSV
+     * (metrics::saveProfiles) and log the row count.
+     */
+    void writeProfiles(const std::string &path) const;
+
+    /**
+     * Flush the observability artefacts — timeline, trace, run report
+     * (with pool stats and wall-clock) — and return the exit code.
+     * Idempotent; later calls only return the code.
+     */
+    int finish();
+
+  private:
+    SessionOptions opts_;
+    InjectionPlan plan_;
+    telemetry::Registry stats_;
+    bool wantStats_ = false;
+    std::unique_ptr<telemetry::TraceWriter> tracer_;
+    telemetry::Timeline timeline_;
+    std::vector<workloads::WorkloadRun> runs_;
+    telemetry::RunReport report_;
+    std::chrono::steady_clock::time_point wallStart_;
+    bool finished_ = false;
+};
+
+/** "gx.gy.gz/cx.cy.cz" of a launch geometry (report rows). */
+std::string geometryString(const simt::Dim3 &grid,
+                           const simt::Dim3 &cta);
+
+/**
+ * Register the suite-execution flags shared by the workload-running
+ * tools on @p p, bound into @p o: -s/--scale, -S/--cta-stride,
+ * -j/--jobs, --batch, --no-verify, --fail-fast, --retries,
+ * --retry-backoff, --timeout, --mem-budget, --inject.
+ */
+void addSuiteFlags(cli::Parser &p, SessionOptions &o);
+
+/**
+ * Register the observability flags shared by the workload-running
+ * tools: --stats-out, --trace-out, --trace-stride, --trace-buffer,
+ * --trace-flight, --timeline-out.
+ */
+void addObservabilityFlags(cli::Parser &p, SessionOptions &o);
+
+} // namespace gwc::runtime
+
+#endif // GWC_RUNTIME_SESSION_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status/Error implementation. Self-contained (vsnprintf only) so the
+ * runtime core stays at the bottom of the link graph.
+ */
+
+#include "runtime/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gwc
+{
+
+namespace
+{
+
+std::string
+vstrfmt(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (len < 0)
+        return fmt;
+    std::string out(size_t(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+} // anonymous namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::InvalidArgument: return "invalid_argument";
+    case ErrorCode::NotFound: return "not_found";
+    case ErrorCode::IoError: return "io_error";
+    case ErrorCode::DataLoss: return "data_loss";
+    case ErrorCode::VerifyMismatch: return "verify_mismatch";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::OutOfMemory: return "out_of_memory";
+    case ErrorCode::ResourceExhausted: return "resource_exhausted";
+    case ErrorCode::Unavailable: return "unavailable";
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+isTransient(ErrorCode code)
+{
+    return code == ErrorCode::ResourceExhausted ||
+           code == ErrorCode::Unavailable;
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+Status
+makeStatus(ErrorCode code, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    return Status(code, std::move(msg));
+}
+
+void
+raise(ErrorCode code, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    throw Error(Status(code, std::move(msg)));
+}
+
+} // namespace gwc

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Typed error model of the gwc runtime.
+ *
+ * Status carries an ErrorCode plus a human-readable message; Result<T>
+ * is the value-or-Status pair for fallible producers; Error is the
+ * exception that transports a Status across stack frames that cannot
+ * return one (kernel coroutines, hook callbacks, pool tasks).
+ *
+ * This replaces the exit()-style fatal() paths on the recoverable
+ * routes (engine launch validation, profile I/O, suite execution) so
+ * a driver can isolate one failing workload instead of losing the
+ * whole campaign. panic() remains the right tool for internal
+ * invariant violations — those are library bugs, not runtime faults.
+ *
+ * The file sits at the very bottom of the dependency graph (pure
+ * standard library) so every layer, including common/cli, can use it.
+ */
+
+#ifndef GWC_RUNTIME_STATUS_HH
+#define GWC_RUNTIME_STATUS_HH
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace gwc
+{
+
+/** Failure categories; Ok is the absence of failure. */
+enum class ErrorCode : uint8_t
+{
+    Ok = 0,
+    InvalidArgument,    ///< bad flag, spec or API parameter
+    NotFound,           ///< unknown workload / missing entity
+    IoError,            ///< open/read/write failure
+    DataLoss,           ///< file exists but its content is corrupt
+    VerifyMismatch,     ///< device result disagrees with host reference
+    Timeout,            ///< workload wall-clock limit exceeded
+    OutOfMemory,        ///< device memory budget exceeded
+    ResourceExhausted,  ///< transient allocation / capacity failure
+    Unavailable,        ///< transient environmental failure
+    Internal,           ///< uncaught exception at a runtime boundary
+    Cancelled,          ///< externally cancelled
+};
+
+/** Stable lower-snake name of @p code ("verify_mismatch", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * True for failures worth retrying: the fault is environmental and a
+ * later attempt can succeed (ResourceExhausted, Unavailable). Wrong
+ * answers, bad input and deterministic faults are not transient.
+ */
+bool isTransient(ErrorCode code);
+
+/**
+ * An ErrorCode plus a message. Default-constructed Status is Ok; a
+ * non-Ok Status always carries a message.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "<code-name>: <message>", or "ok". */
+    std::string toString() const;
+
+    bool
+    operator==(const Status &o) const
+    {
+        return code_ == o.code_ && message_ == o.message_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/** printf-style Status factory. */
+Status makeStatus(ErrorCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * The exception form of a non-Ok Status: thrown where a Status cannot
+ * be returned and caught at the workload/tool boundary.
+ */
+class Error : public std::exception
+{
+  public:
+    explicit Error(Status status) : status_(std::move(status)) {}
+
+    const Status &status() const { return status_; }
+    ErrorCode code() const { return status_.code(); }
+    const char *what() const noexcept override
+    {
+        return status_.message().c_str();
+    }
+
+  private:
+    Status status_;
+};
+
+/** Throw Error(makeStatus(code, ...)). Never returns. */
+[[noreturn]] void raise(ErrorCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Value-or-Status. Holds either a T (ok()) or the Status explaining
+ * why there is none. value() on a failed Result throws Error.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status)), hasValue_(false)
+    {}
+
+    bool ok() const { return hasValue_; }
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        if (!hasValue_)
+            throw Error(status_);
+        return value_;
+    }
+
+    const T &
+    value() const
+    {
+        if (!hasValue_)
+            throw Error(status_);
+        return value_;
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return hasValue_ ? value_ : std::move(fallback);
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    T value_{};
+    Status status_;
+    bool hasValue_ = true;
+};
+
+} // namespace gwc
+
+#endif // GWC_RUNTIME_STATUS_HH

@@ -73,6 +73,12 @@ Engine::runCtaRange(const KernelInfo &info, const KernelFn &fn,
     tasks.reserve(warpsPerCta);
 
     for (uint32_t ctaLin = ctaFirst; ctaLin < ctaLast; ++ctaLin) {
+        // Cooperative cancellation: one poll per CTA keeps the check
+        // off the warp-instruction hot path while bounding overrun to
+        // a single CTA's execution time. Parallel CTA blocks each hit
+        // this; the pool rethrows the lowest-indexed block's error.
+        if (cancel_ && cancel_->stopRequested())
+            throw Error(cancel_->stopStatus());
         if (dispatch)
             hooks.ctaBegin(ctaLin);
         smem.assign(info.sharedBytes, 0);
@@ -140,13 +146,15 @@ Engine::launch(const std::string &name, const KernelFn &fn, Dim3 grid,
                const KernelParams &params, const LaunchAttrs &attrs)
 {
     if (cta.z != 1)
-        fatal("3D CTAs are not supported (cta.z = %u)", cta.z);
+        raise(ErrorCode::InvalidArgument,
+              "3D CTAs are not supported (cta.z = %u)", cta.z);
     uint64_t ctaThreads = cta.count();
     if (ctaThreads == 0 || ctaThreads > 1024)
-        fatal("CTA size %llu out of range [1, 1024]",
+        raise(ErrorCode::InvalidArgument,
+              "CTA size %llu out of range [1, 1024]",
               static_cast<unsigned long long>(ctaThreads));
     if (grid.count() == 0)
-        fatal("empty launch grid");
+        raise(ErrorCode::InvalidArgument, "empty launch grid");
 
     KernelInfo info{name, grid, cta, sharedBytes};
     // With no hooks registered every dispatch (and the event payload

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/cancel.hh"
 #include "simt/hooks.hh"
 #include "simt/memory.hh"
 #include "simt/task.hh"
@@ -118,7 +119,23 @@ class Engine
     size_t eventBatch() const { return hooks_.batchCapacity(); }
 
     /**
+     * Attach a cancellation token (not owned; null detaches). The
+     * engine polls it once per CTA during launches and throws
+     * gwc::Error with the token's stop status — the cooperative half
+     * of the per-workload wall-clock guard (docs/ROBUSTNESS.md).
+     * Set it before launching; the token must outlive the launches.
+     */
+    void
+    setCancelToken(const runtime::CancelToken *token)
+    {
+        cancel_ = token;
+    }
+
+    /**
      * Launch @p fn over @p grid x @p cta threads.
+     *
+     * Invalid geometry (3D CTAs, CTA size outside [1, 1024], an empty
+     * grid) throws gwc::Error(InvalidArgument).
      *
      * @param name        kernel identifier reported to the hooks
      * @param fn          kernel coroutine
@@ -150,6 +167,7 @@ class Engine
     GlobalMemory mem_;
     HookList hooks_;
     unsigned jobs_ = 1;
+    const runtime::CancelToken *cancel_ = nullptr;
 
     // Telemetry bindings (null until attachStats).
     telemetry::Counter *statLaunches_ = nullptr;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runtime/status.hh"
 
 namespace gwc::simt
 {
@@ -36,19 +37,55 @@ class GlobalMemory
 
     /**
      * Allocate @p bytes of device memory, 256-byte aligned.
+     *
+     * Throws Error(ResourceExhausted) while injected failures are
+     * armed (transient: a retry succeeds) and Error(OutOfMemory) when
+     * the allocation would exceed the configured budget.
+     *
      * @return the device base address of the allocation.
      */
     uint64_t
     allocBytes(uint64_t bytes)
     {
+        if (failAllocs_ > 0) {
+            --failAllocs_;
+            raise(ErrorCode::ResourceExhausted,
+                  "injected allocation failure (%llu bytes requested)",
+                  static_cast<unsigned long long>(bytes));
+        }
         uint64_t addr = kBase + ((data_.size() + 255) & ~uint64_t{255});
         uint64_t end = addr - kBase + bytes;
+        if (budgetBytes_ > 0 && end > budgetBytes_)
+            raise(ErrorCode::OutOfMemory,
+                  "allocation of %llu bytes exceeds the device memory "
+                  "budget (%llu of %llu bytes in use)",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(data_.size()),
+                  static_cast<unsigned long long>(budgetBytes_));
         data_.resize(end, 0);
         return addr;
     }
 
     /** Total allocated bytes. */
     uint64_t allocatedBytes() const { return data_.size(); }
+
+    /**
+     * Cap the heap at @p bytes (0 = unlimited). Allocations that
+     * would grow past the cap throw Error(OutOfMemory); existing
+     * allocations are unaffected.
+     */
+    void setBudgetBytes(uint64_t bytes) { budgetBytes_ = bytes; }
+
+    /** Current budget in bytes (0 = unlimited). */
+    uint64_t budgetBytes() const { return budgetBytes_; }
+
+    /**
+     * Make the next @p count calls to allocBytes throw
+     * Error(ResourceExhausted) — the deterministic alloc-fail fault
+     * of the injection harness (allocations happen on the host during
+     * setup, so no synchronization is needed).
+     */
+    void injectAllocFailures(uint32_t count) { failAllocs_ = count; }
 
     /** Load a T from device address @p addr. */
     template <typename T>
@@ -133,6 +170,8 @@ class GlobalMemory
     }
 
     std::vector<uint8_t> data_;
+    uint64_t budgetBytes_ = 0;  ///< heap cap; 0 = unlimited
+    uint32_t failAllocs_ = 0;   ///< injected allocation failures left
     std::mutex atomicMu_;   ///< serializes atomicRmw across CTA workers
 };
 

@@ -9,7 +9,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "runtime/status.hh"
 
 namespace gwc::telemetry
 {
@@ -36,10 +36,12 @@ writeRunReport(std::ostream &os, const RunReport &r,
 {
     uint64_t kernels = 0;
     uint64_t warpInstrs = 0;
+    uint64_t failed = 0;
     double setup = 0, simulate = 0, profile = 0, verify = 0;
     for (const auto &w : r.workloads) {
         kernels += w.kernels.size();
         warpInstrs += w.warpInstrs;
+        failed += w.failed() ? 1 : 0;
         setup += w.setupSec;
         simulate += w.simulateSec;
         profile += w.profileSec;
@@ -49,14 +51,16 @@ writeRunReport(std::ostream &os, const RunReport &r,
         r.wallSec > 0 ? double(r.hookEvents) / r.wallSec : 0.0;
 
     os << "{\"tool\":\"" << jsonEscape(r.tool) << "\","
-       << "\"report_version\":1,"
+       << "\"schema_version\":" << kReportSchemaVersion << ","
        << "\"totals\":{"
        << "\"workloads\":" << r.workloads.size() << ","
+       << "\"failed\":" << failed << ","
        << "\"kernels\":" << kernels << ","
        << "\"warp_instrs\":" << warpInstrs << ","
        << "\"hook_events\":" << r.hookEvents << ","
        << "\"wall_sec\":" << num(r.wallSec) << ","
-       << "\"events_per_sec\":" << num(eventsPerSec) << "},"
+       << "\"events_per_sec\":" << num(eventsPerSec) << ","
+       << "\"exit_code\":" << r.exitCode << "},"
        << "\"phases\":{"
        << "\"setup_sec\":" << num(setup) << ","
        << "\"simulate_sec\":" << num(simulate) << ","
@@ -70,9 +74,18 @@ writeRunReport(std::ostream &os, const RunReport &r,
             os << ",";
         firstW = false;
         os << "{\"name\":\"" << jsonEscape(w.name) << "\","
+           << "\"status\":\"" << jsonEscape(w.status) << "\","
            << "\"verified\":" << (w.verified ? "true" : "false") << ","
-           << "\"warp_instrs\":" << w.warpInstrs << ","
-           << "\"phases\":{"
+           << "\"attempts\":" << w.attempts << ","
+           << "\"warp_instrs\":" << w.warpInstrs << ",";
+        if (w.failed()) {
+            os << "\"error\":{"
+               << "\"code\":\"" << jsonEscape(w.errorCode) << "\","
+               << "\"phase\":\"" << jsonEscape(w.failedPhase) << "\","
+               << "\"message\":\"" << jsonEscape(w.errorMessage)
+               << "\"},";
+        }
+        os << "\"phases\":{"
            << "\"setup_sec\":" << num(w.setupSec) << ","
            << "\"simulate_sec\":" << num(w.simulateSec) << ","
            << "\"profile_sec\":" << num(w.profileSec) << ","
@@ -90,6 +103,21 @@ writeRunReport(std::ostream &os, const RunReport &r,
         }
         os << "]}";
     }
+    os << "],\"failures\":[";
+
+    bool firstF = true;
+    for (const auto &w : r.workloads) {
+        if (!w.failed())
+            continue;
+        if (!firstF)
+            os << ",";
+        firstF = false;
+        os << "{\"workload\":\"" << jsonEscape(w.name) << "\","
+           << "\"code\":\"" << jsonEscape(w.errorCode) << "\","
+           << "\"phase\":\"" << jsonEscape(w.failedPhase) << "\","
+           << "\"attempts\":" << w.attempts << ","
+           << "\"message\":\"" << jsonEscape(w.errorMessage) << "\"}";
+    }
     os << "]";
 
     if (stats) {
@@ -105,12 +133,13 @@ writeRunReportFile(const std::string &path, const RunReport &r,
 {
     std::ofstream out(path, std::ios::trunc);
     if (!out)
-        fatal("cannot open stats report '%s' for writing",
-              path.c_str());
+        raise(ErrorCode::IoError,
+              "cannot open stats report '%s' for writing", path.c_str());
     writeRunReport(out, r, stats);
     out.close();
     if (!out)
-        fatal("error writing stats report '%s'", path.c_str());
+        raise(ErrorCode::IoError, "error writing stats report '%s'",
+              path.c_str());
 }
 
 } // namespace gwc::telemetry

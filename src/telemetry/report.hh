@@ -36,13 +36,20 @@ struct KernelReportRow
 struct WorkloadReport
 {
     std::string name;          ///< workload abbreviation
+    std::string status = "ok"; ///< "ok" or "failed"
     bool verified = false;     ///< host-reference check passed
+    uint32_t attempts = 1;     ///< guard attempts (retries + 1)
+    std::string errorCode;     ///< ErrorCode name when failed, else ""
+    std::string errorMessage;  ///< failure detail when failed, else ""
+    std::string failedPhase;   ///< phase that failed, else ""
     double setupSec = 0;       ///< input generation + upload
     double simulateSec = 0;    ///< kernel execution on the engine
     double profileSec = 0;     ///< profile finalization
     double verifySec = 0;      ///< host-reference verification
     uint64_t warpInstrs = 0;   ///< total dynamic warp instructions
     std::vector<KernelReportRow> kernels;
+
+    bool failed() const { return status != "ok"; }
 };
 
 /** The whole run. */
@@ -51,8 +58,16 @@ struct RunReport
     std::string tool;          ///< producing tool, e.g. "gwc_characterize"
     double wallSec = 0;        ///< end-to-end wall-clock
     uint64_t hookEvents = 0;   ///< engine events fanned out to hooks
+    int exitCode = 0;          ///< process exit code (0 clean, 2 partial)
     std::vector<WorkloadReport> workloads;
 };
+
+/**
+ * Version of the JSON layout written by writeRunReport ("schema_version"
+ * in the document). v2 adds per-workload status/attempts/error, the
+ * top-level "failures" array and totals.failed/exit_code.
+ */
+constexpr int kReportSchemaVersion = 2;
 
 /**
  * Serialize @p r as one JSON object; when @p stats is non-null its
@@ -63,7 +78,7 @@ struct RunReport
 void writeRunReport(std::ostream &os, const RunReport &r,
                     const Registry *stats);
 
-/** writeRunReport into @p path (fatal on IO error). */
+/** writeRunReport into @p path (throws gwc::Error on IO error). */
 void writeRunReportFile(const std::string &path, const RunReport &r,
                         const Registry *stats);
 

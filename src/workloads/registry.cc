@@ -9,7 +9,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/cli.hh"
+#include "runtime/status.hh"
 #include "workloads/factories.hh"
 #include "workloads/workload.hh"
 
@@ -67,26 +68,6 @@ lower(const std::string &s)
     return out;
 }
 
-/** Levenshtein distance, for near-miss suggestions. */
-size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<size_t> row(b.size() + 1);
-    for (size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (size_t i = 1; i <= a.size(); ++i) {
-        size_t diag = row[0];
-        row[0] = i;
-        for (size_t j = 1; j <= b.size(); ++j) {
-            size_t up = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diag = up;
-        }
-    }
-    return row[b.size()];
-}
-
 } // anonymous namespace
 
 std::vector<std::string>
@@ -129,7 +110,7 @@ suggestWorkloads(const std::string &abbrev)
                     needle.find(cand) != std::string::npos)) {
             rank = 1;
         } else {
-            size_t d = editDistance(cand, needle);
+            size_t d = cli::editDistance(cand, needle);
             if (d > 2)
                 continue;
             rank = 1 + int(d);
@@ -150,20 +131,33 @@ suggestWorkloads(const std::string &abbrev)
     return out;
 }
 
+Status
+checkWorkloadNames(const std::vector<std::string> &names)
+{
+    for (const auto &n : names) {
+        if (isWorkload(n))
+            continue;
+        auto sug = suggestWorkloads(n);
+        std::string hint;
+        for (const auto &s : sug)
+            hint += (hint.empty() ? " (did you mean " : ", ") + s;
+        if (!hint.empty())
+            hint += "?)";
+        return makeStatus(
+            ErrorCode::NotFound,
+            "unknown workload '%s'%s; run with --list for the registry",
+            n.c_str(), hint.c_str());
+    }
+    return Status();
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &abbrev)
 {
     for (const auto &[name, fac] : table())
         if (abbrev == name)
             return fac();
-    auto sug = suggestWorkloads(abbrev);
-    std::string hint;
-    for (const auto &s : sug)
-        hint += (hint.empty() ? " (did you mean " : ", ") + s;
-    if (!hint.empty())
-        hint += "?)";
-    fatal("unknown workload '%s'%s; run with --list for the registry",
-          abbrev.c_str(), hint.c_str());
+    throw Error(checkWorkloadNames({abbrev}));
 }
 
 } // namespace gwc::workloads

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
@@ -27,17 +28,36 @@ elapsedSec(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double>(to - from).count();
 }
 
-/**
- * Characterize one workload on a private Engine + Profiler,
- * registering stats into @p reg (possibly a per-workload registry
- * that the caller merges back later). Verification failures are
- * recorded, not fatal, so a parallel suite can report the first
- * failure in workload order.
- */
-WorkloadRun
-runOne(const std::string &name, const SuiteOptions &opts,
-       telemetry::Registry *reg, simt::ProfilerHook *extraHook)
+/** kernelBegin throws: the hook-throw injection fault. */
+class ThrowingHook : public simt::ProfilerHook
 {
+  public:
+    void
+    kernelBegin(const simt::KernelInfo &info) override
+    {
+        throw std::runtime_error(
+            "injected hook failure at kernelBegin of " + info.name);
+    }
+};
+
+/**
+ * One guard attempt: characterize @p name on a private Engine +
+ * Profiler, registering stats into @p reg (an attempt-private
+ * registry; the caller merges the successful attempt's back).
+ * @p phase tracks the lifecycle phase for failure attribution; the
+ * cancellation token is polled by the engine once per CTA and checked
+ * here at phase boundaries. Throws gwc::Error (or any workload
+ * exception) on failure — the guard captures it.
+ */
+void
+attemptOne(const std::string &name, const SuiteOptions &opts,
+           telemetry::Registry *reg, simt::ProfilerHook *extraHook,
+           runtime::CancelToken &token, std::string &phase,
+           WorkloadRun &run)
+{
+    run = WorkloadRun{};
+    phase = "setup";
+
     // Suite-level stats: per-phase wall-clock across all workloads.
     telemetry::Counter *statWorkloads = nullptr;
     telemetry::Counter *statKernels = nullptr;
@@ -58,7 +78,6 @@ runOne(const std::string &name, const SuiteOptions &opts,
     }
 
     auto wl = makeWorkload(name);
-    WorkloadRun run;
     run.desc = wl->desc();
     if (opts.verbose)
         inform("running %s (%s)", run.desc.abbrev.c_str(),
@@ -69,6 +88,9 @@ runOne(const std::string &name, const SuiteOptions &opts,
     simt::Engine engine;
     engine.setJobs(opts.jobs);
     engine.setEventBatch(opts.eventBatch);
+    engine.setCancelToken(&token);
+    if (opts.limits.memBudgetBytes > 0)
+        engine.mem().setBudgetBytes(opts.limits.memBudgetBytes);
     metrics::Profiler::Config pcfg;
     pcfg.ctaSampleStride = opts.ctaSampleStride;
     metrics::Profiler profiler(pcfg);
@@ -76,6 +98,22 @@ runOne(const std::string &name, const SuiteOptions &opts,
         engine.attachStats(*reg);
         profiler.attachStats(*reg);
     }
+
+    // Arm this attempt's injected faults. arm() consumes one count
+    // per call, so a transient fault (alloc-fail) armed once hits the
+    // first attempt only and a retry recovers.
+    runtime::InjectionPlan *plan = opts.inject;
+    std::unique_ptr<simt::ProfilerHook> throwing;
+    if (plan && plan->arm(runtime::InjectKind::AllocFail, name))
+        engine.mem().injectAllocFailures(1);
+    if (plan && plan->arm(runtime::InjectKind::Oom, name))
+        engine.mem().setBudgetBytes(1024);
+    const bool injectTimeout =
+        plan && plan->arm(runtime::InjectKind::Timeout, name);
+    const bool injectVerify =
+        plan && plan->arm(runtime::InjectKind::VerifyMismatch, name);
+    if (plan && plan->arm(runtime::InjectKind::HookThrow, name))
+        throwing = std::make_unique<ThrowingHook>();
 
     using Clock = std::chrono::steady_clock;
     auto t0 = Clock::now();
@@ -86,10 +124,18 @@ runOne(const std::string &name, const SuiteOptions &opts,
         wl->setup(engine, opts.scale);
     }
     auto t1 = Clock::now();
+    token.throwIfStopped();
 
+    phase = "simulate";
+    // The throwing hook registers first so it fails at kernelBegin,
+    // before the profiler observes the launch.
+    if (throwing)
+        engine.addHook(throwing.get());
     engine.addHook(&profiler);
     if (extraHook)
         engine.addHook(extraHook);
+    if (injectTimeout)
+        token.expireNow();
     {
         telemetry::ScopedTimer st(tSimulate);
         telemetry::TimelineScope ts("phase",
@@ -98,7 +144,9 @@ runOne(const std::string &name, const SuiteOptions &opts,
     }
     auto t2 = Clock::now();
     engine.clearHooks();
+    token.throwIfStopped();
 
+    phase = "profile";
     {
         telemetry::ScopedTimer st(tProfile);
         telemetry::TimelineScope ts("phase",
@@ -106,16 +154,24 @@ runOne(const std::string &name, const SuiteOptions &opts,
         run.profiles = profiler.finalize(run.desc.abbrev);
     }
     auto t3 = Clock::now();
+    token.throwIfStopped();
 
     for (const auto &p : run.profiles)
         run.totals.warpInstrs += p.warpInstrs;
 
     run.verified = true;
+    phase = "verify";
     if (opts.verify) {
         telemetry::ScopedTimer st(tVerify);
         telemetry::TimelineScope ts("phase",
                                     run.desc.abbrev + " verify");
         run.verified = wl->verify(engine);
+        if (injectVerify)
+            run.verified = false;
+        if (!run.verified)
+            raise(ErrorCode::VerifyMismatch,
+                  "workload %s failed verification",
+                  run.desc.abbrev.c_str());
     }
     auto t4 = Clock::now();
 
@@ -127,6 +183,41 @@ runOne(const std::string &name, const SuiteOptions &opts,
         ++*statWorkloads;
         *statKernels += run.profiles.size();
     }
+}
+
+/**
+ * Run one workload under the execution guard. Stats of each attempt
+ * go to a fresh attempt-private registry; only the successful
+ * attempt's is handed back through @p regOut, so a failed or retried
+ * attempt can never leak partial counters into the merged totals.
+ */
+WorkloadRun
+runOneGuarded(const std::string &name, const SuiteOptions &opts,
+              simt::ProfilerHook *extraHook,
+              std::unique_ptr<telemetry::Registry> &regOut)
+{
+    WorkloadRun run;
+    std::string phase = "setup";
+    std::unique_ptr<telemetry::Registry> attemptReg;
+    auto outcome = runtime::runGuarded(
+        opts.limits, opts.retry, [&](runtime::CancelToken &token) {
+            attemptReg = opts.stats
+                             ? std::make_unique<telemetry::Registry>()
+                             : nullptr;
+            attemptOne(name, opts, attemptReg.get(), extraHook, token,
+                       phase, run);
+        });
+    run.attempts = outcome.attempts;
+    if (outcome.ok()) {
+        regOut = std::move(attemptReg);
+    } else {
+        run.status = outcome.status;
+        run.failedPhase = phase;
+        run.profiles.clear();
+        run.totals = simt::LaunchStats{};
+        if (run.desc.abbrev.empty())
+            run.desc.abbrev = name;
+    }
     return run;
 }
 
@@ -137,6 +228,8 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
 {
     std::vector<std::string> list =
         names.empty() ? workloadNames() : names;
+    if (Status st = checkWorkloadNames(list); !st.ok())
+        throw Error(st);
 
     telemetry::TimelineScope suiteSpan(
         "suite", strfmt("suite (%zu workloads)", list.size()));
@@ -150,38 +243,89 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
         jobs > 1 && list.size() > 1 && opts.extraHook == nullptr;
 
     std::vector<WorkloadRun> out(list.size());
+    std::vector<std::unique_ptr<telemetry::Registry>> regs(list.size());
     if (wlParallel) {
-        // Independent state per workload; private registries merge
-        // back in workload order so --stats-out totals match serial.
-        std::vector<std::unique_ptr<telemetry::Registry>> regs(
-            list.size());
+        // Independent state per workload. The guard confines each
+        // failure to its own task, so a faulting workload cannot
+        // poison sibling shards; runAll never sees an exception.
         std::vector<std::function<void()>> tasks;
         tasks.reserve(list.size());
         for (size_t i = 0; i < list.size(); ++i) {
             tasks.push_back([&, i] {
-                if (opts.stats)
-                    regs[i] = std::make_unique<telemetry::Registry>();
-                out[i] = runOne(list[i], opts, regs[i].get(), nullptr);
+                out[i] = runOneGuarded(list[i], opts, nullptr, regs[i]);
             });
         }
         ThreadPool::global().runAll(std::move(tasks), jobs);
-        if (opts.stats)
-            for (auto &r : regs)
-                opts.stats->mergeFrom(*r);
     } else {
         for (size_t i = 0; i < list.size(); ++i) {
-            out[i] = runOne(list[i], opts, opts.stats, opts.extraHook);
-            if (opts.verify && !out[i].verified)
-                fatal("workload %s failed verification",
-                      out[i].desc.abbrev.c_str());
+            out[i] = runOneGuarded(list[i], opts, opts.extraHook,
+                                   regs[i]);
+            if (out[i].failed() && !opts.keepGoing)
+                break;   // the merge loop below rethrows in order
         }
     }
-    if (opts.verify)
-        for (const auto &run : out)
-            if (!run.verified)
-                fatal("workload %s failed verification",
-                      run.desc.abbrev.c_str());
+
+    // Merge the private registries back in workload order, skipping
+    // failed workloads, so the shared totals of the survivors are
+    // byte-identical to a run that never listed the failures.
+    for (size_t i = 0; i < out.size(); ++i) {
+        const WorkloadRun &run = out[i];
+        if (run.failed()) {
+            if (!opts.keepGoing)
+                throw Error(run.status);
+            warn("workload %s failed in %s phase: %s",
+                 run.desc.abbrev.c_str(), run.failedPhase.c_str(),
+                 run.status.message().c_str());
+        } else if (opts.stats && regs[i]) {
+            opts.stats->mergeFrom(*regs[i]);
+        }
+        recordFailureStats(opts.stats, run);
+    }
     return out;
+}
+
+std::vector<WorkloadFailure>
+suiteFailures(const std::vector<WorkloadRun> &runs)
+{
+    std::vector<WorkloadFailure> out;
+    for (const auto &r : runs)
+        if (r.failed())
+            out.push_back({r.desc.abbrev, r.status, r.failedPhase,
+                           r.attempts});
+    return out;
+}
+
+int
+suiteExitCode(const std::vector<WorkloadRun> &runs)
+{
+    for (const auto &r : runs)
+        if (r.failed())
+            return 2;
+    return 0;
+}
+
+void
+recordFailureStats(telemetry::Registry *reg, const WorkloadRun &run)
+{
+    if (!reg || (run.status.ok() && run.attempts <= 1))
+        return;
+    // Created lazily so a clean run's stats dump has no trace of the
+    // guard machinery.
+    auto &g = reg->group("failures");
+    if (run.attempts > 1)
+        g.counter("retries", "guard retry attempts") +=
+            run.attempts - 1;
+    if (!run.status.ok()) {
+        ++g.counter("total", "workloads failed");
+        ++g.counter(errorCodeName(run.status.code()),
+                    "failures by error code");
+    }
+}
+
+std::unique_ptr<simt::ProfilerHook>
+makeThrowingHook()
+{
+    return std::make_unique<ThrowingHook>();
 }
 
 std::vector<metrics::KernelProfile>

@@ -3,15 +3,26 @@
  * Suite driver: runs workloads under the characterization profiler
  * and assembles the kernel-by-characteristic matrix that feeds the
  * PCA / clustering pipeline.
+ *
+ * Each workload executes under an execution guard (wall-clock limit,
+ * device-memory budget, exception capture, bounded retry of transient
+ * faults — docs/ROBUSTNESS.md). With keepGoing (the default) a failed
+ * workload is recorded and the suite continues; its partial state is
+ * discarded so the merged stats registry and the profile rows of the
+ * surviving workloads are byte-identical to a run that never included
+ * the failure.
  */
 
 #ifndef GWC_WORKLOADS_SUITE_HH
 #define GWC_WORKLOADS_SUITE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/profiler.hh"
+#include "runtime/guard.hh"
+#include "runtime/inject.hh"
 #include "stats/matrix.hh"
 #include "telemetry/stats.hh"
 #include "workloads/workload.hh"
@@ -32,6 +43,23 @@ struct WorkloadRun
     double simulateSec = 0;  ///< kernel execution on the engine
     double profileSec = 0;   ///< profile finalization
     double verifySec = 0;    ///< host-reference verification
+
+    // Guard outcome.
+    Status status;             ///< Ok, or why the workload failed
+    std::string failedPhase;   ///< phase of the failure, else ""
+    uint32_t attempts = 1;     ///< guard attempts (retries + 1)
+
+    /** True when the guard gave up on this workload. */
+    bool failed() const { return !status.ok(); }
+};
+
+/** One failed workload of a keep-going suite run. */
+struct WorkloadFailure
+{
+    std::string workload;    ///< abbreviation
+    Status status;           ///< error code + message
+    std::string phase;       ///< lifecycle phase that failed
+    uint32_t attempts = 1;   ///< guard attempts consumed
 };
 
 /** Options of a suite run. */
@@ -61,17 +89,56 @@ struct SuiteOptions
     telemetry::Registry *stats = nullptr;
     /** Optional extra engine hook (e.g. a telemetry::TraceWriter). */
     simt::ProfilerHook *extraHook = nullptr;
+
+    /**
+     * Fault isolation: true (the default) records a failed workload
+     * and continues with the rest; false rethrows the first failure
+     * (in workload order) as gwc::Error, reproducing the historical
+     * fail-fast behaviour.
+     */
+    bool keepGoing = true;
+    /** Per-workload wall-clock / device-memory limits (0 = off). */
+    runtime::GuardLimits limits;
+    /** Bounded retry of transient failures (alloc-fail, unavailable). */
+    runtime::RetryPolicy retry;
+    /** Optional deterministic fault injection (not owned). */
+    runtime::InjectionPlan *inject = nullptr;
 };
 
 /**
  * Run @p names (or every registered workload when empty) under the
- * profiler and return per-workload results. Fatal if verification is
- * enabled and any workload fails it.
+ * profiler and return per-workload results, failed ones included
+ * (WorkloadRun::failed()). Throws gwc::Error on unknown names, and on
+ * the first failure when keepGoing is false.
  */
 std::vector<WorkloadRun> runSuite(const std::vector<std::string> &names,
                                   const SuiteOptions &opts = {});
 
-/** Flatten the kernel profiles of all runs in order. */
+/** The failed runs of a suite, in workload order. */
+std::vector<WorkloadFailure>
+suiteFailures(const std::vector<WorkloadRun> &runs);
+
+/** Exit-code contract of a suite result: 0 clean, 2 partial. */
+int suiteExitCode(const std::vector<WorkloadRun> &runs);
+
+/**
+ * Record a run's guard outcome into the "failures" stats group of
+ * @p reg (total, per-error-code counters, retries). The group is
+ * created lazily on the first failure or retry, so a clean run's
+ * stats output is byte-identical to a build without the guard.
+ */
+void recordFailureStats(telemetry::Registry *reg,
+                        const WorkloadRun &run);
+
+/**
+ * Engine hook whose kernelBegin throws — the hook-throw fault of the
+ * injection harness, exercising the guard's capture of exceptions
+ * escaping instrumentation code.
+ */
+std::unique_ptr<simt::ProfilerHook> makeThrowingHook();
+
+/** Flatten the kernel profiles of all runs in order (failed runs
+ * carry no profiles and contribute nothing). */
 std::vector<metrics::KernelProfile>
 allProfiles(const std::vector<WorkloadRun> &runs);
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/status.hh"
 #include "simt/engine.hh"
 
 namespace gwc::workloads
@@ -69,8 +70,15 @@ bool isWorkload(const std::string &abbrev);
 std::vector<std::string> suggestWorkloads(const std::string &abbrev);
 
 /**
- * Instantiate a workload by abbreviation. Unknown names are fatal,
- * with near-miss suggestions in the message.
+ * Validate a list of workload abbreviations against the registry.
+ * Returns Ok when every name is registered, else NotFound for the
+ * first unknown name, with near-miss suggestions in the message.
+ */
+Status checkWorkloadNames(const std::vector<std::string> &names);
+
+/**
+ * Instantiate a workload by abbreviation. Unknown names throw
+ * gwc::Error(NotFound) with near-miss suggestions in the message.
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &abbrev);
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests of the shared CLI layer: the declarative option table, alias
+ * resolution, typed-value validation, unknown-flag suggestions, the
+ * help/version text and the cli::run exit-code adapter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+
+namespace gwc
+{
+namespace
+{
+
+/** parse() over a brace-list of arguments (argv[0] supplied). */
+std::vector<std::string>
+parseArgs(cli::Parser &p, std::vector<std::string> args)
+{
+    args.insert(args.begin(), "tool");
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return p.parse(int(argv.size()), argv.data());
+}
+
+/** Expect @p fn to throw gwc::Error with @p code and a message
+ * containing @p substr. */
+template <typename Fn>
+void
+expectError(Fn &&fn, ErrorCode code, const std::string &substr)
+{
+    try {
+        fn();
+        FAIL() << "expected gwc::Error(" << errorCodeName(code) << ")";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), code) << e.what();
+        EXPECT_NE(std::string(e.what()).find(substr),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Cli, ParsesFlagsAliasesAndPositionals)
+{
+    uint32_t scale = 1;
+    bool verify = true;
+    std::string out = "profiles.csv";
+    cli::Parser p("t", "[options] [workload ...]");
+    p.uintOpt("--scale", "-s", "N", "scale", &scale, 1);
+    p.flag("--no-verify", "", "skip checks", &verify, false);
+    p.strOpt("--output", "-o", "FILE", "csv", &out);
+
+    auto pos = parseArgs(p, {"-s", "3", "--no-verify", "-o", "x.csv",
+                             "BLS", "MUM"});
+    EXPECT_EQ(scale, 3u);
+    EXPECT_FALSE(verify);
+    EXPECT_EQ(out, "x.csv");
+    EXPECT_EQ(pos, (std::vector<std::string>{"BLS", "MUM"}));
+    EXPECT_FALSE(p.helpRequested());
+    EXPECT_FALSE(p.versionRequested());
+}
+
+TEST(Cli, LongNameAndAliasHitTheSameDestination)
+{
+    uint32_t jobs = 0;
+    cli::Parser p("t", "");
+    p.uintOpt("--jobs", "-j", "N", "jobs", &jobs, 1);
+    parseArgs(p, {"--jobs", "4"});
+    EXPECT_EQ(jobs, 4u);
+    parseArgs(p, {"-j", "7"});
+    EXPECT_EQ(jobs, 7u);
+}
+
+TEST(Cli, AppendOptAccumulatesCommaSeparated)
+{
+    std::string specs;
+    cli::Parser p("t", "");
+    p.appendOpt("--inject", "", "SPEC", "fault", &specs);
+    parseArgs(p, {"--inject", "oom@BLS", "--inject",
+                  "timeout@MUM:2"});
+    EXPECT_EQ(specs, "oom@BLS,timeout@MUM:2");
+}
+
+TEST(Cli, MibOptStoresBytes)
+{
+    uint64_t bytes = 0;
+    cli::Parser p("t", "");
+    p.mibOpt("--mem-budget", "", "MIB", "budget", &bytes);
+    parseArgs(p, {"--mem-budget", "3"});
+    EXPECT_EQ(bytes, 3ull << 20);
+}
+
+TEST(Cli, RejectsBadValues)
+{
+    uint32_t jobs = 1;
+    double frac = 0.5;
+    cli::Parser p("t", "");
+    p.uintOpt("--jobs", "-j", "N", "jobs", &jobs, 1);
+    p.realOpt("--coverage", "-c", "FRAC", "frac", &frac, 0.0);
+
+    expectError([&] { parseArgs(p, {"--jobs", "zero"}); },
+                ErrorCode::InvalidArgument, "unsigned integer");
+    expectError([&] { parseArgs(p, {"--jobs", "0"}); },
+                ErrorCode::InvalidArgument, "--jobs must be >= 1");
+    expectError([&] { parseArgs(p, {"--jobs"}); },
+                ErrorCode::InvalidArgument, "requires a value");
+    expectError([&] { parseArgs(p, {"--coverage", "x"}); },
+                ErrorCode::InvalidArgument, "expects a number");
+    expectError([&] { parseArgs(p, {"--coverage", "-1"}); },
+                ErrorCode::InvalidArgument, "must be >= 0");
+}
+
+TEST(Cli, UnknownOptionSuggestsNearMiss)
+{
+    uint32_t jobs = 1;
+    cli::Parser p("t", "");
+    p.uintOpt("--jobs", "-j", "N", "jobs", &jobs, 1);
+    expectError([&] { parseArgs(p, {"--jbos", "2"}); },
+                ErrorCode::InvalidArgument, "--jobs");
+    expectError([&] { parseArgs(p, {"--frobnicate"}); },
+                ErrorCode::InvalidArgument, "unknown option");
+}
+
+TEST(Cli, SuggestClosestRanksExactAboveFuzzy)
+{
+    auto sug = cli::suggestClosest(
+        "MUN", {"BLS", "MUM", "NW", "MRIQ"});
+    ASSERT_FALSE(sug.empty());
+    EXPECT_EQ(sug[0], "MUM");
+    EXPECT_TRUE(cli::suggestClosest("zzz", {"BLS", "NW"}).empty());
+}
+
+TEST(Cli, EditDistanceBasics)
+{
+    EXPECT_EQ(cli::editDistance("", "abc"), 3u);
+    EXPECT_EQ(cli::editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(cli::editDistance("same", "same"), 0u);
+}
+
+TEST(Cli, HelpAndVersionAreReportedNotExited)
+{
+    cli::Parser p("t", "");
+    parseArgs(p, {"--help"});
+    EXPECT_TRUE(p.helpRequested());
+
+    cli::Parser q("t", "");
+    parseArgs(q, {"--version"});
+    EXPECT_TRUE(q.versionRequested());
+    EXPECT_EQ(q.versionText(),
+              std::string("t (gwc) ") + cli::versionString() + "\n");
+}
+
+/** Golden help text: layout changes here must be deliberate. */
+TEST(Cli, HelpTextGolden)
+{
+    uint32_t scale = 1;
+    bool list = false;
+    cli::Parser p("gwc_demo", "[options] [workload ...]");
+    p.uintOpt("--scale", "-s", "N", "input-size scale (default 1)",
+              &scale, 1);
+    p.flag("--list", "", "list registered workloads and exit", &list);
+    EXPECT_EQ(p.helpText(),
+              "usage: gwc_demo [options] [workload ...]\n"
+              "  --scale N, -s N  input-size scale (default 1)\n"
+              "  --list           list registered workloads and exit\n"
+              "  -h, --help       show this help and exit\n"
+              "  --version        print the version and exit\n");
+}
+
+TEST(Cli, DashAloneIsPositional)
+{
+    cli::Parser p("t", "");
+    auto pos = parseArgs(p, {"-"});
+    EXPECT_EQ(pos, std::vector<std::string>{"-"});
+}
+
+TEST(Cli, RunMapsErrorsToExitCodes)
+{
+    EXPECT_EQ(cli::run([] { return 0; }), 0);
+    EXPECT_EQ(cli::run([] { return 2; }), 2);
+    EXPECT_EQ(cli::run([]() -> int {
+                  raise(ErrorCode::IoError, "nope");
+              }),
+              1);
+    EXPECT_EQ(cli::run([]() -> int {
+                  throw std::runtime_error("surprise");
+              }),
+              1);
+}
+
+} // anonymous namespace
+} // namespace gwc

@@ -58,12 +58,33 @@ TEST(ProfileIo, FileRoundTrip)
     std::remove(path.c_str());
 }
 
+namespace
+{
+
+/** Expect @p fn to throw gwc::Error with @p code and @p substr. */
+template <typename Fn>
+void
+expectError(Fn &&fn, gwc::ErrorCode code, const char *substr)
+{
+    try {
+        fn();
+        FAIL() << "expected gwc::Error";
+    } catch (const gwc::Error &e) {
+        EXPECT_EQ(e.code(), code);
+        EXPECT_NE(std::string(e.what()).find(substr),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // anonymous namespace
+
 TEST(ProfileIo, RejectsWrongHeader)
 {
     std::stringstream ss;
     ss << "bogus,header\n1,2\n";
-    EXPECT_EXIT(readProfilesCsv(ss), testing::ExitedWithCode(1),
-                "header");
+    expectError([&] { readProfilesCsv(ss); },
+                gwc::ErrorCode::InvalidArgument, "header");
 }
 
 TEST(ProfileIo, RejectsRaggedRow)
@@ -73,14 +94,55 @@ TEST(ProfileIo, RejectsRaggedRow)
     writeProfilesCsv(ss, orig);
     std::string text = ss.str() + "short,row\n";
     std::stringstream bad(text);
-    EXPECT_EXIT(readProfilesCsv(bad), testing::ExitedWithCode(1),
-                "cells");
+    expectError([&] { readProfilesCsv(bad); },
+                gwc::ErrorCode::DataLoss, "cells");
 }
 
 TEST(ProfileIo, MissingFileIsFatal)
 {
-    EXPECT_EXIT(loadProfiles("/nonexistent/gwc.csv"),
-                testing::ExitedWithCode(1), "cannot open");
+    expectError([] { (void)loadProfiles("/nonexistent/gwc.csv"); },
+                gwc::ErrorCode::IoError, "cannot open");
+}
+
+TEST(ProfileIo, WritesVersionedHeader)
+{
+    std::stringstream ss;
+    writeProfilesCsv(ss, someProfiles());
+    std::string first;
+    std::getline(ss, first);
+    EXPECT_EQ(first, "# gwc-profile v2");
+}
+
+TEST(ProfileIo, ReadsLegacyV1)
+{
+    // A v1 file is the v2 serialization minus the marker line.
+    std::stringstream ss;
+    auto orig = someProfiles();
+    writeProfilesCsv(ss, orig);
+    std::string text = ss.str();
+    std::string v1 = text.substr(text.find('\n') + 1);
+    std::stringstream legacy(v1);
+    auto back = readProfilesCsv(legacy);
+    EXPECT_EQ(back.size(), orig.size());
+}
+
+TEST(ProfileIo, RejectsFutureVersion)
+{
+    std::stringstream ss;
+    writeProfilesCsv(ss, someProfiles());
+    std::string text = ss.str();
+    std::string future =
+        "# gwc-profile v99\n" + text.substr(text.find('\n') + 1);
+    std::stringstream is(future);
+    expectError([&] { readProfilesCsv(is); },
+                gwc::ErrorCode::InvalidArgument, "newer than");
+}
+
+TEST(ProfileIo, TryLoadReturnsStatus)
+{
+    auto res = tryLoadProfiles("/nonexistent/gwc.csv");
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), gwc::ErrorCode::IoError);
 }
 
 TEST(Sampling, HomogeneousKernelIsSamplingInvariant)

@@ -11,12 +11,16 @@
 #include <list>
 #include <map>
 
+#include <sstream>
+
 #include "cluster/hierarchical.hh"
 #include "cluster/kmeans.hh"
 #include "common/rng.hh"
 #include "metrics/ilp.hh"
+#include "metrics/profile_io.hh"
 #include "metrics/profiler.hh"
 #include "metrics/reuse.hh"
+#include "runtime/inject.hh"
 #include "simt/engine.hh"
 #include "stats/pca.hh"
 #include "timing/gpu.hh"
@@ -498,6 +502,51 @@ INSTANTIATE_TEST_SUITE_P(
     Workloads, ScaleSweep,
     ::testing::Values("BLS", "SLA", "MUM", "SS", "KM", "HSORT",
                       "SPMV", "LBM"),
+    [](const auto &info) { return info.param; });
+
+// ----------------------------------------------------------------
+// Fault isolation: a failure anywhere never perturbs the survivors
+// ----------------------------------------------------------------
+
+class FailureIsolationSweep
+    : public ::testing::TestWithParam<std::string>
+{};
+
+/** The profile CSV bytes of a subset run, one workload injected to
+ * fail; the surviving rows must be identical to a clean run with the
+ * victim simply absent, regardless of which workload dies. */
+TEST_P(FailureIsolationSweep, SurvivorRowsAreByteIdentical)
+{
+    const std::vector<std::string> names{"BLS", "RD", "MUM", "NW"};
+    const std::string &victim = GetParam();
+
+    auto csvOf = [](const std::vector<workloads::WorkloadRun> &runs) {
+        std::ostringstream os;
+        metrics::writeProfilesCsv(os, workloads::allProfiles(runs));
+        return os.str();
+    };
+
+    std::vector<std::string> others;
+    for (const auto &n : names)
+        if (n != victim)
+            others.push_back(n);
+    workloads::SuiteOptions clean;
+    clean.jobs = 2;
+    std::string expected = csvOf(workloads::runSuite(others, clean));
+
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec("verify-mismatch@" + victim).ok());
+    workloads::SuiteOptions opts;
+    opts.jobs = 2;
+    opts.inject = &plan;
+    auto runs = workloads::runSuite(names, opts);
+    EXPECT_EQ(workloads::suiteExitCode(runs), 2);
+    EXPECT_EQ(csvOf(runs), expected) << "victim " << victim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, FailureIsolationSweep,
+    ::testing::Values("BLS", "RD", "MUM", "NW"),
     [](const auto &info) { return info.param; });
 
 } // anonymous namespace

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests of the fault-isolated suite runtime: the execution guard,
+ * deterministic fault injection across every kind and jobs level,
+ * keep-going vs fail-fast, bounded retry of transient failures, the
+ * failures stats group, the Session facade's failure reporting, and
+ * the byte-identity of surviving workloads' profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/profile_io.hh"
+#include "runtime/guard.hh"
+#include "runtime/inject.hh"
+#include "runtime/session.hh"
+#include "telemetry/stats.hh"
+#include "workloads/suite.hh"
+
+namespace gwc
+{
+namespace
+{
+
+using workloads::SuiteOptions;
+using workloads::WorkloadRun;
+
+/** Profiles of @p runs rendered to CSV (the tool's on-disk bytes). */
+std::string
+csvOf(const std::vector<WorkloadRun> &runs)
+{
+    std::ostringstream os;
+    metrics::writeProfilesCsv(os, workloads::allProfiles(runs));
+    return os.str();
+}
+
+/** CSV of @p runs with the rows of workload @p skip removed. */
+std::string
+csvWithout(const std::vector<WorkloadRun> &runs,
+           const std::string &skip)
+{
+    std::vector<WorkloadRun> kept;
+    for (const auto &r : runs)
+        if (r.desc.abbrev != skip)
+            kept.push_back(r);
+    return csvOf(kept);
+}
+
+// ---------------------------------------------------------------------
+// Execution guard
+// ---------------------------------------------------------------------
+
+TEST(Guard, SuccessIsSingleAttempt)
+{
+    auto out = runtime::runGuarded({}, {}, [](runtime::CancelToken &) {});
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_FALSE(out.recovered());
+    EXPECT_TRUE(out.attemptErrors.empty());
+}
+
+TEST(Guard, CapturesTypedAndForeignExceptions)
+{
+    auto typed = runtime::runGuarded({}, {}, [](runtime::CancelToken &) {
+        raise(ErrorCode::VerifyMismatch, "wrong answer");
+    });
+    EXPECT_EQ(typed.status.code(), ErrorCode::VerifyMismatch);
+
+    auto foreign =
+        runtime::runGuarded({}, {}, [](runtime::CancelToken &) {
+            throw std::runtime_error("boom");
+        });
+    EXPECT_EQ(foreign.status.code(), ErrorCode::Internal);
+    EXPECT_NE(foreign.status.message().find("boom"),
+              std::string::npos);
+}
+
+TEST(Guard, RetriesOnlyTransientFailures)
+{
+    runtime::RetryPolicy retry;
+    retry.maxRetries = 2;
+    retry.backoffSec = 0.0;
+
+    std::atomic<int> calls{0};
+    auto recovered = runtime::runGuarded(
+        {}, retry, [&calls](runtime::CancelToken &) {
+            if (++calls == 1)
+                raise(ErrorCode::ResourceExhausted, "try again");
+        });
+    EXPECT_TRUE(recovered.ok());
+    EXPECT_TRUE(recovered.recovered());
+    EXPECT_EQ(recovered.attempts, 2u);
+    ASSERT_EQ(recovered.attemptErrors.size(), 1u);
+    EXPECT_EQ(recovered.attemptErrors[0].code(),
+              ErrorCode::ResourceExhausted);
+
+    calls = 0;
+    auto deterministic = runtime::runGuarded(
+        {}, retry, [&calls](runtime::CancelToken &) {
+            ++calls;
+            raise(ErrorCode::VerifyMismatch, "always wrong");
+        });
+    EXPECT_FALSE(deterministic.ok());
+    EXPECT_EQ(calls.load(), 1) << "non-transient faults never retry";
+
+    calls = 0;
+    auto exhausted = runtime::runGuarded(
+        {}, retry, [&calls](runtime::CancelToken &) {
+            ++calls;
+            raise(ErrorCode::ResourceExhausted, "never recovers");
+        });
+    EXPECT_FALSE(exhausted.ok());
+    EXPECT_EQ(exhausted.attempts, 3u);
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Guard, TimeoutLimitArmsTheToken)
+{
+    runtime::GuardLimits limits;
+    limits.timeoutSec = 1e-9;
+    auto out = runtime::runGuarded(
+        limits, {}, [](runtime::CancelToken &token) {
+            // A cooperative check point after the deadline passed.
+            while (!token.stopRequested()) {
+            }
+            token.throwIfStopped();
+        });
+    EXPECT_EQ(out.status.code(), ErrorCode::Timeout);
+}
+
+// ---------------------------------------------------------------------
+// Injection plan parsing
+// ---------------------------------------------------------------------
+
+TEST(Inject, ParsesSpecsAndCounts)
+{
+    runtime::InjectionPlan plan;
+    EXPECT_TRUE(plan.addSpecs("").ok());
+    EXPECT_TRUE(plan.empty());
+    EXPECT_TRUE(
+        plan.addSpecs("alloc-fail@BLS:2,timeout@MUM").ok());
+    EXPECT_FALSE(plan.empty());
+
+    // Arming consumes counts deterministically.
+    EXPECT_TRUE(plan.arm(runtime::InjectKind::AllocFail, "BLS"));
+    EXPECT_TRUE(plan.arm(runtime::InjectKind::AllocFail, "BLS"));
+    EXPECT_FALSE(plan.arm(runtime::InjectKind::AllocFail, "BLS"));
+    EXPECT_FALSE(plan.arm(runtime::InjectKind::Timeout, "BLS"));
+    EXPECT_TRUE(plan.arm(runtime::InjectKind::Timeout, "MUM"));
+    EXPECT_TRUE(plan.remaining().empty());
+}
+
+TEST(Inject, RejectsMalformedSpecs)
+{
+    runtime::InjectionPlan plan;
+    for (const char *bad :
+         {"frobnicate@BLS", "alloc-fail", "alloc-fail@", "oom@BLS:0",
+          "oom@BLS:x", "@BLS"}) {
+        Status st = plan.addSpec(bad);
+        EXPECT_EQ(st.code(), ErrorCode::InvalidArgument) << bad;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-isolated suite runs: every kind x jobs {1, 4}
+// ---------------------------------------------------------------------
+
+struct InjectCase
+{
+    const char *spec;         ///< --inject value targeting MUM
+    ErrorCode expectCode;     ///< status of the failed run
+};
+
+class InjectMatrix
+    : public ::testing::TestWithParam<std::tuple<InjectCase, uint32_t>>
+{};
+
+TEST_P(InjectMatrix, OneFailureDoesNotPoisonTheSuite)
+{
+    const auto &[c, jobs] = GetParam();
+
+    SuiteOptions clean;
+    clean.jobs = jobs;
+    auto cleanRuns = workloads::runSuite({}, clean);
+    EXPECT_EQ(workloads::suiteExitCode(cleanRuns), 0);
+
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec(c.spec).ok());
+    SuiteOptions opts;
+    opts.jobs = jobs;
+    opts.inject = &plan;
+    auto runs = workloads::runSuite({}, opts);
+
+    ASSERT_EQ(runs.size(), cleanRuns.size());
+    for (const auto &run : runs) {
+        if (run.desc.abbrev == "MUM") {
+            EXPECT_TRUE(run.failed());
+            EXPECT_EQ(run.status.code(), c.expectCode) << c.spec;
+            EXPECT_FALSE(run.failedPhase.empty());
+            EXPECT_TRUE(run.profiles.empty())
+                << "failed runs must not leak partial profiles";
+        } else {
+            EXPECT_TRUE(run.verified) << run.desc.abbrev;
+            EXPECT_FALSE(run.profiles.empty()) << run.desc.abbrev;
+        }
+    }
+
+    // Exit-code contract and the failure record.
+    EXPECT_EQ(workloads::suiteExitCode(runs), 2);
+    auto failures = workloads::suiteFailures(runs);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].workload, "MUM");
+    EXPECT_EQ(failures[0].status.code(), c.expectCode);
+
+    // The surviving workloads' bytes are identical to a clean run
+    // that never included the failure.
+    EXPECT_EQ(csvOf(runs), csvWithout(cleanRuns, "MUM")) << c.spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsByJobs, InjectMatrix,
+    ::testing::Combine(
+        ::testing::Values(
+            InjectCase{"alloc-fail@MUM", ErrorCode::ResourceExhausted},
+            InjectCase{"verify-mismatch@MUM",
+                       ErrorCode::VerifyMismatch},
+            InjectCase{"hook-throw@MUM", ErrorCode::Internal},
+            InjectCase{"timeout@MUM", ErrorCode::Timeout},
+            InjectCase{"oom@MUM", ErrorCode::OutOfMemory}),
+        ::testing::Values(1u, 4u)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param).spec;
+        name = name.substr(0, name.find('@'));
+        for (auto &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name + "_jobs" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Keep-going vs fail-fast, retry recovery, failure stats
+// ---------------------------------------------------------------------
+
+TEST(Robustness, FailFastRethrowsTheFirstFailure)
+{
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec("verify-mismatch@BLS").ok());
+    SuiteOptions opts;
+    opts.keepGoing = false;
+    opts.inject = &plan;
+    try {
+        workloads::runSuite({"BLS", "RD"}, opts);
+        FAIL() << "expected gwc::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::VerifyMismatch);
+        EXPECT_NE(std::string(e.what()).find("BLS"),
+                  std::string::npos);
+    }
+}
+
+TEST(Robustness, RetryRecoversInjectedAllocFailure)
+{
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec("alloc-fail@BLS").ok());
+    telemetry::Registry reg;
+    SuiteOptions opts;
+    opts.inject = &plan;
+    opts.stats = &reg;
+    opts.retry.maxRetries = 1;
+    opts.retry.backoffSec = 0.0;
+    auto runs = workloads::runSuite({"BLS"}, opts);
+
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_FALSE(runs[0].failed());
+    EXPECT_TRUE(runs[0].verified);
+    EXPECT_EQ(runs[0].attempts, 2u);
+    EXPECT_EQ(workloads::suiteExitCode(runs), 0);
+    EXPECT_EQ(reg.counterTotal("failures", "retries"), 1u);
+    EXPECT_EQ(reg.counterTotal("failures", "total"), 0u);
+}
+
+TEST(Robustness, AllocFailureWithoutRetriesFails)
+{
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec("alloc-fail@BLS").ok());
+    SuiteOptions opts;
+    opts.inject = &plan;
+    auto runs = workloads::runSuite({"BLS"}, opts);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].status.code(), ErrorCode::ResourceExhausted);
+    EXPECT_EQ(workloads::suiteExitCode(runs), 2);
+}
+
+TEST(Robustness, CleanRunStatsHaveNoFailuresGroup)
+{
+    telemetry::Registry reg;
+    SuiteOptions opts;
+    opts.stats = &reg;
+    auto runs = workloads::runSuite({"BLS"}, opts);
+    EXPECT_FALSE(runs[0].failed());
+    EXPECT_EQ(reg.find("failures"), nullptr)
+        << "clean runs must not grow a failures group";
+}
+
+TEST(Robustness, FailureStatsCountPerErrorCode)
+{
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec("oom@BLS").ok());
+    telemetry::Registry reg;
+    SuiteOptions opts;
+    opts.inject = &plan;
+    opts.stats = &reg;
+    auto runs = workloads::runSuite({"BLS", "RD"}, opts);
+    EXPECT_EQ(workloads::suiteExitCode(runs), 2);
+    EXPECT_EQ(reg.counterTotal("failures", "total"), 1u);
+    EXPECT_EQ(reg.counterTotal("failures", "out_of_memory"), 1u);
+}
+
+TEST(Robustness, MemBudgetLimitTripsOom)
+{
+    SuiteOptions opts;
+    opts.limits.memBudgetBytes = 1024;
+    auto runs = workloads::runSuite({"BLS"}, opts);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].status.code(), ErrorCode::OutOfMemory);
+    EXPECT_EQ(runs[0].failedPhase, "setup");
+}
+
+// ---------------------------------------------------------------------
+// Session facade
+// ---------------------------------------------------------------------
+
+TEST(Session, ReportsFailuresAndExitCode)
+{
+    runtime::SessionOptions so;
+    so.injectSpecs = "hook-throw@MUM";
+    runtime::Session session(std::move(so));
+    session.runSuite({"BLS", "MUM"});
+
+    EXPECT_EQ(session.exitCode(), 2);
+    auto failures = session.failures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].workload, "MUM");
+
+    const auto &rows = session.report().workloads;
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].status, "ok");
+    EXPECT_EQ(rows[1].status, "failed");
+    EXPECT_EQ(rows[1].errorCode, "internal");
+    EXPECT_EQ(rows[1].failedPhase, "simulate");
+    EXPECT_FALSE(rows[1].errorMessage.empty());
+    EXPECT_EQ(session.finish(), 2);
+}
+
+TEST(Session, RejectsMalformedInjectSpecs)
+{
+    runtime::SessionOptions so;
+    so.injectSpecs = "not-a-kind@BLS";
+    try {
+        runtime::Session session(std::move(so));
+        FAIL() << "expected gwc::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+    }
+}
+
+TEST(Session, CleanRunFinishesZero)
+{
+    runtime::SessionOptions so;
+    runtime::Session session(std::move(so));
+    auto &runs = session.runSuite({"BLS"});
+    EXPECT_EQ(runs.size(), 1u);
+    EXPECT_EQ(session.exitCode(), 0);
+    EXPECT_EQ(session.finish(), 0);
+    EXPECT_EQ(session.finish(), 0) << "finish() is idempotent";
+}
+
+} // anonymous namespace
+} // namespace gwc

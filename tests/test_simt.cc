@@ -481,10 +481,17 @@ TEST(Engine, BadLaunchGeometryFails)
 {
     Engine e;
     auto fn = [](Warp &) -> WarpTask { co_return; };
-    EXPECT_EXIT(e.launch("bad", fn, Dim3(1), Dim3(2048), 0, {}),
-                testing::ExitedWithCode(1), "CTA size");
-    EXPECT_EXIT(e.launch("bad", fn, Dim3(0), Dim3(32), 0, {}),
-                testing::ExitedWithCode(1), "empty launch grid");
+    EXPECT_THROW(e.launch("bad", fn, Dim3(1), Dim3(2048), 0, {}),
+                 gwc::Error);
+    EXPECT_THROW(e.launch("bad", fn, Dim3(0), Dim3(32), 0, {}),
+                 gwc::Error);
+    try {
+        e.launch("bad", fn, Dim3(1), Dim3(2048), 0, {});
+    } catch (const gwc::Error &err) {
+        EXPECT_EQ(err.code(), gwc::ErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(err.what()).find("CTA size"),
+                  std::string::npos);
+    }
 }
 
 TEST(Memory, OutOfBoundsPanics)

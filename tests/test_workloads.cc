@@ -73,8 +73,23 @@ TEST(Workloads, RegistryIsConsistent)
 
 TEST(Workloads, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(makeWorkload("NOPE"), testing::ExitedWithCode(1),
-                "unknown workload");
+    try {
+        makeWorkload("NOPE");
+        FAIL() << "expected gwc::Error";
+    } catch (const gwc::Error &e) {
+        EXPECT_EQ(e.code(), gwc::ErrorCode::NotFound);
+        EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                  std::string::npos);
+    }
+}
+
+TEST(Workloads, CheckWorkloadNames)
+{
+    EXPECT_TRUE(checkWorkloadNames({"BLS", "MUM"}).ok());
+    auto st = checkWorkloadNames({"BLS", "MUN"});
+    EXPECT_EQ(st.code(), gwc::ErrorCode::NotFound);
+    // Near-miss suggestion surfaces in the message.
+    EXPECT_NE(st.message().find("MUM"), std::string::npos);
 }
 
 TEST(Workloads, MetricMatrixShape)

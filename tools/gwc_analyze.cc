@@ -5,14 +5,19 @@
  * per-subspace stress rankings.
  *
  *   gwc_analyze [-k K] [-c coverage] profiles.csv
+ *
+ * The CSV comes from gwc_characterize; both the current versioned
+ * format (`# gwc-profile v2`) and legacy headerless v1 files load.
+ * Files written by a newer tool version are rejected with a clear
+ * message rather than misread (see docs/ROBUSTNESS.md).
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "cluster/hierarchical.hh"
 #include "cluster/kmeans.hh"
-#include "common/logging.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "evalmetrics/evalmetrics.hh"
 #include "metrics/profile_io.hh"
@@ -23,76 +28,91 @@ int
 main(int argc, char **argv)
 {
     using namespace gwc;
+    return cli::run([&]() -> int {
+        uint32_t forcedK = 0;
+        double coverage = 0.90;
 
-    std::string path;
-    uint32_t forcedK = 0;
-    double coverage = 0.90;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "-k" && i + 1 < argc) {
-            forcedK = uint32_t(std::atoi(argv[++i]));
-        } else if (arg == "-c" && i + 1 < argc) {
-            coverage = std::atof(argv[++i]);
-        } else if (arg == "-h" || arg == "--help") {
-            std::cerr << "usage: gwc_analyze [-k K] [-c coverage] "
-                         "profiles.csv\n";
+        cli::Parser p("gwc_analyze", "[options] profiles.csv");
+        p.uintOpt("--clusters", "-k", "K",
+                  "force the cluster count (default: BIC selection)",
+                  &forcedK);
+        p.realOpt("--coverage", "-c", "FRAC",
+                  "PCA variance coverage to keep (default 0.90)",
+                  &coverage, 0.0);
+        auto pos = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
             return 0;
-        } else {
-            path = arg;
         }
-    }
-    if (path.empty())
-        fatal("no profile CSV given (see --help)");
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (pos.empty())
+            raise(ErrorCode::InvalidArgument,
+                  "no profile CSV given (see --help)");
+        if (pos.size() > 1)
+            raise(ErrorCode::InvalidArgument,
+                  "expected one profile CSV, got %zu positional "
+                  "arguments", pos.size());
+        const std::string &path = pos[0];
 
-    auto profiles = metrics::loadProfiles(path);
-    if (profiles.size() < 3)
-        fatal("need at least 3 profiles, got %zu", profiles.size());
-    auto matrix = workloads::metricMatrix(profiles);
-    auto labels = workloads::profileLabels(profiles);
-    std::cout << "loaded " << profiles.size() << " kernel profiles\n";
+        auto profiles = metrics::loadProfiles(path);
+        if (profiles.size() < 3)
+            raise(ErrorCode::InvalidArgument,
+                  "need at least 3 profiles, got %zu",
+                  profiles.size());
+        auto matrix = workloads::metricMatrix(profiles);
+        auto labels = workloads::profileLabels(profiles);
+        std::cout << "loaded " << profiles.size()
+                  << " kernel profiles\n";
 
-    auto pca = stats::pca(matrix);
-    size_t pcs = pca.numPcsFor(coverage);
-    std::cout << pcs << " PCs cover " << Table::pct(coverage, 0)
-              << " of variance\n\n";
-    auto space = pca.truncatedScores(pcs);
+        auto pca = stats::pca(matrix);
+        size_t pcs = pca.numPcsFor(coverage);
+        std::cout << pcs << " PCs cover " << Table::pct(coverage, 0)
+                  << " of variance\n\n";
+        auto space = pca.truncatedScores(pcs);
 
-    std::cout << cluster::agglomerate(space, cluster::Linkage::Ward)
-                     .render(labels)
-              << "\n";
+        std::cout << cluster::agglomerate(space,
+                                          cluster::Linkage::Ward)
+                         .render(labels)
+                  << "\n";
 
-    Rng rng(1);
-    uint32_t k = forcedK
-                     ? forcedK
-                     : cluster::selectKByBic(
-                           space, uint32_t(space.rows()) / 2, rng);
-    auto km = cluster::kmeans(space, k, rng);
-    auto reps = cluster::medoids(space, km.labels, k);
-    std::cout << "k = " << k
-              << (forcedK ? " (forced)" : " (BIC)") << ", silhouette "
-              << Table::num(cluster::silhouette(space, km.labels), 3)
-              << "\n";
-    for (uint32_t c = 0; c < k; ++c) {
-        std::cout << "  cluster " << c << " [rep "
-                  << labels[reps[c]] << "]:";
-        for (size_t i = 0; i < labels.size(); ++i)
-            if (km.labels[i] == int(c))
-                std::cout << " " << labels[i];
-        std::cout << "\n";
-    }
+        Rng rng(1);
+        uint32_t k = forcedK
+                         ? forcedK
+                         : cluster::selectKByBic(
+                               space, uint32_t(space.rows()) / 2, rng);
+        auto km = cluster::kmeans(space, k, rng);
+        auto reps = cluster::medoids(space, km.labels, k);
+        std::cout << "k = " << k
+                  << (forcedK ? " (forced)" : " (BIC)")
+                  << ", silhouette "
+                  << Table::num(
+                         cluster::silhouette(space, km.labels), 3)
+                  << "\n";
+        for (uint32_t c = 0; c < k; ++c) {
+            std::cout << "  cluster " << c << " [rep "
+                      << labels[reps[c]] << "]:";
+            for (size_t i = 0; i < labels.size(); ++i)
+                if (km.labels[i] == int(c))
+                    std::cout << " " << labels[i];
+            std::cout << "\n";
+        }
 
-    std::cout << "\nper-subspace stress leaders:\n";
-    for (uint8_t s = 0;
-         s < uint8_t(metrics::Subspace::NumSubspaces); ++s) {
-        auto rank = evalmetrics::stressRanking(
-            matrix, metrics::Subspace(s));
-        std::cout << "  "
-                  << metrics::subspaceName(metrics::Subspace(s))
-                  << ": ";
-        for (size_t i = 0; i < rank.size() && i < 3; ++i)
-            std::cout << labels[rank[i].kernel]
-                      << (i < 2 ? ", " : "");
-        std::cout << "\n";
-    }
-    return 0;
+        std::cout << "\nper-subspace stress leaders:\n";
+        for (uint8_t s = 0;
+             s < uint8_t(metrics::Subspace::NumSubspaces); ++s) {
+            auto rank = evalmetrics::stressRanking(
+                matrix, metrics::Subspace(s));
+            std::cout << "  "
+                      << metrics::subspaceName(metrics::Subspace(s))
+                      << ": ";
+            for (size_t i = 0; i < rank.size() && i < 3; ++i)
+                std::cout << labels[rank[i].kernel]
+                          << (i < 2 ? ", " : "");
+            std::cout << "\n";
+        }
+        return 0;
+    });
 }

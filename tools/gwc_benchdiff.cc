@@ -12,7 +12,9 @@
  * flagged and make the exit status 1. Direction is inferred from the
  * key name: "*per_sec*" / "*items*" / "*ops*" count as
  * higher-is-better, everything else (seconds, ns, cycles, bytes) as
- * lower-is-better.
+ * lower-is-better. Run-report JSON (--stats-out) also diffs cleanly;
+ * files declaring a schema_version newer than this build understands
+ * are rejected rather than misread (see docs/ROBUSTNESS.md).
  */
 
 #include <cctype>
@@ -24,8 +26,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/report.hh"
 
 namespace
 {
@@ -36,7 +40,7 @@ using namespace gwc;
  * Minimal recursive-descent JSON walker collecting numeric leaves
  * under dotted paths. Arrays index as ".0", ".1", ... Strings,
  * booleans and nulls are parsed (the syntax must be valid) but not
- * collected. Fatal, naming @p path, on malformed input.
+ * collected. Raises DataLoss, naming @p path, on malformed input.
  */
 class FlatJsonParser
 {
@@ -61,8 +65,8 @@ class FlatJsonParser
     [[noreturn]] void
     die(const char *what)
     {
-        fatal("%s: invalid JSON at byte %zu: %s", path_.c_str(), pos_,
-              what);
+        raise(ErrorCode::DataLoss, "%s: invalid JSON at byte %zu: %s",
+              path_.c_str(), pos_, what);
     }
 
     void
@@ -227,10 +231,21 @@ loadBench(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open %s", path.c_str());
+        raise(ErrorCode::IoError, "cannot open %s", path.c_str());
     std::ostringstream ss;
     ss << in.rdbuf();
-    return FlatJsonParser(path, ss.str()).parse();
+    auto leaves = FlatJsonParser(path, ss.str()).parse();
+    // Run-report JSON carries a schema_version leaf; refuse files
+    // written by a newer tool rather than comparing misread keys.
+    auto it = leaves.find("schema_version");
+    if (it != leaves.end() &&
+        it->second > double(telemetry::kReportSchemaVersion))
+        raise(ErrorCode::InvalidArgument,
+              "%s declares report schema v%d, newer than this build "
+              "understands (v%d); regenerate it or upgrade the tools",
+              path.c_str(), int(it->second),
+              telemetry::kReportSchemaVersion);
+    return leaves;
 }
 
 /** True when a larger value of @p key is an improvement. */
@@ -248,72 +263,74 @@ higherIsBetter(const std::string &key)
 int
 main(int argc, char **argv)
 {
-    double thresholdPct = 5.0;
-    std::vector<std::string> paths;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--threshold" && i + 1 < argc) {
-            thresholdPct = std::atof(argv[++i]);
-            if (thresholdPct < 0)
-                fatal("--threshold must be >= 0");
-        } else if (arg == "-h" || arg == "--help") {
-            std::cerr << "usage: gwc_benchdiff [--threshold PCT] "
-                         "baseline.json candidate.json\n"
-                         "exit 1 when any metric regresses by more "
-                         "than PCT percent (default 5)\n";
+    return cli::run([&]() -> int {
+        double thresholdPct = 5.0;
+
+        cli::Parser p("gwc_benchdiff",
+                      "[options] baseline.json candidate.json");
+        p.realOpt("--threshold", "", "PCT",
+                  "flag changes worse than PCT percent (default 5);\n"
+                  "any flagged regression makes the exit status 1",
+                  &thresholdPct, 0.0);
+        auto paths = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
             return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            fatal("unknown option '%s'", arg.c_str());
-        } else {
-            paths.push_back(arg);
         }
-    }
-    if (paths.size() != 2)
-        fatal("expected exactly two files (baseline, candidate)");
-
-    auto base = loadBench(paths[0]);
-    auto cand = loadBench(paths[1]);
-
-    Table t({"metric", "baseline", "candidate", "change", "status"});
-    size_t regressions = 0, improvements = 0, compared = 0;
-    for (const auto &[key, bv] : base) {
-        auto it = cand.find(key);
-        if (it == cand.end())
-            continue;
-        ++compared;
-        double cv = it->second;
-        double deltaPct =
-            bv != 0.0 ? (cv - bv) / bv * 100.0
-                      : (cv == 0.0 ? 0.0 : 100.0);
-        bool higher = higherIsBetter(key);
-        // Positive badness = candidate is worse.
-        double badness = higher ? -deltaPct : deltaPct;
-        std::string status = "ok";
-        if (badness > thresholdPct) {
-            status = "REGRESSION";
-            ++regressions;
-        } else if (badness < -thresholdPct) {
-            status = "improved";
-            ++improvements;
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
         }
-        t.addRow({key, Table::num(bv, 3), Table::num(cv, 3),
-                  gwc::strfmt("%+.1f%%", deltaPct), status});
-    }
-    t.print(std::cout);
+        if (paths.size() != 2)
+            raise(ErrorCode::InvalidArgument,
+                  "expected exactly two files (baseline, candidate)");
 
-    for (const auto &[key, v] : cand)
-        if (!base.count(key))
-            std::cout << "new metric: " << key << " = "
-                      << Table::num(v, 3) << "\n";
-    for (const auto &[key, v] : base)
-        if (!cand.count(key))
-            std::cout << "dropped metric: " << key << " (baseline "
-                      << Table::num(v, 3) << ")\n";
+        auto base = loadBench(paths[0]);
+        auto cand = loadBench(paths[1]);
 
-    std::cout << compared << " metrics compared, " << regressions
-              << " regression" << (regressions == 1 ? "" : "s") << ", "
-              << improvements << " improvement"
-              << (improvements == 1 ? "" : "s") << " (threshold "
-              << thresholdPct << "%)\n";
-    return regressions ? 1 : 0;
+        Table t(
+            {"metric", "baseline", "candidate", "change", "status"});
+        size_t regressions = 0, improvements = 0, compared = 0;
+        for (const auto &[key, bv] : base) {
+            auto it = cand.find(key);
+            if (it == cand.end())
+                continue;
+            ++compared;
+            double cv = it->second;
+            double deltaPct =
+                bv != 0.0 ? (cv - bv) / bv * 100.0
+                          : (cv == 0.0 ? 0.0 : 100.0);
+            bool higher = higherIsBetter(key);
+            // Positive badness = candidate is worse.
+            double badness = higher ? -deltaPct : deltaPct;
+            std::string status = "ok";
+            if (badness > thresholdPct) {
+                status = "REGRESSION";
+                ++regressions;
+            } else if (badness < -thresholdPct) {
+                status = "improved";
+                ++improvements;
+            }
+            t.addRow({key, Table::num(bv, 3), Table::num(cv, 3),
+                      gwc::strfmt("%+.1f%%", deltaPct), status});
+        }
+        t.print(std::cout);
+
+        for (const auto &[key, v] : cand)
+            if (!base.count(key))
+                std::cout << "new metric: " << key << " = "
+                          << Table::num(v, 3) << "\n";
+        for (const auto &[key, v] : base)
+            if (!cand.count(key))
+                std::cout << "dropped metric: " << key
+                          << " (baseline " << Table::num(v, 3)
+                          << ")\n";
+
+        std::cout << compared << " metrics compared, " << regressions
+                  << " regression" << (regressions == 1 ? "" : "s")
+                  << ", " << improvements << " improvement"
+                  << (improvements == 1 ? "" : "s") << " (threshold "
+                  << thresholdPct << "%)\n";
+        return regressions ? 1 : 0;
+    });
 }

@@ -7,7 +7,7 @@
  *                    [--jobs N] [--stats-out stats.json]
  *                    [--trace-out run.trace]
  *                    [--timeline-out timeline.json] [--no-verify]
- *                    [workload ...]
+ *                    [--inject kind@workload[:count]] [workload ...]
  *
  * With no workloads listed, the whole registered suite runs. The CSV
  * loads back with gwc_analyze or metrics::loadProfiles(). --stats-out
@@ -15,220 +15,59 @@
  * records the event stream for offline replay with gwc_trace;
  * --timeline-out writes an execution timeline as Chrome trace-event
  * JSON (open in chrome://tracing or Perfetto).
+ *
+ * Failed workloads are recorded and skipped (exit 2 — see
+ * docs/ROBUSTNESS.md); --fail-fast restores abort-on-first-failure.
+ * All of the heavy lifting lives in gwc::runtime::Session; this file
+ * is only the flag table.
  */
 
-#include <chrono>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <memory>
-#include <sstream>
 
-#include "common/logging.hh"
+#include "common/cli.hh"
 #include "common/threadpool.hh"
-#include "metrics/profile_io.hh"
-#include "telemetry/poolstats.hh"
-#include "telemetry/report.hh"
-#include "telemetry/timeline.hh"
-#include "telemetry/trace.hh"
-#include "workloads/suite.hh"
-
-namespace
-{
-
-void
-usage()
-{
-    std::cerr
-        << "usage: gwc_characterize [options] [workload ...]\n"
-           "  -o FILE           output CSV (default: profiles.csv)\n"
-           "  -s N              input-size scale (default 1)\n"
-           "  -S N              profile every Nth CTA only (default 1)\n"
-           "  --jobs N, -j N    worker threads: workloads and CTA\n"
-           "                    blocks run concurrently; profiles are\n"
-           "                    bit-identical to --jobs 1 (default:\n"
-           "                    hardware threads, or $GWC_JOBS)\n"
-           "  --batch N         event-dispatch batch capacity; output\n"
-           "                    is identical for any N (default 512)\n"
-           "  --stats-out FILE  write run report + stats registry JSON\n"
-           "  --trace-out FILE  record the event stream to a trace\n"
-           "  --trace-stride N  trace every Nth CTA only (default 1)\n"
-           "  --trace-buffer N  trace staging buffer, MiB (default 4)\n"
-           "  --trace-flight    keep newest window instead of flushing\n"
-           "  --timeline-out FILE  write the execution timeline as\n"
-           "                    Chrome trace-event JSON\n"
-           "  --no-verify       skip host-reference verification\n"
-           "  --list            list registered workloads and exit\n";
-}
-
-std::string
-geometryString(const gwc::simt::Dim3 &grid, const gwc::simt::Dim3 &cta)
-{
-    std::ostringstream os;
-    os << grid.x << '.' << grid.y << '.' << grid.z << '/' << cta.x
-       << '.' << cta.y << '.' << cta.z;
-    return os.str();
-}
-
-} // anonymous namespace
+#include "runtime/session.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace gwc;
-    using Clock = std::chrono::steady_clock;
+    return cli::run([&]() -> int {
+        runtime::SessionOptions so;
+        so.tool = "gwc_characterize";
+        so.suite.verbose = true;
+        so.suite.jobs = ThreadPool::defaultJobs();
+        std::string outPath = "profiles.csv";
+        bool list = false;
 
-    auto wallStart = Clock::now();
-    std::string outPath = "profiles.csv";
-    std::string statsPath;
-    std::string tracePath;
-    std::string timelinePath;
-    telemetry::TraceWriter::Config tcfg;
-    workloads::SuiteOptions opts;
-    opts.verbose = true;
-    opts.jobs = ThreadPool::defaultJobs();
-    std::vector<std::string> names;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "-o" && i + 1 < argc) {
-            outPath = argv[++i];
-        } else if (arg == "-s" && i + 1 < argc) {
-            opts.scale = uint32_t(std::atoi(argv[++i]));
-            if (opts.scale < 1)
-                fatal("scale must be >= 1");
-        } else if (arg == "-S" && i + 1 < argc) {
-            opts.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
-            if (opts.ctaSampleStride < 1)
-                fatal("CTA stride must be >= 1");
-        } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
-            int jobs = std::atoi(argv[++i]);
-            if (jobs < 1)
-                fatal("--jobs must be >= 1");
-            opts.jobs = uint32_t(jobs);
-        } else if (arg == "--batch" && i + 1 < argc) {
-            int batch = std::atoi(argv[++i]);
-            if (batch < 1)
-                fatal("--batch must be >= 1");
-            opts.eventBatch = size_t(batch);
-        } else if (arg == "--stats-out" && i + 1 < argc) {
-            statsPath = argv[++i];
-        } else if (arg == "--trace-out" && i + 1 < argc) {
-            tracePath = argv[++i];
-        } else if (arg == "--trace-stride" && i + 1 < argc) {
-            tcfg.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
-            if (tcfg.ctaSampleStride < 1)
-                fatal("trace stride must be >= 1");
-        } else if (arg == "--trace-buffer" && i + 1 < argc) {
-            int mib = std::atoi(argv[++i]);
-            if (mib < 1)
-                fatal("trace buffer must be >= 1 MiB");
-            tcfg.bufferBytes = size_t(mib) << 20;
-        } else if (arg == "--trace-flight") {
-            tcfg.flightRecorder = true;
-        } else if (arg == "--timeline-out" && i + 1 < argc) {
-            timelinePath = argv[++i];
-        } else if (arg == "--no-verify") {
-            opts.verify = false;
-        } else if (arg == "--list") {
+        cli::Parser p("gwc_characterize", "[options] [workload ...]");
+        p.strOpt("--output", "-o", "FILE",
+                 "output CSV (default: profiles.csv)", &outPath);
+        runtime::addSuiteFlags(p, so);
+        runtime::addObservabilityFlags(p, so);
+        p.flag("--list", "", "list registered workloads and exit",
+               &list);
+        auto names = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
+            return 0;
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (list) {
             for (const auto &n : workloads::workloadNames()) {
                 auto wl = workloads::makeWorkload(n);
                 std::cout << n << "\t" << wl->desc().suite << "\t"
                           << wl->desc().name << "\n";
             }
             return 0;
-        } else if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        } else {
-            names.push_back(arg);
         }
-    }
 
-    // Validate names up front so a typo fails before any work runs
-    // (makeWorkload would also be fatal, but only mid-suite).
-    for (const auto &n : names)
-        if (!workloads::isWorkload(n))
-            (void)workloads::makeWorkload(n); // fatal, with suggestions
-
-    telemetry::Registry stats;
-    const bool wantStats = !statsPath.empty();
-    if (wantStats || !tracePath.empty())
-        opts.stats = &stats;
-
-    std::unique_ptr<telemetry::TraceWriter> tracer;
-    if (!tracePath.empty()) {
-        tracer =
-            std::make_unique<telemetry::TraceWriter>(tracePath, tcfg);
-        tracer->attachStats(stats);
-        opts.extraHook = tracer.get();
-    }
-
-    telemetry::Timeline timeline;
-    if (!timelinePath.empty())
-        timeline.activate();
-
-    auto runs = workloads::runSuite(names, opts);
-
-    if (!timelinePath.empty()) {
-        // runSuite has joined all pool work, so the timeline is
-        // quiescent and safe to export.
-        timeline.deactivate();
-        std::ofstream os(timelinePath, std::ios::binary);
-        if (!os)
-            fatal("cannot open %s", timelinePath.c_str());
-        timeline.writeChromeTrace(os);
-        if (!os)
-            fatal("error writing %s", timelinePath.c_str());
-        inform("wrote execution timeline to %s", timelinePath.c_str());
-    }
-
-    auto profiles = workloads::allProfiles(runs);
-    metrics::saveProfiles(outPath, profiles);
-    inform("wrote %zu kernel profiles to %s", profiles.size(),
-           outPath.c_str());
-
-    if (tracer) {
-        tracer->close();
-        inform("wrote %llu trace records to %s",
-               (unsigned long long)tracer->recorded().total(),
-               tracePath.c_str());
-    }
-
-    if (wantStats) {
-        telemetry::recordThreadPoolStats(
-            stats, ThreadPool::global().statsSnapshot());
-        telemetry::RunReport rep;
-        rep.tool = "gwc_characterize";
-        rep.wallSec = std::chrono::duration<double>(Clock::now() -
-                                                    wallStart)
-                          .count();
-        rep.hookEvents = stats.counterTotal("engine", "ev_fanout");
-        for (const auto &run : runs) {
-            telemetry::WorkloadReport wr;
-            wr.name = run.desc.abbrev;
-            wr.verified = run.verified;
-            wr.setupSec = run.setupSec;
-            wr.simulateSec = run.simulateSec;
-            wr.profileSec = run.profileSec;
-            wr.verifySec = run.verifySec;
-            wr.warpInstrs = run.totals.warpInstrs;
-            for (const auto &p : run.profiles) {
-                telemetry::KernelReportRow row;
-                row.name = p.kernel;
-                row.launches = p.launches;
-                row.warpInstrs = p.warpInstrs;
-                row.geometry = geometryString(p.grid, p.cta);
-                wr.kernels.push_back(std::move(row));
-            }
-            rep.workloads.push_back(std::move(wr));
-        }
-        telemetry::writeRunReportFile(statsPath, rep, &stats);
-        inform("wrote run report to %s", statsPath.c_str());
-    }
-    return 0;
+        runtime::Session session(std::move(so));
+        session.runSuite(names);
+        session.writeProfiles(outPath);
+        return session.finish();
+    });
 }

@@ -4,113 +4,95 @@
  * print perf-annotate-style tables of the hottest PCs per kernel.
  *
  *   gwc_hotspots [-s scale] [-S ctaStride] [-n topN] [--jobs N]
- *                [--no-verify] [workload ...]
+ *                [--no-verify] [--inject kind@workload[:count]]
+ *                [workload ...]
  *
  * With no workloads listed, the whole registered suite runs. For
  * native-C++ kernels a PC is the dynamic warp-instruction index (see
  * Warp::setPc); GKS kernels carry true static PCs. Tables are
  * bit-identical for any --jobs (the collector shards per CTA block
- * like the characterization profiler).
+ * like the characterization profiler). A workload that fails under
+ * the execution guard is skipped and makes the exit status 2
+ * (docs/ROBUSTNESS.md); --fail-fast aborts on it instead.
  */
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/cli.hh"
 #include "common/threadpool.hh"
 #include "metrics/hotspots.hh"
-#include "workloads/suite.hh"
-
-namespace
-{
-
-void
-usage()
-{
-    std::cerr
-        << "usage: gwc_hotspots [options] [workload ...]\n"
-           "  -s N            input-size scale (default 1)\n"
-           "  -S N            profile every Nth CTA only (default 1)\n"
-           "  -n N            PCs shown per kernel (default 10, 0 = "
-           "all)\n"
-           "  --jobs N, -j N  worker threads for CTA blocks; tables\n"
-           "                  are bit-identical to --jobs 1 (default:\n"
-           "                  hardware threads, or $GWC_JOBS)\n"
-           "  --no-verify     skip host-reference verification\n"
-           "  --list          list registered workloads and exit\n";
-}
-
-} // anonymous namespace
+#include "runtime/session.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace gwc;
+    return cli::run([&]() -> int {
+        runtime::SessionOptions so;
+        so.suite.jobs = ThreadPool::defaultJobs();
+        size_t topN = 10;
+        bool list = false;
 
-    workloads::SuiteOptions opts;
-    opts.jobs = ThreadPool::defaultJobs();
-    size_t topN = 10;
-    std::vector<std::string> names;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "-s" && i + 1 < argc) {
-            opts.scale = uint32_t(std::atoi(argv[++i]));
-            if (opts.scale < 1)
-                fatal("scale must be >= 1");
-        } else if (arg == "-S" && i + 1 < argc) {
-            opts.ctaSampleStride = uint32_t(std::atoi(argv[++i]));
-            if (opts.ctaSampleStride < 1)
-                fatal("CTA stride must be >= 1");
-        } else if (arg == "-n" && i + 1 < argc) {
-            topN = size_t(std::atoll(argv[++i]));
-        } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
-            int jobs = std::atoi(argv[++i]);
-            if (jobs < 1)
-                fatal("--jobs must be >= 1");
-            opts.jobs = uint32_t(jobs);
-        } else if (arg == "--no-verify") {
-            opts.verify = false;
-        } else if (arg == "--list") {
+        cli::Parser p("gwc_hotspots", "[options] [workload ...]");
+        p.sizeOpt("--top", "-n", "N",
+                  "PCs shown per kernel (default 10, 0 = all)", &topN);
+        runtime::addSuiteFlags(p, so);
+        p.flag("--list", "", "list registered workloads and exit",
+               &list);
+        auto names = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
+            return 0;
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (list) {
             for (const auto &n : workloads::workloadNames())
                 std::cout << n << "\n";
             return 0;
-        } else if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        } else {
-            names.push_back(arg);
         }
-    }
-    if (names.empty())
-        names = workloads::workloadNames();
-    for (const auto &n : names)
-        if (!workloads::isWorkload(n))
-            (void)workloads::makeWorkload(n); // fatal, with suggestions
+        if (names.empty())
+            names = workloads::workloadNames();
+        if (Status st = workloads::checkWorkloadNames(names); !st.ok())
+            throw Error(st);
 
-    // One collector per workload: an extraHook observes a single
-    // engine, so the workload loop runs serially here (CTA blocks of
-    // each launch still run on --jobs threads via sharding).
-    bool first = true;
-    for (const auto &name : names) {
-        metrics::HotspotProfiler::Config hcfg;
-        hcfg.ctaSampleStride = opts.ctaSampleStride;
-        metrics::HotspotProfiler hot(hcfg);
-        workloads::SuiteOptions wopts = opts;
-        wopts.extraHook = &hot;
-        auto runs = workloads::runSuite({name}, wopts);
-        auto tables = hot.finalize(runs.at(0).desc.abbrev);
-        for (const auto &ks : tables) {
-            if (!first)
-                std::cout << "\n";
-            first = false;
-            metrics::renderHotspots(std::cout, ks, topN);
+        runtime::InjectionPlan plan;
+        if (!so.injectSpecs.empty()) {
+            Status st = plan.addSpecs(so.injectSpecs);
+            if (!st.ok())
+                throw Error(st);
+            so.suite.inject = &plan;
         }
-    }
-    return 0;
+
+        // One collector per workload: an extraHook observes a single
+        // engine, so the workload loop runs serially here (CTA blocks
+        // of each launch still run on --jobs threads via sharding).
+        int ec = 0;
+        bool first = true;
+        for (const auto &name : names) {
+            metrics::HotspotProfiler::Config hcfg;
+            hcfg.ctaSampleStride = so.suite.ctaSampleStride;
+            metrics::HotspotProfiler hot(hcfg);
+            workloads::SuiteOptions wopts = so.suite;
+            wopts.extraHook = &hot;
+            auto runs = workloads::runSuite({name}, wopts);
+            if (runs.at(0).failed()) {
+                // runSuite already warned; keep going, flag the exit.
+                ec = 2;
+                continue;
+            }
+            auto tables = hot.finalize(runs.at(0).desc.abbrev);
+            for (const auto &ks : tables) {
+                if (!first)
+                    std::cout << "\n";
+                first = false;
+                metrics::renderHotspots(std::cout, ks, topN);
+            }
+        }
+        return ec;
+    });
 }

@@ -15,229 +15,171 @@
  * concurrent engines); --timeline-out writes an execution timeline as
  * Chrome trace-event JSON. --jobs runs workloads concurrently; output
  * rows, reports and stats totals are assembled in workload order,
- * identical to a serial run.
+ * identical to a serial run. The observability wiring (registry,
+ * tracer, timeline, report) lives in gwc::runtime::Session; the
+ * timing loop below drives engines directly.
  */
 
 #include <chrono>
-#include <cstdlib>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
 
-#include "common/logging.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "common/threadpool.hh"
-#include "telemetry/poolstats.hh"
-#include "telemetry/report.hh"
-#include "telemetry/timeline.hh"
-#include "telemetry/trace.hh"
+#include "runtime/session.hh"
 #include "timing/gpu.hh"
-#include "workloads/suite.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace gwc;
     using Clock = std::chrono::steady_clock;
+    return cli::run([&]() -> int {
+        runtime::SessionOptions so;
+        so.tool = "gwc_simulate";
+        so.suite.jobs = ThreadPool::defaultJobs();
 
-    auto wallStart = Clock::now();
-    uint32_t scale = 1;
-    uint32_t jobs = ThreadPool::defaultJobs();
-    std::string statsPath;
-    std::string tracePath;
-    std::string timelinePath;
-    std::vector<std::string> names;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "-s" && i + 1 < argc) {
-            scale = uint32_t(std::atoi(argv[++i]));
-            if (scale < 1)
-                fatal("scale must be >= 1");
-        } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
-            int v = std::atoi(argv[++i]);
-            if (v < 1)
-                fatal("--jobs must be >= 1");
-            jobs = uint32_t(v);
-        } else if (arg == "--stats-out" && i + 1 < argc) {
-            statsPath = argv[++i];
-        } else if (arg == "--trace-out" && i + 1 < argc) {
-            tracePath = argv[++i];
-        } else if (arg == "--timeline-out" && i + 1 < argc) {
-            timelinePath = argv[++i];
-        } else if (arg == "-h" || arg == "--help") {
-            std::cerr
-                << "usage: gwc_simulate [-s scale] [--jobs N] "
-                   "[--stats-out stats.json] [--trace-out run.trace] "
-                   "[--timeline-out timeline.json] [workload ...]\n"
-                   "  --jobs N, -j N  simulate workloads concurrently; "
-                   "output is identical to --jobs 1\n"
-                   "                  (default: hardware threads, or "
-                   "$GWC_JOBS)\n"
-                   "  --trace-out FILE     record the event stream "
-                   "(serializes the workload loop)\n"
-                   "  --timeline-out FILE  write the execution "
-                   "timeline as Chrome trace JSON\n";
+        cli::Parser p("gwc_simulate", "[options] [workload ...]");
+        p.uintOpt("--scale", "-s", "N", "input-size scale (default 1)",
+                  &so.suite.scale, 1);
+        p.uintOpt("--jobs", "-j", "N",
+                  "simulate workloads concurrently; output is\n"
+                  "identical to --jobs 1 (default: hardware\n"
+                  "threads, or $GWC_JOBS)",
+                  &so.suite.jobs, 1);
+        runtime::addObservabilityFlags(p, so);
+        auto names = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
             return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            fatal("unknown option '%s'", arg.c_str());
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (names.empty())
+            names = workloads::workloadNames();
+        if (Status st = workloads::checkWorkloadNames(names); !st.ok())
+            throw Error(st);
+
+        const uint32_t scale = so.suite.scale;
+        const uint32_t jobs = so.suite.jobs;
+        const bool wantStats = !so.statsOut.empty();
+        runtime::Session session(std::move(so));
+        telemetry::TraceWriter *tracer = session.tracer();
+
+        auto cfgs = timing::designSpace();
+        std::vector<std::string> hdr{"kernel", "instrs",
+                                     "ipc@" + cfgs[0].name};
+        for (size_t c = 1; c < cfgs.size(); ++c)
+            hdr.push_back(cfgs[c].name);
+        Table t(hdr);
+
+        // Per-workload results are produced independently (possibly
+        // in parallel) and assembled in workload order below, so the
+        // table, the report and the stats totals never depend on
+        // --jobs.
+        struct WlResult
+        {
+            std::vector<std::vector<std::string>> rows;
+            telemetry::WorkloadReport wr;
+            std::unique_ptr<telemetry::Registry> reg;
+        };
+        std::vector<WlResult> results(names.size());
+
+        auto runWl = [&](size_t i) {
+            const std::string &name = names[i];
+            WlResult &res = results[i];
+            res.reg = std::make_unique<telemetry::Registry>();
+            auto wl = workloads::makeWorkload(name);
+            telemetry::TimelineScope wlSpan("workload", name);
+            simt::Engine engine;
+            if (wantStats)
+                engine.attachStats(*res.reg);
+            timing::TraceCapture cap;
+            auto t0 = Clock::now();
+            {
+                telemetry::TimelineScope ts("phase", name + " setup");
+                wl->setup(engine, scale);
+            }
+            auto t1 = Clock::now();
+            engine.addHook(&cap);
+            if (tracer)
+                engine.addHook(tracer);
+            {
+                telemetry::TimelineScope ts("phase",
+                                            name + " simulate");
+                wl->run(engine);
+            }
+            engine.clearHooks();
+            auto t2 = Clock::now();
+
+            std::map<std::string, std::vector<timing::KernelTrace>> by;
+            std::vector<std::string> order;
+            for (auto &tr : cap.traces()) {
+                if (!by.count(tr.name))
+                    order.push_back(tr.name);
+                by[tr.name].push_back(std::move(tr));
+            }
+            telemetry::WorkloadReport &wr = res.wr;
+            wr.name = name;
+            wr.setupSec =
+                std::chrono::duration<double>(t1 - t0).count();
+            wr.simulateSec =
+                std::chrono::duration<double>(t2 - t1).count();
+            for (const auto &kname : order) {
+                std::vector<timing::SimResult> simres;
+                for (const auto &cfg : cfgs)
+                    simres.push_back(
+                        timing::simulateAll(by[kname], cfg));
+                std::vector<std::string> row{
+                    name + "." + kname,
+                    Table::integer(int64_t(simres[0].instrs)),
+                    Table::num(simres[0].ipc, 2)};
+                for (size_t c = 1; c < cfgs.size(); ++c)
+                    row.push_back(
+                        Table::num(double(simres[0].cycles) /
+                                       double(simres[c].cycles),
+                                   3));
+                res.rows.push_back(std::move(row));
+
+                telemetry::KernelReportRow krow;
+                krow.name = kname;
+                krow.launches = uint32_t(by[kname].size());
+                krow.warpInstrs = simres[0].instrs;
+                wr.warpInstrs += simres[0].instrs;
+                wr.kernels.push_back(std::move(krow));
+            }
+        };
+
+        // A trace recorder is one hook object; it cannot watch several
+        // engines at once, so --trace-out pins the workload loop
+        // serial.
+        if (jobs > 1 && names.size() > 1 && !tracer) {
+            std::vector<std::function<void()>> tasks;
+            tasks.reserve(names.size());
+            for (size_t i = 0; i < names.size(); ++i)
+                tasks.push_back([&runWl, i] { runWl(i); });
+            ThreadPool::global().runAll(std::move(tasks), jobs);
         } else {
-            names.push_back(arg);
+            for (size_t i = 0; i < names.size(); ++i)
+                runWl(i);
         }
-    }
-    if (names.empty())
-        names = workloads::workloadNames();
-    for (const auto &n : names)
-        if (!workloads::isWorkload(n))
-            (void)workloads::makeWorkload(n); // fatal, with suggestions
 
-    telemetry::Registry stats;
-    const bool wantStats = !statsPath.empty();
-    telemetry::RunReport rep;
-    rep.tool = "gwc_simulate";
-
-    std::unique_ptr<telemetry::TraceWriter> tracer;
-    if (!tracePath.empty()) {
-        tracer = std::make_unique<telemetry::TraceWriter>(tracePath);
-        if (wantStats)
-            tracer->attachStats(stats);
-    }
-
-    telemetry::Timeline timeline;
-    if (!timelinePath.empty())
-        timeline.activate();
-
-    auto cfgs = timing::designSpace();
-    std::vector<std::string> hdr{"kernel", "instrs",
-                                 "ipc@" + cfgs[0].name};
-    for (size_t c = 1; c < cfgs.size(); ++c)
-        hdr.push_back(cfgs[c].name);
-    Table t(hdr);
-
-    // Per-workload results are produced independently (possibly in
-    // parallel) and assembled in workload order below, so the table,
-    // the report and the stats totals never depend on --jobs.
-    struct WlResult
-    {
-        std::vector<std::vector<std::string>> rows;
-        telemetry::WorkloadReport wr;
-        std::unique_ptr<telemetry::Registry> reg;
-    };
-    std::vector<WlResult> results(names.size());
-
-    auto runWl = [&](size_t i) {
-        const std::string &name = names[i];
-        WlResult &res = results[i];
-        res.reg = std::make_unique<telemetry::Registry>();
-        auto wl = workloads::makeWorkload(name);
-        telemetry::TimelineScope wlSpan("workload", name);
-        simt::Engine engine;
-        if (wantStats)
-            engine.attachStats(*res.reg);
-        timing::TraceCapture cap;
-        auto t0 = Clock::now();
-        {
-            telemetry::TimelineScope ts("phase", name + " setup");
-            wl->setup(engine, scale);
+        for (auto &res : results) {
+            for (auto &row : res.rows)
+                t.addRow(row);
+            session.report().workloads.push_back(std::move(res.wr));
+            if (wantStats)
+                session.stats().mergeFrom(*res.reg);
         }
-        auto t1 = Clock::now();
-        engine.addHook(&cap);
-        if (tracer)
-            engine.addHook(tracer.get());
-        {
-            telemetry::TimelineScope ts("phase", name + " simulate");
-            wl->run(engine);
-        }
-        engine.clearHooks();
-        auto t2 = Clock::now();
+        std::cout << "speedup of each design point vs " << cfgs[0].name
+                  << " (ipc column is the baseline)\n\n";
+        t.print(std::cout);
 
-        std::map<std::string, std::vector<timing::KernelTrace>> by;
-        std::vector<std::string> order;
-        for (auto &tr : cap.traces()) {
-            if (!by.count(tr.name))
-                order.push_back(tr.name);
-            by[tr.name].push_back(std::move(tr));
-        }
-        telemetry::WorkloadReport &wr = res.wr;
-        wr.name = name;
-        wr.setupSec = std::chrono::duration<double>(t1 - t0).count();
-        wr.simulateSec =
-            std::chrono::duration<double>(t2 - t1).count();
-        for (const auto &kname : order) {
-            std::vector<timing::SimResult> simres;
-            for (const auto &cfg : cfgs)
-                simres.push_back(timing::simulateAll(by[kname], cfg));
-            std::vector<std::string> row{
-                name + "." + kname,
-                Table::integer(int64_t(simres[0].instrs)),
-                Table::num(simres[0].ipc, 2)};
-            for (size_t c = 1; c < cfgs.size(); ++c)
-                row.push_back(Table::num(double(simres[0].cycles) /
-                                             double(simres[c].cycles),
-                                         3));
-            res.rows.push_back(std::move(row));
-
-            telemetry::KernelReportRow krow;
-            krow.name = kname;
-            krow.launches = uint32_t(by[kname].size());
-            krow.warpInstrs = simres[0].instrs;
-            wr.warpInstrs += simres[0].instrs;
-            wr.kernels.push_back(std::move(krow));
-        }
-    };
-
-    // A trace recorder is one hook object; it cannot watch several
-    // engines at once, so --trace-out pins the workload loop serial.
-    if (jobs > 1 && names.size() > 1 && !tracer) {
-        std::vector<std::function<void()>> tasks;
-        tasks.reserve(names.size());
-        for (size_t i = 0; i < names.size(); ++i)
-            tasks.push_back([&runWl, i] { runWl(i); });
-        ThreadPool::global().runAll(std::move(tasks), jobs);
-    } else {
-        for (size_t i = 0; i < names.size(); ++i)
-            runWl(i);
-    }
-
-    if (tracer) {
-        tracer->close();
-        inform("wrote %llu trace records to %s",
-               (unsigned long long)tracer->recorded().total(),
-               tracePath.c_str());
-    }
-    if (!timelinePath.empty()) {
-        // All pool work has joined, so the timeline is quiescent.
-        timeline.deactivate();
-        std::ofstream os(timelinePath, std::ios::binary);
-        if (!os)
-            fatal("cannot open %s", timelinePath.c_str());
-        timeline.writeChromeTrace(os);
-        if (!os)
-            fatal("error writing %s", timelinePath.c_str());
-        inform("wrote execution timeline to %s", timelinePath.c_str());
-    }
-
-    for (auto &res : results) {
-        for (auto &row : res.rows)
-            t.addRow(row);
-        rep.workloads.push_back(std::move(res.wr));
-        if (wantStats)
-            stats.mergeFrom(*res.reg);
-    }
-    std::cout << "speedup of each design point vs " << cfgs[0].name
-              << " (ipc column is the baseline)\n\n";
-    t.print(std::cout);
-
-    if (wantStats) {
-        telemetry::recordThreadPoolStats(
-            stats, ThreadPool::global().statsSnapshot());
-        rep.wallSec = std::chrono::duration<double>(Clock::now() -
-                                                    wallStart)
-                          .count();
-        rep.hookEvents = stats.counterTotal("engine", "ev_fanout");
-        telemetry::writeRunReportFile(statsPath, rep, &stats);
-        inform("wrote run report to %s", statsPath.c_str());
-    }
-    return 0;
+        return session.finish();
+    });
 }

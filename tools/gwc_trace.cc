@@ -11,7 +11,7 @@
  * (kernel|cta|instr|mem|branch|barrier), CTA or warp; annotate
  * replays the trace through the per-PC hotspot profiler and prints
  * the top-N PCs per kernel (see gwc_hotspots). Bad or truncated
- * trace files are fatal (nonzero exit).
+ * trace files are fatal (exit 1).
  */
 
 #include <cstdlib>
@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "metrics/hotspots.hh"
@@ -29,23 +30,6 @@ namespace
 {
 
 using namespace gwc;
-
-void
-usage()
-{
-    std::cerr
-        << "usage: gwc_trace <command> [options] trace-file\n"
-           "commands:\n"
-           "  summary      header, record counts, per-kernel table\n"
-           "  dump         print records as text\n"
-           "  annotate     per-PC hotspot tables (-n PCs per kernel,\n"
-           "               default 10, 0 = all)\n"
-           "dump options:\n"
-           "  -n N         print at most N records\n"
-           "  --kind K     kernel|cta|instr|mem|branch|barrier\n"
-           "  --cta N      only records of linear CTA N\n"
-           "  --warp N     only records of warp N\n";
-}
 
 /** Accumulates per-kernel record counts during replay. */
 class SummaryHook : public simt::ProfilerHook
@@ -211,111 +195,136 @@ class DumpHook : public simt::ProfilerHook
     uint64_t printed_ = 0;
 };
 
+/** Strict decimal parse for the post-parse numeric filters. */
+int64_t
+parseI64(const std::string &flagName, const std::string &text)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end == nullptr || *end != '\0' || v < 0)
+        raise(ErrorCode::InvalidArgument,
+              "%s wants a non-negative integer, got '%s'",
+              flagName.c_str(), text.c_str());
+    return int64_t(v);
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3) {
-        usage();
-        return 2;
-    }
-    std::string cmd = argv[1];
-    DumpHook dump;
-    bool limitSet = false;
-    std::string path;
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "-n" && i + 1 < argc) {
-            dump.limit = uint64_t(std::atoll(argv[++i]));
-            limitSet = true;
-        } else if (arg == "--kind" && i + 1 < argc) {
-            dump.kind = argv[++i];
-        } else if (arg == "--cta" && i + 1 < argc) {
-            dump.cta = std::atoll(argv[++i]);
-        } else if (arg == "--warp" && i + 1 < argc) {
-            dump.warp = std::atoll(argv[++i]);
-        } else if (arg == "-h" || arg == "--help") {
-            usage();
+    return cli::run([&]() -> int {
+        DumpHook dump;
+        std::string limitStr, ctaStr, warpStr;
+
+        cli::Parser p("gwc_trace",
+                      "<summary|dump|annotate> [options] trace-file");
+        p.strOpt("--limit", "-n", "N",
+                 "dump: print at most N records; annotate: PCs per\n"
+                 "kernel (default 10, 0 = all)",
+                 &limitStr);
+        p.strOpt("--kind", "", "K",
+                 "dump: kernel|cta|instr|mem|branch|barrier",
+                 &dump.kind);
+        p.strOpt("--cta", "", "N",
+                 "dump: only records of linear CTA N", &ctaStr);
+        p.strOpt("--warp", "", "N",
+                 "dump: only records of warp N", &warpStr);
+        auto pos = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
             return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        } else {
-            path = arg;
         }
-    }
-    if (path.empty()) {
-        usage();
-        return 2;
-    }
-
-    telemetry::TraceReader reader(path);
-
-    if (cmd == "dump") {
-        uint64_t orphans = 0;
-        reader.replay(dump, &orphans);
-        if (orphans)
-            warn("skipped %llu orphaned leading records",
-                 (unsigned long long)orphans);
-        return 0;
-    }
-    if (cmd == "annotate") {
-        metrics::HotspotProfiler hot;
-        uint64_t orphans = 0;
-        reader.replay(hot, &orphans);
-        if (orphans)
-            warn("skipped %llu orphaned leading records",
-                 (unsigned long long)orphans);
-        size_t topN = limitSet ? size_t(dump.limit) : 10;
-        bool first = true;
-        for (const auto &ks : hot.finalize("")) {
-            if (!first)
-                std::cout << "\n";
-            first = false;
-            metrics::renderHotspots(std::cout, ks, topN);
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
         }
+        if (pos.size() != 2)
+            raise(ErrorCode::InvalidArgument,
+                  "expected a command and a trace file (see --help)");
+        const std::string &cmd = pos[0];
+        const std::string &path = pos[1];
+
+        const bool limitSet = !limitStr.empty();
+        if (limitSet)
+            dump.limit = uint64_t(parseI64("-n", limitStr));
+        if (!ctaStr.empty())
+            dump.cta = parseI64("--cta", ctaStr);
+        if (!warpStr.empty())
+            dump.warp = parseI64("--warp", warpStr);
+
+        telemetry::TraceReader reader(path);
+
+        if (cmd == "dump") {
+            uint64_t orphans = 0;
+            reader.replay(dump, &orphans);
+            if (orphans)
+                warn("skipped %llu orphaned leading records",
+                     (unsigned long long)orphans);
+            return 0;
+        }
+        if (cmd == "annotate") {
+            metrics::HotspotProfiler hot;
+            uint64_t orphans = 0;
+            reader.replay(hot, &orphans);
+            if (orphans)
+                warn("skipped %llu orphaned leading records",
+                     (unsigned long long)orphans);
+            size_t topN = limitSet ? size_t(dump.limit) : 10;
+            bool first = true;
+            for (const auto &ks : hot.finalize("")) {
+                if (!first)
+                    std::cout << "\n";
+                first = false;
+                metrics::renderHotspots(std::cout, ks, topN);
+            }
+            return 0;
+        }
+        if (cmd != "summary")
+            raise(ErrorCode::InvalidArgument,
+                  "unknown command '%s' (see --help)", cmd.c_str());
+
+        SummaryHook sum;
+        uint64_t orphans = 0;
+        telemetry::TraceCounts counts = reader.replay(sum, &orphans);
+
+        std::cout << path << ": trace v" << reader.version()
+                  << ", cta sample stride " << reader.ctaSampleStride()
+                  << ", " << counts.total() << " records";
+        if (orphans)
+            std::cout << " (+" << orphans << " orphaned, skipped)";
+        std::cout << "\n\n";
+
+        Table ct({"record", "count"});
+        ct.addRow({"kernel_begin",
+                   Table::integer(int64_t(counts.kernelBegins))});
+        ct.addRow({"kernel_end",
+                   Table::integer(int64_t(counts.kernelEnds))});
+        ct.addRow({"cta_begin",
+                   Table::integer(int64_t(counts.ctaBegins))});
+        ct.addRow({"cta_end",
+                   Table::integer(int64_t(counts.ctaEnds))});
+        ct.addRow({"instr", Table::integer(int64_t(counts.instrs))});
+        ct.addRow({"mem", Table::integer(int64_t(counts.mems))});
+        ct.addRow({"branch",
+                   Table::integer(int64_t(counts.branches))});
+        ct.addRow({"barrier",
+                   Table::integer(int64_t(counts.barriers))});
+        ct.print(std::cout);
+
+        std::cout << "\n";
+        Table kt({"kernel", "launches", "ctas", "instrs", "mems",
+                  "branches", "barriers"});
+        for (const auto &name : sum.order()) {
+            const auto &r = sum.row(name);
+            kt.addRow({name, Table::integer(r.launches),
+                       Table::integer(int64_t(r.ctas)),
+                       Table::integer(int64_t(r.instrs)),
+                       Table::integer(int64_t(r.mems)),
+                       Table::integer(int64_t(r.branches)),
+                       Table::integer(int64_t(r.barriers))});
+        }
+        kt.print(std::cout);
         return 0;
-    }
-    if (cmd != "summary") {
-        usage();
-        fatal("unknown command '%s'", cmd.c_str());
-    }
-
-    SummaryHook sum;
-    uint64_t orphans = 0;
-    telemetry::TraceCounts counts = reader.replay(sum, &orphans);
-
-    std::cout << path << ": trace v" << reader.version()
-              << ", cta sample stride " << reader.ctaSampleStride()
-              << ", " << counts.total() << " records";
-    if (orphans)
-        std::cout << " (+" << orphans << " orphaned, skipped)";
-    std::cout << "\n\n";
-
-    Table ct({"record", "count"});
-    ct.addRow({"kernel_begin", Table::integer(int64_t(counts.kernelBegins))});
-    ct.addRow({"kernel_end", Table::integer(int64_t(counts.kernelEnds))});
-    ct.addRow({"cta_begin", Table::integer(int64_t(counts.ctaBegins))});
-    ct.addRow({"cta_end", Table::integer(int64_t(counts.ctaEnds))});
-    ct.addRow({"instr", Table::integer(int64_t(counts.instrs))});
-    ct.addRow({"mem", Table::integer(int64_t(counts.mems))});
-    ct.addRow({"branch", Table::integer(int64_t(counts.branches))});
-    ct.addRow({"barrier", Table::integer(int64_t(counts.barriers))});
-    ct.print(std::cout);
-
-    std::cout << "\n";
-    Table kt({"kernel", "launches", "ctas", "instrs", "mems",
-              "branches", "barriers"});
-    for (const auto &name : sum.order()) {
-        const auto &r = sum.row(name);
-        kt.addRow({name, Table::integer(r.launches),
-                   Table::integer(int64_t(r.ctas)),
-                   Table::integer(int64_t(r.instrs)),
-                   Table::integer(int64_t(r.mems)),
-                   Table::integer(int64_t(r.branches)),
-                   Table::integer(int64_t(r.barriers))});
-    }
-    kt.print(std::cout);
-    return 0;
+    });
 }
