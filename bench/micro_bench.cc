@@ -9,11 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "cluster/kmeans.hh"
 #include "metrics/profiler.hh"
 #include "metrics/reuse.hh"
 #include "simt/engine.hh"
 #include "stats/pca.hh"
+#include "telemetry/monitor.hh"
+#include "telemetry/stats.hh"
 
 namespace
 {
@@ -110,6 +114,55 @@ BM_EngineSaxpyProfiled(benchmark::State &state)
         double(instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EngineSaxpyProfiled);
+
+/**
+ * Monitoring overhead: the profiled saxpy launch with the live
+ * observability layer fully armed — an ActivityBoard on the engine's
+ * per-CTA hot path and a background MetricsSampler appending JSONL +
+ * rewriting the heartbeat every 100ms (5x the default cadence). The
+ * gap to BM_EngineSaxpyProfiled is the whole cost of watching a run;
+ * the acceptance bar is <= 2% (BENCH_monitor.json).
+ */
+void
+BM_EngineSaxpyProfiledSampled(benchmark::State &state)
+{
+    Engine e;
+    const uint32_t n = 32768;
+    auto x = e.alloc<float>(n);
+    auto y = e.alloc<float>(n);
+    KernelParams p;
+    p.push(x.addr()).push(y.addr());
+    metrics::Profiler prof;
+    e.addHook(&prof);
+
+    telemetry::Registry reg;
+    telemetry::ActivityBoard board;
+    e.setActivity(&board);
+    telemetry::MonitorConfig cfg;
+    cfg.intervalSec = 0.1;
+    cfg.metricsPath = "/tmp/gwc_bench_monitor.jsonl";
+    cfg.heartbeatPath = "/tmp/gwc_bench_monitor_hb.json";
+    cfg.runId = "benchbenchbench1";
+    telemetry::MetricsSampler sampler(cfg, &reg, &board);
+    sampler.start();
+    board.workloadBegin("saxpy", cfg.runId + ":saxpy#1");
+
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st =
+            e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        instrs += st.warpInstrs;
+    }
+    board.workloadEnd("saxpy", true);
+    sampler.stop();
+    std::remove(cfg.metricsPath.c_str());
+    std::remove(cfg.heartbeatPath.c_str());
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+    state.counters["samples"] = double(sampler.samples());
+}
+BENCHMARK(BM_EngineSaxpyProfiledSampled);
 
 /**
  * CTA-block parallelism: the profiled saxpy launch at --jobs 1/2/4.

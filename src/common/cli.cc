@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/logging.hh"
+
 namespace gwc::cli
 {
 
@@ -243,6 +245,8 @@ Parser::unknownOption(const std::string &arg) const
     }
     known.push_back("--help");
     known.push_back("--version");
+    known.push_back("--log-level");
+    known.push_back("--log-json");
     auto sug = suggestClosest(arg, known);
     std::string hint;
     for (const auto &s : sug)
@@ -266,6 +270,26 @@ Parser::parse(int argc, char **argv)
         }
         if (arg == "--version") {
             versionRequested_ = true;
+            continue;
+        }
+        // Logging switches are built in (like --help) so every tool
+        // honours them without registering anything; they take effect
+        // immediately so later parse errors already obey them.
+        if (arg == "--log-level") {
+            if (i + 1 >= argc)
+                raise(ErrorCode::InvalidArgument,
+                      "option --log-level requires a value LEVEL");
+            LogLevel lvl;
+            std::string v = argv[++i];
+            if (!parseLogLevel(v, &lvl))
+                raise(ErrorCode::InvalidArgument,
+                      "--log-level expects debug, info, warn or "
+                      "error, got '%s'", v.c_str());
+            setLogLevel(lvl);
+            continue;
+        }
+        if (arg == "--log-json") {
+            setLogJson(true);
             continue;
         }
         const Opt *o = find(arg);
@@ -305,7 +329,9 @@ Parser::helpText() const
 
     const std::string helpLabel = "-h, --help";
     const std::string versionLabel = "--version";
-    size_t width = helpLabel.size();
+    const std::string logLevelLabel = "--log-level LEVEL";
+    const std::string logJsonLabel = "--log-json";
+    size_t width = std::max(helpLabel.size(), logLevelLabel.size());
     for (const auto &o : opts_)
         width = std::max(width, label(o).size());
 
@@ -327,6 +353,9 @@ Parser::helpText() const
     };
     for (const auto &o : opts_)
         emit(label(o), o.help);
+    emit(logLevelLabel,
+         "minimum log severity: debug, info, warn,\nerror (default info)");
+    emit(logJsonLabel, "structured JSONL log lines");
     emit(helpLabel, "show this help and exit");
     emit(versionLabel, "print the version and exit");
     return out;

@@ -16,7 +16,10 @@
  * `--help`/`-h` and `--version` are registered automatically and are
  * reported via helpRequested()/versionRequested() after parse();
  * helpText() is a pure function of the option table so it can be
- * golden-tested without running a binary.
+ * golden-tested without running a binary. `--log-level LEVEL` and
+ * `--log-json` are likewise built in: they configure common/logging
+ * (severity floor, structured JSONL records) the moment they are
+ * parsed, so every gwc tool shares one logging surface.
  */
 
 #ifndef GWC_COMMON_CLI_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Flat-JSON reader implementation (recursive descent, no DOM).
+ */
+
+#include "common/flatjson.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "runtime/status.hh"
+
+namespace gwc
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &path, const std::string &text)
+        : path_(path), s_(text)
+    {
+    }
+
+    FlatJson
+    parse()
+    {
+        skipWs();
+        value("");
+        skipWs();
+        if (pos_ != s_.size())
+            die("trailing characters");
+        return std::move(out_);
+    }
+
+  private:
+    [[noreturn]] void
+    die(const char *what)
+    {
+        raise(ErrorCode::DataLoss, "%s: invalid JSON at byte %zu: %s",
+              path_.c_str(), pos_, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            die("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            die("unexpected character");
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                die("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    die("unterminated escape");
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u':
+                    // Keys never need non-ASCII here; keep the code
+                    // point's hex digits as a placeholder.
+                    for (int i = 0; i < 4 && pos_ < s_.size(); ++i)
+                        out += s_[pos_++];
+                    break;
+                default: die("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    void
+    value(const std::string &key)
+    {
+        switch (peek()) {
+        case '{': {
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return;
+            }
+            while (true) {
+                skipWs();
+                std::string k = parseString();
+                skipWs();
+                expect(':');
+                skipWs();
+                value(key.empty() ? k : key + "." + k);
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return;
+            }
+        }
+        case '[': {
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return;
+            }
+            size_t idx = 0;
+            while (true) {
+                skipWs();
+                value(key + "." + std::to_string(idx++));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return;
+            }
+        }
+        case '"':
+            out_.strs[key] = parseString();
+            return;
+        case 't':
+            literal("true");
+            out_.strs[key] = "true";
+            return;
+        case 'f':
+            literal("false");
+            out_.strs[key] = "false";
+            return;
+        case 'n':
+            literal("null");
+            return;
+        default: {
+            size_t start = pos_;
+            if (peek() == '-')
+                ++pos_;
+            while (pos_ < s_.size() &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(s_[pos_])) ||
+                    s_[pos_] == '.' || s_[pos_] == 'e' ||
+                    s_[pos_] == 'E' || s_[pos_] == '+' ||
+                    s_[pos_] == '-'))
+                ++pos_;
+            if (pos_ == start)
+                die("expected a value");
+            out_.nums[key] =
+                std::atof(s_.substr(start, pos_ - start).c_str());
+            return;
+        }
+        }
+    }
+
+    void
+    literal(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                die("bad literal");
+            ++pos_;
+        }
+    }
+
+    const std::string &path_;
+    const std::string &s_;
+    size_t pos_ = 0;
+    FlatJson out_;
+};
+
+} // anonymous namespace
+
+FlatJson
+parseFlatJson(const std::string &path, const std::string &text)
+{
+    return Parser(path, text).parse();
+}
+
+} // namespace gwc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal flat-JSON reader shared by the offline tools.
+ *
+ * Parses one JSON document into dotted-path leaves: numbers under
+ * FlatJson::nums, strings and booleans under FlatJson::strs (booleans
+ * as "true"/"false"), nulls validated but dropped. Arrays index as
+ * ".0", ".1", ... This deliberately flat view is all gwc_benchdiff
+ * (metric comparison) and gwc_monitor (heartbeat/metrics tailing)
+ * need, without growing a DOM library.
+ */
+
+#ifndef GWC_COMMON_FLATJSON_HH
+#define GWC_COMMON_FLATJSON_HH
+
+#include <map>
+#include <string>
+
+namespace gwc
+{
+
+/** Leaves of one flattened JSON document. */
+struct FlatJson
+{
+    std::map<std::string, double> nums;      ///< numeric leaves
+    std::map<std::string, std::string> strs; ///< string/bool leaves
+};
+
+/**
+ * Flatten @p text (a complete JSON document). @p path names the
+ * source in errors only. Throws gwc::Error(DataLoss) on malformed
+ * input, naming the byte offset.
+ */
+FlatJson parseFlatJson(const std::string &path,
+                       const std::string &text);
+
+} // namespace gwc
+
+#endif // GWC_COMMON_FLATJSON_HH

@@ -1,12 +1,22 @@
 /**
  * @file
  * Implementation of the logging helpers.
+ *
+ * Every line is rendered into one string first and written with a
+ * single fwrite under a mutex, so concurrent workloads (--jobs) can
+ * never interleave fragments of their messages. The mutex also
+ * serializes the optional sink used by tests and embedding daemons.
  */
 
 #include "common/logging.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <mutex>
 #include <vector>
 
 namespace gwc
@@ -15,7 +25,11 @@ namespace gwc
 namespace
 {
 
-bool verboseEnabled = true;
+std::mutex logMu;                     // guards the state below + writes
+LogLevel logFloor = LogLevel::Info;
+bool logJson = false;
+std::string logRun;                   // run correlation id ("" = none)
+std::function<void(LogLevel, const std::string &)> logSink;
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -33,7 +47,179 @@ vstrfmt(const char *fmt, va_list ap)
     return out;
 }
 
+/** Minimal JSON string escaping (common cannot link telemetry). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Wall-clock "YYYY-MM-DDTHH:MM:SS.mmmZ" of now. */
+std::string
+nowIso()
+{
+    using namespace std::chrono;
+    auto now = system_clock::now();
+    std::time_t secs = system_clock::to_time_t(now);
+    auto ms = duration_cast<milliseconds>(now.time_since_epoch())
+                  .count() % 1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[80];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec, int(ms));
+    return buf;
+}
+
+/**
+ * Render and write one line atomically. @p event is "" for plain
+ * messages; fields only accompany events. Must be called with logMu
+ * NOT held.
+ */
+void
+emitLine(LogLevel level, const std::string &event,
+         const std::string &msg,
+         const std::initializer_list<LogField> *fields)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    if (level < logFloor)
+        return;
+
+    std::string line;
+    if (logJson) {
+        line = "{\"ts\":\"" + nowIso() + "\",\"level\":\"" +
+               logLevelName(level) + "\"";
+        if (!logRun.empty())
+            line += ",\"run_id\":\"" + escape(logRun) + "\"";
+        if (!event.empty())
+            line += ",\"event\":\"" + escape(event) + "\"";
+        if (!msg.empty())
+            line += ",\"msg\":\"" + escape(msg) + "\"";
+        if (fields)
+            for (const auto &[k, v] : *fields)
+                line += ",\"" + escape(k) + "\":\"" + escape(v) + "\"";
+        line += "}";
+    } else {
+        line = std::string(logLevelName(level)) + ":";
+        if (!event.empty())
+            line += " [" + event + "]";
+        if (!msg.empty())
+            line += " " + msg;
+        if (fields)
+            for (const auto &[k, v] : *fields)
+                line += " " + k + "=" + v;
+    }
+    if (logSink)
+        logSink(level, line);
+    std::FILE *stream = level >= LogLevel::Warn ? stderr : stdout;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stream);
+    std::fflush(stream);
+}
+
 } // anonymous namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    }
+    return "info";
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel *out)
+{
+    std::string t = text;
+    std::transform(t.begin(), t.end(), t.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    if (t == "debug")
+        *out = LogLevel::Debug;
+    else if (t == "info")
+        *out = LogLevel::Info;
+    else if (t == "warn" || t == "warning")
+        *out = LogLevel::Warn;
+    else if (t == "error")
+        *out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    logFloor = level;
+}
+
+LogLevel
+logLevel()
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    return logFloor;
+}
+
+void
+setLogJson(bool json)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    logJson = json;
+}
+
+void
+setLogRunId(const std::string &runId)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    logRun = runId;
+}
+
+std::string
+logRunId()
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    return logRun;
+}
+
+void
+setLogSink(std::function<void(LogLevel, const std::string &)> sink)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    logSink = std::move(sink);
+}
+
+void
+logEvent(LogLevel level, const std::string &event,
+         std::initializer_list<LogField> fields)
+{
+    emitLine(level, event, "", &fields);
+}
 
 void
 panic(const char *fmt, ...)
@@ -42,7 +228,13 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    // panic bypasses the severity floor: it is always fatal.
+    {
+        std::lock_guard<std::mutex> lock(logMu);
+        std::string line = "panic: " + msg + "\n";
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    }
     std::abort();
 }
 
@@ -53,7 +245,12 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMu);
+        std::string line = "fatal: " + msg + "\n";
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    }
     std::exit(1);
 }
 
@@ -64,25 +261,23 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(LogLevel::Warn, "", msg, nullptr);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (!verboseEnabled)
-        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(LogLevel::Info, "", msg, nullptr);
 }
 
 void
 setVerbose(bool verbose)
 {
-    verboseEnabled = verbose;
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
 }
 
 std::string

@@ -5,13 +5,26 @@
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (library bugs), fatal() is for user errors that make
  * continuing impossible, warn()/inform() are advisory.
+ *
+ * Since the monitoring PR the logger is campaign-grade: every line is
+ * written atomically (no interleaving between concurrent workloads
+ * under --jobs), a severity filter replaces the old verbose switch,
+ * and an optional JSONL mode emits structured records carrying the
+ * session's run correlation id — the same `run_id` the run report,
+ * the metrics series and the timeline spans cross-reference
+ * (docs/OBSERVABILITY.md). All seven CLI tools expose the switches as
+ * `--log-level` / `--log-json` via common/cli.hh.
  */
 
 #ifndef GWC_COMMON_LOGGING_HH
 #define GWC_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <string>
+#include <utility>
 
 namespace gwc
 {
@@ -37,7 +50,71 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Enable/disable inform() output (warnings always print). */
+/** Severity of a log line, lowest first. */
+enum class LogLevel : uint8_t
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Stable lower-case name of @p level ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse "debug" / "info" / "warn" / "error" (case-insensitive) into
+ * @p out. Returns false on anything else, leaving @p out untouched.
+ */
+bool parseLogLevel(const std::string &text, LogLevel *out);
+
+/** Drop log lines below @p level (default Info). */
+void setLogLevel(LogLevel level);
+
+/** Current severity floor. */
+LogLevel logLevel();
+
+/**
+ * Switch between human-readable lines ("info: ...") and structured
+ * JSONL records ({"ts":...,"level":...,"msg":...}).
+ */
+void setLogJson(bool json);
+
+/**
+ * Attach a run correlation id carried by every structured log line
+ * (and by logEvent in both formats). Empty clears it. Set once per
+ * Session; see docs/OBSERVABILITY.md "Correlation ids".
+ */
+void setLogRunId(const std::string &runId);
+
+/** The attached run correlation id ("" when none). */
+std::string logRunId();
+
+/** One key/value of a structured log event. */
+using LogField = std::pair<std::string, std::string>;
+
+/**
+ * Emit a structured event: a named record with key/value fields. In
+ * text mode it renders as "warn: [stall] workload=MUM phase=simulate
+ * ..."; in JSONL mode as one JSON object with the fields inlined plus
+ * ts/level/event/run_id. Lines are written atomically, like every
+ * other log line.
+ */
+void logEvent(LogLevel level, const std::string &event,
+              std::initializer_list<LogField> fields);
+
+/**
+ * Test/daemon hook: when set, every emitted line (after level
+ * filtering, before stream I/O) is also handed to @p sink as
+ * (level, complete line without trailing newline). Null clears it.
+ * The sink runs under the log mutex: keep it fast and non-logging.
+ */
+void setLogSink(std::function<void(LogLevel, const std::string &)> sink);
+
+/**
+ * Enable/disable inform() output (warnings always print). Kept for
+ * backward compatibility: forwards to setLogLevel(Info / Warn).
+ */
 void setVerbose(bool verbose);
 
 /** printf-style formatting into a std::string. */

@@ -33,6 +33,15 @@ struct GuardLimits
      */
     double timeoutSec = 0;
 
+    /**
+     * Advisory stall deadline in seconds (0 = off). Nothing is
+     * cancelled when it passes: the metrics sampler raises a
+     * structured "stall" warning for workloads that exceed it, so an
+     * operator hears about a wedged workload well before the hard
+     * timeoutSec fires (docs/OBSERVABILITY.md "Stall watchdog").
+     */
+    double softTimeoutSec = 0;
+
     /** Device-memory budget in bytes (0 = unlimited). */
     uint64_t memBudgetBytes = 0;
 };

@@ -28,8 +28,22 @@ Session::Session(SessionOptions opts)
         opts_.suite.inject = &plan_;
     }
     report_.tool = opts_.tool;
+
+    // Run correlation: one id per session, carried by structured log
+    // lines, timeline spans, attempt ids, the metrics series and the
+    // run report (docs/OBSERVABILITY.md "Correlation ids").
+    runId_ = telemetry::mintRunId();
+    setLogRunId(runId_);
+    report_.runId = runId_;
+    report_.startedAt = telemetry::isoTimestampUtc();
+    opts_.suite.runId = runId_;
+    opts_.suite.activity = &board_;
+
+    const bool wantSampler =
+        !opts_.metricsOut.empty() || !opts_.heartbeatOut.empty();
     wantStats_ = !opts_.statsOut.empty();
-    if (wantStats_ || !opts_.traceOut.empty())
+    if (wantStats_ || !opts_.traceOut.empty() ||
+        !opts_.promOut.empty() || wantSampler)
         opts_.suite.stats = &stats_;
     if (!opts_.traceOut.empty()) {
         tracer_ = std::make_unique<telemetry::TraceWriter>(
@@ -39,6 +53,17 @@ Session::Session(SessionOptions opts)
     }
     if (!opts_.timelineOut.empty())
         timeline_.activate();
+    if (wantSampler) {
+        telemetry::MonitorConfig mc;
+        mc.intervalSec = opts_.metricsIntervalSec;
+        mc.metricsPath = opts_.metricsOut;
+        mc.heartbeatPath = opts_.heartbeatOut;
+        mc.stallAfterSec = opts_.suite.limits.softTimeoutSec;
+        mc.runId = runId_;
+        sampler_ = std::make_unique<telemetry::MetricsSampler>(
+            mc, &stats_, &board_);
+        sampler_->start();
+    }
 }
 
 Session::~Session()
@@ -55,6 +80,7 @@ Session::runSuite(const std::vector<std::string> &names)
     for (const auto &run : runs_) {
         telemetry::WorkloadReport wr;
         wr.name = run.desc.abbrev;
+        wr.attemptId = run.attemptId;
         wr.verified = run.verified;
         wr.attempts = run.attempts;
         if (run.failed()) {
@@ -98,6 +124,12 @@ Session::finish()
         return ec;
     finished_ = true;
 
+    // The sampler's stop() takes a final tick, so even a run shorter
+    // than one interval leaves a complete last sample and heartbeat.
+    if (sampler_)
+        sampler_->stop();
+    report_.endedAt = telemetry::isoTimestampUtc();
+
     if (!opts_.timelineOut.empty()) {
         // All pool work has joined by now, so the timeline is
         // quiescent and safe to export.
@@ -122,9 +154,10 @@ Session::finish()
     }
 
     report_.exitCode = ec;
-    if (wantStats_) {
+    if (wantStats_ || !opts_.promOut.empty())
         telemetry::recordThreadPoolStats(
             stats_, ThreadPool::global().statsSnapshot());
+    if (wantStats_) {
         report_.wallSec = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() -
                               wallStart_)
@@ -133,6 +166,20 @@ Session::finish()
         telemetry::writeRunReportFile(opts_.statsOut, report_,
                                       &stats_);
         inform("wrote run report to %s", opts_.statsOut.c_str());
+    }
+    if (!opts_.promOut.empty()) {
+        // The suite has quiesced (all pool work joined), which the
+        // histogram families of writeProm require.
+        std::ofstream os(opts_.promOut, std::ios::trunc);
+        if (!os)
+            raise(ErrorCode::IoError, "cannot open %s",
+                  opts_.promOut.c_str());
+        stats_.writeProm(os);
+        if (!os)
+            raise(ErrorCode::IoError, "error writing %s",
+                  opts_.promOut.c_str());
+        inform("wrote Prometheus exposition to %s",
+               opts_.promOut.c_str());
     }
     return ec;
 }
@@ -181,6 +228,11 @@ addSuiteFlags(cli::Parser &p, SessionOptions &o)
               "per-workload wall-clock limit, 0 = off\n"
               "(default 0; checked at CTA granularity)",
               &o.suite.limits.timeoutSec, 0);
+    p.realOpt("--soft-timeout", "", "SEC",
+              "advisory stall deadline: log a structured\n"
+              "warning when a workload runs longer, without\n"
+              "cancelling it (default 0 = off)",
+              &o.suite.limits.softTimeoutSec, 0);
     p.mibOpt("--mem-budget", "", "MIB",
              "per-workload device-memory budget in MiB,\n"
              "0 = off (default 0)",
@@ -211,6 +263,20 @@ addObservabilityFlags(cli::Parser &p, SessionOptions &o)
     p.strOpt("--timeline-out", "", "FILE",
              "write the execution timeline as Chrome\n"
              "trace-event JSON", &o.timelineOut);
+    p.strOpt("--metrics-out", "", "FILE",
+             "append live metrics samples (JSONL): board,\n"
+             "stats counters, thread pool, /proc/self",
+             &o.metricsOut);
+    p.realOpt("--metrics-interval", "", "SEC",
+              "metrics sampling cadence (default 0.5)",
+              &o.metricsIntervalSec, 0);
+    p.strOpt("--heartbeat-out", "", "FILE",
+             "rewrite a single-object heartbeat JSON on\n"
+             "every sample (atomic rename; gwc_monitor\n"
+             "tails it)", &o.heartbeatOut);
+    p.strOpt("--prom-out", "", "FILE",
+             "write final stats in the Prometheus text\n"
+             "exposition format", &o.promOut);
 }
 
 } // namespace gwc::runtime

@@ -25,6 +25,7 @@
 
 #include "common/cli.hh"
 #include "runtime/inject.hh"
+#include "telemetry/monitor.hh"
 #include "telemetry/report.hh"
 #include "telemetry/stats.hh"
 #include "telemetry/timeline.hh"
@@ -49,6 +50,12 @@ struct SessionOptions
     std::string traceOut;          ///< event trace path ("" = off)
     telemetry::TraceWriter::Config traceConfig;
     std::string timelineOut;       ///< Chrome trace JSON path ("" = off)
+
+    // Live monitoring (docs/OBSERVABILITY.md "Live monitoring").
+    std::string metricsOut;        ///< metrics JSONL path ("" = off)
+    double metricsIntervalSec = 0.5; ///< sampling cadence
+    std::string heartbeatOut;      ///< heartbeat JSON path ("" = off)
+    std::string promOut;           ///< Prometheus exposition ("" = off)
 };
 
 /**
@@ -80,6 +87,16 @@ class Session
 
     /** The event-trace recorder, or null without traceOut. */
     telemetry::TraceWriter *tracer() { return tracer_.get(); }
+
+    /** The run correlation id minted for this session. */
+    const std::string &runId() const { return runId_; }
+
+    /** The live activity board (always present; tools that drive
+     * engines by hand post begin/end and attach it to their engines). */
+    telemetry::ActivityBoard &activity() { return board_; }
+
+    /** The metrics sampler, or null without metricsOut/heartbeatOut. */
+    telemetry::MetricsSampler *sampler() { return sampler_.get(); }
 
     /** The run report finish() will write; tools that bypass
      * runSuite() fill workloads themselves. */
@@ -133,6 +150,9 @@ class Session
     InjectionPlan plan_;
     telemetry::Registry stats_;
     bool wantStats_ = false;
+    std::string runId_;
+    telemetry::ActivityBoard board_;
+    std::unique_ptr<telemetry::MetricsSampler> sampler_;
     std::unique_ptr<telemetry::TraceWriter> tracer_;
     telemetry::Timeline timeline_;
     std::vector<workloads::WorkloadRun> runs_;
@@ -149,14 +169,15 @@ std::string geometryString(const simt::Dim3 &grid,
  * Register the suite-execution flags shared by the workload-running
  * tools on @p p, bound into @p o: -s/--scale, -S/--cta-stride,
  * -j/--jobs, --batch, --no-verify, --fail-fast, --retries,
- * --retry-backoff, --timeout, --mem-budget, --inject.
+ * --retry-backoff, --timeout, --soft-timeout, --mem-budget, --inject.
  */
 void addSuiteFlags(cli::Parser &p, SessionOptions &o);
 
 /**
  * Register the observability flags shared by the workload-running
  * tools: --stats-out, --trace-out, --trace-stride, --trace-buffer,
- * --trace-flight, --timeline-out.
+ * --trace-flight, --timeline-out, --metrics-out, --metrics-interval,
+ * --heartbeat-out, --prom-out.
  */
 void addObservabilityFlags(cli::Parser &p, SessionOptions &o);
 

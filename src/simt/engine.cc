@@ -13,6 +13,7 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "common/threadpool.hh"
+#include "telemetry/monitor.hh"
 #include "telemetry/timeline.hh"
 
 namespace gwc::simt
@@ -79,6 +80,7 @@ Engine::runCtaRange(const KernelInfo &info, const KernelFn &fn,
         // this; the pool rethrows the lowest-indexed block's error.
         if (cancel_ && cancel_->stopRequested())
             throw Error(cancel_->stopStatus());
+        const uint64_t instrsBefore = warpInstrs;
         if (dispatch)
             hooks.ctaBegin(ctaLin);
         smem.assign(info.sharedBytes, 0);
@@ -137,6 +139,9 @@ Engine::runCtaRange(const KernelInfo &info, const KernelFn &fn,
 
         if (dispatch)
             hooks.ctaEnd(ctaLin);
+        // Live progress beat, CTA-granular like the cancel poll above.
+        if (activity_)
+            activity_->progress(1, warpInstrs - instrsBefore);
     }
 }
 

@@ -24,6 +24,11 @@
 #include "simt/warp.hh"
 #include "telemetry/stats.hh"
 
+namespace gwc::telemetry
+{
+class ActivityBoard;
+}
+
 namespace gwc::simt
 {
 
@@ -132,6 +137,20 @@ class Engine
     }
 
     /**
+     * Attach a live activity board (not owned; null detaches). The
+     * engine reports per-CTA progress (CTAs completed, warp
+     * instructions retired) next to the cancellation poll, so the
+     * metrics sampler sees a run move while the stats registry is
+     * still private to the workload (docs/OBSERVABILITY.md). Relaxed
+     * atomics: no effect on results or determinism.
+     */
+    void
+    setActivity(telemetry::ActivityBoard *board)
+    {
+        activity_ = board;
+    }
+
+    /**
      * Launch @p fn over @p grid x @p cta threads.
      *
      * Invalid geometry (3D CTAs, CTA size outside [1, 1024], an empty
@@ -168,6 +187,7 @@ class Engine
     HookList hooks_;
     unsigned jobs_ = 1;
     const runtime::CancelToken *cancel_ = nullptr;
+    telemetry::ActivityBoard *activity_ = nullptr;
 
     // Telemetry bindings (null until attachStats).
     telemetry::Counter *statLaunches_ = nullptr;

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Live monitoring implementation: run ids, /proc sampling, the
+ * activity board and the background metrics sampler.
+ */
+
+#include "telemetry/monitor.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
+#include <random>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+#include "runtime/status.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::telemetry
+{
+
+std::string
+mintRunId()
+{
+    // 64 bits of random_device entropy xor-folded with the wall clock:
+    // unique across concurrent campaigns and across rapid restarts
+    // even on hosts with a weak random_device.
+    std::random_device rd;
+    uint64_t bits = (uint64_t(rd()) << 32) ^ rd();
+    bits ^= uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now()
+                             .time_since_epoch())
+                         .count());
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+std::string
+isoTimestampUtc()
+{
+    auto now = std::chrono::system_clock::now();
+    std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now.time_since_epoch())
+                  .count() %
+              1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[80];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec, int(ms));
+    return buf;
+}
+
+ProcStat
+sampleProcSelf()
+{
+    ProcStat ps;
+
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return ps;
+    std::string line;
+    while (std::getline(status, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "VmRSS:")
+            ls >> ps.rssKb;
+        else if (key == "VmSize:")
+            ls >> ps.vmKb;
+        else if (key == "Threads:")
+            ls >> ps.threads;
+    }
+
+    std::ifstream stat("/proc/self/stat");
+    if (stat) {
+        std::string text((std::istreambuf_iterator<char>(stat)),
+                         std::istreambuf_iterator<char>());
+        // comm (field 2) may contain spaces; skip past its ')'.
+        size_t paren = text.rfind(')');
+        if (paren != std::string::npos) {
+            std::istringstream rest(text.substr(paren + 1));
+            std::string skip;
+            uint64_t utimeTicks = 0, stimeTicks = 0;
+            // fields 3..13 then utime (14) and stime (15)
+            for (int f = 3; f <= 13; ++f)
+                rest >> skip;
+            rest >> utimeTicks >> stimeTicks;
+            double hz = double(sysconf(_SC_CLK_TCK));
+            if (hz > 0) {
+                ps.utimeSec = double(utimeTicks) / hz;
+                ps.stimeSec = double(stimeTicks) / hz;
+            }
+        }
+    }
+
+    ps.ok = true;
+    return ps;
+}
+
+void
+ActivityBoard::workloadBegin(const std::string &workload,
+                             const std::string &attemptId,
+                             double softDeadlineSec)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_[workload] = Entry{attemptId, "start",
+                                   std::chrono::steady_clock::now(),
+                                   softDeadlineSec};
+    }
+    touch();
+}
+
+void
+ActivityBoard::workloadPhase(const std::string &workload,
+                             const std::string &phase)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = running_.find(workload);
+        if (it == running_.end())
+            return;
+        it->second.phase = phase;
+    }
+    touch();
+}
+
+void
+ActivityBoard::workloadEnd(const std::string &workload, bool ok)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_.erase(workload);
+    }
+    (ok ? done_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    touch();
+}
+
+ActivityBoard::Snapshot
+ActivityBoard::snapshot(double defaultStallSec) const
+{
+    Snapshot snap;
+    auto now = std::chrono::steady_clock::now();
+
+    snap.done = done_.load(std::memory_order_relaxed);
+    snap.failed = failed_.load(std::memory_order_relaxed);
+    snap.ctas = ctas_.load(std::memory_order_relaxed);
+    snap.warpInstrs = warpInstrs_.load(std::memory_order_relaxed);
+
+    uint64_t lastNs = lastEventNs_.load(std::memory_order_relaxed);
+    if (lastNs > 0) {
+        auto sinceEpoch =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - epoch_)
+                .count();
+        snap.lastEventAgeSec =
+            double(uint64_t(sinceEpoch) - (lastNs - 1)) * 1e-9;
+        if (snap.lastEventAgeSec < 0)
+            snap.lastEventAgeSec = 0;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.running.reserve(running_.size());
+    for (const auto &[name, e] : running_) {
+        RunningRow row;
+        row.workload = name;
+        row.attemptId = e.attemptId;
+        row.phase = e.phase;
+        row.ageSec =
+            std::chrono::duration_cast<std::chrono::duration<double>>(
+                now - e.start)
+                .count();
+        row.softDeadlineSec = e.softDeadlineSec;
+        double limit = e.softDeadlineSec > 0 ? e.softDeadlineSec
+                                             : defaultStallSec;
+        row.stalled = limit > 0 && row.ageSec > limit;
+        snap.running.push_back(std::move(row));
+    }
+    return snap;
+}
+
+MetricsSampler::MetricsSampler(MonitorConfig cfg, const Registry *stats,
+                               ActivityBoard *board)
+    : cfg_(std::move(cfg)), stats_(stats), board_(board),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    stop();
+}
+
+void
+MetricsSampler::start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_)
+        return;
+    if (!cfg_.metricsPath.empty()) {
+        metrics_.open(cfg_.metricsPath, std::ios::app);
+        if (!metrics_)
+            raise(ErrorCode::IoError, "cannot open metrics file '%s'",
+                  cfg_.metricsPath.c_str());
+    }
+    started_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+MetricsSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!started_ || stopped_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    tickOnce();   // final sample: short runs still get >= 1 record
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (metrics_.is_open())
+            metrics_.close();
+        stopped_ = true;
+    }
+}
+
+void
+MetricsSampler::loop()
+{
+    auto interval = std::chrono::duration<double>(
+        cfg_.intervalSec > 0 ? cfg_.intervalSec : 0.5);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock, interval, [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        tickOnce();
+        lock.lock();
+    }
+}
+
+void
+MetricsSampler::tickOnce()
+{
+    std::lock_guard<std::mutex> tick(tickMu_);
+
+    auto snap = board_ ? board_->snapshot(cfg_.stallAfterSec)
+                       : ActivityBoard::Snapshot{};
+    ProcStat ps = sampleProcSelf();
+    ThreadPool::Stats pool = ThreadPool::global().statsSnapshot();
+
+    uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    double uptime =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count();
+    std::string ts = isoTimestampUtc();
+
+    // Stall warnings: once per attempt, through the structured logger
+    // so --log-json consumers see them as machine-readable events.
+    for (const auto &row : snap.running) {
+        if (!row.stalled || stallWarned_.count(row.attemptId))
+            continue;
+        stallWarned_.insert(row.attemptId);
+        double limit = row.softDeadlineSec > 0 ? row.softDeadlineSec
+                                               : cfg_.stallAfterSec;
+        logEvent(LogLevel::Warn, "stall",
+                 {{"workload", row.workload},
+                  {"attempt_id", row.attemptId},
+                  {"phase", row.phase},
+                  {"age_sec", strfmt("%.1f", row.ageSec)},
+                  {"soft_deadline_sec", strfmt("%.1f", limit)}});
+    }
+
+    // Aggregate pool counters; per-worker detail stays in --pool-stats.
+    uint64_t poolTasks = 0, poolSteals = 0, poolIdleNs = 0;
+    for (const auto &w : pool.workers) {
+        poolTasks += w.tasks;
+        poolSteals += w.steals;
+        poolIdleNs += w.idleNs;
+    }
+
+    std::ostringstream line;
+    line << "{\"seq\":" << seq << ",\"ts\":\"" << ts
+         << "\",\"uptime_sec\":" << std::fixed << std::setprecision(3)
+         << uptime << ",\"run_id\":\"" << jsonEscape(cfg_.runId)
+         << "\",\"workloads\":{\"done\":" << snap.done
+         << ",\"failed\":" << snap.failed
+         << ",\"running\":" << snap.running.size()
+         << "},\"progress\":{\"ctas\":" << snap.ctas
+         << ",\"warp_instrs\":" << snap.warpInstrs
+         << ",\"last_event_age_sec\":" << std::setprecision(3)
+         << snap.lastEventAgeSec
+         << "},\"proc\":{\"ok\":" << (ps.ok ? "true" : "false")
+         << ",\"rss_kb\":" << ps.rssKb << ",\"vm_kb\":" << ps.vmKb
+         << ",\"threads\":" << ps.threads
+         << ",\"utime_sec\":" << std::setprecision(3) << ps.utimeSec
+         << ",\"stime_sec\":" << ps.stimeSec
+         << "},\"pool\":{\"workers\":" << pool.workers.size()
+         << ",\"tasks\":" << poolTasks
+         << ",\"caller_tasks\":" << pool.callerTasks
+         << ",\"steals\":" << poolSteals
+         << ",\"idle_ns\":" << poolIdleNs
+         << ",\"groups\":" << pool.groups << "}";
+    if (stats_) {
+        line << ",\"counters\":{";
+        bool first = true;
+        for (const auto &[name, value] : stats_->counterSnapshot()) {
+            if (!first)
+                line << ",";
+            first = false;
+            line << "\"" << jsonEscape(name) << "\":" << value;
+        }
+        line << "}";
+    }
+    line << "}";
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (metrics_.is_open()) {
+            metrics_ << line.str() << "\n";
+            metrics_.flush();
+        }
+    }
+
+    if (!cfg_.heartbeatPath.empty()) {
+        std::ostringstream hb;
+        hb << "{\"run_id\":\"" << jsonEscape(cfg_.runId)
+           << "\",\"ts\":\"" << ts << "\",\"seq\":" << seq
+           << ",\"uptime_sec\":" << std::fixed << std::setprecision(3)
+           << uptime << ",\"interval_sec\":" << cfg_.intervalSec
+           << ",\"workloads\":{\"done\":" << snap.done
+           << ",\"failed\":" << snap.failed
+           << ",\"running\":" << snap.running.size()
+           << "},\"progress\":{\"ctas\":" << snap.ctas
+           << ",\"warp_instrs\":" << snap.warpInstrs
+           << ",\"last_event_age_sec\":" << snap.lastEventAgeSec
+           << "},\"running\":[";
+        bool first = true;
+        for (const auto &row : snap.running) {
+            if (!first)
+                hb << ",";
+            first = false;
+            hb << "{\"workload\":\"" << jsonEscape(row.workload)
+               << "\",\"attempt_id\":\"" << jsonEscape(row.attemptId)
+               << "\",\"phase\":\"" << jsonEscape(row.phase)
+               << "\",\"age_sec\":" << row.ageSec
+               << ",\"soft_deadline_sec\":" << row.softDeadlineSec
+               << ",\"stalled\":" << (row.stalled ? "true" : "false")
+               << "}";
+        }
+        hb << "]}\n";
+
+        // tmp + rename: a tailer never observes a torn heartbeat.
+        std::string tmp = cfg_.heartbeatPath + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out)
+                return;
+            out << hb.str();
+        }
+        std::rename(tmp.c_str(), cfg_.heartbeatPath.c_str());
+    }
+}
+
+} // namespace gwc::telemetry

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Live run observability: correlation ids, the shared activity board,
+ * process self-sampling and the background metrics sampler.
+ *
+ * The stats Registry is deliberately quiet while a suite is in flight
+ * (per-workload registries merge only after every workload finishes,
+ * to keep --stats-out byte-identical across --jobs). The ActivityBoard
+ * is the live counterpart: engines bump its relaxed atomics per CTA,
+ * the suite driver posts begin/phase/end transitions, and the
+ * MetricsSampler snapshots the whole picture on a fixed cadence into
+ * an append-only JSONL series plus a single-object heartbeat file.
+ * gwc_monitor tails both. See docs/OBSERVABILITY.md "Live monitoring".
+ *
+ * Everything here is observe-only: with no sampler attached the board
+ * costs two relaxed fetch_adds and a steady_clock read per CTA, and
+ * suite outputs are byte-identical with sampling on or off.
+ */
+
+#ifndef GWC_TELEMETRY_MONITOR_HH
+#define GWC_TELEMETRY_MONITOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gwc::telemetry
+{
+
+class Registry;
+
+/**
+ * Mint a fresh run correlation id: 16 lower-case hex digits mixing
+ * entropy and wall-clock time, unique across concurrent campaigns.
+ */
+std::string mintRunId();
+
+/** Current wall-clock time as ISO 8601 UTC with millisecond precision
+ * ("2026-08-08T12:34:56.789Z"). */
+std::string isoTimestampUtc();
+
+/** Point-in-time resource usage of this process, from /proc/self. */
+struct ProcStat
+{
+    bool ok = false;        ///< false when /proc is unavailable
+    uint64_t rssKb = 0;     ///< VmRSS
+    uint64_t vmKb = 0;      ///< VmSize
+    uint32_t threads = 0;   ///< Threads
+    double utimeSec = 0.0;  ///< user CPU time
+    double stimeSec = 0.0;  ///< system CPU time
+};
+
+/** Read /proc/self/status and /proc/self/stat (ok=false on failure). */
+ProcStat sampleProcSelf();
+
+/**
+ * Shared scoreboard of in-flight work. The suite driver posts workload
+ * begin/phase/end transitions (mutex-guarded, cold path); engines
+ * report CTA/instruction progress through relaxed atomics (hot path).
+ * snapshot() is safe from any thread at any time.
+ */
+class ActivityBoard
+{
+  public:
+    ActivityBoard() : epoch_(std::chrono::steady_clock::now()) {}
+
+    /** A workload attempt entered the running set. @p softDeadlineSec
+     * of 0 means "use the sampler's default stall threshold". */
+    void workloadBegin(const std::string &workload,
+                       const std::string &attemptId,
+                       double softDeadlineSec = 0.0);
+
+    /** Update the phase label of a running workload (no-op when the
+     * workload is not on the board). */
+    void workloadPhase(const std::string &workload,
+                       const std::string &phase);
+
+    /** A workload attempt left the running set. */
+    void workloadEnd(const std::string &workload, bool ok);
+
+    /**
+     * Engine hot path: @p ctas CTAs and @p warpInstrs warp-instruction
+     * slots completed since the last call. Relaxed atomics plus one
+     * steady_clock read; no locks.
+     */
+    void
+    progress(uint64_t ctas, uint64_t warpInstrs)
+    {
+        ctas_.fetch_add(ctas, std::memory_order_relaxed);
+        warpInstrs_.fetch_add(warpInstrs, std::memory_order_relaxed);
+        touch();
+    }
+
+    /** Refresh the last-event clock without counting progress. */
+    void
+    touch()
+    {
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+        lastEventNs_.store(uint64_t(ns) + 1, std::memory_order_relaxed);
+    }
+
+    /** One running workload as seen by snapshot(). */
+    struct RunningRow
+    {
+        std::string workload;
+        std::string attemptId;
+        std::string phase;
+        double ageSec = 0.0;          ///< since workloadBegin
+        double softDeadlineSec = 0.0; ///< 0 = sampler default applies
+        bool stalled = false;         ///< ageSec exceeded the deadline
+    };
+
+    /** Point-in-time view of the board. */
+    struct Snapshot
+    {
+        uint64_t done = 0;
+        uint64_t failed = 0;
+        uint64_t ctas = 0;
+        uint64_t warpInstrs = 0;
+        /** Seconds since the last board event (-1 = no event yet). */
+        double lastEventAgeSec = -1.0;
+        std::vector<RunningRow> running;
+    };
+
+    /**
+     * Capture the board. Rows are flagged stalled when their age
+     * exceeds their soft deadline (or @p defaultStallSec for rows
+     * without one); pass 0 to disable the default.
+     */
+    Snapshot snapshot(double defaultStallSec = 0.0) const;
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+
+    struct Entry
+    {
+        std::string attemptId;
+        std::string phase;
+        std::chrono::steady_clock::time_point start;
+        double softDeadlineSec = 0.0;
+    };
+
+    mutable std::mutex mu_;   ///< guards running_
+    std::map<std::string, Entry> running_;
+
+    std::atomic<uint64_t> done_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> ctas_{0};
+    std::atomic<uint64_t> warpInstrs_{0};
+    /** ns since epoch_ of the last event, +1 so 0 means "never". */
+    std::atomic<uint64_t> lastEventNs_{0};
+};
+
+/** Configuration of one MetricsSampler. */
+struct MonitorConfig
+{
+    double intervalSec = 0.5;   ///< sampling cadence
+    std::string metricsPath;    ///< JSONL series ("" = none)
+    std::string heartbeatPath;  ///< single-object heartbeat ("" = none)
+    double stallAfterSec = 0.0; ///< default soft deadline (0 = off)
+    std::string runId;          ///< correlation id stamped on samples
+};
+
+/**
+ * Background sampler: every intervalSec it snapshots the ActivityBoard,
+ * the (optional) stats Registry counters, the global ThreadPool and
+ * /proc/self, appends one JSON object to the metrics series, rewrites
+ * the heartbeat file atomically (tmp + rename) and raises a structured
+ * "stall" warning — once per attempt — for workloads past their soft
+ * deadline. stop() takes a final sample so short runs still produce at
+ * least one record. Only atomic counters are read from the Registry
+ * (counterSnapshot), never histograms, so sampling races with nothing.
+ */
+class MetricsSampler
+{
+  public:
+    /** @p stats may be null (no counters section); @p board must
+     * outlive the sampler. */
+    MetricsSampler(MonitorConfig cfg, const Registry *stats,
+                   ActivityBoard *board);
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+    /** Open outputs and launch the sampling thread. Throws
+     * gwc::Error(IoError) when the metrics path cannot be opened. */
+    void start();
+
+    /** Final sample, join the thread, flush and close (idempotent). */
+    void stop();
+
+    /** Take one sample synchronously (tests; also what the loop and
+     * stop() call). Safe alongside the background thread. */
+    void tickOnce();
+
+    /** Number of samples emitted so far. */
+    uint64_t samples() const
+    { return seq_.load(std::memory_order_relaxed); }
+
+    const MonitorConfig &config() const { return cfg_; }
+
+  private:
+    void loop();
+
+    MonitorConfig cfg_;
+    const Registry *stats_;
+    ActivityBoard *board_;
+
+    std::chrono::steady_clock::time_point epoch_;
+    std::ofstream metrics_;
+    std::atomic<uint64_t> seq_{0};
+
+    std::mutex tickMu_;     ///< serializes tickOnce bodies
+    std::set<std::string> stallWarned_; ///< attempt ids, under tickMu_
+
+    std::thread thread_;
+    std::mutex mu_;         ///< guards stop_/started_ with cv_
+    std::condition_variable cv_;
+    bool started_ = false;
+    bool stopping_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_MONITOR_HH

@@ -51,7 +51,17 @@ writeRunReport(std::ostream &os, const RunReport &r,
         r.wallSec > 0 ? double(r.hookEvents) / r.wallSec : 0.0;
 
     os << "{\"tool\":\"" << jsonEscape(r.tool) << "\","
-       << "\"schema_version\":" << kReportSchemaVersion << ","
+       << "\"schema_version\":" << kReportSchemaVersion << ",";
+    // Correlation/timestamp fields are additive: emitted only when
+    // the producer set them, so schema v2 consumers keep working and
+    // bare-Registry tests see an unchanged document.
+    if (!r.runId.empty())
+        os << "\"run_id\":\"" << jsonEscape(r.runId) << "\",";
+    if (!r.startedAt.empty())
+        os << "\"started_at\":\"" << jsonEscape(r.startedAt) << "\",";
+    if (!r.endedAt.empty())
+        os << "\"ended_at\":\"" << jsonEscape(r.endedAt) << "\",";
+    os
        << "\"totals\":{"
        << "\"workloads\":" << r.workloads.size() << ","
        << "\"failed\":" << failed << ","
@@ -73,8 +83,11 @@ writeRunReport(std::ostream &os, const RunReport &r,
         if (!firstW)
             os << ",";
         firstW = false;
-        os << "{\"name\":\"" << jsonEscape(w.name) << "\","
-           << "\"status\":\"" << jsonEscape(w.status) << "\","
+        os << "{\"name\":\"" << jsonEscape(w.name) << "\",";
+        if (!w.attemptId.empty())
+            os << "\"attempt_id\":\"" << jsonEscape(w.attemptId)
+               << "\",";
+        os << "\"status\":\"" << jsonEscape(w.status) << "\","
            << "\"verified\":" << (w.verified ? "true" : "false") << ","
            << "\"attempts\":" << w.attempts << ","
            << "\"warp_instrs\":" << w.warpInstrs << ",";
@@ -112,8 +125,11 @@ writeRunReport(std::ostream &os, const RunReport &r,
         if (!firstF)
             os << ",";
         firstF = false;
-        os << "{\"workload\":\"" << jsonEscape(w.name) << "\","
-           << "\"code\":\"" << jsonEscape(w.errorCode) << "\","
+        os << "{\"workload\":\"" << jsonEscape(w.name) << "\",";
+        if (!w.attemptId.empty())
+            os << "\"attempt_id\":\"" << jsonEscape(w.attemptId)
+               << "\",";
+        os << "\"code\":\"" << jsonEscape(w.errorCode) << "\","
            << "\"phase\":\"" << jsonEscape(w.failedPhase) << "\","
            << "\"attempts\":" << w.attempts << ","
            << "\"message\":\"" << jsonEscape(w.errorMessage) << "\"}";

@@ -36,6 +36,7 @@ struct KernelReportRow
 struct WorkloadReport
 {
     std::string name;          ///< workload abbreviation
+    std::string attemptId;     ///< correlation id of the final attempt
     std::string status = "ok"; ///< "ok" or "failed"
     bool verified = false;     ///< host-reference check passed
     uint32_t attempts = 1;     ///< guard attempts (retries + 1)
@@ -56,6 +57,9 @@ struct WorkloadReport
 struct RunReport
 {
     std::string tool;          ///< producing tool, e.g. "gwc_characterize"
+    std::string runId;         ///< run correlation id ("" = none)
+    std::string startedAt;     ///< ISO 8601 UTC start ("" = unknown)
+    std::string endedAt;       ///< ISO 8601 UTC end ("" = unknown)
     double wallSec = 0;        ///< end-to-end wall-clock
     uint64_t hookEvents = 0;   ///< engine events fanned out to hooks
     int exitCode = 0;          ///< process exit code (0 clean, 2 partial)
@@ -65,7 +69,10 @@ struct RunReport
 /**
  * Version of the JSON layout written by writeRunReport ("schema_version"
  * in the document). v2 adds per-workload status/attempts/error, the
- * top-level "failures" array and totals.failed/exit_code.
+ * top-level "failures" array and totals.failed/exit_code. The
+ * correlation/timestamp fields (run_id, started_at, ended_at,
+ * attempt_id) are additive and only emitted when set, so v2 consumers
+ * keep parsing.
  */
 constexpr int kReportSchemaVersion = 2;
 

@@ -75,6 +75,17 @@ Group::findCounter(const std::string &name) const
     return counters_[it->second.second].get();
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+Group::counterRows() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &c : counters_)
+        out.emplace_back(c->name(), c->value());
+    return out;
+}
+
 const Timer *
 Group::findTimer(const std::string &name) const
 {
@@ -229,6 +240,118 @@ Registry::dumpJson(std::ostream &os) const
         os << "]}";
     }
     os << "]}";
+}
+
+namespace
+{
+
+/**
+ * Map an arbitrary stat identifier onto the Prometheus name charset
+ * [a-zA-Z0-9_]; anything else becomes '_' and a leading digit gets a
+ * '_' prefix. Colons are reserved for recording rules, so they are
+ * not produced here.
+ */
+std::string
+promSanitize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Escape a HELP text: backslash and newline per the exposition spec. */
+std::string
+promEscapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+void
+Registry::writeProm(std::ostream &os) const
+{
+    auto family = [&os](const std::string &name, const std::string &help,
+                        const char *type) {
+        os << "# HELP " << name << " " << promEscapeHelp(help) << "\n"
+           << "# TYPE " << name << " " << type << "\n";
+    };
+
+    for (const auto &g : groups_) {
+        const std::string prefix = "gwc_" + promSanitize(g->name()) + "_";
+        for (const auto &c : g->counters()) {
+            std::string name = prefix + promSanitize(c->name()) +
+                               "_total";
+            family(name, c->desc(), "counter");
+            os << name << " " << c->value() << "\n";
+        }
+        for (const auto &t : g->timers()) {
+            std::string name = prefix + promSanitize(t->name()) +
+                               "_seconds_total";
+            family(name, t->desc(), "counter");
+            std::ostringstream sec;
+            sec << std::fixed << std::setprecision(9) << t->sec();
+            os << name << " " << sec.str() << "\n";
+            std::string laps = prefix + promSanitize(t->name()) +
+                               "_laps_total";
+            family(laps, t->desc() + " (laps)", "counter");
+            os << laps << " " << t->laps() << "\n";
+        }
+        for (const auto &h : g->histograms()) {
+            std::string name = prefix + promSanitize(h->name());
+            family(name, h->desc(), "histogram");
+            // Power-of-two buckets map onto cumulative `le` bounds:
+            // bucket 0 counts zeros (le="0"), bucket i counts
+            // [2^(i-1), 2^i) so its inclusive bound is 2^i - 1, and
+            // the open-ended last bucket folds into le="+Inf".
+            uint64_t cum = 0;
+            for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+                cum += h->bucket(i);
+                uint64_t le = i == 0 ? 0 : (uint64_t(1) << i) - 1;
+                os << name << "_bucket{le=\"" << le << "\"} " << cum
+                   << "\n";
+            }
+            os << name << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+            os << name << "_sum " << h->sum() << "\n";
+            os << name << "_count " << h->count() << "\n";
+        }
+    }
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Registry::counterSnapshot() const
+{
+    // Snapshot the group list under the registry lock; Group pointers
+    // stay valid forever (unique_ptr ownership, append-only).
+    std::vector<const Group *> groups;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        groups.reserve(groups_.size());
+        for (const auto &g : groups_)
+            groups.push_back(g.get());
+    }
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const Group *g : groups)
+        for (auto &[name, value] : g->counterRows())
+            out.emplace_back(g->name() + "." + name, value);
+    return out;
 }
 
 std::string

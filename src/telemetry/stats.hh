@@ -256,6 +256,12 @@ class Group
     /** Counter lookup without creation (null if absent). */
     const Counter *findCounter(const std::string &name) const;
 
+    /**
+     * Thread-safe ("name", value) rows of this group's counters in
+     * registration order; safe while other threads register stats.
+     */
+    std::vector<std::pair<std::string, uint64_t>> counterRows() const;
+
     /** Timer lookup without creation (null if absent). */
     const Timer *findTimer(const std::string &name) const;
 
@@ -309,8 +315,31 @@ class Registry
     void dumpText(std::ostream &os) const;
     void dumpJson(std::ostream &os) const;
 
+    /**
+     * Render every stat in the Prometheus text exposition format
+     * (docs/OBSERVABILITY.md "Prometheus exposition"). Metric names
+     * are "gwc_<group>_<stat>" with invalid characters mapped to '_':
+     * counters become `..._total` counters, timers a
+     * `..._seconds_total` counter plus `..._laps_total`, histograms a
+     * native prometheus histogram whose cumulative `le` bounds follow
+     * the power-of-two buckets. Each family carries a HELP/TYPE pair.
+     * Requires quiescence for histograms (like dumpText); the
+     * counters themselves are atomic.
+     */
+    void writeProm(std::ostream &os) const;
+
     /** dumpJson into a string. */
     std::string jsonString() const;
+
+    /**
+     * Thread-safe point-in-time snapshot of every counter as
+     * ("group.name", value) rows in registration order. Unlike
+     * dumpText/dumpJson this may be called while workloads are still
+     * registering stats — it locks the registry and group indices —
+     * so the live MetricsSampler can observe a run in flight.
+     */
+    std::vector<std::pair<std::string, uint64_t>>
+    counterSnapshot() const;
 
     const std::vector<std::unique_ptr<Group>> &groups() const
     { return groups_; }

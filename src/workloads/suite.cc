@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
+#include "telemetry/monitor.hh"
 #include "telemetry/timeline.hh"
 
 namespace gwc::workloads
@@ -49,14 +50,36 @@ class ThrowingHook : public simt::ProfilerHook
  * here at phase boundaries. Throws gwc::Error (or any workload
  * exception) on failure — the guard captures it.
  */
+/** "<run_id>:<workload>#<attempt>" (no prefix without a run id). */
+std::string
+mintAttemptId(const std::string &runId, const std::string &workload,
+              uint32_t attempt)
+{
+    std::string id = runId.empty() ? workload : runId + ":" + workload;
+    return id + "#" + std::to_string(attempt);
+}
+
+/** Post a phase transition to the suite's activity board, if any. */
+void
+postPhase(const SuiteOptions &opts, const std::string &name,
+          const std::string &phase)
+{
+    if (opts.activity)
+        opts.activity->workloadPhase(name, phase);
+}
+
 void
 attemptOne(const std::string &name, const SuiteOptions &opts,
            telemetry::Registry *reg, simt::ProfilerHook *extraHook,
            runtime::CancelToken &token, std::string &phase,
-           WorkloadRun &run)
+           const std::string &attemptId, WorkloadRun &run)
 {
     run = WorkloadRun{};
+    run.attemptId = attemptId;
     phase = "setup";
+    if (opts.activity)
+        opts.activity->workloadBegin(name, attemptId,
+                                     opts.limits.softTimeoutSec);
 
     // Suite-level stats: per-phase wall-clock across all workloads.
     telemetry::Counter *statWorkloads = nullptr;
@@ -84,11 +107,17 @@ attemptOne(const std::string &name, const SuiteOptions &opts,
                run.desc.name.c_str());
 
     telemetry::TimelineScope wlSpan("workload", run.desc.abbrev);
+    if (!attemptId.empty()) {
+        wlSpan.arg("attempt_id", attemptId);
+        if (!opts.runId.empty())
+            wlSpan.arg("run_id", opts.runId);
+    }
 
     simt::Engine engine;
     engine.setJobs(opts.jobs);
     engine.setEventBatch(opts.eventBatch);
     engine.setCancelToken(&token);
+    engine.setActivity(opts.activity);
     if (opts.limits.memBudgetBytes > 0)
         engine.mem().setBudgetBytes(opts.limits.memBudgetBytes);
     metrics::Profiler::Config pcfg;
@@ -127,6 +156,7 @@ attemptOne(const std::string &name, const SuiteOptions &opts,
     token.throwIfStopped();
 
     phase = "simulate";
+    postPhase(opts, name, phase);
     // The throwing hook registers first so it fails at kernelBegin,
     // before the profiler observes the launch.
     if (throwing)
@@ -147,6 +177,7 @@ attemptOne(const std::string &name, const SuiteOptions &opts,
     token.throwIfStopped();
 
     phase = "profile";
+    postPhase(opts, name, phase);
     {
         telemetry::ScopedTimer st(tProfile);
         telemetry::TimelineScope ts("phase",
@@ -161,6 +192,7 @@ attemptOne(const std::string &name, const SuiteOptions &opts,
 
     run.verified = true;
     phase = "verify";
+    postPhase(opts, name, phase);
     if (opts.verify) {
         telemetry::ScopedTimer st(tVerify);
         telemetry::TimelineScope ts("phase",
@@ -198,6 +230,7 @@ runOneGuarded(const std::string &name, const SuiteOptions &opts,
 {
     WorkloadRun run;
     std::string phase = "setup";
+    uint32_t attemptNo = 0;
     std::unique_ptr<telemetry::Registry> attemptReg;
     auto outcome = runtime::runGuarded(
         opts.limits, opts.retry, [&](runtime::CancelToken &token) {
@@ -205,9 +238,13 @@ runOneGuarded(const std::string &name, const SuiteOptions &opts,
                              ? std::make_unique<telemetry::Registry>()
                              : nullptr;
             attemptOne(name, opts, attemptReg.get(), extraHook, token,
-                       phase, run);
+                       phase, mintAttemptId(opts.runId, name,
+                                            ++attemptNo),
+                       run);
         });
     run.attempts = outcome.attempts;
+    if (opts.activity)
+        opts.activity->workloadEnd(name, outcome.ok());
     if (outcome.ok()) {
         regOut = std::move(attemptReg);
     } else {
@@ -233,6 +270,8 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
 
     telemetry::TimelineScope suiteSpan(
         "suite", strfmt("suite (%zu workloads)", list.size()));
+    if (!opts.runId.empty())
+        suiteSpan.arg("run_id", opts.runId);
 
     const unsigned jobs = std::max<uint32_t>(1, opts.jobs);
     // An extraHook is one observer object; it cannot watch several
@@ -273,9 +312,12 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
         if (run.failed()) {
             if (!opts.keepGoing)
                 throw Error(run.status);
-            warn("workload %s failed in %s phase: %s",
-                 run.desc.abbrev.c_str(), run.failedPhase.c_str(),
-                 run.status.message().c_str());
+            logEvent(LogLevel::Warn, "workload_failed",
+                     {{"workload", run.desc.abbrev},
+                      {"phase", run.failedPhase},
+                      {"attempt_id", run.attemptId},
+                      {"error", errorCodeName(run.status.code())},
+                      {"msg", run.status.message()}});
         } else if (opts.stats && regs[i]) {
             opts.stats->mergeFrom(*regs[i]);
         }
@@ -291,7 +333,7 @@ suiteFailures(const std::vector<WorkloadRun> &runs)
     for (const auto &r : runs)
         if (r.failed())
             out.push_back({r.desc.abbrev, r.status, r.failedPhase,
-                           r.attempts});
+                           r.attempts, r.attemptId});
     return out;
 }
 

@@ -27,6 +27,11 @@
 #include "telemetry/stats.hh"
 #include "workloads/workload.hh"
 
+namespace gwc::telemetry
+{
+class ActivityBoard;
+}
+
 namespace gwc::workloads
 {
 
@@ -48,6 +53,9 @@ struct WorkloadRun
     Status status;             ///< Ok, or why the workload failed
     std::string failedPhase;   ///< phase of the failure, else ""
     uint32_t attempts = 1;     ///< guard attempts (retries + 1)
+    /** Correlation id of the last attempt,
+     * "<run_id>:<workload>#<attempt>" ("" without a run id/board). */
+    std::string attemptId;
 
     /** True when the guard gave up on this workload. */
     bool failed() const { return !status.ok(); }
@@ -60,6 +68,7 @@ struct WorkloadFailure
     Status status;           ///< error code + message
     std::string phase;       ///< lifecycle phase that failed
     uint32_t attempts = 1;   ///< guard attempts consumed
+    std::string attemptId;   ///< correlation id of the final attempt
 };
 
 /** Options of a suite run. */
@@ -103,6 +112,21 @@ struct SuiteOptions
     runtime::RetryPolicy retry;
     /** Optional deterministic fault injection (not owned). */
     runtime::InjectionPlan *inject = nullptr;
+
+    /**
+     * Optional live activity board (telemetry/monitor.hh, not owned):
+     * the driver posts workload begin/phase/end transitions and
+     * engines report CTA progress, feeding the metrics sampler and
+     * the heartbeat file. Observe-only; results are unchanged.
+     */
+    telemetry::ActivityBoard *activity = nullptr;
+
+    /**
+     * Run correlation id stamped into attempt ids
+     * ("<run_id>:<workload>#<attempt>"), timeline spans and failure
+     * records ("" = no prefix). Minted per Session.
+     */
+    std::string runId;
 };
 
 /**

@@ -166,10 +166,13 @@ TEST(Cli, HelpTextGolden)
     p.flag("--list", "", "list registered workloads and exit", &list);
     EXPECT_EQ(p.helpText(),
               "usage: gwc_demo [options] [workload ...]\n"
-              "  --scale N, -s N  input-size scale (default 1)\n"
-              "  --list           list registered workloads and exit\n"
-              "  -h, --help       show this help and exit\n"
-              "  --version        print the version and exit\n");
+              "  --scale N, -s N    input-size scale (default 1)\n"
+              "  --list             list registered workloads and exit\n"
+              "  --log-level LEVEL  minimum log severity: debug, info, warn,\n"
+              "                     error (default info)\n"
+              "  --log-json         structured JSONL log lines\n"
+              "  -h, --help         show this help and exit\n"
+              "  --version          print the version and exit\n");
 }
 
 TEST(Cli, DashAloneIsPositional)

@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Tests of the live-observability layer (telemetry/monitor.hh): run
+ * correlation ids, /proc self-sampling, the ActivityBoard, the
+ * MetricsSampler's JSONL/heartbeat outputs, the stall watchdog, the
+ * Prometheus exposition, the flat-JSON reader that gwc_monitor and
+ * gwc_benchdiff share, and the byte-identity of suite outputs with
+ * monitoring on versus off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flatjson.hh"
+#include "common/logging.hh"
+#include "metrics/profile_io.hh"
+#include "runtime/inject.hh"
+#include "runtime/session.hh"
+#include "telemetry/monitor.hh"
+#include "telemetry/stats.hh"
+#include "workloads/suite.hh"
+
+namespace gwc
+{
+namespace
+{
+
+using telemetry::ActivityBoard;
+using telemetry::MetricsSampler;
+using telemetry::MonitorConfig;
+using workloads::SuiteOptions;
+using workloads::WorkloadRun;
+
+std::string
+tmpPath(const char *tag)
+{
+    return testing::TempDir() + "gwc_monitoring_" + tag;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string>
+nonEmptyLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            out.push_back(line);
+    return out;
+}
+
+/** Profiles of @p runs rendered to CSV (the tool's on-disk bytes). */
+std::string
+csvOf(const std::vector<WorkloadRun> &runs)
+{
+    std::ostringstream os;
+    metrics::writeProfilesCsv(os, workloads::allProfiles(runs));
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Correlation ids and timestamps
+// ---------------------------------------------------------------------
+
+TEST(RunId, SixteenHexDigitsAndUnique)
+{
+    std::set<std::string> ids;
+    for (int i = 0; i < 32; ++i) {
+        std::string id = telemetry::mintRunId();
+        ASSERT_EQ(id.size(), 16u);
+        for (char c : id)
+            EXPECT_TRUE((c >= '0' && c <= '9') ||
+                        (c >= 'a' && c <= 'f'))
+                << id;
+        ids.insert(id);
+    }
+    EXPECT_EQ(ids.size(), 32u) << "collisions across 32 mints";
+}
+
+TEST(RunId, IsoTimestampShape)
+{
+    std::string ts = telemetry::isoTimestampUtc();
+    // "2026-08-08T12:34:56.789Z"
+    ASSERT_EQ(ts.size(), 24u) << ts;
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts[19], '.');
+    EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(ProcStat, SamplesSelf)
+{
+    auto ps = telemetry::sampleProcSelf();
+    ASSERT_TRUE(ps.ok) << "/proc/self unreadable";
+    EXPECT_GT(ps.rssKb, 0u);
+    EXPECT_GE(ps.vmKb, ps.rssKb);
+    EXPECT_GE(ps.threads, 1u);
+    EXPECT_GE(ps.utimeSec, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// ActivityBoard
+// ---------------------------------------------------------------------
+
+TEST(ActivityBoard, TracksRunningProgressAndOutcomes)
+{
+    ActivityBoard board;
+    auto empty = board.snapshot();
+    EXPECT_EQ(empty.done, 0u);
+    EXPECT_EQ(empty.running.size(), 0u);
+    EXPECT_LT(empty.lastEventAgeSec, 0.0) << "no event yet";
+
+    board.workloadBegin("BLS", "rid:BLS#1");
+    board.workloadPhase("BLS", "simulate");
+    board.workloadPhase("ghost", "simulate"); // no-op, not running
+    board.progress(2, 100);
+
+    auto mid = board.snapshot();
+    ASSERT_EQ(mid.running.size(), 1u);
+    EXPECT_EQ(mid.running[0].workload, "BLS");
+    EXPECT_EQ(mid.running[0].attemptId, "rid:BLS#1");
+    EXPECT_EQ(mid.running[0].phase, "simulate");
+    EXPECT_EQ(mid.ctas, 2u);
+    EXPECT_EQ(mid.warpInstrs, 100u);
+    EXPECT_GE(mid.lastEventAgeSec, 0.0);
+
+    board.workloadEnd("BLS", true);
+    board.workloadBegin("MUM", "rid:MUM#1");
+    board.workloadEnd("MUM", false);
+
+    auto fin = board.snapshot();
+    EXPECT_EQ(fin.done, 1u);
+    EXPECT_EQ(fin.failed, 1u);
+    EXPECT_TRUE(fin.running.empty());
+}
+
+TEST(ActivityBoard, StallUsesRowDeadlineThenSamplerDefault)
+{
+    ActivityBoard board;
+    board.workloadBegin("slow", "rid:slow#1", 0.001);
+    board.workloadBegin("free", "rid:free#1"); // no row deadline
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    // No default: only the row with its own deadline stalls.
+    auto snap = board.snapshot(0.0);
+    ASSERT_EQ(snap.running.size(), 2u);
+    for (const auto &row : snap.running) {
+        if (row.workload == "slow")
+            EXPECT_TRUE(row.stalled);
+        else
+            EXPECT_FALSE(row.stalled) << row.workload;
+    }
+
+    // A tiny sampler default catches the other row too.
+    auto strict = board.snapshot(0.001);
+    for (const auto &row : strict.running)
+        EXPECT_TRUE(row.stalled) << row.workload;
+
+    // A new attempt resets the age (re-begin overwrites the entry).
+    board.workloadBegin("slow", "rid:slow#2", 60.0);
+    auto fresh = board.snapshot(0.0);
+    for (const auto &row : fresh.running)
+        if (row.workload == "slow") {
+            EXPECT_EQ(row.attemptId, "rid:slow#2");
+            EXPECT_FALSE(row.stalled);
+        }
+}
+
+// ---------------------------------------------------------------------
+// MetricsSampler
+// ---------------------------------------------------------------------
+
+TEST(Sampler, JsonlSeriesIsMonotoneAndParsable)
+{
+    telemetry::Registry reg;
+    auto &ctr = reg.group("engine").counter("ticks", "test counter");
+    ActivityBoard board;
+
+    MonitorConfig cfg;
+    cfg.metricsPath = tmpPath("series.jsonl");
+    cfg.heartbeatPath = tmpPath("series_hb.json");
+    cfg.runId = "cafe0123cafe0123";
+    std::remove(cfg.metricsPath.c_str());
+
+    {
+        MetricsSampler sampler(cfg, &reg, &board);
+        sampler.start();
+        board.workloadBegin("BLS", "cafe0123cafe0123:BLS#1");
+        for (int i = 0; i < 3; ++i) {
+            ctr += 10;
+            board.progress(1, 50);
+            sampler.tickOnce();
+        }
+        board.workloadEnd("BLS", true);
+        sampler.stop(); // takes the final sample
+        EXPECT_GE(sampler.samples(), 4u);
+    }
+
+    auto lines = nonEmptyLines(slurp(cfg.metricsPath));
+    ASSERT_GE(lines.size(), 4u);
+
+    double prevSeq = -1, prevUp = -1, prevCtas = -1, prevTicks = -1;
+    for (const auto &line : lines) {
+        auto j = parseFlatJson(cfg.metricsPath, line);
+        EXPECT_EQ(j.strs.at("run_id"), cfg.runId);
+        EXPECT_FALSE(j.strs.at("ts").empty());
+
+        double seq = j.nums.at("seq");
+        double up = j.nums.at("uptime_sec");
+        double ctas = j.nums.at("progress.ctas");
+        double ticks = j.nums.at("counters.engine.ticks");
+        EXPECT_GT(seq, prevSeq);
+        EXPECT_GE(up, prevUp);
+        EXPECT_GE(ctas, prevCtas);
+        EXPECT_GE(ticks, prevTicks);
+        prevSeq = seq;
+        prevUp = up;
+        prevCtas = ctas;
+        prevTicks = ticks;
+
+        // Every section is present on every sample.
+        EXPECT_TRUE(j.nums.count("workloads.done"));
+        EXPECT_TRUE(j.nums.count("progress.warp_instrs"));
+        EXPECT_TRUE(j.nums.count("proc.rss_kb"));
+        EXPECT_TRUE(j.nums.count("pool.workers"));
+    }
+    EXPECT_EQ(prevCtas, 3.0);
+    EXPECT_EQ(prevTicks, 30.0);
+
+    // The final heartbeat is a well-formed single object.
+    auto hb = parseFlatJson(cfg.heartbeatPath, slurp(cfg.heartbeatPath));
+    EXPECT_EQ(hb.strs.at("run_id"), cfg.runId);
+    EXPECT_EQ(hb.nums.at("workloads.done"), 1.0);
+    EXPECT_EQ(hb.nums.at("workloads.running"), 0.0);
+
+    std::remove(cfg.metricsPath.c_str());
+    std::remove(cfg.heartbeatPath.c_str());
+}
+
+TEST(Sampler, StopIsIdempotentAndShortRunsGetOneSample)
+{
+    ActivityBoard board;
+    MonitorConfig cfg;
+    cfg.intervalSec = 3600.0; // never fires on its own
+    cfg.metricsPath = tmpPath("short.jsonl");
+    std::remove(cfg.metricsPath.c_str());
+
+    MetricsSampler sampler(cfg, nullptr, &board);
+    sampler.start();
+    sampler.stop();
+    sampler.stop(); // idempotent
+    EXPECT_EQ(sampler.samples(), 1u) << "stop() takes a final sample";
+
+    auto lines = nonEmptyLines(slurp(cfg.metricsPath));
+    ASSERT_EQ(lines.size(), 1u);
+    auto j = parseFlatJson(cfg.metricsPath, lines[0]);
+    EXPECT_TRUE(j.nums.count("uptime_sec"));
+    std::remove(cfg.metricsPath.c_str());
+}
+
+TEST(Sampler, StallWarningFiresOncePerAttempt)
+{
+    std::vector<std::string> warned;
+    setLogSink([&](LogLevel level, const std::string &line) {
+        if (level == LogLevel::Warn &&
+            line.find("stall") != std::string::npos)
+            warned.push_back(line);
+    });
+
+    ActivityBoard board;
+    MonitorConfig cfg;
+    cfg.stallAfterSec = 0.001;
+    board.workloadBegin("NW", "rid:NW#1");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    MetricsSampler sampler(cfg, nullptr, &board);
+    sampler.start();
+    sampler.tickOnce();
+    sampler.tickOnce(); // same attempt: no second warning
+    ASSERT_EQ(warned.size(), 1u);
+    EXPECT_NE(warned[0].find("rid:NW#1"), std::string::npos)
+        << warned[0];
+
+    // A retry is a new attempt id and warns again.
+    board.workloadBegin("NW", "rid:NW#2", 0.001);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sampler.tickOnce();
+    EXPECT_EQ(warned.size(), 2u);
+
+    sampler.stop();
+    setLogSink(nullptr);
+}
+
+TEST(Sampler, HeartbeatReflectsAnInjectedFailure)
+{
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpec("timeout@BLS").ok());
+
+    ActivityBoard board;
+    SuiteOptions opts;
+    opts.inject = &plan;
+    opts.activity = &board;
+    opts.runId = "feedface00000001";
+    auto runs = workloads::runSuite({"BLS", "NW"}, opts);
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_TRUE(runs[0].failed());
+    EXPECT_EQ(runs[0].attemptId, "feedface00000001:BLS#1");
+    EXPECT_EQ(runs[1].attemptId, "feedface00000001:NW#1");
+
+    MonitorConfig cfg;
+    cfg.heartbeatPath = tmpPath("fail_hb.json");
+    cfg.runId = opts.runId;
+    MetricsSampler sampler(cfg, nullptr, &board);
+    sampler.tickOnce();
+
+    auto hb = parseFlatJson(cfg.heartbeatPath, slurp(cfg.heartbeatPath));
+    EXPECT_EQ(hb.nums.at("workloads.done"), 1.0);
+    EXPECT_EQ(hb.nums.at("workloads.failed"), 1.0);
+    EXPECT_EQ(hb.nums.at("workloads.running"), 0.0);
+    EXPECT_GT(hb.nums.at("progress.ctas"), 0.0)
+        << "the surviving workload reported CTA progress";
+    std::remove(cfg.heartbeatPath.c_str());
+
+    // The failure record carries the attempt id too.
+    auto failures = workloads::suiteFailures(runs);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].attemptId, "feedface00000001:BLS#1");
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: monitoring must never change results
+// ---------------------------------------------------------------------
+
+class MonitoringIdentity : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(MonitoringIdentity, OutputsMatchWithSamplerOnAndOff)
+{
+    const uint32_t jobs = GetParam();
+    const std::vector<std::string> names = {"BLS", "MUM", "NW"};
+
+    SuiteOptions plain;
+    plain.jobs = jobs;
+    telemetry::Registry plainReg;
+    plain.stats = &plainReg;
+    auto baseline = workloads::runSuite(names, plain);
+
+    ActivityBoard board;
+    telemetry::Registry monReg;
+    SuiteOptions monitored;
+    monitored.jobs = jobs;
+    monitored.stats = &monReg;
+    monitored.activity = &board;
+    monitored.runId = telemetry::mintRunId();
+
+    MonitorConfig cfg;
+    cfg.intervalSec = 0.01;
+    cfg.metricsPath = tmpPath("identity.jsonl");
+    cfg.runId = monitored.runId;
+    std::remove(cfg.metricsPath.c_str());
+    MetricsSampler sampler(cfg, &monReg, &board);
+    sampler.start();
+    auto observed = workloads::runSuite(names, monitored);
+    sampler.stop();
+    EXPECT_GE(sampler.samples(), 1u);
+    std::remove(cfg.metricsPath.c_str());
+
+    // Profiles: byte-for-byte the CSV a tool would write.
+    EXPECT_EQ(csvOf(observed), csvOf(baseline));
+
+    // Stats counters: same names, same totals, same order.
+    EXPECT_EQ(monReg.counterSnapshot(), plainReg.counterSnapshot());
+
+    // The board agrees with the suite's own accounting.
+    auto snap = board.snapshot();
+    EXPECT_EQ(snap.done, names.size());
+    EXPECT_EQ(snap.failed, 0u);
+    EXPECT_TRUE(snap.running.empty());
+    EXPECT_GT(snap.ctas, 0u);
+    EXPECT_GT(snap.warpInstrs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, MonitoringIdentity,
+                         ::testing::Values(1u, 4u),
+                         [](const auto &info) {
+                             return "jobs" +
+                                    std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------
+
+TEST(Prom, ExpositionFormatLint)
+{
+    telemetry::Registry reg;
+    auto &g = reg.group("engine.core"); // '.' must sanitize to '_'
+    g.counter("warp instrs", "warp\ninstruction \\slots") += 42;
+    g.timer("sim", "simulation time").addNs(1500000000);
+    auto &h = g.histogram("cta_size", "threads per CTA");
+    h.sample(0);
+    h.sample(3);
+    h.sample(100);
+
+    std::ostringstream os;
+    reg.writeProm(os);
+    const std::string text = os.str();
+    auto lines = nonEmptyLines(text);
+    ASSERT_FALSE(lines.empty());
+
+    // Every line is a comment or "name[{labels}] value"; names use
+    // the legal charset and carry the gwc_ prefix.
+    std::set<std::string> helped, typed;
+    for (const auto &line : lines) {
+        if (line.rfind("# HELP ", 0) == 0) {
+            helped.insert(line.substr(7, line.find(' ', 7) - 7));
+            EXPECT_EQ(line.find('\n'), std::string::npos);
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            typed.insert(line.substr(7, line.find(' ', 7) - 7));
+            continue;
+        }
+        size_t nameEnd = line.find_first_of("{ ");
+        ASSERT_NE(nameEnd, std::string::npos) << line;
+        std::string name = line.substr(0, nameEnd);
+        EXPECT_EQ(name.rfind("gwc_", 0), 0u) << name;
+        for (char c : name)
+            EXPECT_TRUE((c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_')
+                << name;
+    }
+
+    // Each family announced exactly once, HELP and TYPE both.
+    EXPECT_EQ(helped, typed);
+    EXPECT_TRUE(helped.count("gwc_engine_core_warp_instrs_total"));
+    EXPECT_TRUE(helped.count("gwc_engine_core_sim_seconds_total"));
+    EXPECT_TRUE(helped.count("gwc_engine_core_sim_laps_total"));
+    EXPECT_TRUE(helped.count("gwc_engine_core_cta_size"));
+
+    EXPECT_NE(
+        text.find("gwc_engine_core_warp_instrs_total 42"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("gwc_engine_core_sim_seconds_total 1.5"),
+              std::string::npos);
+    EXPECT_NE(text.find("gwc_engine_core_sim_laps_total 1"),
+              std::string::npos);
+
+    // Histogram: cumulative buckets ending at +Inf == count == _count.
+    uint64_t prevCum = 0;
+    bool sawInf = false;
+    for (const auto &line : lines) {
+        if (line.rfind("gwc_engine_core_cta_size_bucket", 0) != 0)
+            continue;
+        uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(v, prevCum) << "buckets must be cumulative: " << line;
+        prevCum = v;
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+            sawInf = true;
+            EXPECT_EQ(v, 3u);
+        }
+    }
+    EXPECT_TRUE(sawInf);
+    EXPECT_NE(text.find("gwc_engine_core_cta_size_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("gwc_engine_core_cta_size_sum 103"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Session wiring: report correlation + Prometheus output
+// ---------------------------------------------------------------------
+
+TEST(SessionMonitoring, ReportCarriesRunIdTimestampsAndAttemptIds)
+{
+    std::string statsPath = tmpPath("report.json");
+    std::string promPath = tmpPath("report.prom");
+    std::string hbPath = tmpPath("report_hb.json");
+    std::remove(statsPath.c_str());
+    std::remove(promPath.c_str());
+
+    runtime::SessionOptions so;
+    so.injectSpecs = "verify-mismatch@MUM";
+    so.statsOut = statsPath;
+    so.promOut = promPath;
+    so.heartbeatOut = hbPath;
+    so.metricsIntervalSec = 0.01;
+    runtime::Session session(std::move(so));
+
+    const std::string runId = session.runId();
+    ASSERT_EQ(runId.size(), 16u);
+    ASSERT_NE(session.sampler(), nullptr);
+
+    session.runSuite({"BLS", "MUM"});
+    EXPECT_EQ(session.finish(), 2);
+
+    auto report = parseFlatJson(statsPath, slurp(statsPath));
+    EXPECT_EQ(report.strs.at("run_id"), runId);
+    EXPECT_EQ(report.strs.at("started_at").size(), 24u);
+    EXPECT_EQ(report.strs.at("ended_at").size(), 24u);
+    EXPECT_EQ(report.strs.at("workloads.0.attempt_id"),
+              runId + ":BLS#1");
+    EXPECT_EQ(report.strs.at("workloads.1.attempt_id"),
+              runId + ":MUM#1");
+    EXPECT_EQ(report.strs.at("failures.0.attempt_id"),
+              runId + ":MUM#1");
+
+    // finish() wrote the quiesced Prometheus exposition.
+    std::string prom = slurp(promPath);
+    EXPECT_NE(prom.find("# TYPE gwc_suite_workloads_total counter"),
+              std::string::npos)
+        << prom;
+
+    std::remove(statsPath.c_str());
+    std::remove(promPath.c_str());
+    std::remove(hbPath.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Structured logging
+// ---------------------------------------------------------------------
+
+TEST(StructuredLog, JsonEventsParseAndCarryTheRunId)
+{
+    std::vector<std::string> lines;
+    setLogSink([&](LogLevel, const std::string &line) {
+        lines.push_back(line);
+    });
+    setLogJson(true);
+    setLogRunId("0123456789abcdef");
+
+    logEvent(LogLevel::Warn, "stall",
+             {{"workload", "BLS"}, {"attempt_id", "x:BLS#1"}});
+    logEvent(LogLevel::Debug, "ignored", {}); // below default level
+
+    setLogRunId("");
+    setLogJson(false);
+    setLogSink(nullptr);
+
+    ASSERT_EQ(lines.size(), 1u);
+    auto j = parseFlatJson("log", lines[0]);
+    EXPECT_EQ(j.strs.at("level"), "warn");
+    EXPECT_EQ(j.strs.at("event"), "stall");
+    EXPECT_EQ(j.strs.at("run_id"), "0123456789abcdef");
+    EXPECT_EQ(j.strs.at("workload"), "BLS");
+    EXPECT_EQ(j.strs.at("attempt_id"), "x:BLS#1");
+    EXPECT_FALSE(j.strs.at("ts").empty());
+}
+
+TEST(StructuredLog, LevelNamesParse)
+{
+    LogLevel lv;
+    EXPECT_TRUE(parseLogLevel("debug", &lv));
+    EXPECT_EQ(lv, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("warn", &lv));
+    EXPECT_EQ(lv, LogLevel::Warn);
+    EXPECT_FALSE(parseLogLevel("chatty", &lv));
+}
+
+// ---------------------------------------------------------------------
+// Flat JSON reader (shared by gwc_monitor and gwc_benchdiff)
+// ---------------------------------------------------------------------
+
+TEST(FlatJsonReader, NumbersStringsBoolsArraysNest)
+{
+    auto j = parseFlatJson(
+        "t", "{\"a\":{\"b\":1.5},\"s\":\"hi\",\"ok\":true,"
+             "\"off\":false,\"gone\":null,\"v\":[10,{\"x\":2}]}");
+    EXPECT_EQ(j.nums.at("a.b"), 1.5);
+    EXPECT_EQ(j.strs.at("s"), "hi");
+    EXPECT_EQ(j.strs.at("ok"), "true");
+    EXPECT_EQ(j.strs.at("off"), "false");
+    EXPECT_EQ(j.nums.at("v.0"), 10.0);
+    EXPECT_EQ(j.nums.at("v.1.x"), 2.0);
+    EXPECT_FALSE(j.nums.count("gone"));
+    EXPECT_FALSE(j.strs.count("gone"));
+}
+
+TEST(FlatJsonReader, MalformedInputRaisesDataLoss)
+{
+    for (const char *bad : {"{", "{\"a\":}", "tru", "{\"a\":1,}x"}) {
+        try {
+            parseFlatJson("bad", bad);
+            FAIL() << "expected gwc::Error for: " << bad;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::DataLoss) << bad;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace gwc

@@ -17,8 +17,6 @@
  * are rejected rather than misread (see docs/ROBUSTNESS.md).
  */
 
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,6 +25,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/flatjson.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "telemetry/report.hh"
@@ -36,196 +35,6 @@ namespace
 
 using namespace gwc;
 
-/**
- * Minimal recursive-descent JSON walker collecting numeric leaves
- * under dotted paths. Arrays index as ".0", ".1", ... Strings,
- * booleans and nulls are parsed (the syntax must be valid) but not
- * collected. Raises DataLoss, naming @p path, on malformed input.
- */
-class FlatJsonParser
-{
-  public:
-    FlatJsonParser(std::string path, std::string text)
-        : path_(std::move(path)), s_(std::move(text))
-    {
-    }
-
-    std::map<std::string, double>
-    parse()
-    {
-        skipWs();
-        value("");
-        skipWs();
-        if (pos_ != s_.size())
-            die("trailing characters");
-        return std::move(leaves_);
-    }
-
-  private:
-    [[noreturn]] void
-    die(const char *what)
-    {
-        raise(ErrorCode::DataLoss, "%s: invalid JSON at byte %zu: %s",
-              path_.c_str(), pos_, what);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        if (pos_ >= s_.size())
-            die("unexpected end of input");
-        return s_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            die("unexpected character");
-        ++pos_;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos_ >= s_.size())
-                die("unterminated string");
-            char c = s_[pos_++];
-            if (c == '"')
-                return out;
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    die("unterminated escape");
-                char e = s_[pos_++];
-                switch (e) {
-                case '"': out += '"'; break;
-                case '\\': out += '\\'; break;
-                case '/': out += '/'; break;
-                case 'b': out += '\b'; break;
-                case 'f': out += '\f'; break;
-                case 'n': out += '\n'; break;
-                case 'r': out += '\r'; break;
-                case 't': out += '\t'; break;
-                case 'u':
-                    // Keys never need non-ASCII here; keep the code
-                    // point's hex digits as a placeholder.
-                    for (int i = 0; i < 4 && pos_ < s_.size(); ++i)
-                        out += s_[pos_++];
-                    break;
-                default: die("bad escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-    }
-
-    void
-    value(const std::string &key)
-    {
-        switch (peek()) {
-        case '{': {
-            ++pos_;
-            skipWs();
-            if (peek() == '}') {
-                ++pos_;
-                return;
-            }
-            while (true) {
-                skipWs();
-                std::string k = parseString();
-                skipWs();
-                expect(':');
-                skipWs();
-                value(key.empty() ? k : key + "." + k);
-                skipWs();
-                if (peek() == ',') {
-                    ++pos_;
-                    continue;
-                }
-                expect('}');
-                return;
-            }
-        }
-        case '[': {
-            ++pos_;
-            skipWs();
-            if (peek() == ']') {
-                ++pos_;
-                return;
-            }
-            size_t idx = 0;
-            while (true) {
-                skipWs();
-                value(key + "." + std::to_string(idx++));
-                skipWs();
-                if (peek() == ',') {
-                    ++pos_;
-                    continue;
-                }
-                expect(']');
-                return;
-            }
-        }
-        case '"':
-            parseString();
-            return;
-        case 't':
-            literal("true");
-            return;
-        case 'f':
-            literal("false");
-            return;
-        case 'n':
-            literal("null");
-            return;
-        default: {
-            size_t start = pos_;
-            if (peek() == '-')
-                ++pos_;
-            while (pos_ < s_.size() &&
-                   (std::isdigit(
-                        static_cast<unsigned char>(s_[pos_])) ||
-                    s_[pos_] == '.' || s_[pos_] == 'e' ||
-                    s_[pos_] == 'E' || s_[pos_] == '+' ||
-                    s_[pos_] == '-'))
-                ++pos_;
-            if (pos_ == start)
-                die("expected a value");
-            leaves_[key] = std::atof(s_.substr(start, pos_ - start)
-                                         .c_str());
-            return;
-        }
-        }
-    }
-
-    void
-    literal(const char *lit)
-    {
-        for (const char *p = lit; *p; ++p) {
-            if (pos_ >= s_.size() || s_[pos_] != *p)
-                die("bad literal");
-            ++pos_;
-        }
-    }
-
-    std::string path_;
-    std::string s_;
-    size_t pos_ = 0;
-    std::map<std::string, double> leaves_;
-};
-
 std::map<std::string, double>
 loadBench(const std::string &path)
 {
@@ -234,7 +43,8 @@ loadBench(const std::string &path)
         raise(ErrorCode::IoError, "cannot open %s", path.c_str());
     std::ostringstream ss;
     ss << in.rdbuf();
-    auto leaves = FlatJsonParser(path, ss.str()).parse();
+    // The comparison is numeric only; string/bool leaves are dropped.
+    auto leaves = parseFlatJson(path, ss.str()).nums;
     // Run-report JSON carries a schema_version leaf; refuse files
     // written by a newer tool rather than comparing misread keys.
     auto it = leaves.find("schema_version");

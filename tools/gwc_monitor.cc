@@ -1,0 +1,280 @@
+/**
+ * @file
+ * gwc_monitor — live flight deck over a running (or finished)
+ * campaign's monitoring outputs.
+ *
+ *   gwc_monitor [--heartbeat hb.json] [--metrics metrics.jsonl]
+ *               [--interval SEC] [--once]
+ *
+ * Tails the heartbeat file and/or metrics JSONL series another gwc
+ * tool writes via --heartbeat-out / --metrics-out and renders a
+ * compact status view: workloads done/failed/running, CTA and
+ * warp-instruction progress with a live instruction rate, process
+ * RSS/threads/CPU, thread-pool utilization and a table of in-flight
+ * workloads (phase, age, stall flag). The heartbeat is rewritten
+ * atomically by the sampler, so a read never observes a torn
+ * document. With --once the current state prints once and the exit
+ * status is 0; without it the view refreshes every --interval seconds
+ * until interrupted. See docs/OBSERVABILITY.md "Live monitoring".
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/flatjson.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace gwc;
+
+/** Read a whole file; ok=false when it cannot be opened. */
+bool
+slurp(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/** Last two non-empty lines of a JSONL file (newest last). */
+std::vector<std::string>
+lastLines(const std::string &text, size_t n)
+{
+    std::vector<std::string> out;
+    size_t end = text.size();
+    while (end > 0 && out.size() < n) {
+        size_t start = text.rfind('\n', end - 1);
+        size_t lineStart = start == std::string::npos ? 0 : start + 1;
+        std::string line = text.substr(lineStart, end - lineStart);
+        if (!line.empty() && line != "\n")
+            out.insert(out.begin(), line);
+        if (start == std::string::npos)
+            break;
+        end = start;
+    }
+    return out;
+}
+
+double
+num(const FlatJson &j, const std::string &key, double dflt = 0)
+{
+    auto it = j.nums.find(key);
+    return it == j.nums.end() ? dflt : it->second;
+}
+
+std::string
+str(const FlatJson &j, const std::string &key)
+{
+    auto it = j.strs.find(key);
+    return it == j.strs.end() ? "" : it->second;
+}
+
+std::string
+human(double v)
+{
+    if (v >= 1e9)
+        return strfmt("%.2fG", v / 1e9);
+    if (v >= 1e6)
+        return strfmt("%.2fM", v / 1e6);
+    if (v >= 1e3)
+        return strfmt("%.1fk", v / 1e3);
+    return strfmt("%.0f", v);
+}
+
+/** One rendering pass; returns false when no input was readable. */
+bool
+render(const std::string &heartbeatPath, const std::string &metricsPath,
+       std::ostream &os)
+{
+    bool any = false;
+
+    // Newest (and previous) metrics sample, for levels and rates.
+    FlatJson cur, prev;
+    bool haveCur = false, havePrev = false;
+    std::string mtext;
+    if (!metricsPath.empty() && slurp(metricsPath, &mtext)) {
+        auto lines = lastLines(mtext, 2);
+        if (!lines.empty()) {
+            cur = parseFlatJson(metricsPath, lines.back());
+            haveCur = any = true;
+            if (lines.size() > 1) {
+                prev = parseFlatJson(metricsPath,
+                                     lines[lines.size() - 2]);
+                havePrev = true;
+            }
+        }
+    }
+
+    FlatJson hb;
+    bool haveHb = false;
+    std::string htext;
+    if (!heartbeatPath.empty() && slurp(heartbeatPath, &htext)) {
+        hb = parseFlatJson(heartbeatPath, htext);
+        haveHb = any = true;
+    }
+    if (!any)
+        return false;
+
+    // Prefer the heartbeat for board state (freshest), the metrics
+    // series for resources and rates.
+    const FlatJson &board = haveHb ? hb : cur;
+    std::string runId = str(board, "run_id");
+    os << "run " << (runId.empty() ? "?" : runId) << "  sample #"
+       << uint64_t(num(board, "seq")) << "  uptime "
+       << strfmt("%.1fs", num(board, "uptime_sec")) << "\n";
+    os << "workloads  " << uint64_t(num(board, "workloads.done"))
+       << " done, " << uint64_t(num(board, "workloads.failed"))
+       << " failed, " << uint64_t(num(board, "workloads.running"))
+       << " running\n";
+
+    double instrs = num(board, "progress.warp_instrs");
+    std::string rate;
+    if (haveCur && havePrev) {
+        double dt = num(cur, "uptime_sec") - num(prev, "uptime_sec");
+        double di = num(cur, "progress.warp_instrs") -
+                    num(prev, "progress.warp_instrs");
+        if (dt > 0)
+            rate = strfmt(" (%s instrs/s)", human(di / dt).c_str());
+    }
+    os << "progress   " << human(num(board, "progress.ctas"))
+       << " ctas, " << human(instrs) << " warp instrs" << rate;
+    double age = num(board, "progress.last_event_age_sec", -1);
+    if (age >= 0)
+        os << strfmt(", last event %.1fs ago", age);
+    os << "\n";
+
+    if (haveCur) {
+        os << "proc       rss "
+           << strfmt("%.1f MiB", num(cur, "proc.rss_kb") / 1024.0)
+           << ", " << uint64_t(num(cur, "proc.threads")) << " threads"
+           << strfmt(", cpu %.1fs user / %.1fs sys",
+                     num(cur, "proc.utime_sec"),
+                     num(cur, "proc.stime_sec"))
+           << "\n";
+        double workers = num(cur, "pool.workers");
+        std::string util;
+        if (havePrev && workers > 0) {
+            double dt =
+                num(cur, "uptime_sec") - num(prev, "uptime_sec");
+            double dIdle =
+                num(cur, "pool.idle_ns") - num(prev, "pool.idle_ns");
+            if (dt > 0) {
+                double u = 1.0 - dIdle / (workers * dt * 1e9);
+                if (u < 0)
+                    u = 0;
+                if (u > 1)
+                    u = 1;
+                util = strfmt(", util %.0f%%", u * 100.0);
+            }
+        }
+        os << "pool       " << uint64_t(workers) << " workers" << util
+           << ", " << human(num(cur, "pool.tasks")) << " tasks, "
+           << human(num(cur, "pool.steals")) << " steals\n";
+    }
+
+    // In-flight workload table (heartbeat only: the metrics series
+    // carries aggregates, the heartbeat the per-workload rows).
+    if (haveHb) {
+        Table t({"workload", "phase", "age", "deadline", "state"});
+        size_t rows = 0;
+        for (size_t i = 0;; ++i) {
+            std::string base = "running." + std::to_string(i);
+            auto wl = str(hb, base + ".workload");
+            if (wl.empty())
+                break;
+            double soft = num(hb, base + ".soft_deadline_sec");
+            t.addRow({wl, str(hb, base + ".phase"),
+                      strfmt("%.1fs", num(hb, base + ".age_sec")),
+                      soft > 0 ? strfmt("%.0fs", soft) : "-",
+                      str(hb, base + ".stalled") == "true"
+                          ? "STALLED"
+                          : "running"});
+            ++rows;
+        }
+        if (rows > 0) {
+            os << "\n";
+            t.print(os);
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run([&]() -> int {
+        std::string heartbeatPath;
+        std::string metricsPath;
+        double intervalSec = 1.0;
+        bool once = false;
+
+        cli::Parser p("gwc_monitor", "[options]");
+        p.strOpt("--heartbeat", "", "FILE",
+                 "heartbeat JSON written by --heartbeat-out",
+                 &heartbeatPath);
+        p.strOpt("--metrics", "", "FILE",
+                 "metrics JSONL series written by --metrics-out",
+                 &metricsPath);
+        p.realOpt("--interval", "", "SEC",
+                  "refresh cadence (default 1.0)", &intervalSec, 0);
+        p.flag("--once", "", "print the current state once and exit",
+               &once);
+        p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
+            return 0;
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (heartbeatPath.empty() && metricsPath.empty())
+            raise(ErrorCode::InvalidArgument,
+                  "nothing to watch: pass --heartbeat and/or "
+                  "--metrics");
+
+        if (once) {
+            if (!render(heartbeatPath, metricsPath, std::cout))
+                raise(ErrorCode::IoError,
+                      "no monitoring data readable yet (checked %s%s%s)",
+                      heartbeatPath.c_str(),
+                      (!heartbeatPath.empty() && !metricsPath.empty())
+                          ? " and "
+                          : "",
+                      metricsPath.c_str());
+            return 0;
+        }
+
+        // Live mode: redraw until interrupted. A missing file is not
+        // an error — the campaign may simply not have started yet.
+        while (true) {
+            std::ostringstream frame;
+            if (render(heartbeatPath, metricsPath, frame)) {
+                // Clear + home keeps the view stable on ANSI
+                // terminals; piped output degrades to frames.
+                std::cout << "\033[2J\033[H" << frame.str();
+                std::cout.flush();
+            } else {
+                std::cout << "waiting for monitoring data...\n";
+                std::cout.flush();
+            }
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                intervalSec > 0 ? intervalSec : 1.0));
+        }
+    });
+}

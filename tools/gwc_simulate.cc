@@ -95,8 +95,17 @@ main(int argc, char **argv)
             WlResult &res = results[i];
             res.reg = std::make_unique<telemetry::Registry>();
             auto wl = workloads::makeWorkload(name);
+            // Session::runSuite posts these itself; a hand-driven
+            // timing loop keeps the board (and so the heartbeat)
+            // honest by posting its own transitions.
+            telemetry::ActivityBoard &board = session.activity();
+            const std::string attemptId =
+                session.runId() + ":" + name + "#1";
+            board.workloadBegin(name, attemptId);
             telemetry::TimelineScope wlSpan("workload", name);
+            wlSpan.arg("attempt_id", attemptId);
             simt::Engine engine;
+            engine.setActivity(&board);
             if (wantStats)
                 engine.attachStats(*res.reg);
             timing::TraceCapture cap;
@@ -109,6 +118,7 @@ main(int argc, char **argv)
             engine.addHook(&cap);
             if (tracer)
                 engine.addHook(tracer);
+            board.workloadPhase(name, "simulate");
             {
                 telemetry::TimelineScope ts("phase",
                                             name + " simulate");
@@ -153,6 +163,8 @@ main(int argc, char **argv)
                 wr.warpInstrs += simres[0].instrs;
                 wr.kernels.push_back(std::move(krow));
             }
+            wr.attemptId = attemptId;
+            board.workloadEnd(name, true);
         };
 
         // A trace recorder is one hook object; it cannot watch several
