@@ -13,6 +13,7 @@
 
 #include "cluster/kmeans.hh"
 #include "metrics/profiler.hh"
+#include "simt/asm.hh"
 #include "metrics/reuse.hh"
 #include "simt/engine.hh"
 #include "stats/pca.hh"
@@ -192,6 +193,88 @@ BM_EngineSaxpyParallel(benchmark::State &state)
         double(instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EngineSaxpyParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// ---------------------------------------------------------------------
+// GKS execution ladder: the same vecadd kernel assembled once, then
+// run bare (execution floor), under a null hook (instrumentation
+// cost) and under the profiler (analysis cost). BM_AsmVecAddInterp is
+// the tree-walking interpreter pinned behind GWC_GKS_INTERP — the
+// baseline the bytecode executor's >= 2x gate is measured against.
+// ---------------------------------------------------------------------
+
+constexpr const char *kAsmVecAddSrc = R"(
+    .kernel asmvecadd
+    .param ptr a
+    .param ptr b
+    .param ptr c
+    .param u32 n
+    gid %i
+    if.lt.u32 %i, $n
+      ld.f32 %x, $a[%i]
+      ld.f32 %y, $b[%i]
+      add.f32 %z, %x, %y
+      st.f32 $c[%i], %z
+    endif
+)";
+
+enum class AsmHook { None, Null, Profiled };
+
+void
+runAsmVecAdd(benchmark::State &state, simt::AsmExec mode,
+             AsmHook hook)
+{
+    simt::AsmKernel k = simt::assembleKernel(kAsmVecAddSrc);
+    Engine e;
+    const uint32_t n = 32768;
+    auto a = e.alloc<float>(n);
+    auto b = e.alloc<float>(n);
+    auto c = e.alloc<float>(n);
+    KernelParams p;
+    p.push(a.addr()).push(b.addr()).push(c.addr()).push(n);
+    simt::ProfilerHook nullHook;
+    metrics::Profiler prof;
+    if (hook == AsmHook::Null)
+        e.addHook(&nullHook);
+    else if (hook == AsmHook::Profiled)
+        e.addHook(&prof);
+    simt::KernelFn fn = k.entry(mode);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto st = e.launch(k.name(), fn, Dim3(n / 256), Dim3(256), 0,
+                           p);
+        instrs += st.warpInstrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_AsmVecAdd(benchmark::State &state)
+{
+    runAsmVecAdd(state, simt::AsmExec::Compiled, AsmHook::None);
+}
+BENCHMARK(BM_AsmVecAdd);
+
+void
+BM_AsmVecAddInterp(benchmark::State &state)
+{
+    runAsmVecAdd(state, simt::AsmExec::Interpreted, AsmHook::None);
+}
+BENCHMARK(BM_AsmVecAddInterp);
+
+void
+BM_AsmVecAddNullHook(benchmark::State &state)
+{
+    runAsmVecAdd(state, simt::AsmExec::Compiled, AsmHook::Null);
+}
+BENCHMARK(BM_AsmVecAddNullHook);
+
+void
+BM_AsmVecAddProfiled(benchmark::State &state)
+{
+    runAsmVecAdd(state, simt::AsmExec::Compiled, AsmHook::Profiled);
+}
+BENCHMARK(BM_AsmVecAddProfiled);
 
 /**
  * Dispatcher throughput at varying batch capacities: the profiled

@@ -1,15 +1,20 @@
 /**
  * @file
- * GKS assembler and executor.
+ * GKS assembler front end: tokenizer, parser and the AsmKernel API.
+ * The executors live in asm_interp.cc (reference tree walker) and
+ * asm_exec.cc (compiled bytecode, the default); the lowering between
+ * them in asm_compile.cc.
  */
 
 #include "simt/asm.hh"
 
-#include <cstring>
+#include <cstdlib>
 #include <map>
 #include <sstream>
+#include <string_view>
 
-#include "common/logging.hh"
+#include "runtime/status.hh"
+#include "simt/asm_ir.hh"
 
 namespace gwc::simt
 {
@@ -17,105 +22,18 @@ namespace gwc::simt
 namespace
 {
 
-enum class Op : uint8_t
-{
-    Mov, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max,
-    Neg, Abs, Fma, Sqrt, Rsqrt, Exp, Log, Sin, Cos, Cvt,
-    Ld, St, Lds, Sts, AtomAdd, AtomAddShared,
-    Gid, GidY, Tid, Lane, CtaId
-};
-
-enum class Ty : uint8_t { U32, S32, F32 };
-
-enum class Cc : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
-
-struct Operand
-{
-    enum class K : uint8_t { None, Reg, Imm, Param };
-    K k = K::None;
-    uint32_t idx = 0;   ///< register or parameter index
-    uint32_t bits = 0;  ///< immediate bit pattern
-};
-
-struct Instr
-{
-    Op op = Op::Mov;
-    Ty ty = Ty::U32;
-    Ty srcTy = Ty::U32; ///< cvt source type
-    uint32_t dst = 0;
-    Operand a, b, c;
-    uint32_t param = 0; ///< base parameter of memory ops
-};
-
-struct Node;
-using Block = std::vector<Node>;
-
-struct Node
-{
-    enum class K : uint8_t { Plain, If, While, Bar };
-    K k = K::Plain;
-    uint32_t pc = 0;    ///< static PC, indexes AsmProgramImpl::listing
-    Instr ins;     ///< Plain payload, or the If/While comparison
-    Cc cc = Cc::Eq;
-    Block thenB;   ///< If-then / While-body
-    Block elseB;
-};
-
-float
-asF(uint32_t b)
-{
-    float f;
-    std::memcpy(&f, &b, 4);
-    return f;
-}
-
-uint32_t
-asB(float f)
-{
-    uint32_t b;
-    std::memcpy(&b, &f, 4);
-    return b;
-}
-
-int32_t
-asS(uint32_t b)
-{
-    int32_t s;
-    std::memcpy(&s, &b, 4);
-    return s;
-}
-
-uint32_t
-asBs(int32_t s)
-{
-    uint32_t b;
-    std::memcpy(&b, &s, 4);
-    return b;
-}
-
-} // anonymous namespace
-
-/** Parsed program plus its executor state factory. */
-class AsmProgramImpl
-{
-  public:
-    std::string name;
-    std::vector<AsmParam> params;
-    Block body;
-    uint32_t numRegs = 0;
-    uint32_t staticInstrs = 0;
-    /// Source text of every executable node, indexed by static PC.
-    std::vector<std::string> listing;
-
-    KernelFn makeEntry(std::shared_ptr<AsmProgramImpl> self) const;
-};
-
-namespace
-{
+using namespace gks;
 
 // ----------------------------------------------------------------
 // Parser
 // ----------------------------------------------------------------
+
+/** One source token with its 1-based column. */
+struct Tok
+{
+    std::string text;
+    uint32_t col = 0;
+};
 
 class Parser
 {
@@ -135,6 +53,7 @@ class Parser
             ++lineNo_;
             parseLine(line);
         }
+        at_ = {};
         if (prog_->name.empty())
             die("missing .kernel directive");
         if (blockStack_.size() != 1)
@@ -144,35 +63,59 @@ class Parser
     }
 
   private:
+    /**
+     * Report a syntax error at the current line, pointing at the
+     * most recently examined token, through the Status model.
+     */
     [[noreturn]] void
     die(const std::string &msg)
     {
-        fatal("GKS line %u: %s", lineNo_, msg.c_str());
+        std::string near =
+            at_.text.empty() ? "" : " near '" + at_.text + "'";
+        throw Error(makeStatus(
+            ErrorCode::InvalidArgument, "GKS:%u:%u: %s%s", lineNo_,
+            at_.col == 0 ? 1 : at_.col, msg.c_str(), near.c_str()));
     }
 
-    static std::vector<std::string>
+    /** Mark @p t as the token a subsequent die() points at. */
+    const std::string &
+    at(const Tok &t)
+    {
+        at_ = t;
+        return t.text;
+    }
+
+    static std::vector<Tok>
     tokenize(const std::string &line)
     {
-        std::string clean;
-        for (char c : line) {
+        std::vector<Tok> toks;
+        Tok cur;
+        for (uint32_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
             if (c == ';' || c == '#')
                 break;
-            clean.push_back(c == ',' ? ' ' : c);
+            if (c == ',' || c == ' ' || c == '\t' || c == '\r') {
+                if (!cur.text.empty())
+                    toks.push_back(std::move(cur));
+                cur = {};
+                continue;
+            }
+            if (cur.text.empty())
+                cur.col = i + 1;
+            cur.text.push_back(c);
         }
-        std::vector<std::string> toks;
-        std::istringstream is(clean);
-        std::string t;
-        while (is >> t)
-            toks.push_back(t);
+        if (!cur.text.empty())
+            toks.push_back(std::move(cur));
         return toks;
     }
 
     uint32_t
-    regIndex(const std::string &tok, bool define)
+    regIndex(const Tok &tok, bool define)
     {
-        if (tok.size() < 2 || tok[0] != '%')
-            die("expected register, got '" + tok + "'");
-        std::string name = tok.substr(1);
+        at(tok);
+        if (tok.text.size() < 2 || tok.text[0] != '%')
+            die("expected register, got '" + tok.text + "'");
+        std::string name = tok.text.substr(1);
         auto it = regs_.find(name);
         if (it == regs_.end()) {
             if (!define)
@@ -194,30 +137,32 @@ class Parser
     }
 
     Operand
-    operand(const std::string &tok, Ty ty)
+    operand(const Tok &tok, Ty ty)
     {
+        at(tok);
         Operand o;
-        if (tok[0] == '%') {
+        if (tok.text[0] == '%') {
             o.k = Operand::K::Reg;
             o.idx = regIndex(tok, false);
-        } else if (tok[0] == '$') {
+        } else if (tok.text[0] == '$') {
             o.k = Operand::K::Param;
-            o.idx = paramIndex(tok.substr(1));
+            o.idx = paramIndex(tok.text.substr(1));
             if (prog_->params[o.idx].kind == AsmParam::Kind::Ptr)
-                die("pointer parameter $" + tok.substr(1) +
+                die("pointer parameter $" + tok.text.substr(1) +
                     " used as a scalar operand");
         } else {
             o.k = Operand::K::Imm;
             try {
                 if (ty == Ty::F32)
-                    o.bits = asB(std::stof(tok));
+                    o.bits = asB(std::stof(tok.text));
                 else if (ty == Ty::S32)
-                    o.bits = asBs(int32_t(std::stol(tok, nullptr, 0)));
+                    o.bits = asBs(
+                        int32_t(std::stol(tok.text, nullptr, 0)));
                 else
                     o.bits =
-                        uint32_t(std::stoul(tok, nullptr, 0));
+                        uint32_t(std::stoul(tok.text, nullptr, 0));
             } catch (const std::exception &) {
-                die("bad immediate '" + tok + "'");
+                die("bad immediate '" + tok.text + "'");
             }
         }
         return o;
@@ -225,19 +170,20 @@ class Parser
 
     /** Parse "$p[%i]" into (param, index register). */
     void
-    memRef(const std::string &tok, uint32_t &param, Operand &idx,
-           bool shared)
+    memRef(const Tok &tok, uint32_t &param, Operand &idx, bool shared)
     {
-        size_t lb = tok.find('[');
-        size_t rb = tok.find(']');
-        if (lb == std::string::npos || rb != tok.size() - 1)
-            die("expected memory reference, got '" + tok + "'");
-        std::string base = tok.substr(0, lb);
-        std::string inner = tok.substr(lb + 1, rb - lb - 1);
+        at(tok);
+        size_t lb = tok.text.find('[');
+        size_t rb = tok.text.find(']');
+        if (lb == std::string::npos || rb != tok.text.size() - 1)
+            die("expected memory reference, got '" + tok.text + "'");
+        std::string base = tok.text.substr(0, lb);
+        Tok inner{tok.text.substr(lb + 1, rb - lb - 1),
+                  tok.col + uint32_t(lb) + 1};
         if (shared) {
             if (base != "sm")
-                die("shared reference must be sm[...], got '" + tok +
-                    "'");
+                die("shared reference must be sm[...], got '" +
+                    tok.text + "'");
             param = 0;
         } else {
             if (base.empty() || base[0] != '$')
@@ -315,28 +261,29 @@ class Parser
         auto toks = tokenize(line);
         if (toks.empty())
             return;
-        const std::string &head = toks[0];
+        const std::string &head = at(toks[0]);
 
         // Directives.
         if (head == ".kernel") {
             if (toks.size() != 2)
                 die(".kernel needs a name");
-            prog_->name = toks[1];
+            prog_->name = toks[1].text;
             return;
         }
         if (head == ".param") {
             if (toks.size() != 3)
                 die(".param needs: kind name");
             AsmParam p;
-            if (toks[1] == "ptr")
+            at(toks[1]);
+            if (toks[1].text == "ptr")
                 p.kind = AsmParam::Kind::Ptr;
-            else if (toks[1] == "u32")
+            else if (toks[1].text == "u32")
                 p.kind = AsmParam::Kind::U32;
-            else if (toks[1] == "f32")
+            else if (toks[1].text == "f32")
                 p.kind = AsmParam::Kind::F32;
             else
-                die("unknown param kind '" + toks[1] + "'");
-            p.name = toks[2];
+                die("unknown param kind '" + toks[1].text + "'");
+            p.name = toks[2].text;
             prog_->params.push_back(p);
             return;
         }
@@ -421,22 +368,27 @@ class Parser
     Instr
     parseInstr(const std::string &m,
                const std::vector<std::string> &parts,
-               const std::vector<std::string> &toks)
+               const std::vector<Tok> &toks)
     {
         Instr ins;
-        auto needTy = [&](size_t at) {
-            if (parts.size() <= at)
+        auto needTy = [&](size_t idx) {
+            at(toks[0]);
+            if (parts.size() <= idx)
                 die("missing type suffix on '" + m + "'");
-            return tyOf(parts[at]);
+            return tyOf(parts[idx]);
         };
         auto dst = [&](size_t tok) {
-            if (toks.size() <= tok)
+            if (toks.size() <= tok) {
+                at(toks[0]);
                 die("missing destination register");
+            }
             return regIndex(toks[tok], true);
         };
         auto src = [&](size_t tok, Ty ty) {
-            if (toks.size() <= tok)
+            if (toks.size() <= tok) {
+                at(toks[0]);
                 die("missing operand");
+            }
             return operand(toks[tok], ty);
         };
 
@@ -540,400 +492,14 @@ class Parser
     const std::string &src_;
     AsmProgramImpl *prog_ = nullptr;
     uint32_t lineNo_ = 0;
+    Tok at_;  ///< most recently examined token (error location)
     std::map<std::string, uint32_t> regs_;
     std::vector<Block *> blockStack_;
     std::vector<Node::K> kindStack_;
     std::vector<bool> inElse_;
 };
 
-// ----------------------------------------------------------------
-// Executor
-// ----------------------------------------------------------------
-
-struct Frame
-{
-    Warp &w;
-    const AsmProgramImpl &prog;
-    std::vector<Reg<uint32_t>> regs;
-
-    Reg<uint32_t>
-    value(const Operand &o)
-    {
-        switch (o.k) {
-          case Operand::K::Reg:
-            return regs[o.idx];
-          case Operand::K::Imm:
-            return w.imm(o.bits);
-          case Operand::K::Param: {
-            // Scalar parameters broadcast like a constant bank.
-            return w.imm(w.param<uint32_t>(o.idx));
-          }
-          default:
-            panic("GKS: empty operand evaluated");
-        }
-    }
-};
-
-Reg<uint32_t>
-execBinary(Frame &f, const Instr &ins)
-{
-    Warp &w = f.w;
-    Reg<uint32_t> A = f.value(ins.a);
-    Reg<uint32_t> B = f.value(ins.b);
-    Ty ty = ins.ty;
-
-    auto emitF = [&](auto fn) {
-        return w.emitBin<uint32_t>(
-            OpClass::FpAlu,
-            [fn](uint32_t x, uint32_t y) {
-                return asB(fn(asF(x), asF(y)));
-            },
-            A, B);
-    };
-    auto emitU = [&](auto fn) {
-        return w.emitBin<uint32_t>(OpClass::IntAlu, fn, A, B);
-    };
-    auto emitS = [&](auto fn) {
-        return w.emitBin<uint32_t>(
-            OpClass::IntAlu,
-            [fn](uint32_t x, uint32_t y) {
-                return asBs(fn(asS(x), asS(y)));
-            },
-            A, B);
-    };
-
-    switch (ins.op) {
-      case Op::Add:
-        if (ty == Ty::F32)
-            return emitF([](float x, float y) { return x + y; });
-        return emitU([](uint32_t x, uint32_t y) { return x + y; });
-      case Op::Sub:
-        if (ty == Ty::F32)
-            return emitF([](float x, float y) { return x - y; });
-        return emitU([](uint32_t x, uint32_t y) { return x - y; });
-      case Op::Mul:
-        if (ty == Ty::F32)
-            return emitF([](float x, float y) { return x * y; });
-        return emitU([](uint32_t x, uint32_t y) { return x * y; });
-      case Op::Div:
-        if (ty == Ty::F32)
-            return emitF([](float x, float y) { return x / y; });
-        if (ty == Ty::S32)
-            return emitS([](int32_t x, int32_t y) {
-                return y ? x / y : 0;
-            });
-        return emitU([](uint32_t x, uint32_t y) {
-            return y ? x / y : 0u;
-        });
-      case Op::Rem:
-        if (ty == Ty::F32)
-            panic("GKS: rem.f32 is not defined");
-        if (ty == Ty::S32)
-            return emitS([](int32_t x, int32_t y) {
-                return y ? x % y : 0;
-            });
-        return emitU([](uint32_t x, uint32_t y) {
-            return y ? x % y : 0u;
-        });
-      case Op::And:
-        return emitU([](uint32_t x, uint32_t y) { return x & y; });
-      case Op::Or:
-        return emitU([](uint32_t x, uint32_t y) { return x | y; });
-      case Op::Xor:
-        return emitU([](uint32_t x, uint32_t y) { return x ^ y; });
-      case Op::Shl:
-        return emitU([](uint32_t x, uint32_t y) {
-            return y >= 32 ? 0u : x << y;
-        });
-      case Op::Shr:
-        return emitU([](uint32_t x, uint32_t y) {
-            return y >= 32 ? 0u : x >> y;
-        });
-      case Op::Min:
-        if (ty == Ty::F32)
-            return emitF([](float x, float y) {
-                return x < y ? x : y;
-            });
-        if (ty == Ty::S32)
-            return emitS([](int32_t x, int32_t y) {
-                return x < y ? x : y;
-            });
-        return emitU([](uint32_t x, uint32_t y) {
-            return x < y ? x : y;
-        });
-      case Op::Max:
-        if (ty == Ty::F32)
-            return emitF([](float x, float y) {
-                return x > y ? x : y;
-            });
-        if (ty == Ty::S32)
-            return emitS([](int32_t x, int32_t y) {
-                return x > y ? x : y;
-            });
-        return emitU([](uint32_t x, uint32_t y) {
-            return x > y ? x : y;
-        });
-      default:
-        panic("GKS: not a binary op");
-    }
-}
-
-Reg<uint32_t>
-execUnary(Frame &f, const Instr &ins)
-{
-    Warp &w = f.w;
-    Reg<uint32_t> A = f.value(ins.a);
-    auto sfu = [&](auto fn) {
-        return w.emitUn<uint32_t>(
-            OpClass::Sfu,
-            [fn](uint32_t x) { return asB(fn(asF(x))); }, A);
-    };
-    switch (ins.op) {
-      case Op::Mov:
-        return w.emitUn<uint32_t>(OpClass::IntAlu,
-                                  [](uint32_t x) { return x; }, A);
-      case Op::Neg:
-        if (ins.ty == Ty::F32)
-            return w.emitUn<uint32_t>(
-                OpClass::FpAlu,
-                [](uint32_t x) { return asB(-asF(x)); }, A);
-        return w.emitUn<uint32_t>(
-            OpClass::IntAlu,
-            [](uint32_t x) { return asBs(-asS(x)); }, A);
-      case Op::Abs:
-        if (ins.ty == Ty::F32)
-            return w.emitUn<uint32_t>(
-                OpClass::FpAlu,
-                [](uint32_t x) { return asB(std::fabs(asF(x))); },
-                A);
-        return w.emitUn<uint32_t>(
-            OpClass::IntAlu,
-            [](uint32_t x) {
-                int32_t s = asS(x);
-                return asBs(s < 0 ? -s : s);
-            },
-            A);
-      case Op::Sqrt:
-        return sfu([](float x) { return std::sqrt(x); });
-      case Op::Rsqrt:
-        return sfu([](float x) { return 1.0f / std::sqrt(x); });
-      case Op::Exp:
-        return sfu([](float x) { return std::exp(x); });
-      case Op::Log:
-        return sfu([](float x) { return std::log(x); });
-      case Op::Sin:
-        return sfu([](float x) { return std::sin(x); });
-      case Op::Cos:
-        return sfu([](float x) { return std::cos(x); });
-      case Op::Cvt: {
-        Ty to = ins.ty, from = ins.srcTy;
-        return w.emitUn<uint32_t>(
-            OpClass::Other,
-            [to, from](uint32_t x) -> uint32_t {
-                double v;
-                if (from == Ty::F32)
-                    v = asF(x);
-                else if (from == Ty::S32)
-                    v = asS(x);
-                else
-                    v = x;
-                if (to == Ty::F32)
-                    return asB(float(v));
-                if (to == Ty::S32)
-                    return asBs(int32_t(v));
-                return uint32_t(int64_t(v));
-            },
-            A);
-      }
-      default:
-        panic("GKS: not a unary op");
-    }
-}
-
-Pred
-execCompare(Frame &f, Cc cc, Ty ty, const Operand &a,
-            const Operand &b)
-{
-    Warp &w = f.w;
-    Reg<uint32_t> A = f.value(a);
-    Reg<uint32_t> B = f.value(b);
-    OpClass cls = ty == Ty::F32 ? OpClass::FpAlu : OpClass::IntAlu;
-    auto cmp = [cc](auto x, auto y) {
-        switch (cc) {
-          case Cc::Eq: return x == y;
-          case Cc::Ne: return x != y;
-          case Cc::Lt: return x < y;
-          case Cc::Le: return x <= y;
-          case Cc::Gt: return x > y;
-          case Cc::Ge: return x >= y;
-        }
-        return false;
-    };
-    if (ty == Ty::F32)
-        return w.emitCmp(cls,
-                         [cmp](uint32_t x, uint32_t y) {
-                             return cmp(asF(x), asF(y));
-                         },
-                         A, B);
-    if (ty == Ty::S32)
-        return w.emitCmp(cls,
-                         [cmp](uint32_t x, uint32_t y) {
-                             return cmp(asS(x), asS(y));
-                         },
-                         A, B);
-    return w.emitCmp(cls,
-                     [cmp](uint32_t x, uint32_t y) {
-                         return cmp(x, y);
-                     },
-                     A, B);
-}
-
-void execBlock(Frame &f, const Block &block);
-
-void
-execInstr(Frame &f, const Instr &ins)
-{
-    Warp &w = f.w;
-    switch (ins.op) {
-      case Op::Gid:
-        f.regs[ins.dst] = w.globalIdX();
-        return;
-      case Op::GidY:
-        f.regs[ins.dst] = w.globalIdY();
-        return;
-      case Op::Tid:
-        f.regs[ins.dst] = w.tidLinear();
-        return;
-      case Op::Lane:
-        f.regs[ins.dst] = w.laneId();
-        return;
-      case Op::CtaId:
-        f.regs[ins.dst] = w.imm(w.ctaId().x);
-        return;
-      case Op::Ld: {
-        uint64_t base = w.param<uint64_t>(ins.param);
-        Reg<uint64_t> addr =
-            w.gaddr<uint32_t>(base, f.value(ins.a));
-        f.regs[ins.dst] = w.ldGlobal<uint32_t>(addr);
-        return;
-      }
-      case Op::St: {
-        uint64_t base = w.param<uint64_t>(ins.param);
-        Reg<uint64_t> addr =
-            w.gaddr<uint32_t>(base, f.value(ins.a));
-        w.stGlobal<uint32_t>(addr, f.value(ins.b));
-        return;
-      }
-      case Op::Lds: {
-        Reg<uint32_t> off =
-            w.saddr<uint32_t>(0, f.value(ins.a));
-        f.regs[ins.dst] = w.ldShared<uint32_t>(off);
-        return;
-      }
-      case Op::Sts: {
-        Reg<uint32_t> off =
-            w.saddr<uint32_t>(0, f.value(ins.a));
-        w.stShared<uint32_t>(off, f.value(ins.b));
-        return;
-      }
-      case Op::AtomAdd: {
-        uint64_t base = w.param<uint64_t>(ins.param);
-        Reg<uint64_t> addr =
-            w.gaddr<uint32_t>(base, f.value(ins.a));
-        f.regs[ins.dst] =
-            w.atomicAddGlobal<uint32_t>(addr, f.value(ins.b));
-        return;
-      }
-      case Op::AtomAddShared: {
-        Reg<uint32_t> off =
-            w.saddr<uint32_t>(0, f.value(ins.a));
-        f.regs[ins.dst] =
-            w.atomicAddShared<uint32_t>(off, f.value(ins.b));
-        return;
-      }
-      case Op::Fma: {
-        Reg<uint32_t> A = f.value(ins.a);
-        Reg<uint32_t> B = f.value(ins.b);
-        Reg<uint32_t> C = f.value(ins.c);
-        f.regs[ins.dst] = w.emitTri<uint32_t>(
-            OpClass::FpAlu,
-            [](uint32_t x, uint32_t y, uint32_t z) {
-                return asB(asF(x) * asF(y) + asF(z));
-            },
-            A, B, C);
-        return;
-      }
-      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
-      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
-      case Op::Shl: case Op::Shr: case Op::Min: case Op::Max:
-        f.regs[ins.dst] = execBinary(f, ins);
-        return;
-      default:
-        f.regs[ins.dst] = execUnary(f, ins);
-        return;
-    }
-}
-
-void
-execNode(Frame &f, const Node &node)
-{
-    switch (node.k) {
-      case Node::K::Plain:
-        f.w.setPc(node.pc);
-        execInstr(f, node.ins);
-        return;
-      case Node::K::If:
-        f.w.setPc(node.pc);
-        f.w.IfElse(
-            execCompare(f, node.cc, node.ins.ty, node.ins.a,
-                        node.ins.b),
-            [&] { execBlock(f, node.thenB); },
-            [&] { execBlock(f, node.elseB); });
-        return;
-      case Node::K::While:
-        f.w.While(
-            [&] {
-                // Re-stamp per iteration: the body's nodes moved the
-                // PC away from the loop header.
-                f.w.setPc(node.pc);
-                return execCompare(f, node.cc, node.ins.ty,
-                                   node.ins.a, node.ins.b);
-            },
-            [&] { execBlock(f, node.thenB); });
-        return;
-      case Node::K::Bar:
-        panic("GKS: barrier below the top level escaped the parser");
-    }
-}
-
-void
-execBlock(Frame &f, const Block &block)
-{
-    for (const auto &node : block)
-        execNode(f, node);
-}
-
 } // anonymous namespace
-
-KernelFn
-AsmProgramImpl::makeEntry(std::shared_ptr<AsmProgramImpl> self) const
-{
-    return [self](Warp &w) -> WarpTask {
-        Frame f{w, *self, {}};
-        f.regs.resize(self->numRegs);
-        for (auto &r : f.regs)
-            r.w = &w;
-        for (const auto &node : self->body) {
-            if (node.k == Node::K::Bar) {
-                w.setPc(node.pc);
-                co_await w.barrier();
-            } else {
-                execNode(f, node);
-            }
-        }
-        co_return;
-    };
-}
 
 AsmKernel::AsmKernel(std::shared_ptr<AsmProgramImpl> impl)
     : impl_(std::move(impl))
@@ -969,17 +535,48 @@ AsmKernel::listing() const
     return impl_->listing;
 }
 
-KernelFn
-AsmKernel::entry() const
+const std::vector<uint32_t> &
+AsmKernel::pcMap() const
 {
-    return impl_->makeEntry(impl_);
+    return impl_->bytecode.pcMap;
+}
+
+const std::vector<std::string> &
+AsmKernel::bytecodeListing() const
+{
+    return impl_->bytecode.disasm;
+}
+
+KernelFn
+AsmKernel::entry(AsmExec mode) const
+{
+    if (mode == AsmExec::Auto) {
+        const char *env = std::getenv("GWC_GKS_INTERP");
+        mode = env && *env && std::string_view(env) != "0"
+                   ? AsmExec::Interpreted
+                   : AsmExec::Compiled;
+    }
+    return mode == AsmExec::Interpreted ? makeInterpEntry(impl_)
+                                        : makeBytecodeEntry(impl_);
 }
 
 AsmKernel
 assembleKernel(const std::string &source)
 {
     Parser parser(source);
-    return AsmKernel(parser.parse());
+    auto prog = parser.parse();
+    prog->bytecode = compileBytecode(*prog);
+    return AsmKernel(std::move(prog));
+}
+
+Result<AsmKernel>
+tryAssembleKernel(const std::string &source)
+{
+    try {
+        return assembleKernel(source);
+    } catch (const Error &e) {
+        return e.status();
+    }
 }
 
 } // namespace gwc::simt

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/status.hh"
 #include "simt/warp.hh"
 
 namespace gwc::simt
@@ -57,10 +58,21 @@ struct AsmParam
 
 class AsmProgramImpl;
 
+/**
+ * Which executor AsmKernel::entry returns. Auto follows the
+ * GWC_GKS_INTERP environment variable: unset (or "0") selects the
+ * compiled bytecode executor, anything else the tree interpreter.
+ * Both produce byte-identical instrumentation streams; the hatch
+ * exists so the identity property tests can diff them directly.
+ */
+enum class AsmExec : uint8_t { Auto, Compiled, Interpreted };
+
 /** A parsed, executable GKS kernel. */
 class AsmKernel
 {
   public:
+    /** Empty kernel; only useful as a Result<AsmKernel> placeholder. */
+    AsmKernel() = default;
     /** Kernel name from the .kernel directive. */
     const std::string &name() const;
 
@@ -82,22 +94,43 @@ class AsmKernel
     const std::vector<std::string> &listing() const;
 
     /**
+     * Bytecode ip -> source static PC. Together with listing() this
+     * lets tools attribute fused superinstructions back to their
+     * original source lines (the executor already stamps source PCs
+     * on every event, so profiles need no translation).
+     */
+    const std::vector<uint32_t> &pcMap() const;
+
+    /** Disassembly of the compiled bytecode, one line per slot. */
+    const std::vector<std::string> &bytecodeListing() const;
+
+    /**
      * Entry point usable with Engine::launch. The returned functor
      * shares ownership of the program, so it stays valid after the
      * AsmKernel goes out of scope.
      */
-    KernelFn entry() const;
+    KernelFn entry(AsmExec mode = AsmExec::Auto) const;
 
   private:
     friend AsmKernel assembleKernel(const std::string &);
+    friend Result<AsmKernel> tryAssembleKernel(const std::string &);
     explicit AsmKernel(std::shared_ptr<AsmProgramImpl> impl);
 
     std::shared_ptr<AsmProgramImpl> impl_;
 };
 
 /**
- * Assemble GKS source into an executable kernel. Fatal on syntax
- * errors, with the offending line number in the message.
+ * Assemble GKS source into an executable kernel, or a Status
+ * describing the first syntax error as
+ * "GKS:<line>:<col>: <message> near '<token>'"
+ * (ErrorCode::InvalidArgument).
+ */
+Result<AsmKernel> tryAssembleKernel(const std::string &source);
+
+/**
+ * Assemble GKS source into an executable kernel. Throws gwc::Error
+ * on syntax errors, with line:column and the offending token in the
+ * message (the Status form of tryAssembleKernel).
  */
 AsmKernel assembleKernel(const std::string &source);
 

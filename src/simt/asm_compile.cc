@@ -1,0 +1,497 @@
+/**
+ * @file
+ * GKS bytecode compiler: lowers the parser's structured Node/Block
+ * tree into the flat pre-decoded BytecodeProgram the tight-loop
+ * executor runs (asm_exec.cc).
+ *
+ * Three transformations happen here, all encoding-only:
+ *  - operand decoding: every Operand becomes a register-file slot;
+ *    immediates and scalar parameters get deduped constant slots
+ *    materialized once per frame instead of re-broadcast per dynamic
+ *    instruction;
+ *  - control flattening: if/else becomes BrIf/ElseJ/EndIf and while
+ *    becomes WhileEnter/WhileTest/LoopBack over an explicit
+ *    reconvergence stack, with exactly the mask and branch-event
+ *    sequence of the Warp::IfElse/While combinators;
+ *  - superinstruction fusion: adjacent op patterns (ld+ld, mul+add,
+ *    bin+st, ld+bin+st) collapse into one dispatch. Fusion rewrites
+ *    only the head slot's opcode — every constituent keeps its own
+ *    fields, PC and (for non-head slots) opcode — so a jump into a
+ *    fused pair still lands on a valid instruction and the fused
+ *    execution emits the exact event stream of its parts.
+ */
+
+#include "simt/asm_ir.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace gwc::simt
+{
+
+namespace
+{
+
+using namespace gks;
+
+bool
+isAluBin(BcOp op)
+{
+    return op >= BcOp::AddU && op <= BcOp::MaxF;
+}
+
+class Lowering
+{
+  public:
+    explicit Lowering(const AsmProgramImpl &prog) : prog_(prog)
+    {
+        bc_.numRegs = prog.numRegs;
+    }
+
+    BytecodeProgram
+    run()
+    {
+        lowerBlock(prog_.body);
+        fuse();
+        bc_.pcMap.reserve(bc_.code.size());
+        for (const auto &ins : bc_.code)
+            bc_.pcMap.push_back(ins.pc);
+        disassemble();
+        return std::move(bc_);
+    }
+
+  private:
+    uint16_t
+    constSlot(BcConst::K k, uint32_t v)
+    {
+        auto key = std::make_pair(uint8_t(k), v);
+        auto it = constSlots_.find(key);
+        if (it != constSlots_.end())
+            return it->second;
+        uint16_t slot =
+            uint16_t(bc_.numRegs + bc_.consts.size());
+        bc_.consts.push_back({k, v});
+        constSlots_.emplace(key, slot);
+        return slot;
+    }
+
+    uint16_t
+    slotOf(const Operand &o)
+    {
+        switch (o.k) {
+          case Operand::K::Reg:
+            return uint16_t(o.idx);
+          case Operand::K::Imm:
+            return constSlot(BcConst::K::Imm, o.bits);
+          case Operand::K::Param:
+            return constSlot(BcConst::K::Param, o.idx);
+          default:
+            panic("GKS: empty operand lowered");
+        }
+    }
+
+    static uint8_t
+    packCmp(Ty ty, Cc cc)
+    {
+        return uint8_t(uint8_t(ty) << 4 | uint8_t(cc));
+    }
+
+    BcOp
+    aluOp(const Instr &ins)
+    {
+        Ty ty = ins.ty;
+        switch (ins.op) {
+          case Op::Mov:  return BcOp::Mov;
+          case Op::Neg:  return ty == Ty::F32 ? BcOp::NegF : BcOp::NegS;
+          case Op::Abs:  return ty == Ty::F32 ? BcOp::AbsF : BcOp::AbsS;
+          case Op::Sqrt: return BcOp::Sqrt;
+          case Op::Rsqrt: return BcOp::Rsqrt;
+          case Op::Exp:  return BcOp::Exp;
+          case Op::Log:  return BcOp::Log;
+          case Op::Sin:  return BcOp::Sin;
+          case Op::Cos:  return BcOp::Cos;
+          case Op::Cvt:  return BcOp::Cvt;
+          case Op::Add:  return ty == Ty::F32 ? BcOp::AddF : BcOp::AddU;
+          case Op::Sub:  return ty == Ty::F32 ? BcOp::SubF : BcOp::SubU;
+          case Op::Mul:  return ty == Ty::F32 ? BcOp::MulF : BcOp::MulU;
+          case Op::Div:
+            return ty == Ty::F32   ? BcOp::DivF
+                   : ty == Ty::S32 ? BcOp::DivS
+                                   : BcOp::DivU;
+          case Op::Rem:
+            if (ty == Ty::F32)
+                panic("GKS: rem.f32 is not defined");
+            return ty == Ty::S32 ? BcOp::RemS : BcOp::RemU;
+          case Op::And:  return BcOp::AndB;
+          case Op::Or:   return BcOp::OrB;
+          case Op::Xor:  return BcOp::XorB;
+          case Op::Shl:  return BcOp::ShlB;
+          case Op::Shr:  return BcOp::ShrB;
+          case Op::Min:
+            return ty == Ty::F32   ? BcOp::MinF
+                   : ty == Ty::S32 ? BcOp::MinS
+                                   : BcOp::MinU;
+          case Op::Max:
+            return ty == Ty::F32   ? BcOp::MaxF
+                   : ty == Ty::S32 ? BcOp::MaxS
+                                   : BcOp::MaxU;
+          case Op::Fma:  return BcOp::Fma;
+          case Op::Ld:   return BcOp::Ld;
+          case Op::St:   return BcOp::St;
+          case Op::Lds:  return BcOp::Lds;
+          case Op::Sts:  return BcOp::Sts;
+          case Op::AtomAdd: return BcOp::AtomAdd;
+          case Op::AtomAddShared: return BcOp::AtomAddSh;
+          case Op::Gid:  return BcOp::Gid;
+          case Op::GidY: return BcOp::GidY;
+          case Op::Tid:  return BcOp::Tid;
+          case Op::Lane: return BcOp::Lane;
+          case Op::CtaId: return BcOp::CtaId;
+        }
+        panic("GKS: unreachable op");
+    }
+
+    void
+    lowerPlain(const Node &node)
+    {
+        const Instr &ins = node.ins;
+        BcInstr b;
+        b.op = aluOp(ins);
+        b.pc = node.pc;
+        b.dst = uint16_t(ins.dst);
+        switch (ins.op) {
+          case Op::Gid: case Op::GidY: case Op::Tid: case Op::Lane:
+          case Op::CtaId:
+            break;
+          case Op::Cvt:
+            b.cc = uint8_t(uint8_t(ins.ty) * 3 + uint8_t(ins.srcTy));
+            b.a = slotOf(ins.a);
+            break;
+          case Op::Ld: case Op::Lds:
+            b.a = slotOf(ins.a);
+            b.arg = ins.param;
+            break;
+          case Op::St: case Op::Sts:
+            b.a = slotOf(ins.a);
+            b.b = slotOf(ins.b);
+            b.arg = ins.param;
+            break;
+          case Op::AtomAdd: case Op::AtomAddShared:
+            b.a = slotOf(ins.a);
+            b.b = slotOf(ins.b);
+            b.arg = ins.param;
+            break;
+          case Op::Fma:
+            b.a = slotOf(ins.a);
+            b.b = slotOf(ins.b);
+            b.c = slotOf(ins.c);
+            break;
+          case Op::Mov: case Op::Neg: case Op::Abs: case Op::Sqrt:
+          case Op::Rsqrt: case Op::Exp: case Op::Log: case Op::Sin:
+          case Op::Cos:
+            b.a = slotOf(ins.a);
+            break;
+          default: // binary ALU
+            b.a = slotOf(ins.a);
+            b.b = slotOf(ins.b);
+            break;
+        }
+        bc_.code.push_back(b);
+    }
+
+    void
+    lowerBlock(const Block &block)
+    {
+        for (const auto &node : block) {
+            switch (node.k) {
+              case Node::K::Plain:
+                lowerPlain(node);
+                break;
+              case Node::K::If: {
+                enterDepth();
+                uint32_t brIdx = uint32_t(bc_.code.size());
+                BcInstr br;
+                br.op = BcOp::BrIf;
+                br.cc = packCmp(node.ins.ty, node.cc);
+                br.a = slotOf(node.ins.a);
+                br.b = slotOf(node.ins.b);
+                br.pc = node.pc;
+                bc_.code.push_back(br);
+                lowerBlock(node.thenB);
+                uint32_t elseJIdx = uint32_t(bc_.code.size());
+                BcInstr ej;
+                ej.op = BcOp::ElseJ;
+                ej.pc = node.pc;
+                bc_.code.push_back(ej);
+                lowerBlock(node.elseB);
+                uint32_t endIdx = uint32_t(bc_.code.size());
+                BcInstr en;
+                en.op = BcOp::EndIf;
+                en.pc = node.pc;
+                bc_.code.push_back(en);
+                bc_.code[brIdx].arg = elseJIdx + 1;
+                bc_.code[elseJIdx].arg = endIdx;
+                leaveDepth();
+                break;
+              }
+              case Node::K::While: {
+                enterDepth();
+                BcInstr we;
+                we.op = BcOp::WhileEnter;
+                we.pc = node.pc;
+                bc_.code.push_back(we);
+                uint32_t testIdx = uint32_t(bc_.code.size());
+                BcInstr wt;
+                wt.op = BcOp::WhileTest;
+                wt.cc = packCmp(node.ins.ty, node.cc);
+                wt.a = slotOf(node.ins.a);
+                wt.b = slotOf(node.ins.b);
+                wt.pc = node.pc;
+                bc_.code.push_back(wt);
+                lowerBlock(node.thenB);
+                uint32_t loopIdx = uint32_t(bc_.code.size());
+                BcInstr lb;
+                lb.op = BcOp::LoopBack;
+                lb.pc = node.pc;
+                lb.arg = testIdx;
+                bc_.code.push_back(lb);
+                bc_.code[testIdx].arg = loopIdx + 1;
+                leaveDepth();
+                break;
+              }
+              case Node::K::Bar: {
+                BcInstr b;
+                b.op = BcOp::Bar;
+                b.pc = node.pc;
+                bc_.code.push_back(b);
+                break;
+              }
+            }
+        }
+    }
+
+    void
+    enterDepth()
+    {
+        if (++depth_ > bc_.maxDepth)
+            bc_.maxDepth = depth_;
+    }
+
+    void leaveDepth() { --depth_; }
+
+    /**
+     * Peephole superinstruction pass. Greedy left-to-right over the
+     * flat code; patterns never span a control op (the members must
+     * be plain loads/stores/ALU ops), so jump targets — which always
+     * point at control ops or at slots whose opcode is left intact —
+     * stay valid.
+     */
+    void
+    fuse()
+    {
+        auto &c = bc_.code;
+        size_t n = c.size();
+        size_t i = 0;
+        while (i < n) {
+            if (c[i].op == BcOp::Ld && i + 2 < n &&
+                isAluBin(c[i + 1].op) && c[i + 2].op == BcOp::St) {
+                c[i].op = BcOp::FusedLdBinSt;
+                i += 3;
+            } else if (c[i].op == BcOp::Ld && i + 1 < n &&
+                       c[i + 1].op == BcOp::Ld) {
+                c[i].op = BcOp::FusedLdLd;
+                i += 2;
+            } else if (c[i].op == BcOp::MulU && i + 1 < n &&
+                       c[i + 1].op == BcOp::AddU) {
+                c[i].op = BcOp::FusedMulAddU;
+                i += 2;
+            } else if (c[i].op == BcOp::MulF && i + 1 < n &&
+                       c[i + 1].op == BcOp::AddF) {
+                c[i].op = BcOp::FusedMulAddF;
+                i += 2;
+            } else if (isAluBin(c[i].op) && i + 1 < n &&
+                       c[i + 1].op == BcOp::St) {
+                c[i].aux = uint8_t(c[i].op);
+                c[i].op = BcOp::FusedBinSt;
+                i += 2;
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Disassembly
+    // ------------------------------------------------------------
+
+    std::string
+    slotName(uint16_t s) const
+    {
+        if (s < bc_.numRegs)
+            return "r" + std::to_string(s);
+        return "k" + std::to_string(s - bc_.numRegs);
+    }
+
+    static const char *
+    tyName(uint8_t ty)
+    {
+        switch (Ty(ty)) {
+          case Ty::U32: return "u32";
+          case Ty::S32: return "s32";
+          case Ty::F32: return "f32";
+        }
+        return "?";
+    }
+
+    static const char *
+    ccName(uint8_t cc)
+    {
+        switch (Cc(cc)) {
+          case Cc::Eq: return "eq";
+          case Cc::Ne: return "ne";
+          case Cc::Lt: return "lt";
+          case Cc::Le: return "le";
+          case Cc::Gt: return "gt";
+          case Cc::Ge: return "ge";
+        }
+        return "?";
+    }
+
+    std::string
+    renderOne(const BcInstr &b) const
+    {
+        auto bin = [&](const char *n) {
+            return std::string(n) + " " + slotName(b.dst) + ", " +
+                   slotName(b.a) + ", " + slotName(b.b);
+        };
+        auto un = [&](const char *n) {
+            return std::string(n) + " " + slotName(b.dst) + ", " +
+                   slotName(b.a);
+        };
+        auto gmem = [&](const char *n, bool st) {
+            std::string ref = "p" + std::to_string(b.arg) + "[" +
+                              slotName(b.a) + "]";
+            if (st)
+                return std::string(n) + " " + ref + ", " +
+                       slotName(b.b);
+            return std::string(n) + " " + slotName(b.dst) + ", " + ref;
+        };
+        auto smem = [&](const char *n, bool st) {
+            std::string ref = "sm[" + slotName(b.a) + "]";
+            if (st)
+                return std::string(n) + " " + ref + ", " +
+                       slotName(b.b);
+            return std::string(n) + " " + slotName(b.dst) + ", " + ref;
+        };
+        auto cmp = [&](const char *n) {
+            return std::string(n) + "." +
+                   ccName(b.cc & 0xf) + "." + tyName(b.cc >> 4) +
+                   " " + slotName(b.a) + ", " + slotName(b.b) +
+                   " -> " + std::to_string(b.arg);
+        };
+        switch (b.op) {
+          case BcOp::Mov:  return un("mov");
+          case BcOp::NegS: return un("neg.s");
+          case BcOp::NegF: return un("neg.f");
+          case BcOp::AbsS: return un("abs.s");
+          case BcOp::AbsF: return un("abs.f");
+          case BcOp::Sqrt: return un("sqrt");
+          case BcOp::Rsqrt: return un("rsqrt");
+          case BcOp::Exp:  return un("exp");
+          case BcOp::Log:  return un("log");
+          case BcOp::Sin:  return un("sin");
+          case BcOp::Cos:  return un("cos");
+          case BcOp::Cvt:
+            return std::string("cvt.") + tyName(b.cc / 3) + "." +
+                   tyName(b.cc % 3) + " " + slotName(b.dst) + ", " +
+                   slotName(b.a);
+          case BcOp::AddU: return bin("add.u");
+          case BcOp::AddF: return bin("add.f");
+          case BcOp::SubU: return bin("sub.u");
+          case BcOp::SubF: return bin("sub.f");
+          case BcOp::MulU: return bin("mul.u");
+          case BcOp::MulF: return bin("mul.f");
+          case BcOp::DivU: return bin("div.u");
+          case BcOp::DivS: return bin("div.s");
+          case BcOp::DivF: return bin("div.f");
+          case BcOp::RemU: return bin("rem.u");
+          case BcOp::RemS: return bin("rem.s");
+          case BcOp::AndB: return bin("and");
+          case BcOp::OrB:  return bin("or");
+          case BcOp::XorB: return bin("xor");
+          case BcOp::ShlB: return bin("shl");
+          case BcOp::ShrB: return bin("shr");
+          case BcOp::MinU: return bin("min.u");
+          case BcOp::MinS: return bin("min.s");
+          case BcOp::MinF: return bin("min.f");
+          case BcOp::MaxU: return bin("max.u");
+          case BcOp::MaxS: return bin("max.s");
+          case BcOp::MaxF: return bin("max.f");
+          case BcOp::Fma:
+            return "fma " + slotName(b.dst) + ", " + slotName(b.a) +
+                   ", " + slotName(b.b) + ", " + slotName(b.c);
+          case BcOp::Ld:   return gmem("ld", false);
+          case BcOp::St:   return gmem("st", true);
+          case BcOp::Lds:  return smem("lds", false);
+          case BcOp::Sts:  return smem("sts", true);
+          case BcOp::AtomAdd:
+            return gmem("atom.add", false) + ", " + slotName(b.b);
+          case BcOp::AtomAddSh:
+            return smem("atoms.add", false) + ", " + slotName(b.b);
+          case BcOp::Gid:  return "gid " + slotName(b.dst);
+          case BcOp::GidY: return "gidy " + slotName(b.dst);
+          case BcOp::Tid:  return "tid " + slotName(b.dst);
+          case BcOp::Lane: return "lane " + slotName(b.dst);
+          case BcOp::CtaId: return "ctaid " + slotName(b.dst);
+          case BcOp::BrIf: return cmp("brif");
+          case BcOp::ElseJ:
+            return "elsej -> " + std::to_string(b.arg);
+          case BcOp::EndIf: return "endif";
+          case BcOp::WhileEnter: return "whileenter";
+          case BcOp::WhileTest: return cmp("whiletest");
+          case BcOp::LoopBack:
+            return "loopback -> " + std::to_string(b.arg);
+          case BcOp::Bar:  return "bar";
+          case BcOp::FusedLdLd:
+            return "ld+ld " + gmem("ld", false).substr(3);
+          case BcOp::FusedMulAddU:
+            return "mul+add.u " + bin("mul.u").substr(6);
+          case BcOp::FusedMulAddF:
+            return "mul+add.f " + bin("mul.f").substr(6);
+          case BcOp::FusedBinSt: {
+            BcInstr head = b;
+            head.op = BcOp(b.aux);
+            return renderOne(head) + " +st";
+          }
+          case BcOp::FusedLdBinSt:
+            return "ld+alu+st " + gmem("ld", false).substr(3);
+        }
+        return "?";
+    }
+
+    void
+    disassemble()
+    {
+        bc_.disasm.reserve(bc_.code.size());
+        for (size_t i = 0; i < bc_.code.size(); ++i)
+            bc_.disasm.push_back(
+                std::to_string(i) + ": " + renderOne(bc_.code[i]) +
+                " ; pc=" + std::to_string(bc_.code[i].pc));
+    }
+
+    const AsmProgramImpl &prog_;
+    BytecodeProgram bc_;
+    std::map<std::pair<uint8_t, uint32_t>, uint16_t> constSlots_;
+    uint32_t depth_ = 0;
+};
+
+} // anonymous namespace
+
+gks::BytecodeProgram
+compileBytecode(const AsmProgramImpl &prog)
+{
+    return Lowering(prog).run();
+}
+
+} // namespace gwc::simt

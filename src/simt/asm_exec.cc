@@ -1,0 +1,933 @@
+/**
+ * @file
+ * GKS bytecode executor: a single tight switch loop over the flat
+ * pre-decoded form, with a dense register file (named registers plus
+ * materialized constant slots) and an explicit reconvergence stack.
+ *
+ * The identity contract with the tree interpreter (asm_interp.cc) is
+ * absolute: same dynamic instruction sequence, same OpClass per op,
+ * same per-lane value bits and dependency indices, same branch
+ * events, same static PCs — so listings, hotspot tables, profiles
+ * and trace bytes are byte-identical between the two executors. All
+ * wins come from decoding once (operand kinds, type suffixes,
+ * immediate/param broadcasts) and from fused superinstructions
+ * sharing one dispatch, never from changing what is emitted.
+ */
+
+#include "simt/asm_ir.hh"
+
+#include "common/logging.hh"
+
+#include <memory>
+#include <new>
+
+namespace gwc::simt
+{
+
+namespace
+{
+
+using namespace gks;
+
+/** Per-warp execution state of a compiled kernel. */
+struct BcFrame
+{
+    Warp &w;
+    const BytecodeProgram &bc;
+    /// Dense register file: [0, numRegs) named registers, then the
+    /// constant slots (immediates / scalar params), broadcast once.
+    Reg<uint32_t> *regs = nullptr;
+    /// Pointer-parameter bases, resolved once per frame.
+    uint64_t *pbase = nullptr;
+    /// Reconvergence stack: {outer, fall} per open if, {outer, 0}
+    /// per open while.
+    struct Reconv
+    {
+        LaneMask outer;
+        LaneMask fall;
+    };
+    Reconv *stack = nullptr;
+    uint32_t depth = 0;
+    /// All three arrays live in one per-warp allocation: frame setup
+    /// is on the launch critical path for short kernels.
+    std::unique_ptr<unsigned char[]> arena;
+};
+
+/** Comparison of BrIf/WhileTest: the fused cmp half of cmp+if. */
+Pred
+cmpPred(BcFrame &f, const BcInstr &ins)
+{
+    Warp &w = f.w;
+    Ty ty = Ty(ins.cc >> 4);
+    Cc cc = Cc(ins.cc & 0xf);
+    const Reg<uint32_t> &A = f.regs[ins.a];
+    const Reg<uint32_t> &B = f.regs[ins.b];
+#define GKS_CMP(ccv, cmpop)                                          \
+    case Cc::ccv:                                                    \
+        switch (ty) {                                                \
+          case Ty::F32:                                              \
+            return w.emitCmp(                                        \
+                OpClass::FpAlu,                                      \
+                [](uint32_t x, uint32_t y) {                         \
+                    return asF(x) cmpop asF(y);                      \
+                },                                                   \
+                A, B);                                               \
+          case Ty::S32:                                              \
+            return w.emitCmp(                                        \
+                OpClass::IntAlu,                                     \
+                [](uint32_t x, uint32_t y) {                         \
+                    return asS(x) cmpop asS(y);                      \
+                },                                                   \
+                A, B);                                               \
+          default:                                                   \
+            return w.emitCmp(                                        \
+                OpClass::IntAlu,                                     \
+                [](uint32_t x, uint32_t y) { return x cmpop y; },    \
+                A, B);                                               \
+        }
+    switch (cc) {
+        GKS_CMP(Eq, ==)
+        GKS_CMP(Ne, !=)
+        GKS_CMP(Lt, <)
+        GKS_CMP(Le, <=)
+        GKS_CMP(Gt, >)
+        GKS_CMP(Ge, >=)
+    }
+#undef GKS_CMP
+    panic("GKS: bad condition code");
+}
+
+/** No-hook twin of cmpPred: the passing subset of active lanes. */
+LaneMask
+fastCmpMask(BcFrame &f, const BcInstr &ins)
+{
+    Warp &w = f.w;
+    Ty ty = Ty(ins.cc >> 4);
+    Cc cc = Cc(ins.cc & 0xf);
+    const Reg<uint32_t> &A = f.regs[ins.a];
+    const Reg<uint32_t> &B = f.regs[ins.b];
+#define GKS_FCMP(ccv, cmpop)                                         \
+    case Cc::ccv:                                                    \
+        switch (ty) {                                                \
+          case Ty::F32:                                              \
+            return w.fastCmp(                                        \
+                [](uint32_t x, uint32_t y) {                         \
+                    return asF(x) cmpop asF(y);                      \
+                },                                                   \
+                A, B);                                               \
+          case Ty::S32:                                              \
+            return w.fastCmp(                                        \
+                [](uint32_t x, uint32_t y) {                         \
+                    return asS(x) cmpop asS(y);                      \
+                },                                                   \
+                A, B);                                               \
+          default:                                                   \
+            return w.fastCmp(                                        \
+                [](uint32_t x, uint32_t y) { return x cmpop y; },    \
+                A, B);                                               \
+        }
+    switch (cc) {
+        GKS_FCMP(Eq, ==)
+        GKS_FCMP(Ne, !=)
+        GKS_FCMP(Lt, <)
+        GKS_FCMP(Le, <=)
+        GKS_FCMP(Gt, >)
+        GKS_FCMP(Ge, >=)
+    }
+#undef GKS_FCMP
+    panic("GKS: bad condition code");
+}
+
+/** Global load component (fused heads reuse it standalone). */
+inline void
+execLd(BcFrame &f, const BcInstr &ins)
+{
+    Warp &w = f.w;
+    w.setPc(ins.pc);
+    Reg<uint64_t> addr =
+        w.gaddr<uint32_t>(f.pbase[ins.arg], f.regs[ins.a]);
+    w.ldGlobalInto(addr, f.regs[ins.dst]);
+}
+
+/** Global store component (fused tails reuse it standalone). */
+inline void
+execSt(BcFrame &f, const BcInstr &ins)
+{
+    Warp &w = f.w;
+    w.setPc(ins.pc);
+    Reg<uint64_t> addr =
+        w.gaddr<uint32_t>(f.pbase[ins.arg], f.regs[ins.a]);
+    w.stGlobal<uint32_t>(addr, f.regs[ins.b]);
+}
+
+/**
+ * No-hook twin of execScalar: same per-lane value lambdas and the
+ * same dynamic instruction counts, but through the Warp fast paths —
+ * no event payloads, no dependency gathers, no def updates, none of
+ * which are observable without a hook (see Warp::recording()).
+ * Specials and atomics stay on the emitting helpers: they are cold,
+ * and their record calls already early-out.
+ */
+void
+execScalarFast(BcFrame &f, BcOp op, const BcInstr &ins)
+{
+    Warp &w = f.w;
+    auto &R = f.regs;
+    switch (op) {
+      case BcOp::Mov:
+        w.fastUn([](uint32_t x) { return x; }, R[ins.a],
+                 R[ins.dst]);
+        return;
+      case BcOp::NegS:
+        w.fastUn([](uint32_t x) { return asBs(-asS(x)); }, R[ins.a],
+                 R[ins.dst]);
+        return;
+      case BcOp::NegF:
+        w.fastUn([](uint32_t x) { return asB(-asF(x)); }, R[ins.a],
+                 R[ins.dst]);
+        return;
+      case BcOp::AbsS:
+        w.fastUn(
+            [](uint32_t x) {
+                int32_t s = asS(x);
+                return asBs(s < 0 ? -s : s);
+            },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::AbsF:
+        w.fastUn([](uint32_t x) { return asB(std::fabs(asF(x))); },
+                 R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Sqrt:
+        w.fastUn([](uint32_t x) { return asB(std::sqrt(asF(x))); },
+                 R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Rsqrt:
+        w.fastUn(
+            [](uint32_t x) { return asB(1.0f / std::sqrt(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Exp:
+        w.fastUn([](uint32_t x) { return asB(std::exp(asF(x))); },
+                 R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Log:
+        w.fastUn([](uint32_t x) { return asB(std::log(asF(x))); },
+                 R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Sin:
+        w.fastUn([](uint32_t x) { return asB(std::sin(asF(x))); },
+                 R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Cos:
+        w.fastUn([](uint32_t x) { return asB(std::cos(asF(x))); },
+                 R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Cvt: {
+        Ty to = Ty(ins.cc / 3), from = Ty(ins.cc % 3);
+        w.fastUn(
+            [to, from](uint32_t x) -> uint32_t {
+                double v;
+                if (from == Ty::F32)
+                    v = asF(x);
+                else if (from == Ty::S32)
+                    v = asS(x);
+                else
+                    v = x;
+                if (to == Ty::F32)
+                    return asB(float(v));
+                if (to == Ty::S32)
+                    return asBs(int32_t(v));
+                return uint32_t(int64_t(v));
+            },
+            R[ins.a], R[ins.dst]);
+        return;
+      }
+      case BcOp::AddU:
+        w.fastBin([](uint32_t x, uint32_t y) { return x + y; },
+                  R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::AddF:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) + asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::SubU:
+        w.fastBin([](uint32_t x, uint32_t y) { return x - y; },
+                  R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::SubF:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) - asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MulU:
+        w.fastBin([](uint32_t x, uint32_t y) { return x * y; },
+                  R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MulF:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) * asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::DivU:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) { return y ? x / y : 0u; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::DivS:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                int32_t ys = asS(y);
+                return asBs(ys ? asS(x) / ys : 0);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::DivF:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) / asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::RemU:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) { return y ? x % y : 0u; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::RemS:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                int32_t ys = asS(y);
+                return asBs(ys ? asS(x) % ys : 0);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::AndB:
+        w.fastBin([](uint32_t x, uint32_t y) { return x & y; },
+                  R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::OrB:
+        w.fastBin([](uint32_t x, uint32_t y) { return x | y; },
+                  R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::XorB:
+        w.fastBin([](uint32_t x, uint32_t y) { return x ^ y; },
+                  R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::ShlB:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                return y >= 32 ? 0u : x << y;
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::ShrB:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                return y >= 32 ? 0u : x >> y;
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MinU:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) { return x < y ? x : y; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MinS:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                int32_t xs = asS(x), ys = asS(y);
+                return asBs(xs < ys ? xs : ys);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MinF:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                float xf = asF(x), yf = asF(y);
+                return asB(xf < yf ? xf : yf);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MaxU:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) { return x > y ? x : y; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MaxS:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                int32_t xs = asS(x), ys = asS(y);
+                return asBs(xs > ys ? xs : ys);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MaxF:
+        w.fastBin(
+            [](uint32_t x, uint32_t y) {
+                float xf = asF(x), yf = asF(y);
+                return asB(xf > yf ? xf : yf);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::Fma:
+        w.fastTri(
+            [](uint32_t x, uint32_t y, uint32_t z) {
+                return asB(asF(x) * asF(y) + asF(z));
+            },
+            R[ins.a], R[ins.b], R[ins.c], R[ins.dst]);
+        return;
+      case BcOp::Ld:
+        w.fastLdGlobal<uint32_t>(f.pbase[ins.arg], R[ins.a],
+                                 R[ins.dst]);
+        return;
+      case BcOp::St:
+        w.fastStGlobal<uint32_t>(f.pbase[ins.arg], R[ins.a],
+                                 R[ins.b]);
+        return;
+      case BcOp::Lds:
+        w.fastLdShared<uint32_t>(R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Sts:
+        w.fastStShared<uint32_t>(R[ins.a], R[ins.b]);
+        return;
+      case BcOp::AtomAdd: {
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(f.pbase[ins.arg], R[ins.a]);
+        R[ins.dst] = w.atomicAddGlobal<uint32_t>(addr, R[ins.b]);
+        return;
+      }
+      case BcOp::AtomAddSh: {
+        Reg<uint32_t> off = w.saddr<uint32_t>(0, R[ins.a]);
+        R[ins.dst] = w.atomicAddShared<uint32_t>(off, R[ins.b]);
+        return;
+      }
+      case BcOp::Gid:
+        R[ins.dst] = w.globalIdX();
+        return;
+      case BcOp::GidY:
+        R[ins.dst] = w.globalIdY();
+        return;
+      case BcOp::Tid:
+        R[ins.dst] = w.tidLinear();
+        return;
+      case BcOp::Lane:
+        R[ins.dst] = w.laneId();
+        return;
+      case BcOp::CtaId:
+        R[ins.dst] = w.imm(w.ctaId().x);
+        return;
+      default:
+        panic("GKS: control op reached the scalar dispatcher");
+    }
+}
+
+/**
+ * Execute one non-control instruction. @p op is passed separately so
+ * fused dispatchers can run a constituent whose slot opcode was
+ * rewritten (the FusedBinSt head, stashed in aux).
+ */
+void
+execScalar(BcFrame &f, BcOp op, const BcInstr &ins)
+{
+    Warp &w = f.w;
+    auto &R = f.regs;
+    w.setPc(ins.pc);
+    switch (op) {
+      case BcOp::Mov:
+        w.emitUnInto(OpClass::IntAlu,
+                     [](uint32_t x) { return x; }, R[ins.a],
+                     R[ins.dst]);
+        return;
+      case BcOp::NegS:
+        w.emitUnInto(OpClass::IntAlu,
+                     [](uint32_t x) { return asBs(-asS(x)); },
+                     R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::NegF:
+        w.emitUnInto(OpClass::FpAlu,
+                     [](uint32_t x) { return asB(-asF(x)); },
+                     R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::AbsS:
+        w.emitUnInto(
+            OpClass::IntAlu,
+            [](uint32_t x) {
+                int32_t s = asS(x);
+                return asBs(s < 0 ? -s : s);
+            },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::AbsF:
+        w.emitUnInto(
+            OpClass::FpAlu,
+            [](uint32_t x) { return asB(std::fabs(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Sqrt:
+        w.emitUnInto(
+            OpClass::Sfu,
+            [](uint32_t x) { return asB(std::sqrt(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Rsqrt:
+        w.emitUnInto(
+            OpClass::Sfu,
+            [](uint32_t x) {
+                return asB(1.0f / std::sqrt(asF(x)));
+            },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Exp:
+        w.emitUnInto(
+            OpClass::Sfu,
+            [](uint32_t x) { return asB(std::exp(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Log:
+        w.emitUnInto(
+            OpClass::Sfu,
+            [](uint32_t x) { return asB(std::log(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Sin:
+        w.emitUnInto(
+            OpClass::Sfu,
+            [](uint32_t x) { return asB(std::sin(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Cos:
+        w.emitUnInto(
+            OpClass::Sfu,
+            [](uint32_t x) { return asB(std::cos(asF(x))); },
+            R[ins.a], R[ins.dst]);
+        return;
+      case BcOp::Cvt: {
+        Ty to = Ty(ins.cc / 3), from = Ty(ins.cc % 3);
+        w.emitUnInto(
+            OpClass::Other,
+            [to, from](uint32_t x) -> uint32_t {
+                double v;
+                if (from == Ty::F32)
+                    v = asF(x);
+                else if (from == Ty::S32)
+                    v = asS(x);
+                else
+                    v = x;
+                if (to == Ty::F32)
+                    return asB(float(v));
+                if (to == Ty::S32)
+                    return asBs(int32_t(v));
+                return uint32_t(int64_t(v));
+            },
+            R[ins.a], R[ins.dst]);
+        return;
+      }
+      case BcOp::AddU:
+        w.emitBinInto(OpClass::IntAlu,
+                      [](uint32_t x, uint32_t y) { return x + y; },
+                      R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::AddF:
+        w.emitBinInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) + asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::SubU:
+        w.emitBinInto(OpClass::IntAlu,
+                      [](uint32_t x, uint32_t y) { return x - y; },
+                      R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::SubF:
+        w.emitBinInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) - asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MulU:
+        w.emitBinInto(OpClass::IntAlu,
+                      [](uint32_t x, uint32_t y) { return x * y; },
+                      R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MulF:
+        w.emitBinInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) * asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::DivU:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) { return y ? x / y : 0u; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::DivS:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) {
+                int32_t ys = asS(y);
+                return asBs(ys ? asS(x) / ys : 0);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::DivF:
+        w.emitBinInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y) {
+                return asB(asF(x) / asF(y));
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::RemU:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) { return y ? x % y : 0u; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::RemS:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) {
+                int32_t ys = asS(y);
+                return asBs(ys ? asS(x) % ys : 0);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::AndB:
+        w.emitBinInto(OpClass::IntAlu,
+                      [](uint32_t x, uint32_t y) { return x & y; },
+                      R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::OrB:
+        w.emitBinInto(OpClass::IntAlu,
+                      [](uint32_t x, uint32_t y) { return x | y; },
+                      R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::XorB:
+        w.emitBinInto(OpClass::IntAlu,
+                      [](uint32_t x, uint32_t y) { return x ^ y; },
+                      R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::ShlB:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) {
+                return y >= 32 ? 0u : x << y;
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::ShrB:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) {
+                return y >= 32 ? 0u : x >> y;
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MinU:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) { return x < y ? x : y; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MinS:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) {
+                int32_t xs = asS(x), ys = asS(y);
+                return asBs(xs < ys ? xs : ys);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MinF:
+        w.emitBinInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y) {
+                float xf = asF(x), yf = asF(y);
+                return asB(xf < yf ? xf : yf);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MaxU:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) { return x > y ? x : y; },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MaxS:
+        w.emitBinInto(
+            OpClass::IntAlu,
+            [](uint32_t x, uint32_t y) {
+                int32_t xs = asS(x), ys = asS(y);
+                return asBs(xs > ys ? xs : ys);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::MaxF:
+        w.emitBinInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y) {
+                float xf = asF(x), yf = asF(y);
+                return asB(xf > yf ? xf : yf);
+            },
+            R[ins.a], R[ins.b], R[ins.dst]);
+        return;
+      case BcOp::Fma:
+        w.emitTriInto(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y, uint32_t z) {
+                return asB(asF(x) * asF(y) + asF(z));
+            },
+            R[ins.a], R[ins.b], R[ins.c], R[ins.dst]);
+        return;
+      case BcOp::Ld:
+        execLd(f, ins);
+        return;
+      case BcOp::St:
+        execSt(f, ins);
+        return;
+      case BcOp::Lds: {
+        Reg<uint32_t> off = w.saddr<uint32_t>(0, R[ins.a]);
+        w.ldSharedInto(off, R[ins.dst]);
+        return;
+      }
+      case BcOp::Sts: {
+        Reg<uint32_t> off = w.saddr<uint32_t>(0, R[ins.a]);
+        w.stShared<uint32_t>(off, R[ins.b]);
+        return;
+      }
+      case BcOp::AtomAdd: {
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(f.pbase[ins.arg], R[ins.a]);
+        R[ins.dst] = w.atomicAddGlobal<uint32_t>(addr, R[ins.b]);
+        return;
+      }
+      case BcOp::AtomAddSh: {
+        Reg<uint32_t> off = w.saddr<uint32_t>(0, R[ins.a]);
+        R[ins.dst] = w.atomicAddShared<uint32_t>(off, R[ins.b]);
+        return;
+      }
+      case BcOp::Gid:
+        R[ins.dst] = w.globalIdX();
+        return;
+      case BcOp::GidY:
+        R[ins.dst] = w.globalIdY();
+        return;
+      case BcOp::Tid:
+        R[ins.dst] = w.tidLinear();
+        return;
+      case BcOp::Lane:
+        R[ins.dst] = w.laneId();
+        return;
+      case BcOp::CtaId:
+        R[ins.dst] = w.imm(w.ctaId().x);
+        return;
+      default:
+        panic("GKS: control op reached the scalar dispatcher");
+    }
+}
+
+/**
+ * Run bytecode from @p ip until a Bar (returns its ip, so the
+ * coroutine driver can suspend) or the end of code (returns size).
+ *
+ * Instantiated twice: the recorded flavor drives the emitting Warp
+ * paths (event-stream identical to the interpreter), the fast flavor
+ * the unrecorded ones — chosen once per warp on Warp::recording().
+ */
+template <bool kFast>
+uint32_t
+runBytecode(BcFrame &f, uint32_t ip)
+{
+    Warp &w = f.w;
+    const auto &code = f.bc.code;
+    const uint32_t n = uint32_t(code.size());
+    auto scalar = [&f](BcOp op, const BcInstr &i) {
+        if constexpr (kFast)
+            execScalarFast(f, op, i);
+        else
+            execScalar(f, op, i);
+    };
+    auto ld = [&f](const BcInstr &i) {
+        if constexpr (kFast)
+            f.w.fastLdGlobal<uint32_t>(f.pbase[i.arg], f.regs[i.a],
+                                       f.regs[i.dst]);
+        else
+            execLd(f, i);
+    };
+    auto st = [&f](const BcInstr &i) {
+        if constexpr (kFast)
+            f.w.fastStGlobal<uint32_t>(f.pbase[i.arg], f.regs[i.a],
+                                       f.regs[i.b]);
+        else
+            execSt(f, i);
+    };
+    // The fused cmp+branch: two dynamic instructions either way.
+    auto branch = [&f, &w](const BcInstr &i) -> LaneMask {
+        if constexpr (kFast) {
+            LaneMask pass = fastCmpMask(f, i);
+            w.countInstr();
+            return pass;
+        } else {
+            w.setPc(i.pc);
+            return w.branchPoint(cmpPred(f, i));
+        }
+    };
+    while (ip < n) {
+        const BcInstr &ins = code[ip];
+        switch (ins.op) {
+          case BcOp::BrIf: {
+            LaneMask outer = w.activeMask();
+            LaneMask taken = branch(ins);
+            LaneMask fall = outer & ~taken;
+            f.stack[f.depth++] = {outer, fall};
+            if (taken) {
+                w.setActiveMask(taken);
+                ++ip;
+            } else {
+                w.setActiveMask(fall);
+                ip = ins.arg;
+            }
+            break;
+          }
+          case BcOp::ElseJ: {
+            const BcFrame::Reconv &e = f.stack[f.depth - 1];
+            if (e.fall) {
+                w.setActiveMask(e.fall);
+                ++ip;
+            } else {
+                ip = ins.arg;
+            }
+            break;
+          }
+          case BcOp::EndIf:
+            w.setActiveMask(f.stack[--f.depth].outer);
+            ++ip;
+            break;
+          case BcOp::WhileEnter:
+            f.stack[f.depth++] = {w.activeMask(), 0};
+            ++ip;
+            break;
+          case BcOp::WhileTest: {
+            LaneMask taken = branch(ins);
+            if (taken) {
+                w.setActiveMask(taken);
+                ++ip;
+            } else {
+                w.setActiveMask(f.stack[--f.depth].outer);
+                ip = ins.arg;
+            }
+            break;
+          }
+          case BcOp::LoopBack:
+            ip = ins.arg;
+            break;
+          case BcOp::Bar:
+            return ip;
+          case BcOp::FusedLdLd:
+            ld(ins);
+            ld(code[ip + 1]);
+            ip += 2;
+            break;
+          case BcOp::FusedMulAddU:
+            scalar(BcOp::MulU, ins);
+            scalar(BcOp::AddU, code[ip + 1]);
+            ip += 2;
+            break;
+          case BcOp::FusedMulAddF:
+            scalar(BcOp::MulF, ins);
+            scalar(BcOp::AddF, code[ip + 1]);
+            ip += 2;
+            break;
+          case BcOp::FusedBinSt:
+            scalar(BcOp(ins.aux), ins);
+            st(code[ip + 1]);
+            ip += 2;
+            break;
+          case BcOp::FusedLdBinSt:
+            ld(ins);
+            scalar(code[ip + 1].op, code[ip + 1]);
+            st(code[ip + 2]);
+            ip += 3;
+            break;
+          default:
+            scalar(ins.op, ins);
+            ++ip;
+            break;
+        }
+    }
+    return n;
+}
+
+} // anonymous namespace
+
+KernelFn
+makeBytecodeEntry(std::shared_ptr<const AsmProgramImpl> prog)
+{
+    return [prog](Warp &w) -> WarpTask {
+        const BytecodeProgram &bc = prog->bytecode;
+        BcFrame f{w, bc};
+        // One allocation for registers + pointer bases + reconvergence
+        // stack; Reg is trivially destructible so the raw free in
+        // ~unique_ptr suffices.
+        const size_t nSlots = bc.numSlots();
+        const size_t nParams = prog->params.size();
+        const size_t regBytes = nSlots * sizeof(Reg<uint32_t>);
+        const size_t pbBytes = nParams * sizeof(uint64_t);
+        const size_t stBytes = bc.maxDepth * sizeof(BcFrame::Reconv);
+        f.arena = std::make_unique_for_overwrite<unsigned char[]>(
+            regBytes + pbBytes + stBytes);
+        f.regs = reinterpret_cast<Reg<uint32_t> *>(f.arena.get());
+        f.pbase = reinterpret_cast<uint64_t *>(f.arena.get() + regBytes);
+        f.stack = reinterpret_cast<BcFrame::Reconv *>(f.arena.get() +
+                                                      regBytes + pbBytes);
+        for (size_t i = 0; i < nSlots; ++i) {
+            Reg<uint32_t> *r = new (&f.regs[i]) Reg<uint32_t>();
+            r->w = &w;
+        }
+        for (size_t i = 0; i < bc.consts.size(); ++i) {
+            const BcConst &c = bc.consts[i];
+            f.regs[bc.numRegs + i].v.fill(
+                c.k == BcConst::K::Imm ? c.v
+                                       : w.param<uint32_t>(c.v));
+        }
+        for (size_t i = 0; i < nParams; ++i)
+            f.pbase[i] = prog->params[i].kind == AsmParam::Kind::Ptr
+                             ? w.param<uint64_t>(i)
+                             : 0;
+        const uint32_t n = uint32_t(bc.code.size());
+        // Hook presence is fixed for the launch: pick the recorded or
+        // the unrecorded instantiation once per warp.
+        if (w.recording()) {
+            uint32_t ip = runBytecode<false>(f, 0);
+            while (ip < n) {
+                w.setPc(bc.code[ip].pc);
+                co_await w.barrier();
+                ip = runBytecode<false>(f, ip + 1);
+            }
+        } else {
+            uint32_t ip = runBytecode<true>(f, 0);
+            while (ip < n) {
+                co_await w.barrier();
+                ip = runBytecode<true>(f, ip + 1);
+            }
+        }
+        co_return;
+    };
+}
+
+} // namespace gwc::simt

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * GKS tree-walking interpreter: the reference executor over the
+ * structured Node/Block form. The compiled bytecode executor
+ * (asm_exec.cc) is the default; this path stays behind the
+ * GWC_GKS_INTERP escape hatch (and AsmExec::Interpreted) as the
+ * oracle the identity property tests diff against. Its event stream
+ * defines the contract: any change here must be mirrored in the
+ * compiler to keep the two executors byte-identical.
+ */
+
+#include "simt/asm_ir.hh"
+
+#include "common/logging.hh"
+
+namespace gwc::simt
+{
+
+namespace
+{
+
+using namespace gks;
+
+struct Frame
+{
+    Warp &w;
+    const AsmProgramImpl &prog;
+    std::vector<Reg<uint32_t>> regs;
+
+    Reg<uint32_t>
+    value(const Operand &o)
+    {
+        switch (o.k) {
+          case Operand::K::Reg:
+            return regs[o.idx];
+          case Operand::K::Imm:
+            return w.imm(o.bits);
+          case Operand::K::Param: {
+            // Scalar parameters broadcast like a constant bank.
+            return w.imm(w.param<uint32_t>(o.idx));
+          }
+          default:
+            panic("GKS: empty operand evaluated");
+        }
+    }
+};
+
+Reg<uint32_t>
+execBinary(Frame &f, const Instr &ins)
+{
+    Warp &w = f.w;
+    Reg<uint32_t> A = f.value(ins.a);
+    Reg<uint32_t> B = f.value(ins.b);
+    Ty ty = ins.ty;
+
+    auto emitF = [&](auto fn) {
+        return w.emitBin<uint32_t>(
+            OpClass::FpAlu,
+            [fn](uint32_t x, uint32_t y) {
+                return asB(fn(asF(x), asF(y)));
+            },
+            A, B);
+    };
+    auto emitU = [&](auto fn) {
+        return w.emitBin<uint32_t>(OpClass::IntAlu, fn, A, B);
+    };
+    auto emitS = [&](auto fn) {
+        return w.emitBin<uint32_t>(
+            OpClass::IntAlu,
+            [fn](uint32_t x, uint32_t y) {
+                return asBs(fn(asS(x), asS(y)));
+            },
+            A, B);
+    };
+
+    switch (ins.op) {
+      case Op::Add:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x + y; });
+        return emitU([](uint32_t x, uint32_t y) { return x + y; });
+      case Op::Sub:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x - y; });
+        return emitU([](uint32_t x, uint32_t y) { return x - y; });
+      case Op::Mul:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x * y; });
+        return emitU([](uint32_t x, uint32_t y) { return x * y; });
+      case Op::Div:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) { return x / y; });
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return y ? x / y : 0;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return y ? x / y : 0u;
+        });
+      case Op::Rem:
+        if (ty == Ty::F32)
+            panic("GKS: rem.f32 is not defined");
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return y ? x % y : 0;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return y ? x % y : 0u;
+        });
+      case Op::And:
+        return emitU([](uint32_t x, uint32_t y) { return x & y; });
+      case Op::Or:
+        return emitU([](uint32_t x, uint32_t y) { return x | y; });
+      case Op::Xor:
+        return emitU([](uint32_t x, uint32_t y) { return x ^ y; });
+      case Op::Shl:
+        return emitU([](uint32_t x, uint32_t y) {
+            return y >= 32 ? 0u : x << y;
+        });
+      case Op::Shr:
+        return emitU([](uint32_t x, uint32_t y) {
+            return y >= 32 ? 0u : x >> y;
+        });
+      case Op::Min:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) {
+                return x < y ? x : y;
+            });
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return x < y ? x : y;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return x < y ? x : y;
+        });
+      case Op::Max:
+        if (ty == Ty::F32)
+            return emitF([](float x, float y) {
+                return x > y ? x : y;
+            });
+        if (ty == Ty::S32)
+            return emitS([](int32_t x, int32_t y) {
+                return x > y ? x : y;
+            });
+        return emitU([](uint32_t x, uint32_t y) {
+            return x > y ? x : y;
+        });
+      default:
+        panic("GKS: not a binary op");
+    }
+}
+
+Reg<uint32_t>
+execUnary(Frame &f, const Instr &ins)
+{
+    Warp &w = f.w;
+    Reg<uint32_t> A = f.value(ins.a);
+    auto sfu = [&](auto fn) {
+        return w.emitUn<uint32_t>(
+            OpClass::Sfu,
+            [fn](uint32_t x) { return asB(fn(asF(x))); }, A);
+    };
+    switch (ins.op) {
+      case Op::Mov:
+        return w.emitUn<uint32_t>(OpClass::IntAlu,
+                                  [](uint32_t x) { return x; }, A);
+      case Op::Neg:
+        if (ins.ty == Ty::F32)
+            return w.emitUn<uint32_t>(
+                OpClass::FpAlu,
+                [](uint32_t x) { return asB(-asF(x)); }, A);
+        return w.emitUn<uint32_t>(
+            OpClass::IntAlu,
+            [](uint32_t x) { return asBs(-asS(x)); }, A);
+      case Op::Abs:
+        if (ins.ty == Ty::F32)
+            return w.emitUn<uint32_t>(
+                OpClass::FpAlu,
+                [](uint32_t x) { return asB(std::fabs(asF(x))); },
+                A);
+        return w.emitUn<uint32_t>(
+            OpClass::IntAlu,
+            [](uint32_t x) {
+                int32_t s = asS(x);
+                return asBs(s < 0 ? -s : s);
+            },
+            A);
+      case Op::Sqrt:
+        return sfu([](float x) { return std::sqrt(x); });
+      case Op::Rsqrt:
+        return sfu([](float x) { return 1.0f / std::sqrt(x); });
+      case Op::Exp:
+        return sfu([](float x) { return std::exp(x); });
+      case Op::Log:
+        return sfu([](float x) { return std::log(x); });
+      case Op::Sin:
+        return sfu([](float x) { return std::sin(x); });
+      case Op::Cos:
+        return sfu([](float x) { return std::cos(x); });
+      case Op::Cvt: {
+        Ty to = ins.ty, from = ins.srcTy;
+        return w.emitUn<uint32_t>(
+            OpClass::Other,
+            [to, from](uint32_t x) -> uint32_t {
+                double v;
+                if (from == Ty::F32)
+                    v = asF(x);
+                else if (from == Ty::S32)
+                    v = asS(x);
+                else
+                    v = x;
+                if (to == Ty::F32)
+                    return asB(float(v));
+                if (to == Ty::S32)
+                    return asBs(int32_t(v));
+                return uint32_t(int64_t(v));
+            },
+            A);
+      }
+      default:
+        panic("GKS: not a unary op");
+    }
+}
+
+Pred
+execCompare(Frame &f, Cc cc, Ty ty, const Operand &a,
+            const Operand &b)
+{
+    Warp &w = f.w;
+    Reg<uint32_t> A = f.value(a);
+    Reg<uint32_t> B = f.value(b);
+    OpClass cls = ty == Ty::F32 ? OpClass::FpAlu : OpClass::IntAlu;
+    auto cmp = [cc](auto x, auto y) {
+        switch (cc) {
+          case Cc::Eq: return x == y;
+          case Cc::Ne: return x != y;
+          case Cc::Lt: return x < y;
+          case Cc::Le: return x <= y;
+          case Cc::Gt: return x > y;
+          case Cc::Ge: return x >= y;
+        }
+        return false;
+    };
+    if (ty == Ty::F32)
+        return w.emitCmp(cls,
+                         [cmp](uint32_t x, uint32_t y) {
+                             return cmp(asF(x), asF(y));
+                         },
+                         A, B);
+    if (ty == Ty::S32)
+        return w.emitCmp(cls,
+                         [cmp](uint32_t x, uint32_t y) {
+                             return cmp(asS(x), asS(y));
+                         },
+                         A, B);
+    return w.emitCmp(cls,
+                     [cmp](uint32_t x, uint32_t y) {
+                         return cmp(x, y);
+                     },
+                     A, B);
+}
+
+void execBlock(Frame &f, const Block &block);
+
+void
+execInstr(Frame &f, const Instr &ins)
+{
+    Warp &w = f.w;
+    switch (ins.op) {
+      case Op::Gid:
+        f.regs[ins.dst] = w.globalIdX();
+        return;
+      case Op::GidY:
+        f.regs[ins.dst] = w.globalIdY();
+        return;
+      case Op::Tid:
+        f.regs[ins.dst] = w.tidLinear();
+        return;
+      case Op::Lane:
+        f.regs[ins.dst] = w.laneId();
+        return;
+      case Op::CtaId:
+        f.regs[ins.dst] = w.imm(w.ctaId().x);
+        return;
+      case Op::Ld: {
+        uint64_t base = w.param<uint64_t>(ins.param);
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(base, f.value(ins.a));
+        f.regs[ins.dst] = w.ldGlobal<uint32_t>(addr);
+        return;
+      }
+      case Op::St: {
+        uint64_t base = w.param<uint64_t>(ins.param);
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(base, f.value(ins.a));
+        w.stGlobal<uint32_t>(addr, f.value(ins.b));
+        return;
+      }
+      case Op::Lds: {
+        Reg<uint32_t> off =
+            w.saddr<uint32_t>(0, f.value(ins.a));
+        f.regs[ins.dst] = w.ldShared<uint32_t>(off);
+        return;
+      }
+      case Op::Sts: {
+        Reg<uint32_t> off =
+            w.saddr<uint32_t>(0, f.value(ins.a));
+        w.stShared<uint32_t>(off, f.value(ins.b));
+        return;
+      }
+      case Op::AtomAdd: {
+        uint64_t base = w.param<uint64_t>(ins.param);
+        Reg<uint64_t> addr =
+            w.gaddr<uint32_t>(base, f.value(ins.a));
+        f.regs[ins.dst] =
+            w.atomicAddGlobal<uint32_t>(addr, f.value(ins.b));
+        return;
+      }
+      case Op::AtomAddShared: {
+        Reg<uint32_t> off =
+            w.saddr<uint32_t>(0, f.value(ins.a));
+        f.regs[ins.dst] =
+            w.atomicAddShared<uint32_t>(off, f.value(ins.b));
+        return;
+      }
+      case Op::Fma: {
+        Reg<uint32_t> A = f.value(ins.a);
+        Reg<uint32_t> B = f.value(ins.b);
+        Reg<uint32_t> C = f.value(ins.c);
+        f.regs[ins.dst] = w.emitTri<uint32_t>(
+            OpClass::FpAlu,
+            [](uint32_t x, uint32_t y, uint32_t z) {
+                return asB(asF(x) * asF(y) + asF(z));
+            },
+            A, B, C);
+        return;
+      }
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr: case Op::Min: case Op::Max:
+        f.regs[ins.dst] = execBinary(f, ins);
+        return;
+      default:
+        f.regs[ins.dst] = execUnary(f, ins);
+        return;
+    }
+}
+
+void
+execNode(Frame &f, const Node &node)
+{
+    switch (node.k) {
+      case Node::K::Plain:
+        f.w.setPc(node.pc);
+        execInstr(f, node.ins);
+        return;
+      case Node::K::If:
+        f.w.setPc(node.pc);
+        f.w.IfElse(
+            execCompare(f, node.cc, node.ins.ty, node.ins.a,
+                        node.ins.b),
+            [&] { execBlock(f, node.thenB); },
+            [&] { execBlock(f, node.elseB); });
+        return;
+      case Node::K::While:
+        f.w.While(
+            [&] {
+                // Re-stamp per iteration: the body's nodes moved the
+                // PC away from the loop header.
+                f.w.setPc(node.pc);
+                return execCompare(f, node.cc, node.ins.ty,
+                                   node.ins.a, node.ins.b);
+            },
+            [&] { execBlock(f, node.thenB); });
+        return;
+      case Node::K::Bar:
+        panic("GKS: barrier below the top level escaped the parser");
+    }
+}
+
+void
+execBlock(Frame &f, const Block &block)
+{
+    for (const auto &node : block)
+        execNode(f, node);
+}
+
+} // anonymous namespace
+
+KernelFn
+makeInterpEntry(std::shared_ptr<const AsmProgramImpl> prog)
+{
+    return [prog](Warp &w) -> WarpTask {
+        Frame f{w, *prog, {}};
+        f.regs.resize(prog->numRegs);
+        for (auto &r : f.regs)
+            r.w = &w;
+        for (const auto &node : prog->body) {
+            if (node.k == Node::K::Bar) {
+                w.setPc(node.pc);
+                co_await w.barrier();
+            } else {
+                execNode(f, node);
+            }
+        }
+        co_return;
+    };
+}
+
+} // namespace gwc::simt

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * GKS internal representation, shared by the assembler front end
+ * (asm.cc), the tree-walking interpreter (asm_interp.cc), the
+ * bytecode compiler (asm_compile.cc) and the bytecode executor
+ * (asm_exec.cc).
+ *
+ * Two program forms live here:
+ *  - the structured Node/Block tree the parser builds, which mirrors
+ *    the source nesting of if/while blocks; and
+ *  - the flat, pre-decoded BytecodeProgram the compiler lowers it to,
+ *    where operand kinds are resolved to register-file slots once and
+ *    structured control flow becomes explicit branch ops over a
+ *    reconvergence stack (docs/PERFORMANCE.md).
+ *
+ * Both executors must produce byte-identical event streams: same
+ * dynamic instruction sequence, same OpClass, same static PCs, same
+ * per-lane dependency indices. The compiler is an encoding change,
+ * never a semantic one.
+ */
+
+#ifndef GWC_SIMT_ASM_IR_HH
+#define GWC_SIMT_ASM_IR_HH
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/asm.hh"
+#include "simt/warp.hh"
+
+namespace gwc::simt::gks
+{
+
+/** Source-level operation of one instruction. */
+enum class Op : uint8_t
+{
+    Mov, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max,
+    Neg, Abs, Fma, Sqrt, Rsqrt, Exp, Log, Sin, Cos, Cvt,
+    Ld, St, Lds, Sts, AtomAdd, AtomAddShared,
+    Gid, GidY, Tid, Lane, CtaId
+};
+
+enum class Ty : uint8_t { U32, S32, F32 };
+
+enum class Cc : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Operand
+{
+    enum class K : uint8_t { None, Reg, Imm, Param };
+    K k = K::None;
+    uint32_t idx = 0;   ///< register or parameter index
+    uint32_t bits = 0;  ///< immediate bit pattern
+};
+
+struct Instr
+{
+    Op op = Op::Mov;
+    Ty ty = Ty::U32;
+    Ty srcTy = Ty::U32; ///< cvt source type
+    uint32_t dst = 0;
+    Operand a, b, c;
+    uint32_t param = 0; ///< base parameter of memory ops
+};
+
+struct Node;
+using Block = std::vector<Node>;
+
+struct Node
+{
+    enum class K : uint8_t { Plain, If, While, Bar };
+    K k = K::Plain;
+    uint32_t pc = 0;    ///< static PC, indexes AsmProgramImpl::listing
+    Instr ins;     ///< Plain payload, or the If/While comparison
+    Cc cc = Cc::Eq;
+    Block thenB;   ///< If-then / While-body
+    Block elseB;
+};
+
+/// @name 32-bit reinterpretation helpers (PTX-style untyped registers)
+/// @{
+inline float
+asF(uint32_t b)
+{
+    float f;
+    std::memcpy(&f, &b, 4);
+    return f;
+}
+
+inline uint32_t
+asB(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, 4);
+    return b;
+}
+
+inline int32_t
+asS(uint32_t b)
+{
+    int32_t s;
+    std::memcpy(&s, &b, 4);
+    return s;
+}
+
+inline uint32_t
+asBs(int32_t s)
+{
+    uint32_t b;
+    std::memcpy(&b, &s, 4);
+    return b;
+}
+/// @}
+
+// ----------------------------------------------------------------
+// Flat bytecode
+// ----------------------------------------------------------------
+
+/**
+ * Pre-decoded opcode: the source Op with the type suffix already
+ * resolved, plus explicit control ops replacing the structured tree
+ * and superinstructions produced by the fusion pass.
+ */
+enum class BcOp : uint8_t
+{
+    // ALU / SFU (element-wise; operands are register-file slots).
+    Mov, NegS, NegF, AbsS, AbsF, Sqrt, Rsqrt, Exp, Log, Sin, Cos, Cvt,
+    AddU, AddF, SubU, SubF, MulU, MulF,
+    DivU, DivS, DivF, RemU, RemS,
+    AndB, OrB, XorB, ShlB, ShrB,
+    MinU, MinS, MinF, MaxU, MaxS, MaxF,
+    Fma,
+
+    // Memory (arg = base parameter index for the global ops).
+    Ld, St, Lds, Sts, AtomAdd, AtomAddSh,
+
+    // Special registers.
+    Gid, GidY, Tid, Lane, CtaId,
+
+    // Control. The cc field packs (Ty << 4) | Cc for the two
+    // comparing ops; arg/arg2 hold bytecode targets.
+    BrIf,       ///< cmp+branch: push {outer,fall}; taken ? ip+1 : arg
+    ElseJ,      ///< top.fall ? activate it, ip+1 : jump arg (endif)
+    EndIf,      ///< restore top.outer, pop
+    WhileEnter, ///< push {outer,0} once per loop entry
+    WhileTest,  ///< cmp+branch: taken ? ip+1 : restore+pop, jump arg
+    LoopBack,   ///< unconditional jump to arg (the WhileTest)
+    Bar,        ///< CTA barrier; the coroutine driver suspends here
+
+    // Superinstructions (fusion pass). The constituent slots keep
+    // their original fields — and, for every slot but the head, their
+    // original opcode — so jumps *into* a fused pair still execute
+    // correctly and each sub-op re-stamps its own source PC.
+    FusedLdLd,    ///< ld ; ld          (2 slots)
+    FusedMulAddU, ///< mul.u32 ; add.u32 (2 slots)
+    FusedMulAddF, ///< mul.f32 ; add.f32 (2 slots)
+    FusedBinSt,   ///< binary ; st      (2 slots; aux = head's BcOp)
+    FusedLdBinSt, ///< ld ; binary ; st (3 slots, address-affine form)
+};
+
+/** One pre-decoded bytecode instruction (all operands are slots). */
+struct BcInstr
+{
+    BcOp op = BcOp::Mov;
+    uint8_t cc = 0;     ///< (Ty << 4) | Cc for BrIf/WhileTest; packed
+                        ///< (to * 3 + from) for Cvt
+    uint8_t aux = 0;    ///< original BcOp of a FusedBinSt head
+    uint16_t dst = 0;   ///< destination slot
+    uint16_t a = 0, b = 0, c = 0;  ///< source slots
+    uint32_t pc = 0;    ///< source static PC (listing index)
+    uint32_t arg = 0;   ///< param index (memory) or primary target
+};
+
+/** How to materialize one constant slot at frame setup. */
+struct BcConst
+{
+    enum class K : uint8_t { Imm, Param };
+    K k = K::Imm;
+    uint32_t v = 0;     ///< immediate bits, or scalar parameter index
+};
+
+/**
+ * A compiled kernel body. Register-file slots [0, numRegs) are the
+ * named registers; [numRegs, numRegs + consts.size()) hold deduped
+ * immediates and scalar parameters, broadcast once per frame.
+ */
+struct BytecodeProgram
+{
+    std::vector<BcInstr> code;
+    std::vector<BcConst> consts;
+    uint32_t numRegs = 0;
+    uint32_t maxDepth = 0;  ///< deepest if/while nesting (stack bound)
+    /// Bytecode ip -> source static PC (structural ops inherit the
+    /// PC of their owning control header).
+    std::vector<uint32_t> pcMap;
+    /// Human-readable disassembly, one line per bytecode slot.
+    std::vector<std::string> disasm;
+
+    uint32_t numSlots() const
+    {
+        return numRegs + uint32_t(consts.size());
+    }
+};
+
+} // namespace gwc::simt::gks
+
+namespace gwc::simt
+{
+
+/** Parsed program plus its compiled form and executor factories. */
+class AsmProgramImpl
+{
+  public:
+    std::string name;
+    std::vector<AsmParam> params;
+    gks::Block body;
+    uint32_t numRegs = 0;
+    uint32_t staticInstrs = 0;
+    /// Source text of every executable node, indexed by static PC.
+    std::vector<std::string> listing;
+    /// Flat form, lowered once at assembly time.
+    gks::BytecodeProgram bytecode;
+};
+
+/** Lower the structured tree of @p prog into flat bytecode. */
+gks::BytecodeProgram compileBytecode(const AsmProgramImpl &prog);
+
+/** Tree-walking reference executor (GWC_GKS_INTERP escape hatch). */
+KernelFn makeInterpEntry(std::shared_ptr<const AsmProgramImpl> prog);
+
+/** Tight-loop bytecode executor (the default). */
+KernelFn makeBytecodeEntry(std::shared_ptr<const AsmProgramImpl> prog);
+
+} // namespace gwc::simt
+
+#endif // GWC_SIMT_ASM_IR_HH

@@ -136,32 +136,71 @@ class Warp
     }
 
     /// @name Generic instruction emission (used by the operators)
+    /// The *Into variants write the result directly into @p dst —
+    /// only active lanes, exactly like a masked Reg assignment — so a
+    /// compiled front end with a persistent register file (the GKS
+    /// bytecode executor) skips the temporary-plus-copy of the
+    /// value-returning forms. @p dst may alias a source operand: each
+    /// lane reads its inputs before writing. Event emission is
+    /// identical between the two forms.
     /// @{
-    template <typename R, typename F, typename A>
-    Reg<R>
-    emitUn(OpClass cls, F fn, const Reg<A> &a)
+    template <typename F, typename A, typename R>
+    void
+    emitUnInto(OpClass cls, F fn, const Reg<A> &a, Reg<R> &dst)
     {
-        Reg<R> r;
-        r.w = this;
         uint32_t idx = nextIndex();
         if (active_ == kFullMask) {
             // Full warp (the dominant case): a branchless fixed-count
             // loop the compiler vectorizes — the per-lane mask test
             // below defeats that.
             for (uint32_t l = 0; l < kWarpSize; ++l) {
-                r.v[l] = fn(a.v[l]);
-                r.def[l] = idx;
+                dst.v[l] = fn(a.v[l]);
+                dst.def[l] = idx;
             }
         } else {
             for (uint32_t l = 0; l < kWarpSize; ++l) {
                 if (!(active_ & (1u << l)))
                     continue;
-                r.v[l] = fn(a.v[l]);
-                r.def[l] = idx;
+                dst.v[l] = fn(a.v[l]);
+                dst.def[l] = idx;
             }
         }
         recordInstr(cls, idx, a.def);
+    }
+
+    template <typename R, typename F, typename A>
+    Reg<R>
+    emitUn(OpClass cls, F fn, const Reg<A> &a)
+    {
+        Reg<R> r;
+        r.w = this;
+        emitUnInto(cls, fn, a, r);
         return r;
+    }
+
+    template <typename F, typename A, typename B, typename R>
+    void
+    emitBinInto(OpClass cls, F fn, const Reg<A> &a, const Reg<B> &b,
+                Reg<R> &dst)
+    {
+        uint32_t idx = nextIndex();
+        Lanes<uint32_t> dep;
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max(a.def[l], b.def[l]);
+                dst.v[l] = fn(a.v[l], b.v[l]);
+                dst.def[l] = idx;
+            }
+        } else {
+            for (uint32_t l = 0; l < kWarpSize; ++l) {
+                dep[l] = std::max(a.def[l], b.def[l]);
+                if (!(active_ & (1u << l)))
+                    continue;
+                dst.v[l] = fn(a.v[l], b.v[l]);
+                dst.def[l] = idx;
+            }
+        }
+        recordInstr(cls, idx, dep);
     }
 
     template <typename R, typename F, typename A, typename B>
@@ -170,25 +209,34 @@ class Warp
     {
         Reg<R> r;
         r.w = this;
+        emitBinInto(cls, fn, a, b, r);
+        return r;
+    }
+
+    template <typename F, typename A, typename B, typename C,
+              typename R>
+    void
+    emitTriInto(OpClass cls, F fn, const Reg<A> &a, const Reg<B> &b,
+                const Reg<C> &c, Reg<R> &dst)
+    {
         uint32_t idx = nextIndex();
         Lanes<uint32_t> dep;
         if (active_ == kFullMask) {
             for (uint32_t l = 0; l < kWarpSize; ++l) {
-                dep[l] = std::max(a.def[l], b.def[l]);
-                r.v[l] = fn(a.v[l], b.v[l]);
-                r.def[l] = idx;
+                dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
+                dst.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+                dst.def[l] = idx;
             }
         } else {
             for (uint32_t l = 0; l < kWarpSize; ++l) {
-                dep[l] = std::max(a.def[l], b.def[l]);
+                dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
                 if (!(active_ & (1u << l)))
                     continue;
-                r.v[l] = fn(a.v[l], b.v[l]);
-                r.def[l] = idx;
+                dst.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+                dst.def[l] = idx;
             }
         }
         recordInstr(cls, idx, dep);
-        return r;
     }
 
     template <typename R, typename F, typename A, typename B, typename C>
@@ -198,24 +246,7 @@ class Warp
     {
         Reg<R> r;
         r.w = this;
-        uint32_t idx = nextIndex();
-        Lanes<uint32_t> dep;
-        if (active_ == kFullMask) {
-            for (uint32_t l = 0; l < kWarpSize; ++l) {
-                dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
-                r.v[l] = fn(a.v[l], b.v[l], c.v[l]);
-                r.def[l] = idx;
-            }
-        } else {
-            for (uint32_t l = 0; l < kWarpSize; ++l) {
-                dep[l] = std::max({a.def[l], b.def[l], c.def[l]});
-                if (!(active_ & (1u << l)))
-                    continue;
-                r.v[l] = fn(a.v[l], b.v[l], c.v[l]);
-                r.def[l] = idx;
-            }
-        }
-        recordInstr(cls, idx, dep);
+        emitTriInto(cls, fn, a, b, c, r);
         return r;
     }
 
@@ -407,13 +438,14 @@ class Warp
             idx);
     }
 
-    /** Global load from per-lane addresses. */
+    /**
+     * Global load from per-lane addresses into @p dst (masked write,
+     * like Reg assignment; inactive lanes keep their old value).
+     */
     template <typename T>
-    Reg<T>
-    ldGlobal(const Reg<uint64_t> &addr)
+    void
+    ldGlobalInto(const Reg<uint64_t> &addr, Reg<T> &dst)
     {
-        Reg<T> r;
-        r.w = this;
         uint32_t idx = nextIndex();
         if (active_ == kFullMask) {
             // Unit-stride detection is a branchless reduction; a
@@ -425,21 +457,31 @@ class Warp
             for (uint32_t l = 1; l < kWarpSize; ++l)
                 contig &= addr.v[l] == base + l * sizeof(T);
             if (contig)
-                gmem_.readSpan<T>(base, r.v.data(), kWarpSize);
+                gmem_.readSpan<T>(base, dst.v.data(), kWarpSize);
             else
                 for (uint32_t l = 0; l < kWarpSize; ++l)
-                    r.v[l] = gmem_.read<T>(addr.v[l]);
-            r.def.fill(idx);
+                    dst.v[l] = gmem_.read<T>(addr.v[l]);
+            dst.def.fill(idx);
         } else {
             for (uint32_t l = 0; l < kWarpSize; ++l) {
                 if (!(active_ & (1u << l)))
                     continue;
-                r.v[l] = gmem_.read<T>(addr.v[l]);
-                r.def[l] = idx;
+                dst.v[l] = gmem_.read<T>(addr.v[l]);
+                dst.def[l] = idx;
             }
         }
         recordInstr(OpClass::MemGlobal, idx, addr.def);
         recordMem(MemSpace::Global, false, false, sizeof(T), addr.v);
+    }
+
+    /** Global load from per-lane addresses. */
+    template <typename T>
+    Reg<T>
+    ldGlobal(const Reg<uint64_t> &addr)
+    {
+        Reg<T> r;
+        r.w = this;
+        ldGlobalInto(addr, r);
         return r;
     }
 
@@ -490,6 +532,22 @@ class Warp
         stGlobal<T>(gaddr<T>(base, idx), val);
     }
 
+    /** Shared-memory load into @p dst (masked write). */
+    template <typename T>
+    void
+    ldSharedInto(const Reg<uint32_t> &off, Reg<T> &dst)
+    {
+        uint32_t idx = nextIndex();
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!(active_ & (1u << l)))
+                continue;
+            dst.v[l] = smemRead<T>(off.v[l]);
+            dst.def[l] = idx;
+        }
+        recordInstr(OpClass::MemShared, idx, off.def);
+        recordMemOff(MemSpace::Shared, false, false, sizeof(T), off.v);
+    }
+
     /** Shared-memory load from per-lane byte offsets. */
     template <typename T>
     Reg<T>
@@ -497,15 +555,7 @@ class Warp
     {
         Reg<T> r;
         r.w = this;
-        uint32_t idx = nextIndex();
-        for (uint32_t l = 0; l < kWarpSize; ++l) {
-            if (!(active_ & (1u << l)))
-                continue;
-            r.v[l] = smemRead<T>(off.v[l]);
-            r.def[l] = idx;
-        }
-        recordInstr(OpClass::MemShared, idx, off.def);
-        recordMemOff(MemSpace::Shared, false, false, sizeof(T), off.v);
+        ldSharedInto(off, r);
         return r;
     }
 
@@ -649,6 +699,205 @@ class Warp
         }
         active_ = outer;
     }
+
+    /**
+     * Record the divergence point of @p p exactly as If/IfElse/While
+     * do — one branch event against the current active mask — and
+     * return the taken mask. Backend hook for compiled front ends
+     * (the GKS bytecode executor) that manage reconvergence through
+     * an explicit stack instead of the structured combinators; pair
+     * with setActiveMask, restoring the outer mask at the join.
+     */
+    LaneMask
+    branchPoint(const Pred &p)
+    {
+        LaneMask outer = active_;
+        LaneMask taken = p.mask & outer;
+        recordBranch(outer, taken, p.def);
+        return taken;
+    }
+
+    /**
+     * Set the active mask directly (compiled front ends only). The
+     * caller owns the reconvergence discipline the structured
+     * combinators otherwise enforce: @p m must be a subset of the
+     * mask active at the matching branchPoint, and that mask must be
+     * restored at the join.
+     */
+    void setActiveMask(LaneMask m) { active_ = m; }
+
+    /// @name Unrecorded fast paths (compiled front ends only)
+    ///
+    /// Valid only while recording() is false: each ticks the dynamic
+    /// instruction counter (so LaunchStats stay identical) but skips
+    /// the event payload, the dependency gather and the def-index
+    /// updates — none of which are observable without a hook. Writes
+    /// stay masked, so register values evolve exactly as on the
+    /// emitting paths and outputs are unchanged. Whether any hook is
+    /// attached is fixed for the whole launch, so executors may pick
+    /// a path once per warp.
+    /// @{
+
+    /** True when at least one profiler hook will see this launch. */
+    bool recording() const { return !hooks_.empty(); }
+
+    /** Count one dynamic instruction with no event bookkeeping. */
+    void countInstr() { nextIndex(); }
+
+    template <typename F, typename A, typename R>
+    void
+    fastUn(F fn, const Reg<A> &a, Reg<R> &dst)
+    {
+        nextIndex();
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                dst.v[l] = fn(a.v[l]);
+        } else {
+            for (LaneMask m = active_; m != 0; m &= m - 1) {
+                uint32_t l = uint32_t(__builtin_ctz(m));
+                dst.v[l] = fn(a.v[l]);
+            }
+        }
+    }
+
+    template <typename F, typename A, typename B, typename R>
+    void
+    fastBin(F fn, const Reg<A> &a, const Reg<B> &b, Reg<R> &dst)
+    {
+        nextIndex();
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                dst.v[l] = fn(a.v[l], b.v[l]);
+        } else {
+            for (LaneMask m = active_; m != 0; m &= m - 1) {
+                uint32_t l = uint32_t(__builtin_ctz(m));
+                dst.v[l] = fn(a.v[l], b.v[l]);
+            }
+        }
+    }
+
+    template <typename F, typename A, typename B, typename C,
+              typename R>
+    void
+    fastTri(F fn, const Reg<A> &a, const Reg<B> &b, const Reg<C> &c,
+            Reg<R> &dst)
+    {
+        nextIndex();
+        if (active_ == kFullMask) {
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                dst.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+        } else {
+            for (LaneMask m = active_; m != 0; m &= m - 1) {
+                uint32_t l = uint32_t(__builtin_ctz(m));
+                dst.v[l] = fn(a.v[l], b.v[l], c.v[l]);
+            }
+        }
+    }
+
+    /** Compare active lanes; returns the passing subset of them. */
+    template <typename F, typename A, typename B>
+    LaneMask
+    fastCmp(F fn, const Reg<A> &a, const Reg<B> &b)
+    {
+        nextIndex();
+        LaneMask r = 0;
+        for (LaneMask m = active_; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            if (fn(a.v[l], b.v[l]))
+                r |= LaneMask(1) << l;
+        }
+        return r;
+    }
+
+    /**
+     * Fused address-compute + global load (two dynamic instructions,
+     * like gaddr + ldGlobalInto) without materializing the address
+     * register.
+     */
+    template <typename T>
+    void
+    fastLdGlobal(uint64_t base, const Reg<uint32_t> &idx, Reg<T> &dst)
+    {
+        nextIndex();
+        nextIndex();
+        if (active_ == kFullMask) {
+            uint32_t i0 = idx.v[0];
+            uint64_t contig = 1;
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                contig &= idx.v[l] == i0 + l;
+            if (contig) {
+                gmem_.readSpan<T>(base + uint64_t(i0) * sizeof(T),
+                                  dst.v.data(), kWarpSize);
+                return;
+            }
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                dst.v[l] = gmem_.read<T>(
+                    base + uint64_t(idx.v[l]) * sizeof(T));
+        } else {
+            for (LaneMask m = active_; m != 0; m &= m - 1) {
+                uint32_t l = uint32_t(__builtin_ctz(m));
+                dst.v[l] = gmem_.read<T>(
+                    base + uint64_t(idx.v[l]) * sizeof(T));
+            }
+        }
+    }
+
+    /** Fused address-compute + global store; see fastLdGlobal. */
+    template <typename T>
+    void
+    fastStGlobal(uint64_t base, const Reg<uint32_t> &idx,
+                 const Reg<T> &val)
+    {
+        nextIndex();
+        nextIndex();
+        if (active_ == kFullMask) {
+            uint32_t i0 = idx.v[0];
+            uint64_t contig = 1;
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                contig &= idx.v[l] == i0 + l;
+            if (contig) {
+                gmem_.writeSpan<T>(base + uint64_t(i0) * sizeof(T),
+                                   val.v.data(), kWarpSize);
+                return;
+            }
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                gmem_.write<T>(base + uint64_t(idx.v[l]) * sizeof(T),
+                               val.v[l]);
+        } else {
+            for (LaneMask m = active_; m != 0; m &= m - 1) {
+                uint32_t l = uint32_t(__builtin_ctz(m));
+                gmem_.write<T>(base + uint64_t(idx.v[l]) * sizeof(T),
+                               val.v[l]);
+            }
+        }
+    }
+
+    /** Fused offset-compute + shared load (two instructions). */
+    template <typename T>
+    void
+    fastLdShared(const Reg<uint32_t> &idx, Reg<T> &dst)
+    {
+        nextIndex();
+        nextIndex();
+        for (LaneMask m = active_; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            dst.v[l] = smemRead<T>(idx.v[l] * uint32_t(sizeof(T)));
+        }
+    }
+
+    /** Fused offset-compute + shared store (two instructions). */
+    template <typename T>
+    void
+    fastStShared(const Reg<uint32_t> &idx, const Reg<T> &val)
+    {
+        nextIndex();
+        nextIndex();
+        for (LaneMask m = active_; m != 0; m &= m - 1) {
+            uint32_t l = uint32_t(__builtin_ctz(m));
+            smemWrite<T>(idx.v[l] * uint32_t(sizeof(T)), val.v[l]);
+        }
+    }
+    /// @}
 
     /**
      * Tick a warp-uniform branch (e.g. a scalar loop condition) and

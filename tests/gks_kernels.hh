@@ -1,0 +1,224 @@
+/**
+ * @file
+ * A mini-suite of GKS kernels shared by the executor-identity tests.
+ *
+ * Every kernel takes the same signature — `ptr out, ptr in, u32 n` —
+ * so one harness can drive all of them over the batch x jobs matrix.
+ * Together they cover every opcode family and every control shape the
+ * bytecode compiler handles specially: fusable straight-line runs
+ * (ld+ld, mul+add, alu+st, ld+alu+st), divergent if/else and while
+ * (including zero-trip and all-lanes-taken), nested control, top-level
+ * barriers with shared memory, atomics, SFU/cvt chains, scalar-param
+ * broadcasts, and the defined div/rem/shift edge semantics.
+ *
+ * Stores are guarded by `n` (the harness sizes `out`/`in` to the padded
+ * thread count, but identical guards keep the branch-event streams
+ * interesting at every batch size). The global atomic adds 0 so its
+ * observed old values stay deterministic under jobs > 1.
+ */
+
+#ifndef GWC_TESTS_GKS_KERNELS_HH
+#define GWC_TESTS_GKS_KERNELS_HH
+
+#include <cstdint>
+
+namespace gwc::simt
+{
+
+struct GksTestKernel
+{
+    const char *tag;    ///< short name for diagnostics
+    const char *source; ///< GKS text, .kernel header included
+};
+
+/** Shared-memory bytes every suite kernel is launched with. */
+constexpr uint32_t kGksSuiteShared = 64 * 4;
+
+/** CTA width every suite kernel is launched with. */
+constexpr uint32_t kGksSuiteCta = 64;
+
+inline constexpr GksTestKernel kGksIdentitySuite[] = {
+    {"vecadd", R"(
+        .kernel vecadd
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        if.lt.u32 %i, $n
+          ld.u32 %x, $in[%i]
+          ld.u32 %y, $out[%i]
+          add.u32 %z, %x, %y
+          st.u32 $out[%i], %z
+        endif
+    )"},
+    {"affine", R"(
+        .kernel affine
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        mul.u32 %j, %i, 1
+        add.u32 %j, %j, 0
+        if.lt.u32 %j, $n
+          ld.u32 %x, $in[%j]
+          mul.u32 %x, %x, 3
+          st.u32 $out[%j], %x
+        endif
+    )"},
+    {"collatz", R"(
+        .kernel collatz
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        rem.u32 %x, %i, 19
+        add.u32 %x, %x, 1
+        while.gt.u32 %x, 1
+          rem.u32 %r, %x, 2
+          if.eq.u32 %r, 0
+            shr.u32 %x, %x, 1
+          else
+            mul.u32 %t, %x, 3
+            add.u32 %t, %t, 1
+            mov.u32 %x, %t
+          endif
+        endwhile
+        if.lt.u32 %i, $n
+          st.u32 $out[%i], %x
+        endif
+    )"},
+    {"twophase", R"(
+        .kernel twophase
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        tid %t
+        add.u32 %v, %t, 7
+        sts.u32 sm[%t], %v
+        bar
+        xor.u32 %m, %t, 1
+        lds.u32 %r, sm[%m]
+        bar
+        if.lt.u32 %i, $n
+          st.u32 $out[%i], %r
+        endif
+    )"},
+    {"atoms", R"(
+        .kernel atoms
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        lane %l
+        ctaid %c
+        tid %t
+        rem.u32 %b, %i, 8
+        atom.add.u32 %old, $out[%b], 0
+        atoms.add.u32 %o2, sm[%l], %b
+        add.u32 %s, %old, %o2
+        add.u32 %s, %s, %c
+        add.u32 %s, %s, %t
+        if.lt.u32 %i, $n
+          st.u32 $out[%i], %s
+        endif
+    )"},
+    {"mathy", R"(
+        .kernel mathy
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %g
+        rem.u32 %i, %g, 97
+        cvt.f32.u32 %x, %i
+        add.f32 %x, %x, 1.5
+        sqrt.f32 %s, %x
+        rsqrt.f32 %q, %x
+        fma.f32 %f, %s, 2.0, %x
+        sin.f32 %sn, %s
+        cos.f32 %cs, %s
+        add.f32 %u, %sn, %cs
+        mul.f32 %u, %u, %f
+        neg.f32 %nf, %q
+        add.f32 %u, %u, %nf
+        div.f32 %u, %u, 3.0
+        if.lt.u32 %g, $n
+          ld.f32 %v, $in[%g]
+          add.f32 %u, %u, %v
+          min.f32 %u, %u, 1000.0
+          max.f32 %u, %u, 0.0
+          cvt.s32.f32 %si, %u
+          abs.s32 %ai, %si
+          cvt.u32.s32 %uo, %ai
+          st.u32 $out[%g], %uo
+        endif
+    )"},
+    {"bits", R"(
+        .kernel bits
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        and.u32 %a, %i, 0xff
+        or.u32 %o, %a, 0x100
+        xor.u32 %x, %o, %i
+        shl.u32 %s, %x, 3
+        shr.u32 %r, %s, 2
+        div.u32 %d, %r, 5
+        rem.u32 %m, %r, 5
+        cvt.s32.u32 %si, %i
+        sub.s32 %si, %si, 40
+        div.s32 %ds, %si, 7
+        rem.s32 %ms, %si, 7
+        min.u32 %mu, %d, %m
+        max.s32 %mx, %ds, %ms
+        min.s32 %mn, %ds, %ms
+        add.u32 %sum, %mu, $n
+        sub.u32 %sum, %sum, %mx
+        add.u32 %sum, %sum, %mn
+        shl.u32 %z, 1, %i
+        add.u32 %sum, %sum, %z
+        div.u32 %zz, 100, %m
+        rem.u32 %zr, 100, %m
+        add.u32 %sum, %sum, %zz
+        add.u32 %sum, %sum, %zr
+        if.lt.u32 %i, $n
+          st.u32 $out[%i], %sum
+        endif
+    )"},
+    {"control", R"(
+        .kernel control
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        mov.u32 %c, 0
+        while.gt.u32 %c, 5
+          add.u32 %c, %c, 1
+        endwhile
+        if.eq.u32 %i, 123456789
+          add.u32 %c, %c, 9
+        endif
+        if.lt.u32 %i, 0x7fffffff
+          add.u32 %c, %c, 3
+        endif
+        rem.u32 %p, %i, 2
+        if.eq.u32 %p, 0
+          add.u32 %c, %c, 1
+        else
+          add.u32 %c, %c, 2
+        endif
+        rem.u32 %w, %i, 5
+        while.gt.u32 %w, 0
+          sub.u32 %w, %w, 1
+          add.u32 %c, %c, %w
+        endwhile
+        if.lt.u32 %i, $n
+          st.u32 $out[%i], %c
+        endif
+    )"},
+};
+
+} // namespace gwc::simt
+
+#endif // GWC_TESTS_GKS_KERNELS_HH

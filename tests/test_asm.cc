@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "metrics/hotspots.hh"
 #include "metrics/profiler.hh"
 #include "simt/asm.hh"
@@ -102,17 +106,20 @@ TEST(Asm, BarrierInsideWhileIsRejected)
     // level. A tree reduction therefore unrolls its barrier loop in
     // GKS (or stays in the C++ DSL, whose uniform loops are plain
     // C++ around co_await).
-    EXPECT_EXIT(assembleKernel(R"(
-                    .kernel reduce
-                    tid %t
-                    mov.u32 %s, 64
-                    while.gt.u32 %s, 0
-                      shr.u32 %s, %s, 1
-                      bar
-                    endwhile
-                )"),
-                testing::ExitedWithCode(1),
-                "bar inside divergent");
+    Result<AsmKernel> r = tryAssembleKernel(R"(
+        .kernel reduce
+        tid %t
+        mov.u32 %s, 64
+        while.gt.u32 %s, 0
+          shr.u32 %s, %s, 1
+          bar
+        endwhile
+    )");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(r.status().message().find("bar inside divergent"),
+              std::string::npos)
+        << r.status().message();
 }
 
 TEST(Asm, UnrolledBarrierPhases)
@@ -382,26 +389,62 @@ TEST(AsmOps, SharedAtomicAdd)
 
 // --- Error handling ---
 
-TEST(AsmErrors, AllDiagnosticsAreFatal)
+TEST(AsmErrors, AllDiagnosticsCarryStatus)
 {
-    auto expectDie = [](const char *src, const char *pattern) {
-        EXPECT_EXIT(assembleKernel(src), testing::ExitedWithCode(1),
-                    pattern);
+    auto expectError = [](const char *src, const char *pattern) {
+        // The throwing entry point raises gwc::Error...
+        EXPECT_THROW(assembleKernel(src), Error) << src;
+        // ...and the non-throwing one returns the same Status.
+        Result<AsmKernel> r = tryAssembleKernel(src);
+        ASSERT_FALSE(r.ok()) << src;
+        EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_NE(r.status().message().find(pattern),
+                  std::string::npos)
+            << "wanted '" << pattern << "' in '"
+            << r.status().message() << "'";
     };
-    expectDie("gid %i\n", "missing .kernel");
-    expectDie(".kernel k\nbogus %a, %b\n", "unknown instruction");
-    expectDie(".kernel k\nadd.u32 %d, %undef, 1\n",
-              "read before write");
-    expectDie(".kernel k\n.param u32 n\nld.f32 %x, $n[%i]\n",
-              "not a ptr");
-    expectDie(".kernel k\nif.lt.u32 1, 2\n", "unterminated");
-    expectDie(".kernel k\nendif\n", "endif without");
-    expectDie(".kernel k\nmov.q64 %a, 1\n", "unknown type");
-    expectDie(".kernel k\ngid %i\nif.lt.u32 %i, 4\nbar\nendif\n",
-              "bar inside divergent");
-    expectDie(".kernel k\nadd.u32 %d, zzz, 1\n", "bad immediate");
-    expectDie(".kernel k\n.param ptr p\nst.u32 $p, 1\n",
-              "memory reference");
+    expectError("gid %i\n", "missing .kernel");
+    expectError(".kernel k\nbogus %a, %b\n", "unknown instruction");
+    expectError(".kernel k\nadd.u32 %d, %undef, 1\n",
+                "read before write");
+    expectError(".kernel k\n.param u32 n\nld.f32 %x, $n[%i]\n",
+                "not a ptr");
+    expectError(".kernel k\nif.lt.u32 1, 2\n", "unterminated");
+    expectError(".kernel k\nendif\n", "endif without");
+    expectError(".kernel k\nmov.q64 %a, 1\n", "unknown type");
+    expectError(".kernel k\ngid %i\nif.lt.u32 %i, 4\nbar\nendif\n",
+                "bar inside divergent");
+    expectError(".kernel k\nadd.u32 %d, zzz, 1\n", "bad immediate");
+    expectError(".kernel k\n.param ptr p\nst.u32 $p, 1\n",
+                "memory reference");
+}
+
+TEST(AsmErrors, DiagnosticsPointAtLineColumnAndToken)
+{
+    // Line 3, and the offending token is the undefined register.
+    Result<AsmKernel> r =
+        tryAssembleKernel(".kernel k\ngid %i\nadd.u32 %d, %undef, 1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().message(),
+              "GKS:3:13: register %undef read before write"
+              " near '%undef'");
+
+    // Column 1 for a bad mnemonic; the token is echoed.
+    r = tryAssembleKernel(".kernel k\nbogus %a, %b\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("GKS:2:1:"),
+              std::string::npos)
+        << r.status().message();
+    EXPECT_NE(r.status().message().find("near 'bogus'"),
+              std::string::npos)
+        << r.status().message();
+
+    // End-of-input diagnostics carry the line past the last one seen.
+    r = tryAssembleKernel(".kernel k\nif.lt.u32 1, 2\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("GKS:"), std::string::npos);
+    EXPECT_NE(r.status().message().find("unterminated"),
+              std::string::npos);
 }
 
 // --- The headline property: DSL and GKS agree on characteristics ---
@@ -525,6 +568,115 @@ TEST(Asm, HotspotPcsMatchListing)
     EXPECT_EQ(pcs.at(3).instrs, 8u);
     // The last warp (ids 64..127 vs n=100) diverges at the if.
     EXPECT_EQ(pcs.at(1).divBranches, 1u);
+}
+
+// --- Bytecode compiler: golden listing, fusion, escape hatch ---
+
+TEST(AsmBytecode, GoldenListingAndPcMap)
+{
+    AsmKernel k = assembleKernel(R"(
+        .kernel saxpy
+        .param ptr x
+        .param ptr y
+        .param u32 n
+        gid %i
+        if.lt.u32 %i, $n
+          ld.u32 %a, $x[%i]
+          ld.u32 %b, $y[%i]
+          add.u32 %c, %a, %b
+          st.u32 $y[%i], %c
+        endif
+    )");
+    // One slot per bytecode op; the fused heads keep their
+    // constituents' slots intact so jump targets stay valid.
+    const std::vector<std::string> want = {
+        "0: gid r0 ; pc=0",
+        "1: brif.lt.u32 r0, k0 -> 7 ; pc=1",
+        "2: ld+ld r1, p0[r0] ; pc=2",
+        "3: ld r2, p1[r0] ; pc=3",
+        "4: add.u r3, r1, r2 +st ; pc=4",
+        "5: st p1[r0], r3 ; pc=5",
+        "6: elsej -> 7 ; pc=1",
+        "7: endif ; pc=1",
+    };
+    EXPECT_EQ(k.bytecodeListing(), want);
+    // The PC map resolves every bytecode index to the static PC of
+    // the source listing; structural ops inherit their header's PC.
+    const std::vector<uint32_t> wantPcs = {0, 1, 2, 3, 4, 5, 1, 1};
+    EXPECT_EQ(k.pcMap(), wantPcs);
+    // All mapped PCs index into the source listing.
+    for (uint32_t pc : k.pcMap())
+        EXPECT_LT(pc, k.listing().size());
+}
+
+TEST(AsmBytecode, FusesAffineChainsAndLoops)
+{
+    AsmKernel k = assembleKernel(R"(
+        .kernel fuse2
+        .param ptr out
+        .param ptr in
+        .param u32 n
+        gid %i
+        mul.u32 %j, %i, 1
+        add.u32 %j, %j, 0
+        ld.u32 %x, $in[%j]
+        mul.u32 %x, %x, 3
+        st.u32 $out[%j], %x
+        mov.u32 %c, 0
+        while.lt.u32 %c, 2
+          add.u32 %c, %c, 1
+        endwhile
+        bar
+        st.u32 $out[%i], %c
+    )");
+    const auto &bl = k.bytecodeListing();
+    ASSERT_EQ(bl.size(), 13u);
+    EXPECT_EQ(bl[1], "1: mul+add.u r1, r0, k0 ; pc=1");
+    EXPECT_EQ(bl[3], "3: ld+alu+st r2, p1[r1] ; pc=3");
+    EXPECT_EQ(bl[7], "7: whileenter ; pc=7");
+    EXPECT_EQ(bl[8], "8: whiletest.lt.u32 r3, k3 -> 11 ; pc=7");
+    EXPECT_EQ(bl[10], "10: loopback -> 8 ; pc=7");
+    EXPECT_EQ(bl[11], "11: bar ; pc=9");
+}
+
+TEST(AsmBytecode, InterpreterEscapeHatchMatches)
+{
+    AsmKernel k = assembleKernel(R"(
+        .kernel esc
+        .param ptr out
+        .param u32 n
+        gid %i
+        if.lt.u32 %i, $n
+          mul.u32 %v, %i, 5
+          st.u32 $out[%i], %v
+        endif
+    )");
+    auto runMode = [&](AsmExec mode) {
+        Engine e;
+        auto out = e.alloc<uint32_t>(64);
+        out.fill(0);
+        KernelParams p;
+        p.push(out.addr()).push(60u);
+        metrics::Profiler prof;
+        e.addHook(&prof);
+        e.launch("esc", k.entry(mode), Dim3(1), Dim3(64), 0, p);
+        return std::make_pair(out.toHost(), prof.finalize("E")[0]);
+    };
+    auto compiled = runMode(AsmExec::Compiled);
+    auto interp = runMode(AsmExec::Interpreted);
+    EXPECT_EQ(compiled.first, interp.first);
+    EXPECT_EQ(compiled.second.warpInstrs, interp.second.warpInstrs);
+    for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c)
+        EXPECT_EQ(compiled.second.metrics[c], interp.second.metrics[c])
+            << metrics::characteristicName(c);
+
+    // GWC_GKS_INTERP=1 reroutes Auto to the interpreter; results stay
+    // identical, so the hatch is observable only through timing.
+    ::setenv("GWC_GKS_INTERP", "1", 1);
+    auto hatch = runMode(AsmExec::Auto);
+    ::unsetenv("GWC_GKS_INTERP");
+    EXPECT_EQ(hatch.first, compiled.first);
+    EXPECT_EQ(hatch.second.warpInstrs, compiled.second.warpInstrs);
 }
 
 } // anonymous namespace

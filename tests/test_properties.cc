@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <list>
 #include <map>
+#include <optional>
 
 #include <sstream>
 
@@ -20,8 +23,13 @@
 #include "metrics/profile_io.hh"
 #include "metrics/profiler.hh"
 #include "metrics/reuse.hh"
+#include "metrics/hotspots.hh"
 #include "runtime/inject.hh"
+#include "simt/asm.hh"
 #include "simt/engine.hh"
+#include "telemetry/trace.hh"
+
+#include "gks_kernels.hh"
 #include "stats/pca.hh"
 #include "timing/gpu.hh"
 #include "workloads/suite.hh"
@@ -548,6 +556,110 @@ INSTANTIATE_TEST_SUITE_P(
     Workloads, FailureIsolationSweep,
     ::testing::Values("BLS", "RD", "MUM", "NW"),
     [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// GKS executor identity: the compiled bytecode executor must be
+// observationally indistinguishable from the tree interpreter — same
+// profiles.csv bytes, same hotspot tables, same stats totals, same
+// kernel output, and (serially) the same trace bytes — over every
+// kernel in the mini-suite and the whole batch x jobs matrix.
+// ---------------------------------------------------------------------
+
+struct GksRunResult
+{
+    std::string profileCsv;
+    std::string hotspots;
+    std::string traceBytes;
+    std::vector<uint32_t> output;
+    uint64_t warpInstrs = 0;
+};
+
+GksRunResult
+runGksKernel(const simt::AsmKernel &k, simt::AsmExec mode, uint32_t n,
+             unsigned jobs, bool trace)
+{
+    using namespace simt;
+    Engine e;
+    e.setJobs(jobs);
+    const uint32_t threads =
+        ((std::max(n, 1u) + kGksSuiteCta - 1) / kGksSuiteCta) *
+        kGksSuiteCta;
+    auto out = e.alloc<uint32_t>(std::max(threads, 8u));
+    auto in = e.alloc<uint32_t>(threads);
+    out.fill(0);
+    for (uint32_t i = 0; i < threads; ++i)
+        in.set(i, i * 2654435761u % 1000u);
+    KernelParams p;
+    p.push(out.addr()).push(in.addr()).push(n);
+
+    metrics::Profiler prof;
+    metrics::HotspotProfiler hot;
+    e.addHook(&prof);
+    e.addHook(&hot);
+    std::string tracePath;
+    std::optional<telemetry::TraceWriter> tw;
+    if (trace) {
+        tracePath = testing::TempDir() + "gks_identity.trace";
+        tw.emplace(tracePath);
+        e.addHook(&*tw);
+    }
+    auto st = e.launch(k.name(), k.entry(mode),
+                       Dim3(threads / kGksSuiteCta),
+                       Dim3(kGksSuiteCta), kGksSuiteShared, p);
+
+    GksRunResult r;
+    r.warpInstrs = st.warpInstrs;
+    std::ostringstream ps;
+    metrics::writeProfilesCsv(ps, prof.finalize(k.name()));
+    r.profileCsv = ps.str();
+    std::ostringstream hs;
+    for (const auto &t : hot.finalize(k.name()))
+        metrics::renderHotspots(hs, t, 256, &k.listing());
+    r.hotspots = hs.str();
+    r.output = out.toHost();
+    if (trace) {
+        tw->close();
+        std::ifstream f(tracePath, std::ios::binary);
+        std::ostringstream bytes;
+        bytes << f.rdbuf();
+        r.traceBytes = bytes.str();
+        std::remove(tracePath.c_str());
+    }
+    return r;
+}
+
+TEST(GksExecutorIdentity, CompiledMatchesInterpreterAcrossMatrix)
+{
+    for (const auto &tk : simt::kGksIdentitySuite) {
+        simt::AsmKernel k = simt::assembleKernel(tk.source);
+        for (uint32_t n : {1u, 7u, 64u, 4096u}) {
+            for (unsigned jobs : {1u, 4u}) {
+                // Trace-byte comparison needs a deterministic record
+                // order, so it runs on the serial engine; the
+                // aggregate views are jobs-invariant by construction.
+                const bool trace = jobs == 1;
+                auto itp = runGksKernel(k, simt::AsmExec::Interpreted,
+                                        n, jobs, trace);
+                auto cmp = runGksKernel(k, simt::AsmExec::Compiled, n,
+                                        jobs, trace);
+                const std::string where = std::string(tk.tag) +
+                                          " n=" + std::to_string(n) +
+                                          " jobs=" +
+                                          std::to_string(jobs);
+                EXPECT_EQ(itp.warpInstrs, cmp.warpInstrs) << where;
+                EXPECT_EQ(itp.output, cmp.output) << where;
+                EXPECT_EQ(itp.profileCsv, cmp.profileCsv) << where;
+                EXPECT_EQ(itp.hotspots, cmp.hotspots) << where;
+                if (trace) {
+                    EXPECT_TRUE(itp.traceBytes == cmp.traceBytes)
+                        << where << " trace diverged ("
+                        << itp.traceBytes.size() << " vs "
+                        << cmp.traceBytes.size() << " bytes)";
+                }
+            }
+        }
+    }
+}
 
 } // anonymous namespace
 } // namespace gwc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared --gks support for the PC-annotation tools (gwc_hotspots,
+ * gwc_trace annotate): assemble GKS source files and hand out the
+ * per-kernel source listing keyed by kernel name.
+ *
+ * Events always carry *source* static PCs — the bytecode executor
+ * stamps every fused superinstruction's constituents with their
+ * original PCs through AsmKernel::pcMap() — so resolving a hotspot
+ * table only needs the source listing; no translation pass runs
+ * here.
+ */
+
+#ifndef GWC_TOOLS_GKS_LISTINGS_HH
+#define GWC_TOOLS_GKS_LISTINGS_HH
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "simt/asm.hh"
+
+namespace gwc::tools
+{
+
+/** Per-kernel source listings from one or more assembled GKS files. */
+class GksListings
+{
+  public:
+    /**
+     * Assemble every file in the comma-separated @p spec (the
+     * appendOpt accumulation format). Unreadable files and assembly
+     * errors are fatal (InvalidArgument, with the GKS line:column
+     * diagnostic).
+     */
+    void
+    load(const std::string &spec)
+    {
+        std::stringstream ss(spec);
+        std::string path;
+        while (std::getline(ss, path, ',')) {
+            if (path.empty())
+                continue;
+            std::ifstream in(path);
+            if (!in)
+                raise(ErrorCode::InvalidArgument,
+                      "--gks: cannot read '%s'", path.c_str());
+            std::stringstream src;
+            src << in.rdbuf();
+            simt::AsmKernel k = simt::assembleKernel(src.str());
+            byName_[k.name()] = k.listing();
+        }
+    }
+
+    /** Listing for @p kernel, or nullptr if no --gks file defines it. */
+    const std::vector<std::string> *
+    find(const std::string &kernel) const
+    {
+        auto it = byName_.find(kernel);
+        return it == byName_.end() ? nullptr : &it->second;
+    }
+
+    bool empty() const { return byName_.empty(); }
+
+  private:
+    std::map<std::string, std::vector<std::string>> byName_;
+};
+
+} // namespace gwc::tools
+
+#endif // GWC_TOOLS_GKS_LISTINGS_HH

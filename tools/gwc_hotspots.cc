@@ -25,6 +25,8 @@
 #include "metrics/hotspots.hh"
 #include "runtime/session.hh"
 
+#include "gks_listings.hh"
+
 int
 main(int argc, char **argv)
 {
@@ -34,10 +36,15 @@ main(int argc, char **argv)
         so.suite.jobs = ThreadPool::defaultJobs();
         size_t topN = 10;
         bool list = false;
+        std::string gksSpec;
 
         cli::Parser p("gwc_hotspots", "[options] [workload ...]");
         p.sizeOpt("--top", "-n", "N",
                   "PCs shown per kernel (default 10, 0 = all)", &topN);
+        p.strOpt("--gks", "", "FILE",
+                 "assemble GKS FILE(s, comma-separated) and show the\n"
+                 "source line next to each PC of matching kernels",
+                 &gksSpec);
         runtime::addSuiteFlags(p, so);
         p.flag("--list", "", "list registered workloads and exit",
                &list);
@@ -59,6 +66,10 @@ main(int argc, char **argv)
             names = workloads::workloadNames();
         if (Status st = workloads::checkWorkloadNames(names); !st.ok())
             throw Error(st);
+
+        tools::GksListings listings;
+        if (!gksSpec.empty())
+            listings.load(gksSpec);
 
         runtime::InjectionPlan plan;
         if (!so.injectSpecs.empty()) {
@@ -90,7 +101,8 @@ main(int argc, char **argv)
                 if (!first)
                     std::cout << "\n";
                 first = false;
-                metrics::renderHotspots(std::cout, ks, topN);
+                metrics::renderHotspots(std::cout, ks, topN,
+                                        listings.find(ks.kernel));
             }
         }
         return ec;

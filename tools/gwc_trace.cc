@@ -26,6 +26,8 @@
 #include "metrics/hotspots.hh"
 #include "telemetry/trace.hh"
 
+#include "gks_listings.hh"
+
 namespace
 {
 
@@ -215,7 +217,7 @@ main(int argc, char **argv)
 {
     return cli::run([&]() -> int {
         DumpHook dump;
-        std::string limitStr, ctaStr, warpStr;
+        std::string limitStr, ctaStr, warpStr, gksSpec;
 
         cli::Parser p("gwc_trace",
                       "<summary|dump|annotate> [options] trace-file");
@@ -230,6 +232,10 @@ main(int argc, char **argv)
                  "dump: only records of linear CTA N", &ctaStr);
         p.strOpt("--warp", "", "N",
                  "dump: only records of warp N", &warpStr);
+        p.appendOpt("--gks", "", "FILE",
+                    "annotate: assemble GKS FILE(s) and show the\n"
+                    "source line next to each PC (repeatable)",
+                    &gksSpec);
         auto pos = p.parse(argc, argv);
         if (p.helpRequested()) {
             std::cout << p.helpText();
@@ -264,6 +270,9 @@ main(int argc, char **argv)
             return 0;
         }
         if (cmd == "annotate") {
+            tools::GksListings listings;
+            if (!gksSpec.empty())
+                listings.load(gksSpec);
             metrics::HotspotProfiler hot;
             uint64_t orphans = 0;
             reader.replay(hot, &orphans);
@@ -276,7 +285,8 @@ main(int argc, char **argv)
                 if (!first)
                     std::cout << "\n";
                 first = false;
-                metrics::renderHotspots(std::cout, ks, topN);
+                metrics::renderHotspots(std::cout, ks, topN,
+                                        listings.find(ks.kernel));
             }
             return 0;
         }
