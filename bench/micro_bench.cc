@@ -18,7 +18,9 @@
 #include "simt/engine.hh"
 #include "stats/pca.hh"
 #include "telemetry/monitor.hh"
+#include "telemetry/replay.hh"
 #include "telemetry/stats.hh"
+#include "telemetry/trace.hh"
 
 namespace
 {
@@ -427,6 +429,88 @@ BM_PcaSuiteSized(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PcaSuiteSized);
+
+/**
+ * Trace-corpus replay throughput: feed the profiler from a recorded
+ * saxpy trace instead of re-running the engine. Compare against
+ * BM_EngineSaxpyProfiled — the gap is the simulation work a
+ * record-once-analyze-many pipeline avoids on every later analysis.
+ */
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    const char *path = "/tmp/gwc_bench_replay.trace";
+    const uint32_t n = 32768;
+    {
+        Engine e;
+        auto x = e.alloc<float>(n);
+        auto y = e.alloc<float>(n);
+        KernelParams p;
+        p.push(x.addr()).push(y.addr());
+        telemetry::TraceWriter w(path);
+        e.addHook(&w);
+        e.launch("saxpy", saxpyKernel, Dim3(n / 256), Dim3(256), 0, p);
+        w.close();
+    }
+    telemetry::TraceReader r(path);
+    telemetry::TraceReplayer rep(r);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        metrics::Profiler prof;
+        telemetry::ReplayStats st = rep.replay(prof);
+        auto rows = prof.finalize("bench");
+        benchmark::DoNotOptimize(rows);
+        instrs += st.counts.instrs;
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+    std::remove(path);
+}
+BENCHMARK(BM_TraceReplay);
+
+/**
+ * Indexed seeking: replay one kernel out of a multi-kernel corpus.
+ * The footer index prunes the other kernels' chunks without reading
+ * them, so this scales with the selected kernel, not the corpus.
+ */
+void
+BM_TraceReplaySeek(benchmark::State &state)
+{
+    const char *path = "/tmp/gwc_bench_replay_seek.trace";
+    const uint32_t n = 32768;
+    {
+        Engine e;
+        auto x = e.alloc<float>(n);
+        auto y = e.alloc<float>(n);
+        KernelParams p;
+        p.push(x.addr()).push(y.addr());
+        telemetry::TraceWriter w(path);
+        e.addHook(&w);
+        // Seven decoys around the one kernel the replay seeks to.
+        for (int i = 0; i < 7; ++i)
+            e.launch("decoy", saxpyKernel, Dim3(n / 256), Dim3(256),
+                     0, p);
+        e.launch("target", saxpyKernel, Dim3(n / 256), Dim3(256), 0,
+                 p);
+        w.close();
+    }
+    telemetry::TraceReader r(path);
+    telemetry::TraceReplayer rep(r);
+    telemetry::ReplayOptions opts;
+    opts.kernel = "target";
+    uint64_t chunks = 0;
+    for (auto _ : state) {
+        metrics::Profiler prof;
+        telemetry::ReplayStats st = rep.replay(prof, opts);
+        auto rows = prof.finalize("bench");
+        benchmark::DoNotOptimize(rows);
+        chunks += st.chunksDecoded;
+    }
+    state.counters["chunks_decoded"] =
+        benchmark::Counter(double(chunks) / double(state.iterations()));
+    std::remove(path);
+}
+BENCHMARK(BM_TraceReplaySeek);
 
 } // anonymous namespace
 

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * LEB128 variable-length integer codec.
+ *
+ * The delta+varint trace container (telemetry/trace.hh, format v3)
+ * encodes almost every field through these primitives: unsigned
+ * values as base-128 little-endian groups with a continuation bit,
+ * signed deltas through the zigzag mapping so small magnitudes of
+ * either sign stay short. Encoding appends to a byte vector; decoding
+ * walks a bounds-checked cursor that latches the first failure
+ * instead of throwing, so a record decoder can finish the record and
+ * report one error with full positional context.
+ */
+
+#ifndef GWC_COMMON_VARINT_HH
+#define GWC_COMMON_VARINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gwc
+{
+
+/** Append @p x to @p out as a LEB128 varint (1-10 bytes). */
+inline void
+putVarU64(std::vector<uint8_t> &out, uint64_t x)
+{
+    while (x >= 0x80) {
+        out.push_back(uint8_t(x) | 0x80);
+        x >>= 7;
+    }
+    out.push_back(uint8_t(x));
+}
+
+/** Map a signed value onto unsigned so small |x| encodes short. */
+inline uint64_t
+zigzag64(int64_t x)
+{
+    return (uint64_t(x) << 1) ^ uint64_t(x >> 63);
+}
+
+/** Inverse of zigzag64. */
+inline int64_t
+unzigzag64(uint64_t x)
+{
+    return int64_t(x >> 1) ^ -int64_t(x & 1);
+}
+
+/** Append a signed delta as zigzag+varint. */
+inline void
+putVarI64(std::vector<uint8_t> &out, int64_t x)
+{
+    putVarU64(out, zigzag64(x));
+}
+
+/**
+ * Bounds-checked decode cursor over [begin, end). On overrun or a
+ * malformed varint the cursor sets fail() and every later read
+ * returns 0, so callers check once per record, not per field.
+ */
+class VarCursor
+{
+  public:
+    VarCursor(const uint8_t *begin, const uint8_t *end)
+        : p_(begin), begin_(begin), end_(end)
+    {}
+
+    /** Read one LEB128 varint; 0 with fail() set on error. */
+    uint64_t
+    u64()
+    {
+        // Delta encoding makes single-byte values the overwhelmingly
+        // common case; decode them without entering the group loop.
+        if (p_ != end_ && *p_ < 0x80)
+            return *p_++;
+        uint64_t x = 0;
+        unsigned shift = 0;
+        while (true) {
+            if (p_ == end_ || shift >= 64) {
+                fail_ = true;
+                return 0;
+            }
+            uint8_t b = *p_++;
+            x |= uint64_t(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                return x;
+            shift += 7;
+        }
+    }
+
+    /** Read one zigzag varint as a signed delta. */
+    int64_t i64() { return unzigzag64(u64()); }
+
+    /** Read one raw byte; 0 with fail() set on overrun. */
+    uint8_t
+    byte()
+    {
+        if (p_ == end_) {
+            fail_ = true;
+            return 0;
+        }
+        return *p_++;
+    }
+
+    /** Consume @p n raw bytes; null with fail() set on overrun. */
+    const uint8_t *
+    take(size_t n)
+    {
+        if (size_t(end_ - p_) < n) {
+            fail_ = true;
+            return nullptr;
+        }
+        const uint8_t *at = p_;
+        p_ += n;
+        return at;
+    }
+
+    /** True once any read overran the buffer. */
+    bool fail() const { return fail_; }
+
+    /** True when the whole buffer was consumed cleanly. */
+    bool atEnd() const { return !fail_ && p_ == end_; }
+
+    /** Bytes consumed so far (points just past the failing byte). */
+    size_t offset() const { return size_t(p_ - begin_); }
+
+  private:
+    const uint8_t *p_;
+    const uint8_t *begin_;
+    const uint8_t *end_;
+    bool fail_ = false;
+};
+
+} // namespace gwc
+
+#endif // GWC_COMMON_VARINT_HH

@@ -148,9 +148,21 @@ Session::finish()
 
     if (tracer_) {
         tracer_->close();
-        inform("wrote %llu trace records to %s",
-               (unsigned long long)tracer_->recorded().total(),
-               opts_.traceOut.c_str());
+        if (tracer_->chunksWritten()) {
+            const telemetry::TraceIndex &idx = tracer_->index();
+            uint64_t payload = idx.payloadBytes();
+            uint64_t raw = idx.rawV2Bytes();
+            inform("wrote %llu trace records to %s (%llu chunks, "
+                   "%.2fx payload compression)",
+                   (unsigned long long)tracer_->recorded().total(),
+                   opts_.traceOut.c_str(),
+                   (unsigned long long)idx.chunks.size(),
+                   payload ? double(raw) / double(payload) : 1.0);
+        } else {
+            inform("wrote %llu trace records to %s",
+                   (unsigned long long)tracer_->recorded().total(),
+                   opts_.traceOut.c_str());
+        }
     }
 
     report_.exitCode = ec;
@@ -257,6 +269,14 @@ addObservabilityFlags(cli::Parser &p, SessionOptions &o)
     p.mibOpt("--trace-buffer", "", "N",
              "trace staging buffer, MiB (default 4)",
              &o.traceConfig.bufferBytes, 1);
+    p.sizeOpt("--trace-chunk-events", "", "N",
+              "cut a corpus chunk after N events, at the\n"
+              "next CTA boundary (default 8192)",
+              &o.traceConfig.chunkEvents, 1);
+    p.sizeOpt("--trace-chunk-bytes", "", "N",
+              "cut a corpus chunk after N encoded bytes,\n"
+              "at the next CTA boundary (default 256 KiB)",
+              &o.traceConfig.chunkBytes, 1);
     p.flag("--trace-flight", "",
            "keep newest window instead of flushing",
            &o.traceConfig.flightRecorder);

@@ -176,8 +176,9 @@ void addSuiteFlags(cli::Parser &p, SessionOptions &o);
 /**
  * Register the observability flags shared by the workload-running
  * tools: --stats-out, --trace-out, --trace-stride, --trace-buffer,
- * --trace-flight, --timeline-out, --metrics-out, --metrics-interval,
- * --heartbeat-out, --prom-out.
+ * --trace-chunk-events, --trace-chunk-bytes, --trace-flight,
+ * --timeline-out, --metrics-out, --metrics-interval, --heartbeat-out,
+ * --prom-out.
  */
 void addObservabilityFlags(cli::Parser &p, SessionOptions &o);
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "simt/types.hh"
@@ -100,6 +101,18 @@ class ProfilerHook
      * returned by makeShard after its block completed.
      */
     virtual void mergeShard(ProfilerHook &shard) { (void)shard; }
+
+    /**
+     * Workload context marker. The engine never calls this; drivers
+     * above it (the suite runner) announce the workload whose
+     * launches follow, so recording hooks can tag their output (the
+     * trace corpus stores the abbrev per launch and replay stamps it
+     * back into profiles). Default no-op; not fanned out by HookList.
+     */
+    virtual void workloadBegin(const std::string &abbrev)
+    {
+        (void)abbrev;
+    }
 
     /** A kernel launch is starting. */
     virtual void kernelBegin(const KernelInfo &info) { (void)info; }

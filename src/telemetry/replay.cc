@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Trace corpus replay implementation.
+ */
+
+#include "telemetry/replay.hh"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "common/threadpool.hh"
+#include "runtime/status.hh"
+
+namespace gwc::telemetry
+{
+
+std::vector<WorkloadSegment>
+workloadSegments(const TraceIndex &index)
+{
+    std::vector<WorkloadSegment> segs;
+    for (size_t i = 0; i < index.launches.size(); ++i) {
+        if (segs.empty() ||
+            segs.back().workload != index.launches[i].workload) {
+            segs.push_back({index.launches[i].workload, i, i + 1});
+        } else {
+            segs.back().lastLaunch = i + 1;
+        }
+    }
+    return segs;
+}
+
+TraceReplayer::TraceReplayer(TraceReader &reader) : reader_(reader)
+{
+    if (!reader_.chunked())
+        raise(ErrorCode::InvalidArgument,
+              "replay needs a v3 trace corpus (this trace is v%u; "
+              "re-record it, or use TraceReader::replay for a serial "
+              "pass)", reader_.version());
+    const TraceIndex &idx = reader_.index();
+    launchChunks_.assign(idx.launches.size(), {0, 0});
+    // Chunks are recorded in launch order; find each launch's span.
+    size_t ci = 0;
+    for (size_t li = 0; li < idx.launches.size(); ++li) {
+        size_t begin = ci;
+        while (ci < idx.chunks.size() && idx.chunks[ci].launchIdx == li)
+            ++ci;
+        launchChunks_[li] = {begin, ci};
+    }
+    if (ci != idx.chunks.size())
+        raise(ErrorCode::DataLoss,
+              "trace corpus index is corrupt: chunks out of launch "
+              "order");
+}
+
+ReplayStats
+TraceReplayer::replay(simt::ProfilerHook &sink,
+                      const ReplayOptions &opts)
+{
+    return replayRange(0, reader_.index().launches.size(), sink, opts);
+}
+
+ReplayStats
+TraceReplayer::replayRange(size_t first, size_t last,
+                           simt::ProfilerHook &sink,
+                           const ReplayOptions &opts)
+{
+    const TraceIndex &idx = reader_.index();
+    ReplayStats st;
+    last = std::min(last, idx.launches.size());
+    for (size_t li = first; li < last; ++li) {
+        if (!opts.kernel.empty() &&
+            idx.launches[li].info.name != opts.kernel) {
+            ++st.launchesSkipped;
+            st.chunksSkipped +=
+                launchChunks_[li].second - launchChunks_[li].first;
+            continue;
+        }
+        replayLaunch(li, sink, opts, st);
+    }
+    return st;
+}
+
+void
+TraceReplayer::replayLaunch(size_t launchIdx, simt::ProfilerHook &sink,
+                            const ReplayOptions &opts, ReplayStats &st)
+{
+    const TraceIndex &idx = reader_.index();
+    auto [cb, ce] = launchChunks_[launchIdx];
+
+    // The index prunes chunks whose CTA range cannot intersect the
+    // filter — they are never read from disk, let alone decoded.
+    std::vector<size_t> chunks;
+    chunks.reserve(ce - cb);
+    for (size_t ci = cb; ci < ce; ++ci) {
+        const TraceChunkInfo &c = idx.chunks[ci];
+        bool overlap = opts.ctaFirst < 0 ||
+                       (int64_t(c.lastCta) >= opts.ctaFirst &&
+                        int64_t(c.firstCta) <= opts.ctaLast);
+        if (overlap)
+            chunks.push_back(ci);
+        else
+            ++st.chunksSkipped;
+    }
+
+    auto add = [&st](const TraceCounts &c) {
+        st.counts.ctaBegins += c.ctaBegins;
+        st.counts.ctaEnds += c.ctaEnds;
+        st.counts.instrs += c.instrs;
+        st.counts.mems += c.mems;
+        st.counts.branches += c.branches;
+        st.counts.barriers += c.barriers;
+    };
+
+    sink.kernelBegin(idx.launches[launchIdx].info);
+    st.counts.kernelBegins++;
+    ++st.launches;
+
+    // Mirror Engine::launch: shards are created after kernelBegin on
+    // the caller, observe contiguous chunk groups concurrently, and
+    // merge back in ascending order. A null shard keeps it serial.
+    size_t groups =
+        std::min<size_t>(opts.jobs > 0 ? opts.jobs : 1, chunks.size());
+    bool sharded = groups > 1;
+    std::vector<std::unique_ptr<simt::ProfilerHook>> shards;
+    if (sharded) {
+        for (size_t g = 0; g < groups && sharded; ++g) {
+            shards.push_back(sink.makeShard());
+            if (!shards.back())
+                sharded = false;
+        }
+        if (!sharded)
+            shards.clear();
+    }
+
+    if (sharded) {
+        std::vector<TraceCounts> groupCounts(groups);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(groups);
+        for (size_t g = 0; g < groups; ++g) {
+            size_t gb = chunks.size() * g / groups;
+            size_t gePos = chunks.size() * (g + 1) / groups;
+            tasks.push_back([this, &chunks, &groupCounts, &shards,
+                             &opts, g, gb, gePos] {
+                TraceCounts total;
+                for (size_t i = gb; i < gePos; ++i) {
+                    TraceCounts c = reader_.decodeChunk(
+                        chunks[i], *shards[g], opts.ctaFirst,
+                        opts.ctaLast);
+                    total.ctaBegins += c.ctaBegins;
+                    total.ctaEnds += c.ctaEnds;
+                    total.instrs += c.instrs;
+                    total.mems += c.mems;
+                    total.branches += c.branches;
+                    total.barriers += c.barriers;
+                }
+                groupCounts[g] = total;
+            });
+        }
+        ThreadPool::global().runAll(std::move(tasks), opts.jobs);
+        for (size_t g = 0; g < groups; ++g) {
+            sink.mergeShard(*shards[g]);
+            add(groupCounts[g]);
+        }
+        st.chunksDecoded += chunks.size();
+    } else {
+        for (size_t ci : chunks) {
+            add(reader_.decodeChunk(ci, sink, opts.ctaFirst,
+                                    opts.ctaLast));
+            ++st.chunksDecoded;
+        }
+    }
+
+    sink.kernelEnd();
+    st.counts.kernelEnds++;
+}
+
+} // namespace gwc::telemetry

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parallel out-of-core replay of a v3 trace corpus.
+ *
+ * TraceReplayer drives a recorded corpus back through any
+ * ProfilerHook without re-executing the workload: for each launch it
+ * mirrors Engine::launch's shard protocol exactly — kernelBegin on
+ * the caller, one makeShard() per contiguous chunk group, chunk
+ * groups decoded concurrently on the global ThreadPool, shards merged
+ * back in ascending CTA-block order, then kernelEnd — so a replayed
+ * Profiler or HotspotProfiler produces output byte-identical to the
+ * live run at any jobs count (chunks cut at CTA boundaries, and the
+ * PR-2 merge contract is partition-independent). Sinks that return no
+ * shard replay serially, which is always correct.
+ *
+ * The footer index makes replay selective: a kernel-name or CTA-range
+ * filter decodes only the chunks that can contain matching events,
+ * which TraceReader's decode counters make observable.
+ */
+
+#ifndef GWC_TELEMETRY_REPLAY_HH
+#define GWC_TELEMETRY_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hh"
+
+namespace gwc::telemetry
+{
+
+/** Filters and parallelism for one replay pass. */
+struct ReplayOptions
+{
+    /** Max concurrent chunk groups per launch (1 = serial). */
+    unsigned jobs = 1;
+    /** Replay only launches of this kernel ("" = all). */
+    std::string kernel;
+    /** Inclusive linear-CTA range filter; ctaFirst < 0 = off. */
+    int64_t ctaFirst = -1;
+    int64_t ctaLast = -1;
+};
+
+/** What one replay pass did. */
+struct ReplayStats
+{
+    uint64_t launches = 0;        ///< launches replayed into the sink
+    uint64_t launchesSkipped = 0; ///< launches dropped by the filters
+    uint64_t chunksDecoded = 0;   ///< chunks decoded for this pass
+    uint64_t chunksSkipped = 0;   ///< indexed chunks skipped unread
+    TraceCounts counts;           ///< events delivered to the sink
+};
+
+/** A run of consecutive launches sharing one workload tag. */
+struct WorkloadSegment
+{
+    std::string workload;   ///< suite abbrev ("" when untagged)
+    size_t firstLaunch = 0; ///< first launch index of the run
+    size_t lastLaunch = 0;  ///< one past the last launch index
+};
+
+/** Group consecutive launches of @p index by workload tag. */
+std::vector<WorkloadSegment> workloadSegments(const TraceIndex &index);
+
+/**
+ * Replays a chunked corpus into collectors. One replayer can run any
+ * number of passes; TraceReader's decode counters accumulate across
+ * them.
+ */
+class TraceReplayer
+{
+  public:
+    /** @p reader must be a v3 corpus (reader.chunked()). */
+    explicit TraceReplayer(TraceReader &reader);
+
+    /** Replay every launch passing the filters into @p sink. */
+    ReplayStats replay(simt::ProfilerHook &sink,
+                       const ReplayOptions &opts = {});
+
+    /**
+     * Replay launches [first, last) passing the filters into
+     * @p sink. Used by the per-workload-segment drivers.
+     */
+    ReplayStats replayRange(size_t first, size_t last,
+                            simt::ProfilerHook &sink,
+                            const ReplayOptions &opts);
+
+  private:
+    void replayLaunch(size_t launchIdx, simt::ProfilerHook &sink,
+                      const ReplayOptions &opts, ReplayStats &st);
+
+    TraceReader &reader_;
+    /// Per launch: [begin, end) range into index().chunks.
+    std::vector<std::pair<size_t, size_t>> launchChunks_;
+};
+
+} // namespace gwc::telemetry
+
+#endif // GWC_TELEMETRY_REPLAY_HH

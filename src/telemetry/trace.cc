@@ -1,13 +1,17 @@
 /**
  * @file
- * Trace writer/reader implementation.
+ * Trace writer/reader implementation (v3 chunked corpus + legacy v2).
  */
 
 #include "telemetry/trace.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/varint.hh"
+#include "runtime/status.hh"
 
 namespace gwc::telemetry
 {
@@ -44,7 +48,66 @@ putU64(std::vector<uint8_t> &v, uint64_t x)
         v.push_back(uint8_t(x >> (8 * i)));
 }
 
+/** v2-equivalent encoded size of one record kind (ratio baseline). */
+constexpr uint64_t kRawCta = 5;
+constexpr uint64_t kRawInstr = 18;
+constexpr uint64_t kRawBranch = 17;
+constexpr uint64_t kRawBarrier = 5;
+
+uint64_t
+rawMemBytes(simt::LaneMask active)
+{
+    return 19 + 8ull * simt::laneCount(active);
+}
+
+/** v2 size of the KernelBegin + KernelEnd records of one launch. */
+uint64_t
+rawLaunchBytes(const TraceLaunch &l)
+{
+    return 32 + l.info.name.size();
+}
+
 } // anonymous namespace
+
+// ------------------------------------------------------------ TraceIndex
+
+uint64_t
+TraceIndex::payloadBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &c : chunks)
+        sum += c.payloadBytes;
+    return sum;
+}
+
+uint64_t
+TraceIndex::rawV2Bytes() const
+{
+    uint64_t sum = 16;
+    for (const auto &l : launches)
+        sum += rawLaunchBytes(l);
+    for (const auto &c : chunks)
+        sum += c.rawBytes;
+    return sum;
+}
+
+TraceCounts
+TraceIndex::counts() const
+{
+    TraceCounts t;
+    t.kernelBegins = t.kernelEnds = launches.size();
+    for (const auto &c : chunks) {
+        t.ctaBegins += c.ctaBegins;
+        t.ctaEnds += c.ctaEnds;
+        t.instrs += c.instrs;
+        t.mems += c.mems;
+        t.branches += c.branches;
+        t.barriers += c.barriers;
+    }
+    return t;
+}
+
+// ----------------------------------------------------------- TraceWriter
 
 TraceWriter::TraceWriter(const std::string &path)
     : TraceWriter(path, Config())
@@ -54,24 +117,46 @@ TraceWriter::TraceWriter(const std::string &path, Config cfg)
     : path_(path), cfg_(cfg)
 {
     if (cfg_.ctaSampleStride < 1)
-        fatal("trace CTA sample stride must be >= 1");
+        raise(ErrorCode::InvalidArgument,
+              "trace CTA sample stride must be >= 1");
+    if (cfg_.format != kTraceVersion && cfg_.format != kTraceVersionV2)
+        raise(ErrorCode::InvalidArgument,
+              "unsupported trace format v%u (supported: v%u, v%u)",
+              cfg_.format, kTraceVersionV2, kTraceVersion);
     if (cfg_.bufferBytes < 4096)
         cfg_.bufferBytes = 4096;
+    if (cfg_.chunkEvents < 1)
+        cfg_.chunkEvents = 1;
+    // The flight window evicts whole chunks, so chunks must be small
+    // enough that the window holds several of them.
+    if (cfg_.flightRecorder && cfg_.format >= 3)
+        cfg_.chunkBytes =
+            std::min<uint64_t>(cfg_.chunkBytes,
+                               std::max<uint64_t>(512,
+                                                  cfg_.bufferBytes / 4));
+    if (cfg_.chunkBytes < 1)
+        cfg_.chunkBytes = 1;
     out_.open(path_, std::ios::binary | std::ios::trunc);
     if (!out_)
-        fatal("cannot open trace file '%s' for writing", path_.c_str());
+        raise(ErrorCode::IoError,
+              "cannot open trace file '%s' for writing", path_.c_str());
     open_ = true;
     std::vector<uint8_t> hdr;
     hdr.insert(hdr.end(), kTraceMagic, kTraceMagic + sizeof(kTraceMagic));
-    putU32(hdr, kTraceVersion);
+    putU32(hdr, cfg_.format);
     putU32(hdr, cfg_.ctaSampleStride);
     out_.write(reinterpret_cast<const char *>(hdr.data()),
                std::streamsize(hdr.size()));
+    filePos_ = hdr.size();
 }
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    try {
+        close();
+    } catch (const std::exception &e) {
+        warn("trace writer: %s", e.what());
+    }
 }
 
 void
@@ -79,11 +164,22 @@ TraceWriter::close()
 {
     if (!open_)
         return;
-    flush();
+    if (cfg_.format == kTraceVersionV2) {
+        flush();
+    } else {
+        closeChunk();
+        // Flight mode: the surviving window drains to disk only now.
+        for (auto &f : flight_)
+            emitChunk(std::move(f.first), f.second);
+        flight_.clear();
+        flightBytes_ = 0;
+        writeFooter();
+    }
     out_.close();
-    if (!out_)
-        fatal("error writing trace file '%s'", path_.c_str());
     open_ = false;
+    if (!out_)
+        raise(ErrorCode::IoError, "error writing trace file '%s'",
+              path_.c_str());
 }
 
 void
@@ -92,19 +188,28 @@ TraceWriter::attachStats(Registry &reg)
     auto &g = reg.group("trace");
     statRecords_ = &g.counter("records", "trace records accepted");
     statBytes_ = &g.counter("bytes", "encoded record bytes");
+    statChunks_ = &g.counter("chunks", "corpus chunks written");
     statEvicted_ =
         &g.counter("evicted", "records evicted by the flight ring");
 }
+
+void
+TraceWriter::bumpStats(uint64_t bytes)
+{
+    if (statRecords_) {
+        ++*statRecords_;
+        *statBytes_ += bytes;
+    }
+}
+
+// ---- v2 flat-record path ----
 
 void
 TraceWriter::put(std::vector<uint8_t> &&rec)
 {
     if (!open_)
         return;
-    if (statRecords_) {
-        ++*statRecords_;
-        *statBytes_ += rec.size();
-    }
+    bumpStats(rec.size());
     ringBytes_ += rec.size();
     ring_.push_back(std::move(rec));
     if (ringBytes_ <= cfg_.bufferBytes)
@@ -131,37 +236,183 @@ TraceWriter::flush()
     ring_.clear();
     ringBytes_ = 0;
     if (!out_)
-        fatal("error writing trace file '%s'", path_.c_str());
+        raise(ErrorCode::IoError, "error writing trace file '%s'",
+              path_.c_str());
+}
+
+// ---- v3 chunk path ----
+
+void
+TraceWriter::ensureChunk()
+{
+    if (chunkOpen_)
+        return;
+    chunkOpen_ = true;
+    chunk_.clear();
+    chunkInfo_ = TraceChunkInfo{};
+    chunkInfo_.launchIdx = uint32_t(index_.launches.size() - 1);
+    lastPc_ = 0;
+    lastWarp_ = 0;
+    curCta_ = 0;
+    lastAddr_ = 0;
+}
+
+void
+TraceWriter::closeChunk()
+{
+    if (!chunkOpen_)
+        return;
+    chunkOpen_ = false;
+    if (chunkInfo_.events() == 0)
+        return;
+    writeChunk(std::move(chunk_), chunkInfo_);
+    chunk_ = {};
+}
+
+void
+TraceWriter::writeChunk(std::vector<uint8_t> &&payload,
+                        TraceChunkInfo info)
+{
+    info.payloadBytes = payload.size();
+    std::vector<uint8_t> bytes;
+    bytes.reserve(payload.size() + 32);
+    putU8(bytes, kTraceChunkMarker);
+    putVarU64(bytes, info.launchIdx);
+    putVarU64(bytes, info.events());
+    putVarU64(bytes, payload.size());
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+    if (cfg_.flightRecorder) {
+        flightBytes_ += bytes.size();
+        flight_.emplace_back(std::move(bytes), info);
+        while (flightBytes_ > cfg_.bufferBytes && flight_.size() > 1) {
+            auto &front = flight_.front();
+            flightBytes_ -= front.first.size();
+            uint64_t ev = front.second.events();
+            evicted_ += ev;
+            if (statEvicted_)
+                *statEvicted_ += ev;
+            flight_.pop_front();
+        }
+        return;
+    }
+    emitChunk(std::move(bytes), info);
+}
+
+void
+TraceWriter::emitChunk(std::vector<uint8_t> &&framed,
+                       TraceChunkInfo info)
+{
+    info.offset = filePos_;
+    out_.write(reinterpret_cast<const char *>(framed.data()),
+               std::streamsize(framed.size()));
+    filePos_ += framed.size();
+    index_.chunks.push_back(info);
+    if (statChunks_)
+        ++*statChunks_;
+    if (!out_)
+        raise(ErrorCode::IoError, "error writing trace file '%s'",
+              path_.c_str());
+}
+
+void
+TraceWriter::writeFooter()
+{
+    // Flight-mode chunks were queued with offset unassigned; close()
+    // already streamed them through writeChunk, so every index entry
+    // is final here.
+    uint64_t footerOffset = filePos_;
+    std::vector<uint8_t> f;
+    putVarU64(f, cfg_.depLanes);
+    putVarU64(f, index_.launches.size());
+    for (const auto &l : index_.launches) {
+        putVarU64(f, l.workload.size());
+        f.insert(f.end(), l.workload.begin(), l.workload.end());
+        putVarU64(f, l.info.name.size());
+        f.insert(f.end(), l.info.name.begin(), l.info.name.end());
+        putVarU64(f, l.info.grid.x);
+        putVarU64(f, l.info.grid.y);
+        putVarU64(f, l.info.grid.z);
+        putVarU64(f, l.info.cta.x);
+        putVarU64(f, l.info.cta.y);
+        putVarU64(f, l.info.cta.z);
+        putVarU64(f, l.info.sharedBytes);
+    }
+    putVarU64(f, index_.chunks.size());
+    for (const auto &c : index_.chunks) {
+        putVarU64(f, c.launchIdx);
+        putVarU64(f, c.firstCta);
+        putVarU64(f, c.lastCta);
+        putVarU64(f, c.offset);
+        putVarU64(f, c.payloadBytes);
+        putVarU64(f, c.rawBytes);
+        putVarU64(f, c.ctaBegins);
+        putVarU64(f, c.ctaEnds);
+        putVarU64(f, c.instrs);
+        putVarU64(f, c.mems);
+        putVarU64(f, c.branches);
+        putVarU64(f, c.barriers);
+    }
+    putU64(f, footerOffset);
+    f.insert(f.end(), kTraceIndexMagic,
+             kTraceIndexMagic + sizeof(kTraceIndexMagic));
+    out_.write(reinterpret_cast<const char *>(f.data()),
+               std::streamsize(f.size()));
+    filePos_ += f.size();
+}
+
+// ---- event callbacks ----
+
+void
+TraceWriter::workloadBegin(const std::string &abbrev)
+{
+    workload_ = abbrev;
 }
 
 void
 TraceWriter::kernelBegin(const simt::KernelInfo &info)
 {
+    if (!open_)
+        return;
     ++counts_.kernelBegins;
-    std::vector<uint8_t> rec;
-    rec.reserve(40 + info.name.size());
-    putU8(rec, uint8_t(TraceTag::KernelBegin));
-    if (info.name.size() > 0xFFFF)
-        fatal("kernel name longer than 65535 bytes");
-    putU16(rec, uint16_t(info.name.size()));
-    rec.insert(rec.end(), info.name.begin(), info.name.end());
-    putU32(rec, info.grid.x);
-    putU32(rec, info.grid.y);
-    putU32(rec, info.grid.z);
-    putU32(rec, info.cta.x);
-    putU32(rec, info.cta.y);
-    putU32(rec, info.cta.z);
-    putU32(rec, info.sharedBytes);
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        rec.reserve(40 + info.name.size());
+        putU8(rec, uint8_t(TraceTag::KernelBegin));
+        if (info.name.size() > 0xFFFF)
+            raise(ErrorCode::InvalidArgument,
+                  "kernel name longer than 65535 bytes");
+        putU16(rec, uint16_t(info.name.size()));
+        rec.insert(rec.end(), info.name.begin(), info.name.end());
+        putU32(rec, info.grid.x);
+        putU32(rec, info.grid.y);
+        putU32(rec, info.grid.z);
+        putU32(rec, info.cta.x);
+        putU32(rec, info.cta.y);
+        putU32(rec, info.cta.z);
+        putU32(rec, info.sharedBytes);
+        put(std::move(rec));
+        return;
+    }
+    closeChunk();
+    index_.launches.push_back({workload_, info});
+    bumpStats(0);
 }
 
 void
 TraceWriter::kernelEnd()
 {
+    if (!open_)
+        return;
     ++counts_.kernelEnds;
-    std::vector<uint8_t> rec;
-    putU8(rec, uint8_t(TraceTag::KernelEnd));
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        putU8(rec, uint8_t(TraceTag::KernelEnd));
+        put(std::move(rec));
+        return;
+    }
+    closeChunk();
+    bumpStats(0);
 }
 
 void
@@ -169,135 +420,600 @@ TraceWriter::ctaBegin(uint32_t ctaLinear)
 {
     sampled_ = cfg_.ctaSampleStride <= 1 ||
                ctaLinear % cfg_.ctaSampleStride == 0;
-    if (!sampled_)
+    if (!sampled_ || !open_)
         return;
     ++counts_.ctaBegins;
-    std::vector<uint8_t> rec;
-    putU8(rec, uint8_t(TraceTag::CtaBegin));
-    putU32(rec, ctaLinear);
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        putU8(rec, uint8_t(TraceTag::CtaBegin));
+        putU32(rec, ctaLinear);
+        put(std::move(rec));
+        return;
+    }
+    if (index_.launches.empty())
+        return; // no launch context; engine never does this
+    ensureChunk();
+    size_t before = chunk_.size();
+    putU8(chunk_, uint8_t(TraceTag::CtaBegin));
+    putVarU64(chunk_, ctaLinear);
+    if (chunkInfo_.ctaBegins == 0) {
+        chunkInfo_.firstCta = ctaLinear;
+        chunkInfo_.lastCta = ctaLinear;
+    } else {
+        chunkInfo_.firstCta = std::min(chunkInfo_.firstCta, ctaLinear);
+        chunkInfo_.lastCta = std::max(chunkInfo_.lastCta, ctaLinear);
+    }
+    curCta_ = ctaLinear;
+    ++chunkInfo_.ctaBegins;
+    chunkInfo_.rawBytes += kRawCta;
+    bumpStats(chunk_.size() - before);
 }
 
 void
 TraceWriter::ctaEnd(uint32_t ctaLinear)
 {
-    if (!sampled_)
+    if (!sampled_ || !open_)
         return;
     ++counts_.ctaEnds;
-    std::vector<uint8_t> rec;
-    putU8(rec, uint8_t(TraceTag::CtaEnd));
-    putU32(rec, ctaLinear);
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        putU8(rec, uint8_t(TraceTag::CtaEnd));
+        putU32(rec, ctaLinear);
+        put(std::move(rec));
+        return;
+    }
+    if (index_.launches.empty())
+        return;
+    ensureChunk();
+    size_t before = chunk_.size();
+    putU8(chunk_, uint8_t(TraceTag::CtaEnd));
+    putVarU64(chunk_, ctaLinear);
+    ++chunkInfo_.ctaEnds;
+    chunkInfo_.rawBytes += kRawCta;
+    bumpStats(chunk_.size() - before);
+    // Chunks cut only here (or at kernel end), so chunk boundaries
+    // always align to CTA-block boundaries.
+    if (chunkInfo_.events() >= cfg_.chunkEvents ||
+        chunk_.size() >= cfg_.chunkBytes)
+        closeChunk();
 }
 
 void
 TraceWriter::instr(const simt::InstrEvent &ev)
 {
-    if (!sampled_)
+    if (!sampled_ || !open_)
         return;
     ++counts_.instrs;
-    std::vector<uint8_t> rec;
-    rec.reserve(18);
-    putU8(rec, uint8_t(TraceTag::Instr));
-    putU8(rec, uint8_t(ev.cls));
-    putU32(rec, ev.active);
-    putU32(rec, ev.warpId);
-    putU32(rec, ev.ctaLinear);
-    putU32(rec, ev.pc);
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        rec.reserve(18);
+        putU8(rec, uint8_t(TraceTag::Instr));
+        putU8(rec, uint8_t(ev.cls));
+        putU32(rec, ev.active);
+        putU32(rec, ev.warpId);
+        putU32(rec, ev.ctaLinear);
+        putU32(rec, ev.pc);
+        put(std::move(rec));
+        return;
+    }
+    if (index_.launches.empty())
+        return;
+    ensureChunk();
+    size_t before = chunk_.size();
+    putU8(chunk_, uint8_t(TraceTag::Instr));
+    putU8(chunk_, uint8_t(ev.cls));
+    putVarU64(chunk_, uint32_t(~ev.active));
+    putVarI64(chunk_, int64_t(ev.warpId) - int64_t(lastWarp_));
+    lastWarp_ = ev.warpId;
+    putVarI64(chunk_, int64_t(ev.ctaLinear) - int64_t(curCta_));
+    putVarI64(chunk_, int64_t(ev.pc) - int64_t(lastPc_));
+    lastPc_ = ev.pc;
+    simt::LaneMask dep = ev.active & cfg_.depLanes;
+    for (uint32_t m = dep; m; m &= m - 1) {
+        uint32_t l = uint32_t(std::countr_zero(m));
+        putVarU64(chunk_, ev.depDist[l]);
+    }
+    ++chunkInfo_.instrs;
+    chunkInfo_.rawBytes += kRawInstr;
+    bumpStats(chunk_.size() - before);
 }
 
 void
 TraceWriter::mem(const simt::MemEvent &ev)
 {
-    if (!sampled_)
+    if (!sampled_ || !open_)
         return;
     ++counts_.mems;
-    std::vector<uint8_t> rec;
-    rec.reserve(19 + 8 * simt::laneCount(ev.active));
-    putU8(rec, uint8_t(TraceTag::Mem));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        rec.reserve(19 + 8 * simt::laneCount(ev.active));
+        putU8(rec, uint8_t(TraceTag::Mem));
+        uint8_t flags = (ev.space == simt::MemSpace::Shared ? 1 : 0) |
+                        (ev.store ? 2 : 0) | (ev.atomic ? 4 : 0);
+        putU8(rec, flags);
+        putU8(rec, ev.accessSize);
+        putU32(rec, ev.active);
+        putU32(rec, ev.warpId);
+        putU32(rec, ev.ctaLinear);
+        putU32(rec, ev.pc);
+        for (uint32_t l = 0; l < kWarpSize; ++l)
+            if (ev.active & (1u << l))
+                putU64(rec, ev.addr[l]);
+        put(std::move(rec));
+        return;
+    }
+    if (index_.launches.empty())
+        return;
+    ensureChunk();
+    size_t before = chunk_.size();
+    putU8(chunk_, uint8_t(TraceTag::Mem));
     uint8_t flags = (ev.space == simt::MemSpace::Shared ? 1 : 0) |
                     (ev.store ? 2 : 0) | (ev.atomic ? 4 : 0);
-    putU8(rec, flags);
-    putU8(rec, ev.accessSize);
-    putU32(rec, ev.active);
-    putU32(rec, ev.warpId);
-    putU32(rec, ev.ctaLinear);
-    putU32(rec, ev.pc);
-    for (uint32_t l = 0; l < kWarpSize; ++l)
-        if (ev.active & (1u << l))
-            putU64(rec, ev.addr[l]);
-    put(std::move(rec));
+    putU8(chunk_, flags);
+    putU8(chunk_, ev.accessSize);
+    putVarU64(chunk_, uint32_t(~ev.active));
+    putVarI64(chunk_, int64_t(ev.warpId) - int64_t(lastWarp_));
+    lastWarp_ = ev.warpId;
+    putVarI64(chunk_, int64_t(ev.ctaLinear) - int64_t(curCta_));
+    putVarI64(chunk_, int64_t(ev.pc) - int64_t(lastPc_));
+    lastPc_ = ev.pc;
+    // Lane addresses as a running delta chain: lane-to-lane within
+    // the record (unit strides collapse to 1-2 bytes) seeded from the
+    // last address of the previous mem record in this chunk.
+    uint64_t prev = lastAddr_;
+    for (uint32_t m = ev.active; m; m &= m - 1) {
+        uint32_t l = uint32_t(std::countr_zero(m));
+        putVarI64(chunk_, int64_t(ev.addr[l] - prev));
+        prev = ev.addr[l];
+    }
+    lastAddr_ = prev;
+    ++chunkInfo_.mems;
+    chunkInfo_.rawBytes += rawMemBytes(ev.active);
+    bumpStats(chunk_.size() - before);
 }
 
 void
 TraceWriter::branch(const simt::BranchEvent &ev)
 {
-    if (!sampled_)
+    if (!sampled_ || !open_)
         return;
     ++counts_.branches;
-    std::vector<uint8_t> rec;
-    rec.reserve(17);
-    putU8(rec, uint8_t(TraceTag::Branch));
-    putU32(rec, ev.active);
-    putU32(rec, ev.taken);
-    putU32(rec, ev.warpId);
-    putU32(rec, ev.pc);
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        rec.reserve(17);
+        putU8(rec, uint8_t(TraceTag::Branch));
+        putU32(rec, ev.active);
+        putU32(rec, ev.taken);
+        putU32(rec, ev.warpId);
+        putU32(rec, ev.pc);
+        put(std::move(rec));
+        return;
+    }
+    if (index_.launches.empty())
+        return;
+    ensureChunk();
+    size_t before = chunk_.size();
+    putU8(chunk_, uint8_t(TraceTag::Branch));
+    putVarU64(chunk_, uint32_t(~ev.active));
+    // taken is a subset of active: xor-fold so all-taken encodes 0.
+    putVarU64(chunk_, ev.active ^ ev.taken);
+    putVarI64(chunk_, int64_t(ev.warpId) - int64_t(lastWarp_));
+    lastWarp_ = ev.warpId;
+    putVarI64(chunk_, int64_t(ev.pc) - int64_t(lastPc_));
+    lastPc_ = ev.pc;
+    ++chunkInfo_.branches;
+    chunkInfo_.rawBytes += kRawBranch;
+    bumpStats(chunk_.size() - before);
 }
 
 void
 TraceWriter::barrier(uint32_t warpId)
 {
-    if (!sampled_)
+    if (!sampled_ || !open_)
         return;
     ++counts_.barriers;
-    std::vector<uint8_t> rec;
-    rec.reserve(5);
-    putU8(rec, uint8_t(TraceTag::Barrier));
-    putU32(rec, warpId);
-    put(std::move(rec));
+    if (cfg_.format == kTraceVersionV2) {
+        std::vector<uint8_t> rec;
+        rec.reserve(5);
+        putU8(rec, uint8_t(TraceTag::Barrier));
+        putU32(rec, warpId);
+        put(std::move(rec));
+        return;
+    }
+    if (index_.launches.empty())
+        return;
+    ensureChunk();
+    size_t before = chunk_.size();
+    putU8(chunk_, uint8_t(TraceTag::Barrier));
+    putVarI64(chunk_, int64_t(warpId) - int64_t(lastWarp_));
+    lastWarp_ = warpId;
+    ++chunkInfo_.barriers;
+    chunkInfo_.rawBytes += kRawBarrier;
+    bumpStats(chunk_.size() - before);
 }
+
+// ----------------------------------------------------------- TraceReader
 
 TraceReader::TraceReader(const std::string &path) : path_(path)
 {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in)
-        fatal("cannot open trace file '%s'", path.c_str());
-    auto size = in.tellg();
-    in.seekg(0);
-    data_.resize(size_t(size));
-    in.read(reinterpret_cast<char *>(data_.data()),
-            std::streamsize(data_.size()));
-    if (!in)
-        fatal("error reading trace file '%s'", path.c_str());
+    in_.open(path, std::ios::binary | std::ios::ate);
+    if (!in_)
+        raise(ErrorCode::NotFound, "cannot open trace file '%s'",
+              path.c_str());
+    fileBytes_ = uint64_t(in_.tellg());
+    in_.seekg(0);
 
-    if (data_.size() >= sizeof(kTraceMagic) && data_.size() < 16 &&
-        std::memcmp(data_.data(), kTraceMagic, sizeof(kTraceMagic)) == 0)
-        fatal("trace '%s' is truncated: %zu-byte header, expected 16",
-              path.c_str(), data_.size());
-    if (data_.size() < 16 ||
-        std::memcmp(data_.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
-        fatal("'%s' is not a gwc trace (bad magic)", path.c_str());
+    std::vector<uint8_t> hdr(std::min<uint64_t>(fileBytes_, 16));
+    in_.read(reinterpret_cast<char *>(hdr.data()),
+             std::streamsize(hdr.size()));
+    if (!in_)
+        raise(ErrorCode::IoError, "error reading trace file '%s'",
+              path.c_str());
+    if (hdr.size() >= sizeof(kTraceMagic) && hdr.size() < 16 &&
+        std::memcmp(hdr.data(), kTraceMagic, sizeof(kTraceMagic)) == 0)
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is truncated: %zu-byte header, expected 16",
+              path.c_str(), hdr.size());
+    if (hdr.size() < 16 ||
+        std::memcmp(hdr.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
+        raise(ErrorCode::DataLoss, "'%s' is not a gwc trace (bad magic)",
+              path.c_str());
     auto u32At = [&](size_t off) {
         uint32_t x;
-        std::memcpy(&x, data_.data() + off, 4);
+        std::memcpy(&x, hdr.data() + off, 4);
         return x;
     };
     version_ = u32At(8);
-    if (version_ != kTraceVersion)
-        fatal("trace '%s' has version %u, expected %u (re-record the "
-              "trace with this build)", path.c_str(), version_,
-              kTraceVersion);
+    if (version_ > kTraceVersion)
+        raise(ErrorCode::InvalidArgument,
+              "trace '%s' has version %u, newer than this build "
+              "supports (v%u); upgrade the tools or re-record",
+              path.c_str(), version_, kTraceVersion);
+    if (version_ < kTraceVersionV2)
+        raise(ErrorCode::InvalidArgument,
+              "trace '%s' has version %u, expected v%u or v%u "
+              "(re-record the trace with this build)",
+              path.c_str(), version_, kTraceVersionV2, kTraceVersion);
     stride_ = u32At(12);
     if (stride_ < 1)
-        fatal("trace '%s' is corrupt: CTA sample stride 0",
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is corrupt: CTA sample stride 0",
               path.c_str());
-    pos_ = 16;
+
+    if (version_ == kTraceVersionV2) {
+        // Legacy flat stream: load whole file, replay() scans it.
+        data_.resize(size_t(fileBytes_));
+        in_.seekg(0);
+        in_.read(reinterpret_cast<char *>(data_.data()),
+                 std::streamsize(data_.size()));
+        if (!in_)
+            raise(ErrorCode::IoError, "error reading trace file '%s'",
+                  path.c_str());
+        in_.close();
+        pos_ = 16;
+        return;
+    }
+    loadFooter();
+}
+
+std::vector<uint8_t>
+TraceReader::readSpan(uint64_t offset, uint64_t len)
+{
+    std::lock_guard<std::mutex> lock(ioMutex_);
+    std::vector<uint8_t> bytes(static_cast<size_t>(len), 0);
+    in_.clear();
+    in_.seekg(std::streamoff(offset));
+    in_.read(reinterpret_cast<char *>(bytes.data()),
+             std::streamsize(bytes.size()));
+    if (!in_)
+        raise(ErrorCode::IoError,
+              "error reading trace file '%s' at byte %llu",
+              path_.c_str(), (unsigned long long)offset);
+    return bytes;
+}
+
+void
+TraceReader::loadFooter()
+{
+    if (fileBytes_ < 32)
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is truncated: no corpus index trailer",
+              path_.c_str());
+    auto trailer = readSpan(fileBytes_ - 16, 16);
+    if (std::memcmp(trailer.data() + 8, kTraceIndexMagic,
+                    sizeof(kTraceIndexMagic)) != 0)
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is truncated or corrupt: GWCINDEX trailer "
+              "missing (was the recording closed cleanly?)",
+              path_.c_str());
+    std::memcpy(&footerOffset_, trailer.data(), 8);
+    if (footerOffset_ < 16 || footerOffset_ > fileBytes_ - 16)
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is corrupt: footer offset %llu out of range",
+              path_.c_str(), (unsigned long long)footerOffset_);
+
+    auto bytes = readSpan(footerOffset_, fileBytes_ - 16 - footerOffset_);
+    VarCursor c(bytes.data(), bytes.data() + bytes.size());
+    auto corrupt = [&]() {
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is corrupt: bad corpus footer at byte %llu",
+              path_.c_str(),
+              (unsigned long long)(footerOffset_ + c.offset()));
+    };
+    depLanes_ = simt::LaneMask(c.u64());
+    uint64_t nLaunches = c.u64();
+    if (c.fail() || nLaunches > fileBytes_)
+        corrupt();
+    index_.launches.reserve(size_t(nLaunches));
+    for (uint64_t i = 0; i < nLaunches; ++i) {
+        TraceLaunch l;
+        uint64_t wlLen = c.u64();
+        if (c.fail() || wlLen > bytes.size())
+            corrupt();
+        const uint8_t *wl = c.take(size_t(wlLen));
+        uint64_t nameLen = c.u64();
+        if (c.fail() || nameLen > bytes.size())
+            corrupt();
+        const uint8_t *nm = c.take(size_t(nameLen));
+        if (c.fail())
+            corrupt();
+        l.workload.assign(reinterpret_cast<const char *>(wl),
+                          size_t(wlLen));
+        l.info.name.assign(reinterpret_cast<const char *>(nm),
+                           size_t(nameLen));
+        l.info.grid.x = uint32_t(c.u64());
+        l.info.grid.y = uint32_t(c.u64());
+        l.info.grid.z = uint32_t(c.u64());
+        l.info.cta.x = uint32_t(c.u64());
+        l.info.cta.y = uint32_t(c.u64());
+        l.info.cta.z = uint32_t(c.u64());
+        l.info.sharedBytes = uint32_t(c.u64());
+        if (c.fail())
+            corrupt();
+        index_.launches.push_back(std::move(l));
+    }
+    uint64_t nChunks = c.u64();
+    if (c.fail() || nChunks > fileBytes_)
+        corrupt();
+    index_.chunks.reserve(size_t(nChunks));
+    uint64_t prevEnd = 16;
+    for (uint64_t i = 0; i < nChunks; ++i) {
+        TraceChunkInfo ci;
+        ci.launchIdx = uint32_t(c.u64());
+        ci.firstCta = uint32_t(c.u64());
+        ci.lastCta = uint32_t(c.u64());
+        ci.offset = c.u64();
+        ci.payloadBytes = c.u64();
+        ci.rawBytes = c.u64();
+        ci.ctaBegins = c.u64();
+        ci.ctaEnds = c.u64();
+        ci.instrs = c.u64();
+        ci.mems = c.u64();
+        ci.branches = c.u64();
+        ci.barriers = c.u64();
+        if (c.fail() || ci.launchIdx >= index_.launches.size() ||
+            ci.offset < prevEnd || ci.offset >= footerOffset_ ||
+            ci.payloadBytes > footerOffset_ - ci.offset)
+            corrupt();
+        prevEnd = ci.offset + 1;
+        index_.chunks.push_back(ci);
+    }
+}
+
+uint64_t
+TraceReader::chunkEnd(size_t i) const
+{
+    return i + 1 < index_.chunks.size() ? index_.chunks[i + 1].offset
+                                        : footerOffset_;
+}
+
+TraceCounts
+TraceReader::decodeChunk(size_t chunkIdx, simt::ProfilerHook &sink,
+                         int64_t ctaFirst, int64_t ctaLast)
+{
+    const TraceChunkInfo &info = index_.chunks.at(chunkIdx);
+    uint64_t end = chunkEnd(chunkIdx);
+    if (end <= info.offset || end > footerOffset_)
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is corrupt: chunk %zu spans [%llu, %llu)",
+              path_.c_str(), chunkIdx,
+              (unsigned long long)info.offset, (unsigned long long)end);
+    auto bytes = readSpan(info.offset, end - info.offset);
+
+    VarCursor h(bytes.data(), bytes.data() + bytes.size());
+    uint8_t marker = h.byte();
+    uint64_t launchIdx = h.u64();
+    uint64_t eventCount = h.u64();
+    uint64_t payloadBytes = h.u64();
+    if (h.fail() || marker != kTraceChunkMarker ||
+        launchIdx != info.launchIdx || payloadBytes != info.payloadBytes ||
+        eventCount != info.events() ||
+        h.offset() + payloadBytes != bytes.size())
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is corrupt: chunk %zu header at file offset "
+              "%llu disagrees with the index",
+              path_.c_str(), chunkIdx, (unsigned long long)info.offset);
+    size_t headerLen = h.offset();
+
+    VarCursor p(bytes.data() + headerLen, bytes.data() + bytes.size());
+    auto corrupt = [&](size_t recOff, const char *what, uint64_t arg) {
+        raise(ErrorCode::DataLoss,
+              "trace '%s' is corrupt: %s %llu in chunk %zu at "
+              "intra-chunk offset %zu (file offset %llu)",
+              path_.c_str(), what, (unsigned long long)arg, chunkIdx,
+              recOff,
+              (unsigned long long)(info.offset + headerLen + recOff));
+    };
+
+    TraceCounts counts;
+    uint32_t lastPc = 0, lastWarp = 0, curCta = 0;
+    uint64_t lastAddr = 0;
+    bool ctaIncluded = ctaFirst < 0;
+    const bool filter = ctaFirst >= 0;
+
+    for (uint64_t n = 0; n < eventCount; ++n) {
+        size_t recOff = p.offset();
+        TraceTag tag = TraceTag(p.byte());
+        if (p.fail())
+            corrupt(recOff, "truncated record tag", 0);
+        switch (tag) {
+          case TraceTag::CtaBegin: {
+            uint32_t cta = uint32_t(p.u64());
+            if (p.fail())
+                break;
+            curCta = cta;
+            ctaIncluded = !filter || (int64_t(cta) >= ctaFirst &&
+                                      int64_t(cta) <= ctaLast);
+            if (ctaIncluded) {
+                ++counts.ctaBegins;
+                sink.ctaBegin(cta);
+            }
+            break;
+          }
+          case TraceTag::CtaEnd: {
+            uint32_t cta = uint32_t(p.u64());
+            if (p.fail())
+                break;
+            if (ctaIncluded) {
+                ++counts.ctaEnds;
+                sink.ctaEnd(cta);
+            }
+            break;
+          }
+          case TraceTag::Instr: {
+            simt::InstrEvent ev;
+            uint8_t cls = p.byte();
+            if (!p.fail() &&
+                cls >= uint8_t(simt::OpClass::NumClasses))
+                corrupt(recOff, "op class", cls);
+            ev.cls = simt::OpClass(cls);
+            ev.active = ~uint32_t(p.u64());
+            ev.warpId = uint32_t(int64_t(lastWarp) + p.i64());
+            lastWarp = ev.warpId;
+            ev.ctaLinear = uint32_t(int64_t(curCta) + p.i64());
+            ev.pc = uint32_t(int64_t(lastPc) + p.i64());
+            lastPc = ev.pc;
+            ev.depDist.fill(simt::kNoDep);
+            for (uint32_t m = ev.active & depLanes_; m && !p.fail();
+                 m &= m - 1)
+                ev.depDist[uint32_t(std::countr_zero(m))] =
+                    uint16_t(p.u64());
+            if (p.fail())
+                break;
+            if (ctaIncluded) {
+                ++counts.instrs;
+                sink.instr(ev);
+            }
+            break;
+          }
+          case TraceTag::Mem: {
+            simt::MemEvent ev;
+            uint8_t flags = p.byte();
+            if (!p.fail() && (flags & ~7u))
+                corrupt(recOff, "mem flags", flags);
+            ev.space = (flags & 1) ? simt::MemSpace::Shared
+                                   : simt::MemSpace::Global;
+            ev.store = (flags & 2) != 0;
+            ev.atomic = (flags & 4) != 0;
+            ev.accessSize = p.byte();
+            ev.active = ~uint32_t(p.u64());
+            ev.warpId = uint32_t(int64_t(lastWarp) + p.i64());
+            lastWarp = ev.warpId;
+            ev.ctaLinear = uint32_t(int64_t(curCta) + p.i64());
+            ev.pc = uint32_t(int64_t(lastPc) + p.i64());
+            lastPc = ev.pc;
+            // Inactive lanes must read back 0; a full mask overwrites
+            // every slot below, so only partial masks need the fill.
+            if (~ev.active)
+                ev.addr.fill(0);
+            uint64_t prev = lastAddr;
+            for (uint32_t m = ev.active; m && !p.fail(); m &= m - 1) {
+                uint32_t l = uint32_t(std::countr_zero(m));
+                prev += uint64_t(p.i64());
+                ev.addr[l] = prev;
+            }
+            lastAddr = prev;
+            if (p.fail())
+                break;
+            if (ctaIncluded) {
+                ++counts.mems;
+                sink.mem(ev);
+            }
+            break;
+          }
+          case TraceTag::Branch: {
+            simt::BranchEvent ev;
+            ev.active = ~uint32_t(p.u64());
+            ev.taken = ev.active ^ uint32_t(p.u64());
+            ev.warpId = uint32_t(int64_t(lastWarp) + p.i64());
+            lastWarp = ev.warpId;
+            ev.pc = uint32_t(int64_t(lastPc) + p.i64());
+            lastPc = ev.pc;
+            if (p.fail())
+                break;
+            if (ctaIncluded) {
+                ++counts.branches;
+                sink.branch(ev);
+            }
+            break;
+          }
+          case TraceTag::Barrier: {
+            uint32_t warpId = uint32_t(int64_t(lastWarp) + p.i64());
+            lastWarp = warpId;
+            if (p.fail())
+                break;
+            if (ctaIncluded) {
+                ++counts.barriers;
+                sink.barrier(warpId);
+            }
+            break;
+          }
+          default:
+            corrupt(recOff, "unknown record tag", uint8_t(tag));
+        }
+        if (p.fail())
+            corrupt(recOff, "truncated record with tag", uint8_t(tag));
+    }
+    if (!p.atEnd())
+        corrupt(p.offset(), "trailing payload bytes", bytes.size() -
+                                                          headerLen -
+                                                          p.offset());
+    chunksDecoded_.fetch_add(1, std::memory_order_relaxed);
+    bytesDecoded_.fetch_add(payloadBytes, std::memory_order_relaxed);
+    return counts;
 }
 
 TraceCounts
 TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
+{
+    if (!chunked())
+        return replayV2(sink, orphans);
+    if (orphans)
+        *orphans = 0; // v3 eviction is chunk-granular: no orphans
+    TraceCounts counts;
+    size_t ci = 0;
+    for (size_t li = 0; li < index_.launches.size(); ++li) {
+        sink.kernelBegin(index_.launches[li].info);
+        ++counts.kernelBegins;
+        while (ci < index_.chunks.size() &&
+               index_.chunks[ci].launchIdx == li) {
+            TraceCounts c = decodeChunk(ci, sink);
+            counts.ctaBegins += c.ctaBegins;
+            counts.ctaEnds += c.ctaEnds;
+            counts.instrs += c.instrs;
+            counts.mems += c.mems;
+            counts.branches += c.branches;
+            counts.barriers += c.barriers;
+            ++ci;
+        }
+        sink.kernelEnd();
+        ++counts.kernelEnds;
+    }
+    return counts;
+}
+
+TraceCounts
+TraceReader::replayV2(simt::ProfilerHook &sink, uint64_t *orphans)
 {
     TraceCounts counts;
     uint64_t skipped = 0;
@@ -306,7 +1022,8 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
 
     auto need = [&](size_t n) {
         if (pos + n > data_.size())
-            fatal("trace '%s' truncated at byte %zu", path_.c_str(),
+            raise(ErrorCode::DataLoss,
+                  "trace '%s' truncated at byte %zu", path_.c_str(),
                   pos);
     };
     auto u8 = [&]() {
@@ -387,7 +1104,8 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
             simt::InstrEvent ev;
             uint8_t cls = u8();
             if (cls >= uint8_t(simt::OpClass::NumClasses))
-                fatal("trace '%s' is corrupt: op class %u at byte %zu",
+                raise(ErrorCode::DataLoss,
+                      "trace '%s' is corrupt: op class %u at byte %zu",
                       path_.c_str(), unsigned(cls), pos - 1);
             ev.cls = simt::OpClass(cls);
             ev.active = u32();
@@ -405,7 +1123,8 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
             simt::MemEvent ev;
             uint8_t flags = u8();
             if (flags & ~7u)
-                fatal("trace '%s' is corrupt: mem flags 0x%02x at "
+                raise(ErrorCode::DataLoss,
+                      "trace '%s' is corrupt: mem flags 0x%02x at "
                       "byte %zu", path_.c_str(), unsigned(flags),
                       pos - 1);
             ev.space = (flags & 1) ? simt::MemSpace::Shared
@@ -448,7 +1167,8 @@ TraceReader::replay(simt::ProfilerHook &sink, uint64_t *orphans)
             break;
           }
           default:
-            fatal("trace '%s': unknown record tag %u at byte %zu",
+            raise(ErrorCode::DataLoss,
+                  "trace '%s': unknown record tag %u at byte %zu",
                   path_.c_str(), unsigned(tag), pos - 1);
         }
         if (orphan)

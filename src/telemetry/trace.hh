@@ -6,21 +6,40 @@
  * InstrEvent/MemEvent/BranchEvent/barrier streams to a compact,
  * versioned binary file; TraceReader replays a recorded file into any
  * ProfilerHook, so every analysis that runs live on the engine also
- * runs offline on a trace (gwc_trace builds on this).
+ * runs offline on a trace (gwc_trace and telemetry/replay.hh build on
+ * this).
  *
- * Format (little-endian):
+ * Format v3 — chunked corpus container (little-endian):
  *   header : magic "GWCTRACE" (8) | version u32 | ctaSampleStride u32
- *   records: tag u8 followed by a per-tag payload, see TraceTag.
- * Mem records store addresses of active lanes only (in lane order);
- * per-lane ILP producer distances are not traced (profiler-only).
+ *   chunks : marker 0xC5 u8 | launchIdx | eventCount | payloadBytes
+ *            (varints) | payload
+ *   footer : launch table (workload tag, kernel name, geometry) +
+ *            chunk index (per chunk: launch, CTA range, file offset,
+ *            sizes, per-kind counts)
+ *   trailer: footerOffset u64 | magic "GWCINDEX" (8)
+ * Chunk payloads hold the CtaBegin..CtaEnd record stream encoded with
+ * a delta+varint codec (common/varint.hh): PCs, warp ids, CTA indices
+ * and lane addresses as zigzag deltas against per-chunk state, active
+ * masks as varint(~mask), taken masks xor-folded against the active
+ * mask. Chunks cut only at CTA boundaries and reset all codec state,
+ * so each chunk decodes independently and the footer index lets a
+ * reader seek straight to one kernel or CTA range. KernelBegin/End
+ * live in the footer launch table, not in chunks. Per-lane ILP
+ * producer distances are recorded for the configured depLanes only
+ * (the profiler's ILP lanes by default); other lanes replay kNoDep.
+ *
+ * Format v2 (flat tagged records, see TraceTag) is still read; the
+ * writer emits it when Config::format == kTraceVersionV2.
  */
 
 #ifndef GWC_TELEMETRY_TRACE_HH
 #define GWC_TELEMETRY_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,20 +52,38 @@ namespace gwc::telemetry
 /** Trace file magic (8 bytes, no terminator). */
 constexpr char kTraceMagic[8] = {'G', 'W', 'C', 'T', 'R', 'A', 'C', 'E'};
 
-/** Current trace format version (v2 added the pc field). */
-constexpr uint32_t kTraceVersion = 2;
+/** Footer-index trailer magic (8 bytes, no terminator). */
+constexpr char kTraceIndexMagic[8] = {'G', 'W', 'C', 'I', 'N', 'D',
+                                      'E', 'X'};
 
-/** Record type tags. */
+/** Current trace format version (v3: chunked+compressed corpus). */
+constexpr uint32_t kTraceVersion = 3;
+
+/** Legacy flat-record format (v2 added the pc field). */
+constexpr uint32_t kTraceVersionV2 = 2;
+
+/** First byte of every v3 chunk. */
+constexpr uint8_t kTraceChunkMarker = 0xC5;
+
+/**
+ * depDist lanes a v3 trace records per instruction by default: the
+ * characterization profiler's two ILP sample lanes (lanes 0 and 13,
+ * metrics::Profiler::Config::ilpLanes), so replayed profiles carry
+ * the same ILP inputs the live run saw.
+ */
+constexpr simt::LaneMask kTraceDepLanesDefault = (1u << 0) | (1u << 13);
+
+/** Record type tags (chunk payloads use CtaBegin..Barrier only). */
 enum class TraceTag : uint8_t
 {
-    KernelBegin = 0, ///< u16 nameLen, name, grid xyz u32[3], cta xyz u32[3], sharedBytes u32
-    KernelEnd = 1,   ///< (empty)
-    CtaBegin = 2,    ///< ctaLinear u32
-    CtaEnd = 3,      ///< ctaLinear u32
-    Instr = 4,       ///< cls u8, active u32, warpId u32, ctaLinear u32, pc u32
-    Mem = 5,         ///< flags u8 (b0 shared, b1 store, b2 atomic), accessSize u8, active u32, warpId u32, ctaLinear u32, pc u32, addr u64 per active lane
-    Branch = 6,      ///< active u32, taken u32, warpId u32, pc u32
-    Barrier = 7,     ///< warpId u32
+    KernelBegin = 0, ///< v2: u16 nameLen, name, grid xyz u32[3], cta xyz u32[3], sharedBytes u32
+    KernelEnd = 1,   ///< v2: (empty)
+    CtaBegin = 2,    ///< ctaLinear
+    CtaEnd = 3,      ///< ctaLinear
+    Instr = 4,       ///< cls, active, warpId, ctaLinear, pc [, depDist lanes]
+    Mem = 5,         ///< flags (b0 shared, b1 store, b2 atomic), accessSize, active, warpId, ctaLinear, pc, addr per active lane
+    Branch = 6,      ///< active, taken, warpId, pc
+    Barrier = 7,     ///< warpId
     NumTags
 };
 
@@ -70,15 +107,63 @@ struct TraceCounts
     }
 };
 
+/** One kernel launch in a v3 footer (KernelBegin lifted off-stream). */
+struct TraceLaunch
+{
+    std::string workload;   ///< suite workload abbrev ("" untagged)
+    simt::KernelInfo info;  ///< name + geometry as launched
+};
+
+/** Index entry describing one chunk of a v3 corpus. */
+struct TraceChunkInfo
+{
+    uint32_t launchIdx = 0;   ///< owning entry in TraceIndex::launches
+    uint32_t firstCta = 0;    ///< lowest recorded linear CTA index
+    uint32_t lastCta = 0;     ///< highest recorded linear CTA index
+    uint64_t offset = 0;      ///< file offset of the chunk marker
+    uint64_t payloadBytes = 0;///< encoded payload size
+    uint64_t rawBytes = 0;    ///< v2-equivalent size of the records
+    uint64_t ctaBegins = 0;
+    uint64_t ctaEnds = 0;
+    uint64_t instrs = 0;
+    uint64_t mems = 0;
+    uint64_t branches = 0;
+    uint64_t barriers = 0;
+
+    uint64_t
+    events() const
+    {
+        return ctaBegins + ctaEnds + instrs + mems + branches +
+               barriers;
+    }
+};
+
+/** Footer index of a v3 corpus: everything needed to seek. */
+struct TraceIndex
+{
+    std::vector<TraceLaunch> launches;
+    std::vector<TraceChunkInfo> chunks;
+
+    /** Sum of encoded chunk payload bytes. */
+    uint64_t payloadBytes() const;
+    /** v2-equivalent byte size (header + kernel records + events). */
+    uint64_t rawV2Bytes() const;
+    /** Per-kind totals over all chunks plus the launch table. */
+    TraceCounts counts() const;
+};
+
 /**
  * ProfilerHook that records the event stream to a trace file.
  *
- * Records stage through a byte-bounded ring buffer. In streaming mode
- * (default) a full buffer flushes to disk, so arbitrarily long runs
- * trace with bounded memory and nothing is lost. In flight-recorder
- * mode the oldest records are evicted instead and the file is written
- * on close, keeping only the most recent window — the reader skips
- * any leading records orphaned by eviction.
+ * Events encode into the current chunk; a chunk closes at the first
+ * CTA boundary past the configured event/byte bounds (or at kernel
+ * end) and streams to disk, so arbitrarily long runs trace with
+ * bounded memory. In flight-recorder mode closed chunks enter a
+ * byte-bounded ring instead and the oldest whole chunks are evicted,
+ * keeping the most recent window; the surviving chunks and the full
+ * launch table are written on close, so a v3 flight trace has no
+ * orphaned records (v2 flight traces orphan per record; the reader
+ * still skips those).
  */
 class TraceWriter : public simt::ProfilerHook
 {
@@ -87,20 +172,28 @@ class TraceWriter : public simt::ProfilerHook
     {
         /** Record only CTAs whose linear index is divisible by this. */
         uint32_t ctaSampleStride = 1;
-        /** Staging ring capacity in bytes. */
+        /** Flight-recorder window in bytes (also v2 staging ring). */
         size_t bufferBytes = 4u << 20;
         /** Keep the newest window instead of flushing (see above). */
         bool flightRecorder = false;
+        /** Container version: kTraceVersion or kTraceVersionV2. */
+        uint32_t format = kTraceVersion;
+        /** Close the chunk at the next CTA end past this many events. */
+        uint64_t chunkEvents = 8192;
+        /** ... or past this many encoded payload bytes. */
+        uint64_t chunkBytes = 256u << 10;
+        /** depDist lanes recorded per instruction (v3 only). */
+        simt::LaneMask depLanes = kTraceDepLanesDefault;
     };
 
     explicit TraceWriter(const std::string &path);
     TraceWriter(const std::string &path, Config cfg);
     ~TraceWriter() override;
 
-    /** Flush and close the file (idempotent; fatal on IO error). */
+    /** Flush and close the file (idempotent; throws on IO error). */
     void close();
 
-    /** Register trace stats (records/bytes/evictions) into @p reg. */
+    /** Register trace stats (records/bytes/chunks/evictions). */
     void attachStats(Registry &reg);
 
     /** Counts of records accepted so far (before any eviction). */
@@ -109,7 +202,14 @@ class TraceWriter : public simt::ProfilerHook
     /** Records evicted by the flight-recorder ring. */
     uint64_t evicted() const { return evicted_; }
 
+    /** Chunks written to the file so far (complete after close). */
+    uint64_t chunksWritten() const { return index_.chunks.size(); }
+
+    /** Footer index as written (complete after close; v3 only). */
+    const TraceIndex &index() const { return index_; }
+
     // ProfilerHook interface.
+    void workloadBegin(const std::string &abbrev) override;
     void kernelBegin(const simt::KernelInfo &info) override;
     void kernelEnd() override;
     void ctaBegin(uint32_t ctaLinear) override;
@@ -120,58 +220,139 @@ class TraceWriter : public simt::ProfilerHook
     void barrier(uint32_t warpId) override;
 
     /**
-     * The trace format stores no dependence distances (the reader
-     * refills kNoDep on replay), so the writer claims no lanes.
+     * v3 records the configured depDist lanes so replayed ILP inputs
+     * match the live profiler's; v2 stores none and claims none.
      */
-    simt::LaneMask depDistLanes() const override { return 0; }
+    simt::LaneMask
+    depDistLanes() const override
+    {
+        return cfg_.format >= 3 ? cfg_.depLanes : 0;
+    }
 
   private:
+    // ---- v2 flat-record path ----
     void put(std::vector<uint8_t> &&rec);
     void flush();
+
+    // ---- v3 chunk path ----
+    void ensureChunk();
+    void closeChunk();
+    void writeChunk(std::vector<uint8_t> &&bytes, TraceChunkInfo info);
+    /// Writes an already-framed chunk at filePos_ and indexes it.
+    void emitChunk(std::vector<uint8_t> &&framed, TraceChunkInfo info);
+    void writeFooter();
+    void bumpStats(uint64_t bytes);
 
     std::string path_;
     Config cfg_;
     std::ofstream out_;
     bool open_ = false;
     bool sampled_ = true;
+
+    // v2 staging ring.
     std::deque<std::vector<uint8_t>> ring_;
     size_t ringBytes_ = 0;
+
+    // v3 chunk builder state (codec deltas reset per chunk).
+    std::vector<uint8_t> chunk_;
+    TraceChunkInfo chunkInfo_;
+    bool chunkOpen_ = false;
+    uint32_t lastPc_ = 0;
+    uint32_t lastWarp_ = 0;
+    uint32_t curCta_ = 0;
+    uint64_t lastAddr_ = 0;
+    std::string workload_;
+    uint64_t filePos_ = 0;
+    /// Closed chunks held by the flight ring: encoded bytes + index.
+    std::deque<std::pair<std::vector<uint8_t>, TraceChunkInfo>> flight_;
+    size_t flightBytes_ = 0;
+    TraceIndex index_;
+
     TraceCounts counts_;
     uint64_t evicted_ = 0;
     Counter *statRecords_ = nullptr;
     Counter *statBytes_ = nullptr;
+    Counter *statChunks_ = nullptr;
     Counter *statEvicted_ = nullptr;
 };
 
 /**
- * Reader over a recorded trace file. Validates the header, then
- * replays every record into a ProfilerHook. Leading records without a
- * kernel context (possible after flight-recorder eviction) are
- * counted and skipped.
+ * Reader over a recorded trace file (v2 or v3). Validates the
+ * header; for v3 also loads the footer index so chunks can be
+ * decoded selectively and out of order. Decoding is counted
+ * (chunksDecoded/bytesDecoded) so seek efficiency is observable, and
+ * decodeChunk is thread-safe, which is what lets telemetry/replay.hh
+ * shard chunks across the ThreadPool.
  */
 class TraceReader
 {
   public:
-    /** Open @p path; fatal on missing file or bad magic/version. */
+    /**
+     * Open @p path. Throws gwc::Error on a missing file, bad magic,
+     * version newer than this build, or a corrupt v3 footer.
+     */
     explicit TraceReader(const std::string &path);
 
     uint32_t version() const { return version_; }
     uint32_t ctaSampleStride() const { return stride_; }
 
+    /** True for v3 corpora (index(), decodeChunk() usable). */
+    bool chunked() const { return version_ >= 3; }
+
+    /** Footer index (empty for v2 traces). */
+    const TraceIndex &index() const { return index_; }
+
+    /** Total file size in bytes. */
+    uint64_t fileBytes() const { return fileBytes_; }
+
     /**
-     * Replay all records into @p sink and return the counts.
-     * @param orphans if non-null, receives the number of leading
-     *        records skipped for lacking a KernelBegin context.
+     * Replay all records into @p sink in recorded order and return
+     * the counts. v3 synthesizes kernelBegin/kernelEnd from the
+     * launch table around each launch's chunks.
+     * @param orphans if non-null, receives the number of leading v2
+     *        records skipped for lacking a KernelBegin context
+     *        (always 0 for v3: eviction is chunk-granular).
      */
     TraceCounts replay(simt::ProfilerHook &sink,
                        uint64_t *orphans = nullptr);
 
+    /**
+     * Decode one v3 chunk into @p sink (CtaBegin..Barrier events
+     * only; no kernel bracketing). CTAs outside [ctaFirst, ctaLast]
+     * are filtered out when ctaFirst >= 0. Thread-safe. Throws
+     * gwc::Error naming the chunk index and intra-chunk offset on
+     * corruption.
+     */
+    TraceCounts decodeChunk(size_t chunkIdx, simt::ProfilerHook &sink,
+                            int64_t ctaFirst = -1,
+                            int64_t ctaLast = -1);
+
+    /** Chunks decoded by this reader so far. */
+    uint64_t chunksDecoded() const { return chunksDecoded_.load(); }
+
+    /** Encoded payload bytes decoded by this reader so far. */
+    uint64_t bytesDecoded() const { return bytesDecoded_.load(); }
+
   private:
+    TraceCounts replayV2(simt::ProfilerHook &sink, uint64_t *orphans);
+    void loadFooter();
+    std::vector<uint8_t> readSpan(uint64_t offset, uint64_t len);
+    /** End offset of chunk @p i (next chunk or the footer). */
+    uint64_t chunkEnd(size_t i) const;
+
     std::string path_;
-    std::vector<uint8_t> data_;
+    std::vector<uint8_t> data_; ///< whole file (v2 path only)
     size_t pos_ = 0;
     uint32_t version_ = 0;
     uint32_t stride_ = 1;
+    uint64_t fileBytes_ = 0;
+    uint64_t footerOffset_ = 0;
+    std::ifstream in_;          ///< v3: kept open for chunk seeks
+    std::mutex ioMutex_;
+    TraceIndex index_;
+    simt::LaneMask depLanes_ = 0; ///< depDist lanes stored per instr
+    std::atomic<uint64_t> chunksDecoded_{0};
+    std::atomic<uint64_t> bytesDecoded_{0};
 };
 
 } // namespace gwc::telemetry

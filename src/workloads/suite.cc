@@ -162,8 +162,12 @@ attemptOne(const std::string &name, const SuiteOptions &opts,
     if (throwing)
         engine.addHook(throwing.get());
     engine.addHook(&profiler);
-    if (extraHook)
+    if (extraHook) {
+        // Tell recording hooks whose launches follow, so a trace
+        // corpus can stamp the workload back into replayed profiles.
+        extraHook->workloadBegin(run.desc.abbrev);
         engine.addHook(extraHook);
+    }
     if (injectTimeout)
         token.expireNow();
     {

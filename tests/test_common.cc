@@ -11,6 +11,7 @@
 #include "common/mathutil.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "common/varint.hh"
 
 namespace gwc
 {
@@ -156,6 +157,83 @@ TEST(Logging, Strfmt)
 {
     EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
     EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Varint, UnsignedRoundTrip)
+{
+    std::vector<uint64_t> vals = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  (1ull << 14) - 1,
+                                  1ull << 14,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  ~0ull};
+    std::vector<uint8_t> buf;
+    for (uint64_t v : vals)
+        putVarU64(buf, v);
+    // One byte per 7 payload bits: the boundary values pin widths.
+    EXPECT_EQ(buf[0], 0u);          // 0 is one byte
+    VarCursor c(buf.data(), buf.data() + buf.size());
+    for (uint64_t v : vals)
+        EXPECT_EQ(c.u64(), v);
+    EXPECT_TRUE(c.atEnd());
+    EXPECT_FALSE(c.fail());
+}
+
+TEST(Varint, ZigzagRoundTrip)
+{
+    std::vector<int64_t> vals = {0,  -1, 1,          -2,        2,
+                                 63, 64, -65,        INT32_MIN, INT32_MAX,
+                                 INT64_MIN, INT64_MAX};
+    EXPECT_EQ(zigzag64(0), 0u);
+    EXPECT_EQ(zigzag64(-1), 1u);
+    EXPECT_EQ(zigzag64(1), 2u);
+    std::vector<uint8_t> buf;
+    for (int64_t v : vals)
+        putVarI64(buf, v);
+    VarCursor c(buf.data(), buf.data() + buf.size());
+    for (int64_t v : vals)
+        EXPECT_EQ(c.i64(), v);
+    EXPECT_TRUE(c.atEnd());
+    // Small magnitudes stay small on the wire.
+    std::vector<uint8_t> one;
+    putVarI64(one, -3);
+    EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(Varint, CursorLatchesFailure)
+{
+    std::vector<uint8_t> buf;
+    putVarU64(buf, 1u << 20); // three-byte varint
+    buf.pop_back();           // truncate mid-value
+    VarCursor c(buf.data(), buf.data() + buf.size());
+    EXPECT_EQ(c.u64(), 0u);
+    EXPECT_TRUE(c.fail());
+    // All reads after a failure return zero and keep fail() set.
+    EXPECT_EQ(c.byte(), 0u);
+    EXPECT_EQ(c.i64(), 0);
+    EXPECT_EQ(c.take(1), nullptr);
+    EXPECT_TRUE(c.fail());
+
+    VarCursor empty(nullptr, nullptr);
+    EXPECT_TRUE(empty.atEnd());
+    EXPECT_EQ(empty.byte(), 0u);
+    EXPECT_TRUE(empty.fail());
+}
+
+TEST(Varint, TakeBoundsChecked)
+{
+    std::vector<uint8_t> buf = {1, 2, 3, 4};
+    VarCursor c(buf.data(), buf.data() + buf.size());
+    const uint8_t *p = c.take(3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p[0], 1u);
+    EXPECT_EQ(p[2], 3u);
+    EXPECT_EQ(c.take(2), nullptr); // only one byte left
+    EXPECT_TRUE(c.fail());
 }
 
 } // anonymous namespace

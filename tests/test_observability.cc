@@ -21,6 +21,7 @@
 #include "common/threadpool.hh"
 #include "metrics/hotspots.hh"
 #include "metrics/profiler.hh"
+#include "runtime/status.hh"
 #include "simt/engine.hh"
 #include "telemetry/poolstats.hh"
 #include "telemetry/stats.hh"
@@ -479,38 +480,57 @@ appendKernelBegin(std::vector<uint8_t> &b)
     }
 }
 
-TEST(TraceDiagnostics, TruncatedHeaderExitsNonZero)
+/** Runs @p fn, returning the Error message it raises ("" if none). */
+std::string
+errorMessage(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const Error &e) {
+        return e.what();
+    }
+    return {};
+}
+
+TEST(TraceDiagnostics, TruncatedHeaderRaisesDataLoss)
 {
     std::string path = tmpPath("hdr");
     writeBytes(path, std::vector<uint8_t>(telemetry::kTraceMagic,
                                           telemetry::kTraceMagic + 8));
-    EXPECT_EXIT(telemetry::TraceReader r(path),
-                testing::ExitedWithCode(1), "truncated");
+    std::string msg =
+        errorMessage([&] { telemetry::TraceReader r(path); });
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
     std::remove(path.c_str());
 }
 
-TEST(TraceDiagnostics, VersionMismatchExitsNonZero)
+TEST(TraceDiagnostics, NewerVersionRejected)
 {
     std::string path = tmpPath("ver");
     writeBytes(path, traceHeader(telemetry::kTraceVersion + 7, 1));
-    EXPECT_EXIT(telemetry::TraceReader r(path),
-                testing::ExitedWithCode(1), "version");
+    std::string msg =
+        errorMessage([&] { telemetry::TraceReader r(path); });
+    EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("newer"), std::string::npos) << msg;
     std::remove(path.c_str());
 }
 
-TEST(TraceDiagnostics, ZeroStrideExitsNonZero)
+TEST(TraceDiagnostics, ZeroStrideRaisesDataLoss)
 {
     std::string path = tmpPath("stride");
     writeBytes(path, traceHeader(telemetry::kTraceVersion, 0));
-    EXPECT_EXIT(telemetry::TraceReader r(path),
-                testing::ExitedWithCode(1), "stride 0");
+    std::string msg =
+        errorMessage([&] { telemetry::TraceReader r(path); });
+    EXPECT_NE(msg.find("stride 0"), std::string::npos) << msg;
     std::remove(path.c_str());
 }
 
-TEST(TraceDiagnostics, CorruptOpClassExitsNonZero)
+// The flat-record decode diagnostics below craft v2 streams: v2 stays
+// readable forever, and its per-record checks must keep firing.
+
+TEST(TraceDiagnostics, CorruptOpClassRaisesDataLoss)
 {
     std::string path = tmpPath("cls");
-    auto b = traceHeader(telemetry::kTraceVersion, 1);
+    auto b = traceHeader(telemetry::kTraceVersionV2, 1);
     appendKernelBegin(b);
     b.push_back(4);   // TraceTag::Instr
     b.push_back(250); // invalid OpClass
@@ -519,38 +539,126 @@ TEST(TraceDiagnostics, CorruptOpClassExitsNonZero)
     writeBytes(path, b);
     telemetry::TraceReader r(path);
     simt::ProfilerHook sink;
-    EXPECT_EXIT(r.replay(sink), testing::ExitedWithCode(1),
-                "op class");
+    std::string msg = errorMessage([&] { r.replay(sink); });
+    EXPECT_NE(msg.find("op class"), std::string::npos) << msg;
     std::remove(path.c_str());
 }
 
-TEST(TraceDiagnostics, CorruptMemFlagsExitsNonZero)
+TEST(TraceDiagnostics, CorruptMemFlagsRaisesDataLoss)
 {
     std::string path = tmpPath("flags");
-    auto b = traceHeader(telemetry::kTraceVersion, 1);
+    auto b = traceHeader(telemetry::kTraceVersionV2, 1);
     appendKernelBegin(b);
     b.push_back(5);    // TraceTag::Mem
     b.push_back(0xF0); // reserved flag bits set
     writeBytes(path, b);
     telemetry::TraceReader r(path);
     simt::ProfilerHook sink;
-    EXPECT_EXIT(r.replay(sink), testing::ExitedWithCode(1),
-                "mem flags");
+    std::string msg = errorMessage([&] { r.replay(sink); });
+    EXPECT_NE(msg.find("mem flags"), std::string::npos) << msg;
     std::remove(path.c_str());
 }
 
-TEST(TraceDiagnostics, TruncatedRecordExitsNonZero)
+TEST(TraceDiagnostics, TruncatedRecordRaisesDataLoss)
 {
     std::string path = tmpPath("cut");
-    auto b = traceHeader(telemetry::kTraceVersion, 1);
+    auto b = traceHeader(telemetry::kTraceVersionV2, 1);
     appendKernelBegin(b);
     b.push_back(4); // TraceTag::Instr, then EOF mid-payload
     b.push_back(0); // valid OpClass, missing everything after
     writeBytes(path, b);
     telemetry::TraceReader r(path);
     simt::ProfilerHook sink;
-    EXPECT_EXIT(r.replay(sink), testing::ExitedWithCode(1),
-                "truncated");
+    std::string msg = errorMessage([&] { r.replay(sink); });
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    std::remove(path.c_str());
+}
+
+/**
+ * v3 corruption diagnostics name the chunk and the intra-chunk
+ * offset, so a damaged corpus points at the byte range to re-record.
+ */
+TEST(TraceDiagnostics, CorruptChunkNamesChunkAndOffset)
+{
+    std::string path = tmpPath("chunk");
+    simt::KernelInfo info;
+    info.name = "k";
+    info.grid = simt::Dim3(1);
+    info.cta = simt::Dim3(32);
+    {
+        telemetry::TraceWriter w(path);
+        w.kernelBegin(info);
+        w.ctaBegin(0);
+        w.barrier(0);
+        w.ctaEnd(0);
+        w.kernelEnd();
+        w.close();
+    }
+
+    uint64_t offset = 0, payloadBytes = 0;
+    {
+        telemetry::TraceReader r(path);
+        ASSERT_TRUE(r.chunked());
+        ASSERT_EQ(r.index().chunks.size(), 1u);
+        offset = r.index().chunks[0].offset;
+        payloadBytes = r.index().chunks[0].payloadBytes;
+    }
+    // Tiny chunk: the three varint header fields are one byte each,
+    // so the payload (and its first record tag) starts at offset 4.
+    ASSERT_LT(payloadBytes, 128u);
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(std::streamoff(offset + 4));
+        f.put(char(0xFF)); // clobber the first record tag
+    }
+
+    telemetry::TraceReader r(path);
+    simt::ProfilerHook sink;
+    std::string msg =
+        errorMessage([&] { r.decodeChunk(0, sink); });
+    EXPECT_NE(msg.find("unknown record tag"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("chunk 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("intra-chunk offset 0"), std::string::npos)
+        << msg;
+    std::remove(path.c_str());
+}
+
+/** A clobbered chunk marker is caught against the index. */
+TEST(TraceDiagnostics, CorruptChunkMarkerRaisesDataLoss)
+{
+    std::string path = tmpPath("marker");
+    simt::KernelInfo info;
+    info.name = "k";
+    info.grid = simt::Dim3(1);
+    info.cta = simt::Dim3(32);
+    {
+        telemetry::TraceWriter w(path);
+        w.kernelBegin(info);
+        w.ctaBegin(0);
+        w.barrier(0);
+        w.ctaEnd(0);
+        w.kernelEnd();
+        w.close();
+    }
+    uint64_t offset = 0;
+    {
+        telemetry::TraceReader r(path);
+        ASSERT_EQ(r.index().chunks.size(), 1u);
+        offset = r.index().chunks[0].offset;
+    }
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(std::streamoff(offset));
+        f.put(char(0x00));
+    }
+    telemetry::TraceReader r(path);
+    simt::ProfilerHook sink;
+    std::string msg = errorMessage([&] { r.decodeChunk(0, sink); });
+    EXPECT_NE(msg.find("chunk 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("disagrees with the index"), std::string::npos)
+        << msg;
     std::remove(path.c_str());
 }
 

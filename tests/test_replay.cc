@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Property tests for the trace corpus replay engine: collectors fed
+ * from a recording must produce output byte-identical to the live
+ * run, for every chunk-size regime (one CTA block per chunk, the
+ * default, one giant chunk) and any replay --jobs; and the footer
+ * index must make kernel- and CTA-filtered replay decode only the
+ * chunks that can match (asserted through the reader's decode
+ * counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/hotspots.hh"
+#include "metrics/profile_io.hh"
+#include "metrics/profiler.hh"
+#include "runtime/status.hh"
+#include "simt/engine.hh"
+#include "telemetry/replay.hh"
+#include "telemetry/trace.hh"
+
+namespace gwc
+{
+namespace
+{
+
+using namespace telemetry;
+
+// ---------------------------------------------------------------- kernels
+
+/** Shared-memory squares with a predicated tail and a barrier. */
+simt::WarpTask
+barrierKernel(simt::Warp &w)
+{
+    uint64_t out = w.param<uint64_t>(0);
+    uint32_t n = w.param<uint32_t>(1);
+    simt::Reg<uint32_t> i = w.globalIdX();
+    simt::Reg<uint32_t> t = w.tidLinear();
+    w.If(i < n, [&] { w.stsE<uint32_t>(0, t, i * i); });
+    co_await w.barrier();
+    w.If(i < n, [&] {
+        simt::Reg<uint32_t> v = w.ldsE<uint32_t>(0, t);
+        w.stg<uint32_t>(out, i, v);
+    });
+    co_return;
+}
+
+/** Strided global traffic with a data-dependent chain (ILP food). */
+simt::WarpTask
+chainKernel(simt::Warp &w)
+{
+    uint64_t buf = w.param<uint64_t>(0);
+    simt::Reg<uint32_t> i = w.globalIdX();
+    simt::Reg<uint32_t> a = w.ldg<uint32_t>(buf, i);
+    simt::Reg<uint32_t> b = a + a;
+    simt::Reg<uint32_t> c = b * b;
+    w.stg<uint32_t>(buf, i, c);
+    co_return;
+}
+
+/**
+ * One live run of both kernels with @p hooks attached; "bk" runs
+ * @p ctas CTA blocks, "chain" runs two.
+ */
+void
+runBoth(const std::vector<simt::ProfilerHook *> &hooks,
+        uint32_t ctas = 3)
+{
+    simt::Engine e;
+    const uint32_t n = ctas * 64 - 10;
+    auto out = e.alloc<uint32_t>(ctas * 64);
+    auto buf = e.alloc<uint32_t>(2 * 64);
+    for (auto *h : hooks)
+        e.addHook(h);
+    simt::KernelParams p;
+    p.push(out.addr()).push(n);
+    e.launch("bk", barrierKernel, simt::Dim3(ctas), simt::Dim3(64),
+             64 * 4, p);
+    simt::KernelParams p2;
+    p2.push(buf.addr());
+    e.launch("chain", chainKernel, simt::Dim3(2), simt::Dim3(64), 0,
+             p2);
+}
+
+std::string
+tmpReplayPath(const char *tag)
+{
+    return testing::TempDir() + "gwc_replay_" + tag + ".trace";
+}
+
+/** Profile CSV for one finalized collector, as a string. */
+std::string
+profileCsv(std::vector<metrics::KernelProfile> rows)
+{
+    std::ostringstream os;
+    metrics::writeProfilesCsv(os, rows);
+    return os.str();
+}
+
+/** Rendered hotspot tables for one finalized collector. */
+std::string
+hotspotText(std::vector<metrics::KernelHotspots> tables)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &ks : tables) {
+        if (!first)
+            os << "\n";
+        first = false;
+        metrics::renderHotspots(os, ks, 0);
+    }
+    return os.str();
+}
+
+// ------------------------------------------------------------- identity
+
+/**
+ * The tentpole property: for every chunk-size regime and jobs count,
+ * a Profiler and a HotspotProfiler fed from the corpus emit output
+ * byte-identical to the hooks that watched the live engine.
+ */
+TEST(Replay, CollectorsByteIdenticalToLiveRun)
+{
+    struct Regime
+    {
+        const char *name;
+        uint64_t chunkEvents;
+    };
+    // chunkEvents = 1 cuts at every CTA end (one CTA block per
+    // chunk); the huge value never cuts (one chunk per kernel).
+    const Regime regimes[] = {
+        {"cta", 1}, {"default", 8192}, {"giant", ~0ull >> 1}};
+
+    for (const Regime &reg : regimes) {
+        std::string path = tmpReplayPath(reg.name);
+        metrics::Profiler liveProf;
+        metrics::HotspotProfiler liveHot;
+        {
+            TraceWriter::Config cfg;
+            cfg.chunkEvents = reg.chunkEvents;
+            TraceWriter w(path, cfg);
+            runBoth({&liveProf, &liveHot, &w});
+            w.close();
+        }
+        std::string liveCsv = profileCsv(liveProf.finalize("wl"));
+        std::string liveTables = hotspotText(liveHot.finalize("wl"));
+
+        TraceReader r(path);
+        TraceReplayer rep(r);
+        for (unsigned jobs : {1u, 4u}) {
+            ReplayOptions opts;
+            opts.jobs = jobs;
+            metrics::Profiler prof;
+            rep.replay(prof, opts);
+            EXPECT_EQ(profileCsv(prof.finalize("wl")), liveCsv)
+                << reg.name << " jobs=" << jobs;
+            metrics::HotspotProfiler hot;
+            rep.replay(hot, opts);
+            EXPECT_EQ(hotspotText(hot.finalize("wl")), liveTables)
+                << reg.name << " jobs=" << jobs;
+        }
+        std::remove(path.c_str());
+    }
+}
+
+/**
+ * Workload tags recorded via workloadBegin come back as segments, so
+ * per-workload collectors finalize under their recorded abbrevs.
+ */
+TEST(Replay, WorkloadSegmentsRoundTrip)
+{
+    // One trace file spanning two workload tags, each recorded from
+    // its own engine — exactly how the suite drives an extraHook.
+    std::string path2 = tmpReplayPath("segments");
+    metrics::Profiler liveA2, liveB2;
+    {
+        TraceWriter w(path2);
+        {
+            simt::Engine e;
+            auto buf = e.alloc<uint32_t>(2 * 64);
+            simt::KernelParams p;
+            p.push(buf.addr());
+            w.workloadBegin("AA");
+            e.addHook(&liveA2);
+            e.addHook(&w);
+            e.launch("chain", chainKernel, simt::Dim3(2),
+                     simt::Dim3(64), 0, p);
+        }
+        {
+            simt::Engine e;
+            const uint32_t n = 3 * 64 - 10;
+            auto out = e.alloc<uint32_t>(3 * 64);
+            simt::KernelParams p;
+            p.push(out.addr()).push(n);
+            w.workloadBegin("BB");
+            e.addHook(&liveB2);
+            e.addHook(&w);
+            e.launch("bk", barrierKernel, simt::Dim3(3),
+                     simt::Dim3(64), 64 * 4, p);
+        }
+        w.close();
+    }
+    std::string liveCsv = profileCsv(liveA2.finalize("AA")) +
+                          profileCsv(liveB2.finalize("BB"));
+
+    TraceReader r(path2);
+    auto segs = workloadSegments(r.index());
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].workload, "AA");
+    EXPECT_EQ(segs[1].workload, "BB");
+    EXPECT_EQ(segs[0].firstLaunch, 0u);
+    EXPECT_EQ(segs[0].lastLaunch, 1u);
+    EXPECT_EQ(segs[1].lastLaunch, 2u);
+
+    TraceReplayer rep(r);
+    std::string replayedCsv;
+    for (const auto &seg : segs) {
+        metrics::Profiler prof;
+        rep.replayRange(seg.firstLaunch, seg.lastLaunch, prof, {});
+        replayedCsv += profileCsv(prof.finalize(seg.workload));
+    }
+    EXPECT_EQ(replayedCsv, liveCsv);
+    std::remove(path2.c_str());
+}
+
+// ----------------------------------------------------- indexed seeking
+
+/**
+ * A kernel filter must decode only that kernel's chunks — the
+ * acceptance criterion for index-driven seeking.
+ */
+TEST(Replay, KernelFilterDecodesOnlyMatchingChunks)
+{
+    std::string path = tmpReplayPath("seek");
+    {
+        TraceWriter::Config cfg;
+        cfg.chunkEvents = 1; // one CTA block per chunk
+        TraceWriter w(path, cfg);
+        runBoth({&w});
+        w.close();
+    }
+
+    TraceReader r(path);
+    const TraceIndex &idx = r.index();
+    ASSERT_EQ(idx.launches.size(), 2u);
+    size_t bkChunks = 0, chainChunks = 0;
+    for (const auto &c : idx.chunks)
+        (idx.launches[c.launchIdx].info.name == "bk" ? bkChunks
+                                                     : chainChunks)++;
+    ASSERT_EQ(bkChunks, 3u);    // 3 CTA blocks
+    ASSERT_EQ(chainChunks, 2u); // 2 CTA blocks
+
+    TraceReplayer rep(r);
+    ReplayOptions opts;
+    opts.kernel = "chain";
+    metrics::Profiler prof;
+    ReplayStats st = rep.replay(prof, opts);
+    EXPECT_EQ(st.launches, 1u);
+    EXPECT_EQ(st.launchesSkipped, 1u);
+    EXPECT_EQ(st.chunksDecoded, chainChunks);
+    EXPECT_EQ(st.chunksSkipped, bkChunks);
+    // The reader's own counters agree: nothing else touched disk.
+    EXPECT_EQ(r.chunksDecoded(), chainChunks);
+
+    auto rows = prof.finalize("wl");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].kernel, "chain");
+    std::remove(path.c_str());
+}
+
+/** A CTA range decodes only chunks overlapping the range. */
+TEST(Replay, CtaRangeFilterSkipsChunksViaIndex)
+{
+    std::string path = tmpReplayPath("ctarange");
+    {
+        TraceWriter::Config cfg;
+        cfg.chunkEvents = 1;
+        TraceWriter w(path, cfg);
+        runBoth({&w}, 4); // bk: 4 CTA blocks -> 4 chunks
+        w.close();
+    }
+
+    TraceReader r(path);
+    TraceReplayer rep(r);
+    ReplayOptions opts;
+    opts.kernel = "bk";
+    opts.ctaFirst = 1;
+    opts.ctaLast = 2;
+    metrics::Profiler prof;
+    ReplayStats st = rep.replay(prof, opts);
+    EXPECT_EQ(st.launches, 1u);
+    EXPECT_EQ(st.chunksDecoded, 2u); // CTAs 1 and 2 only
+    EXPECT_EQ(st.counts.ctaBegins, 2u);
+    EXPECT_EQ(st.counts.ctaEnds, 2u);
+    EXPECT_EQ(r.chunksDecoded(), 2u);
+    std::remove(path.c_str());
+}
+
+/** Replaying a legacy flat trace through the replayer is refused. */
+TEST(Replay, RejectsNonChunkedTrace)
+{
+    std::string path = tmpReplayPath("v2");
+    {
+        TraceWriter::Config cfg;
+        cfg.format = kTraceVersionV2;
+        TraceWriter w(path, cfg);
+        runBoth({&w});
+        w.close();
+    }
+    TraceReader r(path);
+    EXPECT_FALSE(r.chunked());
+    EXPECT_THROW(TraceReplayer rep(r), Error);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace gwc

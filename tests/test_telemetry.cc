@@ -408,25 +408,33 @@ TEST(Trace, FlightRecorderBounds)
     std::string path = tmpTracePath("flight");
     TraceWriter::Config cfg;
     cfg.flightRecorder = true;
-    cfg.bufferBytes = 2048; // far smaller than the event stream
-    uint64_t accepted = 0;
+    cfg.bufferBytes = 4096; // far smaller than the event stream
+    uint64_t accepted = 0, evicted = 0;
     {
         TraceWriter w(path, cfg);
-        runTraced({&w});
+        runTraced({&w}, 32);
         w.close();
         EXPECT_GT(w.evicted(), 0u);
         accepted = w.recorded().total();
-        EXPECT_GT(accepted, w.evicted());
+        evicted = w.evicted();
+        EXPECT_GT(accepted, evicted);
     }
 
+    // v3 flight recording evicts whole chunks, so the survivors
+    // replay cleanly — no orphaned records — and account for exactly
+    // the accepted events minus the evicted ones (the two kernel
+    // markers live in the footer and are synthesized on replay).
     EventLog replayed;
     TraceReader r(path);
-    uint64_t orphans = 0;
+    uint64_t orphans = 7;
     TraceCounts counts = r.replay(replayed, &orphans);
-    // Eviction dropped the KernelBegin, so the surviving records of
-    // this single-kernel trace all replay as skipped orphans.
-    EXPECT_GT(orphans, 0u);
-    EXPECT_LT(counts.total() + orphans, accepted);
+    EXPECT_EQ(orphans, 0u);
+    EXPECT_EQ(counts.total(), accepted - evicted);
+    EXPECT_EQ(counts.kernelBegins, 1u);
+    // Chunks cut at CTA boundaries: the first surviving event after
+    // the synthesized KernelBegin opens a CTA.
+    ASSERT_GT(replayed.lines.size(), 1u);
+    EXPECT_EQ(replayed.lines[1][0], 'C');
     std::remove(path.c_str());
 }
 
@@ -442,7 +450,81 @@ TEST(Trace, StatsAttached)
     }
     EXPECT_GT(reg.counterTotal("trace", "records"), 0u);
     EXPECT_GT(reg.counterTotal("trace", "bytes"), 0u);
+    EXPECT_GT(reg.counterTotal("trace", "chunks"), 0u);
     EXPECT_EQ(reg.counterTotal("trace", "evicted"), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, V2BackCompatRoundTrip)
+{
+    // The legacy flat-record format stays writable (pinned via
+    // Config::format) and readable, with full event identity.
+    std::string path = tmpTracePath("v2");
+    TraceWriter::Config cfg;
+    cfg.format = kTraceVersionV2;
+    EventLog live;
+    {
+        TraceWriter w(path, cfg);
+        runTraced({&live, &w});
+        w.close();
+    }
+
+    EventLog replayed;
+    TraceReader r(path);
+    EXPECT_EQ(r.version(), kTraceVersionV2);
+    EXPECT_FALSE(r.chunked());
+    TraceCounts counts = r.replay(replayed);
+    EXPECT_EQ(counts.total(), live.lines.size());
+    ASSERT_EQ(replayed.lines.size(), live.lines.size());
+    for (size_t i = 0; i < live.lines.size(); ++i)
+        ASSERT_EQ(replayed.lines[i], live.lines[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ChunkIndexMatchesStream)
+{
+    // The footer index alone reproduces the stream's shape: per-kind
+    // counts, CTA-aligned chunk bounds, and ascending file offsets.
+    std::string path = tmpTracePath("index");
+    TraceWriter::Config cfg;
+    cfg.chunkEvents = 32; // force several chunks from a small run
+    EventLog live;
+    {
+        TraceWriter w(path, cfg);
+        runTraced({&live, &w}, 6);
+        w.close();
+        EXPECT_GT(w.chunksWritten(), 1u);
+    }
+
+    TraceReader r(path);
+    ASSERT_TRUE(r.chunked());
+    const TraceIndex &idx = r.index();
+    ASSERT_EQ(idx.launches.size(), 1u);
+    EXPECT_EQ(idx.launches[0].info.name, "bk");
+
+    EventLog replayed;
+    TraceCounts replayCounts = r.replay(replayed);
+    TraceCounts fromIndex = idx.counts();
+    EXPECT_EQ(fromIndex.ctaBegins, replayCounts.ctaBegins);
+    EXPECT_EQ(fromIndex.instrs, replayCounts.instrs);
+    EXPECT_EQ(fromIndex.mems, replayCounts.mems);
+    EXPECT_EQ(fromIndex.branches, replayCounts.branches);
+    EXPECT_EQ(fromIndex.barriers, replayCounts.barriers);
+    ASSERT_EQ(replayed.lines.size(), live.lines.size());
+    for (size_t i = 0; i < live.lines.size(); ++i)
+        ASSERT_EQ(replayed.lines[i], live.lines[i]) << "record " << i;
+
+    uint64_t prevEnd = 16;
+    for (const auto &c : idx.chunks) {
+        EXPECT_GE(c.offset, prevEnd);
+        prevEnd = c.offset + c.payloadBytes;
+        EXPECT_LE(c.firstCta, c.lastCta);
+        EXPECT_GT(c.ctaBegins, 0u); // every chunk opens a CTA
+        EXPECT_EQ(c.ctaBegins, c.ctaEnds);
+    }
+    // The delta+varint payload beats the flat v2 encoding.
+    EXPECT_LT(idx.payloadBytes(), idx.rawV2Bytes());
+    EXPECT_LT(r.fileBytes(), idx.rawV2Bytes());
     std::remove(path.c_str());
 }
 

@@ -25,7 +25,7 @@
 #include "metrics/hotspots.hh"
 #include "runtime/session.hh"
 
-#include "gks_listings.hh"
+#include "trace_util.hh"
 
 int
 main(int argc, char **argv)
@@ -96,14 +96,9 @@ main(int argc, char **argv)
                 ec = 2;
                 continue;
             }
-            auto tables = hot.finalize(runs.at(0).desc.abbrev);
-            for (const auto &ks : tables) {
-                if (!first)
-                    std::cout << "\n";
-                first = false;
-                metrics::renderHotspots(std::cout, ks, topN,
-                                        listings.find(ks.kernel));
-            }
+            tools::renderHotspotTables(
+                std::cout, hot.finalize(runs.at(0).desc.abbrev), topN,
+                listings, first);
         }
         return ec;
     });

@@ -1,22 +1,41 @@
 /**
  * @file
- * gwc_trace — inspect event traces recorded with --trace-out.
+ * gwc_trace — inspect and replay event traces recorded with
+ * --trace-out.
  *
  *   gwc_trace summary run.trace
  *   gwc_trace dump [-n N] [--kind K] [--cta N] [--warp N] run.trace
- *   gwc_trace annotate [-n N] run.trace
+ *   gwc_trace annotate [-n N] [--gks FILE] run.trace
+ *   gwc_trace info [-n N] run.trace
+ *   gwc_trace replay --collector profile|hotspots [--kernel K]
+ *             [--cta-range A:B] [-j N] [-o FILE] [-S N] run.trace
  *
  * summary prints the header, per-kind record counts and a per-kernel
  * table; dump prints records as text, optionally filtered by kind
  * (kernel|cta|instr|mem|branch|barrier), CTA or warp; annotate
  * replays the trace through the per-PC hotspot profiler and prints
- * the top-N PCs per kernel (see gwc_hotspots). Bad or truncated
- * trace files are fatal (exit 1).
+ * the top-N PCs per kernel (see gwc_hotspots).
+ *
+ * info reads only the v3 footer index — chunk count and sizes,
+ * compression ratio against the raw v2 encoding, per-kernel and
+ * per-chunk event counts — without decoding any payload.
+ *
+ * replay drives a recorded v3 corpus back through a live collector
+ * (docs/OBSERVABILITY.md): chunk groups decode in parallel on -j
+ * threads and merge with the engine's shard protocol, so replayed
+ * output is byte-identical to the live run. --kernel and --cta-range
+ * seek via the index and decode only matching chunks.
+ *
+ * Exit status: 0 on success; 2 when a replay made progress but hit
+ * corruption (partial results are emitted); 1 on any other failure.
  */
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,9 +43,12 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "metrics/hotspots.hh"
+#include "metrics/profile_io.hh"
+#include "metrics/profiler.hh"
+#include "telemetry/replay.hh"
 #include "telemetry/trace.hh"
 
-#include "gks_listings.hh"
+#include "trace_util.hh"
 
 namespace
 {
@@ -210,6 +232,168 @@ parseI64(const std::string &flagName, const std::string &text)
     return int64_t(v);
 }
 
+/** Parse an inclusive "A:B" linear-CTA range. */
+void
+parseCtaRange(const std::string &text, int64_t *first, int64_t *last)
+{
+    size_t colon = text.find(':');
+    if (colon == std::string::npos)
+        raise(ErrorCode::InvalidArgument,
+              "--cta-range wants A:B (inclusive), got '%s'",
+              text.c_str());
+    *first = parseI64("--cta-range", text.substr(0, colon));
+    *last = parseI64("--cta-range", text.substr(colon + 1));
+    if (*first > *last)
+        raise(ErrorCode::InvalidArgument,
+              "--cta-range %lld:%lld is empty", (long long)*first,
+              (long long)*last);
+}
+
+/** "1.5 KiB"-style size for the info tables. */
+std::string
+fmtBytes(uint64_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB"};
+    double v = double(bytes);
+    size_t u = 0;
+    while (v >= 1024.0 && u + 1 < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    char buf[32];
+    if (u == 0)
+        std::snprintf(buf, sizeof buf, "%llu B",
+                      (unsigned long long)bytes);
+    else
+        std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+    return buf;
+}
+
+/** Index-only corpus stats — never decodes a chunk payload. */
+int
+cmdInfo(telemetry::TraceReader &reader, const std::string &path,
+        bool limitSet, uint64_t limit)
+{
+    std::cout << path << ": trace v" << reader.version()
+              << ", cta sample stride " << reader.ctaSampleStride();
+    if (!reader.chunked()) {
+        std::cout << "\n  legacy flat stream, "
+                  << fmtBytes(reader.fileBytes())
+                  << "; no corpus index (re-record with a v3 build "
+                     "for chunk stats and seekable replay)\n";
+        return 0;
+    }
+    const telemetry::TraceIndex &idx = reader.index();
+    telemetry::TraceCounts counts = idx.counts();
+    uint64_t payload = idx.payloadBytes();
+    uint64_t raw = idx.rawV2Bytes();
+    std::cout << " corpus\n  launches "
+              << idx.launches.size() << ", chunks " << idx.chunks.size()
+              << ", events " << counts.total() << "\n  payload "
+              << fmtBytes(payload) << " in " << fmtBytes(reader.fileBytes())
+              << " file; raw v2 equivalent " << fmtBytes(raw);
+    if (payload > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2f", double(raw) / payload);
+        std::cout << " (" << buf << "x payload compression)";
+    }
+    std::cout << "\n\n";
+
+    // Per-kernel rollup of the chunk index.
+    struct KRow
+    {
+        uint32_t launches = 0;
+        uint64_t chunks = 0, ctas = 0, events = 0;
+        uint64_t payload = 0, raw = 0;
+    };
+    std::map<std::string, KRow> byKernel;
+    std::vector<std::string> order;
+    for (const auto &l : idx.launches) {
+        if (!byKernel.count(l.info.name))
+            order.push_back(l.info.name);
+        ++byKernel[l.info.name].launches;
+    }
+    for (const auto &c : idx.chunks) {
+        KRow &r = byKernel[idx.launches.at(c.launchIdx).info.name];
+        ++r.chunks;
+        r.ctas += c.ctaBegins;
+        r.events += c.events();
+        r.payload += c.payloadBytes;
+        r.raw += c.rawBytes;
+    }
+    Table kt({"kernel", "launches", "chunks", "ctas", "events",
+              "payload", "raw v2"});
+    for (const auto &name : order) {
+        const KRow &r = byKernel[name];
+        kt.addRow({name, Table::integer(r.launches),
+                   Table::integer(int64_t(r.chunks)),
+                   Table::integer(int64_t(r.ctas)),
+                   Table::integer(int64_t(r.events)), fmtBytes(r.payload),
+                   fmtBytes(r.raw)});
+    }
+    kt.print(std::cout);
+
+    // Per-chunk (CTA-block granularity) table, -n gated like dump.
+    uint64_t show = limitSet ? limit : 10;
+    size_t n = show == 0 ? idx.chunks.size()
+                         : std::min<size_t>(show, idx.chunks.size());
+    std::cout << "\n";
+    Table ct({"chunk", "kernel", "ctas", "events", "payload", "raw v2"});
+    for (size_t i = 0; i < n; ++i) {
+        const auto &c = idx.chunks[i];
+        std::string ctas = Table::integer(int64_t(c.firstCta)) + ":" +
+                           Table::integer(int64_t(c.lastCta));
+        ct.addRow({Table::integer(int64_t(i)),
+                   idx.launches.at(c.launchIdx).info.name, ctas,
+                   Table::integer(int64_t(c.events())),
+                   fmtBytes(c.payloadBytes), fmtBytes(c.rawBytes)});
+    }
+    ct.print(std::cout);
+    if (n < idx.chunks.size())
+        std::cout << "... " << idx.chunks.size() - n
+                  << " more chunks (-n 0 shows all)\n";
+    return 0;
+}
+
+/**
+ * Shared replay loop: one collector per workload segment so each
+ * finalizes under its recorded suite abbrev, exactly like the live
+ * per-workload collectors. @p consume runs after each segment
+ * completes; on corruption mid-corpus, already-consumed segments
+ * stand and the exit status is 2 (0/2/1 contract).
+ */
+template <typename MakeSink, typename Consume>
+int
+replaySegments(telemetry::TraceReader &reader,
+               const telemetry::ReplayOptions &ropts, MakeSink makeSink,
+               Consume consume, telemetry::ReplayStats *totalOut)
+{
+    telemetry::TraceReplayer rep(reader);
+    auto segments = telemetry::workloadSegments(reader.index());
+    telemetry::ReplayStats total;
+    int ec = 0;
+    try {
+        for (const auto &seg : segments) {
+            auto sink = makeSink();
+            telemetry::ReplayStats st = rep.replayRange(
+                seg.firstLaunch, seg.lastLaunch, *sink, ropts);
+            total.launches += st.launches;
+            total.launchesSkipped += st.launchesSkipped;
+            total.chunksDecoded += st.chunksDecoded;
+            total.chunksSkipped += st.chunksSkipped;
+            consume(*sink, seg.workload);
+        }
+    } catch (const Error &e) {
+        if (reader.chunksDecoded() == 0)
+            throw; // nothing replayed: fatal, not partial
+        warn("%s", e.what());
+        warn("replay stopped early; emitting partial results");
+        ec = 2;
+    }
+    *totalOut = total;
+    return ec;
+}
+
 } // anonymous namespace
 
 int
@@ -218,12 +402,16 @@ main(int argc, char **argv)
     return cli::run([&]() -> int {
         DumpHook dump;
         std::string limitStr, ctaStr, warpStr, gksSpec;
+        std::string collector, kernel, ctaRange, outPath;
+        unsigned jobs = 1;
+        unsigned strideOverride = 0;
 
         cli::Parser p("gwc_trace",
-                      "<summary|dump|annotate> [options] trace-file");
+                      "<summary|dump|annotate|info|replay> [options] "
+                      "trace-file");
         p.strOpt("--limit", "-n", "N",
                  "dump: print at most N records; annotate: PCs per\n"
-                 "kernel (default 10, 0 = all)",
+                 "kernel; info: chunks listed (default 10, 0 = all)",
                  &limitStr);
         p.strOpt("--kind", "", "K",
                  "dump: kernel|cta|instr|mem|branch|barrier",
@@ -233,9 +421,27 @@ main(int argc, char **argv)
         p.strOpt("--warp", "", "N",
                  "dump: only records of warp N", &warpStr);
         p.appendOpt("--gks", "", "FILE",
-                    "annotate: assemble GKS FILE(s) and show the\n"
-                    "source line next to each PC (repeatable)",
+                    "annotate/replay: assemble GKS FILE(s) and show\n"
+                    "the source line next to each PC (repeatable)",
                     &gksSpec);
+        p.strOpt("--collector", "", "C",
+                 "replay: profile|hotspots", &collector);
+        p.strOpt("--kernel", "", "NAME",
+                 "replay: only launches of kernel NAME (seeks via\n"
+                 "the chunk index)", &kernel);
+        p.strOpt("--cta-range", "", "A:B",
+                 "replay: only linear CTAs A..B inclusive (decodes\n"
+                 "only overlapping chunks)", &ctaRange);
+        p.uintOpt("--jobs", "-j", "N",
+                  "replay: decode N chunk groups in parallel\n"
+                  "(default 1; output is identical for any N)", &jobs);
+        p.strOpt("--output", "-o", "FILE",
+                 "replay profile: write CSV to FILE (default stdout)",
+                 &outPath);
+        p.uintOpt("--cta-stride", "-S", "N",
+                  "replay: collector CTA sample stride (default: the\n"
+                  "stride the trace was recorded with)",
+                  &strideOverride);
         auto pos = p.parse(argc, argv);
         if (p.helpRequested()) {
             std::cout << p.helpText();
@@ -261,12 +467,79 @@ main(int argc, char **argv)
 
         telemetry::TraceReader reader(path);
 
+        if (cmd == "info")
+            return cmdInfo(reader, path, limitSet, dump.limit);
+
+        if (cmd == "replay") {
+            telemetry::ReplayOptions ropts;
+            ropts.jobs = jobs > 0 ? jobs : 1;
+            ropts.kernel = kernel;
+            if (!ctaRange.empty())
+                parseCtaRange(ctaRange, &ropts.ctaFirst,
+                              &ropts.ctaLast);
+            uint32_t stride = strideOverride
+                                  ? strideOverride
+                                  : reader.ctaSampleStride();
+            telemetry::ReplayStats total;
+            int ec = 0;
+            if (collector == "profile") {
+                std::vector<metrics::KernelProfile> rows;
+                ec = replaySegments(
+                    reader, ropts,
+                    [&] {
+                        metrics::Profiler::Config pcfg;
+                        pcfg.ctaSampleStride = stride;
+                        return std::make_unique<metrics::Profiler>(
+                            pcfg);
+                    },
+                    [&](metrics::Profiler &prof,
+                        const std::string &workload) {
+                        for (auto &r : prof.finalize(workload))
+                            rows.push_back(std::move(r));
+                    },
+                    &total);
+                if (outPath.empty())
+                    metrics::writeProfilesCsv(std::cout, rows);
+                else
+                    metrics::saveProfiles(outPath, rows);
+            } else if (collector == "hotspots") {
+                tools::GksListings listings;
+                if (!gksSpec.empty())
+                    listings.load(gksSpec);
+                size_t topN = limitSet ? size_t(dump.limit) : 10;
+                bool first = true;
+                ec = replaySegments(
+                    reader, ropts,
+                    [&] {
+                        metrics::HotspotProfiler::Config hcfg;
+                        hcfg.ctaSampleStride = stride;
+                        return std::make_unique<
+                            metrics::HotspotProfiler>(hcfg);
+                    },
+                    [&](metrics::HotspotProfiler &hot,
+                        const std::string &workload) {
+                        tools::renderHotspotTables(
+                            std::cout, hot.finalize(workload), topN,
+                            listings, first);
+                    },
+                    &total);
+            } else {
+                raise(ErrorCode::InvalidArgument,
+                      "replay wants --collector profile|hotspots "
+                      "(got '%s')", collector.c_str());
+            }
+            if (!outPath.empty())
+                inform("replayed %llu launches (%llu filtered out): "
+                       "%llu chunks decoded, %llu skipped via index",
+                       (unsigned long long)total.launches,
+                       (unsigned long long)total.launchesSkipped,
+                       (unsigned long long)total.chunksDecoded,
+                       (unsigned long long)total.chunksSkipped);
+            return ec;
+        }
+
         if (cmd == "dump") {
-            uint64_t orphans = 0;
-            reader.replay(dump, &orphans);
-            if (orphans)
-                warn("skipped %llu orphaned leading records",
-                     (unsigned long long)orphans);
+            tools::replayAll(reader, dump);
             return 0;
         }
         if (cmd == "annotate") {
@@ -274,20 +547,11 @@ main(int argc, char **argv)
             if (!gksSpec.empty())
                 listings.load(gksSpec);
             metrics::HotspotProfiler hot;
-            uint64_t orphans = 0;
-            reader.replay(hot, &orphans);
-            if (orphans)
-                warn("skipped %llu orphaned leading records",
-                     (unsigned long long)orphans);
+            tools::replayAll(reader, hot);
             size_t topN = limitSet ? size_t(dump.limit) : 10;
             bool first = true;
-            for (const auto &ks : hot.finalize("")) {
-                if (!first)
-                    std::cout << "\n";
-                first = false;
-                metrics::renderHotspots(std::cout, ks, topN,
-                                        listings.find(ks.kernel));
-            }
+            tools::renderHotspotTables(std::cout, hot.finalize(""),
+                                       topN, listings, first);
             return 0;
         }
         if (cmd != "summary")
@@ -296,13 +560,17 @@ main(int argc, char **argv)
 
         SummaryHook sum;
         uint64_t orphans = 0;
-        telemetry::TraceCounts counts = reader.replay(sum, &orphans);
+        telemetry::TraceCounts counts =
+            tools::replayAll(reader, sum, &orphans);
 
         std::cout << path << ": trace v" << reader.version()
                   << ", cta sample stride " << reader.ctaSampleStride()
                   << ", " << counts.total() << " records";
         if (orphans)
             std::cout << " (+" << orphans << " orphaned, skipped)";
+        if (reader.chunked())
+            std::cout << ", " << reader.index().chunks.size()
+                      << " chunks";
         std::cout << "\n\n";
 
         Table ct({"record", "count"});

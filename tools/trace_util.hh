@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared trace-tool helpers: one place for the open/replay/warn
+ * sequence and the multi-kernel hotspot-table rendering that
+ * gwc_trace and gwc_hotspots both use, so the two tools cannot
+ * drift apart in output format or orphan handling.
+ */
+
+#ifndef GWC_TOOLS_TRACE_UTIL_HH
+#define GWC_TOOLS_TRACE_UTIL_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "metrics/hotspots.hh"
+#include "telemetry/trace.hh"
+
+#include "gks_listings.hh"
+
+namespace gwc::tools
+{
+
+/**
+ * Replay a whole trace into @p sink, warning once about leading
+ * records orphaned by v2 flight-recorder eviction (v3 corpora evict
+ * whole chunks and never orphan).
+ */
+inline telemetry::TraceCounts
+replayAll(telemetry::TraceReader &reader, simt::ProfilerHook &sink,
+          uint64_t *orphansOut = nullptr)
+{
+    uint64_t orphans = 0;
+    telemetry::TraceCounts counts = reader.replay(sink, &orphans);
+    if (orphans)
+        warn("skipped %llu orphaned leading records",
+             (unsigned long long)orphans);
+    if (orphansOut)
+        *orphansOut = orphans;
+    return counts;
+}
+
+/**
+ * Render hotspot tables in the shared multi-kernel format: tables
+ * separated by one blank line, each annotated from @p listings.
+ * @p first carries the separator state across calls so per-workload
+ * batches concatenate identically to one big batch.
+ */
+inline void
+renderHotspotTables(std::ostream &os,
+                    const std::vector<metrics::KernelHotspots> &tables,
+                    size_t topN, const GksListings &listings,
+                    bool &first)
+{
+    for (const auto &ks : tables) {
+        if (!first)
+            os << "\n";
+        first = false;
+        metrics::renderHotspots(os, ks, topN, listings.find(ks.kernel));
+    }
+}
+
+} // namespace gwc::tools
+
+#endif // GWC_TOOLS_TRACE_UTIL_HH
