@@ -10,8 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "cluster/kmeans.hh"
+#include "common/logging.hh"
+#include "runtime/result_cache.hh"
+#include "workloads/suite.hh"
 #include "metrics/profiler.hh"
 #include "simt/asm.hh"
 #include "metrics/reuse.hh"
@@ -511,6 +515,76 @@ BM_TraceReplaySeek(benchmark::State &state)
     std::remove(path);
 }
 BENCHMARK(BM_TraceReplaySeek);
+
+// ---------------------------------------------------------------------
+// Result cache (docs/CACHING.md): the lookup fast path and the
+// headline speedup — a warm-cache suite run versus fresh simulation.
+// BM_SuiteWarmCache / BM_SuiteColdSim is the ratio the cache exists
+// for; CI records both in BENCH_cache.json and gates regressions.
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Warn);
+    const std::string dir = "/tmp/gwc_bench_cache_lookup";
+    runtime::ResultCache cache({dir, runtime::CacheMode::ReadWrite});
+    runtime::WorkloadKey key;
+    key.workload = "SLA";
+    {
+        telemetry::Registry reg;
+        workloads::SuiteOptions opts;
+        opts.stats = &reg;
+        auto runs = workloads::runSuite({"SLA"}, opts);
+        runtime::CachedWorkloadResult r;
+        r.abbrev = "SLA";
+        r.verified = runs.at(0).verified;
+        r.warpInstrs = runs.at(0).totals.warpInstrs;
+        r.profiles = runs.at(0).profiles;
+        r.stats = runtime::StatsSnapshot::capture(reg);
+        cache.storeWorkload(key, r);
+    }
+    for (auto _ : state) {
+        auto hit = cache.lookupWorkload(key);
+        benchmark::DoNotOptimize(hit);
+    }
+    state.counters["hits"] =
+        benchmark::Counter(double(cache.counters().hits.load()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_SuiteColdSim(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Warn);
+    const std::vector<std::string> names = {"SLA", "SPROD"};
+    for (auto _ : state) {
+        auto runs = workloads::runSuite(names, {});
+        benchmark::DoNotOptimize(runs);
+    }
+}
+BENCHMARK(BM_SuiteColdSim);
+
+void
+BM_SuiteWarmCache(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Warn);
+    const std::string dir = "/tmp/gwc_bench_cache_warm";
+    std::filesystem::remove_all(dir);
+    runtime::ResultCache cache({dir, runtime::CacheMode::ReadWrite});
+    const std::vector<std::string> names = {"SLA", "SPROD"};
+    workloads::SuiteOptions opts;
+    opts.cache = &cache;
+    workloads::runSuite(names, opts); // cold fill
+    for (auto _ : state) {
+        auto runs = workloads::runSuite(names, opts);
+        benchmark::DoNotOptimize(runs);
+    }
+    state.counters["hits"] =
+        benchmark::Counter(double(cache.counters().hits.load()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SuiteWarmCache);
 
 } // anonymous namespace
 

@@ -35,6 +35,6 @@ gwc_add_bench(fig17_phase_behavior)
 
 add_executable(micro_bench bench/micro_bench.cc)
 target_link_libraries(micro_bench PRIVATE gwc_metrics gwc_cluster
-    gwc_stats gwc_telemetry benchmark::benchmark)
+    gwc_stats gwc_telemetry gwc_workloads benchmark::benchmark)
 set_target_properties(micro_bench PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

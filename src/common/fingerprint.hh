@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Canonical fingerprinting for content-addressed storage.
+ *
+ * A CanonicalKey accumulates named fields in registration order into
+ * one deterministic text block ("name=value" lines under a versioned
+ * header). The text form is the ground truth: it is stored next to
+ * the data it addresses so a 64-bit digest collision can never serve
+ * the wrong payload (the reader compares the full canonical string),
+ * and it makes invalidation auditable — `gwc_cache` can show exactly
+ * which dimension of a key changed. The digest (FNV-1a 64) is only
+ * the filename-sized handle of that string.
+ */
+
+#ifndef GWC_COMMON_FINGERPRINT_HH
+#define GWC_COMMON_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gwc
+{
+
+/** FNV-1a 64-bit digest of a byte string. */
+inline uint64_t
+fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    uint64_t h = seed;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Fixed-width lowercase hex of a 64-bit value (16 characters). */
+inline std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)v);
+    return std::string(buf, 16);
+}
+
+/**
+ * Ordered "name=value" builder of one canonical key. Field order is
+ * part of the identity (two keys with the same fields in a different
+ * order are different keys), so builders must add fields in one
+ * documented order. Values must not contain newlines; field names
+ * must not contain '='.
+ */
+class CanonicalKey
+{
+  public:
+    /** @param schema header line, e.g. "gwc-workload-key v1". */
+    explicit CanonicalKey(std::string schema)
+    {
+        text_ = std::move(schema);
+        text_.push_back('\n');
+    }
+
+    CanonicalKey &
+    field(std::string_view name, std::string_view value)
+    {
+        text_.append(name);
+        text_.push_back('=');
+        text_.append(value);
+        text_.push_back('\n');
+        return *this;
+    }
+
+    CanonicalKey &
+    field(std::string_view name, uint64_t value)
+    {
+        return field(name, std::to_string(value));
+    }
+
+    CanonicalKey &
+    field(std::string_view name, bool value)
+    {
+        return field(name, std::string_view(value ? "1" : "0"));
+    }
+
+    /** A uint32 list renders as comma-separated decimals. */
+    CanonicalKey &
+    field(std::string_view name, const std::vector<uint32_t> &values)
+    {
+        std::string v;
+        for (size_t i = 0; i < values.size(); ++i) {
+            if (i)
+                v.push_back(',');
+            v += std::to_string(values[i]);
+        }
+        return field(name, v);
+    }
+
+    /** The canonical text block (header + fields, newline-terminated). */
+    const std::string &str() const { return text_; }
+
+    /** Hex FNV-1a digest of the canonical text. */
+    std::string hexDigest() const { return hex64(fnv1a64(text_)); }
+
+  private:
+    std::string text_;
+};
+
+} // namespace gwc
+
+#endif // GWC_COMMON_FINGERPRINT_HH

@@ -122,6 +122,16 @@ InjectionPlan::empty() const
     return specs_.empty();
 }
 
+bool
+InjectionPlan::targets(const std::string &workload) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &s : specs_)
+        if (s.count > 0 && s.workload == workload)
+            return true;
+    return false;
+}
+
 std::vector<InjectSpec>
 InjectionPlan::remaining() const
 {

@@ -78,6 +78,14 @@ class InjectionPlan
 
     bool empty() const;
 
+    /**
+     * True while any fault (of any kind) still targets @p workload.
+     * Non-consuming, unlike arm(): the result cache asks this before
+     * an attempt so injected workloads bypass the cache entirely —
+     * neither served from it nor admitted to it.
+     */
+    bool targets(const std::string &workload) const;
+
     /** Specs with count still unconsumed (diagnostics). */
     std::vector<InjectSpec> remaining() const;
 

@@ -1,0 +1,791 @@
+/**
+ * @file
+ * Content-addressed result cache implementation.
+ *
+ * On-disk layout (docs/CACHING.md): one file per entry,
+ * "<dir>/<fingerprint>.gwce", where the fingerprint is the FNV-1a
+ * digest of the entry's full canonical key. Each file is
+ *
+ *   GWCCACHE v1\n
+ *   kind <kind>\n
+ *   key <hex16>\n
+ *   key_bytes <N>\n
+ *   payload_bytes <M>\n
+ *   payload_fnv1a <hex16>\n
+ *   \n
+ *   <N bytes canonical key><M bytes payload>
+ *
+ * The canonical key is stored verbatim and compared on read, so a
+ * digest collision degrades to a stale entry instead of serving the
+ * wrong result. Writers stage to "<dir>/.tmp-<pid>-<seq>" and publish
+ * with rename(2), which is atomic on POSIX filesystems — readers only
+ * ever see complete entries, and racing writers of the same key both
+ * leave a valid file.
+ */
+
+#include "runtime/result_cache.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "metrics/characteristics.hh"
+#include "metrics/profile_io.hh"
+#include "simt/engine.hh"
+
+namespace fs = std::filesystem;
+
+namespace gwc::runtime
+{
+
+namespace
+{
+
+const char *kMagicLine = "GWCCACHE v1";
+const char *kEntrySuffix = ".gwce";
+const char *kTmpPrefix = ".tmp-";
+const char *kPayloadMagic = "gwc-cache-workload v1";
+
+/** Next '\n'-terminated line of @p s from @p pos ('\n' consumed). */
+bool
+nextLine(const std::string &s, size_t &pos, std::string &line)
+{
+    if (pos >= s.size())
+        return false;
+    size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos)
+        return false;   // entries are fully newline-terminated
+    line.assign(s, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+}
+
+/** "prefix value" line parser; value is the remainder. */
+bool
+fieldLine(const std::string &line, const char *prefix,
+          std::string &value)
+{
+    size_t n = std::strlen(prefix);
+    if (line.size() < n + 1 || line.compare(0, n, prefix) != 0 ||
+        line[n] != ' ')
+        return false;
+    value.assign(line, n + 1, std::string::npos);
+    return true;
+}
+
+bool
+parseU64(const std::string &text, uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseF64(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+f64(double v)
+{
+    // 17 significant digits round-trip any double exactly.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (true) {
+        size_t tab = line.find('\t', pos);
+        if (tab == std::string::npos) {
+            out.emplace_back(line, pos, std::string::npos);
+            return out;
+        }
+        out.emplace_back(line, pos, tab - pos);
+        pos = tab + 1;
+    }
+}
+
+int64_t
+mtimeNsOf(const fs::directory_entry &de)
+{
+    std::error_code ec;
+    auto t = de.last_write_time(ec);
+    if (ec)
+        return 0;
+    return int64_t(t.time_since_epoch().count());
+}
+
+} // anonymous namespace
+
+const char *
+cacheModeName(CacheMode mode)
+{
+    switch (mode) {
+    case CacheMode::Off: return "off";
+    case CacheMode::ReadWrite: return "rw";
+    case CacheMode::ReadOnly: return "ro";
+    }
+    return "?";
+}
+
+Result<CacheMode>
+parseCacheMode(const std::string &text)
+{
+    if (text == "off")
+        return CacheMode::Off;
+    if (text == "rw")
+        return CacheMode::ReadWrite;
+    if (text == "ro")
+        return CacheMode::ReadOnly;
+    return makeStatus(ErrorCode::InvalidArgument,
+                      "unknown cache mode '%s' (expected off, rw or "
+                      "ro)", text.c_str());
+}
+
+WorkloadKey::WorkloadKey()
+    : profileSchemaVersion(metrics::kProfileFormatVersion),
+      engineSemanticsVersion(simt::kEventSemanticsVersion)
+{
+    // The characteristic set is versioned by its names: renaming,
+    // reordering, adding or removing a metric column changes this
+    // digest and therefore every key.
+    std::string names;
+    for (uint32_t c = 0; c < metrics::kNumCharacteristics; ++c) {
+        names += metrics::characteristicName(c);
+        names.push_back('\n');
+    }
+    characteristicSet = hex64(fnv1a64(names));
+}
+
+std::string
+canonicalWorkloadKey(const WorkloadKey &key)
+{
+    CanonicalKey k("gwc-workload-key v1");
+    k.field("workload", key.workload);
+    k.field("scale", uint64_t(key.scale));
+    k.field("verify", key.verify);
+    k.field("cta_sample_stride", uint64_t(key.ctaSampleStride));
+    k.field("ilp_warp_cap", uint64_t(key.ilpWarpCap));
+    k.field("ilp_lanes", key.ilpLanes);
+    k.field("reuse_cap", uint64_t(key.reuseCap));
+    k.field("per_launch", key.perLaunch);
+    k.field("collectors", key.collectors);
+    k.field("gks_source", key.gksSourceHash);
+    for (const auto &[name, value] : key.extra)
+        k.field("x_" + name, value);
+    k.field("profile_schema", uint64_t(key.profileSchemaVersion));
+    k.field("characteristics", key.characteristicSet);
+    k.field("engine_semantics",
+            uint64_t(key.engineSemanticsVersion));
+    return k.str();
+}
+
+std::string
+workloadFingerprint(const WorkloadKey &key)
+{
+    return hex64(fnv1a64(canonicalWorkloadKey(key)));
+}
+
+// ---------------------------------------------------------------------
+// Stats snapshot
+// ---------------------------------------------------------------------
+
+StatsSnapshot
+StatsSnapshot::capture(const telemetry::Registry &reg)
+{
+    StatsSnapshot snap;
+    for (const auto &g : reg.groups()) {
+        GroupRows rows;
+        rows.name = g->name();
+        for (const auto &c : g->counters())
+            rows.counters.push_back({c->name(), c->desc(), c->value()});
+        for (const auto &h : g->histograms()) {
+            HistogramRow hr;
+            hr.name = h->name();
+            hr.desc = h->desc();
+            for (size_t i = 0; i < telemetry::Histogram::kBuckets; ++i)
+                hr.buckets[i] = h->bucket(i);
+            hr.count = h->count();
+            hr.sum = h->sum();
+            hr.min = h->min();
+            hr.max = h->max();
+            rows.histograms.push_back(std::move(hr));
+        }
+        for (const auto &t : g->timers())
+            rows.timers.push_back(
+                {t->name(), t->desc(), t->ns(), t->laps()});
+        snap.groups.push_back(std::move(rows));
+    }
+    return snap;
+}
+
+void
+StatsSnapshot::restore(telemetry::Registry &reg) const
+{
+    // Get-or-create in captured order reproduces the registration
+    // order a fresh attempt would have left, so later mergeFrom calls
+    // see an identical group/stat layout.
+    for (const auto &g : groups) {
+        auto &group = reg.group(g.name);
+        for (const auto &c : g.counters)
+            group.counter(c.name, c.desc) += c.value;
+        for (const auto &h : g.histograms)
+            group.histogram(h.name, h.desc)
+                .restore(h.buckets, h.count, h.sum, h.min, h.max);
+        for (const auto &t : g.timers)
+            group.timer(t.name, t.desc).addRaw(t.ns, t.laps);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload payload codec
+// ---------------------------------------------------------------------
+
+std::string
+ResultCache::encodeWorkloadPayload(const CachedWorkloadResult &r)
+{
+    std::ostringstream os;
+    os << kPayloadMagic << '\n';
+    os << "suite\t" << r.suite << '\n';
+    os << "name\t" << r.name << '\n';
+    os << "abbrev\t" << r.abbrev << '\n';
+    os << "summary\t" << r.summary << '\n';
+    os << "verified " << (r.verified ? 1 : 0) << '\n';
+    os << "warp_instrs " << r.warpInstrs << '\n';
+    os << "setup_sec " << f64(r.setupSec) << '\n';
+    os << "simulate_sec " << f64(r.simulateSec) << '\n';
+    os << "profile_sec " << f64(r.profileSec) << '\n';
+    os << "verify_sec " << f64(r.verifySec) << '\n';
+
+    // The canonical profile serialization IS the payload format: the
+    // exact bytes saveProfiles would write, so a cache hit reproduces
+    // profiles.csv rows bit for bit by construction. The CSV schema
+    // has no cta_z column; the per-row "ctaz" lines preserve it for
+    // report geometry strings.
+    std::ostringstream csv;
+    metrics::writeProfilesCsv(csv, r.profiles);
+    const std::string csvText = csv.str();
+    for (size_t i = 0; i < r.profiles.size(); ++i)
+        os << "ctaz\t" << i << '\t' << r.profiles[i].cta.z << '\n';
+    os << "profiles_bytes " << csvText.size() << '\n' << csvText;
+
+    os << "stats_groups " << r.stats.groups.size() << '\n';
+    for (const auto &g : r.stats.groups) {
+        os << "group\t" << g.name << '\t' << g.counters.size() << '\t'
+           << g.histograms.size() << '\t' << g.timers.size() << '\n';
+        for (const auto &c : g.counters)
+            os << "counter\t" << c.name << '\t' << c.value << '\t'
+               << c.desc << '\n';
+        for (const auto &h : g.histograms) {
+            os << "histogram\t" << h.name << '\t' << h.count << '\t'
+               << h.sum << '\t' << h.min << '\t' << h.max << '\t';
+            for (size_t i = 0; i < telemetry::Histogram::kBuckets; ++i)
+                os << (i ? "," : "") << h.buckets[i];
+            os << '\t' << h.desc << '\n';
+        }
+        for (const auto &t : g.timers)
+            os << "timer\t" << t.name << '\t' << t.ns << '\t'
+               << t.laps << '\t' << t.desc << '\n';
+    }
+    os << "end\n";
+    return os.str();
+}
+
+Result<CachedWorkloadResult>
+ResultCache::decodeWorkloadPayload(const std::string &payload)
+{
+    auto bad = [](const char *what) {
+        return makeStatus(ErrorCode::DataLoss,
+                          "malformed cache payload: %s", what);
+    };
+
+    size_t pos = 0;
+    std::string line, value;
+    CachedWorkloadResult r;
+    if (!nextLine(payload, pos, line) || line != kPayloadMagic)
+        return bad("missing payload magic");
+
+    auto tabField = [&](const char *name, std::string &out) -> bool {
+        if (!nextLine(payload, pos, line))
+            return false;
+        // Split on the first tab only: the value is free text (a
+        // workload summary may legally contain tabs).
+        size_t tab = line.find('\t');
+        if (tab == std::string::npos ||
+            std::string_view(line).substr(0, tab) != name)
+            return false;
+        out = line.substr(tab + 1);
+        return true;
+    };
+    if (!tabField("suite", r.suite) || !tabField("name", r.name) ||
+        !tabField("abbrev", r.abbrev) ||
+        !tabField("summary", r.summary))
+        return bad("identity fields");
+
+    uint64_t u = 0;
+    if (!nextLine(payload, pos, line) ||
+        !fieldLine(line, "verified", value) || !parseU64(value, u))
+        return bad("verified");
+    r.verified = u != 0;
+    if (!nextLine(payload, pos, line) ||
+        !fieldLine(line, "warp_instrs", value) ||
+        !parseU64(value, r.warpInstrs))
+        return bad("warp_instrs");
+    struct { const char *name; double *out; } secs[] = {
+        {"setup_sec", &r.setupSec},
+        {"simulate_sec", &r.simulateSec},
+        {"profile_sec", &r.profileSec},
+        {"verify_sec", &r.verifySec},
+    };
+    for (auto &[name, out] : secs)
+        if (!nextLine(payload, pos, line) ||
+            !fieldLine(line, name, value) || !parseF64(value, *out))
+            return bad("phase seconds");
+
+    std::vector<std::pair<uint64_t, uint64_t>> ctaz;
+    while (true) {
+        size_t mark = pos;
+        if (!nextLine(payload, pos, line))
+            return bad("truncated before profiles");
+        if (fieldLine(line, "profiles_bytes", value)) {
+            pos = mark;
+            break;
+        }
+        auto cells = splitTabs(line);
+        uint64_t idx = 0, z = 0;
+        if (cells.size() != 3 || cells[0] != "ctaz" ||
+            !parseU64(cells[1], idx) || !parseU64(cells[2], z))
+            return bad("ctaz row");
+        ctaz.emplace_back(idx, z);
+    }
+    if (!nextLine(payload, pos, line) ||
+        !fieldLine(line, "profiles_bytes", value) || !parseU64(value, u))
+        return bad("profiles_bytes");
+    if (pos + u > payload.size())
+        return bad("profile CSV truncated");
+    std::istringstream csv(payload.substr(pos, u));
+    pos += u;
+    try {
+        r.profiles = metrics::readProfilesCsv(csv);
+    } catch (const Error &e) {
+        return e.status();
+    }
+    for (auto [idx, z] : ctaz) {
+        if (idx >= r.profiles.size())
+            return bad("ctaz index out of range");
+        r.profiles[idx].cta.z = uint32_t(z);
+    }
+
+    if (!nextLine(payload, pos, line) ||
+        !fieldLine(line, "stats_groups", value) || !parseU64(value, u))
+        return bad("stats_groups");
+    for (uint64_t gi = 0; gi < u; ++gi) {
+        if (!nextLine(payload, pos, line))
+            return bad("truncated group");
+        auto cells = splitTabs(line);
+        uint64_t nc = 0, nh = 0, nt = 0;
+        if (cells.size() != 5 || cells[0] != "group" ||
+            !parseU64(cells[2], nc) || !parseU64(cells[3], nh) ||
+            !parseU64(cells[4], nt))
+            return bad("group row");
+        StatsSnapshot::GroupRows g;
+        g.name = cells[1];
+        for (uint64_t i = 0; i < nc; ++i) {
+            if (!nextLine(payload, pos, line))
+                return bad("truncated counter");
+            cells = splitTabs(line);
+            StatsSnapshot::CounterRow c;
+            if (cells.size() != 4 || cells[0] != "counter" ||
+                !parseU64(cells[2], c.value))
+                return bad("counter row");
+            c.name = cells[1];
+            c.desc = cells[3];
+            g.counters.push_back(std::move(c));
+        }
+        for (uint64_t i = 0; i < nh; ++i) {
+            if (!nextLine(payload, pos, line))
+                return bad("truncated histogram");
+            cells = splitTabs(line);
+            StatsSnapshot::HistogramRow h;
+            if (cells.size() != 8 || cells[0] != "histogram" ||
+                !parseU64(cells[2], h.count) ||
+                !parseU64(cells[3], h.sum) ||
+                !parseU64(cells[4], h.min) ||
+                !parseU64(cells[5], h.max))
+                return bad("histogram row");
+            h.name = cells[1];
+            h.desc = cells[7];
+            size_t bpos = 0, bi = 0;
+            const std::string &bcsv = cells[6];
+            while (bi < telemetry::Histogram::kBuckets) {
+                size_t comma = bcsv.find(',', bpos);
+                std::string cell = bcsv.substr(
+                    bpos, comma == std::string::npos
+                              ? std::string::npos
+                              : comma - bpos);
+                if (!parseU64(cell, h.buckets[bi]))
+                    return bad("histogram bucket");
+                ++bi;
+                if (comma == std::string::npos)
+                    break;
+                bpos = comma + 1;
+            }
+            if (bi != telemetry::Histogram::kBuckets)
+                return bad("histogram bucket count");
+            g.histograms.push_back(std::move(h));
+        }
+        for (uint64_t i = 0; i < nt; ++i) {
+            if (!nextLine(payload, pos, line))
+                return bad("truncated timer");
+            cells = splitTabs(line);
+            StatsSnapshot::TimerRow t;
+            if (cells.size() != 5 || cells[0] != "timer" ||
+                !parseU64(cells[2], t.ns) || !parseU64(cells[3], t.laps))
+                return bad("timer row");
+            t.name = cells[1];
+            t.desc = cells[4];
+            g.timers.push_back(std::move(t));
+        }
+        r.stats.groups.push_back(std::move(g));
+    }
+    if (!nextLine(payload, pos, line) || line != "end")
+        return bad("missing end marker");
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Entry container
+// ---------------------------------------------------------------------
+
+ResultCache::ResultCache(Config cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.mode == CacheMode::ReadWrite) {
+        std::error_code ec;
+        fs::create_directories(cfg_.dir, ec);
+        if (ec)
+            raise(ErrorCode::IoError,
+                  "cannot create cache directory '%s': %s",
+                  cfg_.dir.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+ResultCache::entryPath(const std::string &hexKey) const
+{
+    return cfg_.dir + "/" + hexKey + kEntrySuffix;
+}
+
+void
+ResultCache::evict(const std::string &path)
+{
+    if (cfg_.mode != CacheMode::ReadWrite)
+        return;
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+std::optional<std::string>
+ResultCache::readEntry(const std::string &canonical,
+                       const std::string &hexKey,
+                       const std::string &kind)
+{
+    const std::string path = entryPath(hexKey);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        counters_.misses.fetch_add(1);
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string file = buf.str();
+
+    auto stale = [&](const char *why) -> std::optional<std::string> {
+        counters_.stale.fetch_add(1);
+        logEvent(LogLevel::Warn, "cache_stale",
+                 {{"key", hexKey},
+                  {"path", path},
+                  {"reason", why}});
+        evict(path);
+        return std::nullopt;
+    };
+
+    size_t pos = 0;
+    std::string line, value;
+    if (!nextLine(file, pos, line) || line != kMagicLine)
+        return stale("bad magic/version");
+    if (!nextLine(file, pos, line) ||
+        !fieldLine(line, "kind", value) || value != kind)
+        return stale("kind mismatch");
+    if (!nextLine(file, pos, line) || !fieldLine(line, "key", value) ||
+        value != hexKey)
+        return stale("key echo mismatch");
+    uint64_t keyBytes = 0, payloadBytes = 0;
+    if (!nextLine(file, pos, line) ||
+        !fieldLine(line, "key_bytes", value) ||
+        !parseU64(value, keyBytes))
+        return stale("key_bytes");
+    if (!nextLine(file, pos, line) ||
+        !fieldLine(line, "payload_bytes", value) ||
+        !parseU64(value, payloadBytes))
+        return stale("payload_bytes");
+    std::string sumHex;
+    if (!nextLine(file, pos, line) ||
+        !fieldLine(line, "payload_fnv1a", sumHex))
+        return stale("payload_fnv1a");
+    if (!nextLine(file, pos, line) || !line.empty())
+        return stale("header terminator");
+    if (pos + keyBytes + payloadBytes != file.size())
+        return stale("length mismatch (torn write)");
+    if (file.compare(pos, keyBytes, canonical) != 0)
+        return stale("canonical key mismatch (digest collision)");
+    pos += keyBytes;
+    std::string payload = file.substr(pos, payloadBytes);
+    if (hex64(fnv1a64(payload)) != sumHex)
+        return stale("payload checksum mismatch");
+    counters_.hits.fetch_add(1);
+    return payload;
+}
+
+bool
+ResultCache::writeEntry(const std::string &canonical,
+                        const std::string &hexKey,
+                        const std::string &kind,
+                        const std::string &payload)
+{
+    if (cfg_.mode != CacheMode::ReadWrite)
+        return false;
+    const std::string tmp =
+        cfg_.dir + "/" + kTmpPrefix +
+        std::to_string(uint64_t(::getpid())) + "-" +
+        std::to_string(tmpSeq_.fetch_add(1)) + "-" + hexKey;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cache: cannot open temp file %s", tmp.c_str());
+            return false;
+        }
+        out << kMagicLine << '\n'
+            << "kind " << kind << '\n'
+            << "key " << hexKey << '\n'
+            << "key_bytes " << canonical.size() << '\n'
+            << "payload_bytes " << payload.size() << '\n'
+            << "payload_fnv1a " << hex64(fnv1a64(payload)) << '\n'
+            << '\n'
+            << canonical << payload;
+        out.flush();
+        if (!out) {
+            warn("cache: write to %s failed", tmp.c_str());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    const std::string path = entryPath(hexKey);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cache: cannot publish %s: %s", path.c_str(),
+             std::strerror(errno));
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    counters_.admitted.fetch_add(1);
+    return true;
+}
+
+std::optional<CachedWorkloadResult>
+ResultCache::lookupWorkload(const WorkloadKey &key)
+{
+    const std::string canonical = canonicalWorkloadKey(key);
+    const std::string hexKey = hex64(fnv1a64(canonical));
+    auto payload = readEntry(canonical, hexKey, "workload");
+    if (!payload)
+        return std::nullopt;
+    auto decoded = decodeWorkloadPayload(*payload);
+    if (!decoded.ok()) {
+        // The checksum passed but the payload does not parse: a
+        // writer bug or a format change without a version bump.
+        // Demote the hit to a stale entry and fall back to
+        // simulation rather than trusting it.
+        counters_.hits.fetch_sub(1);
+        counters_.stale.fetch_add(1);
+        logEvent(LogLevel::Warn, "cache_stale",
+                 {{"key", hexKey},
+                  {"reason", decoded.status().message()}});
+        evict(entryPath(hexKey));
+        return std::nullopt;
+    }
+    return std::move(decoded.value());
+}
+
+bool
+ResultCache::storeWorkload(const WorkloadKey &key,
+                           const CachedWorkloadResult &result)
+{
+    const std::string canonical = canonicalWorkloadKey(key);
+    return writeEntry(canonical, hex64(fnv1a64(canonical)), "workload",
+                      encodeWorkloadPayload(result));
+}
+
+std::optional<std::string>
+ResultCache::lookupBlob(const WorkloadKey &key, const std::string &kind)
+{
+    const std::string canonical = canonicalWorkloadKey(key);
+    return readEntry(canonical, hex64(fnv1a64(canonical)),
+                     "blob:" + kind);
+}
+
+bool
+ResultCache::storeBlob(const WorkloadKey &key, const std::string &kind,
+                       const std::string &payload)
+{
+    const std::string canonical = canonicalWorkloadKey(key);
+    return writeEntry(canonical, hex64(fnv1a64(canonical)),
+                      "blob:" + kind, payload);
+}
+
+// ---------------------------------------------------------------------
+// Maintenance (gwc_cache)
+// ---------------------------------------------------------------------
+
+std::vector<CacheEntryInfo>
+ResultCache::scan(const std::string &dir, bool deep)
+{
+    std::vector<CacheEntryInfo> out;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return out;   // a missing directory is an empty cache
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string fname = de.path().filename().string();
+        if (fname.size() <= std::strlen(kEntrySuffix) ||
+            fname.compare(fname.size() - std::strlen(kEntrySuffix),
+                          std::string::npos, kEntrySuffix) != 0)
+            continue;
+        CacheEntryInfo info;
+        info.path = de.path().string();
+        info.key = fname.substr(0, fname.size() -
+                                       std::strlen(kEntrySuffix));
+        info.fileBytes = uint64_t(de.file_size(ec));
+        info.mtimeNs = mtimeNsOf(de);
+
+        std::ifstream in(info.path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string file = buf.str();
+        size_t pos = 0;
+        std::string line, value, sumHex;
+        uint64_t keyBytes = 0, payloadBytes = 0;
+        if (!nextLine(file, pos, line) || line != kMagicLine)
+            info.error = "bad magic/version";
+        else if (!nextLine(file, pos, line) ||
+                 !fieldLine(line, "kind", info.kind))
+            info.error = "missing kind";
+        else if (!nextLine(file, pos, line) ||
+                 !fieldLine(line, "key", value) || value != info.key)
+            info.error = "key echo mismatch";
+        else if (!nextLine(file, pos, line) ||
+                 !fieldLine(line, "key_bytes", value) ||
+                 !parseU64(value, keyBytes))
+            info.error = "malformed key_bytes";
+        else if (!nextLine(file, pos, line) ||
+                 !fieldLine(line, "payload_bytes", value) ||
+                 !parseU64(value, payloadBytes))
+            info.error = "malformed payload_bytes";
+        else if (!nextLine(file, pos, line) ||
+                 !fieldLine(line, "payload_fnv1a", sumHex))
+            info.error = "malformed payload_fnv1a";
+        else if (!nextLine(file, pos, line) || !line.empty())
+            info.error = "missing header terminator";
+        else if (pos + keyBytes + payloadBytes != file.size())
+            info.error = "length mismatch (torn write)";
+        else if (deep &&
+                 hex64(fnv1a64(std::string_view(file).substr(
+                     pos + keyBytes, payloadBytes))) != sumHex)
+            info.error = "payload checksum mismatch";
+        info.valid = info.error.empty();
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CacheEntryInfo &a, const CacheEntryInfo &b) {
+                  return a.path < b.path;
+              });
+    return out;
+}
+
+std::pair<uint64_t, uint64_t>
+ResultCache::gc(const std::string &dir, uint64_t maxBytes)
+{
+    uint64_t removed = 0, freed = 0;
+    std::error_code ec;
+
+    // Orphaned temp files (a writer died mid-stage) are always junk.
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string fname = de.path().filename().string();
+        if (fname.rfind(kTmpPrefix, 0) == 0) {
+            freed += uint64_t(de.file_size(ec));
+            ++removed;
+            fs::remove(de.path(), ec);
+        }
+    }
+
+    auto entries = scan(dir, false);
+    uint64_t total = 0;
+    for (const auto &e : entries)
+        total += e.fileBytes;
+    // Oldest first; invalid entries are evicted before anything else.
+    std::sort(entries.begin(), entries.end(),
+              [](const CacheEntryInfo &a, const CacheEntryInfo &b) {
+                  if (a.valid != b.valid)
+                      return !a.valid;
+                  if (a.mtimeNs != b.mtimeNs)
+                      return a.mtimeNs < b.mtimeNs;
+                  return a.path < b.path;
+              });
+    for (const auto &e : entries) {
+        if (total <= maxBytes && e.valid)
+            break;
+        fs::remove(e.path, ec);
+        if (!ec) {
+            total -= e.fileBytes;
+            freed += e.fileBytes;
+            ++removed;
+        }
+    }
+    return {removed, freed};
+}
+
+} // namespace gwc::runtime

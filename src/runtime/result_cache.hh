@@ -1,0 +1,293 @@
+/**
+ * @file
+ * gwc::runtime::ResultCache — content-addressed, on-disk cache of
+ * per-workload characterization results.
+ *
+ * The whole methodology is "simulate once, analyze many ways", and the
+ * repo's identity property tests prove that profiles, hotspot tables
+ * and stats totals are byte-identical across jobs/batch/executor — so
+ * a cache hit can be bit-for-bit indistinguishable from a fresh
+ * simulation. This cache exploits that: each entry is keyed by a
+ * canonical fingerprint of everything that can change the result
+ * (workload + params, result-affecting engine/profiler config, the
+ * collector set, the profile schema version, the engine
+ * event-semantics stamp, and the GKS source hash where one applies),
+ * and deliberately NOT by the knobs proven result-invariant
+ * (--jobs, --batch), so a warm cache serves any parallelism level.
+ *
+ * Correctness before speed (docs/CACHING.md):
+ *  - every entry carries an integrity header (magic, format version,
+ *    payload length + FNV-1a checksum) and echoes its full canonical
+ *    key; torn, truncated, corrupted or colliding entries are
+ *    detected, counted as stale, evicted (in rw mode) and treated as
+ *    misses — never trusted;
+ *  - writers stage to a temp file and publish with an atomic rename,
+ *    so concurrent suite shards (or concurrent processes) can race on
+ *    the same directory and readers only ever see complete entries;
+ *  - only clean, verified results are admitted: failed or
+ *    fault-injected workloads never reach store().
+ */
+
+#ifndef GWC_RUNTIME_RESULT_CACHE_HH
+#define GWC_RUNTIME_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/profiler.hh"
+#include "runtime/status.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::runtime
+{
+
+/** On-disk entry format version (integrity header "GWCCACHE vN"). */
+constexpr int kCacheFormatVersion = 1;
+
+/** Cache behaviour of one run. */
+enum class CacheMode : uint8_t
+{
+    Off,        ///< neither read nor written
+    ReadWrite,  ///< serve hits, admit clean misses (default)
+    ReadOnly,   ///< serve hits, never write or evict
+};
+
+/** CLI spelling of @p mode ("off", "rw", "ro"). */
+const char *cacheModeName(CacheMode mode);
+
+/** Parse "off" / "rw" / "ro" (InvalidArgument otherwise). */
+Result<CacheMode> parseCacheMode(const std::string &text);
+
+/**
+ * Every dimension of a workload-result cache key that callers supply.
+ * The canonical key appends the build-level dimensions itself (profile
+ * schema version, characteristic-set digest, engine event-semantics
+ * stamp, cache key schema), so a schema or semantics bump invalidates
+ * every old entry without touching call sites. Parallelism knobs
+ * (--jobs, --batch) are absent by design: results are property-tested
+ * invariant under them.
+ */
+struct WorkloadKey
+{
+    std::string workload;          ///< abbreviation, e.g. "BFS"
+    uint32_t scale = 1;            ///< input-size multiplier
+    bool verify = true;            ///< host-reference checks ran
+    uint32_t ctaSampleStride = 1;  ///< profiler CTA sampling
+
+    // Result-affecting profiler/analysis knobs.
+    uint32_t ilpWarpCap = 0;
+    std::vector<uint32_t> ilpLanes;
+    uint32_t reuseCap = 0;
+    bool perLaunch = false;
+
+    /** Collector set observing the run ("profile", "hotspots", ...).
+     * A different hook set is a different result. */
+    std::string collectors = "profile";
+
+    /** Digest of GKS kernel source for GKS-built workloads; "" for
+     * native-DSL workloads. Editing a kernel's source must miss. */
+    std::string gksSourceHash;
+
+    /** Tool-specific extra dimensions, in order (e.g. hotspot topN,
+     * timing design-space signature). */
+    std::vector<std::pair<std::string, std::string>> extra;
+
+    // Test seams: defaulted to the build's real values; tests override
+    // them to prove each dimension invalidates independently.
+    int profileSchemaVersion;      ///< metrics::kProfileFormatVersion
+    int engineSemanticsVersion;    ///< simt::kEventSemanticsVersion
+    std::string characteristicSet; ///< digest of characteristic names
+
+    WorkloadKey();
+};
+
+/** The full canonical key text of @p key (ground truth identity). */
+std::string canonicalWorkloadKey(const WorkloadKey &key);
+
+/** Hex FNV-1a digest of canonicalWorkloadKey (entry filename). */
+std::string workloadFingerprint(const WorkloadKey &key);
+
+/**
+ * Point-in-time copy of a stats Registry, restorable into another
+ * registry with identical group/stat registration order — so a merged
+ * shared registry is byte-identical whether a workload's counters
+ * came from simulation or from the cache. Timer values carry the
+ * original simulation's wall-clock (a cache hit costs near zero; the
+ * restored timers report what the cached work cost when it ran).
+ */
+struct StatsSnapshot
+{
+    struct CounterRow
+    {
+        std::string name, desc;
+        uint64_t value = 0;
+    };
+    struct HistogramRow
+    {
+        std::string name, desc;
+        uint64_t buckets[telemetry::Histogram::kBuckets] = {};
+        uint64_t count = 0, sum = 0, min = 0, max = 0;
+    };
+    struct TimerRow
+    {
+        std::string name, desc;
+        uint64_t ns = 0, laps = 0;
+    };
+    struct GroupRows
+    {
+        std::string name;
+        std::vector<CounterRow> counters;
+        std::vector<HistogramRow> histograms;
+        std::vector<TimerRow> timers;
+    };
+
+    std::vector<GroupRows> groups;
+
+    /** Snapshot @p reg (must be quiescent). */
+    static StatsSnapshot capture(const telemetry::Registry &reg);
+
+    /** Re-register every stat into @p reg, folding values in. */
+    void restore(telemetry::Registry &reg) const;
+};
+
+/** One cached workload characterization. */
+struct CachedWorkloadResult
+{
+    // WorkloadDesc mirror (runtime sits below workloads in the link
+    // graph, so the cache speaks plain fields).
+    std::string suite, name, abbrev, summary;
+
+    bool verified = false;
+    uint64_t warpInstrs = 0;
+
+    // Original per-phase wall-clock: what the cached work cost when
+    // it was simulated (reported alongside cached=true rows).
+    double setupSec = 0, simulateSec = 0, profileSec = 0,
+           verifySec = 0;
+
+    /** Kernel profiles, serialized as the canonical profile CSV. */
+    std::vector<metrics::KernelProfile> profiles;
+
+    StatsSnapshot stats;
+};
+
+/** Lifetime counters of one cache handle (all relaxed atomics). */
+struct CacheCounters
+{
+    std::atomic<uint64_t> hits{0};      ///< entries served
+    std::atomic<uint64_t> misses{0};    ///< absent entries
+    std::atomic<uint64_t> stale{0};     ///< corrupt/mismatched entries
+    std::atomic<uint64_t> bypassed{0};  ///< lookups skipped by policy
+    std::atomic<uint64_t> admitted{0};  ///< entries written
+};
+
+/** Summary of one on-disk entry (gwc_cache info/verify/gc). */
+struct CacheEntryInfo
+{
+    std::string path;      ///< absolute or dir-relative path
+    std::string key;       ///< hex fingerprint (from the filename)
+    std::string kind;      ///< payload kind ("workload", "blob:...")
+    uint64_t fileBytes = 0;
+    int64_t mtimeNs = 0;   ///< modification time (gc ordering)
+    bool valid = false;    ///< header (+payload when deep) checks pass
+    std::string error;     ///< first integrity failure, else ""
+};
+
+class ResultCache
+{
+  public:
+    struct Config
+    {
+        std::string dir;
+        CacheMode mode = CacheMode::ReadWrite;
+    };
+
+    /**
+     * Opens (and in rw mode creates) the cache directory. Throws
+     * gwc::Error(IoError) when a rw directory cannot be created.
+     */
+    explicit ResultCache(Config cfg);
+
+    CacheMode mode() const { return cfg_.mode; }
+    const std::string &dir() const { return cfg_.dir; }
+
+    /**
+     * Look up the workload entry of @p key. Integrity failures
+     * (missing magic, version/length/checksum mismatch, canonical-key
+     * mismatch, malformed payload) count as stale, evict the file in
+     * rw mode and return nullopt like a plain miss.
+     */
+    std::optional<CachedWorkloadResult>
+    lookupWorkload(const WorkloadKey &key);
+
+    /**
+     * Admit a clean result under @p key (write-temp + atomic rename).
+     * No-op in ro/off modes. Callers must never pass failed or
+     * fault-injected results. Returns true when the entry was
+     * published.
+     */
+    bool storeWorkload(const WorkloadKey &key,
+                       const CachedWorkloadResult &result);
+
+    /**
+     * Raw-payload variant for tool-level artifacts (rendered hotspot
+     * tables, timing tables): same addressing, integrity and
+     * atomicity, opaque payload. @p kind tags the entry for
+     * gwc_cache info ("hotspots", "timing", ...).
+     */
+    std::optional<std::string> lookupBlob(const WorkloadKey &key,
+                                          const std::string &kind);
+    bool storeBlob(const WorkloadKey &key, const std::string &kind,
+                   const std::string &payload);
+
+    /** Count a policy bypass (injection armed, non-shardable hook). */
+    void noteBypass() { counters_.bypassed.fetch_add(1); }
+
+    const CacheCounters &counters() const { return counters_; }
+
+    /**
+     * Enumerate the entries of @p dir (non-recursive, "*.gwce").
+     * @p deep additionally checks payload length + checksum; without
+     * it only the header is validated. A missing directory is an
+     * empty cache.
+     */
+    static std::vector<CacheEntryInfo> scan(const std::string &dir,
+                                            bool deep);
+
+    /**
+     * Evict oldest-first (mtime) until the summed entry bytes are at
+     * most @p maxBytes, and always remove orphaned temp files.
+     * Returns (entries removed, bytes freed).
+     */
+    static std::pair<uint64_t, uint64_t> gc(const std::string &dir,
+                                            uint64_t maxBytes);
+
+    /** Serialization of one workload result (payload bytes). */
+    static std::string
+    encodeWorkloadPayload(const CachedWorkloadResult &result);
+
+    /** Parse encodeWorkloadPayload output (Status on malformed). */
+    static Result<CachedWorkloadResult>
+    decodeWorkloadPayload(const std::string &payload);
+
+  private:
+    std::optional<std::string> readEntry(const std::string &canonical,
+                                         const std::string &hexKey,
+                                         const std::string &kind);
+    bool writeEntry(const std::string &canonical,
+                    const std::string &hexKey, const std::string &kind,
+                    const std::string &payload);
+    std::string entryPath(const std::string &hexKey) const;
+    void evict(const std::string &path);
+
+    Config cfg_;
+    CacheCounters counters_;
+    std::atomic<uint64_t> tmpSeq_{0};
+};
+
+} // namespace gwc::runtime
+
+#endif // GWC_RUNTIME_RESULT_CACHE_HH

@@ -27,6 +27,16 @@ Session::Session(SessionOptions opts)
             throw Error(st);
         opts_.suite.inject = &plan_;
     }
+    if (!opts_.cacheDir.empty()) {
+        Result<CacheMode> mode = parseCacheMode(opts_.cacheMode);
+        if (!mode.ok())
+            throw Error(mode.status());
+        if (mode.value() != CacheMode::Off) {
+            cache_ = std::make_unique<ResultCache>(
+                ResultCache::Config{opts_.cacheDir, mode.value()});
+            opts_.suite.cache = cache_.get();
+        }
+    }
     report_.tool = opts_.tool;
 
     // Run correlation: one id per session, carried by structured log
@@ -94,6 +104,7 @@ Session::runSuite(const std::vector<std::string> &names)
         wr.profileSec = run.profileSec;
         wr.verifySec = run.verifySec;
         wr.warpInstrs = run.totals.warpInstrs;
+        wr.cached = run.cached;
         for (const auto &p : run.profiles) {
             telemetry::KernelReportRow row;
             row.name = p.kernel;
@@ -166,6 +177,25 @@ Session::finish()
     }
 
     report_.exitCode = ec;
+    if (cache_) {
+        const CacheCounters &c = cache_->counters();
+        report_.cache.enabled = true;
+        report_.cache.dir = cache_->dir();
+        report_.cache.mode = cacheModeName(cache_->mode());
+        report_.cache.hits = c.hits.load();
+        report_.cache.misses = c.misses.load();
+        report_.cache.stale = c.stale.load();
+        report_.cache.bypassed = c.bypassed.load();
+        report_.cache.admitted = c.admitted.load();
+        inform("cache: %llu hits, %llu misses, %llu stale, %llu "
+               "bypassed, %llu admitted (%s, %s)",
+               (unsigned long long)report_.cache.hits,
+               (unsigned long long)report_.cache.misses,
+               (unsigned long long)report_.cache.stale,
+               (unsigned long long)report_.cache.bypassed,
+               (unsigned long long)report_.cache.admitted,
+               report_.cache.mode.c_str(), cache_->dir().c_str());
+    }
     if (wantStats_ || !opts_.promOut.empty())
         telemetry::recordThreadPoolStats(
             stats_, ThreadPool::global().statsSnapshot());
@@ -254,6 +284,21 @@ addSuiteFlags(cli::Parser &p, SessionOptions &o)
                 "kind@workload[:count]; kinds: alloc-fail,\n"
                 "verify-mismatch, hook-throw, timeout, oom",
                 &o.injectSpecs);
+    addCacheFlags(p, o);
+}
+
+void
+addCacheFlags(cli::Parser &p, SessionOptions &o)
+{
+    p.strOpt("--cache-dir", "", "DIR",
+             "content-addressed result cache: repeat runs\n"
+             "with unchanged result-affecting configuration\n"
+             "are served without simulating (docs/CACHING.md)",
+             &o.cacheDir);
+    p.strOpt("--cache", "", "MODE",
+             "cache mode with --cache-dir: rw serves hits\n"
+             "and admits clean misses, ro never writes,\n"
+             "off disables (default rw)", &o.cacheMode);
 }
 
 void

@@ -25,6 +25,7 @@
 
 #include "common/cli.hh"
 #include "runtime/inject.hh"
+#include "runtime/result_cache.hh"
 #include "telemetry/monitor.hh"
 #include "telemetry/report.hh"
 #include "telemetry/stats.hh"
@@ -46,6 +47,14 @@ struct SessionOptions
      * constructor; malformed specs throw gwc::Error(InvalidArgument).
      */
     std::string injectSpecs;
+    /**
+     * Result-cache directory ("" = no cache). With a directory and
+     * mode "rw"/"ro", the Session opens a ResultCache and attaches it
+     * to the suite options; repeated runs are served without
+     * simulating (docs/CACHING.md).
+     */
+    std::string cacheDir;
+    std::string cacheMode = "rw";  ///< "rw", "ro" or "off"
     std::string statsOut;          ///< run report JSON path ("" = off)
     std::string traceOut;          ///< event trace path ("" = off)
     telemetry::TraceWriter::Config traceConfig;
@@ -87,6 +96,9 @@ class Session
 
     /** The event-trace recorder, or null without traceOut. */
     telemetry::TraceWriter *tracer() { return tracer_.get(); }
+
+    /** The result cache, or null without cacheDir (or --cache off). */
+    ResultCache *cache() { return cache_.get(); }
 
     /** The run correlation id minted for this session. */
     const std::string &runId() const { return runId_; }
@@ -148,6 +160,7 @@ class Session
   private:
     SessionOptions opts_;
     InjectionPlan plan_;
+    std::unique_ptr<ResultCache> cache_;
     telemetry::Registry stats_;
     bool wantStats_ = false;
     std::string runId_;
@@ -181,6 +194,13 @@ void addSuiteFlags(cli::Parser &p, SessionOptions &o);
  * --prom-out.
  */
 void addObservabilityFlags(cli::Parser &p, SessionOptions &o);
+
+/**
+ * Register the result-cache flags: --cache-dir, --cache. Included in
+ * addSuiteFlags; exposed separately for tools that drive engines by
+ * hand (gwc_simulate) and only reuse the cache wiring.
+ */
+void addCacheFlags(cli::Parser &p, SessionOptions &o);
 
 } // namespace gwc::runtime
 

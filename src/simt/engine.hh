@@ -32,6 +32,20 @@ class ActivityBoard;
 namespace gwc::simt
 {
 
+/**
+ * Version stamp of the engine's observable event semantics: what a
+ * hook sees per dynamic instruction, memory access, branch and
+ * barrier (see the executor identity rules in docs/PERFORMANCE.md).
+ * Cached characterization results are keyed by this stamp, so it MUST
+ * be bumped by any change that alters the event stream a workload
+ * produces — new fusion rules that change instruction counts, changed
+ * dep-distance semantics, reordered emission — even when the change
+ * is "better". Changes proven byte-identical (batching, sharding,
+ * executor swaps covered by the identity property tests) keep the
+ * stamp.
+ */
+constexpr int kEventSemanticsVersion = 1;
+
 /** Aggregate counters for one launch. */
 struct LaunchStats
 {

@@ -61,6 +61,16 @@ writeRunReport(std::ostream &os, const RunReport &r,
         os << "\"started_at\":\"" << jsonEscape(r.startedAt) << "\",";
     if (!r.endedAt.empty())
         os << "\"ended_at\":\"" << jsonEscape(r.endedAt) << "\",";
+    if (r.cache.enabled) {
+        os << "\"cache\":{"
+           << "\"dir\":\"" << jsonEscape(r.cache.dir) << "\","
+           << "\"mode\":\"" << jsonEscape(r.cache.mode) << "\","
+           << "\"hits\":" << r.cache.hits << ","
+           << "\"misses\":" << r.cache.misses << ","
+           << "\"stale\":" << r.cache.stale << ","
+           << "\"bypassed\":" << r.cache.bypassed << ","
+           << "\"admitted\":" << r.cache.admitted << "},";
+    }
     os
        << "\"totals\":{"
        << "\"workloads\":" << r.workloads.size() << ","
@@ -91,6 +101,8 @@ writeRunReport(std::ostream &os, const RunReport &r,
            << "\"verified\":" << (w.verified ? "true" : "false") << ","
            << "\"attempts\":" << w.attempts << ","
            << "\"warp_instrs\":" << w.warpInstrs << ",";
+        if (w.cached)
+            os << "\"cached\":true,";
         if (w.failed()) {
             os << "\"error\":{"
                << "\"code\":\"" << jsonEscape(w.errorCode) << "\","

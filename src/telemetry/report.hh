@@ -48,9 +48,30 @@ struct WorkloadReport
     double profileSec = 0;     ///< profile finalization
     double verifySec = 0;      ///< host-reference verification
     uint64_t warpInstrs = 0;   ///< total dynamic warp instructions
+    /** True when this row was served from the result cache; phase
+     * seconds then carry the original simulation's wall-clock.
+     * Additive: emitted only when true. */
+    bool cached = false;
     std::vector<KernelReportRow> kernels;
 
     bool failed() const { return status != "ok"; }
+};
+
+/**
+ * Result-cache outcome of a run (docs/CACHING.md). Additive: the
+ * "cache" object is only emitted when enabled is true, so reports of
+ * cacheless runs are byte-identical to pre-cache builds.
+ */
+struct CacheReport
+{
+    bool enabled = false;      ///< a cache was attached to the run
+    std::string dir;           ///< cache directory
+    std::string mode;          ///< "rw" or "ro"
+    uint64_t hits = 0;         ///< workloads served from the cache
+    uint64_t misses = 0;       ///< absent entries (simulated)
+    uint64_t stale = 0;        ///< corrupt/mismatched entries evicted
+    uint64_t bypassed = 0;     ///< lookups skipped by policy
+    uint64_t admitted = 0;     ///< entries written
 };
 
 /** The whole run. */
@@ -63,6 +84,7 @@ struct RunReport
     double wallSec = 0;        ///< end-to-end wall-clock
     uint64_t hookEvents = 0;   ///< engine events fanned out to hooks
     int exitCode = 0;          ///< process exit code (0 clean, 2 partial)
+    CacheReport cache;         ///< result-cache outcome (additive)
     std::vector<WorkloadReport> workloads;
 };
 

@@ -121,6 +121,32 @@ class Histogram
         sum_ += other.sum_;
     }
 
+    /**
+     * Fold previously captured raw state back in (bucket-wise, like
+     * merge). Used by the result cache to rebuild a registry from a
+     * snapshot so a cache-served run registers byte-identical
+     * histogram state.
+     */
+    void
+    restore(const uint64_t (&buckets)[kBuckets], uint64_t count,
+            uint64_t sum, uint64_t min, uint64_t max)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += buckets[i];
+        if (count > 0) {
+            if (count_ == 0) {
+                min_ = min;
+                max_ = max;
+            } else {
+                if (min < min_) min_ = min;
+                if (max > max_) max_ = max;
+            }
+        }
+        count_ += count;
+        sum_ += sum;
+    }
+
     /** Bucket index a value falls into. */
     static size_t
     bucketOf(uint64_t x)
@@ -180,6 +206,14 @@ class Timer
     {
         ns_.fetch_add(other.ns(), std::memory_order_relaxed);
         laps_.fetch_add(other.laps(), std::memory_order_relaxed);
+    }
+
+    /** Fold raw captured state back in (result-cache restore). */
+    void
+    addRaw(uint64_t ns, uint64_t laps)
+    {
+        ns_.fetch_add(ns, std::memory_order_relaxed);
+        laps_.fetch_add(laps, std::memory_order_relaxed);
     }
 
     uint64_t ns() const { return ns_.load(std::memory_order_relaxed); }

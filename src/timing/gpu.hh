@@ -22,6 +22,16 @@
 namespace gwc::timing
 {
 
+/**
+ * Version stamp of the timing model's observable output. Cached
+ * timing tables are keyed by this stamp (plus the full numeric
+ * design-point signature), so it MUST be bumped by any change to the
+ * cycle accounting — scheduler behaviour, latency application, cache
+ * or DRAM modelling — even a fix. Pure refactors that keep cycles
+ * bit-identical keep the stamp.
+ */
+constexpr int kTimingModelVersion = 1;
+
 /** Warp scheduling policy. */
 enum class SchedPolicy : uint8_t { RoundRobin, Gto };
 

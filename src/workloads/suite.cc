@@ -226,11 +226,14 @@ attemptOne(const std::string &name, const SuiteOptions &opts,
  * go to a fresh attempt-private registry; only the successful
  * attempt's is handed back through @p regOut, so a failed or retried
  * attempt can never leak partial counters into the merged totals.
+ * @p forceStats creates the attempt registry even without opts.stats
+ * — a cache fill needs the stats snapshot regardless of --stats-out.
  */
 WorkloadRun
 runOneGuarded(const std::string &name, const SuiteOptions &opts,
               simt::ProfilerHook *extraHook,
-              std::unique_ptr<telemetry::Registry> &regOut)
+              std::unique_ptr<telemetry::Registry> &regOut,
+              bool forceStats = false)
 {
     WorkloadRun run;
     std::string phase = "setup";
@@ -238,7 +241,7 @@ runOneGuarded(const std::string &name, const SuiteOptions &opts,
     std::unique_ptr<telemetry::Registry> attemptReg;
     auto outcome = runtime::runGuarded(
         opts.limits, opts.retry, [&](runtime::CancelToken &token) {
-            attemptReg = opts.stats
+            attemptReg = (opts.stats || forceStats)
                              ? std::make_unique<telemetry::Registry>()
                              : nullptr;
             attemptOne(name, opts, attemptReg.get(), extraHook, token,
@@ -260,6 +263,127 @@ runOneGuarded(const std::string &name, const SuiteOptions &opts,
             run.desc.abbrev = name;
     }
     return run;
+}
+
+/**
+ * The cache key of one suite workload: every result-affecting knob of
+ * this run. attemptOne builds its Profiler from the default Config
+ * plus opts.ctaSampleStride, so the remaining profiler dimensions are
+ * pinned here from the same defaults — if attemptOne ever exposes
+ * them, they must flow into the key too.
+ */
+runtime::WorkloadKey
+cacheKeyFor(const std::string &name, const SuiteOptions &opts)
+{
+    runtime::WorkloadKey key;
+    key.workload = name;
+    key.scale = opts.scale;
+    key.verify = opts.verify;
+    key.ctaSampleStride = opts.ctaSampleStride;
+    metrics::Profiler::Config pcfg;
+    key.ilpWarpCap = pcfg.ilpWarpCap;
+    key.ilpLanes = pcfg.ilpLanes;
+    key.reuseCap = pcfg.reuseCap;
+    key.perLaunch = pcfg.perLaunch;
+    key.collectors = "profile";
+    return key;
+}
+
+/** Materialize a cache hit as a WorkloadRun (no simulation). */
+WorkloadRun
+runFromCache(const std::string &name, const SuiteOptions &opts,
+             runtime::CachedWorkloadResult &&hit,
+             std::unique_ptr<telemetry::Registry> &regOut)
+{
+    WorkloadRun run;
+    run.cached = true;
+    run.attempts = 1;
+    run.attemptId = mintAttemptId(opts.runId, name, 1);
+    run.desc.suite = std::move(hit.suite);
+    run.desc.name = std::move(hit.name);
+    run.desc.abbrev = std::move(hit.abbrev);
+    run.desc.summary = std::move(hit.summary);
+    run.verified = hit.verified;
+    run.totals.warpInstrs = hit.warpInstrs;
+    run.profiles = std::move(hit.profiles);
+    run.setupSec = hit.setupSec;
+    run.simulateSec = hit.simulateSec;
+    run.profileSec = hit.profileSec;
+    run.verifySec = hit.verifySec;
+    if (opts.activity) {
+        opts.activity->workloadBegin(name, run.attemptId,
+                                     opts.limits.softTimeoutSec);
+        opts.activity->workloadEnd(name, true);
+    }
+    if (opts.verbose)
+        inform("cached  %s (%s)", run.desc.abbrev.c_str(),
+               run.desc.name.c_str());
+    if (opts.stats) {
+        // Restore into a private registry merged back in workload
+        // order, exactly like a simulated attempt's — the shared
+        // totals cannot depend on which workloads were cache hits.
+        regOut = std::make_unique<telemetry::Registry>();
+        hit.stats.restore(*regOut);
+    }
+    return run;
+}
+
+/** Admit a clean, simulated result under @p key. */
+void
+admitRun(runtime::ResultCache &cache, const runtime::WorkloadKey &key,
+         const WorkloadRun &run, const telemetry::Registry *reg)
+{
+    runtime::CachedWorkloadResult r;
+    r.suite = run.desc.suite;
+    r.name = run.desc.name;
+    r.abbrev = run.desc.abbrev;
+    r.summary = run.desc.summary;
+    r.verified = run.verified;
+    r.warpInstrs = run.totals.warpInstrs;
+    r.setupSec = run.setupSec;
+    r.simulateSec = run.simulateSec;
+    r.profileSec = run.profileSec;
+    r.verifySec = run.verifySec;
+    r.profiles = run.profiles;
+    if (reg)
+        r.stats = runtime::StatsSnapshot::capture(*reg);
+    cache.storeWorkload(key, r);
+}
+
+/**
+ * runOneGuarded wrapped in the result-cache policy: bypass for
+ * injected workloads and extra hooks, otherwise lookup before and
+ * admit after. Thread-safe — the parallel suite path calls this
+ * concurrently (atomic counters, rename-published entries).
+ */
+void
+runOneCached(const std::string &name, const SuiteOptions &opts,
+             simt::ProfilerHook *extraHook, WorkloadRun &out,
+             std::unique_ptr<telemetry::Registry> &regOut)
+{
+    runtime::ResultCache *cache = opts.cache;
+    if (!cache || cache->mode() == runtime::CacheMode::Off) {
+        out = runOneGuarded(name, opts, extraHook, regOut);
+        return;
+    }
+    if (extraHook != nullptr ||
+        (opts.inject && opts.inject->targets(name))) {
+        // An extra hook needs real launches to observe; an injected
+        // workload must neither be served (the fault would be masked)
+        // nor admitted (the result is poisoned).
+        cache->noteBypass();
+        out = runOneGuarded(name, opts, extraHook, regOut);
+        return;
+    }
+    const runtime::WorkloadKey key = cacheKeyFor(name, opts);
+    if (auto hit = cache->lookupWorkload(key)) {
+        out = runFromCache(name, opts, std::move(*hit), regOut);
+        return;
+    }
+    const bool fill = cache->mode() == runtime::CacheMode::ReadWrite;
+    out = runOneGuarded(name, opts, extraHook, regOut, fill);
+    if (fill && !out.failed())
+        admitRun(*cache, key, out, regOut.get());
 }
 
 } // anonymous namespace
@@ -295,14 +419,14 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
         tasks.reserve(list.size());
         for (size_t i = 0; i < list.size(); ++i) {
             tasks.push_back([&, i] {
-                out[i] = runOneGuarded(list[i], opts, nullptr, regs[i]);
+                runOneCached(list[i], opts, nullptr, out[i], regs[i]);
             });
         }
         ThreadPool::global().runAll(std::move(tasks), jobs);
     } else {
         for (size_t i = 0; i < list.size(); ++i) {
-            out[i] = runOneGuarded(list[i], opts, opts.extraHook,
-                                   regs[i]);
+            runOneCached(list[i], opts, opts.extraHook, out[i],
+                         regs[i]);
             if (out[i].failed() && !opts.keepGoing)
                 break;   // the merge loop below rethrows in order
         }
@@ -326,6 +450,18 @@ runSuite(const std::vector<std::string> &names, const SuiteOptions &opts)
             opts.stats->mergeFrom(*regs[i]);
         }
         recordFailureStats(opts.stats, run);
+    }
+
+    if (opts.cache && opts.cache->mode() != runtime::CacheMode::Off) {
+        const auto &c = opts.cache->counters();
+        logEvent(LogLevel::Info, "cache_summary",
+                 {{"dir", opts.cache->dir()},
+                  {"mode", runtime::cacheModeName(opts.cache->mode())},
+                  {"hits", std::to_string(c.hits.load())},
+                  {"misses", std::to_string(c.misses.load())},
+                  {"stale", std::to_string(c.stale.load())},
+                  {"bypassed", std::to_string(c.bypassed.load())},
+                  {"admitted", std::to_string(c.admitted.load())}});
     }
     return out;
 }

@@ -23,6 +23,7 @@
 #include "metrics/profiler.hh"
 #include "runtime/guard.hh"
 #include "runtime/inject.hh"
+#include "runtime/result_cache.hh"
 #include "stats/matrix.hh"
 #include "telemetry/stats.hh"
 #include "workloads/workload.hh"
@@ -56,6 +57,10 @@ struct WorkloadRun
     /** Correlation id of the last attempt,
      * "<run_id>:<workload>#<attempt>" ("" without a run id/board). */
     std::string attemptId;
+
+    /** True when this result was served from the result cache (no
+     * simulation ran; phase seconds are the original run's). */
+    bool cached = false;
 
     /** True when the guard gave up on this workload. */
     bool failed() const { return !status.ok(); }
@@ -112,6 +117,16 @@ struct SuiteOptions
     runtime::RetryPolicy retry;
     /** Optional deterministic fault injection (not owned). */
     runtime::InjectionPlan *inject = nullptr;
+
+    /**
+     * Optional result cache (not owned). When set, each workload is
+     * looked up by canonical fingerprint before simulating and a
+     * clean miss is admitted afterwards (rw mode). Bypassed — neither
+     * served nor admitted — for workloads targeted by fault injection
+     * and for runs with an extraHook (the hook must observe real
+     * launches). See docs/CACHING.md.
+     */
+    runtime::ResultCache *cache = nullptr;
 
     /**
      * Optional live activity board (telemetry/monitor.hh, not owned):

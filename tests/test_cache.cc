@@ -1,0 +1,678 @@
+/**
+ * @file
+ * Result-cache tests (docs/CACHING.md): canonical-key stability and
+ * per-dimension invalidation, payload round-trips, integrity-failure
+ * handling (corrupt entries are stale, evicted in rw, kept in ro),
+ * admission policy (failed/injected/hooked runs never cached) and the
+ * headline property — cache-served suite results are byte-identical
+ * to fresh simulation across jobs levels and cache states.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.hh"
+#include "metrics/profile_io.hh"
+#include "runtime/inject.hh"
+#include "runtime/result_cache.hh"
+#include "simt/engine.hh"
+#include "workloads/suite.hh"
+
+namespace fs = std::filesystem;
+using namespace gwc;
+using runtime::CachedWorkloadResult;
+using runtime::CacheMode;
+using runtime::ResultCache;
+using runtime::StatsSnapshot;
+using runtime::WorkloadKey;
+
+namespace
+{
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+std::string
+tempDir(const std::string &tag)
+{
+    std::string dir = testing::TempDir() + "gwc_cache_" + tag;
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** The fixed key of the golden canonical-text test. */
+WorkloadKey
+goldenKey()
+{
+    WorkloadKey k;
+    k.workload = "BFS";
+    k.scale = 2;
+    k.verify = true;
+    k.ctaSampleStride = 4;
+    k.ilpWarpCap = 8;
+    k.ilpLanes = {1, 2, 4};
+    k.reuseCap = 64;
+    k.perLaunch = false;
+    k.collectors = "profile";
+    k.gksSourceHash = "00ff";
+    k.extra.emplace_back("top_n", "10");
+    // Pin the build-level seams so the golden text cannot drift with
+    // schema bumps (those get their own invalidation assertions).
+    k.profileSchemaVersion = 7;
+    k.engineSemanticsVersion = 3;
+    k.characteristicSet = "cafe";
+    return k;
+}
+
+constexpr char kGoldenCanonical[] =
+    "gwc-workload-key v1\n"
+    "workload=BFS\n"
+    "scale=2\n"
+    "verify=1\n"
+    "cta_sample_stride=4\n"
+    "ilp_warp_cap=8\n"
+    "ilp_lanes=1,2,4\n"
+    "reuse_cap=64\n"
+    "per_launch=0\n"
+    "collectors=profile\n"
+    "gks_source=00ff\n"
+    "x_top_n=10\n"
+    "profile_schema=7\n"
+    "characteristics=cafe\n"
+    "engine_semantics=3\n";
+
+/** Deterministic text form of a snapshot for byte-wise comparison.
+ * Thread-pool activity legitimately differs run to run, so the pool
+ * group is excluded; timers can be excluded when comparing runs with
+ * different wall-clock origins. */
+std::string
+snapText(const StatsSnapshot &snap, bool withTimers = true)
+{
+    std::ostringstream os;
+    for (const auto &g : snap.groups) {
+        if (g.name == "pool")
+            continue;
+        for (const auto &c : g.counters)
+            os << g.name << ".counter " << c.name << " = " << c.value
+               << " # " << c.desc << "\n";
+        for (const auto &h : g.histograms) {
+            os << g.name << ".histogram " << h.name << " = " << h.count
+               << "/" << h.sum << "/" << h.min << "/" << h.max << " [";
+            for (size_t i = 0; i < telemetry::Histogram::kBuckets; ++i)
+                os << (i ? "," : "") << h.buckets[i];
+            os << "] # " << h.desc << "\n";
+        }
+        if (withTimers)
+            for (const auto &t : g.timers)
+                os << g.name << ".timer " << t.name << " = " << t.ns
+                   << "ns/" << t.laps << " # " << t.desc << "\n";
+    }
+    return os.str();
+}
+
+/** Canonical profile CSV bytes of a suite run set. */
+std::string
+profilesCsv(const std::vector<workloads::WorkloadRun> &runs)
+{
+    std::ostringstream os;
+    metrics::writeProfilesCsv(os, workloads::allProfiles(runs));
+    return os.str();
+}
+
+const std::vector<std::string> kSuite = {"SLA", "SPROD"};
+
+struct SuiteOutcome
+{
+    std::vector<workloads::WorkloadRun> runs;
+    std::string csv;
+    StatsSnapshot stats;
+};
+
+/** Run the test suite with optional cache, harvesting the byte-level
+ * outputs identity is asserted on. */
+SuiteOutcome
+runCharacterization(ResultCache *cache, uint32_t jobs = 1,
+                    runtime::InjectionPlan *inject = nullptr,
+                    simt::ProfilerHook *extraHook = nullptr)
+{
+    telemetry::Registry reg;
+    workloads::SuiteOptions opts;
+    opts.jobs = jobs;
+    opts.stats = &reg;
+    opts.cache = cache;
+    opts.inject = inject;
+    opts.extraHook = extraHook;
+    SuiteOutcome out;
+    out.runs = workloads::runSuite(kSuite, opts);
+    out.csv = profilesCsv(out.runs);
+    out.stats = StatsSnapshot::capture(reg);
+    return out;
+}
+
+size_t
+entryCount(const std::string &dir)
+{
+    return ResultCache::scan(dir, false).size();
+}
+
+/** A benign extra hook: observes nothing, forces the bypass policy. */
+struct NullHook : simt::ProfilerHook
+{};
+
+} // anonymous namespace
+
+TEST(CacheKey, GoldenCanonicalText)
+{
+    WorkloadKey k = goldenKey();
+    EXPECT_EQ(runtime::canonicalWorkloadKey(k), kGoldenCanonical);
+    // The digest is pinned via the golden text: entry filenames (and
+    // therefore warm caches) survive rebuilds of the same sources.
+    EXPECT_EQ(runtime::workloadFingerprint(k),
+              hex64(fnv1a64(kGoldenCanonical)));
+    EXPECT_EQ(runtime::workloadFingerprint(k), "2efab73daf21b911");
+}
+
+TEST(CacheKey, DefaultSeamsTrackTheBuild)
+{
+    WorkloadKey k;
+    k.workload = "BFS";
+    std::string text = runtime::canonicalWorkloadKey(k);
+    EXPECT_NE(text.find("profile_schema=" +
+                        std::to_string(metrics::kProfileFormatVersion)),
+              std::string::npos);
+    EXPECT_NE(text.find("engine_semantics=" +
+                        std::to_string(simt::kEventSemanticsVersion)),
+              std::string::npos);
+    // The characteristic-set digest is a 16-char hex64.
+    EXPECT_EQ(k.characteristicSet.size(), 16u);
+    EXPECT_EQ(k.characteristicSet.find_first_not_of(
+                  "0123456789abcdef"),
+              std::string::npos);
+    std::string fp = runtime::workloadFingerprint(k);
+    EXPECT_EQ(fp.size(), 16u);
+    EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+}
+
+TEST(CacheKey, EveryDimensionInvalidatesIndependently)
+{
+    const WorkloadKey base = goldenKey();
+    std::vector<std::pair<std::string, WorkloadKey>> variants;
+    auto add = [&](const char *what, auto mutate) {
+        WorkloadKey k = goldenKey();
+        mutate(k);
+        variants.emplace_back(what, std::move(k));
+    };
+    add("workload", [](WorkloadKey &k) { k.workload = "MUM"; });
+    add("scale", [](WorkloadKey &k) { k.scale = 3; });
+    add("verify", [](WorkloadKey &k) { k.verify = false; });
+    add("cta_sample_stride",
+        [](WorkloadKey &k) { k.ctaSampleStride = 8; });
+    add("ilp_warp_cap", [](WorkloadKey &k) { k.ilpWarpCap = 9; });
+    add("ilp_lanes", [](WorkloadKey &k) { k.ilpLanes = {1, 2, 5}; });
+    add("reuse_cap", [](WorkloadKey &k) { k.reuseCap = 65; });
+    add("per_launch", [](WorkloadKey &k) { k.perLaunch = true; });
+    add("collectors",
+        [](WorkloadKey &k) { k.collectors = "hotspots"; });
+    add("gks_source",
+        [](WorkloadKey &k) { k.gksSourceHash = "00fe"; });
+    add("extra value", [](WorkloadKey &k) { k.extra[0].second = "11"; });
+    add("extra name",
+        [](WorkloadKey &k) { k.extra[0].first = "top_m"; });
+    add("profile_schema",
+        [](WorkloadKey &k) { k.profileSchemaVersion = 8; });
+    add("engine_semantics",
+        [](WorkloadKey &k) { k.engineSemanticsVersion = 4; });
+    add("characteristics",
+        [](WorkloadKey &k) { k.characteristicSet = "beef"; });
+
+    const std::string baseFp = runtime::workloadFingerprint(base);
+    std::vector<std::string> fps;
+    for (const auto &[what, key] : variants) {
+        std::string fp = runtime::workloadFingerprint(key);
+        EXPECT_NE(fp, baseFp) << "dimension did not invalidate: "
+                              << what;
+        fps.push_back(fp);
+    }
+    // All variants are pairwise distinct too.
+    for (size_t i = 0; i < fps.size(); ++i)
+        for (size_t j = i + 1; j < fps.size(); ++j)
+            EXPECT_NE(fps[i], fps[j])
+                << variants[i].first << " vs " << variants[j].first;
+}
+
+TEST(CacheKey, ExtraFieldOrderIsIdentity)
+{
+    WorkloadKey a = goldenKey();
+    a.extra = {{"p", "1"}, {"q", "2"}};
+    WorkloadKey b = goldenKey();
+    b.extra = {{"q", "2"}, {"p", "1"}};
+    EXPECT_NE(runtime::workloadFingerprint(a),
+              runtime::workloadFingerprint(b));
+}
+
+TEST(CachePayload, RoundTripPreservesEverything)
+{
+    // Real profiles from a real run (exercises the CSV body and the
+    // cta-z patch rows), plus a synthetic stats snapshot covering all
+    // three stat kinds.
+    telemetry::Registry reg;
+    workloads::SuiteOptions opts;
+    opts.stats = &reg;
+    auto runs = workloads::runSuite({"SLA"}, opts);
+    ASSERT_FALSE(runs.at(0).failed());
+    ASSERT_FALSE(runs.at(0).profiles.empty());
+
+    CachedWorkloadResult in;
+    in.suite = "dense-linear-algebra";
+    in.name = "Scan of large arrays";
+    in.abbrev = "SLA";
+    in.summary = "tab\tand newline-free summary";
+    in.verified = true;
+    in.warpInstrs = runs.at(0).totals.warpInstrs;
+    in.setupSec = 0.015625;        // exactly representable
+    in.simulateSec = 1.0 / 3.0;    // not exactly printable in short form
+    in.profileSec = 0;
+    in.verifySec = 4e-9;
+    in.profiles = runs.at(0).profiles;
+    in.stats = StatsSnapshot::capture(reg);
+
+    std::string payload = ResultCache::encodeWorkloadPayload(in);
+    auto out = ResultCache::decodeWorkloadPayload(payload);
+    ASSERT_TRUE(out.ok()) << out.status().message();
+
+    EXPECT_EQ(out.value().suite, in.suite);
+    EXPECT_EQ(out.value().name, in.name);
+    EXPECT_EQ(out.value().abbrev, in.abbrev);
+    EXPECT_EQ(out.value().summary, in.summary);
+    EXPECT_EQ(out.value().verified, in.verified);
+    EXPECT_EQ(out.value().warpInstrs, in.warpInstrs);
+    EXPECT_EQ(out.value().setupSec, in.setupSec);
+    EXPECT_EQ(out.value().simulateSec, in.simulateSec);  // %.17g exact
+    EXPECT_EQ(out.value().profileSec, in.profileSec);
+    EXPECT_EQ(out.value().verifySec, in.verifySec);
+
+    std::ostringstream a, b;
+    metrics::writeProfilesCsv(a, in.profiles);
+    metrics::writeProfilesCsv(b, out.value().profiles);
+    EXPECT_EQ(a.str(), b.str());
+    ASSERT_EQ(out.value().profiles.size(), in.profiles.size());
+    for (size_t i = 0; i < in.profiles.size(); ++i)
+        EXPECT_EQ(out.value().profiles[i].cta.z, in.profiles[i].cta.z);
+
+    EXPECT_EQ(snapText(out.value().stats), snapText(in.stats));
+}
+
+TEST(CachePayload, StatsSnapshotRestoreIsByteIdentical)
+{
+    telemetry::Registry reg;
+    auto &g = reg.group("t");
+    g.counter("c", "a counter") += 5;
+    g.histogram("h", "a histogram").sample(3);
+    g.histogram("h", "a histogram").sample(40000);
+    g.timer("tm", "a timer").addRaw(123456789, 3);
+    auto &g2 = reg.group("u");
+    g2.counter("x", "") += 1;
+
+    StatsSnapshot snap = StatsSnapshot::capture(reg);
+    telemetry::Registry reg2;
+    snap.restore(reg2);
+    EXPECT_EQ(snapText(StatsSnapshot::capture(reg2)), snapText(snap));
+
+    // The text dumps (what --stats-out writes) match exactly too.
+    std::ostringstream a, b;
+    reg.dumpText(a);
+    reg2.dumpText(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CachePayload, DecodeRejectsMalformed)
+{
+    EXPECT_FALSE(ResultCache::decodeWorkloadPayload("").ok());
+    EXPECT_FALSE(ResultCache::decodeWorkloadPayload("garbage\n").ok());
+    CachedWorkloadResult r;
+    r.abbrev = "X";
+    std::string payload = ResultCache::encodeWorkloadPayload(r);
+    // Truncation anywhere must be rejected (the "end" marker guards
+    // against a short-but-parsable prefix).
+    EXPECT_FALSE(ResultCache::decodeWorkloadPayload(
+                     payload.substr(0, payload.size() / 2))
+                     .ok());
+    EXPECT_FALSE(ResultCache::decodeWorkloadPayload(
+                     payload.substr(0, payload.size() - 5))
+                     .ok());
+}
+
+TEST(CacheStore, StoreThenLookupAcrossInstances)
+{
+    std::string dir = tempDir("store");
+    WorkloadKey key = goldenKey();
+    CachedWorkloadResult r;
+    r.abbrev = "BFS";
+    r.verified = true;
+    r.warpInstrs = 42;
+
+    {
+        ResultCache cache({dir, CacheMode::ReadWrite});
+        EXPECT_FALSE(cache.lookupWorkload(key).has_value());
+        EXPECT_EQ(cache.counters().misses.load(), 1u);
+        EXPECT_TRUE(cache.storeWorkload(key, r));
+        EXPECT_EQ(cache.counters().admitted.load(), 1u);
+    }
+    {
+        ResultCache cache({dir, CacheMode::ReadWrite});
+        auto hit = cache.lookupWorkload(key);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->abbrev, "BFS");
+        EXPECT_TRUE(hit->verified);
+        EXPECT_EQ(hit->warpInstrs, 42u);
+        EXPECT_EQ(cache.counters().hits.load(), 1u);
+
+        WorkloadKey other = key;
+        other.scale += 1;
+        EXPECT_FALSE(cache.lookupWorkload(other).has_value());
+        EXPECT_EQ(cache.counters().misses.load(), 1u);
+    }
+    // Exactly one entry on disk, named by the fingerprint.
+    auto entries = ResultCache::scan(dir, true);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_TRUE(entries[0].valid) << entries[0].error;
+    EXPECT_EQ(entries[0].key, runtime::workloadFingerprint(key));
+    EXPECT_EQ(entries[0].kind, "workload");
+}
+
+TEST(CacheStore, BlobRoundTripAndKindMismatch)
+{
+    std::string dir = tempDir("blob");
+    ResultCache cache({dir, CacheMode::ReadWrite});
+    WorkloadKey key = goldenKey();
+    std::string payload = "rendered\ttable\nwith bytes \x01\x02\n";
+    EXPECT_TRUE(cache.storeBlob(key, "hotspots", payload));
+    auto hit = cache.lookupBlob(key, "hotspots");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+    // Same key, different kind: never served.
+    EXPECT_FALSE(cache.lookupBlob(key, "timing").has_value());
+}
+
+TEST(CacheStore, CorruptEntryIsStaleAndEvictedInRw)
+{
+    std::string dir = tempDir("corrupt");
+    WorkloadKey key = goldenKey();
+    CachedWorkloadResult r;
+    r.abbrev = "BFS";
+    {
+        ResultCache cache({dir, CacheMode::ReadWrite});
+        ASSERT_TRUE(cache.storeWorkload(key, r));
+    }
+    auto entries = ResultCache::scan(dir, true);
+    ASSERT_EQ(entries.size(), 1u);
+    const std::string path = entries[0].path;
+
+    // Flip one byte near the end (payload body, not the header).
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(-3, std::ios::end);
+        char c = 0;
+        f.seekg(f.tellp());
+        f.get(c);
+        f.seekp(-3, std::ios::end);
+        f.put(char(c ^ 0x20));
+    }
+    auto deep = ResultCache::scan(dir, true);
+    ASSERT_EQ(deep.size(), 1u);
+    EXPECT_FALSE(deep[0].valid);
+    EXPECT_NE(deep[0].error.find("checksum"), std::string::npos)
+        << deep[0].error;
+
+    ResultCache cache({dir, CacheMode::ReadWrite});
+    EXPECT_FALSE(cache.lookupWorkload(key).has_value());
+    EXPECT_EQ(cache.counters().stale.load(), 1u);
+    EXPECT_EQ(cache.counters().hits.load(), 0u);
+    EXPECT_FALSE(fs::exists(path)) << "rw lookup must evict";
+}
+
+TEST(CacheStore, TruncationAndBadMagicAreStale)
+{
+    std::string dir = tempDir("trunc");
+    WorkloadKey key = goldenKey();
+    CachedWorkloadResult r;
+    r.abbrev = "BFS";
+    ResultCache cache({dir, CacheMode::ReadWrite});
+    ASSERT_TRUE(cache.storeWorkload(key, r));
+    const std::string path = ResultCache::scan(dir, false)[0].path;
+
+    // Truncate to half: length check fails.
+    auto full = fs::file_size(path);
+    fs::resize_file(path, full / 2);
+    EXPECT_FALSE(cache.lookupWorkload(key).has_value());
+    EXPECT_EQ(cache.counters().stale.load(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+
+    // Re-admit, then clobber the magic.
+    ASSERT_TRUE(cache.storeWorkload(key, r));
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(0);
+        f.write("NOTCACHE", 8);
+    }
+    EXPECT_FALSE(cache.lookupWorkload(key).has_value());
+    EXPECT_EQ(cache.counters().stale.load(), 2u);
+    EXPECT_FALSE(fs::exists(path));
+
+    // After eviction a lookup is a plain miss again.
+    EXPECT_FALSE(cache.lookupWorkload(key).has_value());
+    EXPECT_EQ(cache.counters().misses.load(), 1u);
+}
+
+TEST(CacheStore, ReadOnlyNeverWritesOrEvicts)
+{
+    std::string dir = tempDir("ro");
+    WorkloadKey key = goldenKey();
+    CachedWorkloadResult r;
+    r.abbrev = "BFS";
+
+    {
+        // ro on a cold directory: no directory is even created.
+        ResultCache ro({dir, CacheMode::ReadOnly});
+        EXPECT_FALSE(ro.lookupWorkload(key).has_value());
+        EXPECT_FALSE(ro.storeWorkload(key, r));
+        EXPECT_EQ(ro.counters().admitted.load(), 0u);
+        EXPECT_FALSE(fs::exists(dir));
+    }
+    {
+        ResultCache rw({dir, CacheMode::ReadWrite});
+        ASSERT_TRUE(rw.storeWorkload(key, r));
+    }
+    const std::string path = ResultCache::scan(dir, false)[0].path;
+    {
+        // ro serves hits without touching the directory.
+        ResultCache ro({dir, CacheMode::ReadOnly});
+        EXPECT_TRUE(ro.lookupWorkload(key).has_value());
+        EXPECT_FALSE(ro.storeWorkload(key, r));
+        EXPECT_EQ(entryCount(dir), 1u);
+    }
+    // Corrupt the entry: ro detects staleness but keeps the file.
+    fs::resize_file(path, fs::file_size(path) / 2);
+    {
+        ResultCache ro({dir, CacheMode::ReadOnly});
+        EXPECT_FALSE(ro.lookupWorkload(key).has_value());
+        EXPECT_EQ(ro.counters().stale.load(), 1u);
+        EXPECT_TRUE(fs::exists(path)) << "ro must not evict";
+    }
+}
+
+TEST(CacheStore, GcRemovesOrphansAndOldestFirst)
+{
+    std::string dir = tempDir("gc");
+    WorkloadKey keyA = goldenKey();
+    WorkloadKey keyB = goldenKey();
+    keyB.scale = 9;
+    CachedWorkloadResult r;
+    r.abbrev = "BFS";
+    ResultCache cache({dir, CacheMode::ReadWrite});
+    ASSERT_TRUE(cache.storeWorkload(keyA, r));
+    ASSERT_TRUE(cache.storeWorkload(keyB, r));
+    std::ofstream(dir + "/.tmp-123-0-dead") << "orphaned stage file";
+
+    // Generous budget: only the orphan goes.
+    auto [removed, freed] = ResultCache::gc(dir, 1u << 20);
+    EXPECT_EQ(removed, 1u);
+    EXPECT_GT(freed, 0u);
+    EXPECT_EQ(entryCount(dir), 2u);
+
+    // Age A, then shrink to one entry's budget: A (oldest) goes.
+    const std::string pathA =
+        dir + "/" + runtime::workloadFingerprint(keyA) + ".gwce";
+    const std::string pathB =
+        dir + "/" + runtime::workloadFingerprint(keyB) + ".gwce";
+    fs::last_write_time(pathA, fs::last_write_time(pathA) -
+                                   std::chrono::hours(1));
+    ResultCache::gc(dir, fs::file_size(pathB));
+    EXPECT_FALSE(fs::exists(pathA));
+    EXPECT_TRUE(fs::exists(pathB));
+
+    // Zero budget empties the cache.
+    ResultCache::gc(dir, 0);
+    EXPECT_EQ(entryCount(dir), 0u);
+}
+
+TEST(CacheSuite, WarmHitsAreByteIdenticalAcrossJobsAndModes)
+{
+    // Baseline: plain simulation, no cache anywhere.
+    SuiteOutcome baseline = runCharacterization(nullptr, 1);
+    for (const auto &run : baseline.runs) {
+        ASSERT_FALSE(run.failed());
+        EXPECT_FALSE(run.cached);
+    }
+
+    // Cold fill (rw, jobs=1): simulates, admits, changes nothing.
+    std::string dir = tempDir("suite");
+    ResultCache fillCache({dir, CacheMode::ReadWrite});
+    SuiteOutcome fill = runCharacterization(&fillCache, 1);
+    EXPECT_EQ(fillCache.counters().misses.load(), kSuite.size());
+    EXPECT_EQ(fillCache.counters().admitted.load(), kSuite.size());
+    EXPECT_EQ(fillCache.counters().hits.load(), 0u);
+    for (const auto &run : fill.runs)
+        EXPECT_FALSE(run.cached);
+    EXPECT_EQ(fill.csv, baseline.csv);
+    // Counters and histograms are deterministic across runs; timers
+    // carry each run's own wall-clock, so they are excluded here.
+    EXPECT_EQ(snapText(fill.stats, false),
+              snapText(baseline.stats, false));
+    EXPECT_EQ(entryCount(dir), kSuite.size());
+
+    // Warm runs: rw and ro, serial and parallel — all byte-identical
+    // to the baseline, including timers (restored from the fill run).
+    struct Variant
+    {
+        CacheMode mode;
+        uint32_t jobs;
+    };
+    for (const Variant &v :
+         {Variant{CacheMode::ReadWrite, 1},
+          Variant{CacheMode::ReadWrite, 4},
+          Variant{CacheMode::ReadOnly, 1},
+          Variant{CacheMode::ReadOnly, 4}}) {
+        SCOPED_TRACE(std::string(runtime::cacheModeName(v.mode)) +
+                     " jobs=" + std::to_string(v.jobs));
+        ResultCache warmCache({dir, v.mode});
+        SuiteOutcome warm = runCharacterization(&warmCache, v.jobs);
+        EXPECT_EQ(warmCache.counters().hits.load(), kSuite.size());
+        EXPECT_EQ(warmCache.counters().misses.load(), 0u);
+        for (const auto &run : warm.runs) {
+            EXPECT_TRUE(run.cached);
+            EXPECT_FALSE(run.failed());
+        }
+        EXPECT_EQ(warm.csv, baseline.csv);
+        EXPECT_EQ(snapText(warm.stats), snapText(fill.stats));
+        EXPECT_EQ(entryCount(dir), kSuite.size());
+    }
+}
+
+TEST(CacheSuite, CorruptEntryFallsBackToSimulation)
+{
+    std::string dir = tempDir("fallback");
+    ResultCache fillCache({dir, CacheMode::ReadWrite});
+    SuiteOutcome fill = runCharacterization(&fillCache, 1);
+    ASSERT_EQ(entryCount(dir), kSuite.size());
+
+    // Corrupt one entry's payload byte.
+    auto entries = ResultCache::scan(dir, false);
+    const std::string victim = entries[0].path;
+    {
+        std::fstream f(victim, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+        f.seekp(-2, std::ios::end);
+        f.put('\xff');
+    }
+    ASSERT_FALSE(ResultCache::scan(dir, true)[0].valid);
+
+    ResultCache warmCache({dir, CacheMode::ReadWrite});
+    SuiteOutcome warm = runCharacterization(&warmCache, 1);
+    EXPECT_EQ(warmCache.counters().stale.load(), 1u);
+    EXPECT_EQ(warmCache.counters().hits.load(), kSuite.size() - 1);
+    EXPECT_EQ(warmCache.counters().admitted.load(), 1u);
+    for (const auto &run : warm.runs)
+        EXPECT_FALSE(run.failed());
+    EXPECT_EQ(warm.csv, fill.csv);
+
+    // The re-simulated entry was re-admitted and verifies clean.
+    auto healed = ResultCache::scan(dir, true);
+    ASSERT_EQ(healed.size(), kSuite.size());
+    for (const auto &e : healed)
+        EXPECT_TRUE(e.valid) << e.path << ": " << e.error;
+}
+
+TEST(CacheSuite, InjectedWorkloadIsBypassedAndNeverAdmitted)
+{
+    std::string dir = tempDir("inject");
+    runtime::InjectionPlan plan;
+    ASSERT_TRUE(plan.addSpecs("verify-mismatch@SLA").ok());
+
+    ResultCache cache({dir, CacheMode::ReadWrite});
+    SuiteOutcome out = runCharacterization(&cache, 1, &plan);
+    ASSERT_TRUE(out.runs.at(0).failed());   // SLA
+    ASSERT_FALSE(out.runs.at(1).failed());  // SPROD
+    EXPECT_EQ(cache.counters().bypassed.load(), 1u);
+    EXPECT_EQ(cache.counters().misses.load(), 1u);
+    EXPECT_EQ(cache.counters().admitted.load(), 1u);
+
+    // Only the clean workload is on disk; the failed one must re-run.
+    auto entries = ResultCache::scan(dir, true);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_TRUE(entries[0].valid);
+
+    ResultCache warm({dir, CacheMode::ReadWrite});
+    SuiteOutcome again = runCharacterization(&warm, 1);
+    EXPECT_EQ(warm.counters().hits.load(), 1u);    // SPROD
+    EXPECT_EQ(warm.counters().misses.load(), 1u);  // SLA simulates
+    EXPECT_FALSE(again.runs.at(0).cached);
+    EXPECT_TRUE(again.runs.at(1).cached);
+    EXPECT_FALSE(again.runs.at(0).failed());
+}
+
+TEST(CacheSuite, ExtraHookBypassesTheCache)
+{
+    std::string dir = tempDir("hook");
+    NullHook hook;
+    ResultCache cache({dir, CacheMode::ReadWrite});
+    SuiteOutcome out =
+        runCharacterization(&cache, 1, nullptr, &hook);
+    for (const auto &run : out.runs) {
+        EXPECT_FALSE(run.failed());
+        EXPECT_FALSE(run.cached);
+    }
+    EXPECT_EQ(cache.counters().bypassed.load(), kSuite.size());
+    EXPECT_EQ(cache.counters().hits.load(), 0u);
+    EXPECT_EQ(cache.counters().misses.load(), 0u);
+    EXPECT_EQ(cache.counters().admitted.load(), 0u);
+    EXPECT_EQ(entryCount(dir), 0u);
+}

@@ -75,6 +75,7 @@ main(int argc, char **argv)
 {
     return cli::run([&]() -> int {
         double thresholdPct = 5.0;
+        bool allowMissing = false;
 
         cli::Parser p("gwc_benchdiff",
                       "[options] baseline.json candidate.json");
@@ -82,6 +83,11 @@ main(int argc, char **argv)
                   "flag changes worse than PCT percent (default 5);\n"
                   "any flagged regression makes the exit status 1",
                   &thresholdPct, 0.0);
+        p.flag("--allow-missing", "",
+               "a missing baseline file is a warning and exit 0\n"
+               "instead of an error — first runs of a new\n"
+               "benchmark have nothing to compare against",
+               &allowMissing);
         auto paths = p.parse(argc, argv);
         if (p.helpRequested()) {
             std::cout << p.helpText();
@@ -95,6 +101,12 @@ main(int argc, char **argv)
             raise(ErrorCode::InvalidArgument,
                   "expected exactly two files (baseline, candidate)");
 
+        if (allowMissing &&
+            !std::ifstream(paths[0], std::ios::binary)) {
+            warn("baseline %s does not exist; nothing to compare "
+                 "(--allow-missing)", paths[0].c_str());
+            return 0;
+        }
         auto base = loadBench(paths[0]);
         auto cand = loadBench(paths[1]);
 

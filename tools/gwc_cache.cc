@@ -1,0 +1,109 @@
+/**
+ * @file
+ * gwc_cache — inspect and maintain a result-cache directory
+ * (docs/CACHING.md).
+ *
+ *   gwc_cache info   --cache-dir DIR
+ *   gwc_cache verify --cache-dir DIR [--evict]
+ *   gwc_cache gc     --cache-dir DIR --max-bytes N
+ *
+ * info lists every entry (kind, size, validity) with totals; verify
+ * additionally checks each payload against its stored checksum and
+ * exits 2 when any entry is corrupt (--evict removes the corrupt ones
+ * first, like a rw run would on lookup); gc removes orphaned temp
+ * files and evicts oldest-first until the cache fits --max-bytes.
+ * Exit contract: 0 clean, 2 corruption found (verify), 1 fatal
+ * (unusable arguments, unreadable directory).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "runtime/result_cache.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gwc;
+    return cli::run([&]() -> int {
+        std::string dir;
+        size_t maxBytes = 0;
+        bool evict = false;
+
+        cli::Parser p("gwc_cache",
+                      "info|verify|gc --cache-dir DIR [options]");
+        p.strOpt("--cache-dir", "", "DIR",
+                 "result cache directory to operate on", &dir);
+        p.sizeOpt("--max-bytes", "", "N",
+                  "gc: evict oldest entries until the cache\n"
+                  "holds at most N bytes (default 0 = empty it)",
+                  &maxBytes);
+        p.flag("--evict", "",
+               "verify: remove the corrupt entries found",
+               &evict);
+        auto args = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
+            return 0;
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (args.size() != 1)
+            raise(ErrorCode::InvalidArgument,
+                  "expected exactly one subcommand: info, verify or "
+                  "gc");
+        const std::string &cmd = args[0];
+        if (cmd != "info" && cmd != "verify" && cmd != "gc")
+            raise(ErrorCode::InvalidArgument,
+                  "unknown subcommand '%s' (expected info, verify or "
+                  "gc)", cmd.c_str());
+        if (dir.empty())
+            raise(ErrorCode::InvalidArgument,
+                  "--cache-dir is required");
+
+        if (cmd == "gc") {
+            auto [removed, freed] =
+                runtime::ResultCache::gc(dir, maxBytes);
+            std::cout << "gc: removed " << removed << " file"
+                      << (removed == 1 ? "" : "s") << ", freed "
+                      << freed << " bytes\n";
+            return 0;
+        }
+
+        // info: header-only validation; verify: deep (checksum).
+        const bool deep = cmd == "verify";
+        auto entries = runtime::ResultCache::scan(dir, deep);
+        Table t({"key", "kind", "bytes", "state"});
+        uint64_t bytes = 0, corrupt = 0;
+        for (const auto &e : entries) {
+            bytes += e.fileBytes;
+            if (!e.valid)
+                ++corrupt;
+            t.addRow({e.key, e.kind.empty() ? "?" : e.kind,
+                      Table::integer(int64_t(e.fileBytes)),
+                      e.valid ? "ok" : e.error});
+        }
+        t.print(std::cout);
+        std::cout << entries.size() << " entr"
+                  << (entries.size() == 1 ? "y" : "ies") << ", "
+                  << bytes << " bytes, " << corrupt << " corrupt\n";
+
+        if (deep && corrupt && evict) {
+            uint64_t removed = 0;
+            for (const auto &e : entries)
+                if (!e.valid && std::remove(e.path.c_str()) == 0)
+                    ++removed;
+            inform("evicted %llu corrupt entr%s",
+                   (unsigned long long)removed,
+                   removed == 1 ? "y" : "ies");
+        }
+        return deep && corrupt ? 2 : 0;
+    });
+}

@@ -16,16 +16,54 @@
  * (docs/ROBUSTNESS.md); --fail-fast aborts on it instead.
  */
 
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/fingerprint.hh"
 #include "common/threadpool.hh"
 #include "metrics/hotspots.hh"
+#include "runtime/result_cache.hh"
 #include "runtime/session.hh"
 
 #include "trace_util.hh"
+
+namespace
+{
+
+/**
+ * Digest of the --gks listings: source text changes the annotation
+ * column of the rendered tables, so it is a cache-key dimension.
+ * Missing files hash as empty (GksListings::load reports them).
+ */
+std::string
+gksSourceDigest(const std::string &gksSpec)
+{
+    if (gksSpec.empty())
+        return "";
+    uint64_t h = gwc::fnv1a64(gksSpec);
+    size_t pos = 0;
+    while (pos <= gksSpec.size()) {
+        size_t comma = gksSpec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = gksSpec.size();
+        std::string path = gksSpec.substr(pos, comma - pos);
+        if (!path.empty()) {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            h = gwc::fnv1a64(ss.str(), h);
+        }
+        pos = comma + 1;
+    }
+    return gwc::hex64(h);
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -79,26 +117,91 @@ main(int argc, char **argv)
             so.suite.inject = &plan;
         }
 
+        // The suite-level cache cannot serve hotspot runs (the
+        // collector is an extra hook that must observe real
+        // launches), so this tool caches its own artifact instead:
+        // the rendered per-workload table text, keyed like a workload
+        // entry plus the topN and --gks source dimensions.
+        std::unique_ptr<runtime::ResultCache> cache;
+        if (!so.cacheDir.empty()) {
+            auto mode = runtime::parseCacheMode(so.cacheMode);
+            if (!mode.ok())
+                throw Error(mode.status());
+            if (mode.value() != runtime::CacheMode::Off)
+                cache = std::make_unique<runtime::ResultCache>(
+                    runtime::ResultCache::Config{so.cacheDir,
+                                                 mode.value()});
+        }
+        const std::string gksHash = gksSourceDigest(gksSpec);
+
         // One collector per workload: an extraHook observes a single
         // engine, so the workload loop runs serially here (CTA blocks
         // of each launch still run on --jobs threads via sharding).
         int ec = 0;
         bool first = true;
         for (const auto &name : names) {
-            metrics::HotspotProfiler::Config hcfg;
-            hcfg.ctaSampleStride = so.suite.ctaSampleStride;
-            metrics::HotspotProfiler hot(hcfg);
-            workloads::SuiteOptions wopts = so.suite;
-            wopts.extraHook = &hot;
-            auto runs = workloads::runSuite({name}, wopts);
-            if (runs.at(0).failed()) {
-                // runSuite already warned; keep going, flag the exit.
-                ec = 2;
-                continue;
+            runtime::WorkloadKey key;
+            key.workload = name;
+            key.scale = so.suite.scale;
+            key.verify = so.suite.verify;
+            key.ctaSampleStride = so.suite.ctaSampleStride;
+            key.collectors = "hotspots";
+            key.gksSourceHash = gksHash;
+            key.extra.emplace_back("top_n", std::to_string(topN));
+
+            const bool bypass =
+                so.suite.inject && so.suite.inject->targets(name);
+            std::string text;
+            bool served = false;
+            if (cache && !bypass) {
+                if (auto blob = cache->lookupBlob(key, "hotspots")) {
+                    text = std::move(*blob);
+                    served = true;
+                }
+            } else if (cache) {
+                cache->noteBypass();
             }
-            tools::renderHotspotTables(
-                std::cout, hot.finalize(runs.at(0).desc.abbrev), topN,
-                listings, first);
+            if (!served) {
+                metrics::HotspotProfiler::Config hcfg;
+                hcfg.ctaSampleStride = so.suite.ctaSampleStride;
+                metrics::HotspotProfiler hot(hcfg);
+                workloads::SuiteOptions wopts = so.suite;
+                wopts.extraHook = &hot;
+                auto runs = workloads::runSuite({name}, wopts);
+                if (runs.at(0).failed()) {
+                    // runSuite already warned; keep going, flag the
+                    // exit. Failed runs are never admitted.
+                    ec = 2;
+                    continue;
+                }
+                std::ostringstream os;
+                bool f = true;   // separators are applied at print time
+                tools::renderHotspotTables(
+                    os, hot.finalize(runs.at(0).desc.abbrev), topN,
+                    listings, f);
+                text = os.str();
+                if (cache && !bypass &&
+                    cache->mode() == runtime::CacheMode::ReadWrite)
+                    cache->storeBlob(key, "hotspots", text);
+            }
+            if (!text.empty()) {
+                if (!first)
+                    std::cout << "\n";
+                first = false;
+                std::cout << text;
+            }
+        }
+        if (cache) {
+            const auto &c = cache->counters();
+            inform("cache: %llu hits, %llu misses, %llu stale, %llu "
+                   "bypassed, %llu admitted (%s, %s)",
+                   (unsigned long long)c.hits.load(),
+                   (unsigned long long)c.misses.load(),
+                   (unsigned long long)c.stale.load(),
+                   (unsigned long long)c.bypassed.load(),
+                   (unsigned long long)c.admitted.load(),
+                   runtime::cacheModeName(cache->mode()),
+                   cache->dir().c_str());
         }
         return ec;
     });

@@ -23,14 +23,173 @@
 #include <chrono>
 #include <functional>
 #include <iostream>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 
 #include "common/cli.hh"
+#include "common/fingerprint.hh"
 #include "common/table.hh"
 #include "common/threadpool.hh"
+#include "runtime/result_cache.hh"
 #include "runtime/session.hh"
 #include "timing/gpu.hh"
+
+namespace
+{
+
+using namespace gwc;
+
+/**
+ * Canonical signature of the timing design space: every numeric knob
+ * of every design point plus the timing-model version, so editing a
+ * latency (or the model) invalidates cached timing tables.
+ */
+std::string
+designSpaceSignature(const std::vector<timing::GpuConfig> &cfgs)
+{
+    CanonicalKey k("gwc-timing-design v1");
+    k.field("model", uint64_t(timing::kTimingModelVersion));
+    for (const auto &c : cfgs) {
+        k.field("name", c.name);
+        k.field("cfg",
+                std::vector<uint32_t>{
+                    c.numCores, c.maxCtasPerCore, uint32_t(c.sched),
+                    c.intLat, c.fpLat, c.sfuLat, c.smemLat,
+                    c.branchLat, c.atomicLat, c.l1KB, c.l1Assoc,
+                    c.l1HitLat, c.l2KB, c.l2Assoc, c.l2HitLat,
+                    c.dramLat, c.txSerializeLat});
+        k.field("dram_bpc", strfmt("%.17g", c.dramBytesPerCycle));
+    }
+    return k.hexDigest();
+}
+
+/** Tab-joined cells ("row\t..." line). Cells never contain tabs. */
+std::string
+joinCells(const std::vector<std::string> &cells)
+{
+    std::string out;
+    for (const auto &c : cells) {
+        out.push_back('\t');
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Per-workload result: produced independently (possibly in parallel)
+ * and assembled in workload order, so the table, the report and the
+ * stats totals never depend on --jobs.
+ */
+struct WlResult
+{
+    std::vector<std::vector<std::string>> rows;
+    telemetry::WorkloadReport wr;
+    std::unique_ptr<telemetry::Registry> reg;
+};
+
+/** Serialize the cacheable part of @p res (timing blob payload). */
+std::string
+encodeSimPayload(const WlResult &res)
+{
+    std::ostringstream os;
+    os << "gwc-sim v1\n";
+    os << "setup_sec " << strfmt("%.17g", res.wr.setupSec) << '\n';
+    os << "simulate_sec " << strfmt("%.17g", res.wr.simulateSec)
+       << '\n';
+    os << "warp_instrs " << res.wr.warpInstrs << '\n';
+    os << "rows " << res.rows.size() << '\n';
+    for (const auto &row : res.rows)
+        os << "row" << joinCells(row) << '\n';
+    os << "kernels " << res.wr.kernels.size() << '\n';
+    for (const auto &k : res.wr.kernels)
+        os << "kernel\t" << k.name << '\t' << k.launches << '\t'
+           << k.warpInstrs << '\n';
+    os << "end\n";
+    return os.str();
+}
+
+/**
+ * Parse encodeSimPayload output into @p res (rows + report fields
+ * only). False on any malformation — the caller re-simulates.
+ */
+bool
+decodeSimPayload(const std::string &payload, WlResult &res)
+{
+    std::istringstream is(payload);
+    std::string line;
+    auto next = [&](const char *prefix, std::string &value) {
+        if (!std::getline(is, line))
+            return false;
+        size_t n = std::strlen(prefix);
+        if (line.compare(0, n, prefix) != 0 || line.size() < n + 1 ||
+            line[n] != ' ')
+            return false;
+        value = line.substr(n + 1);
+        return true;
+    };
+    auto splitTabs = [](const std::string &s) {
+        std::vector<std::string> cells;
+        size_t pos = 0;
+        while (true) {
+            size_t tab = s.find('\t', pos);
+            if (tab == std::string::npos) {
+                cells.push_back(s.substr(pos));
+                return cells;
+            }
+            cells.push_back(s.substr(pos, tab - pos));
+            pos = tab + 1;
+        }
+    };
+
+    std::string v;
+    if (!std::getline(is, line) || line != "gwc-sim v1")
+        return false;
+    try {
+        if (!next("setup_sec", v))
+            return false;
+        res.wr.setupSec = std::stod(v);
+        if (!next("simulate_sec", v))
+            return false;
+        res.wr.simulateSec = std::stod(v);
+        if (!next("warp_instrs", v))
+            return false;
+        res.wr.warpInstrs = std::stoull(v);
+        if (!next("rows", v))
+            return false;
+        size_t nRows = std::stoull(v);
+        for (size_t i = 0; i < nRows; ++i) {
+            if (!std::getline(is, line))
+                return false;
+            auto cells = splitTabs(line);
+            if (cells.size() < 2 || cells[0] != "row")
+                return false;
+            res.rows.emplace_back(cells.begin() + 1, cells.end());
+        }
+        if (!next("kernels", v))
+            return false;
+        size_t nKernels = std::stoull(v);
+        for (size_t i = 0; i < nKernels; ++i) {
+            if (!std::getline(is, line))
+                return false;
+            auto cells = splitTabs(line);
+            if (cells.size() != 4 || cells[0] != "kernel")
+                return false;
+            telemetry::KernelReportRow k;
+            k.name = cells[1];
+            k.launches = uint32_t(std::stoul(cells[2]));
+            k.warpInstrs = std::stoull(cells[3]);
+            res.wr.kernels.push_back(std::move(k));
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    return std::getline(is, line) && line == "end";
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -51,6 +210,7 @@ main(int argc, char **argv)
                   "threads, or $GWC_JOBS)",
                   &so.suite.jobs, 1);
         runtime::addObservabilityFlags(p, so);
+        runtime::addCacheFlags(p, so);
         auto names = p.parse(argc, argv);
         if (p.helpRequested()) {
             std::cout << p.helpText();
@@ -70,43 +230,84 @@ main(int argc, char **argv)
         const bool wantStats = !so.statsOut.empty();
         runtime::Session session(std::move(so));
         telemetry::TraceWriter *tracer = session.tracer();
+        runtime::ResultCache *cache = session.cache();
 
         auto cfgs = timing::designSpace();
+        const std::string designSig = designSpaceSignature(cfgs);
         std::vector<std::string> hdr{"kernel", "instrs",
                                      "ipc@" + cfgs[0].name};
         for (size_t c = 1; c < cfgs.size(); ++c)
             hdr.push_back(cfgs[c].name);
         Table t(hdr);
 
-        // Per-workload results are produced independently (possibly
-        // in parallel) and assembled in workload order below, so the
-        // table, the report and the stats totals never depend on
-        // --jobs.
-        struct WlResult
-        {
-            std::vector<std::vector<std::string>> rows;
-            telemetry::WorkloadReport wr;
-            std::unique_ptr<telemetry::Registry> reg;
-        };
         std::vector<WlResult> results(names.size());
+
+        // A trace recorder must observe real launches, so --trace-out
+        // bypasses the cache entirely. Timing entries are addressed
+        // by workload + scale + the design-space signature; the stats
+        // snapshot rides in a sibling entry ("part=stats") so a
+        // --stats-out rerun restores byte-identical engine counters.
+        auto keyFor = [&](const std::string &name,
+                          bool statsPart) {
+            runtime::WorkloadKey key;
+            key.workload = name;
+            key.scale = scale;
+            key.verify = false;   // this tool runs no verification
+            key.collectors = "timing";
+            key.extra.emplace_back("design", designSig);
+            if (statsPart)
+                key.extra.emplace_back("part", "stats");
+            return key;
+        };
 
         auto runWl = [&](size_t i) {
             const std::string &name = names[i];
             WlResult &res = results[i];
             res.reg = std::make_unique<telemetry::Registry>();
+            const bool tryCache = cache != nullptr && !tracer;
+            if (cache && tracer)
+                cache->noteBypass();
+            const std::string attemptId =
+                session.runId() + ":" + name + "#1";
+            telemetry::ActivityBoard &board = session.activity();
+            if (tryCache) {
+                auto blob =
+                    cache->lookupBlob(keyFor(name, false), "timing");
+                if (blob) {
+                    std::optional<runtime::CachedWorkloadResult> st;
+                    bool usable = true;
+                    if (wantStats) {
+                        st = cache->lookupWorkload(keyFor(name, true));
+                        usable = st.has_value();
+                    }
+                    WlResult cachedRes;
+                    if (usable &&
+                        decodeSimPayload(*blob, cachedRes)) {
+                        res.rows = std::move(cachedRes.rows);
+                        res.wr = std::move(cachedRes.wr);
+                        res.wr.name = name;
+                        res.wr.cached = true;
+                        res.wr.attemptId = attemptId;
+                        board.workloadBegin(name, attemptId);
+                        board.workloadEnd(name, true);
+                        if (st)
+                            st->stats.restore(*res.reg);
+                        return;
+                    }
+                }
+            }
             auto wl = workloads::makeWorkload(name);
             // Session::runSuite posts these itself; a hand-driven
             // timing loop keeps the board (and so the heartbeat)
             // honest by posting its own transitions.
-            telemetry::ActivityBoard &board = session.activity();
-            const std::string attemptId =
-                session.runId() + ":" + name + "#1";
             board.workloadBegin(name, attemptId);
             telemetry::TimelineScope wlSpan("workload", name);
             wlSpan.arg("attempt_id", attemptId);
             simt::Engine engine;
             engine.setActivity(&board);
-            if (wantStats)
+            // Attached even without --stats-out when a cache fill may
+            // follow: the admitted stats entry must be complete.
+            if (wantStats || tryCache)
                 engine.attachStats(*res.reg);
             timing::TraceCapture cap;
             auto t0 = Clock::now();
@@ -165,6 +366,17 @@ main(int argc, char **argv)
             }
             wr.attemptId = attemptId;
             board.workloadEnd(name, true);
+
+            if (tryCache &&
+                cache->mode() == runtime::CacheMode::ReadWrite) {
+                cache->storeBlob(keyFor(name, false), "timing",
+                                 encodeSimPayload(res));
+                runtime::CachedWorkloadResult cr;
+                cr.abbrev = name;
+                cr.stats =
+                    runtime::StatsSnapshot::capture(*res.reg);
+                cache->storeWorkload(keyFor(name, true), cr);
+            }
         };
 
         // A trace recorder is one hook object; it cannot watch several
