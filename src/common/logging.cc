@@ -207,6 +207,24 @@ logRunId()
     return logRun;
 }
 
+bool
+claimLogRunId(const std::string &runId)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    if (!logRun.empty())
+        return false;
+    logRun = runId;
+    return true;
+}
+
+void
+releaseLogRunId(const std::string &runId)
+{
+    std::lock_guard<std::mutex> lock(logMu);
+    if (logRun == runId)
+        logRun.clear();
+}
+
 void
 setLogSink(std::function<void(LogLevel, const std::string &)> sink)
 {

@@ -90,6 +90,18 @@ void setLogRunId(const std::string &runId);
 /** The attached run correlation id ("" when none). */
 std::string logRunId();
 
+/**
+ * Atomically attach @p runId only when no id is currently attached.
+ * Returns true when this call installed it. The multi-session form of
+ * setLogRunId: with N concurrent Sessions in one process (the daemon),
+ * exactly one owns the process-global id and releases it on finish;
+ * the others keep correlating through their attempt ids.
+ */
+bool claimLogRunId(const std::string &runId);
+
+/** Clear the attached id iff it equals @p runId (claim's inverse). */
+void releaseLogRunId(const std::string &runId);
+
 /** One key/value of a structured log event. */
 using LogField = std::pair<std::string, std::string>;
 

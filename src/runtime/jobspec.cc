@@ -1,0 +1,395 @@
+/**
+ * @file
+ * JobSpec/JobResult canonical JSON serialization, parsing and the
+ * shared local execution path (runJobLocally).
+ */
+
+#include "runtime/jobspec.hh"
+
+#include <charconv>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "metrics/profile_io.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::runtime
+{
+
+namespace
+{
+
+/** Shortest round-trip decimal of @p v (std::to_chars): canonical —
+ * re-serializing a parsed document reproduces the exact bytes. */
+std::string
+numStr(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + telemetry::jsonEscape(s) + "\"";
+}
+
+const char *
+boolStr(bool b)
+{
+    return b ? "true" : "false";
+}
+
+std::string
+key(const std::string &prefix, const char *name)
+{
+    return prefix.empty() ? std::string(name) : prefix + "." + name;
+}
+
+double
+numAt(const FlatJson &doc, const std::string &k, double dflt)
+{
+    auto it = doc.nums.find(k);
+    return it == doc.nums.end() ? dflt : it->second;
+}
+
+std::string
+strAt(const FlatJson &doc, const std::string &k,
+      const std::string &dflt = "")
+{
+    auto it = doc.strs.find(k);
+    return it == doc.strs.end() ? dflt : it->second;
+}
+
+bool
+boolAt(const FlatJson &doc, const std::string &k, bool dflt)
+{
+    auto it = doc.strs.find(k);
+    return it == doc.strs.end() ? dflt : it->second == "true";
+}
+
+/** Shared versioning gate: schema_version must be present, non-zero
+ * and no newer than this build's kJobSchemaVersion. */
+Status
+checkSchemaVersion(const FlatJson &doc, const std::string &prefix,
+                   const char *what)
+{
+    double v = numAt(doc, key(prefix, "schema_version"), 0);
+    if (v < 1)
+        return makeStatus(ErrorCode::InvalidArgument,
+                          "%s: missing schema_version", what);
+    if (v > double(kJobSchemaVersion))
+        return makeStatus(
+            ErrorCode::InvalidArgument,
+            "%s: schema_version %.0f is newer than this build "
+            "(understands up to %u) — upgrade gwc",
+            what, v, kJobSchemaVersion);
+    return Status();
+}
+
+} // anonymous namespace
+
+std::string
+JobSpec::toJson() const
+{
+    const workloads::SuiteOptions &su = session.suite;
+    std::ostringstream os;
+    os << "{\"schema_version\":" << schemaVersion
+       << ",\"tool\":" << quoted(session.tool)
+       << ",\"priority\":" << priority << ",\"workloads\":[";
+    for (size_t i = 0; i < workloads.size(); ++i)
+        os << (i ? "," : "") << quoted(workloads[i]);
+    os << "],\"profiles_out\":" << quoted(profilesOut)
+       << ",\"suite\":{\"scale\":" << su.scale
+       << ",\"cta_stride\":" << su.ctaSampleStride
+       << ",\"jobs\":" << su.jobs << ",\"batch\":" << su.eventBatch
+       << ",\"verify\":" << boolStr(su.verify)
+       << ",\"keep_going\":" << boolStr(su.keepGoing)
+       << ",\"retries\":" << su.retry.maxRetries
+       << ",\"retry_backoff_sec\":" << numStr(su.retry.backoffSec)
+       << ",\"timeout_sec\":" << numStr(su.limits.timeoutSec)
+       << ",\"soft_timeout_sec\":" << numStr(su.limits.softTimeoutSec)
+       << ",\"mem_budget_bytes\":" << su.limits.memBudgetBytes
+       << "},\"inject\":" << quoted(session.injectSpecs)
+       << ",\"cache\":{\"dir\":" << quoted(session.cacheDir)
+       << ",\"mode\":" << quoted(session.cacheMode)
+       << "},\"outputs\":{\"stats\":" << quoted(session.statsOut)
+       << ",\"trace\":" << quoted(session.traceOut)
+       << ",\"timeline\":" << quoted(session.timelineOut)
+       << ",\"metrics\":" << quoted(session.metricsOut)
+       << ",\"metrics_interval_sec\":"
+       << numStr(session.metricsIntervalSec)
+       << ",\"heartbeat\":" << quoted(session.heartbeatOut)
+       << ",\"prom\":" << quoted(session.promOut)
+       << "},\"trace_config\":{\"cta_stride\":"
+       << session.traceConfig.ctaSampleStride
+       << ",\"buffer_bytes\":" << session.traceConfig.bufferBytes
+       << ",\"chunk_events\":" << session.traceConfig.chunkEvents
+       << ",\"chunk_bytes\":" << session.traceConfig.chunkBytes
+       << ",\"flight\":" << boolStr(session.traceConfig.flightRecorder)
+       << "}}";
+    return os.str();
+}
+
+Result<JobSpec>
+parseJobSpecFlat(const FlatJson &doc, const std::string &prefix)
+{
+    if (Status st = checkSchemaVersion(doc, prefix, "job spec");
+        !st.ok())
+        return st;
+
+    JobSpec spec;
+    spec.schemaVersion =
+        uint32_t(numAt(doc, key(prefix, "schema_version"), 1));
+    spec.session.tool =
+        strAt(doc, key(prefix, "tool"), spec.session.tool);
+    spec.priority = uint32_t(numAt(doc, key(prefix, "priority"), 0));
+    for (size_t i = 0;; ++i) {
+        auto it = doc.strs.find(key(prefix, "workloads") + "." +
+                                std::to_string(i));
+        if (it == doc.strs.end())
+            break;
+        spec.workloads.push_back(it->second);
+    }
+    spec.profilesOut = strAt(doc, key(prefix, "profiles_out"));
+
+    workloads::SuiteOptions &su = spec.session.suite;
+    const std::string sp = key(prefix, "suite") + ".";
+    su.scale = uint32_t(numAt(doc, sp + "scale", su.scale));
+    su.ctaSampleStride =
+        uint32_t(numAt(doc, sp + "cta_stride", su.ctaSampleStride));
+    su.jobs = uint32_t(numAt(doc, sp + "jobs", su.jobs));
+    su.eventBatch = size_t(numAt(doc, sp + "batch", double(su.eventBatch)));
+    su.verify = boolAt(doc, sp + "verify", su.verify);
+    su.keepGoing = boolAt(doc, sp + "keep_going", su.keepGoing);
+    su.retry.maxRetries =
+        uint32_t(numAt(doc, sp + "retries", su.retry.maxRetries));
+    su.retry.backoffSec =
+        numAt(doc, sp + "retry_backoff_sec", su.retry.backoffSec);
+    su.limits.timeoutSec =
+        numAt(doc, sp + "timeout_sec", su.limits.timeoutSec);
+    su.limits.softTimeoutSec =
+        numAt(doc, sp + "soft_timeout_sec", su.limits.softTimeoutSec);
+    su.limits.memBudgetBytes = uint64_t(numAt(
+        doc, sp + "mem_budget_bytes", double(su.limits.memBudgetBytes)));
+
+    spec.session.injectSpecs = strAt(doc, key(prefix, "inject"));
+    spec.session.cacheDir = strAt(doc, key(prefix, "cache") + ".dir");
+    spec.session.cacheMode = strAt(doc, key(prefix, "cache") + ".mode",
+                                   spec.session.cacheMode);
+
+    const std::string op = key(prefix, "outputs") + ".";
+    spec.session.statsOut = strAt(doc, op + "stats");
+    spec.session.traceOut = strAt(doc, op + "trace");
+    spec.session.timelineOut = strAt(doc, op + "timeline");
+    spec.session.metricsOut = strAt(doc, op + "metrics");
+    spec.session.metricsIntervalSec = numAt(
+        doc, op + "metrics_interval_sec", spec.session.metricsIntervalSec);
+    spec.session.heartbeatOut = strAt(doc, op + "heartbeat");
+    spec.session.promOut = strAt(doc, op + "prom");
+
+    telemetry::TraceWriter::Config &tc = spec.session.traceConfig;
+    const std::string tp = key(prefix, "trace_config") + ".";
+    tc.ctaSampleStride =
+        uint32_t(numAt(doc, tp + "cta_stride", tc.ctaSampleStride));
+    tc.bufferBytes =
+        size_t(numAt(doc, tp + "buffer_bytes", double(tc.bufferBytes)));
+    tc.chunkEvents =
+        uint64_t(numAt(doc, tp + "chunk_events", double(tc.chunkEvents)));
+    tc.chunkBytes =
+        uint64_t(numAt(doc, tp + "chunk_bytes", double(tc.chunkBytes)));
+    tc.flightRecorder = boolAt(doc, tp + "flight", tc.flightRecorder);
+
+    return spec;
+}
+
+Result<JobSpec>
+parseJobSpec(const std::string &path, const std::string &text)
+{
+    try {
+        return parseJobSpecFlat(parseFlatJson(path, text), "");
+    } catch (const Error &e) {
+        return e.status();
+    }
+}
+
+std::vector<std::string>
+stripLocalOutputs(JobSpec &spec)
+{
+    std::vector<std::string> stripped;
+    auto strip = [&](std::string &field, const char *name) {
+        if (field.empty())
+            return;
+        stripped.push_back(name);
+        field.clear();
+    };
+    strip(spec.profilesOut, "profiles_out");
+    strip(spec.session.statsOut, "outputs.stats");
+    strip(spec.session.traceOut, "outputs.trace");
+    strip(spec.session.timelineOut, "outputs.timeline");
+    strip(spec.session.metricsOut, "outputs.metrics");
+    strip(spec.session.heartbeatOut, "outputs.heartbeat");
+    strip(spec.session.promOut, "outputs.prom");
+    strip(spec.session.cacheDir, "cache.dir");
+    spec.session.cacheMode = "rw";
+    return stripped;
+}
+
+std::string
+JobResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"schema_version\":" << schemaVersion
+       << ",\"id\":" << quoted(id) << ",\"tool\":" << quoted(tool)
+       << ",\"run_id\":" << quoted(runId)
+       << ",\"exit_code\":" << exitCode
+       << ",\"error_code\":" << quoted(errorCode)
+       << ",\"error_message\":" << quoted(errorMessage)
+       << ",\"wall_sec\":" << numStr(wallSec)
+       << ",\"cache\":{\"hits\":" << cacheHits
+       << ",\"misses\":" << cacheMisses << "},\"workloads\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const JobResultRow &r = rows[i];
+        os << (i ? "," : "") << "{\"name\":" << quoted(r.name)
+           << ",\"status\":" << quoted(r.status)
+           << ",\"error_code\":" << quoted(r.errorCode)
+           << ",\"error_message\":" << quoted(r.errorMessage)
+           << ",\"phase\":" << quoted(r.phase)
+           << ",\"attempts\":" << r.attempts
+           << ",\"verified\":" << boolStr(r.verified)
+           << ",\"cached\":" << boolStr(r.cached)
+           << ",\"warp_instrs\":" << r.warpInstrs << "}";
+    }
+    os << "],\"profiles_csv\":" << quoted(profilesCsv) << "}";
+    return os.str();
+}
+
+Result<JobResult>
+parseJobResultFlat(const FlatJson &doc, const std::string &prefix)
+{
+    if (Status st = checkSchemaVersion(doc, prefix, "job result");
+        !st.ok())
+        return st;
+
+    JobResult r;
+    r.schemaVersion =
+        uint32_t(numAt(doc, key(prefix, "schema_version"), 1));
+    r.id = strAt(doc, key(prefix, "id"));
+    r.tool = strAt(doc, key(prefix, "tool"));
+    r.runId = strAt(doc, key(prefix, "run_id"));
+    r.exitCode = int(numAt(doc, key(prefix, "exit_code"), 0));
+    r.errorCode = strAt(doc, key(prefix, "error_code"));
+    r.errorMessage = strAt(doc, key(prefix, "error_message"));
+    r.wallSec = numAt(doc, key(prefix, "wall_sec"), 0);
+    r.cacheHits =
+        uint64_t(numAt(doc, key(prefix, "cache") + ".hits", 0));
+    r.cacheMisses =
+        uint64_t(numAt(doc, key(prefix, "cache") + ".misses", 0));
+    for (size_t i = 0;; ++i) {
+        const std::string rp =
+            key(prefix, "workloads") + "." + std::to_string(i) + ".";
+        auto it = doc.strs.find(rp + "name");
+        if (it == doc.strs.end())
+            break;
+        JobResultRow row;
+        row.name = it->second;
+        row.status = strAt(doc, rp + "status", row.status);
+        row.errorCode = strAt(doc, rp + "error_code");
+        row.errorMessage = strAt(doc, rp + "error_message");
+        row.phase = strAt(doc, rp + "phase");
+        row.attempts = uint32_t(numAt(doc, rp + "attempts", 1));
+        row.verified = boolAt(doc, rp + "verified", false);
+        row.cached = boolAt(doc, rp + "cached", false);
+        row.warpInstrs =
+            uint64_t(numAt(doc, rp + "warp_instrs", 0));
+        r.rows.push_back(std::move(row));
+    }
+    r.profilesCsv = strAt(doc, key(prefix, "profiles_csv"));
+    return r;
+}
+
+Result<JobResult>
+parseJobResult(const std::string &path, const std::string &text)
+{
+    try {
+        return parseJobResultFlat(parseFlatJson(path, text), "");
+    } catch (const Error &e) {
+        return e.status();
+    }
+}
+
+JobResult
+runJobLocally(const JobSpec &spec)
+{
+    using Clock = std::chrono::steady_clock;
+    JobResult result;
+    result.tool = spec.session.tool;
+    auto t0 = Clock::now();
+    auto failJob = [&](const Status &st) {
+        result.exitCode = 1;
+        result.errorCode = errorCodeName(st.code());
+        result.errorMessage = st.message();
+        result.rows.clear();
+        result.profilesCsv.clear();
+    };
+    try {
+        if (Status st = workloads::checkWorkloadNames(spec.workloads);
+            !st.ok()) {
+            failJob(st);
+        } else {
+            Session session(spec.toSessionOptions());
+            result.runId = session.runId();
+            const auto &runs = session.runSuite(spec.workloads);
+            for (const auto &run : runs) {
+                JobResultRow row;
+                row.name = run.desc.abbrev;
+                row.verified = run.verified;
+                row.attempts = run.attempts;
+                row.cached = run.cached;
+                row.warpInstrs = run.totals.warpInstrs;
+                if (run.failed()) {
+                    row.status = "failed";
+                    row.errorCode = errorCodeName(run.status.code());
+                    row.errorMessage = run.status.message();
+                    row.phase = run.failedPhase;
+                }
+                result.rows.push_back(std::move(row));
+            }
+            std::ostringstream csv;
+            metrics::writeProfilesCsv(csv, workloads::allProfiles(runs));
+            result.profilesCsv = csv.str();
+            if (!spec.profilesOut.empty())
+                session.writeProfiles(spec.profilesOut);
+            result.exitCode = session.finish();
+            if (const ResultCache *cache = session.cache()) {
+                result.cacheHits = cache->counters().hits.load();
+                result.cacheMisses = cache->counters().misses.load();
+            }
+        }
+    } catch (const Error &e) {
+        failJob(e.status());
+    } catch (const std::exception &e) {
+        failJob(makeStatus(ErrorCode::Internal,
+                           "uncaught exception: %s", e.what()));
+    }
+    result.wallSec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return result;
+}
+
+void
+addJobSpecFlags(cli::Parser &p, JobSpec &spec)
+{
+    addSuiteFlags(p, spec.session);
+    addObservabilityFlags(p, spec.session);
+    p.uintOpt("--priority", "", "N",
+              "queue priority when submitted to gwc_serve\n"
+              "(higher first; local runs ignore it)",
+              &spec.priority, 0);
+}
+
+} // namespace gwc::runtime

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * gwc::runtime::JobSpec / JobResult — the versioned request/response
+ * representation of one characterization job.
+ *
+ * A JobSpec is the single source of truth for "what to run": the CLI
+ * tools parse argv into one, the gwc_serve daemon parses the same
+ * schema off the wire, and gwc_submit round-trips it — so a remote
+ * request is provably the same surface as a local run. It is a strict
+ * superset of SessionOptions (which it embeds) plus the request-level
+ * fields a service needs: the workload list, a queue priority and the
+ * local profile-CSV output path.
+ *
+ * Serialization is canonical JSON: one line, fixed field order, every
+ * field always emitted, shortest-round-trip number formatting — so
+ * parse(serialize(x)) re-serializes byte-identically (golden-tested).
+ * Versioning follows the profile-CSV precedent (docs/ROBUSTNESS.md
+ * "Versioned formats"): schema_version 1 today, documents declaring
+ * an older version are accepted (absent fields keep their defaults),
+ * newer ones are rejected with a clear error instead of misparsed.
+ */
+
+#ifndef GWC_RUNTIME_JOBSPEC_HH
+#define GWC_RUNTIME_JOBSPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flatjson.hh"
+#include "runtime/session.hh"
+
+namespace gwc::cli
+{
+class Parser;
+}
+
+namespace gwc::runtime
+{
+
+/** Current JobSpec/JobResult JSON schema version. */
+constexpr uint32_t kJobSchemaVersion = 1;
+
+/** One characterization request: everything a Session needs plus the
+ * request-level fields (workloads, priority, profile output). */
+struct JobSpec
+{
+    uint32_t schemaVersion = kJobSchemaVersion;
+
+    /** Workload abbreviations to run; empty = the whole suite. */
+    std::vector<std::string> workloads;
+
+    /** Queue priority (higher first; FIFO within a priority). Only
+     * meaningful to gwc_serve's job queue; local runs ignore it. */
+    uint32_t priority = 0;
+
+    /** Kernel-profile CSV output path ("" = none). Written by the
+     * submitting side: locally by the tool, client-side by
+     * gwc_submit from the response's profiles_csv. */
+    std::string profilesOut;
+
+    /** The embedded session surface: suite knobs, guard budgets,
+     * injection, cache policy and observability outputs. */
+    SessionOptions session;
+
+    /** Canonical single-line JSON document (no trailing newline). */
+    std::string toJson() const;
+
+    /** SessionOptions for a local run: a copy of .session (the
+     * wiring pointers inside are never serialized and stay null). */
+    SessionOptions toSessionOptions() const { return session; }
+};
+
+/**
+ * Parse @p text (a complete JSON document) into a JobSpec.
+ * InvalidArgument on a missing/zero schema_version or one newer than
+ * kJobSchemaVersion; DataLoss on malformed JSON. @p path names the
+ * source in errors only.
+ */
+Result<JobSpec> parseJobSpec(const std::string &path,
+                             const std::string &text);
+
+/** Parse a JobSpec embedded in an already-flattened document under
+ * @p prefix (e.g. "job" for the gwc_serve submit envelope). */
+Result<JobSpec> parseJobSpecFlat(const FlatJson &doc,
+                                 const std::string &prefix);
+
+/**
+ * Clear every field of @p spec that names a server-local path or
+ * policy a service must not let clients choose: profile/stats/trace/
+ * timeline/metrics/heartbeat/prom outputs and the cache directory +
+ * mode. Returns the names of the fields that were non-empty, for a
+ * structured warning. gwc_serve applies this to every wire job and
+ * substitutes its own cache and heartbeat wiring.
+ */
+std::vector<std::string> stripLocalOutputs(JobSpec &spec);
+
+/** Per-workload row of a JobResult (mirrors WorkloadReport). */
+struct JobResultRow
+{
+    std::string name;          ///< workload abbreviation
+    std::string status = "ok"; ///< "ok" or "failed"
+    std::string errorCode;     ///< ErrorCode name when failed
+    std::string errorMessage;  ///< failure detail when failed
+    std::string phase;         ///< lifecycle phase that failed
+    uint32_t attempts = 1;     ///< guard attempts consumed
+    bool verified = false;     ///< host-reference check passed
+    bool cached = false;       ///< served from the result cache
+    uint64_t warpInstrs = 0;   ///< dynamic warp instructions
+};
+
+/**
+ * One job's structured response, on the documented 0/2/1 contract:
+ * exit_code 0 = every workload completed, 2 = partial (failed rows
+ * carry WorkloadFailure-shaped fields), 1 = job-level fatal
+ * (error_code/error_message set, no rows).
+ */
+struct JobResult
+{
+    uint32_t schemaVersion = kJobSchemaVersion;
+    std::string id;            ///< request id echoed ("" local)
+    std::string tool;          ///< serving tool name
+    std::string runId;         ///< session correlation id
+    int exitCode = 0;          ///< 0 clean / 2 partial / 1 fatal
+    std::string errorCode;     ///< job-level ErrorCode name ("" ok)
+    std::string errorMessage;  ///< job-level failure detail
+    double wallSec = 0;        ///< wall-clock of the run
+    uint64_t cacheHits = 0;    ///< result-cache entries served
+    uint64_t cacheMisses = 0;  ///< result-cache misses simulated
+    std::vector<JobResultRow> rows;
+    /** Canonical profile CSV of the surviving workloads — the exact
+     * bytes a local gwc_characterize -o would have written. */
+    std::string profilesCsv;
+
+    /** Canonical single-line JSON document (no trailing newline). */
+    std::string toJson() const;
+};
+
+/** Parse a JobResult document (same versioning rules as JobSpec). */
+Result<JobResult> parseJobResult(const std::string &path,
+                                 const std::string &text);
+
+/** parseJobResult on an already-flattened document under @p prefix
+ * (e.g. "result" for the gwc_serve response envelope). */
+Result<JobResult> parseJobResultFlat(const FlatJson &doc,
+                                     const std::string &prefix);
+
+/**
+ * Run @p spec to completion in this process: validate the workload
+ * names, build a Session through toSessionOptions(), run the suite,
+ * serialize the survivors' profile CSV (writing profilesOut when set)
+ * and map the outcome onto the 0/2/1 contract. Never throws: fatal
+ * errors come back as exit_code 1 with error_code/error_message set.
+ * This is the one execution path shared by the CLI tools' semantics
+ * and the gwc_serve workers, which is what makes daemon responses
+ * byte-identical to local runs.
+ */
+JobResult runJobLocally(const JobSpec &spec);
+
+/**
+ * Register the full JobSpec flag surface on @p p: the suite,
+ * observability and cache flags of SessionOptions plus --priority.
+ * gwc_characterize binds argv through this into a JobSpec, so the
+ * CLI and the wire schema cannot drift apart.
+ */
+void addJobSpecFlags(cli::Parser &p, JobSpec &spec);
+
+} // namespace gwc::runtime
+
+#endif // GWC_RUNTIME_JOBSPEC_HH

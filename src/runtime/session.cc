@@ -41,9 +41,12 @@ Session::Session(SessionOptions opts)
 
     // Run correlation: one id per session, carried by structured log
     // lines, timeline spans, attempt ids, the metrics series and the
-    // run report (docs/OBSERVABILITY.md "Correlation ids").
+    // run report (docs/OBSERVABILITY.md "Correlation ids"). The
+    // process-global log id is claimed, not overwritten: with N
+    // concurrent Sessions (the gwc_serve daemon) the first claimant
+    // owns it and the rest correlate through their attempt ids.
     runId_ = telemetry::mintRunId();
-    setLogRunId(runId_);
+    ownsLogRunId_ = claimLogRunId(runId_);
     report_.runId = runId_;
     report_.startedAt = telemetry::isoTimestampUtc();
     opts_.suite.runId = runId_;
@@ -61,8 +64,18 @@ Session::Session(SessionOptions opts)
         tracer_->attachStats(stats_);
         opts_.suite.extraHook = tracer_.get();
     }
-    if (!opts_.timelineOut.empty())
-        timeline_.activate();
+    if (!opts_.timelineOut.empty()) {
+        // At most one timeline records per process. A second
+        // concurrent Session requesting one would silently steal the
+        // first's spans; it runs without instead, with a warning.
+        if (telemetry::Timeline::active()) {
+            warn("another session's timeline is active; %s will not "
+                 "be written", opts_.timelineOut.c_str());
+        } else {
+            timeline_.activate();
+            timelineActive_ = true;
+        }
+    }
     if (wantSampler) {
         telemetry::MonitorConfig mc;
         mc.intervalSec = opts_.metricsIntervalSec;
@@ -78,8 +91,12 @@ Session::Session(SessionOptions opts)
 
 Session::~Session()
 {
-    if (!finished_ && !opts_.timelineOut.empty())
-        timeline_.deactivate();
+    if (!finished_) {
+        if (timelineActive_)
+            timeline_.deactivate();
+        if (ownsLogRunId_)
+            releaseLogRunId(runId_);
+    }
 }
 
 const std::vector<workloads::WorkloadRun> &
@@ -141,7 +158,7 @@ Session::finish()
         sampler_->stop();
     report_.endedAt = telemetry::isoTimestampUtc();
 
-    if (!opts_.timelineOut.empty()) {
+    if (timelineActive_) {
         // All pool work has joined by now, so the timeline is
         // quiescent and safe to export.
         timeline_.deactivate();
@@ -222,6 +239,10 @@ Session::finish()
                   opts_.promOut.c_str());
         inform("wrote Prometheus exposition to %s",
                opts_.promOut.c_str());
+    }
+    if (ownsLogRunId_) {
+        releaseLogRunId(runId_);
+        ownsLogRunId_ = false;
     }
     return ec;
 }

@@ -168,6 +168,12 @@ class Session
     std::unique_ptr<telemetry::MetricsSampler> sampler_;
     std::unique_ptr<telemetry::TraceWriter> tracer_;
     telemetry::Timeline timeline_;
+    /** True when this session's timeline is the recording one (a
+     * concurrent session may already hold the process-global slot). */
+    bool timelineActive_ = false;
+    /** True when this session claimed the process-global log run id
+     * (claimLogRunId); released on finish. */
+    bool ownsLogRunId_ = false;
     std::vector<workloads::WorkloadRun> runs_;
     telemetry::RunReport report_;
     std::chrono::steady_clock::time_point wallStart_;

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * JobQueue implementation.
+ */
+
+#include "service/queue.hh"
+
+namespace gwc::service
+{
+
+Result<std::future<runtime::JobResult>>
+JobQueue::submit(runtime::JobSpec spec, std::string id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+        ++rejected_;
+        return makeStatus(ErrorCode::Unavailable,
+                          "server is draining; job rejected");
+    }
+    if (capacity_ > 0 && queue_.size() >= capacity_) {
+        ++rejected_;
+        return makeStatus(ErrorCode::ResourceExhausted,
+                          "job queue is full (%zu queued); retry later",
+                          queue_.size());
+    }
+    auto job = std::make_shared<QueuedJob>();
+    job->priority = spec.priority;
+    job->spec = std::move(spec);
+    job->id = std::move(id);
+    job->seq = seq_++;
+    auto future = job->done.get_future();
+    queue_.push(std::move(job));
+    ++submitted_;
+    cv_.notify_one();
+    return future;
+}
+
+std::shared_ptr<QueuedJob>
+JobQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return nullptr;
+    auto job = queue_.top();
+    queue_.pop();
+    return job;
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<QueuedJob>>
+JobQueue::takeRemaining()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    std::vector<std::shared_ptr<QueuedJob>> out;
+    while (!queue_.empty()) {
+        out.push_back(queue_.top());
+        queue_.pop();
+    }
+    cv_.notify_all();
+    return out;
+}
+
+size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+uint64_t
+JobQueue::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return submitted_;
+}
+
+uint64_t
+JobQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+}
+
+} // namespace gwc::service

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bounded priority job queue of the characterization service.
+ *
+ * Connection threads submit() JobSpecs and block on the returned
+ * future; worker threads pop() in priority order (higher priority
+ * first, admission order within a priority) and fulfil the promise
+ * with the finished JobResult. The queue is bounded: submissions past
+ * capacity are rejected with ResourceExhausted instead of letting a
+ * flood of requests grow the daemon without limit, and submissions
+ * after close() are rejected with Unavailable ("draining") — the
+ * SIGTERM drain contract (docs/SERVICE.md).
+ */
+
+#ifndef GWC_SERVICE_QUEUE_HH
+#define GWC_SERVICE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "runtime/jobspec.hh"
+
+namespace gwc::service
+{
+
+/** One queued job: the request plus its completion promise. */
+struct QueuedJob
+{
+    runtime::JobSpec spec;
+    std::string id;        ///< client request id ("" = none)
+    uint32_t priority = 0; ///< from the spec, frozen at admission
+    uint64_t seq = 0;      ///< admission order (FIFO tie-break)
+    std::promise<runtime::JobResult> done;
+};
+
+class JobQueue
+{
+  public:
+    /** @p capacity bounds the number of queued (not yet popped)
+     * jobs; 0 means unbounded. */
+    explicit JobQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Enqueue @p spec (priority is read from it). Returns the future
+     * the finished JobResult will arrive on, ResourceExhausted when
+     * the queue is full, or Unavailable after close().
+     */
+    Result<std::future<runtime::JobResult>>
+    submit(runtime::JobSpec spec, std::string id);
+
+    /**
+     * Block until a job is available and return the best one
+     * (highest priority, oldest within it). Returns null once the
+     * queue is closed and drained — the worker exit signal.
+     */
+    std::shared_ptr<QueuedJob> pop();
+
+    /**
+     * Stop accepting submissions. pop() keeps draining what is
+     * already queued (the graceful path); takeRemaining() empties it
+     * instead (the fast path — the caller must fail the promises).
+     */
+    void close();
+
+    /** close() + hand every still-queued job to the caller. */
+    std::vector<std::shared_ptr<QueuedJob>> takeRemaining();
+
+    size_t depth() const;
+    uint64_t submitted() const;
+    uint64_t rejected() const;
+
+  private:
+    struct Worse
+    {
+        bool
+        operator()(const std::shared_ptr<QueuedJob> &a,
+                   const std::shared_ptr<QueuedJob> &b) const
+        {
+            if (a->priority != b->priority)
+                return a->priority < b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::priority_queue<std::shared_ptr<QueuedJob>,
+                        std::vector<std::shared_ptr<QueuedJob>>, Worse>
+        queue_;
+    size_t capacity_;
+    bool closed_ = false;
+    uint64_t seq_ = 0;
+    uint64_t submitted_ = 0;
+    uint64_t rejected_ = 0;
+};
+
+} // namespace gwc::service
+
+#endif // GWC_SERVICE_QUEUE_HH

@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Server implementation: listeners, connection handling, the protocol
+ * dispatcher and the worker loop.
+ */
+
+#include "service/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "common/flatjson.hh"
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+
+namespace gwc::service
+{
+
+namespace
+{
+
+std::string
+numStr(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + telemetry::jsonEscape(s) + "\"";
+}
+
+/** Write all of @p text to @p fd (MSG_NOSIGNAL: a vanished client
+ * must not kill the daemon). False on any send failure. */
+bool
+sendAll(int fd, const std::string &text)
+{
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+std::string
+errorLine(const std::string &id, const Status &st)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"error\",\"proto\":" << kServeProtocolVersion
+       << ",\"id\":" << quoted(id)
+       << ",\"error_code\":" << quoted(errorCodeName(st.code()))
+       << ",\"error_message\":" << quoted(st.message()) << "}";
+    return os.str();
+}
+
+} // anonymous namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), queue_(cfg_.queueCapacity)
+{
+    // Register the serve group up front so the prom exposition and
+    // the stats response expose every family from the first sample.
+    telemetry::Group &g = stats_.group("serve");
+    g.counter("connections", "client connections accepted");
+    g.counter("requests", "protocol requests handled");
+    g.counter("bad_requests", "malformed or rejected requests");
+    g.counter("jobs_submitted", "jobs admitted to the queue");
+    g.counter("jobs_completed", "jobs finished (any exit code)");
+    g.counter("jobs_failed", "jobs finishing with a non-zero code");
+    g.counter("jobs_rejected", "jobs rejected by the bounded queue");
+    g.counter("cache_hits", "result-cache hits across all jobs");
+    g.counter("cache_misses", "result-cache misses across all jobs");
+}
+
+Server::~Server()
+{
+    stop(false);
+}
+
+void
+Server::start()
+{
+    if (running_.exchange(true))
+        return;
+    startedAt_ = std::chrono::steady_clock::now();
+    runId_ = telemetry::mintRunId();
+    claimLogRunId(runId_);
+
+    if (!cfg_.unixSocket.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (cfg_.unixSocket.size() >= sizeof(addr.sun_path))
+            raise(ErrorCode::InvalidArgument,
+                  "unix socket path too long (%zu bytes, max %zu): %s",
+                  cfg_.unixSocket.size(), sizeof(addr.sun_path) - 1,
+                  cfg_.unixSocket.c_str());
+        std::strncpy(addr.sun_path, cfg_.unixSocket.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(cfg_.unixSocket.c_str());
+        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd_ < 0 ||
+            ::bind(unixFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(unixFd_, 64) != 0)
+            raise(ErrorCode::IoError, "cannot listen on %s: %s",
+                  cfg_.unixSocket.c_str(), std::strerror(errno));
+    }
+    if (cfg_.port >= 0) {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(uint16_t(cfg_.port));
+        if (cfg_.host.empty())
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        else if (::inet_pton(AF_INET, cfg_.host.c_str(),
+                             &addr.sin_addr) != 1)
+            raise(ErrorCode::InvalidArgument,
+                  "invalid TCP bind address: %s", cfg_.host.c_str());
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        int one = 1;
+        if (tcpFd_ >= 0)
+            ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+        if (tcpFd_ < 0 ||
+            ::bind(tcpFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(tcpFd_, 64) != 0)
+            raise(ErrorCode::IoError, "cannot listen on %s:%d: %s",
+                  cfg_.host.c_str(), cfg_.port, std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcpFd_, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            tcpPort_ = int(ntohs(bound.sin_port));
+    }
+    if (unixFd_ < 0 && tcpFd_ < 0)
+        raise(ErrorCode::InvalidArgument,
+              "no listener configured: set a unix socket path and/or "
+              "a TCP port");
+
+    if (!cfg_.stateDir.empty()) {
+        ::mkdir(cfg_.stateDir.c_str(), 0777);
+        telemetry::MonitorConfig mc;
+        mc.intervalSec = cfg_.metricsIntervalSec;
+        mc.metricsPath = cfg_.stateDir + "/serve.metrics.jsonl";
+        mc.heartbeatPath = cfg_.stateDir + "/serve.heartbeat.json";
+        mc.runId = runId_;
+        sampler_ = std::make_unique<telemetry::MetricsSampler>(
+            mc, &stats_, &board_);
+        sampler_->start();
+        writeProm();
+    }
+
+    for (uint32_t i = 0; i < std::max(1u, cfg_.workers); ++i)
+        workers_.emplace_back(&Server::workerLoop, this, i);
+    acceptThread_ = std::thread(&Server::acceptLoop, this);
+
+    logEvent(LogLevel::Info, "serve_start",
+             {{"unix", cfg_.unixSocket},
+              {"tcp", tcpPort_ >= 0
+                          ? cfg_.host + ":" + std::to_string(tcpPort_)
+                          : ""},
+              {"workers", std::to_string(std::max(1u, cfg_.workers))},
+              {"queue_capacity",
+               std::to_string(cfg_.queueCapacity)}});
+}
+
+void
+Server::closeListeners()
+{
+    if (unixFd_ >= 0) {
+        ::shutdown(unixFd_, SHUT_RDWR);
+        ::close(unixFd_);
+        unixFd_ = -1;
+        ::unlink(cfg_.unixSocket.c_str());
+    }
+    if (tcpFd_ >= 0) {
+        ::shutdown(tcpFd_, SHUT_RDWR);
+        ::close(tcpFd_);
+        tcpFd_ = -1;
+    }
+}
+
+void
+Server::stop(bool drain)
+{
+    if (!running_.load() || stopped_.exchange(true))
+        return;
+    draining_.store(true);
+    logEvent(LogLevel::Info, "serve_stop",
+             {{"drain", drain ? "true" : "false"},
+              {"queued", std::to_string(queue_.depth())}});
+
+    // 1. No new connections.
+    closeListeners();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // 2. No new submissions; drain or fail what is queued.
+    if (drain) {
+        queue_.close();
+    } else {
+        for (auto &job : queue_.takeRemaining()) {
+            runtime::JobResult r;
+            r.id = job->id;
+            r.tool = job->spec.session.tool;
+            r.exitCode = 1;
+            r.errorCode = errorCodeName(ErrorCode::Unavailable);
+            r.errorMessage = "server shut down before the job ran";
+            job->done.set_value(std::move(r));
+        }
+    }
+    for (auto &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+
+    // 3. Every promise is fulfilled: unblock idle readers (half
+    // shutdown keeps in-flight response writes working) and join.
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        conns.swap(connThreads_);
+    }
+    for (auto &t : conns)
+        if (t.joinable())
+            t.join();
+
+    if (sampler_) {
+        sampler_->stop();
+        writeProm();
+    }
+    releaseLogRunId(runId_);
+    running_.store(false);
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining_.load()) {
+        pollfd fds[2];
+        nfds_t n = 0;
+        if (unixFd_ >= 0)
+            fds[n++] = {unixFd_, POLLIN, 0};
+        if (tcpFd_ >= 0)
+            fds[n++] = {tcpFd_, POLLIN, 0};
+        if (n == 0)
+            return;
+        int rc = ::poll(fds, n, 200);
+        if (rc <= 0)
+            continue;
+        for (nfds_t i = 0; i < n; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            ++stats_.group("serve").counter("connections", "");
+            std::lock_guard<std::mutex> lock(connMu_);
+            connFds_.insert(fd);
+            connThreads_.emplace_back(&Server::handleConnection, this,
+                                      fd);
+        }
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string buf;
+    char chunk[65536];
+    bool open = true;
+    while (open) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buf.append(chunk, size_t(n));
+        if (cfg_.maxLineBytes > 0 && buf.size() > cfg_.maxLineBytes &&
+            buf.find('\n') == std::string::npos) {
+            sendAll(fd, errorLine("", makeStatus(
+                ErrorCode::InvalidArgument,
+                "request line exceeds %zu bytes",
+                cfg_.maxLineBytes)) + "\n");
+            break;
+        }
+        size_t start = 0;
+        for (size_t nl; open &&
+             (nl = buf.find('\n', start)) != std::string::npos;
+             start = nl + 1) {
+            std::string line = buf.substr(start, nl - start);
+            if (line.empty())
+                continue;
+            open = sendAll(fd, handleLine(line) + "\n");
+        }
+        buf.erase(0, start);
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(connMu_);
+    connFds_.erase(fd);
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    telemetry::Group &g = stats_.group("serve");
+    ++g.counter("requests", "");
+    FlatJson doc;
+    try {
+        doc = parseFlatJson("request", line);
+    } catch (const Error &e) {
+        ++g.counter("bad_requests", "");
+        return errorLine("", e.status());
+    }
+
+    auto str = [&](const char *k) {
+        auto it = doc.strs.find(k);
+        return it == doc.strs.end() ? std::string() : it->second;
+    };
+    const std::string id = str("id");
+
+    auto proto = doc.nums.find("proto");
+    if (proto != doc.nums.end() &&
+        proto->second > double(kServeProtocolVersion)) {
+        ++g.counter("bad_requests", "");
+        return errorLine(
+            id, makeStatus(ErrorCode::InvalidArgument,
+                           "protocol version %.0f is newer than this "
+                           "server (speaks %u)",
+                           proto->second, kServeProtocolVersion));
+    }
+
+    const std::string type = str("type");
+    const double uptime =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startedAt_)
+            .count();
+    if (type == "ping") {
+        std::ostringstream os;
+        os << "{\"type\":\"pong\",\"proto\":" << kServeProtocolVersion
+           << ",\"server\":\"gwc_serve\",\"version\":"
+           << quoted(cli::versionString())
+           << ",\"run_id\":" << quoted(runId_)
+           << ",\"uptime_sec\":" << numStr(uptime)
+           << ",\"workers\":" << std::max(1u, cfg_.workers)
+           << ",\"queue_depth\":" << queue_.depth() << "}";
+        return os.str();
+    }
+    if (type == "stats") {
+        ServerCounters c = counters();
+        std::ostringstream os;
+        os << "{\"type\":\"stats\",\"proto\":" << kServeProtocolVersion
+           << ",\"run_id\":" << quoted(runId_)
+           << ",\"uptime_sec\":" << numStr(uptime)
+           << ",\"connections\":" << c.connections
+           << ",\"requests\":" << c.requests
+           << ",\"bad_requests\":" << c.badRequests
+           << ",\"jobs\":{\"submitted\":" << c.jobsSubmitted
+           << ",\"completed\":" << c.jobsCompleted
+           << ",\"failed\":" << c.jobsFailed
+           << ",\"rejected\":" << c.jobsRejected
+           << ",\"queued\":" << c.queueDepth
+           << "},\"cache\":{\"hits\":" << c.cacheHits
+           << ",\"misses\":" << c.cacheMisses << "}}";
+        return os.str();
+    }
+    if (type == "submit") {
+        Result<runtime::JobSpec> spec =
+            runtime::parseJobSpecFlat(doc, "job");
+        if (!spec.ok()) {
+            ++g.counter("bad_requests", "");
+            return errorLine(id, spec.status());
+        }
+        sanitizeWireJob(spec.value(), id);
+        auto future = queue_.submit(std::move(spec.value()), id);
+        if (!future.ok()) {
+            ++g.counter("jobs_rejected", "");
+            return errorLine(id, future.status());
+        }
+        ++g.counter("jobs_submitted", "");
+        runtime::JobResult result = future.value().get();
+        std::ostringstream os;
+        os << "{\"type\":\"result\",\"proto\":"
+           << kServeProtocolVersion << ",\"id\":" << quoted(id)
+           << ",\"result\":" << result.toJson() << "}";
+        return os.str();
+    }
+    ++g.counter("bad_requests", "");
+    return errorLine(
+        id, makeStatus(ErrorCode::InvalidArgument,
+                       "unknown request type \"%s\" (expected ping, "
+                       "stats or submit)",
+                       type.c_str()));
+}
+
+void
+Server::sanitizeWireJob(runtime::JobSpec &spec, const std::string &id)
+{
+    std::vector<std::string> stripped =
+        runtime::stripLocalOutputs(spec);
+    if (!stripped.empty()) {
+        std::string joined;
+        for (const auto &f : stripped)
+            joined += (joined.empty() ? "" : ",") + f;
+        logEvent(LogLevel::Warn, "job_fields_stripped",
+                 {{"id", id}, {"fields", joined}});
+    }
+    spec.session.suite.verbose = false;
+
+    // Server-side policy: the shared cache and the resource clamps.
+    spec.session.cacheDir = cfg_.cacheDir;
+    spec.session.cacheMode = cfg_.cacheMode;
+    uint32_t maxJobs = cfg_.maxSessionJobs > 0
+                           ? cfg_.maxSessionJobs
+                           : ThreadPool::defaultJobs();
+    if (spec.session.suite.jobs == 0 ||
+        spec.session.suite.jobs > maxJobs)
+        spec.session.suite.jobs = std::max(1u, maxJobs);
+    if (cfg_.maxTimeoutSec > 0) {
+        double &t = spec.session.suite.limits.timeoutSec;
+        if (t <= 0 || t > cfg_.maxTimeoutSec)
+            t = cfg_.maxTimeoutSec;
+    }
+}
+
+runtime::JobResult
+Server::runJob(uint32_t worker, const QueuedJob &job)
+{
+    runtime::JobSpec spec = job.spec;
+    if (!cfg_.stateDir.empty()) {
+        spec.session.heartbeatOut = cfg_.stateDir + "/worker-" +
+                                    std::to_string(worker) +
+                                    ".heartbeat.json";
+        spec.session.metricsIntervalSec = cfg_.metricsIntervalSec;
+    }
+    runtime::JobResult result = runtime::runJobLocally(spec);
+    result.id = job.id;
+    return result;
+}
+
+void
+Server::workerLoop(uint32_t index)
+{
+    while (true) {
+        std::shared_ptr<QueuedJob> job = queue_.pop();
+        if (!job)
+            return;
+        const std::string label =
+            "j" + std::to_string(job->seq) +
+            (job->id.empty() ? "" : ":" + job->id);
+        board_.workloadBegin(label, runId_ + ":" + label + "#1");
+        runtime::JobResult result = runJob(index, *job);
+        telemetry::Group &g = stats_.group("serve");
+        ++g.counter("jobs_completed", "");
+        if (result.exitCode != 0)
+            ++g.counter("jobs_failed", "");
+        g.counter("cache_hits", "") += result.cacheHits;
+        g.counter("cache_misses", "") += result.cacheMisses;
+        cacheHits_.fetch_add(result.cacheHits,
+                             std::memory_order_relaxed);
+        cacheMisses_.fetch_add(result.cacheMisses,
+                               std::memory_order_relaxed);
+        board_.workloadEnd(label, result.exitCode == 0);
+        logEvent(LogLevel::Info, "job_done",
+                 {{"job", label},
+                  {"exit_code", std::to_string(result.exitCode)},
+                  {"wall_sec", numStr(result.wallSec)},
+                  {"cache_hits", std::to_string(result.cacheHits)}});
+        job->done.set_value(std::move(result));
+        writeProm();
+    }
+}
+
+void
+Server::writeProm()
+{
+    if (cfg_.stateDir.empty())
+        return;
+    std::lock_guard<std::mutex> lock(promMu_);
+    const std::string path = cfg_.stateDir + "/serve.prom";
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            warn("cannot write %s", tmp.c_str());
+            return;
+        }
+        stats_.writeProm(os);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        warn("cannot publish %s: %s", path.c_str(),
+             std::strerror(errno));
+}
+
+ServerCounters
+Server::counters() const
+{
+    ServerCounters c;
+    auto total = [&](const char *name) {
+        return stats_.counterTotal("serve", name);
+    };
+    c.connections = total("connections");
+    c.requests = total("requests");
+    c.badRequests = total("bad_requests");
+    c.jobsSubmitted = total("jobs_submitted");
+    c.jobsCompleted = total("jobs_completed");
+    c.jobsFailed = total("jobs_failed");
+    c.jobsRejected = total("jobs_rejected") + queue_.rejected();
+    c.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    c.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    c.queueDepth = queue_.depth();
+    return c;
+}
+
+} // namespace gwc::service

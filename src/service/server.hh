@@ -1,0 +1,193 @@
+/**
+ * @file
+ * gwc::service::Server — the characterization-as-a-service daemon
+ * core behind the gwc_serve tool.
+ *
+ * A long-lived front end over gwc::runtime::Session: clients connect
+ * over a Unix or TCP socket and speak a line-delimited JSON protocol
+ * (one request object per line, one response object per line — see
+ * docs/SERVICE.md). Submitted JobSpecs flow through a bounded
+ * priority JobQueue into N worker threads, each of which runs the job
+ * through the same runJobLocally() path the CLI tools use — so a
+ * served response is byte-identical to a local run. All sessions
+ * share one content-addressed ResultCache directory: a warm request
+ * is answered without simulating.
+ *
+ * Requests:
+ *   {"proto":1,"type":"ping"}
+ *   {"proto":1,"type":"stats"}
+ *   {"proto":1,"type":"submit","id":"<client id>","job":{<JobSpec>}}
+ * Responses:
+ *   {"type":"pong",...} / {"type":"stats",...}
+ *   {"type":"result","id":...,"result":{<JobResult>}}
+ *   {"type":"error","id":...,"error_code":...,"error_message":...}
+ *
+ * Wire jobs are sanitized before execution: server-local output
+ * paths and client cache policy are stripped (stripLocalOutputs) and
+ * replaced by the server's own cache directory, per-worker heartbeat
+ * files and resource clamps — a client chooses *what* to
+ * characterize, the operator chooses *where* results live and how
+ * much a job may cost. Failures come back as structured
+ * WorkloadFailure-shaped rows on the documented 0/2/1 exit-code
+ * mapping, never as a dropped connection.
+ *
+ * The daemon watches itself with the same machinery as a campaign
+ * (telemetry/monitor.hh): an ActivityBoard of in-flight jobs, a
+ * MetricsSampler writing a heartbeat + metrics series under stateDir
+ * and a Prometheus exposition rewritten after every job, so
+ * gwc_monitor --follow <stateDir> is a live daemon flight deck.
+ */
+
+#ifndef GWC_SERVICE_SERVER_HH
+#define GWC_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/queue.hh"
+#include "telemetry/monitor.hh"
+#include "telemetry/stats.hh"
+
+namespace gwc::service
+{
+
+/** Wire-protocol version spoken by this build (envelope "proto"). */
+constexpr uint32_t kServeProtocolVersion = 1;
+
+/** Operator configuration of one daemon. */
+struct ServerConfig
+{
+    /** Unix-domain listening socket path ("" = none). */
+    std::string unixSocket;
+    /** TCP bind address (with port >= 0). */
+    std::string host = "127.0.0.1";
+    /** TCP port: -1 = no TCP listener, 0 = ephemeral (tcpPort()). */
+    int port = -1;
+
+    uint32_t workers = 1;      ///< concurrent job sessions
+    size_t queueCapacity = 64; ///< queued-job bound (0 = unbounded)
+
+    /** Shared result cache for every job ("" = no cache). */
+    std::string cacheDir;
+    std::string cacheMode = "rw";
+
+    /** Daemon observability directory ("" = off): serve heartbeat +
+     * metrics + prom plus one heartbeat file per worker, all
+     * discoverable by gwc_monitor --follow. */
+    std::string stateDir;
+    double metricsIntervalSec = 0.5; ///< daemon sampler cadence
+
+    /** Clamp of a wire job's suite.jobs (0 = hardware default). */
+    uint32_t maxSessionJobs = 0;
+    /** Per-job wall-clock ceiling: jobs without a timeout get it,
+     * larger requests are clamped down (0 = no ceiling). */
+    double maxTimeoutSec = 0;
+    /** Longest accepted request line (0 = unbounded). */
+    size_t maxLineBytes = 4u << 20;
+};
+
+/** Point-in-time counters of a running server. */
+struct ServerCounters
+{
+    uint64_t connections = 0;   ///< accepted connections
+    uint64_t requests = 0;      ///< protocol requests handled
+    uint64_t badRequests = 0;   ///< malformed/rejected requests
+    uint64_t jobsSubmitted = 0; ///< jobs admitted to the queue
+    uint64_t jobsCompleted = 0; ///< jobs finished (any exit code)
+    uint64_t jobsFailed = 0;    ///< jobs with exit code != 0
+    uint64_t jobsRejected = 0;  ///< queue-full/draining rejections
+    uint64_t cacheHits = 0;     ///< result-cache hits across jobs
+    uint64_t cacheMisses = 0;   ///< result-cache misses across jobs
+    size_t queueDepth = 0;      ///< jobs currently queued
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the listeners and launch the accept + worker threads.
+     * Throws gwc::Error(IoError/InvalidArgument) on bind failures. */
+    void start();
+
+    /**
+     * Shut down. With @p drain (the SIGTERM path) the queue stops
+     * accepting and every already-queued job still runs to completion
+     * before workers exit; without it queued jobs are failed with
+     * Unavailable. In-flight responses are written either way, then
+     * connections are closed. Idempotent.
+     */
+    void stop(bool drain = true);
+
+    /** Resolved TCP port (after start() with port >= 0), else -1. */
+    int tcpPort() const { return tcpPort_; }
+
+    const ServerConfig &config() const { return cfg_; }
+
+    /** The daemon's run correlation id (minted in start()). */
+    const std::string &runId() const { return runId_; }
+
+    ServerCounters counters() const;
+
+    /** The daemon stats registry ("serve" group; prom-exported). */
+    telemetry::Registry &stats() { return stats_; }
+
+    /**
+     * Handle one request line and return the response line (no
+     * trailing newline). Public as the protocol seam: connection
+     * threads call it per received line, tests drive it without
+     * sockets. Blocks until the job finishes for submit requests.
+     */
+    std::string handleLine(const std::string &line);
+
+  private:
+    void acceptLoop();
+    void workerLoop(uint32_t index);
+    void handleConnection(int fd);
+    runtime::JobResult runJob(uint32_t worker, const QueuedJob &job);
+    void sanitizeWireJob(runtime::JobSpec &spec, const std::string &id);
+    void writeProm();
+    void closeListeners();
+
+    ServerConfig cfg_;
+    std::string runId_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> draining_{false};
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int tcpPort_ = -1;
+
+    JobQueue queue_;
+    std::vector<std::thread> workers_;
+    std::thread acceptThread_;
+
+    std::mutex connMu_;       ///< guards connFds_ + connThreads_
+    std::set<int> connFds_;
+    std::vector<std::thread> connThreads_;
+
+    telemetry::Registry stats_;
+    telemetry::ActivityBoard board_;
+    std::unique_ptr<telemetry::MetricsSampler> sampler_;
+    std::mutex promMu_;       ///< serializes prom rewrites
+
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> cacheMisses_{0};
+    std::chrono::steady_clock::time_point startedAt_;
+};
+
+} // namespace gwc::service
+
+#endif // GWC_SERVICE_SERVER_HH

@@ -13,6 +13,10 @@
 #include <random>
 #include <sstream>
 
+#include <algorithm>
+
+#include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -105,6 +109,31 @@ sampleProcSelf()
 
     ps.ok = true;
     return ps;
+}
+
+std::vector<std::string>
+listHeartbeatFiles(const std::string &dir)
+{
+    static const std::string suffix = ".heartbeat.json";
+    std::vector<std::string> out;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return out;
+    while (dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() <= suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string path = dir + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        out.push_back(path);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void

@@ -62,6 +62,17 @@ struct ProcStat
 ProcStat sampleProcSelf();
 
 /**
+ * Heartbeat files under @p dir (non-recursive): regular files named
+ * "*.heartbeat.json", sorted by name. A missing/unreadable directory
+ * is an empty list. This is the discovery side of the heartbeat
+ * convention — every sampler heartbeat (Session --heartbeat-out,
+ * gwc_serve's serve.heartbeat.json and its per-worker files) ends in
+ * the suffix, so `gwc_monitor --follow DIR` can tail a whole campaign
+ * or daemon fleet without being told each path.
+ */
+std::vector<std::string> listHeartbeatFiles(const std::string &dir);
+
+/**
  * Shared scoreboard of in-flight work. The suite driver posts workload
  * begin/phase/end transitions (mutex-guarded, cold path); engines
  * report CTA/instruction progress through relaxed atomics (hot path).

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -675,4 +678,67 @@ TEST(CacheSuite, ExtraHookBypassesTheCache)
     EXPECT_EQ(cache.counters().misses.load(), 0u);
     EXPECT_EQ(cache.counters().admitted.load(), 0u);
     EXPECT_EQ(entryCount(dir), 0u);
+}
+
+TEST(CacheConcurrency, TwoProcessesSharingOneDirRaceSafely)
+{
+    // The gwc_serve deployment shape: several processes (a daemon and
+    // ad-hoc CLI runs) share one --cache-dir read-write. Racing fills
+    // of the SAME key must both succeed through the tmp + atomic
+    // rename publish, and a concurrent reader must never observe a
+    // torn entry — every lookup returns one complete payload or
+    // misses.
+    std::string dir = tempDir("race");
+    WorkloadKey key;
+    key.workload = "RACE";
+    key.collectors = "blob";
+
+    // Distinctive homogeneous payloads: any cross-process tearing
+    // would mix bytes and fail the all-same check (and the entry
+    // checksum before that).
+    auto payloadFor = [](char c) { return std::string(1 << 16, c); };
+    const std::string parentPayload = payloadFor('P');
+    const std::string childPayload = payloadFor('C');
+    constexpr int kRounds = 40;
+
+    auto worker = [&](const std::string &payload) {
+        ResultCache cache({dir, CacheMode::ReadWrite});
+        for (int i = 0; i < kRounds; ++i) {
+            if (!cache.storeBlob(key, "race", payload))
+                return 1;
+            auto seen = cache.lookupBlob(key, "race");
+            if (!seen)
+                continue; // the other side's fill won; fine
+            if (seen->size() != payload.size())
+                return 2;
+            char c = (*seen)[0];
+            if (c != 'P' && c != 'C')
+                return 3;
+            if (seen->find_first_not_of(c) != std::string::npos)
+                return 4; // torn read: mixed writers
+        }
+        return 0;
+    };
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+        // Child: plain syscalls only, report via exit status.
+        _exit(worker(childPayload));
+    }
+    int parentRc = worker(parentPayload);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_EQ(parentRc, 0);
+
+    // The surviving entry is complete and valid on deep inspection.
+    auto final = ResultCache(ResultCache::Config{dir,
+                                                CacheMode::ReadOnly})
+                     .lookupBlob(key, "race");
+    ASSERT_TRUE(final.has_value());
+    EXPECT_TRUE(*final == parentPayload || *final == childPayload);
+    for (const auto &entry : ResultCache::scan(dir, /*deep=*/true))
+        EXPECT_TRUE(entry.valid) << entry.path << ": " << entry.error;
 }

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * JobSpec/JobResult API tests: canonical serialization goldens, the
+ * argv -> JobSpec -> JSON -> JobSpec round trip, schema versioning
+ * gates and the shared local execution path (runJobLocally).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "runtime/jobspec.hh"
+
+using namespace gwc;
+using runtime::JobResult;
+using runtime::JobSpec;
+
+namespace
+{
+
+/** A JobSpec with every serialized field set away from its default. */
+JobSpec
+fullSpec()
+{
+    JobSpec spec;
+    spec.workloads = {"BLS", "RD"};
+    spec.priority = 7;
+    spec.profilesOut = "out/profiles.csv";
+    spec.session.tool = "gwc_characterize";
+    spec.session.suite.scale = 3;
+    spec.session.suite.ctaSampleStride = 2;
+    spec.session.suite.jobs = 4;
+    spec.session.suite.eventBatch = 128;
+    spec.session.suite.verify = false;
+    spec.session.suite.keepGoing = true;
+    spec.session.suite.retry.maxRetries = 2;
+    spec.session.suite.retry.backoffSec = 0.25;
+    spec.session.suite.limits.timeoutSec = 1.5;
+    spec.session.suite.limits.softTimeoutSec = 0;
+    spec.session.suite.limits.memBudgetBytes = 1048576;
+    spec.session.injectSpecs = "alloc-fail@BLS:1";
+    spec.session.cacheDir = "/tmp/c";
+    spec.session.cacheMode = "ro";
+    spec.session.statsOut = "s.json";
+    spec.session.traceOut = "t.trace";
+    spec.session.timelineOut = "tl.json";
+    spec.session.metricsOut = "m.jsonl";
+    spec.session.metricsIntervalSec = 0.5;
+    spec.session.heartbeatOut = "hb.json";
+    spec.session.promOut = "p.prom";
+    spec.session.traceConfig.ctaSampleStride = 4;
+    spec.session.traceConfig.bufferBytes = 1024;
+    spec.session.traceConfig.chunkEvents = 100;
+    spec.session.traceConfig.chunkBytes = 2048;
+    spec.session.traceConfig.flightRecorder = true;
+    return spec;
+}
+
+} // anonymous namespace
+
+TEST(JobSpec, GoldenJson)
+{
+    // The wire schema is a contract: any change to this string is a
+    // schema change and needs a version bump + docs/SERVICE.md update.
+    EXPECT_EQ(
+        fullSpec().toJson(),
+        "{\"schema_version\":1,\"tool\":\"gwc_characterize\","
+        "\"priority\":7,\"workloads\":[\"BLS\",\"RD\"],"
+        "\"profiles_out\":\"out/profiles.csv\",\"suite\":{\"scale\":3,"
+        "\"cta_stride\":2,\"jobs\":4,\"batch\":128,\"verify\":false,"
+        "\"keep_going\":true,\"retries\":2,\"retry_backoff_sec\":0.25,"
+        "\"timeout_sec\":1.5,\"soft_timeout_sec\":0,"
+        "\"mem_budget_bytes\":1048576},\"inject\":\"alloc-fail@BLS:1\","
+        "\"cache\":{\"dir\":\"/tmp/c\",\"mode\":\"ro\"},"
+        "\"outputs\":{\"stats\":\"s.json\",\"trace\":\"t.trace\","
+        "\"timeline\":\"tl.json\",\"metrics\":\"m.jsonl\","
+        "\"metrics_interval_sec\":0.5,\"heartbeat\":\"hb.json\","
+        "\"prom\":\"p.prom\"},\"trace_config\":{\"cta_stride\":4,"
+        "\"buffer_bytes\":1024,\"chunk_events\":100,"
+        "\"chunk_bytes\":2048,\"flight\":true}}");
+}
+
+TEST(JobSpec, RoundTripIsByteIdentical)
+{
+    for (const JobSpec &spec : {JobSpec(), fullSpec()}) {
+        const std::string json = spec.toJson();
+        auto parsed = runtime::parseJobSpec("test", json);
+        ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+        EXPECT_EQ(parsed.value().toJson(), json);
+    }
+}
+
+TEST(JobSpec, ArgvBuildsTheSameSpecAsTheWire)
+{
+    // The CLI flag surface and the wire schema are the same JobSpec:
+    // argv -> JobSpec -> JSON -> JobSpec must be byte-stable.
+    JobSpec spec;
+    spec.session.tool = "gwc_characterize";
+    cli::Parser p("gwc_characterize", "[options] [workload ...]");
+    runtime::addJobSpecFlags(p, spec);
+    const char *argv[] = {"gwc_characterize", "--scale", "2",
+                          "--cta-stride", "3", "--jobs", "1",
+                          "--no-verify", "--retries", "1",
+                          "--timeout", "30", "--priority", "9",
+                          "--inject", "alloc-fail@BLS",
+                          "--cache-dir", "/tmp/cc", "--cache", "ro",
+                          "--stats-out", "st.json", "BLS", "RD"};
+    spec.workloads =
+        p.parse(int(std::size(argv)), const_cast<char **>(argv));
+
+    EXPECT_EQ(spec.workloads, (std::vector<std::string>{"BLS", "RD"}));
+    EXPECT_EQ(spec.priority, 9u);
+    EXPECT_EQ(spec.session.suite.scale, 2u);
+    EXPECT_FALSE(spec.session.suite.verify);
+    EXPECT_EQ(spec.session.injectSpecs, "alloc-fail@BLS");
+
+    const std::string json = spec.toJson();
+    auto parsed = runtime::parseJobSpec("wire", json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().toJson(), json);
+}
+
+TEST(JobSpec, RejectsMissingAndNewerSchemaVersions)
+{
+    auto missing = runtime::parseJobSpec("t", "{\"tool\":\"x\"}");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(missing.status().message().find("schema_version"),
+              std::string::npos);
+
+    auto newer =
+        runtime::parseJobSpec("t", "{\"schema_version\":999}");
+    ASSERT_FALSE(newer.ok());
+    EXPECT_EQ(newer.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(newer.status().message().find("newer"),
+              std::string::npos);
+}
+
+TEST(JobSpec, AcceptsOlderDocumentsWithMissingFields)
+{
+    // A version-1 document carrying only a few fields parses with
+    // defaults for the rest — the accept-older contract.
+    auto parsed = runtime::parseJobSpec(
+        "t", "{\"schema_version\":1,\"workloads\":[\"RD\"],"
+             "\"suite\":{\"scale\":5}}");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const JobSpec &spec = parsed.value();
+    EXPECT_EQ(spec.workloads, (std::vector<std::string>{"RD"}));
+    EXPECT_EQ(spec.session.suite.scale, 5u);
+    JobSpec dflt;
+    EXPECT_EQ(spec.session.suite.verify, dflt.session.suite.verify);
+    EXPECT_EQ(spec.session.suite.eventBatch,
+              dflt.session.suite.eventBatch);
+    EXPECT_EQ(spec.session.cacheMode, dflt.session.cacheMode);
+}
+
+TEST(JobSpec, StripLocalOutputsClearsServerLocalFields)
+{
+    JobSpec spec = fullSpec();
+    auto stripped = runtime::stripLocalOutputs(spec);
+    EXPECT_EQ(stripped.size(), 8u);
+    EXPECT_TRUE(spec.profilesOut.empty());
+    EXPECT_TRUE(spec.session.statsOut.empty());
+    EXPECT_TRUE(spec.session.traceOut.empty());
+    EXPECT_TRUE(spec.session.timelineOut.empty());
+    EXPECT_TRUE(spec.session.metricsOut.empty());
+    EXPECT_TRUE(spec.session.heartbeatOut.empty());
+    EXPECT_TRUE(spec.session.promOut.empty());
+    EXPECT_TRUE(spec.session.cacheDir.empty());
+    EXPECT_EQ(spec.session.cacheMode, "rw");
+    // What the client may still choose survives.
+    EXPECT_EQ(spec.workloads,
+              (std::vector<std::string>{"BLS", "RD"}));
+    EXPECT_EQ(spec.session.suite.scale, 3u);
+    // Idempotent: nothing left to strip.
+    EXPECT_TRUE(runtime::stripLocalOutputs(spec).empty());
+}
+
+TEST(JobResult, RoundTripIsByteIdentical)
+{
+    JobResult r;
+    r.id = "req-1";
+    r.tool = "gwc_characterize";
+    r.runId = "abcd1234abcd1234";
+    r.exitCode = 2;
+    r.wallSec = 1.25;
+    r.cacheHits = 1;
+    r.cacheMisses = 2;
+    runtime::JobResultRow ok;
+    ok.name = "RD";
+    ok.verified = true;
+    ok.warpInstrs = 12345;
+    runtime::JobResultRow bad;
+    bad.name = "BLS";
+    bad.status = "failed";
+    bad.errorCode = "out_of_memory";
+    bad.errorMessage = "injected \"fault\"";
+    bad.phase = "setup";
+    bad.attempts = 2;
+    r.rows = {ok, bad};
+    r.profilesCsv = "# gwc-profile v2\nname,kernel\n";
+
+    const std::string json = r.toJson();
+    auto parsed = runtime::parseJobResult("t", json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().toJson(), json);
+    EXPECT_EQ(parsed.value().rows.size(), 2u);
+    EXPECT_EQ(parsed.value().rows[1].errorCode, "out_of_memory");
+    EXPECT_EQ(parsed.value().profilesCsv, r.profilesCsv);
+}
+
+TEST(RunJobLocally, CleanRunProducesRowsAndProfileCsv)
+{
+    JobSpec spec;
+    spec.session.tool = "gwc_test";
+    spec.session.suite.jobs = 1;
+    spec.workloads = {"RD"};
+    JobResult result = runtime::runJobLocally(spec);
+    EXPECT_EQ(result.exitCode, 0) << result.errorMessage;
+    EXPECT_FALSE(result.runId.empty());
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0].name, "RD");
+    EXPECT_EQ(result.rows[0].status, "ok");
+    EXPECT_TRUE(result.rows[0].verified);
+    EXPECT_GT(result.rows[0].warpInstrs, 0u);
+    EXPECT_EQ(result.profilesCsv.rfind("# gwc-profile", 0), 0u);
+}
+
+TEST(RunJobLocally, UnknownWorkloadIsAStructuredFatal)
+{
+    JobSpec spec;
+    spec.workloads = {"NOPE"};
+    JobResult result = runtime::runJobLocally(spec);
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_EQ(result.errorCode, "not_found");
+    EXPECT_NE(result.errorMessage.find("NOPE"), std::string::npos);
+    EXPECT_TRUE(result.rows.empty());
+}
+
+TEST(RunJobLocally, InjectedFailureMapsToPartialExit)
+{
+    JobSpec spec;
+    spec.session.suite.jobs = 1;
+    spec.session.injectSpecs = "alloc-fail@BLS";
+    spec.workloads = {"BLS", "RD"};
+    JobResult result = runtime::runJobLocally(spec);
+    EXPECT_EQ(result.exitCode, 2);
+    ASSERT_EQ(result.rows.size(), 2u);
+    EXPECT_EQ(result.rows[0].status, "failed");
+    EXPECT_EQ(result.rows[0].errorCode, "resource_exhausted");
+    EXPECT_FALSE(result.rows[0].phase.empty());
+    EXPECT_EQ(result.rows[1].status, "ok");
+}

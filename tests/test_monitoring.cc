@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -605,6 +606,32 @@ TEST(FlatJsonReader, MalformedInputRaisesDataLoss)
             EXPECT_EQ(e.code(), ErrorCode::DataLoss) << bad;
         }
     }
+}
+
+
+TEST(HeartbeatDiscovery, ListsOnlyHeartbeatFilesSorted)
+{
+    // gwc_monitor --follow discovers sessions by the heartbeat naming
+    // convention: "*.heartbeat.json", non-recursive, sorted.
+    std::string dir = testing::TempDir() + "hb_discovery";
+    std::filesystem::create_directories(dir + "/sub.heartbeat.json");
+    auto touch = [&](const std::string &name) {
+        std::ofstream(dir + "/" + name) << "{}";
+    };
+    touch("worker-1.heartbeat.json");
+    touch("serve.heartbeat.json");
+    touch("metrics.jsonl");
+    touch("notes.txt");
+    touch(".heartbeat.json"); // bare suffix: not a session file
+
+    auto files = telemetry::listHeartbeatFiles(dir);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0], dir + "/serve.heartbeat.json");
+    EXPECT_EQ(files[1], dir + "/worker-1.heartbeat.json");
+
+    // Missing directory degrades to an empty list, not an error.
+    EXPECT_TRUE(
+        telemetry::listHeartbeatFiles(dir + "/nope").empty());
 }
 
 } // anonymous namespace

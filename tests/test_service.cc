@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Characterization-service tests: the bounded priority job queue, the
+ * gwc_serve protocol (ping/stats/submit, error envelopes, versioning),
+ * concurrent-submission byte-identity against the local execution
+ * path, warm-cache answers, the drain contract and the
+ * multiple-Sessions-per-process regression the daemon depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/flatjson.hh"
+#include "common/logging.hh"
+#include "runtime/jobspec.hh"
+#include "runtime/session.hh"
+#include "service/server.hh"
+
+using namespace gwc;
+using runtime::JobResult;
+using runtime::JobSpec;
+using service::Server;
+using service::ServerConfig;
+
+namespace
+{
+
+std::string
+strAt(const FlatJson &doc, const std::string &k)
+{
+    auto it = doc.strs.find(k);
+    return it == doc.strs.end() ? "" : it->second;
+}
+
+/** Minimal cheap job: one workload, serial, verified. */
+std::string
+submitLine(const std::string &id, const std::string &workload,
+           const std::string &inject = "", bool keepGoing = true)
+{
+    JobSpec spec;
+    spec.session.tool = "gwc_characterize";
+    spec.session.suite.jobs = 1;
+    spec.session.suite.keepGoing = keepGoing;
+    spec.session.injectSpecs = inject;
+    spec.workloads = {workload};
+    return "{\"proto\":1,\"type\":\"submit\",\"id\":\"" + id +
+           "\",\"job\":" + spec.toJson() + "}";
+}
+
+/** Parse a response line and require a result envelope. */
+JobResult
+expectResult(const std::string &response)
+{
+    FlatJson doc = parseFlatJson("response", response);
+    EXPECT_EQ(strAt(doc, "type"), "result") << response;
+    auto result = runtime::parseJobResultFlat(doc, "result");
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    return result.ok() ? result.value() : JobResult{};
+}
+
+} // anonymous namespace
+
+TEST(JobQueue, OrdersByPriorityThenAdmission)
+{
+    service::JobQueue q(8);
+    auto push = [&](uint32_t prio, const std::string &id) {
+        JobSpec spec;
+        spec.priority = prio;
+        ASSERT_TRUE(q.submit(std::move(spec), id).ok());
+    };
+    push(0, "low-a");
+    push(5, "high");
+    push(0, "low-b");
+    push(2, "mid");
+    EXPECT_EQ(q.depth(), 4u);
+    EXPECT_EQ(q.pop()->id, "high");
+    EXPECT_EQ(q.pop()->id, "mid");
+    EXPECT_EQ(q.pop()->id, "low-a"); // FIFO within a priority
+    EXPECT_EQ(q.pop()->id, "low-b");
+}
+
+TEST(JobQueue, BoundsAndDrainSemantics)
+{
+    service::JobQueue q(2);
+    ASSERT_TRUE(q.submit(JobSpec{}, "a").ok());
+    ASSERT_TRUE(q.submit(JobSpec{}, "b").ok());
+    auto full = q.submit(JobSpec{}, "c");
+    ASSERT_FALSE(full.ok());
+    EXPECT_EQ(full.status().code(), ErrorCode::ResourceExhausted);
+
+    q.close();
+    auto draining = q.submit(JobSpec{}, "d");
+    ASSERT_FALSE(draining.ok());
+    EXPECT_EQ(draining.status().code(), ErrorCode::Unavailable);
+
+    // Queued jobs still drain, then pop() signals worker exit.
+    EXPECT_NE(q.pop(), nullptr);
+    EXPECT_NE(q.pop(), nullptr);
+    EXPECT_EQ(q.pop(), nullptr);
+    EXPECT_EQ(q.rejected(), 2u);
+}
+
+TEST(Session, TwoConcurrentSessionsInOneProcessAreSafe)
+{
+    // The daemon runs N Sessions per process: the process-global log
+    // run id and timeline slot must be claim/release, not
+    // last-writer-wins. Both sessions run concurrently, both must
+    // produce clean, complete results.
+    const std::string dir =
+        testing::TempDir() + "two_sessions";
+    std::vector<JobResult> results(2);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 2; ++i)
+        threads.emplace_back([&, i] {
+            JobSpec spec;
+            spec.session.tool = "gwc_test";
+            spec.session.suite.jobs = 1;
+            spec.session.timelineOut = dir + std::to_string(i) +
+                                       ".timeline.json";
+            spec.workloads = {i == 0 ? "RD" : "BLS"};
+            results[i] = runtime::runJobLocally(spec);
+        });
+    for (auto &t : threads)
+        t.join();
+    for (const auto &r : results) {
+        EXPECT_EQ(r.exitCode, 0) << r.errorMessage;
+        ASSERT_EQ(r.rows.size(), 1u);
+        EXPECT_EQ(r.rows[0].status, "ok");
+        EXPECT_FALSE(r.runId.empty());
+    }
+    EXPECT_NE(results[0].runId, results[1].runId);
+
+    // Both sessions released the process-global log run id.
+    EXPECT_EQ(logRunId(), "");
+    EXPECT_TRUE(claimLogRunId("probe"));
+    releaseLogRunId("probe");
+}
+
+class ServerTest : public testing::Test
+{
+  protected:
+    /** Start a daemon on a unix socket under TempDir. */
+    std::unique_ptr<Server>
+    makeServer(ServerConfig cfg)
+    {
+        static int n = 0;
+        cfg.unixSocket =
+            testing::TempDir() + "gwc" + std::to_string(n++) + ".sock";
+        cfg.maxSessionJobs = 1;
+        auto server = std::make_unique<Server>(std::move(cfg));
+        server->start();
+        return server;
+    }
+
+    /** Client side: one request/response over the unix socket. */
+    std::string
+    roundTrip(const std::string &path, const std::string &request)
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0)
+            << std::strerror(errno);
+        std::string line = request + "\n";
+        EXPECT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+                  ssize_t(line.size()));
+        std::string buf;
+        char chunk[65536];
+        while (buf.find('\n') == std::string::npos) {
+            ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (r <= 0)
+                break;
+            buf.append(chunk, size_t(r));
+        }
+        ::close(fd);
+        return buf.substr(0, buf.find('\n'));
+    }
+};
+
+TEST_F(ServerTest, PingAndStatsEnvelopes)
+{
+    auto server = makeServer(ServerConfig{});
+    FlatJson pong = parseFlatJson(
+        "pong", server->handleLine("{\"proto\":1,\"type\":\"ping\"}"));
+    EXPECT_EQ(strAt(pong, "type"), "pong");
+    EXPECT_EQ(strAt(pong, "run_id"), server->runId());
+    EXPECT_EQ(pong.nums.at("proto"), 1.0);
+
+    FlatJson stats = parseFlatJson(
+        "stats",
+        server->handleLine("{\"proto\":1,\"type\":\"stats\"}"));
+    EXPECT_EQ(strAt(stats, "type"), "stats");
+    EXPECT_EQ(stats.nums.at("jobs.completed"), 0.0);
+    server->stop();
+}
+
+TEST_F(ServerTest, MalformedAndUnknownRequestsAreErrorEnvelopes)
+{
+    auto server = makeServer(ServerConfig{});
+    FlatJson bad =
+        parseFlatJson("bad", server->handleLine("{not json"));
+    EXPECT_EQ(strAt(bad, "type"), "error");
+    EXPECT_EQ(strAt(bad, "error_code"), "data_loss");
+
+    FlatJson unknown = parseFlatJson(
+        "unknown",
+        server->handleLine("{\"proto\":1,\"type\":\"dance\"}"));
+    EXPECT_EQ(strAt(unknown, "type"), "error");
+    EXPECT_EQ(strAt(unknown, "error_code"), "invalid_argument");
+
+    FlatJson newer = parseFlatJson(
+        "newer",
+        server->handleLine("{\"proto\":99,\"type\":\"ping\"}"));
+    EXPECT_EQ(strAt(newer, "type"), "error");
+    EXPECT_NE(strAt(newer, "error_message").find("newer"),
+              std::string::npos);
+
+    FlatJson badJob = parseFlatJson(
+        "badjob", server->handleLine(
+                      "{\"proto\":1,\"type\":\"submit\",\"id\":\"x\","
+                      "\"job\":{\"schema_version\":999}}"));
+    EXPECT_EQ(strAt(badJob, "type"), "error");
+    EXPECT_EQ(strAt(badJob, "id"), "x");
+    EXPECT_EQ(strAt(badJob, "error_code"), "invalid_argument");
+    EXPECT_EQ(server->counters().badRequests, 4u);
+    server->stop();
+}
+
+TEST_F(ServerTest, ServedResponseIsByteIdenticalToLocalRun)
+{
+    ServerConfig cfg;
+    cfg.workers = 2;
+    auto server = makeServer(std::move(cfg));
+
+    // The job the server will actually run after sanitization.
+    JobSpec local;
+    local.session.tool = "gwc_characterize";
+    local.session.suite.jobs = 1;
+    local.session.suite.verbose = false;
+    local.workloads = {"RD"};
+    JobResult localResult = runtime::runJobLocally(local);
+    ASSERT_EQ(localResult.exitCode, 0);
+
+    JobResult served =
+        expectResult(server->handleLine(submitLine("job-1", "RD")));
+    EXPECT_EQ(served.id, "job-1");
+    EXPECT_EQ(served.exitCode, 0);
+    EXPECT_EQ(served.profilesCsv, localResult.profilesCsv);
+    ASSERT_EQ(served.rows.size(), 1u);
+    EXPECT_EQ(served.rows[0].name, "RD");
+    EXPECT_TRUE(served.rows[0].verified);
+    server->stop();
+}
+
+TEST_F(ServerTest, EightConcurrentSubmissionsAllByteIdentical)
+{
+    ServerConfig cfg;
+    cfg.workers = 2;
+    auto server = makeServer(std::move(cfg));
+    const std::string socket = server->config().unixSocket;
+
+    // Mixed cheap workloads, 8 concurrent client connections; every
+    // response must be byte-identical to every other response for the
+    // same workload (determinism is the service's core property).
+    const std::vector<std::string> wls = {"RD", "BLS", "SLA", "RD",
+                                          "BLS", "SLA", "RD", "BLS"};
+    std::vector<std::string> responses(wls.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < wls.size(); ++i)
+        clients.emplace_back([&, i] {
+            responses[i] = roundTrip(
+                socket,
+                submitLine("c" + std::to_string(i), wls[i]));
+        });
+    for (auto &t : clients)
+        t.join();
+
+    std::map<std::string, std::string> csvByWorkload;
+    for (size_t i = 0; i < wls.size(); ++i) {
+        JobResult r = expectResult(responses[i]);
+        EXPECT_EQ(r.id, "c" + std::to_string(i));
+        EXPECT_EQ(r.exitCode, 0) << r.errorMessage;
+        auto [it, inserted] =
+            csvByWorkload.emplace(wls[i], r.profilesCsv);
+        if (!inserted)
+            EXPECT_EQ(r.profilesCsv, it->second)
+                << "non-deterministic response for " << wls[i];
+    }
+    EXPECT_EQ(server->counters().jobsCompleted, wls.size());
+    EXPECT_EQ(server->counters().connections, wls.size());
+    server->stop();
+}
+
+TEST_F(ServerTest, WarmCacheAnswersWithoutResimulating)
+{
+    ServerConfig cfg;
+    cfg.cacheDir = testing::TempDir() + "serve_cache";
+    // A fixed path under TempDir survives across test invocations;
+    // the cold half of this test needs an actually-cold cache.
+    std::filesystem::remove_all(cfg.cacheDir);
+    auto server = makeServer(std::move(cfg));
+
+    JobResult cold =
+        expectResult(server->handleLine(submitLine("cold", "RD")));
+    EXPECT_EQ(cold.exitCode, 0);
+    EXPECT_FALSE(cold.rows[0].cached);
+    EXPECT_GE(cold.cacheMisses, 1u);
+
+    JobResult warm =
+        expectResult(server->handleLine(submitLine("warm", "RD")));
+    EXPECT_EQ(warm.exitCode, 0);
+    ASSERT_EQ(warm.rows.size(), 1u);
+    EXPECT_TRUE(warm.rows[0].cached);
+    EXPECT_GE(warm.cacheHits, 1u);
+    EXPECT_EQ(warm.profilesCsv, cold.profilesCsv);
+    EXPECT_GE(server->counters().cacheHits, 1u);
+    server->stop();
+}
+
+TEST_F(ServerTest, InjectionMatrixKeepsStructuredErrorContract)
+{
+    auto server = makeServer(ServerConfig{});
+
+    // keep-going: failed row + exit 2, the partial contract.
+    JobResult partial = expectResult(server->handleLine(
+        submitLine("inj", "BLS", "alloc-fail@BLS")));
+    EXPECT_EQ(partial.exitCode, 2);
+    ASSERT_EQ(partial.rows.size(), 1u);
+    EXPECT_EQ(partial.rows[0].status, "failed");
+    EXPECT_EQ(partial.rows[0].errorCode, "resource_exhausted");
+    EXPECT_FALSE(partial.rows[0].errorMessage.empty());
+
+    // fail-fast: job-level fatal, exit 1, structured code + message.
+    JobResult fatal = expectResult(server->handleLine(submitLine(
+        "ff", "BLS", "alloc-fail@BLS", /*keepGoing=*/false)));
+    EXPECT_EQ(fatal.exitCode, 1);
+    EXPECT_FALSE(fatal.errorCode.empty());
+    EXPECT_FALSE(fatal.errorMessage.empty());
+    EXPECT_TRUE(fatal.rows.empty());
+    EXPECT_EQ(server->counters().jobsFailed, 2u);
+    server->stop();
+}
+
+TEST_F(ServerTest, WireJobsAreSanitized)
+{
+    auto server = makeServer(ServerConfig{});
+    JobSpec sneaky;
+    sneaky.session.suite.jobs = 64;
+    sneaky.session.statsOut = testing::TempDir() + "sneaky.json";
+    sneaky.session.cacheDir = testing::TempDir() + "sneaky_cache";
+    sneaky.workloads = {"RD"};
+    JobResult r = expectResult(server->handleLine(
+        "{\"proto\":1,\"type\":\"submit\",\"id\":\"s\",\"job\":" +
+        sneaky.toJson() + "}"));
+    EXPECT_EQ(r.exitCode, 0);
+    // The client-chosen output path and cache dir were stripped.
+    EXPECT_NE(::access((testing::TempDir() + "sneaky.json").c_str(),
+                       F_OK),
+              0);
+    EXPECT_NE(::access((testing::TempDir() + "sneaky_cache").c_str(),
+                       F_OK),
+              0);
+    server->stop();
+}
+
+TEST_F(ServerTest, DrainStopsAcceptingAndFinishesQueuedJobs)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    auto server = makeServer(std::move(cfg));
+
+    // Submissions in flight when the drain starts still complete.
+    std::vector<std::string> responses(3);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 3; ++i)
+        clients.emplace_back([&, i] {
+            responses[i] = server->handleLine(
+                submitLine("d" + std::to_string(i), "RD"));
+        });
+    for (auto &t : clients)
+        t.join();
+    for (const auto &resp : responses)
+        EXPECT_EQ(expectResult(resp).exitCode, 0);
+
+    server->stop(/*drain=*/true);
+    // The listener is gone and the socket file was removed.
+    EXPECT_NE(::access(server->config().unixSocket.c_str(), F_OK), 0);
+    // stop() is idempotent.
+    server->stop();
+}
+
+TEST_F(ServerTest, TcpListenerServesEphemeralPort)
+{
+    ServerConfig cfg;
+    cfg.port = 0;
+    cfg.unixSocket.clear();
+    cfg.maxSessionJobs = 1;
+    auto server = std::make_unique<Server>(std::move(cfg));
+    try {
+        server->start();
+    } catch (const Error &e) {
+        GTEST_SKIP() << "TCP bind unavailable here: " << e.what();
+    }
+    ASSERT_GT(server->tcpPort(), 0);
+    FlatJson pong = parseFlatJson(
+        "pong", server->handleLine("{\"proto\":1,\"type\":\"ping\"}"));
+    EXPECT_EQ(strAt(pong, "type"), "pong");
+    server->stop();
+}

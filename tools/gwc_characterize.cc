@@ -18,36 +18,46 @@
  *
  * Failed workloads are recorded and skipped (exit 2 — see
  * docs/ROBUSTNESS.md); --fail-fast restores abort-on-first-failure.
- * All of the heavy lifting lives in gwc::runtime::Session; this file
- * is only the flag table.
+ *
+ * Since the service PR this tool is a flag table over
+ * runtime::JobSpec — the same versioned request the gwc_serve daemon
+ * accepts over the wire (--print-job emits it), so a local run and a
+ * submitted run are provably the same surface. Execution goes through
+ * runtime::runJobLocally(), the path the daemon workers share.
  */
 
 #include <iostream>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/threadpool.hh"
-#include "runtime/session.hh"
+#include "runtime/jobspec.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace gwc;
     return cli::run([&]() -> int {
-        runtime::SessionOptions so;
-        so.tool = "gwc_characterize";
-        so.suite.verbose = true;
-        so.suite.jobs = ThreadPool::defaultJobs();
-        std::string outPath = "profiles.csv";
+        runtime::JobSpec spec;
+        spec.session.tool = "gwc_characterize";
+        spec.session.suite.verbose = true;
+        spec.session.suite.jobs = ThreadPool::defaultJobs();
+        spec.profilesOut = "profiles.csv";
         bool list = false;
+        bool printJob = false;
 
         cli::Parser p("gwc_characterize", "[options] [workload ...]");
         p.strOpt("--output", "-o", "FILE",
-                 "output CSV (default: profiles.csv)", &outPath);
-        runtime::addSuiteFlags(p, so);
-        runtime::addObservabilityFlags(p, so);
+                 "output CSV (default: profiles.csv)",
+                 &spec.profilesOut);
+        runtime::addJobSpecFlags(p, spec);
+        p.flag("--print-job", "",
+               "print the job spec JSON (the gwc_serve wire schema)\n"
+               "and exit without running",
+               &printJob);
         p.flag("--list", "", "list registered workloads and exit",
                &list);
-        auto names = p.parse(argc, argv);
+        spec.workloads = p.parse(argc, argv);
         if (p.helpRequested()) {
             std::cout << p.helpText();
             return 0;
@@ -64,10 +74,14 @@ main(int argc, char **argv)
             }
             return 0;
         }
+        if (printJob) {
+            std::cout << spec.toJson() << "\n";
+            return 0;
+        }
 
-        runtime::Session session(std::move(so));
-        session.runSuite(names);
-        session.writeProfiles(outPath);
-        return session.finish();
+        runtime::JobResult result = runtime::runJobLocally(spec);
+        if (result.exitCode == 1)
+            fatal("%s", result.errorMessage.c_str());
+        return result.exitCode;
     });
 }

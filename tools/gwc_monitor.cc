@@ -4,7 +4,7 @@
  * campaign's monitoring outputs.
  *
  *   gwc_monitor [--heartbeat hb.json] [--metrics metrics.jsonl]
- *               [--interval SEC] [--once]
+ *               [--follow DIR] [--interval SEC] [--once]
  *
  * Tails the heartbeat file and/or metrics JSONL series another gwc
  * tool writes via --heartbeat-out / --metrics-out and renders a
@@ -16,6 +16,12 @@
  * document. With --once the current state prints once and the exit
  * status is 0; without it the view refreshes every --interval seconds
  * until interrupted. See docs/OBSERVABILITY.md "Live monitoring".
+ *
+ * --follow DIR watches a whole directory instead of one file: every
+ * "*.heartbeat.json" under it (a campaign's sessions, or a gwc_serve
+ * state dir with its per-worker heartbeats) is discovered on each
+ * refresh — files appearing or vanishing between frames is normal —
+ * and rendered as one block per session, stall flags included.
  */
 
 #include <chrono>
@@ -30,6 +36,7 @@
 #include "common/flatjson.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/monitor.hh"
 
 namespace
 {
@@ -212,6 +219,29 @@ render(const std::string &heartbeatPath, const std::string &metricsPath,
     return true;
 }
 
+/**
+ * One --follow pass: discover and render every heartbeat under
+ * @p dir, one block per session. Returns the number of blocks.
+ */
+size_t
+renderFollow(const std::string &dir, std::ostream &os)
+{
+    size_t shown = 0;
+    for (const auto &path : telemetry::listHeartbeatFiles(dir)) {
+        std::ostringstream block;
+        try {
+            if (!render(path, "", block))
+                continue;
+        } catch (const Error &) {
+            continue; // mid-rewrite or foreign file; next frame wins
+        }
+        os << (shown ? "\n" : "") << "== " << path << "\n"
+           << block.str();
+        ++shown;
+    }
+    return shown;
+}
+
 } // anonymous namespace
 
 int
@@ -220,6 +250,7 @@ main(int argc, char **argv)
     return cli::run([&]() -> int {
         std::string heartbeatPath;
         std::string metricsPath;
+        std::string followDir;
         double intervalSec = 1.0;
         bool once = false;
 
@@ -230,6 +261,10 @@ main(int argc, char **argv)
         p.strOpt("--metrics", "", "FILE",
                  "metrics JSONL series written by --metrics-out",
                  &metricsPath);
+        p.strOpt("--follow", "-f", "DIR",
+                 "watch every *.heartbeat.json under DIR (a campaign\n"
+                 "or a gwc_serve --state-dir), one block per session",
+                 &followDir);
         p.realOpt("--interval", "", "SEC",
                   "refresh cadence (default 1.0)", &intervalSec, 0);
         p.flag("--once", "", "print the current state once and exit",
@@ -243,10 +278,35 @@ main(int argc, char **argv)
             std::cout << p.versionText();
             return 0;
         }
-        if (heartbeatPath.empty() && metricsPath.empty())
+        if (heartbeatPath.empty() && metricsPath.empty() &&
+            followDir.empty())
             raise(ErrorCode::InvalidArgument,
-                  "nothing to watch: pass --heartbeat and/or "
-                  "--metrics");
+                  "nothing to watch: pass --heartbeat, --metrics "
+                  "and/or --follow");
+
+        if (!followDir.empty()) {
+            if (once) {
+                if (renderFollow(followDir, std::cout) == 0)
+                    raise(ErrorCode::IoError,
+                          "no heartbeat files readable under %s yet",
+                          followDir.c_str());
+                return 0;
+            }
+            while (true) {
+                std::ostringstream frame;
+                size_t shown = renderFollow(followDir, frame);
+                if (shown > 0) {
+                    std::cout << "\033[2J\033[H" << frame.str();
+                } else {
+                    std::cout << "waiting for heartbeats under "
+                              << followDir << "...\n";
+                }
+                std::cout.flush();
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        intervalSec > 0 ? intervalSec : 1.0));
+            }
+        }
 
         if (once) {
             if (!render(heartbeatPath, metricsPath, std::cout))

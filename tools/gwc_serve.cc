@@ -1,0 +1,137 @@
+/**
+ * @file
+ * gwc_serve — the characterization-as-a-service daemon (the eighth
+ * tool; see docs/SERVICE.md).
+ *
+ *   gwc_serve --socket /run/gwc.sock [--workers N]
+ *             [--cache-dir DIR] [--state-dir DIR] ...
+ *   gwc_serve --port 0 ...
+ *
+ * Listens on a Unix-domain socket and/or a loopback TCP port for
+ * line-delimited JSON requests (one JobSpec per submit — the exact
+ * schema gwc_characterize --print-job emits), runs them through a
+ * bounded priority queue over N concurrent runtime::Sessions sharing
+ * one result cache, and answers with structured JobResults that are
+ * byte-identical to local runs. SIGTERM/SIGINT trigger a graceful
+ * drain: queued jobs finish, new submissions are rejected with
+ * Unavailable, in-flight responses are written, then the process
+ * exits 0.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+/** SIGTERM/SIGINT latch polled by the main loop. */
+volatile std::sig_atomic_t gStop = 0;
+
+void
+onSignal(int)
+{
+    gStop = 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gwc;
+    return cli::run([&]() -> int {
+        service::ServerConfig cfg;
+        uint32_t port = 0;
+        bool tcp = false;
+        double maxTimeout = 0;
+
+        cli::Parser p("gwc_serve", "[options]");
+        p.strOpt("--socket", "-u", "PATH",
+                 "listen on a Unix-domain socket at PATH", &cfg.unixSocket);
+        p.strOpt("--host", "", "ADDR",
+                 "TCP bind address (default 127.0.0.1)", &cfg.host);
+        p.uintOpt("--port", "-p", "N",
+                  "listen on TCP port N (0 = pick an ephemeral port,\n"
+                  "printed on startup)",
+                  &port, 0);
+        p.flag("--tcp", "", "enable the TCP listener (with --port 0)",
+               &tcp);
+        p.uintOpt("--workers", "-w", "N",
+                  "concurrent job sessions (default 1)", &cfg.workers,
+                  1);
+        p.sizeOpt("--queue-capacity", "", "N",
+                  "queued-job bound; submissions past it are\n"
+                  "rejected with resource_exhausted (default 64,\n"
+                  "0 = unbounded)",
+                  &cfg.queueCapacity, 0);
+        p.strOpt("--cache-dir", "", "DIR",
+                 "shared result cache served to every job\n"
+                 "(docs/CACHING.md)",
+                 &cfg.cacheDir);
+        p.strOpt("--cache", "", "MODE",
+                 "cache mode: rw, ro or off (default rw)",
+                 &cfg.cacheMode);
+        p.strOpt("--state-dir", "", "DIR",
+                 "daemon observability directory: heartbeat, metrics\n"
+                 "JSONL, Prometheus exposition and per-worker\n"
+                 "heartbeats, live-viewable with gwc_monitor --follow",
+                 &cfg.stateDir);
+        p.realOpt("--metrics-interval", "", "SEC",
+                  "daemon sampler cadence (default 0.5)",
+                  &cfg.metricsIntervalSec, 0.01);
+        p.uintOpt("--max-session-jobs", "", "N",
+                  "clamp a job's intra-session parallelism\n"
+                  "(default: hardware threads)",
+                  &cfg.maxSessionJobs, 0);
+        p.realOpt("--max-timeout", "", "SEC",
+                  "per-job wall-clock ceiling: jobs without a timeout\n"
+                  "get it, larger requests are clamped (0 = off)",
+                  &maxTimeout, 0);
+        auto pos = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
+            return 0;
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+        if (!pos.empty())
+            raise(ErrorCode::InvalidArgument,
+                  "unexpected positional argument: %s", pos[0].c_str());
+        cfg.maxTimeoutSec = maxTimeout;
+        if (tcp || port > 0)
+            cfg.port = int(port);
+
+        service::Server server(std::move(cfg));
+        server.start();
+        if (server.tcpPort() >= 0)
+            std::cout << "gwc_serve listening on "
+                      << server.config().host << ":" << server.tcpPort()
+                      << "\n";
+        if (!server.config().unixSocket.empty())
+            std::cout << "gwc_serve listening on "
+                      << server.config().unixSocket << "\n";
+        std::cout.flush();
+
+        struct sigaction sa = {};
+        sa.sa_handler = onSignal;
+        sigaction(SIGTERM, &sa, nullptr);
+        sigaction(SIGINT, &sa, nullptr);
+
+        while (!gStop)
+            ::poll(nullptr, 0, 200);
+
+        inform("draining: %zu queued job(s)",
+               server.counters().queueDepth);
+        server.stop(/*drain=*/true);
+        return 0;
+    });
+}

@@ -33,6 +33,7 @@
 #include "common/fingerprint.hh"
 #include "common/table.hh"
 #include "common/threadpool.hh"
+#include "runtime/jobspec.hh"
 #include "runtime/result_cache.hh"
 #include "runtime/session.hh"
 #include "timing/gpu.hh"
@@ -197,21 +198,29 @@ main(int argc, char **argv)
     using namespace gwc;
     using Clock = std::chrono::steady_clock;
     return cli::run([&]() -> int {
-        runtime::SessionOptions so;
-        so.tool = "gwc_simulate";
-        so.suite.jobs = ThreadPool::defaultJobs();
+        // argv parses into the same versioned JobSpec the gwc_serve
+        // wire schema uses (--print-job emits it); the hand-driven
+        // timing loop below then builds its Session through it.
+        runtime::JobSpec spec;
+        spec.session.tool = "gwc_simulate";
+        spec.session.suite.jobs = ThreadPool::defaultJobs();
+        bool printJob = false;
 
         cli::Parser p("gwc_simulate", "[options] [workload ...]");
         p.uintOpt("--scale", "-s", "N", "input-size scale (default 1)",
-                  &so.suite.scale, 1);
+                  &spec.session.suite.scale, 1);
         p.uintOpt("--jobs", "-j", "N",
                   "simulate workloads concurrently; output is\n"
                   "identical to --jobs 1 (default: hardware\n"
                   "threads, or $GWC_JOBS)",
-                  &so.suite.jobs, 1);
-        runtime::addObservabilityFlags(p, so);
-        runtime::addCacheFlags(p, so);
-        auto names = p.parse(argc, argv);
+                  &spec.session.suite.jobs, 1);
+        runtime::addObservabilityFlags(p, spec.session);
+        runtime::addCacheFlags(p, spec.session);
+        p.flag("--print-job", "",
+               "print the job spec JSON (the gwc_serve wire schema)\n"
+               "and exit without running",
+               &printJob);
+        spec.workloads = p.parse(argc, argv);
         if (p.helpRequested()) {
             std::cout << p.helpText();
             return 0;
@@ -220,15 +229,20 @@ main(int argc, char **argv)
             std::cout << p.versionText();
             return 0;
         }
+        if (printJob) {
+            std::cout << spec.toJson() << "\n";
+            return 0;
+        }
+        std::vector<std::string> names = spec.workloads;
         if (names.empty())
             names = workloads::workloadNames();
         if (Status st = workloads::checkWorkloadNames(names); !st.ok())
             throw Error(st);
 
-        const uint32_t scale = so.suite.scale;
-        const uint32_t jobs = so.suite.jobs;
-        const bool wantStats = !so.statsOut.empty();
-        runtime::Session session(std::move(so));
+        const uint32_t scale = spec.session.suite.scale;
+        const uint32_t jobs = spec.session.suite.jobs;
+        const bool wantStats = !spec.session.statsOut.empty();
+        runtime::Session session(spec.toSessionOptions());
         telemetry::TraceWriter *tracer = session.tracer();
         runtime::ResultCache *cache = session.cache();
 

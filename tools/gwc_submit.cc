@@ -1,0 +1,259 @@
+/**
+ * @file
+ * gwc_submit — client for the gwc_serve daemon (docs/SERVICE.md).
+ *
+ *   gwc_submit --socket /run/gwc.sock [-o profiles.csv] [workload ...]
+ *   gwc_submit --port 41200 --job spec.json
+ *   gwc_submit --socket /run/gwc.sock --ping | --server-stats
+ *
+ * Builds a runtime::JobSpec from the same flag surface as
+ * gwc_characterize (or loads one with --job; "-" reads stdin), sends
+ * it over the line-delimited JSON protocol and waits for the
+ * JobResult. The response's profile CSV — byte-identical to a local
+ * gwc_characterize -o run — is written to --output; the process exits
+ * with the job's exit code on the documented 0/2/1 contract, so
+ * scripting against the daemon feels exactly like running locally.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "common/flatjson.hh"
+#include "common/logging.hh"
+#include "runtime/jobspec.hh"
+#include "service/server.hh"
+#include "telemetry/stats.hh"
+
+namespace
+{
+
+using namespace gwc;
+
+/** Connect to the daemon (unix socket preferred). Throws on failure. */
+int
+connectServer(const std::string &unixSocket, const std::string &host,
+              int port)
+{
+    if (!unixSocket.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (unixSocket.size() >= sizeof(addr.sun_path))
+            raise(ErrorCode::InvalidArgument,
+                  "unix socket path too long: %s", unixSocket.c_str());
+        std::strncpy(addr.sun_path, unixSocket.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0)
+            raise(ErrorCode::Unavailable, "cannot connect to %s: %s",
+                  unixSocket.c_str(), std::strerror(errno));
+        return fd;
+    }
+    if (port < 0)
+        raise(ErrorCode::InvalidArgument,
+              "no server address: pass --socket PATH or --port N");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(uint16_t(port));
+    const std::string h = host.empty() ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1)
+        raise(ErrorCode::InvalidArgument, "invalid server address: %s",
+              h.c_str());
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        raise(ErrorCode::Unavailable, "cannot connect to %s:%d: %s",
+              h.c_str(), port, std::strerror(errno));
+    return fd;
+}
+
+/** One request/response round trip (lines without trailing '\n'). */
+std::string
+roundTrip(int fd, const std::string &request)
+{
+    const std::string line = request + "\n";
+    size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            raise(ErrorCode::Unavailable, "send failed: %s",
+                  std::strerror(errno));
+        }
+        off += size_t(n);
+    }
+    std::string buf;
+    char chunk[65536];
+    while (buf.find('\n') == std::string::npos) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            raise(ErrorCode::Unavailable,
+                  "connection closed before a response arrived");
+        buf.append(chunk, size_t(n));
+    }
+    return buf.substr(0, buf.find('\n'));
+}
+
+/** Fail like the error-envelope contract: code + message, exit 1. */
+[[noreturn]] void
+raiseEnvelopeError(const FlatJson &doc)
+{
+    auto code = doc.strs.find("error_code");
+    auto msg = doc.strs.find("error_message");
+    raise(ErrorCode::Unavailable, "server error [%s]: %s",
+          code == doc.strs.end() ? "?" : code->second.c_str(),
+          msg == doc.strs.end() ? "?" : msg->second.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run([&]() -> int {
+        runtime::JobSpec spec;
+        spec.session.tool = "gwc_characterize";
+        std::string unixSocket, host;
+        uint32_t port = 0;
+        bool tcp = false;
+        std::string jobFile, id, outPath;
+        bool ping = false, serverStats = false;
+
+        cli::Parser p("gwc_submit", "[options] [workload ...]");
+        p.strOpt("--socket", "-u", "PATH",
+                 "connect to the Unix-domain socket at PATH",
+                 &unixSocket);
+        p.strOpt("--host", "", "ADDR",
+                 "server TCP address (default 127.0.0.1)", &host);
+        p.uintOpt("--port", "-p", "N", "server TCP port", &port, 0);
+        p.flag("--tcp", "", "use TCP (with --port)", &tcp);
+        p.strOpt("--job", "", "FILE",
+                 "submit the JobSpec JSON in FILE (\"-\" = stdin)\n"
+                 "instead of building one from the flags below",
+                 &jobFile);
+        p.strOpt("--id", "", "ID", "request id echoed in the response",
+                 &id);
+        p.strOpt("--output", "-o", "FILE",
+                 "write the response's profile CSV to FILE",
+                 &outPath);
+        p.flag("--ping", "", "health-check the server and exit",
+               &ping);
+        p.flag("--server-stats", "",
+               "print the server's counters JSON and exit",
+               &serverStats);
+        runtime::addJobSpecFlags(p, spec);
+        spec.workloads = p.parse(argc, argv);
+        if (p.helpRequested()) {
+            std::cout << p.helpText();
+            return 0;
+        }
+        if (p.versionRequested()) {
+            std::cout << p.versionText();
+            return 0;
+        }
+
+        int fd = connectServer(unixSocket, host,
+                               (tcp || port > 0) ? int(port) : -1);
+
+        std::ostringstream req;
+        if (ping || serverStats) {
+            req << "{\"proto\":" << service::kServeProtocolVersion
+                << ",\"type\":\"" << (ping ? "ping" : "stats")
+                << "\"}";
+            std::string response = roundTrip(fd, req.str());
+            ::close(fd);
+            std::cout << response << "\n";
+            FlatJson doc = parseFlatJson("response", response);
+            auto type = doc.strs.find("type");
+            if (type != doc.strs.end() && type->second == "error")
+                raiseEnvelopeError(doc);
+            return 0;
+        }
+
+        std::string jobJson;
+        if (!jobFile.empty()) {
+            if (jobFile == "-") {
+                std::ostringstream ss;
+                ss << std::cin.rdbuf();
+                jobJson = ss.str();
+            } else {
+                std::ifstream is(jobFile);
+                if (!is)
+                    raise(ErrorCode::NotFound, "cannot open %s",
+                          jobFile.c_str());
+                std::ostringstream ss;
+                ss << is.rdbuf();
+                jobJson = ss.str();
+            }
+            // Parse locally first: reject malformed/newer specs with
+            // a client-side error, and re-serialize canonically.
+            Result<runtime::JobSpec> parsed =
+                runtime::parseJobSpec(jobFile, jobJson);
+            if (!parsed.ok())
+                throw Error(parsed.status());
+            spec = std::move(parsed.value());
+        }
+        req << "{\"proto\":" << service::kServeProtocolVersion
+            << ",\"type\":\"submit\",\"id\":\""
+            << telemetry::jsonEscape(id) << "\",\"job\":"
+            << spec.toJson() << "}";
+
+        std::string response = roundTrip(fd, req.str());
+        ::close(fd);
+
+        FlatJson doc = parseFlatJson("response", response);
+        auto type = doc.strs.find("type");
+        if (type == doc.strs.end() || type->second == "error")
+            raiseEnvelopeError(doc);
+        Result<runtime::JobResult> result =
+            runtime::parseJobResultFlat(doc, "result");
+        if (!result.ok())
+            throw Error(result.status());
+        const runtime::JobResult &r = result.value();
+
+        for (const auto &row : r.rows) {
+            if (row.status == "ok")
+                inform("%s: ok%s (%llu warp instrs, %u attempt(s))",
+                       row.name.c_str(), row.cached ? " [cached]" : "",
+                       (unsigned long long)row.warpInstrs,
+                       row.attempts);
+            else
+                warn("%s: failed in %s [%s]: %s", row.name.c_str(),
+                     row.phase.c_str(), row.errorCode.c_str(),
+                     row.errorMessage.c_str());
+        }
+        if (r.exitCode == 1)
+            warn("job failed [%s]: %s", r.errorCode.c_str(),
+                 r.errorMessage.c_str());
+        inform("run %s on %s: exit %d, %.2fs, cache %llu hit(s) / "
+               "%llu miss(es)",
+               r.runId.c_str(), r.tool.c_str(), r.exitCode, r.wallSec,
+               (unsigned long long)r.cacheHits,
+               (unsigned long long)r.cacheMisses);
+        if (!outPath.empty()) {
+            std::ofstream os(outPath, std::ios::trunc);
+            if (!os)
+                raise(ErrorCode::IoError, "cannot write %s",
+                      outPath.c_str());
+            os << r.profilesCsv;
+            inform("wrote %s", outPath.c_str());
+        }
+        return r.exitCode;
+    });
+}
